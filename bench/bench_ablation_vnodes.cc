@@ -1,0 +1,92 @@
+// Ablation: the revised virtual-node method (§5.2.1).
+//
+// DESIGN.md calls out virtual nodes as the fix for "the value for node or
+// data may not be equal probability on the ring, especially when the number
+// of nodes in the system is limited". This ablation sweeps the vnode count
+// and reports (a) primary-placement balance, (b) replica balance on the
+// live cluster, and (c) migration volume on node arrival.
+
+#include <cmath>
+#include <map>
+
+#include "bench_common.h"
+#include "cluster/cluster.h"
+#include "hashring/migration.h"
+
+using namespace hotman;  // NOLINT
+
+namespace {
+
+double WorstSkew(const hashring::Ring& ring, int keys) {
+  std::map<std::string, int> counts;
+  for (int i = 0; i < keys; ++i) {
+    counts[*ring.PrimaryFor("key" + std::to_string(i))]++;
+  }
+  const double fair = static_cast<double>(keys) / ring.NumPhysicalNodes();
+  double worst = 0;
+  for (const auto& [node, count] : counts) {
+    worst = std::max(worst, std::abs(count - fair) / fair);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Ablation", "virtual-node count vs balance and migration");
+
+  bench::Section("primary-placement skew on a 5-node ring (20k keys)");
+  bench::Row({"vnodes", "worst skew", "remap on +1 node"});
+  for (int vnodes : {1, 4, 16, 64, 128, 256, 512}) {
+    hashring::Ring ring;
+    for (int i = 0; i < 5; ++i) {
+      (void)ring.AddNode("db" + std::to_string(i), vnodes);
+    }
+    const double skew = WorstSkew(ring, 20000);
+    hashring::Ring grown = ring;
+    (void)grown.AddNode("db5", vnodes);
+    const double remap =
+        hashring::MigratedFraction(hashring::PlanMigration(ring, grown));
+    bench::Row({std::to_string(vnodes), bench::Fmt(100 * skew) + "%",
+                bench::Fmt(100 * remap) + "% (ideal 16.7%)"});
+  }
+
+  bench::Section("replica balance on the live cluster (1000 records, N=3)");
+  bench::Row({"vnodes", "min/node", "max/node", "stddev"});
+  for (int vnodes : {4, 32, 128}) {
+    cluster::ClusterConfig config = cluster::ClusterConfig::Uniform(5, 1, vnodes);
+    cluster::Cluster cluster(config, /*seed=*/88);
+    if (!cluster.Start().ok()) return 1;
+    for (int i = 0; i < 1000; ++i) {
+      (void)cluster.PutSync("rec" + std::to_string(i), ToBytes("x"));
+    }
+    cluster.RunFor(5 * kMicrosPerSecond);
+    std::size_t min_count = SIZE_MAX, max_count = 0;
+    double sum = 0, sum_sq = 0;
+    for (cluster::StorageNode* node : cluster.nodes()) {
+      const std::size_t count = node->store()->NumRecords();
+      min_count = std::min(min_count, count);
+      max_count = std::max(max_count, count);
+      sum += static_cast<double>(count);
+      sum_sq += static_cast<double>(count) * count;
+    }
+    const double mean = sum / 5.0;
+    const double stddev = std::sqrt(std::max(0.0, sum_sq / 5.0 - mean * mean));
+    bench::Row({std::to_string(vnodes), std::to_string(min_count),
+                std::to_string(max_count), bench::Fmt(stddev)});
+  }
+
+  bench::Section("capacity weighting (\"more powerful means more virtual nodes\")");
+  hashring::Ring weighted;
+  (void)weighted.AddNode("big", 256);
+  (void)weighted.AddNode("small", 64);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    counts[*weighted.PrimaryFor("key" + std::to_string(i))]++;
+  }
+  std::printf("big(256 vnodes) : %d keys  |  small(64 vnodes) : %d keys  "
+              "(expected ratio 4:1, got %.1f:1)\n",
+              counts["big"], counts["small"],
+              static_cast<double>(counts["big"]) / counts["small"]);
+  return 0;
+}

@@ -1,0 +1,44 @@
+#ifndef HOTMAN_BENCH_BENCH_COMMON_H_
+#define HOTMAN_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the paper-figure reproduction harnesses.
+//
+// Every harness prints (1) the experiment's paper-reported numbers, (2) the
+// numbers measured on the simulated cluster, and (3) the qualitative shape
+// the figure is expected to show. Absolute values differ from the paper's
+// 2009-era testbed; the shapes are asserted in EXPERIMENTS.md.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hotman::bench {
+
+inline void Header(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+  // Benchmarks run quiet: no log noise in the measured path.
+  SetLogLevel(LogLevel::kOff);
+}
+
+inline void Section(const char* text) { std::printf("\n-- %s --\n", text); }
+
+inline void Row(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace hotman::bench
+
+#endif  // HOTMAN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,78 @@
+// Figure 11 (and §6.1 prose): system throughput and requests-per-second.
+//
+// Paper setup: 5 DB nodes + 4 cache servers (1 GB each), 700 k XML items of
+// 3-600 KB (36 GB); dataset load ≈ 6 MB/s; steady-state reads ≈ 11 MB/s at
+// 236 RPS under 60 000 users with 0-500 ms think time.
+// Here: the same topology at laptop scale (item count is a parameter), the
+// same workload law, virtual time. Shape to reproduce: read throughput and
+// RPS well above the load throughput, stable under sustained load.
+
+#include "bench_common.h"
+#include "core/mystore.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+using namespace hotman;  // NOLINT
+
+int main() {
+  bench::Header("Fig. 11 / §6.1", "system throughput and RPS (MyStore)");
+
+  core::MyStoreConfig config;
+  config.cluster = cluster::ClusterConfig::PaperSetup();
+  config.cache_servers = 4;
+  core::MyStore store(config);
+  if (!store.Start().ok()) return 1;
+
+  workload::Dataset dataset(workload::DatasetSpec::SystemEvaluation(2000));
+  sim::EventLoop* loop = store.storage()->loop();
+  std::printf("dataset: %zu XML items, %.1f MB total (paper: 700k items, 36 GB)\n",
+              dataset.size(), dataset.TotalBytes() / (1024.0 * 1024.0));
+
+  bench::Section("dataset load (write path, paced at the paper's 125 req/s)");
+  workload::RunOptions load_options;
+  load_options.load_rate_per_sec = 125.0;  // "the number of requests is 125/s"
+  workload::WorkloadRunner loader(loop, &dataset, workload::TargetFor(&store),
+                                  load_options);
+  workload::RunReport load = loader.RunLoad(/*concurrency=*/32);
+  bench::Row({"metric", "paper", "measured"});
+  bench::Row({"load MB/s", "~6", bench::Fmt(load.meter.ThroughputMBps())});
+  bench::Row({"load ok", "-", std::to_string(load.meter.ops())});
+
+  bench::Section("steady-state reads (GET), 0-500 ms think time");
+  workload::RunOptions read_options;
+  read_options.clients = 300;
+  read_options.duration = 25 * kMicrosPerSecond;
+  read_options.read_fraction = 1.0;
+  workload::WorkloadRunner reader(loop, &dataset, workload::TargetFor(&store),
+                                  read_options);
+  workload::RunReport reads = reader.Run();
+  bench::Row({"metric", "paper", "measured"});
+  bench::Row({"read MB/s", "~11", bench::Fmt(reads.meter.ThroughputMBps())});
+  bench::Row({"read RPS", "236", bench::Fmt(reads.meter.Rps(), 0)});
+  bench::Row({"success %", "-", bench::Fmt(100.0 * reads.SuccessRate())});
+  bench::Row({"cache hit %", "-",
+              bench::Fmt(100.0 * store.cache_pool()->HitRate())});
+
+  bench::Section("steady-state writes (POST)");
+  workload::RunOptions write_options = read_options;
+  write_options.clients = 300;
+  write_options.duration = 15 * kMicrosPerSecond;
+  write_options.read_fraction = 0.0;
+  write_options.seed = 9;
+  workload::WorkloadRunner writer(loop, &dataset, workload::TargetFor(&store),
+                                  write_options);
+  workload::RunReport writes = writer.Run();
+  bench::Row({"metric", "paper", "measured"});
+  bench::Row({"write MB/s", "-", bench::Fmt(writes.meter.ThroughputMBps())});
+  bench::Row({"write RPS", "-", bench::Fmt(writes.meter.Rps(), 0)});
+  bench::Row({"success %", "-", bench::Fmt(100.0 * writes.SuccessRate())});
+
+  bench::Section("shape check");
+  std::printf("read throughput > load throughput : %s\n",
+              reads.meter.ThroughputMBps() > load.meter.ThroughputMBps() ? "yes"
+                                                                         : "NO");
+  std::printf("read RPS > write RPS              : %s\n",
+              reads.meter.Rps() > writes.meter.Rps() ? "yes" : "NO");
+  return 0;
+}

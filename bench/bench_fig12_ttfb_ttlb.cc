@@ -1,0 +1,116 @@
+// Figure 12: TTFB and TTLB comparison across three storage patterns —
+// MyStore, the ext3-file-system baseline and the MySQL master/slave
+// baseline — for three resource types (a, b, c of increasing size).
+//
+// Paper shape: MyStore has "a dramatic improvement on response time"; the
+// wait for the server's first byte dominates each request ("receiving data
+// from server is rather quick"); the gap widens with resource size.
+
+#include <functional>
+
+#include "bench_common.h"
+#include "baselines/fs_store.h"
+#include "baselines/rel_store.h"
+#include "core/mystore.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+using namespace hotman;  // NOLINT
+
+namespace {
+
+struct Measurement {
+  double ttfb_ms = 0;
+  double ttlb_ms = 0;
+};
+
+/// Runs a read-only workload of one resource class against `target`.
+Measurement Measure(sim::EventLoop* loop, const workload::Dataset& dataset,
+                    workload::KvTarget target) {
+  workload::WorkloadRunner loader(loop, &dataset, target, workload::RunOptions{});
+  (void)loader.RunLoad(8);
+  workload::RunOptions options;
+  options.clients = 60;
+  options.duration = 10 * kMicrosPerSecond;
+  workload::WorkloadRunner runner(loop, &dataset, target, options);
+  workload::RunReport report = runner.Run();
+  Measurement m;
+  m.ttfb_ms = report.ttfb.MeanMicros() / 1000.0;
+  m.ttlb_ms = report.ttlb.MeanMicros() / 1000.0;
+  return m;
+}
+
+workload::DatasetSpec ResourceClass(std::size_t bytes, const char* prefix) {
+  workload::DatasetSpec spec;
+  spec.count = 120;
+  spec.min_bytes = bytes;
+  spec.max_bytes = bytes + 1;
+  spec.key_prefix = prefix;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Fig. 12", "TTFB / TTLB: MyStore vs ext3-FS vs MySQL master/slave");
+
+  // Resource types a/b/c: small, medium, large unstructured objects.
+  const struct {
+    const char* label;
+    std::size_t bytes;
+  } classes[] = {{"a (3 KB)", 3 * 1024}, {"b (60 KB)", 60 * 1024},
+                 {"c (600 KB)", 600 * 1024}};
+
+  bench::Row({"resource", "system", "TTFB ms", "TTLB ms"});
+  double mystore_ttfb_sum = 0, fs_ttfb_sum = 0, rel_ttfb_sum = 0;
+  Measurement last_fs{};
+
+  for (const auto& cls : classes) {
+    // Fresh systems per class so caches/queues don't leak across rows.
+    // --- MyStore ---
+    core::MyStoreConfig config;
+    config.cluster = cluster::ClusterConfig::PaperSetup();
+    core::MyStore store(config);
+    if (!store.Start().ok()) return 1;
+    workload::Dataset dataset(ResourceClass(cls.bytes, "res"));
+    Measurement my = Measure(store.storage()->loop(), dataset,
+                             workload::TargetFor(&store));
+    bench::Row({cls.label, "MyStore", bench::Fmt(my.ttfb_ms, 2),
+                bench::Fmt(my.ttlb_ms, 2)});
+    mystore_ttfb_sum += my.ttfb_ms;
+
+    // --- ext3 file system baseline ---
+    sim::EventLoop fs_loop;
+    baselines::FsStore fs(&fs_loop);
+    Measurement fsm = Measure(&fs_loop, dataset, workload::TargetFor(&fs));
+    bench::Row({"", "ext3-FS", bench::Fmt(fsm.ttfb_ms, 2),
+                bench::Fmt(fsm.ttlb_ms, 2)});
+    fs_ttfb_sum += fsm.ttfb_ms;
+    last_fs = fsm;
+
+    // --- MySQL master/slave baseline ---
+    sim::EventLoop rel_loop;
+    baselines::RelStore rel(&rel_loop);
+    Measurement relm = Measure(&rel_loop, dataset, workload::TargetFor(&rel));
+    bench::Row({"", "MySQL m/s", bench::Fmt(relm.ttfb_ms, 2),
+                bench::Fmt(relm.ttlb_ms, 2)});
+    rel_ttfb_sum += relm.ttfb_ms;
+  }
+
+  bench::Section("shape check (paper: MyStore dramatically faster; TTFB "
+                 "dominates TTLB)");
+  std::printf("MyStore TTFB < ext3-FS TTFB   : %s (%.2f vs %.2f ms mean)\n",
+              mystore_ttfb_sum < fs_ttfb_sum ? "yes" : "NO",
+              mystore_ttfb_sum / 3, fs_ttfb_sum / 3);
+  std::printf("MyStore TTFB < MySQL TTFB     : %s (%.2f vs %.2f ms mean)\n",
+              mystore_ttfb_sum < rel_ttfb_sum ? "yes" : "NO",
+              mystore_ttfb_sum / 3, rel_ttfb_sum / 3);
+  // "The waiting for response from server spends most time of a request.
+  // Receiving data from server is rather quick." — visible on the
+  // server-bound baseline (MyStore's cache pushes TTFB to nearly zero).
+  std::printf("waiting dominates (TTFB/TTLB) : %.0f%% of the ext3 large-object "
+              "response time is first-byte wait\n",
+              100.0 * last_fs.ttfb_ms / last_fs.ttlb_ms);
+  return 0;
+}

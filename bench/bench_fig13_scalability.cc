@@ -1,0 +1,65 @@
+// Figure 13: TTFB versus the number of concurrent client processes.
+//
+// Paper shape: "the response time increases almost linearly with the growth
+// of the amount of processes ... when it is less than 1,000. However, when
+// the amount of processes is more than 1,000, the response time almost does
+// not change and [is] stable around 200 ms." The plateau comes from the
+// application tier's bounded admission queue: beyond capacity, extra
+// requests are shed instead of queued forever.
+
+#include "bench_common.h"
+#include "core/mystore.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+using namespace hotman;  // NOLINT
+
+int main() {
+  bench::Header("Fig. 13", "TTFB vs number of client processes (MyStore)");
+
+  core::MyStoreConfig config;
+  config.cluster = cluster::ClusterConfig::PaperSetup();
+  core::MyStore store(config);
+  if (!store.Start().ok()) return 1;
+
+  workload::Dataset dataset(workload::DatasetSpec::SystemEvaluation(800));
+  sim::EventLoop* loop = store.storage()->loop();
+
+  // The application node (Nginx + spawn-fcgi tier) fronts the store; its
+  // bounded queue is the saturation point.
+  workload::FrontEnd front_end(loop);
+  workload::KvTarget target = front_end.Wrap(workload::TargetFor(&store));
+
+  workload::WorkloadRunner loader(loop, &dataset, target, workload::RunOptions{});
+  (void)loader.RunLoad(16);
+
+  bench::Row({"processes", "TTFB ms", "success %"});
+  std::vector<std::pair<int, double>> series;
+  for (int clients : {50, 100, 200, 400, 700, 1000, 1500, 2000}) {
+    workload::RunOptions options;
+    options.clients = clients;
+    options.duration = 8 * kMicrosPerSecond;
+    options.seed = 100 + clients;
+    workload::WorkloadRunner runner(loop, &dataset, target, options);
+    workload::RunReport report = runner.Run();
+    const double ttfb_ms = report.ttfb.MeanMicros() / 1000.0;
+    series.emplace_back(clients, ttfb_ms);
+    bench::Row({std::to_string(clients), bench::Fmt(ttfb_ms, 2),
+                bench::Fmt(100.0 * report.SuccessRate())});
+    store.RunFor(2 * kMicrosPerSecond);  // drain between steps
+  }
+
+  bench::Section("shape check (rise, then plateau past the knee)");
+  const double low = series[0].second;        // 50 procs
+  const double mid = series[4].second;        // 700 procs
+  const double post_knee = series[6].second;  // 1500 procs
+  const double high = series.back().second;   // 2000 procs
+  std::printf("TTFB grows up to the knee        : %s (%.2f -> %.2f ms)\n",
+              mid > low * 1.5 ? "yes" : "NO", low, mid);
+  std::printf("TTFB plateaus past the knee      : %s (%.0f -> %.0f ms, %+0.0f%%; "
+              "paper: stable ~200 ms)\n",
+              high < post_knee * 1.5 ? "yes" : "NO", post_knee, high,
+              100.0 * (high - post_knee) / post_knee);
+  return 0;
+}

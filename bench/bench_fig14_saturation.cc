@@ -1,0 +1,61 @@
+// Figure 14: throughput (MB/s) and RPS versus the number of client
+// processes.
+//
+// Paper shape: "throughput and RPS will not change a lot after the amount
+// of processes reaches a certain threshold, regardless of the increment of
+// request processes" — classic closed-loop saturation at the service tier's
+// capacity.
+
+#include "bench_common.h"
+#include "core/mystore.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+using namespace hotman;  // NOLINT
+
+int main() {
+  bench::Header("Fig. 14", "throughput and RPS vs client processes (MyStore)");
+
+  core::MyStoreConfig config;
+  config.cluster = cluster::ClusterConfig::PaperSetup();
+  core::MyStore store(config);
+  if (!store.Start().ok()) return 1;
+
+  workload::Dataset dataset(workload::DatasetSpec::SystemEvaluation(800));
+  sim::EventLoop* loop = store.storage()->loop();
+  workload::FrontEnd front_end(loop);
+  workload::KvTarget target = front_end.Wrap(workload::TargetFor(&store));
+
+  workload::WorkloadRunner loader(loop, &dataset, target, workload::RunOptions{});
+  (void)loader.RunLoad(16);
+
+  bench::Row({"processes", "MB/s", "RPS"});
+  std::vector<std::tuple<int, double, double>> series;
+  for (int clients : {50, 100, 200, 400, 700, 1000, 1500, 2000}) {
+    workload::RunOptions options;
+    options.clients = clients;
+    options.duration = 8 * kMicrosPerSecond;
+    options.seed = 500 + clients;
+    workload::WorkloadRunner runner(loop, &dataset, target, options);
+    workload::RunReport report = runner.Run();
+    series.emplace_back(clients, report.meter.ThroughputMBps(),
+                        report.meter.Rps());
+    bench::Row({std::to_string(clients),
+                bench::Fmt(report.meter.ThroughputMBps()),
+                bench::Fmt(report.meter.Rps(), 0)});
+    store.RunFor(2 * kMicrosPerSecond);
+  }
+
+  bench::Section("shape check (near-linear rise, then plateau)");
+  const double rps_small = std::get<2>(series[0]);
+  const double rps_mid = std::get<2>(series[3]);      // 400
+  const double rps_knee = std::get<2>(series[5]);     // 1000
+  const double rps_high = std::get<2>(series.back()); // 2000
+  std::printf("RPS grows before the knee        : %s (%.0f -> %.0f)\n",
+              rps_mid > rps_small * 3 ? "yes" : "NO", rps_small, rps_mid);
+  std::printf("RPS plateaus beyond 1000 procs   : %s (%.0f -> %.0f, %+0.0f%%)\n",
+              rps_high < rps_knee * 1.3 ? "yes" : "NO", rps_knee, rps_high,
+              100.0 * (rps_high - rps_knee) / rps_knee);
+  return 0;
+}

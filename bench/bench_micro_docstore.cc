@@ -1,0 +1,120 @@
+// Microbenchmarks of the embedded document engine: inserts, point reads,
+// filtered queries with and without a secondary index, and updates.
+
+#include <benchmark/benchmark.h>
+
+#include "common/clock.h"
+#include "docstore/collection.h"
+
+namespace hotman::docstore {
+namespace {
+
+using bson::Document;
+using bson::Value;
+
+std::unique_ptr<Collection> Populated(int docs, bool with_index,
+                                      bson::ObjectIdGenerator* gen) {
+  auto collection = std::make_unique<Collection>("bench", gen);
+  if (with_index) {
+    benchmark::DoNotOptimize(
+        collection->CreateIndex(IndexSpec{"kind", false}).ok());
+  }
+  for (int i = 0; i < docs; ++i) {
+    Document doc;
+    doc.Append("_id", Value("doc" + std::to_string(i)));
+    doc.Append("kind", Value("k" + std::to_string(i % 20)));
+    doc.Append("size", Value(std::int32_t{i}));
+    benchmark::DoNotOptimize(collection->Insert(std::move(doc)).ok());
+  }
+  return collection;
+}
+
+void BM_Insert(benchmark::State& state) {
+  ManualClock clock(0);
+  bson::ObjectIdGenerator gen(1, &clock);
+  Collection collection("bench", &gen);
+  int i = 0;
+  for (auto _ : state) {
+    Document doc;
+    doc.Append("kind", Value("k" + std::to_string(i % 20)));
+    doc.Append("size", Value(std::int32_t{i++}));
+    benchmark::DoNotOptimize(collection.Insert(std::move(doc)).ok());
+  }
+}
+BENCHMARK(BM_Insert);
+
+void BM_FindById(benchmark::State& state) {
+  ManualClock clock(0);
+  bson::ObjectIdGenerator gen(1, &clock);
+  auto collection = Populated(10000, false, &gen);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        collection->FindById(Value("doc" + std::to_string(i++ % 10000))).ok());
+  }
+}
+BENCHMARK(BM_FindById);
+
+void BM_FilteredFind(benchmark::State& state) {
+  ManualClock clock(0);
+  bson::ObjectIdGenerator gen(1, &clock);
+  const bool with_index = state.range(0) != 0;
+  auto collection = Populated(10000, with_index, &gen);
+  Document filter;
+  filter.Append("kind", Value("k7"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collection->Find(filter).ok());
+  }
+  state.SetLabel(with_index ? "INDEX(kind)" : "SCAN");
+}
+BENCHMARK(BM_FilteredFind)->Arg(0)->Arg(1);
+
+void BM_RangeQueryIndexed(benchmark::State& state) {
+  ManualClock clock(0);
+  bson::ObjectIdGenerator gen(1, &clock);
+  auto collection = Populated(10000, false, &gen);
+  benchmark::DoNotOptimize(collection->CreateIndex(IndexSpec{"size", false}).ok());
+  Document filter;
+  Document range;
+  range.Append("$gte", Value(std::int32_t{5000}));
+  range.Append("$lt", Value(std::int32_t{5100}));
+  filter.Append("size", Value(std::move(range)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collection->Find(filter).ok());
+  }
+}
+BENCHMARK(BM_RangeQueryIndexed);
+
+void BM_UpdateById(benchmark::State& state) {
+  ManualClock clock(0);
+  bson::ObjectIdGenerator gen(1, &clock);
+  auto collection = Populated(10000, false, &gen);
+  Document update;
+  Document inc;
+  inc.Append("size", Value(std::int32_t{1}));
+  update.Append("$inc", Value(std::move(inc)));
+  int i = 0;
+  for (auto _ : state) {
+    Document filter;
+    filter.Append("_id", Value("doc" + std::to_string(i++ % 10000)));
+    benchmark::DoNotOptimize(collection->Update(filter, update).ok());
+  }
+}
+BENCHMARK(BM_UpdateById);
+
+void BM_PutDocumentUpsert(benchmark::State& state) {
+  ManualClock clock(0);
+  bson::ObjectIdGenerator gen(1, &clock);
+  auto collection = Populated(10000, false, &gen);
+  int i = 0;
+  for (auto _ : state) {
+    Document doc;
+    doc.Append("_id", Value("doc" + std::to_string(i++ % 10000)));
+    doc.Append("kind", Value("replaced"));
+    benchmark::DoNotOptimize(collection->PutDocument(std::move(doc)).ok());
+  }
+}
+BENCHMARK(BM_PutDocumentUpsert);
+
+}  // namespace
+}  // namespace hotman::docstore

@@ -1,0 +1,64 @@
+// Microbenchmarks of the from-scratch MD5 (the hash behind both consistent
+// hashing and the REST URI signatures).
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "hashring/md5.h"
+#include "rest/signature.h"
+
+namespace hotman {
+namespace {
+
+void BM_Md5Small(benchmark::State& state) {
+  const std::string input(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hashring::Md5::Hash(input));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5Small)->Arg(16)->Arg(64)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Md5HexDigest(benchmark::State& state) {
+  const std::string input = "token-4ee44627/data/Resistor5-secretkey";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hashring::Md5::HexDigest(input));
+  }
+}
+BENCHMARK(BM_Md5HexDigest);
+
+void BM_Md5Incremental(benchmark::State& state) {
+  const std::string chunk(1024, 'y');
+  for (auto _ : state) {
+    hashring::Md5 md5;
+    for (int i = 0; i < 64; ++i) md5.Update(chunk);
+    benchmark::DoNotOptimize(md5.Finalize());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          1024);
+}
+BENCHMARK(BM_Md5Incremental);
+
+void BM_UriSignature(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rest::ComputeSignature("tok123", "/data/Resistor5", "secret-key"));
+  }
+}
+BENCHMARK(BM_UriSignature);
+
+void BM_SignedUriVerify(benchmark::State& state) {
+  const std::string signature =
+      rest::ComputeSignature("tok123", "/data/Resistor5", "secret-key");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rest::VerifySignature("tok123", "/data/Resistor5", "secret-key",
+                              signature));
+  }
+}
+BENCHMARK(BM_SignedUriVerify);
+
+}  // namespace
+}  // namespace hotman

@@ -1,0 +1,109 @@
+// Microbenchmarks of the consistent-hash ring: key placement, preference
+// lists, ring construction, and the Eq. (1) vs Eq. (2) remap contrast that
+// motivates consistent hashing in the first place.
+
+#include <benchmark/benchmark.h>
+
+#include "hashring/ketama.h"
+#include "hashring/migration.h"
+#include "hashring/ring.h"
+
+namespace hotman::hashring {
+namespace {
+
+Ring MakeRing(int nodes, int vnodes) {
+  Ring ring;
+  for (int i = 0; i < nodes; ++i) {
+    benchmark::DoNotOptimize(ring.AddNode("db" + std::to_string(i), vnodes).ok());
+  }
+  return ring;
+}
+
+void BM_KetamaHash(benchmark::State& state) {
+  std::string key = "Resistor5";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KetamaHash(key));
+  }
+}
+BENCHMARK(BM_KetamaHash);
+
+void BM_PrimaryLookup(benchmark::State& state) {
+  Ring ring = MakeRing(static_cast<int>(state.range(0)), 128);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.PrimaryFor("key" + std::to_string(i++ % 1000)));
+  }
+}
+BENCHMARK(BM_PrimaryLookup)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_PreferenceList(benchmark::State& state) {
+  Ring ring = MakeRing(static_cast<int>(state.range(0)), 128);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ring.PreferenceList("key" + std::to_string(i++ % 1000), 3));
+  }
+}
+BENCHMARK(BM_PreferenceList)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_RingConstruction(benchmark::State& state) {
+  const int vnodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Ring ring = MakeRing(5, vnodes);
+    benchmark::DoNotOptimize(ring.NumVirtualNodes());
+  }
+}
+BENCHMARK(BM_RingConstruction)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_AddNodeToLiveRing(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Ring ring = MakeRing(5, 128);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ring.AddNode("fresh", 128).ok());
+  }
+}
+BENCHMARK(BM_AddNodeToLiveRing);
+
+void BM_MigrationPlan(benchmark::State& state) {
+  Ring before = MakeRing(static_cast<int>(state.range(0)), 128);
+  Ring after = MakeRing(static_cast<int>(state.range(0)), 128);
+  benchmark::DoNotOptimize(after.AddNode("fresh", 128).ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanMigration(before, after));
+  }
+}
+BENCHMARK(BM_MigrationPlan)->Arg(5)->Arg(20);
+
+void BM_ModNPlacementBaseline(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ModNPlacement("key" + std::to_string(i++ % 1000), 5));
+  }
+}
+BENCHMARK(BM_ModNPlacementBaseline);
+
+/// Not a timing benchmark: reports the remap fraction as counters so the
+/// Eq. (1)-vs-Eq. (2) contrast shows up in the benchmark output.
+void BM_RemapFractionOnNodeAdd(benchmark::State& state) {
+  Ring before = MakeRing(5, 128);
+  Ring after = MakeRing(5, 128);
+  benchmark::DoNotOptimize(after.AddNode("db5", 128).ok());
+  double ring_fraction = 0;
+  int modn_moved = 0;
+  const int keys = 2000;
+  for (auto _ : state) {
+    ring_fraction = MigratedFraction(PlanMigration(before, after));
+    modn_moved = 0;
+    for (int i = 0; i < keys; ++i) {
+      const std::string key = "key" + std::to_string(i);
+      if (ModNPlacement(key, 5) != ModNPlacement(key, 6)) ++modn_moved;
+    }
+  }
+  state.counters["consistent_remap_%"] = 100.0 * ring_fraction;
+  state.counters["modN_remap_%"] = 100.0 * modn_moved / keys;
+}
+BENCHMARK(BM_RemapFractionOnNodeAdd)->Iterations(1);
+
+}  // namespace
+}  // namespace hotman::hashring

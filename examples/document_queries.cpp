@@ -1,0 +1,132 @@
+// Document-query tour: the embedded MongoDB-like engine on its own — the
+// "complex query functions like relational databases" that distinguish
+// MyStore from plain key-value stores (Dynamo/Cassandra, §2). Shows CRUD,
+// rich filters, updates, secondary indexes and query plans.
+
+#include <cstdio>
+
+#include "bson/json.h"
+#include "common/clock.h"
+#include "docstore/database.h"
+#include "docstore/journal.h"
+
+using namespace hotman;        // NOLINT: example brevity
+using bson::Array;
+using bson::Document;
+using bson::Value;
+
+namespace {
+
+void Show(const char* label, const Result<std::vector<Document>>& docs) {
+  std::printf("%s\n", label);
+  if (!docs.ok()) {
+    std::printf("  error: %s\n", docs.status().ToString().c_str());
+    return;
+  }
+  for (const Document& doc : *docs) {
+    std::printf("  %s\n", bson::ToJson(doc).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  ManualClock clock(1357000000 * kMicrosPerSecond);
+  docstore::Database db("veepalms", /*machine_id=*/1, &clock);
+  docstore::Collection* components = db.GetCollection("components");
+
+  // --- insert experiment components -----------------------------------------
+  const struct {
+    const char* name;
+    const char* kind;
+    int pins;
+    double price;
+  } catalogue[] = {
+      {"Resistor5", "passive", 2, 0.10},   {"Capacitor10", "passive", 2, 0.25},
+      {"OpAmp741", "active", 8, 1.20},     {"Battery9V", "source", 2, 2.50},
+      {"Voltmeter", "instrument", 2, 9.99}, {"Oscilloscope", "instrument", 4, 89.0},
+  };
+  for (const auto& item : catalogue) {
+    Document doc;
+    doc.Append("name", Value(item.name));
+    doc.Append("kind", Value(item.kind));
+    doc.Append("pins", Value(std::int32_t{item.pins}));
+    doc.Append("price", Value(item.price));
+    doc.Append("tags", Value(Array{Value("circuit"), Value(item.kind)}));
+    (void)components->Insert(std::move(doc));
+  }
+  std::printf("inserted %zu components\n\n", components->NumDocuments());
+
+  // --- rich filters -----------------------------------------------------------
+  Document cheap_passives{{"kind", Value("passive")},
+                          {"price", Value(Document{{"$lt", Value(1.0)}})}};
+  Show("passive components under $1  {kind:'passive', price:{$lt:1}}:",
+       components->Find(cheap_passives));
+
+  Document many_pins{{"pins", Value(Document{{"$gte", Value(std::int32_t{4})}})}};
+  docstore::FindOptions by_price_desc;
+  by_price_desc.sort = Document{{"price", Value(std::int32_t{-1})}};
+  by_price_desc.projection =
+      Document{{"name", Value(std::int32_t{1})}, {"price", Value(std::int32_t{1})},
+               {"_id", Value(std::int32_t{0})}};
+  Show("\n>=4 pins, priciest first, projected {name, price}:",
+       components->Find(many_pins, by_price_desc));
+
+  Document regex{{"name", Value(Document{{"$regex", Value("^(Volt|Osc)")}})}};
+  Show("\nregex {name: /^(Volt|Osc)/}:", components->Find(regex));
+
+  Document in_list{{"kind", Value(Document{
+                       {"$in", Value(Array{Value("source"), Value("active")})}})}};
+  Show("\n$in over kinds:", components->Find(in_list));
+
+  // --- updates ----------------------------------------------------------------
+  Document raise{{"$mul", Value(Document{{"price", Value(1.1)}})},
+                 {"$push", Value(Document{{"tags", Value("price-updated")}})}};
+  docstore::UpdateOptions all;
+  all.multi = true;
+  auto updated = components->Update(Document{{"kind", Value("instrument")}},
+                                    raise, all);
+  std::printf("\n10%% price bump on instruments: %zu matched, %zu modified\n",
+              updated->matched, updated->modified);
+
+  // --- secondary index and query plans ----------------------------------------
+  std::printf("\nplan without index on kind : %s\n",
+              components->Explain(Document{{"kind", Value("passive")}})->ToString()
+                  .c_str());
+  (void)components->CreateIndex(docstore::IndexSpec{"kind", false});
+  std::printf("plan with index on kind    : %s\n",
+              components->Explain(Document{{"kind", Value("passive")}})->ToString()
+                  .c_str());
+  std::printf("plan for _id point lookup  : %s\n",
+              components
+                  ->Explain(Document{{"_id", Value(bson::ObjectId())}})
+                  ->ToString()
+                  .c_str());
+
+  // --- durability: journal + replay --------------------------------------------
+  const std::string journal_path = "/tmp/hotman_example_journal.log";
+  std::remove(journal_path.c_str());
+  {
+    auto journal = docstore::Journal::Open(journal_path);
+    if (journal.ok()) {
+      docstore::Database durable("durable", 2, &clock);
+      (void)(*journal)->Replay(&durable);
+      durable.AttachJournal(journal->get());
+      (void)durable.GetCollection("scenes")
+          ->Insert(Document{{"name", Value("circuit-lab")}});
+      (void)durable.GetCollection("scenes")
+          ->Insert(Document{{"name", Value("optics-bench")}});
+      std::printf("\njournal: appended %zu records to %s\n",
+                  (*journal)->NumAppended(), journal_path.c_str());
+    }
+  }
+  {
+    auto journal = docstore::Journal::Open(journal_path);
+    docstore::Database recovered("durable", 2, &clock);
+    (void)(*journal)->Replay(&recovered);
+    std::printf("journal: replay recovered %zu scenes after 'restart'\n",
+                recovered.GetCollection("scenes")->NumDocuments());
+  }
+  std::remove(journal_path.c_str());
+  return 0;
+}

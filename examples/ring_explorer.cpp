@@ -1,0 +1,110 @@
+// Ring explorer: a standalone look at the consistent-hashing substrate —
+// virtual-node balance, capacity-weighted placement (more powerful node =>
+// more virtual nodes), preference lists, and migration volume versus the
+// mod-N baseline of Eq. (2).
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "hashring/ketama.h"
+#include "hashring/migration.h"
+#include "hashring/ring.h"
+
+using namespace hotman;          // NOLINT: example brevity
+using namespace hotman::hashring;  // NOLINT
+
+namespace {
+
+std::map<NodeId, int> CountPrimaries(const Ring& ring, int keys) {
+  std::map<NodeId, int> counts;
+  for (int i = 0; i < keys; ++i) {
+    counts[*ring.PrimaryFor("object" + std::to_string(i))]++;
+  }
+  return counts;
+}
+
+void PrintShare(const Ring& ring, int keys) {
+  for (const auto& [node, count] : CountPrimaries(ring, keys)) {
+    const double share = 100.0 * count / keys;
+    std::printf("  %-8s %5d keys (%5.1f%%)  [vnodes=%d] ", node.c_str(), count,
+                share, ring.VnodeCount(node));
+    for (int bar = 0; bar < static_cast<int>(share); ++bar) std::printf("#");
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const int kKeys = 20000;
+
+  std::printf("== 1. virtual nodes fix small-cluster imbalance ==\n");
+  for (int vnodes : {1, 8, 64, 256}) {
+    Ring ring;
+    for (int i = 0; i < 4; ++i) {
+      (void)ring.AddNode("db" + std::to_string(i), vnodes);
+    }
+    auto counts = CountPrimaries(ring, kKeys);
+    int min = kKeys, max = 0;
+    for (const auto& [node, count] : counts) {
+      min = std::min(min, count);
+      max = std::max(max, count);
+    }
+    std::printf("  vnodes=%-4d  min/max key share = %5.1f%% / %5.1f%%\n", vnodes,
+                100.0 * min / kKeys, 100.0 * max / kKeys);
+  }
+
+  std::printf("\n== 2. capacity-weighted placement ==\n");
+  std::printf("  (\"more powerful means more virtual nodes\")\n");
+  Ring weighted;
+  (void)weighted.AddNode("big-box", 256);
+  (void)weighted.AddNode("mid-box", 128);
+  (void)weighted.AddNode("old-box", 64);
+  PrintShare(weighted, kKeys);
+
+  std::printf("\n== 3. preference list for a key ==\n");
+  Ring ring;
+  for (int i = 0; i < 5; ++i) (void)ring.AddNode("db" + std::to_string(i), 128);
+  const std::string key = "Resistor5";
+  std::printf("  key \"%s\" hashes to %#010x\n", key.c_str(), Ring::HashKey(key));
+  auto prefs = ring.PreferenceList(key, 3);
+  for (std::size_t i = 0; i < prefs.size(); ++i) {
+    std::printf("  replica %zu -> %s%s\n", i + 1, prefs[i].c_str(),
+                i == 0 ? "  (primary / coordinator)" : "");
+  }
+
+  std::printf("\n== 4. migration volume: consistent hashing vs mod-N ==\n");
+  Ring before;
+  for (int i = 0; i < 5; ++i) (void)before.AddNode("db" + std::to_string(i), 128);
+  Ring after;
+  for (int i = 0; i < 5; ++i) (void)after.AddNode("db" + std::to_string(i), 128);
+  (void)after.AddNode("db5", 128);
+  const double ring_fraction = MigratedFraction(PlanMigration(before, after));
+  int modn_moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string k = "object" + std::to_string(i);
+    if (ModNPlacement(k, 5) != ModNPlacement(k, 6)) ++modn_moved;
+  }
+  std::printf("  adding a 6th node:\n");
+  std::printf("    consistent hashing (Eq. 1) remaps %5.1f%% of the keyspace\n",
+              100.0 * ring_fraction);
+  std::printf("    hash mod N        (Eq. 2) remaps %5.1f%% of the keys\n",
+              100.0 * modn_moved / kKeys);
+  std::printf("    (ideal minimum: 1/6 = 16.7%%)\n");
+
+  std::printf("\n== 5. removal only affects neighbours ==\n");
+  auto before_owners = CountPrimaries(ring, kKeys);
+  Ring shrunk = ring;
+  (void)shrunk.RemoveNode("db2");
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string k = "object" + std::to_string(i);
+    if (*ring.PrimaryFor(k) != *shrunk.PrimaryFor(k)) ++moved;
+  }
+  std::printf("  removing db2 remapped %d/%d keys (%4.1f%%, exactly db2's share "
+              "of %4.1f%%)\n",
+              moved, kKeys, 100.0 * moved / kKeys,
+              100.0 * before_owners["db2"] / kKeys);
+  return 0;
+}

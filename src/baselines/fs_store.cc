@@ -1,0 +1,82 @@
+#include "baselines/fs_store.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace hotman::baselines {
+
+FsStore::FsStore(sim::EventLoop* loop, FsStoreConfig config)
+    : loop_(loop), station_(loop, config.service) {}
+
+void FsStore::GetAsync(const std::string& key, GetCb cb) {
+  // The callback is shared so a shed request can still be answered Busy.
+  auto shared_cb = std::make_shared<GetCb>(std::move(cb));
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    // A miss still costs a directory lookup; charge the base service time.
+    const bool admitted = station_.Submit(0, [shared_cb, key](Micros, Micros) {
+      (*shared_cb)(Status::NotFound("no file for key " + key));
+    });
+    if (!admitted) (*shared_cb)(Status::Busy("file server overloaded"));
+    return;
+  }
+  const std::string file = it->second;
+  auto file_it = files_.find(file);
+  if (file_it == files_.end()) {
+    (*shared_cb)(Status::Corruption("index points at missing file (index/data skew)"));
+    return;
+  }
+  const std::size_t size = file_it->second.size();
+  const bool admitted =
+      station_.Submit(size, [this, file, shared_cb](Micros, Micros) {
+        auto inner = files_.find(file);
+        if (inner == files_.end()) {
+          (*shared_cb)(Status::Corruption("file vanished during read"));
+          return;
+        }
+        (*shared_cb)(inner->second);
+      });
+  if (!admitted) (*shared_cb)(Status::Busy("file server overloaded"));
+}
+
+void FsStore::PutAsync(const std::string& key, Bytes value, MutateCb cb) {
+  auto shared_cb = std::make_shared<MutateCb>(std::move(cb));
+  const std::size_t size = value.size();
+  const bool admitted = station_.Submit(
+      size, [this, key, value = std::move(value), shared_cb](Micros,
+                                                             Micros) mutable {
+        const std::string file = "f" + std::to_string(next_file_++);
+        files_[file] = std::move(value);
+        auto existing = index_.find(key);
+        if (existing != index_.end()) files_.erase(existing->second);
+        if (existing == index_.end()) index_order_.push_back(key);
+        index_[key] = file;
+        (*shared_cb)(Status::OK());
+      });
+  if (!admitted) (*shared_cb)(Status::Busy("file server overloaded"));
+}
+
+void FsStore::DeleteAsync(const std::string& key, MutateCb cb) {
+  auto shared_cb = std::make_shared<MutateCb>(std::move(cb));
+  const bool admitted = station_.Submit(0, [this, key, shared_cb](Micros, Micros) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      (*shared_cb)(Status::NotFound("no file for key " + key));
+      return;
+    }
+    files_.erase(it->second);
+    index_.erase(it);
+    (*shared_cb)(Status::OK());
+  });
+  if (!admitted) (*shared_cb)(Status::Busy("file server overloaded"));
+}
+
+void FsStore::CrashIndexTail(std::size_t entries) {
+  // The last `entries` index insertions are lost; the files stay on disk.
+  while (entries-- > 0 && !index_order_.empty()) {
+    index_.erase(index_order_.back());
+    index_order_.pop_back();
+  }
+}
+
+}  // namespace hotman::baselines

@@ -1,0 +1,67 @@
+#ifndef HOTMAN_BASELINES_FS_STORE_H_
+#define HOTMAN_BASELINES_FS_STORE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "sim/event_loop.h"
+#include "sim/service_station.h"
+
+namespace hotman::baselines {
+
+/// Service model of a single ext3 file server.
+struct FsStoreConfig {
+  /// A spinning disk serializes seeks: effectively two concurrent ops.
+  sim::ServiceConfig service{
+      .workers = 2,
+      .base_service_micros = 8000,            // open + seek + close
+      .process_bytes_per_sec = 80.0e6,        // sequential read rate
+      .max_queue = 100000,
+  };
+};
+
+/// Baseline 1 (§1, §6.1): "storing unstructured data in a local file
+/// system, with maintaining an index table in memory."
+///
+/// One server, no replication, no cache tier; every request pays file-open
+/// and seek costs and the single disk serializes concurrency. The in-memory
+/// index maps key -> file, which is exactly the integrity weakness the
+/// paper cites (nothing keeps index and files transactionally consistent —
+/// Crash() demonstrates it by dropping index entries while keeping files).
+class FsStore {
+ public:
+  using GetCb = std::function<void(const Result<Bytes>&)>;
+  using MutateCb = std::function<void(const Status&)>;
+
+  FsStore(sim::EventLoop* loop, FsStoreConfig config = {});
+
+  void GetAsync(const std::string& key, GetCb cb);
+  void PutAsync(const std::string& key, Bytes value, MutateCb cb);
+  void DeleteAsync(const std::string& key, MutateCb cb);
+
+  /// Simulates a crash between file write and index update: the newest
+  /// `entries` index entries are lost while their "files" survive,
+  /// leaving orphans (the index/data inconsistency hazard).
+  void CrashIndexTail(std::size_t entries);
+
+  std::size_t NumFiles() const { return files_.size(); }
+  std::size_t NumIndexed() const { return index_.size(); }
+  std::size_t OrphanedFiles() const { return files_.size() - index_.size(); }
+  sim::ServiceStation* station() { return &station_; }
+
+ private:
+  sim::EventLoop* loop_;
+  sim::ServiceStation station_;
+  // index: key -> internal file name; files: file name -> contents.
+  std::unordered_map<std::string, std::string> index_;
+  std::unordered_map<std::string, Bytes> files_;
+  std::vector<std::string> index_order_;  // insertion order, for CrashIndexTail
+  std::uint64_t next_file_ = 1;
+};
+
+}  // namespace hotman::baselines
+
+#endif  // HOTMAN_BASELINES_FS_STORE_H_

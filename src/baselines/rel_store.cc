@@ -1,0 +1,84 @@
+#include "baselines/rel_store.h"
+
+#include <memory>
+
+namespace hotman::baselines {
+
+RelStore::RelStore(sim::EventLoop* loop, RelStoreConfig config)
+    : loop_(loop), config_(config) {
+  stations_.push_back(
+      std::make_unique<sim::ServiceStation>(loop, config_.master_service));
+  for (int i = 0; i < config_.slaves; ++i) {
+    stations_.push_back(
+        std::make_unique<sim::ServiceStation>(loop, config_.master_service));
+    slave_tables_.emplace_back();
+  }
+}
+
+RelStore::~RelStore() = default;
+
+void RelStore::GetAsync(const std::string& key, GetCb cb) {
+  // The callback is shared so a shed request can still be answered Busy.
+  auto shared_cb = std::make_shared<GetCb>(std::move(cb));
+  // Round-robin read spreading over master + slaves.
+  const std::size_t index = rr_next_++ % stations_.size();
+  const Table& table = index == 0 ? master_table_ : slave_tables_[index - 1];
+  auto it = table.find(key);
+  const std::size_t size = it == table.end() ? 0 : it->second.size();
+  const bool admitted =
+      SubmitTo(index, size, [this, index, key, shared_cb]() {
+        const Table& t = index == 0 ? master_table_ : slave_tables_[index - 1];
+        auto inner = t.find(key);
+        if (inner == t.end()) {
+          (*shared_cb)(Status::NotFound("no row for key " + key));
+          return;
+        }
+        (*shared_cb)(inner->second);
+      });
+  if (!admitted) (*shared_cb)(Status::Busy("database overloaded"));
+}
+
+void RelStore::PutAsync(const std::string& key, Bytes value, MutateCb cb) {
+  if (master_down_) {
+    cb(Status::Unavailable("MySQL master is down; writes unavailable"));
+    return;
+  }
+  auto shared_cb = std::make_shared<MutateCb>(std::move(cb));
+  const std::size_t size = value.size();
+  const bool admitted = SubmitTo(
+      0, size, [this, key, value = std::move(value), shared_cb]() mutable {
+        master_table_[key] = value;
+        // Asynchronous replication: each slave applies after the lag.
+        for (std::size_t i = 0; i < slave_tables_.size(); ++i) {
+          loop_->Schedule(config_.replication_lag * static_cast<Micros>(i + 1),
+                          [this, i, key, value]() { slave_tables_[i][key] = value; });
+        }
+        (*shared_cb)(Status::OK());
+      });
+  if (!admitted) (*shared_cb)(Status::Busy("database overloaded"));
+}
+
+void RelStore::DeleteAsync(const std::string& key, MutateCb cb) {
+  if (master_down_) {
+    cb(Status::Unavailable("MySQL master is down; writes unavailable"));
+    return;
+  }
+  auto shared_cb = std::make_shared<MutateCb>(std::move(cb));
+  const bool admitted = SubmitTo(0, 0, [this, key, shared_cb]() {
+    master_table_.erase(key);
+    for (std::size_t i = 0; i < slave_tables_.size(); ++i) {
+      loop_->Schedule(config_.replication_lag * static_cast<Micros>(i + 1),
+                      [this, i, key]() { slave_tables_[i].erase(key); });
+    }
+    (*shared_cb)(Status::OK());
+  });
+  if (!admitted) (*shared_cb)(Status::Busy("database overloaded"));
+}
+
+bool RelStore::SubmitTo(std::size_t index, std::size_t bytes,
+                        std::function<void()> fn) {
+  return stations_[index]->Submit(bytes,
+                                  [fn = std::move(fn)](Micros, Micros) { fn(); });
+}
+
+}  // namespace hotman::baselines

@@ -1,0 +1,78 @@
+#ifndef HOTMAN_BASELINES_REL_STORE_H_
+#define HOTMAN_BASELINES_REL_STORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "sim/event_loop.h"
+#include "sim/service_station.h"
+
+namespace hotman::baselines {
+
+/// Service model of the relational BLOB server.
+struct RelStoreConfig {
+  /// The master handles all writes; table-level locking on BLOB roll-in/
+  /// roll-out limits effective concurrency.
+  sim::ServiceConfig master_service{
+      .workers = 4,
+      .base_service_micros = 2500,       // parse + plan + B-tree + row assembly
+      .process_bytes_per_sec = 45.0e6,   // BLOB (de)serialization rate
+      .max_queue = 100000,
+  };
+  int slaves = 2;
+  /// Asynchronous replication delay to each slave.
+  Micros replication_lag = 50 * kMicrosPerMilli;
+};
+
+/// Baseline 2 (§1, §6.1): "storing unstructured data in a relational
+/// database system, always represented as BLOB field" in a master/slave
+/// MySQL deployment.
+///
+/// Reads are spread round-robin across master + slaves (each a station of
+/// its own); writes all go to the master and replicate asynchronously, so
+/// a slave read inside the replication window returns stale/missing data,
+/// and a master outage stops all writes — the availability weaknesses the
+/// paper's comparison exposes.
+class RelStore {
+ public:
+  using GetCb = std::function<void(const Result<Bytes>&)>;
+  using MutateCb = std::function<void(const Status&)>;
+
+  RelStore(sim::EventLoop* loop, RelStoreConfig config = {});
+  ~RelStore();
+
+  void GetAsync(const std::string& key, GetCb cb);
+  void PutAsync(const std::string& key, Bytes value, MutateCb cb);
+  void DeleteAsync(const std::string& key, MutateCb cb);
+
+  /// Takes the master down / up (writes fail while down).
+  void SetMasterDown(bool down) { master_down_ = down; }
+  bool master_down() const { return master_down_; }
+
+  std::size_t NumRows() const { return master_table_.size(); }
+  sim::ServiceStation* master_station() { return stations_[0].get(); }
+
+ private:
+  /// A "table": B-tree (std::map) from key to BLOB.
+  using Table = std::map<std::string, Bytes>;
+
+  /// Submits work to station `index`; false when shed.
+  bool SubmitTo(std::size_t index, std::size_t bytes, std::function<void()> fn);
+
+  sim::EventLoop* loop_;
+  RelStoreConfig config_;
+  std::vector<std::unique_ptr<sim::ServiceStation>> stations_;  // [0]=master
+  Table master_table_;
+  std::vector<Table> slave_tables_;
+  std::size_t rr_next_ = 0;
+  bool master_down_ = false;
+};
+
+}  // namespace hotman::baselines
+
+#endif  // HOTMAN_BASELINES_REL_STORE_H_

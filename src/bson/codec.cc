@@ -1,0 +1,349 @@
+#include "bson/codec.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace hotman::bson {
+
+namespace {
+
+void EncodeValue(const Value& value, std::string* out);
+
+void EncodeDocumentBody(const Document& doc, std::string* out) {
+  const std::size_t size_pos = out->size();
+  PutFixed32(out, 0);  // placeholder for total size
+  for (const Field& f : doc) {
+    out->push_back(static_cast<char>(f.value.type()));
+    out->append(f.name);
+    out->push_back('\0');
+    EncodeValue(f.value, out);
+  }
+  out->push_back('\0');
+  const auto total = static_cast<std::uint32_t>(out->size() - size_pos);
+  (*out)[size_pos] = static_cast<char>(total & 0xFF);
+  (*out)[size_pos + 1] = static_cast<char>((total >> 8) & 0xFF);
+  (*out)[size_pos + 2] = static_cast<char>((total >> 16) & 0xFF);
+  (*out)[size_pos + 3] = static_cast<char>((total >> 24) & 0xFF);
+}
+
+void EncodeArrayBody(const Array& array, std::string* out) {
+  // BSON arrays are documents with decimal-string keys "0", "1", ...
+  Document doc;
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    doc.Append(std::to_string(i), array[i]);
+  }
+  EncodeDocumentBody(doc, out);
+}
+
+void EncodeValue(const Value& value, std::string* out) {
+  switch (value.type()) {
+    case Type::kDouble: {
+      double d = value.as_double();
+      std::uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutFixed64(out, bits);
+      return;
+    }
+    case Type::kString: {
+      const std::string& s = value.as_string();
+      PutFixed32(out, static_cast<std::uint32_t>(s.size() + 1));
+      out->append(s);
+      out->push_back('\0');
+      return;
+    }
+    case Type::kDocument:
+      EncodeDocumentBody(value.as_document(), out);
+      return;
+    case Type::kArray:
+      EncodeArrayBody(value.as_array(), out);
+      return;
+    case Type::kBinary: {
+      const Binary& b = value.as_binary();
+      PutFixed32(out, static_cast<std::uint32_t>(b.data().size()));
+      out->push_back(static_cast<char>(b.subtype()));
+      out->append(reinterpret_cast<const char*>(b.data().data()), b.data().size());
+      return;
+    }
+    case Type::kObjectId: {
+      const ObjectId id = value.as_object_id();
+      out->append(reinterpret_cast<const char*>(id.bytes().data()),
+                  id.bytes().size());
+      return;
+    }
+    case Type::kBool:
+      out->push_back(value.as_bool() ? '\x01' : '\x00');
+      return;
+    case Type::kDateTime:
+      PutFixed64(out, static_cast<std::uint64_t>(value.as_datetime().millis));
+      return;
+    case Type::kNull:
+      return;  // no payload
+    case Type::kInt32:
+      PutFixed32(out, static_cast<std::uint32_t>(value.as_int32()));
+      return;
+    case Type::kInt64:
+      PutFixed64(out, static_cast<std::uint64_t>(value.as_int64()));
+      return;
+  }
+}
+
+/// Bounded cursor over the input bytes; every Read* checks remaining size.
+class Reader {
+ public:
+  explicit Reader(std::string_view data)
+      : p_(reinterpret_cast<const std::uint8_t*>(data.data())), n_(data.size()) {}
+
+  std::size_t remaining() const { return n_ - pos_; }
+
+  bool ReadByte(std::uint8_t* out) {
+    if (remaining() < 1) return false;
+    *out = p_[pos_++];
+    return true;
+  }
+
+  bool ReadFixed32(std::uint32_t* out) {
+    if (remaining() < 4) return false;
+    *out = GetFixed32(p_ + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadFixed64(std::uint64_t* out) {
+    if (remaining() < 8) return false;
+    *out = GetFixed64(p_ + pos_);
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadCString(std::string* out) {
+    const std::size_t start = pos_;
+    while (pos_ < n_ && p_[pos_] != 0) ++pos_;
+    if (pos_ >= n_) return false;  // missing terminator
+    out->assign(reinterpret_cast<const char*>(p_ + start), pos_ - start);
+    ++pos_;  // skip NUL
+    return true;
+  }
+
+  bool ReadRaw(std::size_t len, const std::uint8_t** out) {
+    if (remaining() < len) return false;
+    *out = p_ + pos_;
+    pos_ += len;
+    return true;
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
+constexpr int kMaxDepth = 64;
+
+Status DecodeDocumentBody(Reader* r, Document* doc, int depth);
+
+Status DecodeValue(Type type, Reader* r, Value* out, int depth) {
+  switch (type) {
+    case Type::kDouble: {
+      std::uint64_t bits;
+      if (!r->ReadFixed64(&bits)) return Status::Corruption("truncated double");
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value(d);
+      return Status::OK();
+    }
+    case Type::kString: {
+      std::uint32_t len;
+      if (!r->ReadFixed32(&len)) return Status::Corruption("truncated string length");
+      if (len == 0 || len > r->remaining()) {
+        return Status::Corruption("bad string length");
+      }
+      const std::uint8_t* raw;
+      if (!r->ReadRaw(len, &raw)) return Status::Corruption("truncated string");
+      if (raw[len - 1] != 0) return Status::Corruption("string missing terminator");
+      *out = Value(std::string(reinterpret_cast<const char*>(raw), len - 1));
+      return Status::OK();
+    }
+    case Type::kDocument: {
+      Document nested;
+      HOTMAN_RETURN_IF_ERROR(DecodeDocumentBody(r, &nested, depth + 1));
+      *out = Value(std::move(nested));
+      return Status::OK();
+    }
+    case Type::kArray: {
+      Document nested;
+      HOTMAN_RETURN_IF_ERROR(DecodeDocumentBody(r, &nested, depth + 1));
+      Array arr;
+      arr.reserve(nested.size());
+      for (const Field& f : nested) arr.push_back(f.value);
+      *out = Value(std::move(arr));
+      return Status::OK();
+    }
+    case Type::kBinary: {
+      std::uint32_t len;
+      if (!r->ReadFixed32(&len)) return Status::Corruption("truncated binary length");
+      std::uint8_t subtype;
+      if (!r->ReadByte(&subtype)) return Status::Corruption("truncated binary subtype");
+      if (len > r->remaining()) return Status::Corruption("bad binary length");
+      const std::uint8_t* raw;
+      if (!r->ReadRaw(len, &raw)) return Status::Corruption("truncated binary");
+      *out = Value(Binary(Bytes(raw, raw + len), subtype));
+      return Status::OK();
+    }
+    case Type::kObjectId: {
+      const std::uint8_t* raw;
+      if (!r->ReadRaw(ObjectId::kSize, &raw)) {
+        return Status::Corruption("truncated objectId");
+      }
+      std::array<std::uint8_t, ObjectId::kSize> bytes;
+      std::memcpy(bytes.data(), raw, ObjectId::kSize);
+      *out = Value(ObjectId(bytes));
+      return Status::OK();
+    }
+    case Type::kBool: {
+      std::uint8_t b;
+      if (!r->ReadByte(&b)) return Status::Corruption("truncated bool");
+      if (b > 1) return Status::Corruption("bad bool byte");
+      *out = Value(b == 1);
+      return Status::OK();
+    }
+    case Type::kDateTime: {
+      std::uint64_t bits;
+      if (!r->ReadFixed64(&bits)) return Status::Corruption("truncated datetime");
+      *out = Value(DateTime{static_cast<std::int64_t>(bits)});
+      return Status::OK();
+    }
+    case Type::kNull:
+      *out = Value();
+      return Status::OK();
+    case Type::kInt32: {
+      std::uint32_t bits;
+      if (!r->ReadFixed32(&bits)) return Status::Corruption("truncated int32");
+      *out = Value(static_cast<std::int32_t>(bits));
+      return Status::OK();
+    }
+    case Type::kInt64: {
+      std::uint64_t bits;
+      if (!r->ReadFixed64(&bits)) return Status::Corruption("truncated int64");
+      *out = Value(static_cast<std::int64_t>(bits));
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown element type");
+}
+
+Status DecodeDocumentBody(Reader* r, Document* doc, int depth) {
+  if (depth > kMaxDepth) return Status::Corruption("document nesting too deep");
+  std::uint32_t total;
+  const std::size_t start = r->pos();
+  if (!r->ReadFixed32(&total)) return Status::Corruption("truncated document size");
+  // `total` counts the 4 size bytes already consumed; the body must fit in
+  // what remains.
+  if (total < 5 || static_cast<std::size_t>(total - 4) > r->remaining()) {
+    return Status::Corruption("bad document size");
+  }
+  const std::size_t end = start + total;
+  for (;;) {
+    if (r->pos() >= end) return Status::Corruption("document ran past its size");
+    std::uint8_t tag;
+    if (!r->ReadByte(&tag)) return Status::Corruption("truncated element tag");
+    if (tag == 0) {
+      if (r->pos() != end) return Status::Corruption("document size mismatch");
+      return Status::OK();
+    }
+    switch (tag) {
+      case 0x01:
+      case 0x02:
+      case 0x03:
+      case 0x04:
+      case 0x05:
+      case 0x07:
+      case 0x08:
+      case 0x09:
+      case 0x0A:
+      case 0x10:
+      case 0x12:
+        break;
+      default:
+        return Status::Corruption("unsupported element type");
+    }
+    std::string name;
+    if (!r->ReadCString(&name)) return Status::Corruption("truncated element name");
+    Value value;
+    HOTMAN_RETURN_IF_ERROR(DecodeValue(static_cast<Type>(tag), r, &value, depth));
+    if (r->pos() > end) return Status::Corruption("element ran past document size");
+    doc->Append(name, std::move(value));
+  }
+}
+
+}  // namespace
+
+void Encode(const Document& doc, std::string* out) { EncodeDocumentBody(doc, out); }
+
+std::string EncodeToString(const Document& doc) {
+  std::string out;
+  Encode(doc, &out);
+  return out;
+}
+
+Status Decode(std::string_view data, Document* doc) {
+  doc->clear();
+  Reader r(data);
+  HOTMAN_RETURN_IF_ERROR(DecodeDocumentBody(&r, doc, 0));
+  if (r.remaining() != 0) return Status::Corruption("trailing bytes after document");
+  return Status::OK();
+}
+
+namespace {
+
+std::size_t ValueSize(const Value& value);
+
+std::size_t DocumentBodySize(const Document& doc) {
+  std::size_t size = 4 + 1;  // int32 length prefix + trailing NUL
+  for (const Field& f : doc) {
+    size += 1 + f.name.size() + 1 + ValueSize(f.value);
+  }
+  return size;
+}
+
+std::size_t ValueSize(const Value& value) {
+  switch (value.type()) {
+    case Type::kDouble:
+    case Type::kDateTime:
+    case Type::kInt64:
+      return 8;
+    case Type::kString:
+      return 4 + value.as_string().size() + 1;
+    case Type::kDocument:
+      return DocumentBodySize(value.as_document());
+    case Type::kArray: {
+      // Arrays encode as documents keyed "0","1",...; compute without
+      // materializing the key strings.
+      std::size_t size = 4 + 1;
+      std::size_t index = 0;
+      for (const Value& v : value.as_array()) {
+        size += 1 + std::to_string(index++).size() + 1 + ValueSize(v);
+      }
+      return size;
+    }
+    case Type::kBinary:
+      return 4 + 1 + value.as_binary().data().size();
+    case Type::kObjectId:
+      return ObjectId::kSize;
+    case Type::kBool:
+      return 1;
+    case Type::kNull:
+      return 0;
+    case Type::kInt32:
+      return 4;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t EncodedSize(const Document& doc) { return DocumentBodySize(doc); }
+
+}  // namespace hotman::bson

@@ -1,0 +1,30 @@
+#ifndef HOTMAN_BSON_CODEC_H_
+#define HOTMAN_BSON_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "bson/document.h"
+#include "common/status.h"
+
+namespace hotman::bson {
+
+/// Serializes `doc` in the BSON wire format (little-endian int32 total size,
+/// tagged elements, trailing NUL) and appends it to `*out`.
+void Encode(const Document& doc, std::string* out);
+
+/// Convenience: returns the encoded bytes.
+std::string EncodeToString(const Document& doc);
+
+/// Parses one BSON document occupying exactly `data`; rejects truncated,
+/// oversized, or malformed input with Status::Corruption. The decoder is
+/// hardened against hostile bytes (it never reads out of bounds), which the
+/// fuzz-style property tests exercise.
+Status Decode(std::string_view data, Document* doc);
+
+/// Size in bytes Encode() would produce for `doc`.
+std::size_t EncodedSize(const Document& doc);
+
+}  // namespace hotman::bson
+
+#endif  // HOTMAN_BSON_CODEC_H_

@@ -1,0 +1,76 @@
+#include "bson/document.h"
+
+namespace hotman::bson {
+
+namespace {
+const Value& SharedNull() {
+  static const Value* null_value = new Value();
+  return *null_value;
+}
+}  // namespace
+
+Document::Document(std::initializer_list<Field> fields) {
+  fields_.reserve(fields.size());
+  for (const Field& f : fields) Set(f.name, f.value);
+}
+
+Document& Document::Set(std::string_view name, Value value) {
+  for (Field& f : fields_) {
+    if (f.name == name) {
+      f.value = std::move(value);
+      return *this;
+    }
+  }
+  fields_.push_back(Field{std::string(name), std::move(value)});
+  return *this;
+}
+
+Document& Document::Append(std::string_view name, Value value) {
+  fields_.push_back(Field{std::string(name), std::move(value)});
+  return *this;
+}
+
+const Value* Document::Get(std::string_view name) const {
+  for (const Field& f : fields_) {
+    if (f.name == name) return &f.value;
+  }
+  return nullptr;
+}
+
+Value* Document::GetMutable(std::string_view name) {
+  for (Field& f : fields_) {
+    if (f.name == name) return &f.value;
+  }
+  return nullptr;
+}
+
+const Value& Document::GetOrNull(std::string_view name) const {
+  const Value* v = Get(name);
+  return v != nullptr ? *v : SharedNull();
+}
+
+bool Document::Remove(std::string_view name) {
+  for (auto it = fields_.begin(); it != fields_.end(); ++it) {
+    if (it->name == name) {
+      fields_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+int Document::Compare(const Document& other) const {
+  const std::size_t n = std::min(fields_.size(), other.fields_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (int c = fields_[i].name.compare(other.fields_[i].name); c != 0) {
+      return c < 0 ? -1 : 1;
+    }
+    if (int c = fields_[i].value.Compare(other.fields_[i].value); c != 0) return c;
+  }
+  if (fields_.size() != other.fields_.size()) {
+    return fields_.size() < other.fields_.size() ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace hotman::bson

@@ -1,0 +1,83 @@
+#ifndef HOTMAN_BSON_DOCUMENT_H_
+#define HOTMAN_BSON_DOCUMENT_H_
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bson/value.h"
+
+namespace hotman::bson {
+
+/// One named element of a document.
+struct Field {
+  std::string name;
+  Value value;
+};
+
+/// An ordered BSON document: a sequence of named values. Field order is
+/// preserved (it is significant for BSON comparison and encoding); lookups
+/// are linear, which is the right trade-off for the small documents the
+/// record schema uses ({_id, self-key, val, isData, isDel}).
+class Document {
+ public:
+  Document() = default;
+
+  /// Brace construction: Document{{"a", 1}, {"b", "x"}}.
+  Document(std::initializer_list<Field> fields);
+
+  Document(const Document&) = default;
+  Document& operator=(const Document&) = default;
+  Document(Document&&) noexcept = default;
+  Document& operator=(Document&&) noexcept = default;
+
+  /// Appends or replaces the field `name` (replace keeps its position).
+  /// Returns *this for fluent building.
+  Document& Set(std::string_view name, Value value);
+
+  /// Appends `name` without checking for duplicates (encoder fast path;
+  /// callers must guarantee uniqueness).
+  Document& Append(std::string_view name, Value value);
+
+  /// Field value, or nullptr when absent.
+  const Value* Get(std::string_view name) const;
+  Value* GetMutable(std::string_view name);
+
+  /// Field value or a shared null constant when absent (never nullptr).
+  const Value& GetOrNull(std::string_view name) const;
+
+  bool Has(std::string_view name) const { return Get(name) != nullptr; }
+
+  /// Removes the field; returns true if it was present.
+  bool Remove(std::string_view name);
+
+  std::size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+  void clear() { fields_.clear(); }
+
+  const Field& field(std::size_t i) const { return fields_[i]; }
+  Field& field(std::size_t i) { return fields_[i]; }
+
+  std::vector<Field>::const_iterator begin() const { return fields_.begin(); }
+  std::vector<Field>::const_iterator end() const { return fields_.end(); }
+
+  /// Field-order-sensitive comparison: lexicographic over (name, value)
+  /// pairs, shorter document first on common prefix.
+  int Compare(const Document& other) const;
+
+  friend bool operator==(const Document& a, const Document& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Document& a, const Document& b) {
+    return a.Compare(b) != 0;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace hotman::bson
+
+#endif  // HOTMAN_BSON_DOCUMENT_H_

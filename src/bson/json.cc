@@ -1,0 +1,137 @@
+#include "bson/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/bytes.h"
+
+namespace hotman::bson {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendValue(const Value& value, std::string* out);
+
+void AppendDocument(const Document& doc, std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  for (const Field& f : doc) {
+    if (!first) out->append(", ");
+    first = false;
+    AppendEscaped(f.name, out);
+    out->append(" : ");
+    AppendValue(f.value, out);
+  }
+  out->push_back('}');
+}
+
+void AppendValue(const Value& value, std::string* out) {
+  switch (value.type()) {
+    case Type::kDouble: {
+      double d = value.as_double();
+      if (std::isfinite(d)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        out->append(buf);
+      } else {
+        out->append(std::isnan(d) ? "NaN" : (d > 0 ? "Infinity" : "-Infinity"));
+      }
+      return;
+    }
+    case Type::kString:
+      AppendEscaped(value.as_string(), out);
+      return;
+    case Type::kDocument:
+      AppendDocument(value.as_document(), out);
+      return;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Value& v : value.as_array()) {
+        if (!first) out->append(", ");
+        first = false;
+        AppendValue(v, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Type::kBinary: {
+      const Binary& b = value.as_binary();
+      out->append("BinData(");
+      out->append(std::to_string(b.subtype()));
+      out->append(", \"");
+      out->append(Base64Encode(b.data()));
+      out->append("\")");
+      return;
+    }
+    case Type::kObjectId:
+      out->append("ObjectId(\"");
+      out->append(value.as_object_id().ToHex());
+      out->append("\")");
+      return;
+    case Type::kBool:
+      out->append(value.as_bool() ? "true" : "false");
+      return;
+    case Type::kDateTime:
+      out->append("Date(");
+      out->append(std::to_string(value.as_datetime().millis));
+      out->append(")");
+      return;
+    case Type::kNull:
+      out->append("null");
+      return;
+    case Type::kInt32:
+      out->append(std::to_string(value.as_int32()));
+      return;
+    case Type::kInt64:
+      out->append(std::to_string(value.as_int64()));
+      return;
+  }
+}
+
+}  // namespace
+
+std::string ToJson(const Document& doc) {
+  std::string out;
+  AppendDocument(doc, &out);
+  return out;
+}
+
+std::string ToJson(const Value& value) {
+  std::string out;
+  AppendValue(value, &out);
+  return out;
+}
+
+}  // namespace hotman::bson

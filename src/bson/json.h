@@ -1,0 +1,22 @@
+#ifndef HOTMAN_BSON_JSON_H_
+#define HOTMAN_BSON_JSON_H_
+
+#include <string>
+
+#include "bson/document.h"
+
+namespace hotman::bson {
+
+/// Renders `doc` in MongoDB extended-JSON style, matching the paper's
+/// record example:
+///   {"_id" : ObjectId("4ee44627..."), "val" : BinData(0, "dGhpcy..."), ...}
+/// Binary payloads are base64-encoded; this is a debugging/printing format,
+/// not a parseable interchange format.
+std::string ToJson(const Document& doc);
+
+/// Renders a single value in the same style.
+std::string ToJson(const Value& value);
+
+}  // namespace hotman::bson
+
+#endif  // HOTMAN_BSON_JSON_H_

@@ -1,0 +1,58 @@
+#include "bson/object_id.h"
+
+#include "common/bytes.h"
+
+namespace hotman::bson {
+
+ObjectId ObjectId::FromHex(std::string_view hex, bool* ok) {
+  Bytes raw;
+  if (hex.size() != kSize * 2 || !HexDecode(hex, &raw)) {
+    if (ok != nullptr) *ok = false;
+    return ObjectId();
+  }
+  std::array<std::uint8_t, kSize> bytes{};
+  for (std::size_t i = 0; i < kSize; ++i) bytes[i] = raw[i];
+  if (ok != nullptr) *ok = true;
+  return ObjectId(bytes);
+}
+
+std::uint32_t ObjectId::timestamp_seconds() const {
+  return (static_cast<std::uint32_t>(bytes_[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes_[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[2]) << 8) |
+         static_cast<std::uint32_t>(bytes_[3]);
+}
+
+std::string ObjectId::ToHex() const { return HexEncode(bytes_.data(), bytes_.size()); }
+
+bool ObjectId::is_zero() const {
+  for (auto b : bytes_) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+ObjectIdGenerator::ObjectIdGenerator(std::uint64_t machine_id, const Clock* clock)
+    : clock_(clock) {
+  for (int i = 0; i < 5; ++i) {
+    machine_[i] = static_cast<std::uint8_t>((machine_id >> (8 * (4 - i))) & 0xFF);
+  }
+}
+
+ObjectId ObjectIdGenerator::Next() {
+  std::array<std::uint8_t, ObjectId::kSize> bytes{};
+  const auto seconds =
+      static_cast<std::uint32_t>(clock_->NowMicros() / kMicrosPerSecond);
+  bytes[0] = static_cast<std::uint8_t>((seconds >> 24) & 0xFF);
+  bytes[1] = static_cast<std::uint8_t>((seconds >> 16) & 0xFF);
+  bytes[2] = static_cast<std::uint8_t>((seconds >> 8) & 0xFF);
+  bytes[3] = static_cast<std::uint8_t>(seconds & 0xFF);
+  for (int i = 0; i < 5; ++i) bytes[4 + i] = machine_[i];
+  const std::uint32_t c = counter_++;
+  bytes[9] = static_cast<std::uint8_t>((c >> 16) & 0xFF);
+  bytes[10] = static_cast<std::uint8_t>((c >> 8) & 0xFF);
+  bytes[11] = static_cast<std::uint8_t>(c & 0xFF);
+  return ObjectId(bytes);
+}
+
+}  // namespace hotman::bson

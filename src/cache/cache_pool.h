@@ -1,0 +1,44 @@
+#ifndef HOTMAN_CACHE_CACHE_POOL_H_
+#define HOTMAN_CACHE_CACHE_POOL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/lru_cache.h"
+
+namespace hotman::cache {
+
+/// The cache module of Fig. 1: "an independent memory cache system
+/// consisting of several cache servers, which are responsible for
+/// different partitions of data resources. Their load balances are based
+/// on the hash of resources' keys."
+class CachePool {
+ public:
+  /// `servers` cache servers of `capacity_bytes_each` (the paper deploys
+  /// four servers with 1 GB each).
+  CachePool(int servers, std::size_t capacity_bytes_each);
+
+  /// The server responsible for `key` (key-hash partitioning).
+  LruCache* ServerFor(const std::string& key);
+
+  /// Pool-wide operations routed to the owning server.
+  bool Put(const std::string& key, Bytes value);
+  bool Get(const std::string& key, Bytes* value);
+  bool Erase(const std::string& key);
+  void Clear();
+
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  LruCache* server(int i) { return servers_[i].get(); }
+
+  std::uint64_t TotalHits() const;
+  std::uint64_t TotalMisses() const;
+  double HitRate() const;
+
+ private:
+  std::vector<std::unique_ptr<LruCache>> servers_;
+};
+
+}  // namespace hotman::cache
+
+#endif  // HOTMAN_CACHE_CACHE_POOL_H_

@@ -1,0 +1,73 @@
+#include "cache/lru_cache.h"
+
+namespace hotman::cache {
+
+namespace {
+
+std::size_t EntryBytes(const std::string& key, const Bytes& value) {
+  return key.size() + value.size();
+}
+
+}  // namespace
+
+LruCache::LruCache(std::size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+void LruCache::EvictUntilFits(std::size_t incoming) {
+  while (!lru_.empty() && used_bytes_ + incoming > capacity_bytes_) {
+    const Entry& victim = lru_.back();
+    used_bytes_ -= EntryBytes(victim.key, victim.value);
+    items_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+bool LruCache::Put(const std::string& key, Bytes value) {
+  const std::size_t incoming = EntryBytes(key, value);
+  if (incoming > capacity_bytes_) return false;
+  auto it = items_.find(key);
+  if (it != items_.end()) {
+    used_bytes_ -= EntryBytes(it->second->key, it->second->value);
+    lru_.erase(it->second);
+    items_.erase(it);
+  }
+  EvictUntilFits(incoming);
+  lru_.push_front(Entry{key, std::move(value)});
+  items_.emplace(key, lru_.begin());
+  used_bytes_ += incoming;
+  return true;
+}
+
+bool LruCache::Get(const std::string& key, Bytes* value) {
+  auto it = items_.find(key);
+  if (it == items_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  // Promote to most-recently-used.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (value != nullptr) *value = it->second->value;
+  return true;
+}
+
+bool LruCache::Contains(const std::string& key) const {
+  return items_.count(key) > 0;
+}
+
+bool LruCache::Erase(const std::string& key) {
+  auto it = items_.find(key);
+  if (it == items_.end()) return false;
+  used_bytes_ -= EntryBytes(it->second->key, it->second->value);
+  lru_.erase(it->second);
+  items_.erase(it);
+  return true;
+}
+
+void LruCache::Clear() {
+  lru_.clear();
+  items_.clear();
+  used_bytes_ = 0;
+}
+
+}  // namespace hotman::cache

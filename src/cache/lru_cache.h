@@ -1,0 +1,69 @@
+#ifndef HOTMAN_CACHE_LRU_CACHE_H_
+#define HOTMAN_CACHE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+
+namespace hotman::cache {
+
+/// One cache server: an in-memory {key: value} store with LRU age-out
+/// bounded by a byte budget (§4: "unstructured data items in cache are
+/// stored in {key: value} format using LRU algorithm for age-out"; the
+/// paper's deployment gives each cache server 1 GB).
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity_bytes);
+
+  /// Inserts or refreshes `key`. Values larger than the whole cache are
+  /// rejected (returns false) rather than evicting everything.
+  bool Put(const std::string& key, Bytes value);
+
+  /// Fetches and promotes `key`; false on miss.
+  bool Get(const std::string& key, Bytes* value);
+
+  /// True without promoting (introspection only).
+  bool Contains(const std::string& key) const;
+
+  /// Removes `key` (DELETE invalidation path); false when absent.
+  bool Erase(const std::string& key);
+
+  void Clear();
+
+  std::size_t size_bytes() const { return used_bytes_; }
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+  std::size_t item_count() const { return items_.size(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  double HitRate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    Bytes value;
+  };
+
+  void EvictUntilFits(std::size_t incoming);
+
+  std::size_t capacity_bytes_;
+  std::size_t used_bytes_ = 0;
+  // Most-recently-used at the front.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> items_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace hotman::cache
+
+#endif  // HOTMAN_CACHE_LRU_CACHE_H_

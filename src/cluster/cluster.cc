@@ -1,0 +1,274 @@
+#include "cluster/cluster.h"
+
+#include "core/record.h"
+#include "hashring/ketama.h"
+
+namespace hotman::cluster {
+
+namespace {
+
+/// Virtual time granted for a blocking operation before giving up.
+constexpr Micros kSyncOpBudget = 30 * kMicrosPerSecond;
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config, std::uint64_t seed,
+                 sim::FailureConfig failure_config)
+    : config_(std::move(config)),
+      loop_(),
+      network_(&loop_, config_.network, seed ^ 0x9e3779b97f4a7c15ull),
+      injector_(&loop_, &network_, failure_config, seed ^ 0x5851f42d4c957f2dull),
+      seed_(seed) {}
+
+Cluster::~Cluster() = default;
+
+Status Cluster::Start() {
+  if (started_) return Status::OK();
+  HOTMAN_RETURN_IF_ERROR(config_.Validate());
+  injector_.SetRejoinHandler([this](docstore::DocStoreServer* server) {
+    RejoinNode(server->address());
+  });
+  std::uint64_t node_seed = seed_;
+  for (const NodeSpec& spec : config_.nodes) {
+    auto node = std::make_unique<StorageNode>(spec, config_, &loop_, &network_,
+                                              &injector_, ++node_seed);
+    node->Start();
+    injector_.RegisterServer(node->server());
+    node_order_.push_back(spec.address);
+    nodes_.emplace(spec.address, std::move(node));
+  }
+  started_ = true;
+  // Let gossip converge before traffic arrives.
+  loop_.RunFor(3 * config_.gossip.interval);
+  return Status::OK();
+}
+
+StorageNode* Cluster::AnyCoordinator() {
+  // Skip nodes that are currently faulted: a real client's connection
+  // attempt to a dead front door fails fast and it redials elsewhere.
+  for (std::size_t attempts = 0; attempts < node_order_.size(); ++attempts) {
+    StorageNode* candidate = nodes_[node_order_[rr_next_++ % node_order_.size()]].get();
+    if (candidate->server()->IsHealthy()) return candidate;
+  }
+  return nodes_[node_order_[rr_next_++ % node_order_.size()]].get();
+}
+
+StorageNode* Cluster::CoordinatorFor(const std::string& key) {
+  StorageNode* any = AnyCoordinator();
+  auto primary = any->ring().PrimaryFor(key);
+  if (!primary.ok()) return any;
+  auto it = nodes_.find(*primary);
+  if (it == nodes_.end() || !it->second->server()->IsHealthy()) return any;
+  return it->second.get();
+}
+
+namespace {
+
+/// Client-side retry budget: "the system cannot tolerate writing failure
+/// ... try to write several times to guarantee the success of writing."
+constexpr int kWriteAttempts = 3;
+constexpr Micros kWriteRetryBackoff = 150 * kMicrosPerMilli;
+
+}  // namespace
+
+void Cluster::Put(const std::string& key, Bytes value, PutCallback cb) {
+  // Each attempt re-picks a coordinator, so an attempt doomed by its own
+  // coordinator's outage is retried through a healthy front door.
+  auto attempt = std::make_shared<std::function<void(int)>>();
+  auto shared_value = std::make_shared<Bytes>(std::move(value));
+  *attempt = [this, key, shared_value, cb = std::move(cb), attempt](int tries) {
+    AnyCoordinator()->CoordinatePut(
+        key, *shared_value,
+        [this, key, cb, attempt, tries](const Status& s) {
+          if (s.ok() || tries + 1 >= kWriteAttempts) {
+            cb(s);
+            return;
+          }
+          loop_.Schedule(kWriteRetryBackoff,
+                         [attempt, tries]() { (*attempt)(tries + 1); });
+        });
+  };
+  (*attempt)(0);
+}
+
+void Cluster::Get(const std::string& key, GetCallback cb) {
+  AnyCoordinator()->CoordinateGet(key, std::move(cb));
+}
+
+void Cluster::Delete(const std::string& key, PutCallback cb) {
+  auto attempt = std::make_shared<std::function<void(int)>>();
+  *attempt = [this, key, cb = std::move(cb), attempt](int tries) {
+    AnyCoordinator()->CoordinateDelete(
+        key, [this, cb, attempt, tries](const Status& s) {
+          if (s.ok() || tries + 1 >= kWriteAttempts) {
+            cb(s);
+            return;
+          }
+          loop_.Schedule(kWriteRetryBackoff,
+                         [attempt, tries]() { (*attempt)(tries + 1); });
+        });
+  };
+  (*attempt)(0);
+}
+
+Status Cluster::PutSync(const std::string& key, Bytes value) {
+  Status result = Status::Timeout("put never completed");
+  bool done = false;
+  Put(key, std::move(value), [&result, &done](const Status& s) {
+    result = s;
+    done = true;
+  });
+  const Micros deadline = loop_.Now() + kSyncOpBudget;
+  while (!done && loop_.Now() < deadline && loop_.PendingEvents() > 0) {
+    loop_.RunUntil(loop_.Now() + kMicrosPerMilli);
+  }
+  return result;
+}
+
+Result<Bytes> Cluster::GetSync(const std::string& key) {
+  Result<Bytes> result = Status::Timeout("get never completed");
+  bool done = false;
+  Get(key, [&result, &done](const Result<bson::Document>& record) {
+    if (!record.ok()) {
+      result = record.status();
+    } else if (core::RecordIsDeleted(*record)) {
+      result = Status::NotFound("key deleted");
+    } else {
+      result = core::RecordValue(*record);
+    }
+    done = true;
+  });
+  const Micros deadline = loop_.Now() + kSyncOpBudget;
+  while (!done && loop_.Now() < deadline && loop_.PendingEvents() > 0) {
+    loop_.RunUntil(loop_.Now() + kMicrosPerMilli);
+  }
+  return result;
+}
+
+Status Cluster::DeleteSync(const std::string& key) {
+  Status result = Status::Timeout("delete never completed");
+  bool done = false;
+  Delete(key, [&result, &done](const Status& s) {
+    result = s;
+    done = true;
+  });
+  const Micros deadline = loop_.Now() + kSyncOpBudget;
+  while (!done && loop_.Now() < deadline && loop_.PendingEvents() > 0) {
+    loop_.RunUntil(loop_.Now() + kMicrosPerMilli);
+  }
+  return result;
+}
+
+Status Cluster::AddNode(const NodeSpec& spec) {
+  if (nodes_.count(spec.address) > 0) {
+    return Status::AlreadyExists("node exists: " + spec.address);
+  }
+  // The new node bootstraps from the *current* static config plus itself.
+  ClusterConfig node_config = config_;
+  node_config.nodes.push_back(spec);
+  auto node = std::make_unique<StorageNode>(spec, node_config, &loop_, &network_,
+                                            &injector_, seed_ ^ (nodes_.size() + 17));
+  StorageNode* raw = node.get();
+  node_order_.push_back(spec.address);
+  nodes_.emplace(spec.address, std::move(node));
+  config_.nodes.push_back(spec);
+  raw->Start();
+  injector_.RegisterServer(raw->server());
+  // Announce the arrival explicitly so migration starts promptly (gossip
+  // would also spread it, but the admin notice mirrors the paper's
+  // synchronization messages).
+  for (auto& [address, other] : nodes_) {
+    if (address != spec.address) other->OnNodeAdded(spec.address, spec.vnodes);
+  }
+  loop_.RunFor(3 * config_.gossip.interval);
+  return Status::OK();
+}
+
+Status Cluster::CrashNode(const std::string& address) {
+  auto it = nodes_.find(address);
+  if (it == nodes_.end()) return Status::NotFound("no node: " + address);
+  injector_.Inject(it->second->server(), docstore::FaultMode::kDown, 0);
+  return Status::OK();
+}
+
+Status Cluster::RemoveNode(const std::string& address) {
+  auto it = nodes_.find(address);
+  if (it == nodes_.end()) return Status::NotFound("no node: " + address);
+  // Find a seed to announce the departure.
+  StorageNode* announcer = nullptr;
+  for (auto& [addr, node] : nodes_) {
+    if (addr != address && node->is_seed()) {
+      announcer = node.get();
+      break;
+    }
+  }
+  it->second->Stop();
+  if (announcer != nullptr) {
+    announcer->AnnounceRemoval(address);
+  } else {
+    for (auto& [addr, node] : nodes_) {
+      if (addr != address) node->OnNodeRemoved(address);
+    }
+  }
+  loop_.RunFor(3 * config_.gossip.interval);
+  return Status::OK();
+}
+
+void Cluster::RejoinNode(const std::string& address) {
+  auto it = nodes_.find(address);
+  if (it == nodes_.end()) return;
+  int vnodes = 128;
+  for (const NodeSpec& spec : config_.nodes) {
+    if (spec.address == address) vnodes = spec.vnodes;
+  }
+  // The repaired node rejoins every member's ring; the rejoiner itself
+  // re-pushes its (possibly stale) data, which LWW reconciles.
+  for (auto& [addr, node] : nodes_) {
+    if (addr != address) node->OnNodeAdded(address, vnodes);
+  }
+}
+
+StorageNode* Cluster::node(const std::string& address) {
+  auto it = nodes_.find(address);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<StorageNode*> Cluster::nodes() {
+  std::vector<StorageNode*> out;
+  out.reserve(node_order_.size());
+  for (const std::string& address : node_order_) {
+    out.push_back(nodes_[address].get());
+  }
+  return out;
+}
+
+std::size_t Cluster::TotalReplicas() {
+  std::size_t total = 0;
+  for (auto& [address, node] : nodes_) total += node->store()->NumRecords();
+  return total;
+}
+
+NodeStats Cluster::AggregateStats() {
+  NodeStats total;
+  for (auto& [address, node] : nodes_) {
+    const NodeStats& s = node->stats();
+    total.puts_coordinated += s.puts_coordinated;
+    total.puts_succeeded += s.puts_succeeded;
+    total.puts_failed += s.puts_failed;
+    total.gets_coordinated += s.gets_coordinated;
+    total.gets_succeeded += s.gets_succeeded;
+    total.gets_failed += s.gets_failed;
+    total.replica_puts_applied += s.replica_puts_applied;
+    total.replica_gets_served += s.replica_gets_served;
+    total.handoff_writes += s.handoff_writes;
+    total.hints_delivered += s.hints_delivered;
+    total.read_repairs += s.read_repairs;
+    total.rereplications += s.rereplications;
+    total.ae_rounds += s.ae_rounds;
+    total.ae_pushed += s.ae_pushed;
+    total.ae_requested += s.ae_requested;
+  }
+  return total;
+}
+
+}  // namespace hotman::cluster

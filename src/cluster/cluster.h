@@ -1,0 +1,108 @@
+#ifndef HOTMAN_CLUSTER_CLUSTER_H_
+#define HOTMAN_CLUSTER_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/storage_node.h"
+#include "sim/event_loop.h"
+#include "sim/failure_injector.h"
+#include "sim/network.h"
+
+namespace hotman::cluster {
+
+/// The whole MyStore data storage module: an event loop, a simulated LAN,
+/// a failure injector and one StorageNode per configured server.
+///
+/// This is the top-level object experiments and examples instantiate. It
+/// offers both the asynchronous client API (callbacks, for workload
+/// drivers that multiplex thousands of clients) and blocking convenience
+/// wrappers that pump the event loop until completion (for examples and
+/// tests).
+class Cluster {
+ public:
+  /// `failure_config` defaults to no injected faults.
+  Cluster(ClusterConfig config, std::uint64_t seed,
+          sim::FailureConfig failure_config = sim::FailureConfig::None());
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Boots every node and runs the loop briefly so gossip stabilizes.
+  Status Start();
+
+  // --- client API -----------------------------------------------------------
+
+  /// Any node can coordinate; this picks one round-robin ("clients can
+  /// connect to any node in the system").
+  StorageNode* AnyCoordinator();
+
+  /// The node owning `key` (closest coordinator for the read path).
+  StorageNode* CoordinatorFor(const std::string& key);
+
+  /// Async operations through a round-robin coordinator.
+  void Put(const std::string& key, Bytes value, PutCallback cb);
+  void Get(const std::string& key, GetCallback cb);
+  void Delete(const std::string& key, PutCallback cb);
+
+  /// Blocking wrappers: drive the event loop until the callback fires.
+  Status PutSync(const std::string& key, Bytes value);
+  Result<Bytes> GetSync(const std::string& key);  ///< NotFound on tombstones
+  Status DeleteSync(const std::string& key);
+
+  // --- membership ------------------------------------------------------------
+
+  /// Boots a brand-new node and lets the membership protocol integrate it;
+  /// keys migrate to it automatically.
+  Status AddNode(const NodeSpec& spec);
+
+  /// Hard-crashes `address` (long failure): the node goes silent until the
+  /// seeds detect it and trigger repair.
+  Status CrashNode(const std::string& address);
+
+  /// Graceful removal: announces departure via a seed, then stops the node.
+  Status RemoveNode(const std::string& address);
+
+  // --- plumbing ---------------------------------------------------------------
+
+  sim::EventLoop* loop() { return &loop_; }
+  sim::SimNetwork* network() { return &network_; }
+  sim::FailureInjector* injector() { return &injector_; }
+  const ClusterConfig& config() const { return config_; }
+
+  StorageNode* node(const std::string& address);
+  std::vector<StorageNode*> nodes();
+
+  /// Runs the loop for `duration` of virtual time (convenience).
+  void RunFor(Micros duration) { loop_.RunFor(duration); }
+
+  /// Total records stored across all nodes (replicas included).
+  std::size_t TotalReplicas();
+
+  /// Aggregated stats over all nodes.
+  NodeStats AggregateStats();
+
+ private:
+  /// Re-integrates a node whose breakdown was repaired (the injector's
+  /// rejoin path): every member re-adds it to their ring and migration
+  /// brings its data back up to date.
+  void RejoinNode(const std::string& address);
+
+  ClusterConfig config_;
+  sim::EventLoop loop_;
+  sim::SimNetwork network_;
+  sim::FailureInjector injector_;
+  std::map<std::string, std::unique_ptr<StorageNode>> nodes_;
+  std::vector<std::string> node_order_;
+  std::size_t rr_next_ = 0;
+  std::uint64_t seed_;
+  bool started_ = false;
+};
+
+}  // namespace hotman::cluster
+
+#endif  // HOTMAN_CLUSTER_CLUSTER_H_

@@ -1,0 +1,73 @@
+#ifndef HOTMAN_CLUSTER_CONFIG_H_
+#define HOTMAN_CLUSTER_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gossip/failure_detector.h"
+#include "gossip/gossiper.h"
+#include "sim/network.h"
+#include "sim/service_station.h"
+
+namespace hotman::cluster {
+
+/// Declaration of one physical storage node.
+struct NodeSpec {
+  std::string address;  ///< e.g. "db1:19870"
+  int vnodes = 128;     ///< virtual nodes ∝ node capability (§5.2.1)
+  bool is_seed = false;
+};
+
+/// Whole-cluster configuration. Defaults mirror the paper's evaluation
+/// setup: (N, W, R) = (3, 2, 1) on five DB nodes (§6.2), Netty-port-style
+/// addresses, and Table 1's software parameters where they are meaningful
+/// to the model.
+struct ClusterConfig {
+  // --- NWR replication (§5.2.2) ---
+  int replication_factor = 3;  ///< N
+  int write_quorum = 2;        ///< W
+  int read_quorum = 1;         ///< R
+
+  // --- membership ---
+  std::vector<NodeSpec> nodes;
+  std::string collection = "records";
+
+  // --- timeouts ---
+  Micros put_timeout = 800 * kMicrosPerMilli;
+  Micros get_timeout = 800 * kMicrosPerMilli;
+
+  // --- failure handling ---
+  bool hinted_handoff = true;       ///< short-failure handling (Fig. 8)
+  bool read_repair = true;          ///< replica supplementation on Get
+  Micros hint_retry_interval = 2 * kMicrosPerSecond;
+
+  // --- anti-entropy (future-work extension: background consistency) ---
+  /// When enabled, every node periodically exchanges record digests with a
+  /// random ring peer and pushes/pulls whatever last-write-wins says the
+  /// other side is missing — repairing divergence without waiting for reads.
+  bool anti_entropy = false;
+  Micros anti_entropy_interval = 10 * kMicrosPerSecond;
+
+  // --- substrates ---
+  gossip::GossipConfig gossip;
+  gossip::FailureDetector::Config detector;
+  sim::NetworkConfig network;
+  sim::ServiceConfig service;
+
+  /// Validates quorum arithmetic and membership (W <= N, R <= N, at least
+  /// one node, N >= 1, at least one seed when >1 node).
+  Status Validate() const;
+
+  /// Convenience: `count` uniform nodes "db1".."dbN", first `seeds` of them
+  /// seeds, with the paper's default parameters.
+  static ClusterConfig Uniform(int count, int seeds = 1, int vnodes = 128);
+
+  /// The paper's five-node evaluation topology: one seed DB node plus four
+  /// normal DB nodes, (N,W,R)=(3,2,1).
+  static ClusterConfig PaperSetup() { return Uniform(5, /*seeds=*/1); }
+};
+
+}  // namespace hotman::cluster
+
+#endif  // HOTMAN_CLUSTER_CONFIG_H_

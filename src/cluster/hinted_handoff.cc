@@ -1,0 +1,42 @@
+#include "cluster/hinted_handoff.h"
+
+namespace hotman::cluster {
+
+std::uint64_t HintStore::Add(const std::string& target, bson::Document record,
+                             std::int64_t now) {
+  const std::uint64_t id = next_id_++;
+  hints_.emplace(id, Hint{id, target, std::move(record), now});
+  ++total_added_;
+  return id;
+}
+
+std::vector<Hint> HintStore::ForTarget(const std::string& target) const {
+  std::vector<Hint> out;
+  for (const auto& [id, hint] : hints_) {
+    if (hint.target == target) out.push_back(hint);
+  }
+  return out;
+}
+
+std::vector<std::string> HintStore::Targets() const {
+  std::vector<std::string> out;
+  for (const auto& [id, hint] : hints_) {
+    bool seen = false;
+    for (const std::string& t : out) {
+      if (t == hint.target) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(hint.target);
+  }
+  return out;
+}
+
+bool HintStore::Remove(std::uint64_t id) {
+  if (hints_.erase(id) == 0) return false;
+  ++total_delivered_;
+  return true;
+}
+
+}  // namespace hotman::cluster

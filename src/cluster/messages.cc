@@ -1,0 +1,270 @@
+#include "cluster/messages.h"
+
+namespace hotman::cluster {
+
+namespace {
+
+using bson::Document;
+using bson::Value;
+
+Result<std::uint64_t> GetU64(const Document& doc, const char* name) {
+  const Value* v = doc.Get(name);
+  if (v == nullptr || !v->is_int64()) {
+    return Status::Corruption(std::string("missing int64 field: ") + name);
+  }
+  return static_cast<std::uint64_t>(v->as_int64());
+}
+
+Result<std::string> GetStr(const Document& doc, const char* name) {
+  const Value* v = doc.Get(name);
+  if (v == nullptr || !v->is_string()) {
+    return Status::Corruption(std::string("missing string field: ") + name);
+  }
+  return v->as_string();
+}
+
+Result<bool> GetBool(const Document& doc, const char* name) {
+  const Value* v = doc.Get(name);
+  if (v == nullptr || !v->is_bool()) {
+    return Status::Corruption(std::string("missing bool field: ") + name);
+  }
+  return v->as_bool();
+}
+
+Result<Document> GetDoc(const Document& doc, const char* name) {
+  const Value* v = doc.Get(name);
+  if (v == nullptr || !v->is_document()) {
+    return Status::Corruption(std::string("missing document field: ") + name);
+  }
+  return v->as_document();
+}
+
+std::int64_t AsI64(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+
+}  // namespace
+
+bson::Document EncodePutReplica(const PutReplicaMsg& msg) {
+  Document doc;
+  doc.Append("req", Value(AsI64(msg.req)));
+  doc.Append("doc", Value(msg.record));
+  return doc;
+}
+
+Result<PutReplicaMsg> DecodePutReplica(const bson::Document& doc) {
+  auto req = GetU64(doc, "req");
+  if (!req.ok()) return req.status();
+  auto record = GetDoc(doc, "doc");
+  if (!record.ok()) return record.status();
+  PutReplicaMsg out;
+  out.req = *req;
+  out.record = std::move(*record);
+  return out;
+}
+
+bson::Document EncodePutAck(const PutAckMsg& msg) {
+  Document doc;
+  doc.Append("req", Value(AsI64(msg.req)));
+  doc.Append("ok", Value(msg.ok));
+  doc.Append("err", Value(msg.error));
+  return doc;
+}
+
+Result<PutAckMsg> DecodePutAck(const bson::Document& doc) {
+  auto req = GetU64(doc, "req");
+  if (!req.ok()) return req.status();
+  auto ok = GetBool(doc, "ok");
+  if (!ok.ok()) return ok.status();
+  auto err = GetStr(doc, "err");
+  if (!err.ok()) return err.status();
+  PutAckMsg out;
+  out.req = *req;
+  out.ok = *ok;
+  out.error = std::move(*err);
+  return out;
+}
+
+bson::Document EncodeGetReplica(const GetReplicaMsg& msg) {
+  Document doc;
+  doc.Append("req", Value(AsI64(msg.req)));
+  doc.Append("key", Value(msg.key));
+  return doc;
+}
+
+Result<GetReplicaMsg> DecodeGetReplica(const bson::Document& doc) {
+  auto req = GetU64(doc, "req");
+  if (!req.ok()) return req.status();
+  auto key = GetStr(doc, "key");
+  if (!key.ok()) return key.status();
+  GetReplicaMsg out;
+  out.req = *req;
+  out.key = std::move(*key);
+  return out;
+}
+
+bson::Document EncodeGetAck(const GetAckMsg& msg) {
+  Document doc;
+  doc.Append("req", Value(AsI64(msg.req)));
+  doc.Append("ok", Value(msg.ok));
+  doc.Append("found", Value(msg.found));
+  if (msg.found) doc.Append("doc", Value(msg.record));
+  doc.Append("err", Value(msg.error));
+  return doc;
+}
+
+Result<GetAckMsg> DecodeGetAck(const bson::Document& doc) {
+  auto req = GetU64(doc, "req");
+  if (!req.ok()) return req.status();
+  auto ok = GetBool(doc, "ok");
+  if (!ok.ok()) return ok.status();
+  auto found = GetBool(doc, "found");
+  if (!found.ok()) return found.status();
+  auto err = GetStr(doc, "err");
+  if (!err.ok()) return err.status();
+  GetAckMsg out;
+  out.req = *req;
+  out.ok = *ok;
+  out.found = *found;
+  out.error = std::move(*err);
+  if (out.found) {
+    auto record = GetDoc(doc, "doc");
+    if (!record.ok()) return record.status();
+    out.record = std::move(*record);
+  }
+  return out;
+}
+
+bson::Document EncodeHintStore(const HintStoreMsg& msg) {
+  Document doc;
+  doc.Append("req", Value(AsI64(msg.req)));
+  doc.Append("target", Value(msg.target));
+  doc.Append("doc", Value(msg.record));
+  return doc;
+}
+
+Result<HintStoreMsg> DecodeHintStore(const bson::Document& doc) {
+  auto req = GetU64(doc, "req");
+  if (!req.ok()) return req.status();
+  auto target = GetStr(doc, "target");
+  if (!target.ok()) return target.status();
+  auto record = GetDoc(doc, "doc");
+  if (!record.ok()) return record.status();
+  HintStoreMsg out;
+  out.req = *req;
+  out.target = std::move(*target);
+  out.record = std::move(*record);
+  return out;
+}
+
+bson::Document EncodeHandoffDeliver(std::uint64_t hint_id, const bson::Document& rec) {
+  Document doc;
+  doc.Append("hint", Value(AsI64(hint_id)));
+  doc.Append("doc", Value(rec));
+  return doc;
+}
+
+Result<std::pair<std::uint64_t, bson::Document>> DecodeHandoffDeliver(
+    const bson::Document& doc) {
+  auto hint = GetU64(doc, "hint");
+  if (!hint.ok()) return hint.status();
+  auto record = GetDoc(doc, "doc");
+  if (!record.ok()) return record.status();
+  return std::make_pair(*hint, std::move(*record));
+}
+
+bson::Document EncodeHandoffAck(const HandoffAckMsg& msg) {
+  Document doc;
+  doc.Append("hint", Value(AsI64(msg.hint_id)));
+  doc.Append("ok", Value(msg.ok));
+  return doc;
+}
+
+Result<HandoffAckMsg> DecodeHandoffAck(const bson::Document& doc) {
+  auto hint = GetU64(doc, "hint");
+  if (!hint.ok()) return hint.status();
+  auto ok = GetBool(doc, "ok");
+  if (!ok.ok()) return ok.status();
+  HandoffAckMsg out;
+  out.hint_id = *hint;
+  out.ok = *ok;
+  return out;
+}
+
+bson::Document EncodeMembership(const MembershipMsg& msg) {
+  Document doc;
+  doc.Append("node", Value(msg.node));
+  doc.Append("vnodes", Value(static_cast<std::int32_t>(msg.vnodes)));
+  return doc;
+}
+
+Result<MembershipMsg> DecodeMembership(const bson::Document& doc) {
+  auto node = GetStr(doc, "node");
+  if (!node.ok()) return node.status();
+  MembershipMsg out;
+  out.node = std::move(*node);
+  const Value* vnodes = doc.Get("vnodes");
+  if (vnodes != nullptr && vnodes->is_number()) {
+    out.vnodes = static_cast<int>(vnodes->NumberAsInt64());
+  }
+  return out;
+}
+
+bson::Document EncodeAeDigest(const AeDigestMsg& msg) {
+  Document doc;
+  bson::Array entries;
+  entries.reserve(msg.entries.size());
+  for (const AeDigestEntry& e : msg.entries) {
+    Document item;
+    item.Append("k", Value(e.key));
+    item.Append("ts", Value(e.timestamp));
+    item.Append("o", Value(e.origin));
+    entries.emplace_back(std::move(item));
+  }
+  doc.Append("entries", Value(std::move(entries)));
+  return doc;
+}
+
+Result<AeDigestMsg> DecodeAeDigest(const bson::Document& doc) {
+  const Value* entries = doc.Get("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    return Status::Corruption("ae_digest missing entries");
+  }
+  AeDigestMsg out;
+  for (const Value& ev : entries->as_array()) {
+    if (!ev.is_document()) return Status::Corruption("malformed digest entry");
+    const Document& item = ev.as_document();
+    const Value* k = item.Get("k");
+    const Value* ts = item.Get("ts");
+    const Value* o = item.Get("o");
+    if (k == nullptr || !k->is_string() || ts == nullptr || !ts->is_int64() ||
+        o == nullptr || !o->is_string()) {
+      return Status::Corruption("malformed digest entry");
+    }
+    out.entries.push_back(AeDigestEntry{k->as_string(), ts->as_int64(),
+                                        o->as_string()});
+  }
+  return out;
+}
+
+bson::Document EncodeAeRequest(const AeRequestMsg& msg) {
+  Document doc;
+  bson::Array keys;
+  keys.reserve(msg.keys.size());
+  for (const std::string& key : msg.keys) keys.emplace_back(Value(key));
+  doc.Append("keys", Value(std::move(keys)));
+  return doc;
+}
+
+Result<AeRequestMsg> DecodeAeRequest(const bson::Document& doc) {
+  const Value* keys = doc.Get("keys");
+  if (keys == nullptr || !keys->is_array()) {
+    return Status::Corruption("ae_request missing keys");
+  }
+  AeRequestMsg out;
+  for (const Value& kv : keys->as_array()) {
+    if (!kv.is_string()) return Status::Corruption("malformed ae_request key");
+    out.keys.push_back(kv.as_string());
+  }
+  return out;
+}
+
+}  // namespace hotman::cluster

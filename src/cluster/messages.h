@@ -1,0 +1,121 @@
+#ifndef HOTMAN_CLUSTER_MESSAGES_H_
+#define HOTMAN_CLUSTER_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bson/document.h"
+#include "common/status.h"
+
+namespace hotman::cluster {
+
+/// Data-path and administrative message types exchanged between storage
+/// nodes (the "normal message handling process" and "synchronization
+/// message process" of §5.1's middle layer).
+inline constexpr const char* kMsgPutReplica = "put_replica";
+inline constexpr const char* kMsgPutAck = "put_ack";
+inline constexpr const char* kMsgGetReplica = "get_replica";
+inline constexpr const char* kMsgGetAck = "get_ack";
+inline constexpr const char* kMsgHintStore = "hint_store";
+inline constexpr const char* kMsgHandoffDeliver = "handoff_deliver";
+inline constexpr const char* kMsgHandoffAck = "handoff_ack";
+inline constexpr const char* kMsgNodeRemoved = "node_removed";
+inline constexpr const char* kMsgNodeAdded = "node_added";
+inline constexpr const char* kMsgAeDigest = "ae_digest";
+inline constexpr const char* kMsgAeRequest = "ae_request";
+
+/// put_replica / handoff_deliver payload.
+struct PutReplicaMsg {
+  std::uint64_t req = 0;
+  bson::Document record;
+};
+
+/// put_ack payload.
+struct PutAckMsg {
+  std::uint64_t req = 0;
+  bool ok = false;
+  std::string error;
+};
+
+/// get_replica payload.
+struct GetReplicaMsg {
+  std::uint64_t req = 0;
+  std::string key;
+};
+
+/// get_ack payload.
+struct GetAckMsg {
+  std::uint64_t req = 0;
+  bool ok = false;      ///< the replica served the read (even if not found)
+  bool found = false;
+  bson::Document record;  ///< valid when found
+  std::string error;
+};
+
+/// hint_store payload: the write plus the identity of the node it is for.
+struct HintStoreMsg {
+  std::uint64_t req = 0;
+  std::string target;
+  bson::Document record;
+};
+
+/// handoff_deliver/ack correlation.
+struct HandoffAckMsg {
+  std::uint64_t hint_id = 0;
+  bool ok = false;
+};
+
+/// Membership change notice (synchronization messages from seed nodes).
+struct MembershipMsg {
+  std::string node;
+  int vnodes = 0;  ///< for node_added
+};
+
+/// One entry of an anti-entropy digest: enough to decide which side holds
+/// the newer version without shipping the payload.
+struct AeDigestEntry {
+  std::string key;
+  std::int64_t timestamp = 0;
+  std::string origin;
+};
+
+/// ae_digest payload: the keys (with versions) the sender holds that the
+/// receiver should also hold. A production system would summarize these
+/// with Merkle trees; at laptop scale the flat digest keeps the protocol
+/// transparent and testable.
+struct AeDigestMsg {
+  std::vector<AeDigestEntry> entries;
+};
+
+/// ae_request payload: keys the requester wants pushed (the sender's
+/// version is newer or the requester lacks them entirely).
+struct AeRequestMsg {
+  std::vector<std::string> keys;
+};
+
+bson::Document EncodePutReplica(const PutReplicaMsg& msg);
+Result<PutReplicaMsg> DecodePutReplica(const bson::Document& doc);
+bson::Document EncodePutAck(const PutAckMsg& msg);
+Result<PutAckMsg> DecodePutAck(const bson::Document& doc);
+bson::Document EncodeGetReplica(const GetReplicaMsg& msg);
+Result<GetReplicaMsg> DecodeGetReplica(const bson::Document& doc);
+bson::Document EncodeGetAck(const GetAckMsg& msg);
+Result<GetAckMsg> DecodeGetAck(const bson::Document& doc);
+bson::Document EncodeHintStore(const HintStoreMsg& msg);
+Result<HintStoreMsg> DecodeHintStore(const bson::Document& doc);
+bson::Document EncodeHandoffDeliver(std::uint64_t hint_id, const bson::Document& rec);
+Result<std::pair<std::uint64_t, bson::Document>> DecodeHandoffDeliver(
+    const bson::Document& doc);
+bson::Document EncodeHandoffAck(const HandoffAckMsg& msg);
+Result<HandoffAckMsg> DecodeHandoffAck(const bson::Document& doc);
+bson::Document EncodeMembership(const MembershipMsg& msg);
+Result<MembershipMsg> DecodeMembership(const bson::Document& doc);
+bson::Document EncodeAeDigest(const AeDigestMsg& msg);
+Result<AeDigestMsg> DecodeAeDigest(const bson::Document& doc);
+bson::Document EncodeAeRequest(const AeRequestMsg& msg);
+Result<AeRequestMsg> DecodeAeRequest(const bson::Document& doc);
+
+}  // namespace hotman::cluster
+
+#endif  // HOTMAN_CLUSTER_MESSAGES_H_

@@ -1,0 +1,70 @@
+#include "cluster/replica_store.h"
+
+namespace hotman::cluster {
+
+namespace {
+
+bson::Document KeyFilter(const std::string& self_key) {
+  bson::Document filter;
+  filter.Append(core::kFieldSelfKey, bson::Value(self_key));
+  return filter;
+}
+
+}  // namespace
+
+ReplicaStore::ReplicaStore(docstore::Database* db, std::string collection)
+    : collection_(db->GetCollection(collection)) {}
+
+Status ReplicaStore::Init() {
+  docstore::IndexSpec spec;
+  spec.path = core::kFieldSelfKey;
+  spec.unique = true;
+  Status s = collection_->CreateIndex(spec);
+  if (s.IsAlreadyExists()) return Status::OK();
+  return s;
+}
+
+Result<bool> ReplicaStore::Apply(const bson::Document& record) {
+  HOTMAN_RETURN_IF_ERROR(core::ValidateRecord(record));
+  const std::string self_key = core::RecordSelfKey(record);
+  auto existing = collection_->FindOne(KeyFilter(self_key));
+  if (!existing.ok()) return existing.status();
+  if (existing->has_value()) {
+    const bson::Document& current = **existing;
+    if (!core::SupersedesLww(record, current)) {
+      return false;  // stored version wins
+    }
+    // Replace: the superseding record carries its own _id.
+    HOTMAN_RETURN_IF_ERROR(
+        collection_->RemoveById(*current.Get(core::kFieldId)));
+  }
+  HOTMAN_RETURN_IF_ERROR(collection_->PutDocument(record));
+  return true;
+}
+
+Result<bson::Document> ReplicaStore::GetByKey(const std::string& self_key) const {
+  auto found = collection_->FindOne(KeyFilter(self_key));
+  if (!found.ok()) return found.status();
+  if (!found->has_value()) return Status::NotFound("no record for key " + self_key);
+  return **found;
+}
+
+Result<std::vector<bson::Document>> ReplicaStore::AllRecords() const {
+  return collection_->Find(bson::Document{});
+}
+
+Result<std::size_t> ReplicaStore::NumLiveRecords() const {
+  bson::Document filter;
+  filter.Append(core::kFieldIsDel, bson::Value("0"));
+  return collection_->Count(filter);
+}
+
+std::size_t ReplicaStore::NumRecords() const { return collection_->NumDocuments(); }
+
+Status ReplicaStore::Purge(const std::string& self_key) {
+  auto removed = collection_->Remove(KeyFilter(self_key));
+  if (!removed.ok()) return removed.status();
+  return Status::OK();
+}
+
+}  // namespace hotman::cluster

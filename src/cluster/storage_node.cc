@@ -1,0 +1,702 @@
+#include "cluster/storage_node.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "bson/codec.h"
+#include "common/logging.h"
+#include "hashring/ketama.h"
+
+namespace hotman::cluster {
+
+namespace {
+
+/// Extra ring successors examined when picking hinted-handoff substitutes.
+constexpr std::size_t kHandoffCandidateSlack = 4;
+
+}  // namespace
+
+StorageNode::StorageNode(const NodeSpec& spec, const ClusterConfig& config,
+                         sim::EventLoop* loop, sim::SimNetwork* network,
+                         sim::FailureInjector* injector, std::uint64_t rng_seed)
+    : spec_(spec),
+      config_(config),
+      id_(spec.address),
+      loop_(loop),
+      network_(network),
+      injector_(injector) {
+  server_ = std::make_unique<docstore::DocStoreServer>(
+      id_, hashring::KetamaHash(id_), loop_->clock());
+  store_ = std::make_unique<ReplicaStore>(server_->db(), config_.collection);
+  Status init = store_->Init();
+  if (!init.ok()) {
+    HOTMAN_LOG(kError) << id_ << ": replica store init failed: " << init.ToString();
+  }
+  station_ = std::make_unique<sim::ServiceStation>(loop_, config_.service);
+
+  std::vector<std::string> seeds;
+  for (const NodeSpec& node : config_.nodes) {
+    if (node.is_seed) seeds.push_back(node.address);
+  }
+  gossiper_ = std::make_unique<gossip::Gossiper>(
+      id_, seeds, spec_.is_seed, loop_, config_.gossip, rng_seed,
+      [this](const std::string& to, const std::string& type, bson::Document body) {
+        SendToNode(to, type, std::move(body));
+      });
+  detector_ = std::make_unique<gossip::FailureDetector>(
+      id_, loop_, &gossiper_->states(), config_.detector);
+}
+
+StorageNode::~StorageNode() { Stop(); }
+
+void StorageNode::Start() {
+  if (running_) return;
+  running_ = true;
+  network_->RegisterEndpoint(id_,
+                             [this](const sim::Message& msg) { HandleMessage(msg); });
+  // Static bootstrap: the configured membership seeds the local ring view.
+  for (const NodeSpec& node : config_.nodes) {
+    Status s = ring_.AddNode(node.address, node.vnodes);
+    (void)s;  // AlreadyExists is fine on restart
+    if (node.address != id_) gossiper_->AddPeer(node.address);
+  }
+  gossiper_->Boot(loop_->Now() / kMicrosPerSecond + 1);
+  gossiper_->SetLocalState(gossip::kStateVnodes, std::to_string(spec_.vnodes));
+  gossiper_->SetLocalState(gossip::kStateLoad, "0");
+  gossiper_->SetStateChangeListener(
+      [this](const std::string& endpoint, const std::string& key,
+             const std::string& value) {
+        if (key == gossip::kStateVnodes && removed_nodes_.count(endpoint) == 0 &&
+            !ring_.HasNode(endpoint)) {
+          // Learned of a new member through gossip.
+          OnNodeAdded(endpoint, std::max(1, std::atoi(value.c_str())));
+        }
+      });
+  gossiper_->Start();
+  detector_->Start([this](const std::string& endpoint, gossip::Liveness from,
+                          gossip::Liveness to) {
+    OnDetectorTransition(endpoint, from, to);
+  });
+  StartHintTimer();
+  if (config_.anti_entropy) StartAntiEntropyTimer();
+}
+
+void StorageNode::Stop() {
+  if (!running_) return;
+  running_ = false;
+  gossiper_->Stop();
+  detector_->Stop();
+  loop_->Cancel(hint_timer_);
+  loop_->Cancel(ae_timer_);
+  network_->UnregisterEndpoint(id_);
+}
+
+// --- plumbing ---------------------------------------------------------------
+
+void StorageNode::SendToNode(const std::string& to, const std::string& type,
+                             bson::Document body) {
+  sim::Message msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.type = type;
+  const std::size_t bytes = bson::EncodedSize(body);
+  msg.body = std::move(body);
+  network_->Send(std::move(msg), bytes);
+}
+
+void StorageNode::HandleMessage(const sim::Message& msg) {
+  if (msg.type == gossip::kMsgGossipSyn) {
+    gossiper_->HandleSyn(msg.from, msg.body);
+  } else if (msg.type == gossip::kMsgGossipAck1) {
+    gossiper_->HandleAck1(msg.from, msg.body);
+  } else if (msg.type == gossip::kMsgGossipAck2) {
+    gossiper_->HandleAck2(msg.from, msg.body);
+  } else if (msg.type == kMsgPutReplica) {
+    HandlePutReplica(msg);
+  } else if (msg.type == kMsgGetReplica) {
+    HandleGetReplica(msg);
+  } else if (msg.type == kMsgPutAck) {
+    HandlePutAck(msg);
+  } else if (msg.type == kMsgGetAck) {
+    HandleGetAck(msg);
+  } else if (msg.type == kMsgHintStore) {
+    HandleHintStore(msg);
+  } else if (msg.type == kMsgHandoffDeliver) {
+    HandleHandoffDeliver(msg);
+  } else if (msg.type == kMsgHandoffAck) {
+    HandleHandoffAck(msg);
+  } else if (msg.type == kMsgAeDigest) {
+    HandleAeDigest(msg);
+  } else if (msg.type == kMsgAeRequest) {
+    HandleAeRequest(msg);
+  } else if (msg.type == kMsgNodeRemoved) {
+    auto notice = DecodeMembership(msg.body);
+    if (notice.ok()) OnNodeRemoved(notice->node);
+  } else if (msg.type == kMsgNodeAdded) {
+    auto notice = DecodeMembership(msg.body);
+    if (notice.ok()) OnNodeAdded(notice->node, std::max(1, notice->vnodes));
+  } else {
+    HOTMAN_LOG(kWarn) << id_ << ": unknown message type " << msg.type;
+  }
+}
+
+std::vector<std::string> StorageNode::PreferenceNodes(const std::string& key) const {
+  return ring_.PreferenceList(key, config_.replication_factor);
+}
+
+// --- replica side -----------------------------------------------------------
+
+void StorageNode::HandlePutReplica(const sim::Message& msg) {
+  auto decoded = DecodePutReplica(msg.body);
+  if (!decoded.ok()) return;
+  const std::size_t bytes = bson::EncodedSize(decoded->record);
+  const std::uint64_t req = decoded->req;
+  const std::string from = msg.from;
+  bson::Document record = std::move(decoded->record);
+  const bool admitted = station_->Submit(
+      bytes, [this, req, from, record = std::move(record)](Micros, Micros) {
+        PutAckMsg ack;
+        ack.req = req;
+        Status available = server_->CheckAvailable();
+        if (!available.ok()) {
+          ack.ok = false;
+          ack.error = available.ToString();
+        } else {
+          auto applied = store_->Apply(record);
+          if (applied.ok()) {
+            ack.ok = true;
+            ++stats_.replica_puts_applied;
+          } else {
+            ack.ok = false;
+            ack.error = applied.status().ToString();
+          }
+        }
+        if (req != 0) SendToNode(from, kMsgPutAck, EncodePutAck(ack));
+      });
+  if (!admitted && req != 0) {
+    PutAckMsg ack;
+    ack.req = req;
+    ack.ok = false;
+    ack.error = "Busy: request shed";
+    SendToNode(from, kMsgPutAck, EncodePutAck(ack));
+  }
+}
+
+void StorageNode::HandleGetReplica(const sim::Message& msg) {
+  auto decoded = DecodeGetReplica(msg.body);
+  if (!decoded.ok()) return;
+  const std::uint64_t req = decoded->req;
+  const std::string from = msg.from;
+  const std::string key = decoded->key;
+  const bool admitted = station_->Submit(
+      256, [this, req, from, key](Micros, Micros) {
+        GetAckMsg ack;
+        ack.req = req;
+        Status available = server_->CheckAvailable();
+        if (!available.ok()) {
+          ack.ok = false;
+          ack.error = available.ToString();
+        } else {
+          auto record = store_->GetByKey(key);
+          ack.ok = true;
+          if (record.ok()) {
+            ack.found = true;
+            ack.record = std::move(*record);
+          } else if (!record.status().IsNotFound()) {
+            ack.ok = false;
+            ack.error = record.status().ToString();
+          }
+          if (ack.ok) ++stats_.replica_gets_served;
+        }
+        SendToNode(from, kMsgGetAck, EncodeGetAck(ack));
+      });
+  if (!admitted) {
+    GetAckMsg ack;
+    ack.req = req;
+    ack.ok = false;
+    ack.error = "Busy: request shed";
+    SendToNode(from, kMsgGetAck, EncodeGetAck(ack));
+  }
+}
+
+void StorageNode::HandleHintStore(const sim::Message& msg) {
+  auto decoded = DecodeHintStore(msg.body);
+  if (!decoded.ok()) return;
+  PutAckMsg ack;
+  ack.req = decoded->req;
+  Status available = server_->CheckAvailable();
+  if (!available.ok()) {
+    ack.ok = false;
+    ack.error = available.ToString();
+  } else {
+    // Store the hint (Fig. 8: "creates an index for the replication") and
+    // keep a durable local copy so reads during the outage can be repaired.
+    hints_.Add(decoded->target, decoded->record, loop_->Now());
+    auto applied = store_->Apply(decoded->record);
+    ack.ok = applied.ok();
+    if (!applied.ok()) ack.error = applied.status().ToString();
+    ++stats_.handoff_writes;
+  }
+  SendToNode(msg.from, kMsgPutAck, EncodePutAck(ack));
+}
+
+void StorageNode::HandleHandoffDeliver(const sim::Message& msg) {
+  auto decoded = DecodeHandoffDeliver(msg.body);
+  if (!decoded.ok()) return;
+  HandoffAckMsg ack;
+  ack.hint_id = decoded->first;
+  Status available = server_->CheckAvailable();
+  if (available.ok()) {
+    auto applied = store_->Apply(decoded->second);
+    ack.ok = applied.ok();
+  } else {
+    ack.ok = false;
+  }
+  SendToNode(msg.from, kMsgHandoffAck, EncodeHandoffAck(ack));
+}
+
+// --- coordinator: Put -------------------------------------------------------
+
+void StorageNode::CoordinatePut(const std::string& key, Bytes value, PutCallback cb) {
+  bson::Document record = core::MakeRecord(
+      server_->db()->id_generator()->Next(), key, std::move(value),
+      /*is_copy=*/false, /*deleted=*/false, loop_->Now(), id_);
+  StartPut(std::move(record), std::move(cb));
+}
+
+void StorageNode::CoordinateDelete(const std::string& key, PutCallback cb) {
+  bson::Document tombstone = core::MakeTombstone(
+      server_->db()->id_generator()->Next(), key, loop_->Now(), id_);
+  StartPut(std::move(tombstone), std::move(cb));
+}
+
+void StorageNode::StartPut(bson::Document record, PutCallback cb) {
+  ++stats_.puts_coordinated;
+  // Table 2's probabilities are per operation on the test system: each
+  // client operation may trip one failure at a random node.
+  if (injector_ != nullptr) injector_->MaybeInjectAnywhere();
+  const std::string key = core::RecordSelfKey(record);
+  std::vector<std::string> targets = PreferenceNodes(key);
+  if (targets.empty()) {
+    ++stats_.puts_failed;
+    cb(Status::Unavailable("ring is empty"));
+    return;
+  }
+  const std::uint64_t req = next_req_++;
+  PendingPut put;
+  put.key = key;
+  put.record = record;
+  put.cb = std::move(cb);
+  put.needed = std::min<int>(config_.write_quorum, static_cast<int>(targets.size()));
+  for (const std::string& target : targets) {
+    put.responded.emplace(target, false);
+    put.used.insert(target);
+  }
+  put.timeout_event =
+      loop_->Schedule(config_.put_timeout, [this, req]() { OnPutTimeout(req); });
+  put.cleanup_event = loop_->Schedule(4 * config_.put_timeout,
+                                      [this, req]() { OnPutCleanup(req); });
+  pending_puts_.emplace(req, std::move(put));
+
+  // The primary stores the original record (isData=1) and the other N-1
+  // preference nodes store copies; all replications run concurrently.
+  // Targets the heartbeat detector already classified as dead skip the
+  // doomed attempt: the write goes straight to a temporary node with a
+  // hint ("another temporary node C that is detected and found by
+  // heartbeat mechanism" — Fig. 8).
+  std::vector<std::string> known_dead;
+  for (const std::string& target : targets) {
+    if (detector_->StatusOf(target) == gossip::Liveness::kDead) {
+      known_dead.push_back(target);
+      continue;
+    }
+    PutReplicaMsg msg;
+    msg.req = req;
+    msg.record =
+        (target == targets.front()) ? record : core::AsReplicaCopy(record);
+    SendToNode(target, kMsgPutReplica, EncodePutReplica(msg));
+  }
+  if (!known_dead.empty()) {
+    PendingPut& pending = pending_puts_.find(req)->second;
+    for (const std::string& target : known_dead) {
+      pending.responded[target] = true;
+      TryHandoff(req, &pending, target);
+    }
+  }
+}
+
+void StorageNode::HandlePutAck(const sim::Message& msg) {
+  auto ack = DecodePutAck(msg.body);
+  if (!ack.ok()) return;
+  auto it = pending_puts_.find(ack->req);
+  if (it == pending_puts_.end()) return;  // late or fire-and-forget ack
+  PendingPut& put = it->second;
+  auto responded_it = put.responded.find(msg.from);
+  if (responded_it != put.responded.end()) {
+    if (responded_it->second) return;  // duplicate
+    responded_it->second = true;
+  }
+  if (ack->ok) {
+    ++put.acks;
+  } else {
+    // Abnormal event: "the system must find other storage node, and try to
+    // write several times to guarantee the success of writing."
+    TryHandoff(ack->req, &put, msg.from);
+  }
+  MaybeFinishPut(ack->req, &put);
+}
+
+void StorageNode::TryHandoff(std::uint64_t req, PendingPut* put,
+                             const std::string& failed) {
+  if (!config_.hinted_handoff) return;
+  const std::size_t want =
+      config_.replication_factor + kHandoffCandidateSlack + put->used.size();
+  std::vector<std::string> candidates = ring_.PreferenceList(put->key, want);
+  for (const std::string& candidate : candidates) {
+    if (put->used.count(candidate) > 0) continue;
+    put->used.insert(candidate);
+    put->responded.emplace(candidate, false);
+    HintStoreMsg msg;
+    msg.req = req;
+    msg.target = failed;
+    msg.record = core::AsReplicaCopy(put->record);
+    SendToNode(candidate, kMsgHintStore, EncodeHintStore(msg));
+    return;
+  }
+}
+
+void StorageNode::MaybeFinishPut(std::uint64_t req, PendingPut* put) {
+  if (!put->done && put->acks >= put->needed) {
+    put->done = true;
+    ++stats_.puts_succeeded;
+    put->cb(Status::OK());
+  }
+  // Fully settled: everyone answered and the outcome is decided.
+  bool all_responded = true;
+  for (const auto& [target, answered] : put->responded) {
+    if (!answered) {
+      all_responded = false;
+      break;
+    }
+  }
+  if (all_responded && put->done) {
+    loop_->Cancel(put->timeout_event);
+    loop_->Cancel(put->cleanup_event);
+    pending_puts_.erase(req);
+  }
+}
+
+void StorageNode::OnPutTimeout(std::uint64_t req) {
+  auto it = pending_puts_.find(req);
+  if (it == pending_puts_.end()) return;
+  PendingPut& put = it->second;
+  std::vector<std::string> silent;
+  for (const auto& [target, answered] : put.responded) {
+    if (!answered) silent.push_back(target);
+  }
+  ++put.timeout_wave;
+  if (put.timeout_wave == 1) {
+    // First wave: "try to write several times to guarantee the success of
+    // writing" — resend to the silent replicas (the outage may have been a
+    // dropped message or a short failure that already healed)...
+    for (const std::string& target : silent) {
+      PutReplicaMsg msg;
+      msg.req = req;
+      msg.record = core::AsReplicaCopy(put.record);
+      SendToNode(target, kMsgPutReplica, EncodePutReplica(msg));
+    }
+    put.timeout_event = loop_->Schedule(config_.put_timeout / 2,
+                                        [this, req]() { OnPutTimeout(req); });
+    return;
+  }
+  // ...then give up on still-silent replicas and redirect each write to a
+  // temporary node — even when the quorum already succeeded, so the
+  // intended replica's data survives the outage (Fig. 8). A further wave
+  // covers substitutes that were themselves unreachable.
+  for (const std::string& target : silent) {
+    put.responded[target] = true;
+    TryHandoff(req, &put, target);
+  }
+  if (put.timeout_wave < 4 && !put.done) {
+    put.timeout_event = loop_->Schedule(config_.put_timeout / 2,
+                                        [this, req]() { OnPutTimeout(req); });
+  }
+}
+
+void StorageNode::OnPutCleanup(std::uint64_t req) {
+  auto it = pending_puts_.find(req);
+  if (it == pending_puts_.end()) return;
+  PendingPut& put = it->second;
+  if (!put.done) {
+    put.done = true;
+    ++stats_.puts_failed;
+    put.cb(Status::QuorumFailed("write quorum not reached for key " + put.key));
+  }
+  loop_->Cancel(put.timeout_event);
+  pending_puts_.erase(it);
+}
+
+// --- coordinator: Get -------------------------------------------------------
+
+void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
+  ++stats_.gets_coordinated;
+  if (injector_ != nullptr) injector_->MaybeInjectAnywhere();
+  std::vector<std::string> targets = PreferenceNodes(key);
+  // Skip replicas the detector knows are dead (they cannot answer and
+  // would stall the all-replied miss path); keep the original list when
+  // everything looks dead so the timeout still produces a clean error.
+  std::vector<std::string> alive;
+  for (const std::string& target : targets) {
+    if (detector_->StatusOf(target) != gossip::Liveness::kDead) {
+      alive.push_back(target);
+    }
+  }
+  if (!alive.empty()) targets = std::move(alive);
+  if (targets.empty()) {
+    ++stats_.gets_failed;
+    cb(Status::Unavailable("ring is empty"));
+    return;
+  }
+  const std::uint64_t req = next_req_++;
+  PendingGet get;
+  get.key = key;
+  get.cb = std::move(cb);
+  get.needed = std::min<int>(config_.read_quorum, static_cast<int>(targets.size()));
+  get.targets = targets;
+  get.timeout_event =
+      loop_->Schedule(config_.get_timeout, [this, req]() { OnGetTimeout(req); });
+  pending_gets_.emplace(req, std::move(get));
+
+  GetReplicaMsg msg;
+  msg.req = req;
+  msg.key = key;
+  const bson::Document body = EncodeGetReplica(msg);
+  for (const std::string& target : targets) {
+    SendToNode(target, kMsgGetReplica, body);
+  }
+}
+
+void StorageNode::HandleGetAck(const sim::Message& msg) {
+  auto ack = DecodeGetAck(msg.body);
+  if (!ack.ok()) return;
+  auto it = pending_gets_.find(ack->req);
+  if (it == pending_gets_.end()) return;
+  PendingGet& get = it->second;
+  if (get.replies.count(msg.from) > 0) return;  // duplicate
+  GetReply reply;
+  reply.ok = ack->ok;
+  reply.found = ack->found;
+  reply.record = std::move(ack->record);
+  get.replies.emplace(msg.from, std::move(reply));
+  MaybeFinishGet(ack->req, &get);
+}
+
+void StorageNode::MaybeFinishGet(std::uint64_t req, PendingGet* get) {
+  int successes = 0;
+  const bson::Document* winner = nullptr;
+  for (const auto& [from, reply] : get->replies) {
+    if (!reply.ok) continue;
+    ++successes;
+    if (reply.found &&
+        (winner == nullptr || core::SupersedesLww(reply.record, *winner))) {
+      winner = &reply.record;
+    }
+  }
+  const bool all_responded = get->replies.size() == get->targets.size();
+  if (!get->done) {
+    if (winner != nullptr && successes >= get->needed) {
+      // Fast path: a found record plus R successful reads.
+      get->done = true;
+      ++stats_.gets_succeeded;
+      get->cb(*winner);
+    } else if (all_responded) {
+      // "The Get operation gets all replications of the specified key":
+      // a miss is only authoritative once every replica has answered.
+      get->done = true;
+      if (winner != nullptr) {
+        ++stats_.gets_succeeded;
+        get->cb(*winner);
+      } else if (successes >= get->needed) {
+        ++stats_.gets_failed;
+        get->cb(Status::NotFound("no replica has key " + get->key));
+      } else {
+        ++stats_.gets_failed;
+        get->cb(Status::Unavailable("read quorum unreachable for " + get->key));
+      }
+    }
+  }
+  if (all_responded) FinalizeGet(req, get);
+}
+
+void StorageNode::FinalizeGet(std::uint64_t req, PendingGet* get) {
+  // Read repair (§5.2.2): "the Get operation gets all replications of the
+  // specified key, and checks the number of replication. If replications
+  // are less than N ... some more replications are supplemented."
+  if (config_.read_repair) {
+    const bson::Document* winner = nullptr;
+    for (const auto& [from, reply] : get->replies) {
+      if (!reply.ok || !reply.found) continue;
+      if (winner == nullptr || core::SupersedesLww(reply.record, *winner)) {
+        winner = &reply.record;
+      }
+    }
+    if (winner != nullptr) {
+      for (const std::string& target : get->targets) {
+        auto reply_it = get->replies.find(target);
+        const bool needs_repair =
+            reply_it == get->replies.end() || !reply_it->second.ok ||
+            !reply_it->second.found ||
+            core::SupersedesLww(*winner, reply_it->second.record);
+        if (needs_repair) {
+          PutReplicaMsg repair;
+          repair.req = 0;  // fire-and-forget
+          repair.record = core::AsReplicaCopy(*winner);
+          SendToNode(target, kMsgPutReplica, EncodePutReplica(repair));
+          ++stats_.read_repairs;
+        }
+      }
+    }
+  }
+  loop_->Cancel(get->timeout_event);
+  pending_gets_.erase(req);
+}
+
+void StorageNode::OnGetTimeout(std::uint64_t req) {
+  auto it = pending_gets_.find(req);
+  if (it == pending_gets_.end()) return;
+  PendingGet& get = it->second;
+  if (!get.done) {
+    get.done = true;
+    // Best effort with whatever arrived before the deadline.
+    int successes = 0;
+    const bson::Document* winner = nullptr;
+    for (const auto& [from, reply] : get.replies) {
+      if (!reply.ok) continue;
+      ++successes;
+      if (reply.found &&
+          (winner == nullptr || core::SupersedesLww(reply.record, *winner))) {
+        winner = &reply.record;
+      }
+    }
+    if (winner != nullptr && successes >= 1) {
+      ++stats_.gets_succeeded;
+      get.cb(*winner);
+    } else if (successes >= get.needed) {
+      ++stats_.gets_failed;
+      get.cb(Status::NotFound("no replica has key " + get.key));
+    } else {
+      ++stats_.gets_failed;
+      get.cb(Status::Timeout("read quorum not reached for key " + get.key));
+    }
+  }
+  FinalizeGet(req, &get);
+}
+
+// --- hinted handoff write-back ----------------------------------------------
+
+void StorageNode::StartHintTimer() {
+  hint_timer_ = loop_->Schedule(config_.hint_retry_interval, [this]() {
+    if (!running_) return;
+    DeliverHints();
+    StartHintTimer();
+  });
+}
+
+void StorageNode::DeliverHints() {
+  for (const std::string& target : hints_.Targets()) {
+    // "It detects the node B periodically by heartbeat service. When it
+    // finds that the B node is on-line again, ... write the data back."
+    if (detector_->StatusOf(target) != gossip::Liveness::kAlive) continue;
+    if (!ring_.HasNode(target)) {
+      // The target was permanently removed; drop its hints (the data was
+      // re-replicated by long-failure repair).
+      for (const Hint& hint : hints_.ForTarget(target)) hints_.Remove(hint.id);
+      continue;
+    }
+    for (const Hint& hint : hints_.ForTarget(target)) {
+      SendToNode(target, kMsgHandoffDeliver,
+                 EncodeHandoffDeliver(hint.id, hint.record));
+    }
+  }
+}
+
+void StorageNode::HandleHandoffAck(const sim::Message& msg) {
+  auto ack = DecodeHandoffAck(msg.body);
+  if (!ack.ok()) return;
+  if (ack->ok && hints_.Remove(ack->hint_id)) {
+    ++stats_.hints_delivered;
+  }
+}
+
+// --- membership and long-failure repair --------------------------------------
+
+void StorageNode::OnDetectorTransition(const std::string& endpoint,
+                                       gossip::Liveness /*from*/,
+                                       gossip::Liveness to) {
+  if (to == gossip::Liveness::kDead && spec_.is_seed) {
+    // "The seed nodes are responsible for detecting 'long failure' nodes."
+    HOTMAN_LOG(kInfo) << id_ << ": seed detected long failure of " << endpoint;
+    AnnounceRemoval(endpoint);
+  }
+}
+
+void StorageNode::AnnounceRemoval(const std::string& node) {
+  MembershipMsg notice;
+  notice.node = node;
+  const bson::Document body = EncodeMembership(notice);
+  for (const std::string& member : ring_.Nodes()) {
+    if (member == id_ || member == node) continue;
+    SendToNode(member, kMsgNodeRemoved, body);
+  }
+  OnNodeRemoved(node);
+}
+
+void StorageNode::OnNodeRemoved(const std::string& node) {
+  if (!ring_.HasNode(node)) return;  // already applied
+  Status s = ring_.RemoveNode(node);
+  (void)s;
+  removed_nodes_.insert(node);
+  // Fig. 9: "node removing will cause the number of the replications of
+  // data decreasing. So some new replicas should be created and distributed
+  // to other nodes."
+  ReplicateLocalData(/*purge_unowned=*/false);
+}
+
+void StorageNode::OnNodeAdded(const std::string& node, int vnodes) {
+  if (node == id_ || ring_.HasNode(node)) return;
+  removed_nodes_.erase(node);
+  Status s = ring_.AddNode(node, vnodes);
+  if (!s.ok()) return;
+  gossiper_->AddPeer(node);
+  // "The mapping and migrating operation are executed by the next physical
+  // node on the ring": every holder pushes the keys that now belong to the
+  // newcomer and drops the ones it no longer owns.
+  ReplicateLocalData(/*purge_unowned=*/true);
+}
+
+void StorageNode::ReplicateLocalData(bool purge_unowned) {
+  auto records = store_->AllRecords();
+  if (!records.ok()) return;
+  for (const bson::Document& record : *records) {
+    const std::string key = core::RecordSelfKey(record);
+    std::vector<std::string> prefs = PreferenceNodes(key);
+    bool self_owns = false;
+    for (const std::string& target : prefs) {
+      if (target == id_) {
+        self_owns = true;
+        continue;
+      }
+      PutReplicaMsg msg;
+      msg.req = 0;  // fire-and-forget; LWW makes it idempotent
+      msg.record = core::AsReplicaCopy(record);
+      SendToNode(target, kMsgPutReplica, EncodePutReplica(msg));
+      ++stats_.rereplications;
+    }
+    if (purge_unowned && !self_owns) {
+      Status s = store_->Purge(key);
+      (void)s;
+    }
+  }
+}
+
+}  // namespace hotman::cluster

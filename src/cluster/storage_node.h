@@ -1,0 +1,242 @@
+#ifndef HOTMAN_CLUSTER_STORAGE_NODE_H_
+#define HOTMAN_CLUSTER_STORAGE_NODE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/hinted_handoff.h"
+#include "cluster/messages.h"
+#include "cluster/replica_store.h"
+#include "common/random.h"
+#include "core/record.h"
+#include "docstore/server.h"
+#include "gossip/failure_detector.h"
+#include "gossip/gossiper.h"
+#include "hashring/ring.h"
+#include "sim/event_loop.h"
+#include "sim/failure_injector.h"
+#include "sim/network.h"
+#include "sim/service_station.h"
+
+namespace hotman::cluster {
+
+/// Completion callback of a coordinated write (Put or logical Delete).
+using PutCallback = std::function<void(const Status&)>;
+/// Completion callback of a coordinated read; on success carries the full
+/// record document (callers check the isDel tombstone flag).
+using GetCallback = std::function<void(const Result<bson::Document>&)>;
+
+/// Operation counters exposed for experiments.
+struct NodeStats {
+  std::size_t puts_coordinated = 0;
+  std::size_t puts_succeeded = 0;
+  std::size_t puts_failed = 0;
+  std::size_t gets_coordinated = 0;
+  std::size_t gets_succeeded = 0;
+  std::size_t gets_failed = 0;
+  std::size_t replica_puts_applied = 0;
+  std::size_t replica_gets_served = 0;
+  std::size_t handoff_writes = 0;       ///< writes redirected to a temp node
+  std::size_t hints_delivered = 0;      ///< write-backs acknowledged
+  std::size_t read_repairs = 0;         ///< replicas supplemented after Get
+  std::size_t rereplications = 0;       ///< records re-pushed on ring change
+  std::size_t ae_rounds = 0;            ///< anti-entropy exchanges initiated
+  std::size_t ae_pushed = 0;            ///< records pushed by anti-entropy
+  std::size_t ae_requested = 0;         ///< records pulled by anti-entropy
+};
+
+/// One storage node of the MyStore data storage module (§5.1):
+///  - the *lower layer* is the embedded MongoDB-like engine
+///    (docstore::DocStoreServer + ReplicaStore with the record schema);
+///  - the *middle layer* is this class: the normal message handling process
+///    (put/get replica traffic), the abnormal event handling process
+///    (nacks, timeouts, hinted handoff, long-failure repair) and the
+///    synchronization message process (gossip + membership notices);
+///  - the *upper layer* transport is the simulated network (standing in for
+///    the paper's Netty TCP framework).
+///
+/// Every node can coordinate client requests ("clients can connect to any
+/// node in the system to get/put data").
+class StorageNode {
+ public:
+  StorageNode(const NodeSpec& spec, const ClusterConfig& config,
+              sim::EventLoop* loop, sim::SimNetwork* network,
+              sim::FailureInjector* injector, std::uint64_t rng_seed);
+  ~StorageNode();
+
+  StorageNode(const StorageNode&) = delete;
+  StorageNode& operator=(const StorageNode&) = delete;
+
+  /// Registers with the network, builds the initial ring from the static
+  /// configuration, boots gossip + the failure detector + the hint
+  /// write-back timer.
+  void Start();
+
+  /// Graceful stop: unregisters from the network and stops timers.
+  void Stop();
+
+  // --- client (coordinator) API -------------------------------------------
+
+  /// Coordinates a write of (key, value): builds the record, replicates to
+  /// the N preference nodes, succeeds at W acks (§5.2.2).
+  void CoordinatePut(const std::string& key, Bytes value, PutCallback cb);
+
+  /// Logical delete: a tombstone write (isDel=1) through the same quorum.
+  void CoordinateDelete(const std::string& key, PutCallback cb);
+
+  /// Coordinates a read: queries the N preference nodes, succeeds at R
+  /// responses, reconciles last-write-wins, then supplements stale or
+  /// missing replicas (read repair).
+  void CoordinateGet(const std::string& key, GetCallback cb);
+
+  // --- membership ----------------------------------------------------------
+
+  /// Applies a node-removed notice: drops the node from the ring and
+  /// re-replicates local data so every record regains N replicas (Fig. 9).
+  void OnNodeRemoved(const std::string& node);
+
+  /// Applies a node-added notice: adds the node to the ring and migrates
+  /// the keys that now belong to it.
+  void OnNodeAdded(const std::string& node, int vnodes);
+
+  /// Seed-side: broadcasts a node_removed notice to every known endpoint
+  /// and applies it locally.
+  void AnnounceRemoval(const std::string& node);
+
+  // --- anti-entropy (background consistency, future-work extension) ------
+
+  /// One synchronization round with `peer`: sends a digest of every local
+  /// record the peer should also hold; the peer pushes back newer versions
+  /// and requests the ones it is missing. Normally driven by the periodic
+  /// timer (config.anti_entropy); exposed for tests and ablations.
+  void RunAntiEntropyRound(const std::string& peer);
+
+  // --- introspection --------------------------------------------------------
+
+  const std::string& id() const { return id_; }
+  bool is_seed() const { return spec_.is_seed; }
+  const hashring::Ring& ring() const { return ring_; }
+  ReplicaStore* store() { return store_.get(); }
+  HintStore* hints() { return &hints_; }
+  gossip::Gossiper* gossiper() { return gossiper_.get(); }
+  gossip::FailureDetector* detector() { return detector_.get(); }
+  docstore::DocStoreServer* server() { return server_.get(); }
+  sim::ServiceStation* station() { return station_.get(); }
+  const NodeStats& stats() const { return stats_; }
+
+  /// Nodes this node believes are cluster members (on its ring).
+  std::vector<std::string> KnownMembers() const { return ring_.Nodes(); }
+
+ private:
+  struct PendingPut {
+    std::string key;
+    bson::Document record;
+    PutCallback cb;
+    bool done = false;
+    int needed = 0;
+    int acks = 0;
+    int timeout_wave = 0;
+    std::map<std::string, bool> responded;  // target -> answered?
+    std::set<std::string> used;             // every node contacted
+    sim::EventId timeout_event = 0;
+    sim::EventId cleanup_event = 0;
+  };
+
+  struct GetReply {
+    bool ok = false;
+    bool found = false;
+    bson::Document record;
+  };
+
+  struct PendingGet {
+    std::string key;
+    GetCallback cb;
+    bool done = false;
+    int needed = 0;
+    std::vector<std::string> targets;
+    std::map<std::string, GetReply> replies;
+    sim::EventId timeout_event = 0;
+  };
+
+  // Message plumbing.
+  void HandleMessage(const sim::Message& msg);
+  void SendToNode(const std::string& to, const std::string& type,
+                  bson::Document body);
+
+  // Replica-side handlers (the normal message handling process).
+  void HandlePutReplica(const sim::Message& msg);
+  void HandleGetReplica(const sim::Message& msg);
+  void HandleHintStore(const sim::Message& msg);
+  void HandleHandoffDeliver(const sim::Message& msg);
+
+  // Coordinator-side handlers.
+  void HandlePutAck(const sim::Message& msg);
+  void HandleGetAck(const sim::Message& msg);
+  void HandleHandoffAck(const sim::Message& msg);
+
+  // Put state machine.
+  void StartPut(bson::Document record, PutCallback cb);
+  void TryHandoff(std::uint64_t req, PendingPut* put, const std::string& failed);
+  void OnPutTimeout(std::uint64_t req);
+  void OnPutCleanup(std::uint64_t req);
+  void MaybeFinishPut(std::uint64_t req, PendingPut* put);
+
+  // Get state machine.
+  void OnGetTimeout(std::uint64_t req);
+  void MaybeFinishGet(std::uint64_t req, PendingGet* get);
+  void FinalizeGet(std::uint64_t req, PendingGet* get);
+
+  // Anti-entropy plumbing.
+  void StartAntiEntropyTimer();
+  void HandleAeDigest(const sim::Message& msg);
+  void HandleAeRequest(const sim::Message& msg);
+  /// Records for which both `self` and `peer` are preference members.
+  std::vector<bson::Document> SharedRecords(const std::string& peer);
+
+  // Failure handling.
+  void StartHintTimer();
+  void DeliverHints();
+  void OnDetectorTransition(const std::string& endpoint, gossip::Liveness from,
+                            gossip::Liveness to);
+
+  // Rebalancing (long failure / node arrival).
+  void ReplicateLocalData(bool purge_unowned);
+
+  /// The N distinct physical preference nodes for `key`.
+  std::vector<std::string> PreferenceNodes(const std::string& key) const;
+
+  NodeSpec spec_;
+  ClusterConfig config_;
+  std::string id_;
+  sim::EventLoop* loop_;
+  sim::SimNetwork* network_;
+  sim::FailureInjector* injector_;
+
+  hashring::Ring ring_;
+  std::set<std::string> removed_nodes_;
+  std::unique_ptr<docstore::DocStoreServer> server_;
+  std::unique_ptr<ReplicaStore> store_;
+  std::unique_ptr<sim::ServiceStation> station_;
+  std::unique_ptr<gossip::Gossiper> gossiper_;
+  std::unique_ptr<gossip::FailureDetector> detector_;
+  HintStore hints_;
+
+  std::uint64_t next_req_ = 1;
+  std::map<std::uint64_t, PendingPut> pending_puts_;
+  std::map<std::uint64_t, PendingGet> pending_gets_;
+
+  bool running_ = false;
+  sim::EventId hint_timer_ = 0;
+  sim::EventId ae_timer_ = 0;
+  Rng ae_rng_{0x5eedae};
+  NodeStats stats_;
+};
+
+}  // namespace hotman::cluster
+
+#endif  // HOTMAN_CLUSTER_STORAGE_NODE_H_

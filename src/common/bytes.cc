@@ -1,0 +1,153 @@
+#include "common/bytes.h"
+
+#include <array>
+
+namespace hotman {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+constexpr char kBase64Digits[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+int Base64Value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(const std::uint8_t* data, std::size_t len) {
+  std::string out;
+  out.reserve(len * 2);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+std::string HexEncode(const Bytes& data) { return HexEncode(data.data(), data.size()); }
+
+std::string HexEncode(std::string_view data) {
+  return HexEncode(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+}
+
+bool HexDecode(std::string_view hex, Bytes* out) {
+  if (hex.size() % 2 != 0) return false;
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return true;
+}
+
+std::string Base64Encode(const std::uint8_t* data, std::size_t len) {
+  std::string out;
+  out.reserve((len + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= len; i += 3) {
+    std::uint32_t n = (data[i] << 16) | (data[i + 1] << 8) | data[i + 2];
+    out.push_back(kBase64Digits[(n >> 18) & 63]);
+    out.push_back(kBase64Digits[(n >> 12) & 63]);
+    out.push_back(kBase64Digits[(n >> 6) & 63]);
+    out.push_back(kBase64Digits[n & 63]);
+  }
+  std::size_t rem = len - i;
+  if (rem == 1) {
+    std::uint32_t n = data[i] << 16;
+    out.push_back(kBase64Digits[(n >> 18) & 63]);
+    out.push_back(kBase64Digits[(n >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    std::uint32_t n = (data[i] << 16) | (data[i + 1] << 8);
+    out.push_back(kBase64Digits[(n >> 18) & 63]);
+    out.push_back(kBase64Digits[(n >> 12) & 63]);
+    out.push_back(kBase64Digits[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string Base64Encode(const Bytes& data) {
+  return Base64Encode(data.data(), data.size());
+}
+
+bool Base64Decode(std::string_view text, Bytes* out) {
+  if (text.size() % 4 != 0) return false;
+  out->clear();
+  out->reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::array<int, 4> v{};
+    for (int j = 0; j < 4; ++j) {
+      char c = text[i + j];
+      if (c == '=') {
+        // '=' is only valid in the final two positions of the final group.
+        if (i + 4 != text.size() || j < 2) return false;
+        v[j] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) return false;  // data after padding
+        v[j] = Base64Value(c);
+        if (v[j] < 0) return false;
+      }
+    }
+    std::uint32_t n = (v[0] << 18) | (v[1] << 12) | (v[2] << 6) | v[3];
+    out->push_back(static_cast<std::uint8_t>((n >> 16) & 0xFF));
+    if (pad < 2) out->push_back(static_cast<std::uint8_t>((n >> 8) & 0xFF));
+    if (pad < 1) out->push_back(static_cast<std::uint8_t>(n & 0xFF));
+  }
+  return true;
+}
+
+Bytes ToBytes(std::string_view s) {
+  return Bytes(reinterpret_cast<const std::uint8_t*>(s.data()),
+               reinterpret_cast<const std::uint8_t*>(s.data()) + s.size());
+}
+
+std::string ToString(const Bytes& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+void PutFixed32(std::string* out, std::uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void PutFixed64(std::string* out, std::uint64_t v) {
+  PutFixed32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  PutFixed32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t GetFixed32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t GetFixed64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(GetFixed32(p)) |
+         (static_cast<std::uint64_t>(GetFixed32(p + 4)) << 32);
+}
+
+}  // namespace hotman

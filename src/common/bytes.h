@@ -1,0 +1,45 @@
+#ifndef HOTMAN_COMMON_BYTES_H_
+#define HOTMAN_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hotman {
+
+/// Raw byte payload (unstructured data entity stored in the `val` field).
+using Bytes = std::vector<std::uint8_t>;
+
+/// Lowercase hex encoding of `data` ("deadbeef").
+std::string HexEncode(const std::uint8_t* data, std::size_t len);
+std::string HexEncode(const Bytes& data);
+std::string HexEncode(std::string_view data);
+
+/// Inverse of HexEncode; returns false on odd length or non-hex characters.
+bool HexDecode(std::string_view hex, Bytes* out);
+
+/// Standard base64 (RFC 4648) used when printing BSON BinData as JSON.
+std::string Base64Encode(const std::uint8_t* data, std::size_t len);
+std::string Base64Encode(const Bytes& data);
+
+/// Inverse of Base64Encode; returns false on malformed input.
+bool Base64Decode(std::string_view text, Bytes* out);
+
+/// Converts a string to a byte vector (no copy avoidance; small helper).
+Bytes ToBytes(std::string_view s);
+
+/// Converts bytes to a std::string (binary-safe).
+std::string ToString(const Bytes& b);
+
+/// Appends a little-endian fixed-width integer to `out` (BSON wire order).
+void PutFixed32(std::string* out, std::uint32_t v);
+void PutFixed64(std::string* out, std::uint64_t v);
+
+/// Reads a little-endian integer from `p` (caller guarantees bounds).
+std::uint32_t GetFixed32(const std::uint8_t* p);
+std::uint64_t GetFixed64(const std::uint8_t* p);
+
+}  // namespace hotman
+
+#endif  // HOTMAN_COMMON_BYTES_H_

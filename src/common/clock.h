@@ -1,0 +1,55 @@
+#ifndef HOTMAN_COMMON_CLOCK_H_
+#define HOTMAN_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace hotman {
+
+/// Microseconds since an arbitrary epoch. All timestamps in hotman use this
+/// unit; the distributed experiments run on a virtual clock (sim::EventLoop)
+/// while the embedded docstore can run on the real system clock.
+using Micros = std::int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * 1000;
+
+/// Time source abstraction so the same code runs under real time and under
+/// the deterministic discrete-event simulator.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds.
+  virtual Micros NowMicros() const = 0;
+};
+
+/// Wall-clock backed by std::chrono::steady_clock.
+class SystemClock final : public Clock {
+ public:
+  Micros NowMicros() const override;
+
+  /// Process-wide instance (trivially destructible is not required for a
+  /// function-local static reference per the style guide pattern).
+  static SystemClock* Default();
+};
+
+/// Manually advanced clock for unit tests and as the simulator's time base.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Micros start = 0) : now_(start) {}
+
+  Micros NowMicros() const override { return now_; }
+
+  /// Moves time forward by `delta` microseconds (delta >= 0).
+  void Advance(Micros delta) { now_ += delta; }
+
+  /// Jumps directly to `t` (monotonicity is the caller's responsibility).
+  void SetTime(Micros t) { now_ = t; }
+
+ private:
+  Micros now_;
+};
+
+}  // namespace hotman
+
+#endif  // HOTMAN_COMMON_CLOCK_H_

@@ -1,0 +1,47 @@
+#ifndef HOTMAN_COMMON_LOGGING_H_
+#define HOTMAN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hotman {
+
+/// Severity levels, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped. Benchmarks set this
+/// to kOff so log formatting never perturbs measurements.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction. Use via the HOTMAN_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Usage: HOTMAN_LOG(kInfo) << "node " << id << " joined";
+#define HOTMAN_LOG(severity)                                                     \
+  if (::hotman::LogLevel::severity < ::hotman::GetLogLevel()) {                  \
+  } else                                                                         \
+    ::hotman::internal::LogMessage(::hotman::LogLevel::severity, __FILE__,       \
+                                   __LINE__)                                     \
+        .stream()
+
+}  // namespace hotman
+
+#endif  // HOTMAN_COMMON_LOGGING_H_

@@ -1,0 +1,68 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hotman {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kTimeout:
+      return "Timeout";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kNetworkError:
+      return "NetworkError";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kNotConnected:
+      return "NotConnected";
+    case Status::Code::kQuorumFailed:
+      return "QuorumFailed";
+    case Status::Code::kUnauthorized:
+      return "Unauthorized";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kAborted:
+      return "Aborted";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal {
+
+void DieBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "Result::value() called on error result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace hotman

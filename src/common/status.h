@@ -1,0 +1,184 @@
+#ifndef HOTMAN_COMMON_STATUS_H_
+#define HOTMAN_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hotman {
+
+/// Outcome of an operation that can fail without exceptional control flow.
+///
+/// hotman never throws on hot paths; every fallible operation returns a
+/// `Status` (or a `Result<T>`, see below). The set of codes mirrors what the
+/// storage stack actually needs: local engine errors (NotFound, Corruption,
+/// IOError), distributed-layer errors (Timeout, Unavailable, NetworkError,
+/// QuorumFailed) and interface errors (InvalidArgument, Unauthorized).
+class [[nodiscard]] Status {
+ public:
+  /// Error category. `kOk` is the unique success value.
+  enum class Code : std::uint8_t {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kTimeout = 5,
+    kUnavailable = 6,
+    kNetworkError = 7,
+    kBusy = 8,
+    kAlreadyExists = 9,
+    kNotConnected = 10,
+    kQuorumFailed = 11,
+    kUnauthorized = 12,
+    kNotSupported = 13,
+    kAborted = 14,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers; prefer these over the raw constructor.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") { return Status(Code::kNotFound, msg); }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg = "") { return Status(Code::kIOError, msg); }
+  static Status Timeout(std::string_view msg = "") { return Status(Code::kTimeout, msg); }
+  static Status Unavailable(std::string_view msg = "") {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status NetworkError(std::string_view msg = "") {
+    return Status(Code::kNetworkError, msg);
+  }
+  static Status Busy(std::string_view msg = "") { return Status(Code::kBusy, msg); }
+  static Status AlreadyExists(std::string_view msg = "") {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status NotConnected(std::string_view msg = "") {
+    return Status(Code::kNotConnected, msg);
+  }
+  static Status QuorumFailed(std::string_view msg = "") {
+    return Status(Code::kQuorumFailed, msg);
+  }
+  static Status Unauthorized(std::string_view msg = "") {
+    return Status(Code::kUnauthorized, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Aborted(std::string_view msg = "") { return Status(Code::kAborted, msg); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsTimeout() const { return code_ == Code::kTimeout; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsNetworkError() const { return code_ == Code::kNetworkError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsNotConnected() const { return code_ == Code::kNotConnected; }
+  bool IsQuorumFailed() const { return code_ == Code::kQuorumFailed; }
+  bool IsUnauthorized() const { return code_ == Code::kUnauthorized; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string, e.g. "NotFound: key x".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// A value-or-error holder: either a `T` (status().ok()) or a failed Status.
+///
+/// Accessing the value of an error Result is a programming bug and aborts.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from a value: allows `return value;` from Result-returning code.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from an error status: allows `return Status::NotFound();`.
+  Result(Status status) : status_(std::move(status)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    if (value_.has_value()) return *value_;
+    return fallback;
+  }
+
+ private:
+  void CheckHasValue() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+/// Aborts the process with `what` (used by Result on misuse).
+[[noreturn]] void DieBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckHasValue() const {
+  if (!value_.has_value()) internal::DieBadResultAccess(status_);
+}
+
+/// Propagates errors to the caller, RocksDB/absl style:
+///   HOTMAN_RETURN_IF_ERROR(DoThing());
+#define HOTMAN_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::hotman::Status _hotman_status = (expr);         \
+    if (!_hotman_status.ok()) return _hotman_status;  \
+  } while (0)
+
+}  // namespace hotman
+
+#endif  // HOTMAN_COMMON_STATUS_H_

@@ -1,0 +1,155 @@
+#include "core/chunked.h"
+
+#include <algorithm>
+
+#include "bson/codec.h"
+
+namespace hotman::core {
+
+namespace {
+
+/// Manifests are marked with a magic prefix so IsChunked can distinguish
+/// them from raw values that merely look structured.
+constexpr char kManifestMagic[] = "hotman.manifest.v1";
+
+}  // namespace
+
+ChunkedStore::ChunkedStore(MyStore* store, Options options)
+    : store_(store), options_(options) {
+  if (options_.segment_bytes == 0) options_.segment_bytes = 512 * 1024;
+}
+
+std::string ChunkedStore::SegmentKey(const std::string& key, std::size_t index) {
+  return key + "#" + std::to_string(index);
+}
+
+Bytes ChunkedStore::EncodeManifest(const Manifest& manifest) {
+  bson::Document doc;
+  doc.Append("magic", bson::Value(kManifestMagic));
+  doc.Append("total", bson::Value(static_cast<std::int64_t>(manifest.total_bytes)));
+  doc.Append("segment",
+             bson::Value(static_cast<std::int64_t>(manifest.segment_bytes)));
+  doc.Append("count",
+             bson::Value(static_cast<std::int64_t>(manifest.num_segments)));
+  return ToBytes(bson::EncodeToString(doc));
+}
+
+Result<ChunkedStore::Manifest> ChunkedStore::DecodeManifest(const Bytes& bytes) {
+  bson::Document doc;
+  HOTMAN_RETURN_IF_ERROR(bson::Decode(ToString(bytes), &doc));
+  const bson::Value* magic = doc.Get("magic");
+  if (magic == nullptr || !magic->is_string() ||
+      magic->as_string() != kManifestMagic) {
+    return Status::InvalidArgument("not a chunked-object manifest");
+  }
+  const bson::Value* total = doc.Get("total");
+  const bson::Value* segment = doc.Get("segment");
+  const bson::Value* count = doc.Get("count");
+  if (total == nullptr || !total->is_int64() || segment == nullptr ||
+      !segment->is_int64() || count == nullptr || !count->is_int64()) {
+    return Status::Corruption("malformed manifest");
+  }
+  Manifest manifest;
+  manifest.total_bytes = static_cast<std::size_t>(total->as_int64());
+  manifest.segment_bytes = static_cast<std::size_t>(segment->as_int64());
+  manifest.num_segments = static_cast<std::size_t>(count->as_int64());
+  if (manifest.segment_bytes == 0) {
+    return Status::Corruption("inconsistent manifest geometry");
+  }
+  const std::size_t expected_segments =
+      manifest.total_bytes == 0
+          ? 1  // empty objects still carry one (empty) segment
+          : (manifest.total_bytes + manifest.segment_bytes - 1) /
+                manifest.segment_bytes;
+  if (manifest.num_segments != expected_segments) {
+    return Status::Corruption("inconsistent manifest geometry");
+  }
+  return manifest;
+}
+
+Status ChunkedStore::Put(const std::string& key, const Bytes& value) {
+  Manifest manifest;
+  manifest.total_bytes = value.size();
+  manifest.segment_bytes = options_.segment_bytes;
+  manifest.num_segments =
+      (value.size() + options_.segment_bytes - 1) / options_.segment_bytes;
+  if (manifest.num_segments == 0) manifest.num_segments = 1;  // empty object
+
+  // Segments first, manifest last: a reader never sees a manifest whose
+  // segments are missing.
+  std::size_t written = 0;
+  Status failure = Status::OK();
+  for (std::size_t i = 0; i < manifest.num_segments; ++i) {
+    const std::size_t begin = i * options_.segment_bytes;
+    const std::size_t end = std::min(value.size(), begin + options_.segment_bytes);
+    Bytes segment(value.begin() + begin, value.begin() + end);
+    failure = store_->Post(SegmentKey(key, i), std::move(segment));
+    if (!failure.ok()) break;
+    ++written;
+  }
+  if (!failure.ok()) {
+    // Roll back what we managed to write (logical deletes; best effort).
+    for (std::size_t i = 0; i < written; ++i) {
+      Status s = store_->Delete(SegmentKey(key, i));
+      (void)s;
+    }
+    return failure;
+  }
+  return store_->Post(key, EncodeManifest(manifest));
+}
+
+Result<ChunkedStore::Manifest> ChunkedStore::GetManifest(const std::string& key) {
+  auto raw = store_->Get(key);
+  if (!raw.ok()) return raw.status();
+  return DecodeManifest(*raw);
+}
+
+bool ChunkedStore::IsChunked(const std::string& key) {
+  return GetManifest(key).ok();
+}
+
+Result<Bytes> ChunkedStore::GetSegment(const std::string& key, std::size_t index) {
+  auto manifest = GetManifest(key);
+  if (!manifest.ok()) return manifest.status();
+  if (index >= manifest->num_segments) {
+    return Status::InvalidArgument("segment index out of range");
+  }
+  return store_->Get(SegmentKey(key, index));
+}
+
+Result<Bytes> ChunkedStore::Get(const std::string& key) {
+  auto manifest = GetManifest(key);
+  if (!manifest.ok()) return manifest.status();
+  Bytes value;
+  value.reserve(manifest->total_bytes);
+  for (std::size_t i = 0; i < manifest->num_segments; ++i) {
+    auto segment = store_->Get(SegmentKey(key, i));
+    if (!segment.ok()) {
+      if (segment.status().IsNotFound()) {
+        return Status::Corruption("segment " + std::to_string(i) +
+                                  " missing for chunked object " + key);
+      }
+      return segment.status();
+    }
+    value.insert(value.end(), segment->begin(), segment->end());
+  }
+  if (value.size() != manifest->total_bytes) {
+    return Status::Corruption("reassembled size mismatch for " + key);
+  }
+  return value;
+}
+
+Status ChunkedStore::Delete(const std::string& key) {
+  auto manifest = GetManifest(key);
+  if (!manifest.ok()) return manifest.status();
+  // Manifest first: readers immediately stop seeing the object, then the
+  // segments become unreachable garbage that the tombstones cover.
+  HOTMAN_RETURN_IF_ERROR(store_->Delete(key));
+  for (std::size_t i = 0; i < manifest->num_segments; ++i) {
+    Status s = store_->Delete(SegmentKey(key, i));
+    (void)s;  // best effort; unreferenced segments are harmless
+  }
+  return Status::OK();
+}
+
+}  // namespace hotman::core

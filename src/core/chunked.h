@@ -1,0 +1,76 @@
+#ifndef HOTMAN_CORE_CHUNKED_H_
+#define HOTMAN_CORE_CHUNKED_H_
+
+#include <string>
+#include <vector>
+
+#include "core/mystore.h"
+
+namespace hotman::core {
+
+/// Segmented large-object storage — the paper's future work: "More
+/// attentions also will be paid to the segmentation, storage and schedule
+/// of large video files."
+///
+/// A large value is split into fixed-size segments, each stored as its own
+/// record under a derived key ("<key>#<index>"), plus a manifest record
+/// under the original key describing the segmentation. Segments spread
+/// across the ring independently (each segment key hashes to its own
+/// preference list), so a 100 MB video is served by the whole cluster
+/// rather than one unlucky replica set, and reads can be scheduled
+/// segment-by-segment (streaming) or up-front (prefetch).
+/// Segmentation parameters for ChunkedStore.
+struct ChunkedOptions {
+  std::size_t segment_bytes = 512 * 1024;  ///< segment size (512 KB)
+};
+
+class ChunkedStore {
+ public:
+  using Options = ChunkedOptions;
+
+  /// Manifest of a stored object.
+  struct Manifest {
+    std::size_t total_bytes = 0;
+    std::size_t segment_bytes = 0;
+    std::size_t num_segments = 0;
+  };
+
+  ChunkedStore(MyStore* store, Options options = Options());
+
+  /// Splits `value` into segments and stores manifest + segments. The write
+  /// succeeds only if the manifest and every segment reach their quorums;
+  /// on partial failure the already-written segments are deleted.
+  Status Put(const std::string& key, const Bytes& value);
+
+  /// Reassembles the object: manifest, then every segment in order.
+  Result<Bytes> Get(const std::string& key);
+
+  /// Reads one segment (the "schedule" building block for streaming: a
+  /// player fetches segment i while playing segment i-1).
+  Result<Bytes> GetSegment(const std::string& key, std::size_t index);
+
+  /// Manifest lookup without touching the payload.
+  Result<Manifest> GetManifest(const std::string& key);
+
+  /// Deletes manifest and all segments (logical deletes).
+  Status Delete(const std::string& key);
+
+  /// True when `key` holds a chunked object (a manifest, not raw bytes).
+  bool IsChunked(const std::string& key);
+
+  const Options& options() const { return options_; }
+
+  /// Key of segment `index` for object `key`.
+  static std::string SegmentKey(const std::string& key, std::size_t index);
+
+ private:
+  static Bytes EncodeManifest(const Manifest& manifest);
+  static Result<Manifest> DecodeManifest(const Bytes& bytes);
+
+  MyStore* store_;
+  Options options_;
+};
+
+}  // namespace hotman::core
+
+#endif  // HOTMAN_CORE_CHUNKED_H_

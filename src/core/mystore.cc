@@ -1,0 +1,186 @@
+#include "core/mystore.h"
+
+#include "rest/signature.h"
+
+namespace hotman::core {
+
+MyStore::MyStore(MyStoreConfig config) : config_(std::move(config)) {
+  cluster_ = std::make_unique<cluster::Cluster>(config_.cluster, config_.seed,
+                                                config_.failures);
+  cache_ = std::make_unique<cache::CachePool>(config_.cache_servers,
+                                              config_.cache_bytes_per_server);
+  tokens_ = std::make_unique<rest::TokenDb>(cluster_->loop()->clock());
+  router_ = std::make_unique<rest::Router>(
+      config_.rest_workers, [this](int worker, const rest::Request& request) {
+        return HandleOnWorker(worker, request);
+      });
+  key_generator_ = std::make_unique<bson::ObjectIdGenerator>(
+      0xFACADEull, cluster_->loop()->clock());
+}
+
+MyStore::~MyStore() = default;
+
+Status MyStore::Start() { return cluster_->Start(); }
+
+void MyStore::GetAsync(const std::string& key, GetCb cb) {
+  Bytes cached;
+  if (cache_->Get(key, &cached)) {
+    cb(std::move(cached));
+    return;
+  }
+  cluster_->Get(key, [this, key, cb = std::move(cb)](
+                         const Result<bson::Document>& record) {
+    if (!record.ok()) {
+      cb(record.status());
+      return;
+    }
+    if (RecordIsDeleted(*record)) {
+      cb(Status::NotFound("key deleted: " + key));
+      return;
+    }
+    Bytes value = RecordValue(*record);
+    cache_->Put(key, value);  // read-through insert
+    cb(std::move(value));
+  });
+}
+
+void MyStore::PostAsync(const std::string& key, Bytes value, MutateCb cb) {
+  cluster_->Put(key, value, [this, key, value, cb = std::move(cb)](const Status& s) {
+    if (s.ok()) cache_->Put(key, value);  // write-through on success
+    cb(s);
+  });
+}
+
+void MyStore::DeleteAsync(const std::string& key, MutateCb cb) {
+  cache_->Erase(key);
+  cluster_->Delete(key, std::move(cb));
+}
+
+Result<Bytes> MyStore::Get(const std::string& key) {
+  Bytes cached;
+  if (cache_->Get(key, &cached)) return cached;
+  auto value = cluster_->GetSync(key);
+  if (value.ok()) cache_->Put(key, *value);
+  return value;
+}
+
+Status MyStore::Post(const std::string& key, Bytes value) {
+  Status s = cluster_->PutSync(key, value);
+  if (s.ok()) cache_->Put(key, std::move(value));
+  return s;
+}
+
+Result<std::string> MyStore::PostNew(Bytes value) {
+  const std::string key = key_generator_->Next().ToHex();
+  HOTMAN_RETURN_IF_ERROR(Post(key, std::move(value)));
+  return key;
+}
+
+Status MyStore::Delete(const std::string& key) {
+  cache_->Erase(key);
+  return cluster_->DeleteSync(key);
+}
+
+rest::Response MyStore::Handle(const rest::Request& request) {
+  return router_->Dispatch(request);
+}
+
+rest::Response MyStore::HandleSigned(const std::string& user,
+                                     const rest::Request& request) {
+  rest::Response response;
+  auto token_it = request.query.find("token");
+  auto sig_it = request.query.find("signature");
+  if (token_it == request.query.end() || sig_it == request.query.end()) {
+    response.code = rest::StatusCode::kUnauthorized;
+    response.error = "missing token/signature";
+    return response;
+  }
+  auto secret = tokens_->SecretKeyOf(user);
+  if (!secret.ok()) {
+    response.code = rest::StatusCode::kUnauthorized;
+    response.error = secret.status().ToString();
+    return response;
+  }
+  // The signature covers the URI *without* the auth parameters.
+  rest::Request unsigned_request = request;
+  unsigned_request.query.erase("token");
+  unsigned_request.query.erase("signature");
+  if (!rest::VerifySignature(token_it->second, unsigned_request.Uri(), *secret,
+                             sig_it->second)) {
+    response.code = rest::StatusCode::kUnauthorized;
+    response.error = "bad signature";
+    return response;
+  }
+  Status consumed = tokens_->ConsumeToken(user, token_it->second);
+  if (!consumed.ok()) {
+    response.code = rest::StatusCode::kUnauthorized;
+    response.error = consumed.ToString();
+    return response;
+  }
+  return Handle(unsigned_request);
+}
+
+rest::Response MyStore::HandleOnWorker(int /*worker*/, const rest::Request& request) {
+  rest::Response response;
+  const std::string key = request.ResourceKey();
+  switch (request.method) {
+    case rest::Method::kGet: {
+      if (key.empty()) {
+        response.code = rest::StatusCode::kBadRequest;
+        response.error = "GET requires a key";
+        return response;
+      }
+      auto value = Get(key);
+      if (!value.ok()) {
+        response.code = value.status().IsNotFound()
+                            ? rest::StatusCode::kNotFound
+                            : rest::StatusCode::kServiceUnavailable;
+        response.error = value.status().ToString();
+        return response;
+      }
+      response.code = rest::StatusCode::kOk;
+      response.body = std::move(*value);
+      return response;
+    }
+    case rest::Method::kPost: {
+      if (key.empty() || key == "data") {
+        auto new_key = PostNew(request.body);
+        if (!new_key.ok()) {
+          response.code = rest::StatusCode::kServiceUnavailable;
+          response.error = new_key.status().ToString();
+          return response;
+        }
+        response.code = rest::StatusCode::kCreated;
+        response.body = ToBytes(*new_key);
+        return response;
+      }
+      Status s = Post(key, request.body);
+      if (!s.ok()) {
+        response.code = rest::StatusCode::kServiceUnavailable;
+        response.error = s.ToString();
+        return response;
+      }
+      response.code = rest::StatusCode::kOk;
+      return response;
+    }
+    case rest::Method::kDelete: {
+      if (key.empty()) {
+        response.code = rest::StatusCode::kBadRequest;
+        response.error = "DELETE must have a key";
+        return response;
+      }
+      Status s = Delete(key);
+      if (!s.ok() && !s.IsNotFound()) {
+        response.code = rest::StatusCode::kServiceUnavailable;
+        response.error = s.ToString();
+        return response;
+      }
+      response.code = rest::StatusCode::kNoContent;
+      return response;
+    }
+  }
+  response.code = rest::StatusCode::kBadRequest;
+  return response;
+}
+
+}  // namespace hotman::core

@@ -1,0 +1,93 @@
+#include "docstore/connection.h"
+
+namespace hotman::docstore {
+
+ConnectionLease::ConnectionLease(ConnectionPool* pool, std::unique_ptr<Connection> conn)
+    : pool_(pool), conn_(std::move(conn)) {}
+
+ConnectionLease::~ConnectionLease() {
+  if (pool_ != nullptr && conn_ != nullptr) pool_->Release(std::move(conn_));
+}
+
+ConnectionLease::ConnectionLease(ConnectionLease&& other) noexcept
+    : pool_(other.pool_), conn_(std::move(other.conn_)) {
+  other.pool_ = nullptr;
+}
+
+ConnectionLease& ConnectionLease::operator=(ConnectionLease&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr && conn_ != nullptr) pool_->Release(std::move(conn_));
+    pool_ = other.pool_;
+    conn_ = std::move(other.conn_);
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+ConnectionPool::ConnectionPool(DocStoreServer* server, ConnectionConfig config)
+    : server_(server), config_(std::move(config)) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < config_.pool_min_size; ++i) {
+    idle_.push_back(std::make_unique<Connection>(server_));
+    ++live_;
+  }
+}
+
+Status ConnectionPool::Connect() {
+  const int attempts = config_.auto_connect_retry ? config_.max_retries + 1 : 1;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    auto lease = Acquire();
+    if (!lease.ok()) {
+      last = lease.status();
+      continue;
+    }
+    // The real connection test: query the version of the configured
+    // database. Any exception during the probe fails the Connect.
+    Result<std::string> version = (*lease)->server()->QueryVersion();
+    if (version.ok()) return Status::OK();
+    (*lease)->MarkBroken();
+    last = version.status();
+  }
+  return last;
+}
+
+Result<ConnectionLease> ConnectionPool::Acquire() {
+  HOTMAN_RETURN_IF_ERROR(server_->CheckConnectable());
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!idle_.empty()) {
+    std::unique_ptr<Connection> conn = std::move(idle_.front());
+    idle_.pop_front();
+    if (conn->broken() || !conn->Ping().ok()) {
+      --live_;  // drop broken connection
+      continue;
+    }
+    return ConnectionLease(this, std::move(conn));
+  }
+  if (live_ >= static_cast<std::size_t>(config_.pool_max_size)) {
+    return Status::Busy("connection pool exhausted");
+  }
+  ++live_;
+  return ConnectionLease(this, std::make_unique<Connection>(server_));
+}
+
+void ConnectionPool::Release(std::unique_ptr<Connection> conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (conn->broken()) {
+    --live_;
+    return;
+  }
+  idle_.push_back(std::move(conn));
+}
+
+std::size_t ConnectionPool::IdleCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+std::size_t ConnectionPool::LiveCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+}  // namespace hotman::docstore

@@ -1,0 +1,29 @@
+#include "docstore/cursor.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hotman::docstore {
+
+Cursor::Cursor(std::vector<bson::Document> docs, std::size_t batch_size)
+    : docs_(std::move(docs)), batch_size_(batch_size == 0 ? 1 : batch_size) {}
+
+const bson::Document& Cursor::Next() {
+  if (!HasNext()) {
+    std::fprintf(stderr, "Cursor::Next() called past the end\n");
+    std::abort();
+  }
+  return docs_[pos_++];
+}
+
+std::size_t Cursor::NumBatches() const {
+  return (docs_.size() + batch_size_ - 1) / batch_size_;
+}
+
+std::vector<bson::Document> Cursor::ToVector() {
+  std::vector<bson::Document> out(docs_.begin() + pos_, docs_.end());
+  pos_ = docs_.size();
+  return out;
+}
+
+}  // namespace hotman::docstore

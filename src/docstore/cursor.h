@@ -1,0 +1,45 @@
+#ifndef HOTMAN_DOCSTORE_CURSOR_H_
+#define HOTMAN_DOCSTORE_CURSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "bson/document.h"
+
+namespace hotman::docstore {
+
+/// Forward-only iterator over a query's result set with batched delivery
+/// semantics (the client driver idiom: results arrive in batches of
+/// `batch_size`, and NumBatches() reports how many round trips a remote
+/// client would have made).
+class Cursor {
+ public:
+  explicit Cursor(std::vector<bson::Document> docs, std::size_t batch_size = 101);
+
+  /// True while documents remain.
+  bool HasNext() const { return pos_ < docs_.size(); }
+
+  /// Next document; callable only when HasNext().
+  const bson::Document& Next();
+
+  /// Documents not yet consumed.
+  std::size_t Remaining() const { return docs_.size() - pos_; }
+
+  /// Total result-set size.
+  std::size_t Size() const { return docs_.size(); }
+
+  /// Round trips a remote driver would need at the configured batch size.
+  std::size_t NumBatches() const;
+
+  /// Drains everything left into a vector.
+  std::vector<bson::Document> ToVector();
+
+ private:
+  std::vector<bson::Document> docs_;
+  std::size_t pos_ = 0;
+  std::size_t batch_size_;
+};
+
+}  // namespace hotman::docstore
+
+#endif  // HOTMAN_DOCSTORE_CURSOR_H_

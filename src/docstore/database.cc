@@ -1,0 +1,84 @@
+#include "docstore/database.h"
+
+#include "docstore/journal.h"
+
+namespace hotman::docstore {
+
+Database::Database(std::string name, std::uint64_t machine_id, const Clock* clock)
+    : name_(std::move(name)), id_generator_(machine_id, clock) {}
+
+Collection* Database::GetCollection(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    auto collection = std::make_unique<Collection>(name, &id_generator_);
+    it = collections_.emplace(name, std::move(collection)).first;
+    HookCollectionLocked(it->second.get());
+  }
+  return it->second.get();
+}
+
+Collection* Database::FindCollection(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+Status Database::DropCollection(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (collections_.erase(name) == 0) {
+    return Status::NotFound("no collection named " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Database::CollectionNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, collection] : collections_) names.push_back(name);
+  return names;
+}
+
+std::size_t Database::TotalDocuments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [name, collection] : collections_) {
+    total += collection->NumDocuments();
+  }
+  return total;
+}
+
+std::size_t Database::TotalDataBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [name, collection] : collections_) {
+    total += collection->DataSizeBytes();
+  }
+  return total;
+}
+
+void Database::AttachJournal(Journal* journal) {
+  // Call after Journal::Replay: replayed writes must not be re-journaled.
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_ = journal;
+  for (auto& [name, collection] : collections_) {
+    HookCollectionLocked(collection.get());
+  }
+}
+
+void Database::HookCollectionLocked(Collection* collection) {
+  if (journal_ == nullptr) {
+    collection->SetChangeListener(nullptr);
+    return;
+  }
+  Journal* journal = journal_;
+  collection->SetChangeListener([journal](const ChangeEvent& event) {
+    // Journal failures are surfaced via logs at a higher layer; the write
+    // itself has already been applied in memory.
+    Status s = journal->Append(event);
+    (void)s;
+  });
+}
+
+}  // namespace hotman::docstore

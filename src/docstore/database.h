@@ -1,0 +1,66 @@
+#ifndef HOTMAN_DOCSTORE_DATABASE_H_
+#define HOTMAN_DOCSTORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bson/object_id.h"
+#include "common/clock.h"
+#include "docstore/collection.h"
+
+namespace hotman::docstore {
+
+class Journal;
+
+/// A named set of collections plus the node-wide ObjectId generator — one
+/// Database per storage node.
+class Database {
+ public:
+  /// `machine_id` seeds the ObjectId generator (one distinct value per
+  /// node); `clock` timestamps generated ids.
+  Database(std::string name, std::uint64_t machine_id, const Clock* clock);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Fetches (creating on first use) the collection `name`.
+  Collection* GetCollection(const std::string& name);
+
+  /// The collection if it exists, else nullptr.
+  Collection* FindCollection(const std::string& name);
+
+  /// Drops `name`; NotFound when absent.
+  Status DropCollection(const std::string& name);
+
+  std::vector<std::string> CollectionNames() const;
+
+  /// Total documents across collections.
+  std::size_t TotalDocuments() const;
+
+  /// Total encoded bytes across collections.
+  std::size_t TotalDataBytes() const;
+
+  /// Routes every collection's change events (current and future) into
+  /// `journal`. Pass nullptr to detach.
+  void AttachJournal(Journal* journal);
+
+  bson::ObjectIdGenerator* id_generator() { return &id_generator_; }
+
+ private:
+  void HookCollectionLocked(Collection* collection);
+
+  std::string name_;
+  bson::ObjectIdGenerator id_generator_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+  Journal* journal_ = nullptr;
+};
+
+}  // namespace hotman::docstore
+
+#endif  // HOTMAN_DOCSTORE_DATABASE_H_

@@ -1,0 +1,132 @@
+#include "docstore/journal.h"
+
+#include <cstring>
+#include <vector>
+
+#include "bson/codec.h"
+#include "common/bytes.h"
+#include "docstore/database.h"
+
+namespace hotman::docstore {
+
+namespace {
+
+constexpr std::uint8_t kKindPut = 1;
+constexpr std::uint8_t kKindRemove = 2;
+
+const std::uint32_t* Crc32Table() {
+  static std::uint32_t* table = [] {
+    auto* t = new std::uint32_t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const std::uint32_t* table = Crc32Table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Journal::Journal(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<Journal>> Journal::Open(const std::string& path) {
+  // "a+b": create if absent, reads allowed (for Replay), appends at end.
+  std::FILE* file = std::fopen(path.c_str(), "a+b");
+  if (file == nullptr) {
+    return Status::IOError("cannot open journal: " + path);
+  }
+  return std::unique_ptr<Journal>(new Journal(path, file));
+}
+
+Status Journal::Append(const ChangeEvent& event) {
+  std::string payload;
+  payload.push_back(static_cast<char>(
+      event.kind == ChangeEvent::Kind::kPut ? kKindPut : kKindRemove));
+  PutFixed32(&payload, static_cast<std::uint32_t>(event.collection.size()));
+  payload.append(event.collection);
+  bson::Encode(event.document, &payload);
+
+  std::string record;
+  PutFixed32(&record, static_cast<std::uint32_t>(payload.size()));
+  record.append(payload);
+  PutFixed32(&record, Crc32(payload.data(), payload.size()));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::IOError("journal write failed");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("journal flush failed");
+  }
+  ++appended_;
+  return Status::OK();
+}
+
+Status Journal::Replay(Database* db) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::rewind(file_);
+  for (;;) {
+    std::uint8_t len_bytes[4];
+    std::size_t n = std::fread(len_bytes, 1, 4, file_);
+    if (n == 0) break;         // clean EOF
+    if (n < 4) break;          // torn tail: stop
+    const std::uint32_t payload_len = GetFixed32(len_bytes);
+    if (payload_len < 5 || payload_len > (64u << 20)) break;  // implausible
+    std::vector<std::uint8_t> payload(payload_len);
+    if (std::fread(payload.data(), 1, payload_len, file_) != payload_len) break;
+    std::uint8_t crc_bytes[4];
+    if (std::fread(crc_bytes, 1, 4, file_) != 4) break;
+    if (GetFixed32(crc_bytes) != Crc32(payload.data(), payload.size())) break;
+
+    const std::uint8_t kind = payload[0];
+    const std::uint32_t name_len = GetFixed32(payload.data() + 1);
+    if (5 + name_len > payload_len) break;
+    std::string collection(reinterpret_cast<const char*>(payload.data() + 5),
+                           name_len);
+    std::string_view doc_bytes(
+        reinterpret_cast<const char*>(payload.data() + 5 + name_len),
+        payload_len - 5 - name_len);
+    bson::Document doc;
+    if (!bson::Decode(doc_bytes, &doc).ok()) break;
+
+    Collection* coll = db->GetCollection(collection);
+    if (kind == kKindPut) {
+      HOTMAN_RETURN_IF_ERROR(coll->PutDocument(std::move(doc)));
+    } else if (kind == kKindRemove) {
+      const bson::Value* id = doc.Get("_id");
+      if (id == nullptr) break;
+      HOTMAN_RETURN_IF_ERROR(coll->RemoveById(*id));
+    } else {
+      break;  // unknown kind: treat as torn tail
+    }
+  }
+  // Position back at the end for subsequent appends.
+  std::fseek(file_, 0, SEEK_END);
+  return Status::OK();
+}
+
+std::size_t Journal::NumAppended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+}  // namespace hotman::docstore

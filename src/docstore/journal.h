@@ -1,0 +1,59 @@
+#ifndef HOTMAN_DOCSTORE_JOURNAL_H_
+#define HOTMAN_DOCSTORE_JOURNAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "docstore/collection.h"
+
+namespace hotman::docstore {
+
+class Database;
+
+/// Append-only physical journal for crash recovery.
+///
+/// Record layout (little-endian):
+///   [u32 payload_len][u8 kind][u32 name_len][name bytes][BSON doc][u32 crc32]
+/// where crc32 covers everything from `kind` through the document bytes.
+/// Replay is idempotent: kPut records are applied with PutDocument (upsert)
+/// and kRemove with RemoveById. A torn tail (partial final record or CRC
+/// mismatch) is truncated silently, as a crash mid-append would leave.
+class Journal {
+ public:
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens (creating if needed) the journal file at `path` for appending.
+  static Result<std::unique_ptr<Journal>> Open(const std::string& path);
+
+  /// Appends one change record and flushes it.
+  Status Append(const ChangeEvent& event);
+
+  /// Replays the journal from the start into `db` (call before Append).
+  Status Replay(Database* db);
+
+  /// Records successfully appended since Open.
+  std::size_t NumAppended() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit Journal(std::string path, std::FILE* file);
+
+  std::string path_;
+  std::FILE* file_;
+  mutable std::mutex mu_;
+  std::size_t appended_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial) over `len` bytes.
+std::uint32_t Crc32(const void* data, std::size_t len);
+
+}  // namespace hotman::docstore
+
+#endif  // HOTMAN_DOCSTORE_JOURNAL_H_

@@ -1,0 +1,62 @@
+#include "docstore/master_slave.h"
+
+namespace hotman::docstore {
+
+MasterSlaveCluster::MasterSlaveCluster(std::vector<DocStoreServer*> servers,
+                                       std::string collection)
+    : servers_(std::move(servers)), collection_(std::move(collection)) {}
+
+Status MasterSlaveCluster::Put(const bson::Document& doc) {
+  DocStoreServer* master = servers_.front();
+  HOTMAN_RETURN_IF_ERROR(master->CheckAvailable());
+  HOTMAN_RETURN_IF_ERROR(
+      master->db()->GetCollection(collection_)->PutDocument(doc));
+  bool missed = false;
+  for (std::size_t i = 1; i < servers_.size(); ++i) {
+    DocStoreServer* slave = servers_[i];
+    if (!slave->CheckAvailable().ok()) {
+      missed = true;  // slave misses this write entirely
+      continue;
+    }
+    Status s = slave->db()->GetCollection(collection_)->PutDocument(doc);
+    if (!s.ok()) missed = true;
+  }
+  if (missed) ++missed_replications_;
+  return Status::OK();
+}
+
+Result<bson::Document> MasterSlaveCluster::Get(const bson::Value& id) {
+  Status last = Status::Unavailable("no reachable server");
+  for (DocStoreServer* server : servers_) {
+    Status available = server->CheckAvailable();
+    if (!available.ok()) {
+      last = available;
+      continue;
+    }
+    Result<bson::Document> doc =
+        server->db()->GetCollection(collection_)->FindById(id);
+    if (doc.ok()) return doc;
+    last = doc.status();
+    if (doc.status().IsNotFound()) {
+      // The master is authoritative for NotFound; a slave's NotFound may be
+      // staleness, so keep trying further servers only on failover paths.
+      if (server == servers_.front()) return doc.status();
+    }
+  }
+  return last;
+}
+
+Status MasterSlaveCluster::Remove(const bson::Value& id) {
+  DocStoreServer* master = servers_.front();
+  HOTMAN_RETURN_IF_ERROR(master->CheckAvailable());
+  HOTMAN_RETURN_IF_ERROR(master->db()->GetCollection(collection_)->RemoveById(id));
+  for (std::size_t i = 1; i < servers_.size(); ++i) {
+    DocStoreServer* slave = servers_[i];
+    if (!slave->CheckAvailable().ok()) continue;
+    Status s = slave->db()->GetCollection(collection_)->RemoveById(id);
+    (void)s;
+  }
+  return Status::OK();
+}
+
+}  // namespace hotman::docstore

@@ -1,0 +1,53 @@
+#ifndef HOTMAN_DOCSTORE_MASTER_SLAVE_H_
+#define HOTMAN_DOCSTORE_MASTER_SLAVE_H_
+
+#include <string>
+#include <vector>
+
+#include "docstore/server.h"
+
+namespace hotman::docstore {
+
+/// Original MongoDB's "simple master/slave mechanism for data replication"
+/// — the availability baseline the paper criticizes ("which reduces the
+/// data availability obviously") and benchmarks against in Fig. 17.
+///
+/// Semantics:
+///  - every write goes to the master and is then copied to each reachable
+///    slave (slaves that are down simply miss the write — no hinted
+///    handoff, no write-back, no quorum);
+///  - when the master is unavailable, writes FAIL — this is the behaviour
+///    that separates the baseline from the NWR layer under faults;
+///  - reads prefer the master and fail over to any reachable slave (which
+///    may return stale data after missed replications).
+class MasterSlaveCluster {
+ public:
+  /// `servers[0]` is the master, the rest are slaves. Servers are borrowed.
+  MasterSlaveCluster(std::vector<DocStoreServer*> servers, std::string collection);
+
+  /// Upserts `doc` (must carry `_id`) on the master, then best-effort on
+  /// every slave. Fails if the master is unavailable.
+  Status Put(const bson::Document& doc);
+
+  /// Reads by `_id` from the master, failing over to slaves.
+  Result<bson::Document> Get(const bson::Value& id);
+
+  /// Deletes by `_id` on the master (then best-effort on slaves).
+  Status Remove(const bson::Value& id);
+
+  DocStoreServer* master() { return servers_.front(); }
+  const std::vector<DocStoreServer*>& servers() const { return servers_; }
+
+  /// Writes that reached the master but missed >= 1 slave (staleness
+  /// window metric used by tests).
+  std::size_t missed_replications() const { return missed_replications_; }
+
+ private:
+  std::vector<DocStoreServer*> servers_;
+  std::string collection_;
+  std::size_t missed_replications_ = 0;
+};
+
+}  // namespace hotman::docstore
+
+#endif  // HOTMAN_DOCSTORE_MASTER_SLAVE_H_

@@ -1,0 +1,56 @@
+#include "docstore/planner.h"
+
+namespace hotman::docstore {
+
+std::string QueryPlan::ToString() const {
+  switch (kind) {
+    case Kind::kPrimaryLookup:
+      return "PRIMARY";
+    case Kind::kIndexScan:
+      return "INDEX(" + index_path + ")";
+    case Kind::kFullScan:
+      return "SCAN";
+  }
+  return "?";
+}
+
+QueryPlan ChoosePlan(const query::Matcher& matcher,
+                     const std::vector<IndexSpec>& indexes) {
+  QueryPlan plan;
+
+  // 1. `_id` equality is always the cheapest path.
+  query::FieldBounds id_bounds = matcher.BoundsFor("_id");
+  if (id_bounds.eq.has_value()) {
+    plan.kind = QueryPlan::Kind::kPrimaryLookup;
+    plan.bounds = std::move(id_bounds);
+    return plan;
+  }
+
+  // 2. Prefer an equality-constrained index, then any range-constrained one.
+  const IndexSpec* best_range = nullptr;
+  query::FieldBounds best_range_bounds;
+  for (const IndexSpec& spec : indexes) {
+    query::FieldBounds b = matcher.BoundsFor(spec.path);
+    if (b.eq.has_value()) {
+      plan.kind = QueryPlan::Kind::kIndexScan;
+      plan.index_path = spec.path;
+      plan.bounds = std::move(b);
+      return plan;
+    }
+    if (b.IsConstrained() && best_range == nullptr) {
+      best_range = &spec;
+      best_range_bounds = std::move(b);
+    }
+  }
+  if (best_range != nullptr) {
+    plan.kind = QueryPlan::Kind::kIndexScan;
+    plan.index_path = best_range->path;
+    plan.bounds = std::move(best_range_bounds);
+    return plan;
+  }
+
+  plan.kind = QueryPlan::Kind::kFullScan;
+  return plan;
+}
+
+}  // namespace hotman::docstore

@@ -1,0 +1,36 @@
+#ifndef HOTMAN_DOCSTORE_PLANNER_H_
+#define HOTMAN_DOCSTORE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "docstore/index.h"
+#include "query/matcher.h"
+
+namespace hotman::docstore {
+
+/// Access path chosen for a query.
+struct QueryPlan {
+  enum class Kind {
+    kPrimaryLookup,  ///< exact `_id` match: O(log n) point read
+    kIndexScan,      ///< bounded scan of one secondary index
+    kFullScan,       ///< iterate every document
+  };
+
+  Kind kind = Kind::kFullScan;
+  std::string index_path;       ///< for kIndexScan: the indexed field path
+  query::FieldBounds bounds;    ///< for kPrimaryLookup/kIndexScan
+
+  /// "PRIMARY", "INDEX(path)" or "SCAN" — used by Explain() and tests.
+  std::string ToString() const;
+};
+
+/// Selects the cheapest access path for `matcher`: `_id` equality wins,
+/// then an equality-constrained secondary index, then a range-constrained
+/// one, and a full collection scan otherwise.
+QueryPlan ChoosePlan(const query::Matcher& matcher,
+                     const std::vector<IndexSpec>& indexes);
+
+}  // namespace hotman::docstore
+
+#endif  // HOTMAN_DOCSTORE_PLANNER_H_

@@ -1,0 +1,42 @@
+#include "docstore/server.h"
+
+namespace hotman::docstore {
+
+DocStoreServer::DocStoreServer(std::string address, std::uint64_t machine_id,
+                               const Clock* clock)
+    : address_(std::move(address)),
+      db_(std::make_unique<Database>(address_, machine_id, clock)) {}
+
+Result<std::string> DocStoreServer::QueryVersion() const {
+  HOTMAN_RETURN_IF_ERROR(CheckAvailable());
+  return std::string(kVersion);
+}
+
+Status DocStoreServer::CheckAvailable() const {
+  switch (fault()) {
+    case FaultMode::kNone:
+      return Status::OK();
+    case FaultMode::kNetworkException:
+      return Status::NetworkError("network exception at " + address_);
+    case FaultMode::kDiskError:
+      return Status::IOError("disk IO error at " + address_);
+    case FaultMode::kBlocked:
+      return Status::Busy("server process blocked at " + address_);
+    case FaultMode::kDown:
+      return Status::Unavailable("node breakdown at " + address_);
+  }
+  return Status::OK();
+}
+
+Status DocStoreServer::CheckConnectable() const {
+  switch (fault()) {
+    case FaultMode::kNetworkException:
+      return Status::NetworkError("network exception at " + address_);
+    case FaultMode::kDown:
+      return Status::Unavailable("node breakdown at " + address_);
+    default:
+      return Status::OK();
+  }
+}
+
+}  // namespace hotman::docstore

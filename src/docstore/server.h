@@ -1,0 +1,66 @@
+#ifndef HOTMAN_DOCSTORE_SERVER_H_
+#define HOTMAN_DOCSTORE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "docstore/database.h"
+
+namespace hotman::docstore {
+
+/// Fault modes a storage server can be driven into (Table 2's failure
+/// taxonomy). Short failures (network/disk/blocked) recover by themselves;
+/// kDown models node breakdown (a long failure).
+enum class FaultMode {
+  kNone = 0,
+  kNetworkException,  ///< short: connections fail with NetworkError
+  kDiskError,         ///< short: reads/writes fail with IOError
+  kBlocked,           ///< short: the server process is wedged (Busy)
+  kDown,              ///< long: node breakdown (Unavailable)
+};
+
+/// One "MongoDB node": a Database behind a fallible service surface.
+///
+/// The cluster layer talks to servers only through this class, which is
+/// where fault injection applies — exactly the boundary at which the paper's
+/// wrapped Connect/Get/Put operations observe exceptions.
+class DocStoreServer {
+ public:
+  /// `address` is the node identity ("db1:27017"); `machine_id` seeds the
+  /// ObjectId generator.
+  DocStoreServer(std::string address, std::uint64_t machine_id, const Clock* clock);
+
+  const std::string& address() const { return address_; }
+
+  /// Server software version, queried by the connection test (§5.1 step 3).
+  /// Matches Table 1's MongoDB 1.6.3.
+  static constexpr const char* kVersion = "1.6.3";
+
+  /// Version probe used by Connect's connection test. Fails under any fault.
+  Result<std::string> QueryVersion() const;
+
+  /// OK when the server can serve requests, else the fault's status.
+  Status CheckAvailable() const;
+
+  /// Same but for establishing a TCP connection: only network-level and
+  /// breakdown faults reject connections (a blocked process still accepts).
+  Status CheckConnectable() const;
+
+  Database* db() { return db_.get(); }
+  const Database* db() const { return db_.get(); }
+
+  void SetFault(FaultMode mode) { fault_.store(mode, std::memory_order_relaxed); }
+  FaultMode fault() const { return fault_.load(std::memory_order_relaxed); }
+  bool IsHealthy() const { return fault() == FaultMode::kNone; }
+
+ private:
+  std::string address_;
+  std::unique_ptr<Database> db_;
+  std::atomic<FaultMode> fault_{FaultMode::kNone};
+};
+
+}  // namespace hotman::docstore
+
+#endif  // HOTMAN_DOCSTORE_SERVER_H_

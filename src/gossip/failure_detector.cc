@@ -1,0 +1,67 @@
+#include "gossip/failure_detector.h"
+
+namespace hotman::gossip {
+
+FailureDetector::FailureDetector(std::string self, sim::EventLoop* loop,
+                                 const NodeStateMap* states, Config config)
+    : self_(std::move(self)), loop_(loop), states_(states), config_(config) {}
+
+void FailureDetector::Start(TransitionFn on_transition) {
+  if (running_) return;
+  on_transition_ = std::move(on_transition);
+  running_ = true;
+  ScheduleNextCheck();
+}
+
+void FailureDetector::Stop() {
+  if (!running_) return;
+  running_ = false;
+  loop_->Cancel(timer_);
+}
+
+void FailureDetector::ScheduleNextCheck() {
+  timer_ = loop_->Schedule(config_.check_interval, [this]() {
+    if (!running_) return;
+    Check();
+    ScheduleNextCheck();
+  });
+}
+
+void FailureDetector::Check() {
+  const Micros now = loop_->Now();
+  for (const std::string& endpoint : states_->Endpoints()) {
+    if (endpoint == self_) continue;
+    auto last = states_->LastHeard(endpoint);
+    if (!last.has_value()) continue;  // never heard: no verdict yet
+    const Micros silence = now - *last;
+    Liveness verdict = Liveness::kAlive;
+    if (silence >= config_.dead_after) {
+      verdict = Liveness::kDead;
+    } else if (silence >= config_.suspect_after) {
+      verdict = Liveness::kSuspect;
+    }
+    auto it = verdicts_.find(endpoint);
+    const Liveness prior = it == verdicts_.end() ? Liveness::kAlive : it->second;
+    if (verdict != prior) {
+      verdicts_[endpoint] = verdict;
+      if (on_transition_) on_transition_(endpoint, prior, verdict);
+    } else if (it == verdicts_.end()) {
+      verdicts_.emplace(endpoint, verdict);
+    }
+  }
+}
+
+Liveness FailureDetector::StatusOf(const std::string& endpoint) const {
+  auto it = verdicts_.find(endpoint);
+  return it == verdicts_.end() ? Liveness::kAlive : it->second;
+}
+
+std::vector<std::string> FailureDetector::EndpointsIn(Liveness liveness) const {
+  std::vector<std::string> out;
+  for (const auto& [endpoint, verdict] : verdicts_) {
+    if (verdict == liveness) out.push_back(endpoint);
+  }
+  return out;
+}
+
+}  // namespace hotman::gossip

@@ -1,0 +1,71 @@
+#ifndef HOTMAN_GOSSIP_FAILURE_DETECTOR_H_
+#define HOTMAN_GOSSIP_FAILURE_DETECTOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gossip/node_state.h"
+#include "sim/event_loop.h"
+
+namespace hotman::gossip {
+
+/// Liveness verdict for an endpoint.
+enum class Liveness {
+  kAlive,
+  kSuspect,  ///< short failure suspected (missed heartbeats)
+  kDead,     ///< long failure (silent beyond the dead threshold)
+};
+
+/// Heartbeat-staleness failure detector (§5.2.4).
+///
+/// Classifies peers by how long their gossiped state has been silent:
+/// silence past `suspect_after` is a *short* failure (network exception,
+/// blocked process — "the failure could recover itself"); silence past
+/// `dead_after` is a *long* failure ("could not recover by itself"),
+/// which on seed nodes triggers the cluster's long-failure repair.
+class FailureDetector {
+ public:
+  struct Config {
+    Micros suspect_after = 3 * kMicrosPerSecond;
+    Micros dead_after = 15 * kMicrosPerSecond;
+    Micros check_interval = 1 * kMicrosPerSecond;
+  };
+
+  using TransitionFn =
+      std::function<void(const std::string& endpoint, Liveness from, Liveness to)>;
+
+  FailureDetector(std::string self, sim::EventLoop* loop, const NodeStateMap* states,
+                  Config config);
+
+  /// Starts periodic sweeps; `on_transition` fires on every state change.
+  void Start(TransitionFn on_transition);
+  void Stop();
+
+  /// One sweep over all known endpoints (also callable directly in tests).
+  void Check();
+
+  /// Current verdict for `endpoint` (kAlive when never heard of — the
+  /// detector only reports on endpoints it has state for).
+  Liveness StatusOf(const std::string& endpoint) const;
+
+  /// Endpoints currently classified as `liveness`.
+  std::vector<std::string> EndpointsIn(Liveness liveness) const;
+
+ private:
+  void ScheduleNextCheck();
+
+  std::string self_;
+  sim::EventLoop* loop_;
+  const NodeStateMap* states_;
+  Config config_;
+  TransitionFn on_transition_;
+  std::map<std::string, Liveness> verdicts_;
+  bool running_ = false;
+  sim::EventId timer_ = 0;
+};
+
+}  // namespace hotman::gossip
+
+#endif  // HOTMAN_GOSSIP_FAILURE_DETECTOR_H_

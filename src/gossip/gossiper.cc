@@ -1,0 +1,202 @@
+#include "gossip/gossiper.h"
+
+#include <algorithm>
+
+namespace hotman::gossip {
+
+Gossiper::Gossiper(std::string self, std::vector<std::string> seeds, bool is_seed,
+                   sim::EventLoop* loop, GossipConfig config, std::uint64_t rng_seed,
+                   SendFn send)
+    : self_(std::move(self)),
+      seeds_(std::move(seeds)),
+      is_seed_(is_seed),
+      loop_(loop),
+      config_(config),
+      rng_(rng_seed),
+      send_(std::move(send)) {
+  for (const std::string& seed : seeds_) {
+    if (seed != self_) peers_.insert(seed);
+  }
+}
+
+void Gossiper::Boot(std::int64_t generation) {
+  EndpointState* local = states_.GetOrCreate(self_);
+  local->set_generation(generation);
+  heartbeat_count_ = 0;
+  local->SetEntry(kStateHeartbeat, "0", NextVersion());
+  local->SetEntry(kStateStatus, "NORMAL", NextVersion());
+  states_.TouchLiveness(self_, loop_->Now());
+}
+
+void Gossiper::Start() {
+  if (running_) return;
+  running_ = true;
+  ScheduleNextRound();
+}
+
+void Gossiper::ScheduleNextRound() {
+  timer_ = loop_->Schedule(config_.interval, [this]() {
+    if (!running_) return;
+    Tick();
+    ScheduleNextRound();
+  });
+}
+
+void Gossiper::Stop() {
+  if (!running_) return;
+  running_ = false;
+  loop_->Cancel(timer_);
+}
+
+void Gossiper::SetLocalState(const std::string& key, std::string value) {
+  states_.GetOrCreate(self_)->SetEntry(key, std::move(value), NextVersion());
+}
+
+void Gossiper::AddPeer(const std::string& endpoint) {
+  if (endpoint != self_) peers_.insert(endpoint);
+}
+
+std::vector<GossipDigest> Gossiper::BuildDigests() const {
+  std::vector<GossipDigest> digests;
+  for (const auto& [endpoint, state] : states_.states()) {
+    digests.push_back(GossipDigest{endpoint, state.generation(), state.MaxVersion()});
+  }
+  return digests;
+}
+
+EndpointStateUpdate Gossiper::BuildUpdate(const std::string& endpoint,
+                                          std::int64_t after_version) const {
+  EndpointStateUpdate update;
+  update.endpoint = endpoint;
+  const EndpointState* state = states_.Get(endpoint);
+  if (state == nullptr) return update;
+  update.generation = state->generation();
+  update.entries = state->EntriesAfter(after_version);
+  return update;
+}
+
+void Gossiper::ApplyUpdates(const std::vector<EndpointStateUpdate>& updates) {
+  for (const EndpointStateUpdate& update : updates) {
+    if (update.endpoint == self_) continue;  // only we define our own state
+    EndpointState incoming(update.generation);
+    for (const auto& [key, entry] : update.entries) {
+      incoming.SetEntry(key, entry.value, entry.version);
+    }
+    EndpointState* local = states_.GetOrCreate(update.endpoint);
+    const bool changed = local->Merge(incoming);
+    if (changed) {
+      states_.TouchLiveness(update.endpoint, loop_->Now());
+      peers_.insert(update.endpoint);
+      if (on_state_change_) {
+        for (const auto& [key, entry] : update.entries) {
+          const VersionedEntry* now_current = local->GetEntry(key);
+          if (now_current != nullptr && now_current->version == entry.version) {
+            on_state_change_(update.endpoint, key, entry.value);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::string> Gossiper::ChoosePeers() {
+  std::vector<std::string> chosen;
+  if (peers_.empty()) return chosen;
+  std::vector<std::string> seeds_alive;
+  std::vector<std::string> all(peers_.begin(), peers_.end());
+  for (const std::string& seed : seeds_) {
+    if (seed != self_) seeds_alive.push_back(seed);
+  }
+  for (int i = 0; i < config_.fanout; ++i) {
+    // Normal nodes bias toward seeds; seeds gossip uniformly (which keeps
+    // seed-to-seed state "consistent all over the system").
+    if (!is_seed_ && !seeds_alive.empty() && rng_.Chance(config_.seed_bias)) {
+      chosen.push_back(seeds_alive[rng_.Uniform(seeds_alive.size())]);
+    } else {
+      chosen.push_back(all[rng_.Uniform(all.size())]);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+  return chosen;
+}
+
+void Gossiper::Tick() {
+  // (1) heartbeat++ and collect digests.
+  ++heartbeat_count_;
+  EndpointState* local = states_.GetOrCreate(self_);
+  local->SetEntry(kStateHeartbeat, std::to_string(heartbeat_count_), NextVersion());
+  states_.TouchLiveness(self_, loop_->Now());
+
+  SynMessage syn;
+  syn.digests = BuildDigests();
+  const bson::Document body = EncodeSyn(syn);
+  for (const std::string& peer : ChoosePeers()) {
+    ++rounds_;
+    send_(peer, kMsgGossipSyn, body);
+  }
+}
+
+void Gossiper::HandleSyn(const std::string& from, const bson::Document& body) {
+  auto syn = DecodeSyn(body);
+  if (!syn.ok()) return;  // malformed gossip is dropped
+  peers_.insert(from);
+
+  Ack1Message ack1;
+  for (const GossipDigest& digest : syn->digests) {
+    const EndpointState* local = states_.Get(digest.endpoint);
+    if (local == nullptr) {
+      // Unknown endpoint: ask for everything.
+      ack1.requests.push_back(GossipDigest{digest.endpoint, 0, 0});
+      continue;
+    }
+    if (digest.generation > local->generation()) {
+      ack1.requests.push_back(GossipDigest{digest.endpoint, 0, 0});
+    } else if (digest.generation < local->generation()) {
+      ack1.states.push_back(BuildUpdate(digest.endpoint, 0));
+    } else if (digest.max_version > local->MaxVersion()) {
+      ack1.requests.push_back(
+          GossipDigest{digest.endpoint, local->generation(), local->MaxVersion()});
+    } else if (digest.max_version < local->MaxVersion()) {
+      ack1.states.push_back(BuildUpdate(digest.endpoint, digest.max_version));
+    }
+  }
+  // Endpoints the sender did not mention at all are news to it.
+  for (const auto& [endpoint, state] : states_.states()) {
+    bool mentioned = false;
+    for (const GossipDigest& digest : syn->digests) {
+      if (digest.endpoint == endpoint) {
+        mentioned = true;
+        break;
+      }
+    }
+    if (!mentioned) ack1.states.push_back(BuildUpdate(endpoint, 0));
+  }
+  send_(from, kMsgGossipAck1, EncodeAck1(ack1));
+}
+
+void Gossiper::HandleAck1(const std::string& from, const bson::Document& body) {
+  auto ack1 = DecodeAck1(body);
+  if (!ack1.ok()) return;
+  ApplyUpdates(ack1->states);
+
+  Ack2Message ack2;
+  for (const GossipDigest& request : ack1->requests) {
+    if (states_.Get(request.endpoint) == nullptr) continue;
+    const std::int64_t after =
+        (request.generation == states_.Get(request.endpoint)->generation())
+            ? request.max_version
+            : 0;
+    ack2.states.push_back(BuildUpdate(request.endpoint, after));
+  }
+  if (!ack2.states.empty()) send_(from, kMsgGossipAck2, EncodeAck2(ack2));
+}
+
+void Gossiper::HandleAck2(const std::string& from, const bson::Document& body) {
+  (void)from;
+  auto ack2 = DecodeAck2(body);
+  if (!ack2.ok()) return;
+  ApplyUpdates(ack2->states);
+}
+
+}  // namespace hotman::gossip

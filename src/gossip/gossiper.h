@@ -1,0 +1,112 @@
+#ifndef HOTMAN_GOSSIP_GOSSIPER_H_
+#define HOTMAN_GOSSIP_GOSSIPER_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "gossip/messages.h"
+#include "gossip/node_state.h"
+#include "sim/event_loop.h"
+
+namespace hotman::gossip {
+
+/// Configuration of the anti-entropy protocol.
+struct GossipConfig {
+  Micros interval = 1 * kMicrosPerSecond;  ///< gossip round period
+  int fanout = 1;                          ///< peers contacted per round
+  /// Probability that a normal node gossips to a seed on a round (the
+  /// paper's topology: "normal node communicates with seed nodes
+  /// periodically"; seeds talk among themselves).
+  double seed_bias = 0.6;
+};
+
+/// Push-pull gossiper for one node (§5.2.3).
+///
+/// Every round the node increments its heartbeat, picks peers (seed-biased)
+/// and runs the three-message exchange:
+///   A -> B: GossipDigestSynMessage   (digests: endpoint, generation, maxv)
+///   B -> A: GossipDigestAck1Message  (states B is newer on + B's requests)
+///   A -> B: GossipDigestAck2Message  (states satisfying B's requests)
+/// Transport is injected so the same code runs over the simulated network
+/// or in-process in unit tests.
+class Gossiper {
+ public:
+  /// Sends (to, message_type, body) into the transport.
+  using SendFn =
+      std::function<void(const std::string&, const std::string&, bson::Document)>;
+  /// Fired when merged gossip changes `endpoint`'s entry `key`.
+  using StateChangeFn = std::function<void(
+      const std::string& endpoint, const std::string& key, const std::string& value)>;
+
+  Gossiper(std::string self, std::vector<std::string> seeds, bool is_seed,
+           sim::EventLoop* loop, GossipConfig config, std::uint64_t rng_seed,
+           SendFn send);
+
+  /// Registers (re-registers) the local endpoint with a fresh boot
+  /// generation and initial app state.
+  void Boot(std::int64_t generation);
+
+  /// Starts the periodic rounds on the event loop.
+  void Start();
+  void Stop();
+
+  /// One gossip round: heartbeat++, choose peers, send Syn. Exposed for
+  /// deterministic unit tests; Start() calls it on a timer.
+  void Tick();
+
+  /// Updates one of the local node's application states (load, vnodes,
+  /// status, ...) with the next version number.
+  void SetLocalState(const std::string& key, std::string value);
+
+  /// Adds a peer learned out-of-band (e.g. from configuration).
+  void AddPeer(const std::string& endpoint);
+
+  /// Transport entry points (wired by the owner to the network dispatcher).
+  void HandleSyn(const std::string& from, const bson::Document& body);
+  void HandleAck1(const std::string& from, const bson::Document& body);
+  void HandleAck2(const std::string& from, const bson::Document& body);
+
+  void SetStateChangeListener(StateChangeFn fn) { on_state_change_ = std::move(fn); }
+
+  const NodeStateMap& states() const { return states_; }
+  NodeStateMap* mutable_states() { return &states_; }
+  const std::string& self() const { return self_; }
+  bool is_seed() const { return is_seed_; }
+  const std::set<std::string>& peers() const { return peers_; }
+
+  /// Count of completed three-way exchanges initiated by this node.
+  std::size_t rounds() const { return rounds_; }
+
+ private:
+  std::vector<GossipDigest> BuildDigests() const;
+  EndpointStateUpdate BuildUpdate(const std::string& endpoint,
+                                  std::int64_t after_version) const;
+  void ApplyUpdates(const std::vector<EndpointStateUpdate>& updates);
+  std::vector<std::string> ChoosePeers();
+  void ScheduleNextRound();
+  std::int64_t NextVersion() { return ++version_counter_; }
+
+  std::string self_;
+  std::vector<std::string> seeds_;
+  bool is_seed_;
+  sim::EventLoop* loop_;
+  GossipConfig config_;
+  Rng rng_;
+  SendFn send_;
+  StateChangeFn on_state_change_;
+
+  NodeStateMap states_;
+  std::set<std::string> peers_;
+  std::int64_t version_counter_ = 0;
+  std::int64_t heartbeat_count_ = 0;
+  bool running_ = false;
+  sim::EventId timer_ = 0;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace hotman::gossip
+
+#endif  // HOTMAN_GOSSIP_GOSSIPER_H_

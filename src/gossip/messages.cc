@@ -1,0 +1,188 @@
+#include "gossip/messages.h"
+
+namespace hotman::gossip {
+
+namespace {
+
+using bson::Array;
+using bson::Document;
+using bson::Value;
+
+Value EncodeDigest(const GossipDigest& digest) {
+  Document doc;
+  doc.Append("ep", digest.endpoint);
+  doc.Append("gen", digest.generation);
+  doc.Append("maxv", digest.max_version);
+  return Value(std::move(doc));
+}
+
+Result<GossipDigest> DecodeDigest(const Value& v) {
+  if (!v.is_document()) return Status::Corruption("digest must be a document");
+  const Document& doc = v.as_document();
+  const Value* ep = doc.Get("ep");
+  const Value* gen = doc.Get("gen");
+  const Value* maxv = doc.Get("maxv");
+  if (ep == nullptr || !ep->is_string() || gen == nullptr || !gen->is_number() ||
+      maxv == nullptr || !maxv->is_number()) {
+    return Status::Corruption("malformed gossip digest");
+  }
+  GossipDigest out;
+  out.endpoint = ep->as_string();
+  out.generation = gen->NumberAsInt64();
+  out.max_version = maxv->NumberAsInt64();
+  return out;
+}
+
+Value EncodeStateUpdate(const EndpointStateUpdate& update) {
+  Document doc;
+  doc.Append("ep", update.endpoint);
+  doc.Append("gen", update.generation);
+  Array entries;
+  for (const auto& [key, entry] : update.entries) {
+    Document e;
+    e.Append("k", key);
+    e.Append("v", entry.value);
+    e.Append("ver", entry.version);
+    entries.emplace_back(std::move(e));
+  }
+  doc.Append("entries", std::move(entries));
+  return Value(std::move(doc));
+}
+
+Result<EndpointStateUpdate> DecodeStateUpdate(const Value& v) {
+  if (!v.is_document()) return Status::Corruption("state update must be a document");
+  const Document& doc = v.as_document();
+  const Value* ep = doc.Get("ep");
+  const Value* gen = doc.Get("gen");
+  const Value* entries = doc.Get("entries");
+  if (ep == nullptr || !ep->is_string() || gen == nullptr || !gen->is_number() ||
+      entries == nullptr || !entries->is_array()) {
+    return Status::Corruption("malformed state update");
+  }
+  EndpointStateUpdate out;
+  out.endpoint = ep->as_string();
+  out.generation = gen->NumberAsInt64();
+  for (const Value& ev : entries->as_array()) {
+    if (!ev.is_document()) return Status::Corruption("malformed state entry");
+    const Document& e = ev.as_document();
+    const Value* k = e.Get("k");
+    const Value* val = e.Get("v");
+    const Value* ver = e.Get("ver");
+    if (k == nullptr || !k->is_string() || val == nullptr || !val->is_string() ||
+        ver == nullptr || !ver->is_number()) {
+      return Status::Corruption("malformed state entry");
+    }
+    out.entries.emplace_back(k->as_string(),
+                             VersionedEntry{val->as_string(), ver->NumberAsInt64()});
+  }
+  return out;
+}
+
+Array EncodeDigests(const std::vector<GossipDigest>& digests) {
+  Array out;
+  out.reserve(digests.size());
+  for (const GossipDigest& d : digests) out.push_back(EncodeDigest(d));
+  return out;
+}
+
+Result<std::vector<GossipDigest>> DecodeDigests(const Value* v) {
+  if (v == nullptr || !v->is_array()) {
+    return Status::Corruption("missing digest array");
+  }
+  std::vector<GossipDigest> out;
+  for (const Value& dv : v->as_array()) {
+    auto digest = DecodeDigest(dv);
+    if (!digest.ok()) return digest.status();
+    out.push_back(std::move(*digest));
+  }
+  return out;
+}
+
+Array EncodeStates(const std::vector<EndpointStateUpdate>& states) {
+  Array out;
+  out.reserve(states.size());
+  for (const EndpointStateUpdate& s : states) out.push_back(EncodeStateUpdate(s));
+  return out;
+}
+
+Result<std::vector<EndpointStateUpdate>> DecodeStates(const Value* v) {
+  if (v == nullptr || !v->is_array()) {
+    return Status::Corruption("missing states array");
+  }
+  std::vector<EndpointStateUpdate> out;
+  for (const Value& sv : v->as_array()) {
+    auto state = DecodeStateUpdate(sv);
+    if (!state.ok()) return state.status();
+    out.push_back(std::move(*state));
+  }
+  return out;
+}
+
+}  // namespace
+
+bson::Document EncodeSyn(const SynMessage& msg) {
+  Document doc;
+  doc.Append("digests", EncodeDigests(msg.digests));
+  return doc;
+}
+
+Result<SynMessage> DecodeSyn(const bson::Document& doc) {
+  auto digests = DecodeDigests(doc.Get("digests"));
+  if (!digests.ok()) return digests.status();
+  SynMessage out;
+  out.digests = std::move(*digests);
+  return out;
+}
+
+bson::Document EncodeAck1(const Ack1Message& msg) {
+  Document doc;
+  doc.Append("states", EncodeStates(msg.states));
+  doc.Append("requests", EncodeDigests(msg.requests));
+  return doc;
+}
+
+Result<Ack1Message> DecodeAck1(const bson::Document& doc) {
+  auto states = DecodeStates(doc.Get("states"));
+  if (!states.ok()) return states.status();
+  auto requests = DecodeDigests(doc.Get("requests"));
+  if (!requests.ok()) return requests.status();
+  Ack1Message out;
+  out.states = std::move(*states);
+  out.requests = std::move(*requests);
+  return out;
+}
+
+bson::Document EncodeAck2(const Ack2Message& msg) {
+  Document doc;
+  doc.Append("states", EncodeStates(msg.states));
+  return doc;
+}
+
+Result<Ack2Message> DecodeAck2(const bson::Document& doc) {
+  auto states = DecodeStates(doc.Get("states"));
+  if (!states.ok()) return states.status();
+  Ack2Message out;
+  out.states = std::move(*states);
+  return out;
+}
+
+std::string FormatStateLine(const std::string& endpoint, const EndpointState& state) {
+  auto entry_or = [&state](const char* key) -> std::string {
+    const VersionedEntry* e = state.GetEntry(key);
+    return e == nullptr ? "?" : e->value;
+  };
+  auto version_or = [&state](const char* key) -> std::int64_t {
+    const VersionedEntry* e = state.GetEntry(key);
+    return e == nullptr ? 0 : e->version;
+  };
+  std::string line = endpoint;
+  line += "@";
+  line += entry_or(kStateVnodes);
+  line += ";bootGeneration:" + std::to_string(state.generation());
+  line += ";heartbeat:" + entry_or(kStateHeartbeat) + "/" +
+          std::to_string(version_or(kStateHeartbeat));
+  line += ";load:" + entry_or(kStateLoad);
+  return line;
+}
+
+}  // namespace hotman::gossip

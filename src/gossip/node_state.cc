@@ -1,0 +1,79 @@
+#include "gossip/node_state.h"
+
+#include <algorithm>
+
+namespace hotman::gossip {
+
+std::int64_t EndpointState::MaxVersion() const {
+  std::int64_t max_version = 0;
+  for (const auto& [key, entry] : entries_) {
+    max_version = std::max(max_version, entry.version);
+  }
+  return max_version;
+}
+
+void EndpointState::SetEntry(const std::string& key, std::string value,
+                             std::int64_t version) {
+  entries_[key] = VersionedEntry{std::move(value), version};
+}
+
+const VersionedEntry* EndpointState::GetEntry(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, VersionedEntry>> EndpointState::EntriesAfter(
+    std::int64_t after) const {
+  std::vector<std::pair<std::string, VersionedEntry>> out;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.version > after) out.emplace_back(key, entry);
+  }
+  return out;
+}
+
+bool EndpointState::Merge(const EndpointState& other) {
+  bool changed = false;
+  if (other.generation_ > generation_) {
+    // A reboot resets all state: replace wholesale.
+    generation_ = other.generation_;
+    entries_ = other.entries_;
+    return true;
+  }
+  if (other.generation_ < generation_) return false;  // stale information
+  for (const auto& [key, entry] : other.entries_) {
+    auto it = entries_.find(key);
+    if (it == entries_.end() || entry.version > it->second.version) {
+      entries_[key] = entry;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+EndpointState* NodeStateMap::GetOrCreate(const std::string& endpoint) {
+  return &states_[endpoint];
+}
+
+const EndpointState* NodeStateMap::Get(const std::string& endpoint) const {
+  auto it = states_.find(endpoint);
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> NodeStateMap::Endpoints() const {
+  std::vector<std::string> out;
+  out.reserve(states_.size());
+  for (const auto& [endpoint, state] : states_) out.push_back(endpoint);
+  return out;
+}
+
+void NodeStateMap::TouchLiveness(const std::string& endpoint, Micros now) {
+  last_heard_[endpoint] = now;
+}
+
+std::optional<Micros> NodeStateMap::LastHeard(const std::string& endpoint) const {
+  auto it = last_heard_.find(endpoint);
+  if (it == last_heard_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace hotman::gossip

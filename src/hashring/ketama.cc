@@ -1,0 +1,46 @@
+#include "hashring/ketama.h"
+
+#include "hashring/md5.h"
+
+namespace hotman::hashring {
+
+namespace {
+
+std::uint32_t PointFromDigest(const Md5::Digest& d, int index) {
+  const int base = index * 4;
+  return (static_cast<std::uint32_t>(d[base + 3]) << 24) |
+         (static_cast<std::uint32_t>(d[base + 2]) << 16) |
+         (static_cast<std::uint32_t>(d[base + 1]) << 8) |
+         static_cast<std::uint32_t>(d[base]);
+}
+
+}  // namespace
+
+std::uint32_t KetamaHash(std::string_view key) {
+  return PointFromDigest(Md5::Hash(key), 0);
+}
+
+std::uint32_t KetamaHashAt(std::string_view key, int index) {
+  return PointFromDigest(Md5::Hash(key), index);
+}
+
+std::vector<std::uint32_t> VirtualPoints(std::string_view node_key, int count) {
+  std::vector<std::uint32_t> points;
+  points.reserve(count);
+  for (int group = 0; static_cast<int>(points.size()) < count; ++group) {
+    std::string salted(node_key);
+    salted += '-';
+    salted += std::to_string(group);
+    const Md5::Digest d = Md5::Hash(salted);
+    for (int i = 0; i < 4 && static_cast<int>(points.size()) < count; ++i) {
+      points.push_back(PointFromDigest(d, i));
+    }
+  }
+  return points;
+}
+
+std::size_t ModNPlacement(std::string_view key, std::size_t num_nodes) {
+  return KetamaHash(key) % num_nodes;
+}
+
+}  // namespace hotman::hashring

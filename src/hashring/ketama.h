@@ -1,0 +1,32 @@
+#ifndef HOTMAN_HASHRING_KETAMA_H_
+#define HOTMAN_HASHRING_KETAMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hotman::hashring {
+
+/// Ketama point hash: the low 4 bytes of MD5(key), as in libketama /
+/// memcached (the paper cites Ketama [25] as its hash function).
+std::uint32_t KetamaHash(std::string_view key);
+
+/// The `index`-th of the four ring points a single MD5 digest yields.
+/// Requires 0 <= index < 4.
+std::uint32_t KetamaHashAt(std::string_view key, int index);
+
+/// Ring positions for a node's virtual nodes: digests of "key-0", "key-1",
+/// ... are each split into 4 points, Ketama style, until `count` points are
+/// produced. Deterministic in (node_key, count); this realizes the paper's
+/// revised virtual-node method where "the virtual node's random key on the
+/// ring is decided by the physical node's key".
+std::vector<std::uint32_t> VirtualPoints(std::string_view node_key, int count);
+
+/// The paper's Eq. (2) baseline: Y = hash(X) mod N. Used by the micro-bench
+/// that contrasts remap volume between consistent hashing and mod-N.
+std::size_t ModNPlacement(std::string_view key, std::size_t num_nodes);
+
+}  // namespace hotman::hashring
+
+#endif  // HOTMAN_HASHRING_KETAMA_H_

@@ -1,0 +1,146 @@
+#include "hashring/md5.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace hotman::hashring {
+
+namespace {
+
+// Per-round left-rotation amounts (RFC 1321).
+constexpr std::uint32_t kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * abs(sin(i + 1))).
+constexpr std::uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+std::uint32_t Rotl32(std::uint32_t x, std::uint32_t c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+}  // namespace
+
+Md5::Md5() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+}
+
+void Md5::ProcessBlock(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) m[i] = GetFixed32(block + i * 4);
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + Rotl32(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::Update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_len_ += len;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(len, sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= sizeof(buffer_)) {
+    ProcessBlock(p);
+    p += sizeof(buffer_);
+    len -= sizeof(buffer_);
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffer_len_ = len;
+  }
+}
+
+Md5::Digest Md5::Finalize() {
+  const std::uint64_t bit_len = total_len_ * 8;
+  // Append 0x80 then zeros until 56 mod 64, then the 64-bit length.
+  const std::uint8_t pad = 0x80;
+  Update(&pad, 1);
+  const std::uint8_t zero = 0;
+  while (buffer_len_ != 56) Update(&zero, 1);
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>((bit_len >> (8 * i)) & 0xFF);
+  }
+  // Bypass total_len_ bookkeeping (it no longer matters) by writing the
+  // final block directly.
+  std::memcpy(buffer_ + 56, len_bytes, 8);
+  ProcessBlock(buffer_);
+  buffer_len_ = 0;
+
+  Digest digest;
+  for (int i = 0; i < 4; ++i) {
+    digest[i * 4 + 0] = static_cast<std::uint8_t>(state_[i] & 0xFF);
+    digest[i * 4 + 1] = static_cast<std::uint8_t>((state_[i] >> 8) & 0xFF);
+    digest[i * 4 + 2] = static_cast<std::uint8_t>((state_[i] >> 16) & 0xFF);
+    digest[i * 4 + 3] = static_cast<std::uint8_t>((state_[i] >> 24) & 0xFF);
+  }
+  return digest;
+}
+
+Md5::Digest Md5::Hash(std::string_view data) {
+  Md5 md5;
+  md5.Update(data);
+  return md5.Finalize();
+}
+
+std::string Md5::HexDigest(std::string_view data) {
+  Digest d = Hash(data);
+  return HexEncode(d.data(), d.size());
+}
+
+}  // namespace hotman::hashring

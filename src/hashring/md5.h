@@ -1,0 +1,46 @@
+#ifndef HOTMAN_HASHRING_MD5_H_
+#define HOTMAN_HASHRING_MD5_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hotman::hashring {
+
+/// MD5 digest (RFC 1321), implemented from scratch.
+///
+/// The paper uses MD5 twice: as the consistent-hash function ("Consistent
+/// hashing usually takes MD5 as the function of hashing") and to sign
+/// authorized REST request URIs (Fig. 2). MD5 is used here for fidelity to
+/// the paper, not for security.
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Md5();
+
+  /// Absorbs `len` bytes.
+  void Update(const void* data, std::size_t len);
+  void Update(std::string_view data) { Update(data.data(), data.size()); }
+
+  /// Completes the hash. The object must not be reused afterwards.
+  Digest Finalize();
+
+  /// One-shot helpers.
+  static Digest Hash(std::string_view data);
+  static std::string HexDigest(std::string_view data);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace hotman::hashring
+
+#endif  // HOTMAN_HASHRING_MD5_H_

@@ -1,0 +1,66 @@
+#include "hashring/migration.h"
+
+#include <set>
+
+namespace hotman::hashring {
+
+namespace {
+
+/// Primary owner of the arc beginning at `point` under `ring` (the node of
+/// the first virtual point strictly greater than `point`, wrapping).
+const NodeId* OwnerAt(const Ring& ring, std::uint32_t point) {
+  const auto& points = ring.points();
+  if (points.empty()) return nullptr;
+  auto it = points.upper_bound(point);
+  if (it == points.end()) it = points.begin();
+  return &it->second;
+}
+
+std::uint64_t ArcLength(std::uint32_t start, std::uint32_t end) {
+  if (start == end) return std::uint64_t{1} << 32;  // whole ring
+  if (start < end) return end - start;
+  return (std::uint64_t{1} << 32) - start + end;
+}
+
+}  // namespace
+
+std::vector<MigrationStep> PlanMigration(const Ring& before, const Ring& after) {
+  std::vector<MigrationStep> steps;
+  if (before.points().empty() || after.points().empty()) return steps;
+
+  // Elementary arcs are delimited by the union of both rings' points.
+  std::set<std::uint32_t> cuts;
+  for (const auto& [p, node] : before.points()) cuts.insert(p);
+  for (const auto& [p, node] : after.points()) cuts.insert(p);
+
+  auto emit = [&steps, &before, &after](std::uint32_t start, std::uint32_t end) {
+    // Owner is constant on [start, end); sample at `start`.
+    const NodeId* from = OwnerAt(before, start);
+    const NodeId* to = OwnerAt(after, start);
+    if (from == nullptr || to == nullptr || *from == *to) return;
+    steps.push_back(MigrationStep{Range{start, end}, *from, *to});
+  };
+
+  auto it = cuts.begin();
+  std::uint32_t first = *it;
+  std::uint32_t prev = first;
+  for (++it; it != cuts.end(); ++it) {
+    emit(prev, *it);
+    prev = *it;
+  }
+  // Wrapping arc from the last cut back to the first.
+  if (cuts.size() == 1) {
+    emit(first, first);  // single point: whole ring
+  } else {
+    emit(prev, first);
+  }
+  return steps;
+}
+
+double MigratedFraction(const std::vector<MigrationStep>& steps) {
+  std::uint64_t covered = 0;
+  for (const MigrationStep& s : steps) covered += ArcLength(s.range.start, s.range.end);
+  return static_cast<double>(covered) / static_cast<double>(std::uint64_t{1} << 32);
+}
+
+}  // namespace hotman::hashring

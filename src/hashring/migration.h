@@ -1,0 +1,33 @@
+#ifndef HOTMAN_HASHRING_MIGRATION_H_
+#define HOTMAN_HASHRING_MIGRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "hashring/ring.h"
+
+namespace hotman::hashring {
+
+/// One arc of keys whose primary owner changes between two ring
+/// configurations.
+struct MigrationStep {
+  Range range;
+  NodeId from;  ///< primary owner before
+  NodeId to;    ///< primary owner after
+};
+
+/// Exact migration plan between two rings: merges the virtual points of
+/// both configurations into elementary arcs and emits every arc whose
+/// primary owner differs. The principal consistent-hashing property — the
+/// departure or arrival of a node only affects its ring neighbours — is
+/// checked by property tests on top of this planner.
+std::vector<MigrationStep> PlanMigration(const Ring& before, const Ring& after);
+
+/// Fraction of the 32-bit keyspace covered by `steps` (0.0 .. 1.0); the
+/// expected remap fraction when a node joins an N-node ring is ~1/(N+1),
+/// versus ~N/(N+1) for mod-N placement (the paper's Eq. (2) baseline).
+double MigratedFraction(const std::vector<MigrationStep>& steps);
+
+}  // namespace hotman::hashring
+
+#endif  // HOTMAN_HASHRING_MIGRATION_H_

@@ -1,0 +1,633 @@
+#include "query/matcher.h"
+
+#include <functional>
+#include <map>
+#include <regex>
+
+#include "query/path.h"
+
+namespace hotman::query {
+namespace internal {
+
+namespace {
+
+using bson::Array;
+using bson::Document;
+using bson::Field;
+using bson::Type;
+using bson::Value;
+
+/// Applies `pred` to every value reachable at `path`, expanding leaf arrays
+/// element-wise when `expand_arrays` (MongoDB's implicit "matches any array
+/// element" rule). Returns true if any application succeeds.
+bool AnyCandidate(const Document& doc, const std::vector<std::string>& path,
+                  bool expand_arrays,
+                  const std::function<bool(const Value&)>& pred) {
+  std::vector<const Value*> candidates;
+  ResolvePath(doc, path, &candidates);
+  for (const Value* v : candidates) {
+    if (pred(*v)) return true;
+    if (expand_arrays && v->is_array()) {
+      for (const Value& elem : v->as_array()) {
+        if (pred(elem)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool HasAnyCandidate(const Document& doc, const std::vector<std::string>& path) {
+  std::vector<const Value*> candidates;
+  ResolvePath(doc, path, &candidates);
+  return !candidates.empty();
+}
+
+}  // namespace
+
+/// Base of the compiled filter tree.
+class MatchNode {
+ public:
+  virtual ~MatchNode() = default;
+  virtual bool Matches(const Document& doc) const = 0;
+
+  /// Accumulates index-usable bounds; only conjunctive nodes contribute.
+  virtual void CollectBounds(std::map<std::string, FieldBounds>* bounds) const {
+    (void)bounds;
+  }
+};
+
+namespace {
+
+class AndNode final : public MatchNode {
+ public:
+  explicit AndNode(std::vector<std::unique_ptr<MatchNode>> children)
+      : children_(std::move(children)) {}
+
+  bool Matches(const Document& doc) const override {
+    for (const auto& c : children_) {
+      if (!c->Matches(doc)) return false;
+    }
+    return true;
+  }
+
+  void CollectBounds(std::map<std::string, FieldBounds>* bounds) const override {
+    for (const auto& c : children_) c->CollectBounds(bounds);
+  }
+
+ private:
+  std::vector<std::unique_ptr<MatchNode>> children_;
+};
+
+class OrNode final : public MatchNode {
+ public:
+  explicit OrNode(std::vector<std::unique_ptr<MatchNode>> children)
+      : children_(std::move(children)) {}
+
+  bool Matches(const Document& doc) const override {
+    for (const auto& c : children_) {
+      if (c->Matches(doc)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::unique_ptr<MatchNode>> children_;
+};
+
+class NorNode final : public MatchNode {
+ public:
+  explicit NorNode(std::vector<std::unique_ptr<MatchNode>> children)
+      : children_(std::move(children)) {}
+
+  bool Matches(const Document& doc) const override {
+    for (const auto& c : children_) {
+      if (c->Matches(doc)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::unique_ptr<MatchNode>> children_;
+};
+
+class NotNode final : public MatchNode {
+ public:
+  explicit NotNode(std::unique_ptr<MatchNode> child) : child_(std::move(child)) {}
+
+  bool Matches(const Document& doc) const override { return !child_->Matches(doc); }
+
+ private:
+  std::unique_ptr<MatchNode> child_;
+};
+
+class EqNode final : public MatchNode {
+ public:
+  EqNode(std::string path_str, std::vector<std::string> path, Value operand)
+      : path_str_(std::move(path_str)),
+        path_(std::move(path)),
+        operand_(std::move(operand)) {}
+
+  bool Matches(const Document& doc) const override {
+    if (operand_.is_null()) {
+      // {a: null} matches documents where a is null or missing entirely.
+      if (!HasAnyCandidate(doc, path_)) return true;
+      return AnyCandidate(doc, path_, /*expand_arrays=*/true,
+                          [this](const Value& v) { return v == operand_; });
+    }
+    return AnyCandidate(doc, path_, /*expand_arrays=*/true,
+                        [this](const Value& v) { return v == operand_; });
+  }
+
+  void CollectBounds(std::map<std::string, FieldBounds>* bounds) const override {
+    (*bounds)[path_str_].eq = operand_;
+  }
+
+ private:
+  std::string path_str_;
+  std::vector<std::string> path_;
+  Value operand_;
+};
+
+enum class RangeOp { kGt, kGte, kLt, kLte };
+
+class RangeNode final : public MatchNode {
+ public:
+  RangeNode(std::string path_str, std::vector<std::string> path, RangeOp op,
+            Value operand)
+      : path_str_(std::move(path_str)),
+        path_(std::move(path)),
+        op_(op),
+        operand_(std::move(operand)) {}
+
+  bool Matches(const Document& doc) const override {
+    const int rank = operand_.CanonicalRank();
+    return AnyCandidate(doc, path_, /*expand_arrays=*/true,
+                        [this, rank](const Value& v) {
+                          if (v.CanonicalRank() != rank) return false;
+                          int c = v.Compare(operand_);
+                          switch (op_) {
+                            case RangeOp::kGt:
+                              return c > 0;
+                            case RangeOp::kGte:
+                              return c >= 0;
+                            case RangeOp::kLt:
+                              return c < 0;
+                            case RangeOp::kLte:
+                              return c <= 0;
+                          }
+                          return false;
+                        });
+  }
+
+  void CollectBounds(std::map<std::string, FieldBounds>* bounds) const override {
+    FieldBounds& b = (*bounds)[path_str_];
+    switch (op_) {
+      case RangeOp::kGt:
+        b.lower = operand_;
+        b.lower_inclusive = false;
+        break;
+      case RangeOp::kGte:
+        b.lower = operand_;
+        b.lower_inclusive = true;
+        break;
+      case RangeOp::kLt:
+        b.upper = operand_;
+        b.upper_inclusive = false;
+        break;
+      case RangeOp::kLte:
+        b.upper = operand_;
+        b.upper_inclusive = true;
+        break;
+    }
+  }
+
+ private:
+  std::string path_str_;
+  std::vector<std::string> path_;
+  RangeOp op_;
+  Value operand_;
+};
+
+class InNode final : public MatchNode {
+ public:
+  InNode(std::vector<std::string> path, Array options)
+      : path_(std::move(path)), options_(std::move(options)) {}
+
+  bool Matches(const Document& doc) const override {
+    for (const Value& opt : options_) {
+      if (opt.is_null() && !HasAnyCandidate(doc, path_)) return true;
+    }
+    return AnyCandidate(doc, path_, /*expand_arrays=*/true, [this](const Value& v) {
+      for (const Value& opt : options_) {
+        if (v == opt) return true;
+      }
+      return false;
+    });
+  }
+
+ private:
+  std::vector<std::string> path_;
+  Array options_;
+};
+
+class ExistsNode final : public MatchNode {
+ public:
+  ExistsNode(std::vector<std::string> path, bool expected)
+      : path_(std::move(path)), expected_(expected) {}
+
+  bool Matches(const Document& doc) const override {
+    return HasAnyCandidate(doc, path_) == expected_;
+  }
+
+ private:
+  std::vector<std::string> path_;
+  bool expected_;
+};
+
+class TypeNode final : public MatchNode {
+ public:
+  TypeNode(std::vector<std::string> path, Type type)
+      : path_(std::move(path)), type_(type) {}
+
+  bool Matches(const Document& doc) const override {
+    return AnyCandidate(doc, path_, /*expand_arrays=*/false,
+                        [this](const Value& v) { return v.type() == type_; });
+  }
+
+ private:
+  std::vector<std::string> path_;
+  Type type_;
+};
+
+class SizeNode final : public MatchNode {
+ public:
+  SizeNode(std::vector<std::string> path, std::int64_t size)
+      : path_(std::move(path)), size_(size) {}
+
+  bool Matches(const Document& doc) const override {
+    return AnyCandidate(doc, path_, /*expand_arrays=*/false,
+                        [this](const Value& v) {
+                          return v.is_array() &&
+                                 static_cast<std::int64_t>(v.as_array().size()) == size_;
+                        });
+  }
+
+ private:
+  std::vector<std::string> path_;
+  std::int64_t size_;
+};
+
+class ModNode final : public MatchNode {
+ public:
+  ModNode(std::vector<std::string> path, std::int64_t divisor, std::int64_t remainder)
+      : path_(std::move(path)), divisor_(divisor), remainder_(remainder) {}
+
+  bool Matches(const Document& doc) const override {
+    return AnyCandidate(doc, path_, /*expand_arrays=*/true,
+                        [this](const Value& v) {
+                          return v.is_number() &&
+                                 v.NumberAsInt64() % divisor_ == remainder_;
+                        });
+  }
+
+ private:
+  std::vector<std::string> path_;
+  std::int64_t divisor_;
+  std::int64_t remainder_;
+};
+
+class RegexNode final : public MatchNode {
+ public:
+  RegexNode(std::vector<std::string> path, std::regex re)
+      : path_(std::move(path)), re_(std::move(re)) {}
+
+  bool Matches(const Document& doc) const override {
+    return AnyCandidate(doc, path_, /*expand_arrays=*/true,
+                        [this](const Value& v) {
+                          return v.is_string() &&
+                                 std::regex_search(v.as_string(), re_);
+                        });
+  }
+
+ private:
+  std::vector<std::string> path_;
+  std::regex re_;
+};
+
+class AllNode final : public MatchNode {
+ public:
+  AllNode(std::vector<std::string> path, Array required)
+      : path_(std::move(path)), required_(std::move(required)) {}
+
+  bool Matches(const Document& doc) const override {
+    return AnyCandidate(doc, path_, /*expand_arrays=*/false, [this](const Value& v) {
+      for (const Value& req : required_) {
+        bool found = false;
+        if (v == req) {
+          found = true;
+        } else if (v.is_array()) {
+          for (const Value& elem : v.as_array()) {
+            if (elem == req) {
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found) return false;
+      }
+      return true;
+    });
+  }
+
+ private:
+  std::vector<std::string> path_;
+  Array required_;
+};
+
+class ElemMatchNode final : public MatchNode {
+ public:
+  ElemMatchNode(std::vector<std::string> path, std::unique_ptr<MatchNode> element_filter,
+                bool scalar_mode)
+      : path_(std::move(path)),
+        element_filter_(std::move(element_filter)),
+        scalar_mode_(scalar_mode) {}
+
+  bool Matches(const Document& doc) const override {
+    return AnyCandidate(doc, path_, /*expand_arrays=*/false, [this](const Value& v) {
+      if (!v.is_array()) return false;
+      for (const Value& elem : v.as_array()) {
+        if (scalar_mode_) {
+          // Wrap the scalar so the operator sub-filter (compiled against the
+          // reserved field name) can evaluate it.
+          Document wrapper;
+          wrapper.Append(kScalarField, elem);
+          if (element_filter_->Matches(wrapper)) return true;
+        } else if (elem.is_document() && element_filter_->Matches(elem.as_document())) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+
+  static constexpr const char* kScalarField = "$elem";
+
+ private:
+  std::vector<std::string> path_;
+  std::unique_ptr<MatchNode> element_filter_;
+  bool scalar_mode_;
+};
+
+// --- Compilation -----------------------------------------------------------
+
+Result<std::unique_ptr<MatchNode>> CompileFilter(const Document& filter);
+
+bool IsOperatorDocument(const Value& v) {
+  if (!v.is_document() || v.as_document().empty()) return false;
+  for (const Field& f : v.as_document()) {
+    if (f.name.empty() || f.name[0] != '$') return false;
+  }
+  return true;
+}
+
+Result<Type> ParseTypeOperand(const Value& v) {
+  if (v.is_number()) {
+    const auto tag = v.NumberAsInt64();
+    switch (tag) {
+      case 0x01:
+      case 0x02:
+      case 0x03:
+      case 0x04:
+      case 0x05:
+      case 0x07:
+      case 0x08:
+      case 0x09:
+      case 0x0A:
+      case 0x10:
+      case 0x12:
+        return static_cast<Type>(tag);
+      default:
+        return Status::InvalidArgument("$type: unknown type number");
+    }
+  }
+  if (v.is_string()) {
+    const std::string& s = v.as_string();
+    if (s == "double") return Type::kDouble;
+    if (s == "string") return Type::kString;
+    if (s == "object") return Type::kDocument;
+    if (s == "array") return Type::kArray;
+    if (s == "binData") return Type::kBinary;
+    if (s == "objectId") return Type::kObjectId;
+    if (s == "bool") return Type::kBool;
+    if (s == "date") return Type::kDateTime;
+    if (s == "null") return Type::kNull;
+    if (s == "int") return Type::kInt32;
+    if (s == "long") return Type::kInt64;
+    return Status::InvalidArgument("$type: unknown type name: " + s);
+  }
+  return Status::InvalidArgument("$type operand must be a number or string");
+}
+
+/// Compiles one {$op: operand, ...} document applied to `path`.
+Result<std::unique_ptr<MatchNode>> CompileOperators(const std::string& path_str,
+                                                    const Document& ops) {
+  std::vector<std::unique_ptr<MatchNode>> nodes;
+  auto path = SplitPath(path_str);
+  // $regex/$options pair is handled jointly.
+  const Value* regex_operand = ops.Get("$regex");
+  const Value* regex_options = ops.Get("$options");
+  if (regex_operand != nullptr) {
+    if (!regex_operand->is_string()) {
+      return Status::InvalidArgument("$regex operand must be a string");
+    }
+    auto flags = std::regex::ECMAScript;
+    if (regex_options != nullptr) {
+      if (!regex_options->is_string()) {
+        return Status::InvalidArgument("$options must be a string");
+      }
+      for (char c : regex_options->as_string()) {
+        if (c == 'i') {
+          flags |= std::regex::icase;
+        } else if (c != 'm' && c != 's' && c != 'x') {
+          return Status::InvalidArgument("unsupported $options flag");
+        }
+      }
+    }
+    try {
+      nodes.push_back(std::make_unique<RegexNode>(
+          path, std::regex(regex_operand->as_string(), flags)));
+    } catch (const std::regex_error&) {
+      return Status::InvalidArgument("invalid $regex pattern");
+    }
+  }
+
+  for (const Field& f : ops) {
+    const std::string& op = f.name;
+    const Value& operand = f.value;
+    if (op == "$regex" || op == "$options") continue;  // handled above
+    if (op == "$eq") {
+      nodes.push_back(std::make_unique<EqNode>(path_str, path, operand));
+    } else if (op == "$ne") {
+      nodes.push_back(std::make_unique<NotNode>(
+          std::make_unique<EqNode>(path_str, path, operand)));
+    } else if (op == "$gt" || op == "$gte" || op == "$lt" || op == "$lte") {
+      RangeOp ro = op == "$gt"    ? RangeOp::kGt
+                   : op == "$gte" ? RangeOp::kGte
+                   : op == "$lt"  ? RangeOp::kLt
+                                  : RangeOp::kLte;
+      nodes.push_back(std::make_unique<RangeNode>(path_str, path, ro, operand));
+    } else if (op == "$in" || op == "$nin") {
+      if (!operand.is_array()) {
+        return Status::InvalidArgument(op + " operand must be an array");
+      }
+      auto in = std::make_unique<InNode>(path, operand.as_array());
+      if (op == "$in") {
+        nodes.push_back(std::move(in));
+      } else {
+        nodes.push_back(std::make_unique<NotNode>(std::move(in)));
+      }
+    } else if (op == "$exists") {
+      bool expected = operand.is_bool() ? operand.as_bool()
+                      : operand.is_number() ? operand.NumberAsInt64() != 0
+                                            : true;
+      nodes.push_back(std::make_unique<ExistsNode>(path, expected));
+    } else if (op == "$type") {
+      auto type = ParseTypeOperand(operand);
+      if (!type.ok()) return type.status();
+      nodes.push_back(std::make_unique<TypeNode>(path, *type));
+    } else if (op == "$size") {
+      if (!operand.is_number()) {
+        return Status::InvalidArgument("$size operand must be a number");
+      }
+      nodes.push_back(std::make_unique<SizeNode>(path, operand.NumberAsInt64()));
+    } else if (op == "$mod") {
+      if (!operand.is_array() || operand.as_array().size() != 2 ||
+          !operand.as_array()[0].is_number() || !operand.as_array()[1].is_number()) {
+        return Status::InvalidArgument("$mod operand must be [divisor, remainder]");
+      }
+      const std::int64_t divisor = operand.as_array()[0].NumberAsInt64();
+      if (divisor == 0) return Status::InvalidArgument("$mod divisor must be nonzero");
+      nodes.push_back(std::make_unique<ModNode>(path, divisor,
+                                                operand.as_array()[1].NumberAsInt64()));
+    } else if (op == "$all") {
+      if (!operand.is_array()) {
+        return Status::InvalidArgument("$all operand must be an array");
+      }
+      nodes.push_back(std::make_unique<AllNode>(path, operand.as_array()));
+    } else if (op == "$elemMatch") {
+      if (!operand.is_document()) {
+        return Status::InvalidArgument("$elemMatch operand must be a document");
+      }
+      const bool scalar_mode = IsOperatorDocument(operand);
+      std::unique_ptr<MatchNode> sub;
+      if (scalar_mode) {
+        auto compiled =
+            CompileOperators(ElemMatchNode::kScalarField, operand.as_document());
+        if (!compiled.ok()) return compiled.status();
+        sub = std::move(*compiled);
+      } else {
+        auto compiled = CompileFilter(operand.as_document());
+        if (!compiled.ok()) return compiled.status();
+        sub = std::move(*compiled);
+      }
+      nodes.push_back(
+          std::make_unique<ElemMatchNode>(path, std::move(sub), scalar_mode));
+    } else if (op == "$not") {
+      if (!operand.is_document() || !IsOperatorDocument(operand)) {
+        return Status::InvalidArgument("$not operand must be an operator document");
+      }
+      auto sub = CompileOperators(path_str, operand.as_document());
+      if (!sub.ok()) return sub.status();
+      nodes.push_back(std::make_unique<NotNode>(std::move(*sub)));
+    } else {
+      return Status::InvalidArgument("unknown query operator: " + op);
+    }
+  }
+
+  if (nodes.size() == 1) return std::move(nodes.front());
+  return std::unique_ptr<MatchNode>(std::make_unique<AndNode>(std::move(nodes)));
+}
+
+Result<std::vector<std::unique_ptr<MatchNode>>> CompileClauseArray(const Value& v,
+                                                                   const char* op) {
+  if (!v.is_array() || v.as_array().empty()) {
+    return Status::InvalidArgument(std::string(op) +
+                                   " requires a non-empty array of filters");
+  }
+  std::vector<std::unique_ptr<MatchNode>> children;
+  for (const Value& clause : v.as_array()) {
+    if (!clause.is_document()) {
+      return Status::InvalidArgument(std::string(op) + " clauses must be documents");
+    }
+    auto child = CompileFilter(clause.as_document());
+    if (!child.ok()) return child.status();
+    children.push_back(std::move(*child));
+  }
+  return children;
+}
+
+Result<std::unique_ptr<MatchNode>> CompileFilter(const Document& filter) {
+  std::vector<std::unique_ptr<MatchNode>> nodes;
+  for (const Field& f : filter) {
+    if (f.name == "$and" || f.name == "$or" || f.name == "$nor") {
+      auto children = CompileClauseArray(f.value, f.name.c_str());
+      if (!children.ok()) return children.status();
+      if (f.name == "$and") {
+        nodes.push_back(std::make_unique<AndNode>(std::move(*children)));
+      } else if (f.name == "$or") {
+        nodes.push_back(std::make_unique<OrNode>(std::move(*children)));
+      } else {
+        nodes.push_back(std::make_unique<NorNode>(std::move(*children)));
+      }
+    } else if (f.name == "$comment") {
+      continue;
+    } else if (!f.name.empty() && f.name[0] == '$') {
+      return Status::InvalidArgument("unknown top-level operator: " + f.name);
+    } else if (IsOperatorDocument(f.value)) {
+      auto node = CompileOperators(f.name, f.value.as_document());
+      if (!node.ok()) return node.status();
+      nodes.push_back(std::move(*node));
+    } else {
+      nodes.push_back(
+          std::make_unique<EqNode>(f.name, SplitPath(f.name), f.value));
+    }
+  }
+  if (nodes.size() == 1) return std::move(nodes.front());
+  return std::unique_ptr<MatchNode>(std::make_unique<AndNode>(std::move(nodes)));
+}
+
+}  // namespace
+}  // namespace internal
+
+Matcher::Matcher(std::unique_ptr<internal::MatchNode> root) : root_(std::move(root)) {}
+Matcher::Matcher(Matcher&&) noexcept = default;
+Matcher& Matcher::operator=(Matcher&&) noexcept = default;
+Matcher::~Matcher() = default;
+
+Result<Matcher> Matcher::Compile(const bson::Document& filter) {
+  auto root = internal::CompileFilter(filter);
+  if (!root.ok()) return root.status();
+  return Matcher(std::move(*root));
+}
+
+bool Matcher::Matches(const bson::Document& doc) const { return root_->Matches(doc); }
+
+FieldBounds Matcher::BoundsFor(const std::string& path) const {
+  std::map<std::string, FieldBounds> bounds;
+  root_->CollectBounds(&bounds);
+  auto it = bounds.find(path);
+  return it == bounds.end() ? FieldBounds{} : it->second;
+}
+
+std::vector<std::string> Matcher::ConstrainedPaths() const {
+  std::map<std::string, FieldBounds> bounds;
+  root_->CollectBounds(&bounds);
+  std::vector<std::string> paths;
+  paths.reserve(bounds.size());
+  for (const auto& [path, b] : bounds) {
+    if (b.IsConstrained()) paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace hotman::query

@@ -1,0 +1,66 @@
+#ifndef HOTMAN_QUERY_MATCHER_H_
+#define HOTMAN_QUERY_MATCHER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bson/document.h"
+#include "common/status.h"
+
+namespace hotman::query {
+
+/// Range/equality constraint a filter places on one dotted field path; the
+/// query planner uses this to pick an index (see docstore/planner).
+struct FieldBounds {
+  std::optional<bson::Value> eq;       ///< exact-match constraint
+  std::optional<bson::Value> lower;    ///< range lower bound
+  bool lower_inclusive = true;
+  std::optional<bson::Value> upper;    ///< range upper bound
+  bool upper_inclusive = true;
+
+  bool IsConstrained() const {
+    return eq.has_value() || lower.has_value() || upper.has_value();
+  }
+};
+
+namespace internal {
+class MatchNode;
+}  // namespace internal
+
+/// A compiled MongoDB-style query filter.
+///
+/// Supported operators: implicit equality, `$eq $ne $gt $gte $lt $lte $in
+/// $nin $exists $type $size $mod $regex $all $elemMatch $not` on fields and
+/// `$and $or $nor` as top-level logical connectives. This is the "complex
+/// query functions like relational databases" surface the paper's storage
+/// layer exposes via MongoDB.
+class Matcher {
+ public:
+  Matcher(Matcher&&) noexcept;
+  Matcher& operator=(Matcher&&) noexcept;
+  ~Matcher();
+
+  /// Compiles `filter`; rejects unknown operators and malformed operands.
+  static Result<Matcher> Compile(const bson::Document& filter);
+
+  /// True when `doc` satisfies the filter.
+  bool Matches(const bson::Document& doc) const;
+
+  /// Constraint the filter places on `path` (top-level conjuncts only);
+  /// disjunctions and negations constrain nothing.
+  FieldBounds BoundsFor(const std::string& path) const;
+
+  /// Dotted paths with top-level constraints (index-selection candidates).
+  std::vector<std::string> ConstrainedPaths() const;
+
+ private:
+  explicit Matcher(std::unique_ptr<internal::MatchNode> root);
+
+  std::unique_ptr<internal::MatchNode> root_;
+};
+
+}  // namespace hotman::query
+
+#endif  // HOTMAN_QUERY_MATCHER_H_

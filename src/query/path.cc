@@ -1,0 +1,92 @@
+#include "query/path.h"
+
+#include <cstdlib>
+
+namespace hotman::query {
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '.') {
+      parts.emplace_back(path.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+bool IsArrayIndex(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+namespace {
+
+void ResolveFrom(const bson::Value& value, const std::vector<std::string>& path,
+                 std::size_t depth, std::vector<const bson::Value*>* out) {
+  if (depth == path.size()) {
+    out->push_back(&value);
+    return;
+  }
+  const std::string& comp = path[depth];
+  if (value.is_document()) {
+    const bson::Value* next = value.as_document().Get(comp);
+    if (next != nullptr) ResolveFrom(*next, path, depth + 1, out);
+    return;
+  }
+  if (value.is_array()) {
+    const bson::Array& arr = value.as_array();
+    if (IsArrayIndex(comp)) {
+      const std::size_t idx = std::strtoull(comp.c_str(), nullptr, 10);
+      if (idx < arr.size()) ResolveFrom(arr[idx], path, depth + 1, out);
+      return;
+    }
+    // Fan out over elements: each document element continues the traversal.
+    for (const bson::Value& elem : arr) {
+      if (elem.is_document()) ResolveFrom(elem, path, depth, out);
+    }
+  }
+}
+
+}  // namespace
+
+void ResolvePath(const bson::Document& doc, const std::vector<std::string>& path,
+                 std::vector<const bson::Value*>* out) {
+  if (path.empty()) return;
+  const bson::Value* first = doc.Get(path[0]);
+  if (first != nullptr) ResolveFrom(*first, path, 1, out);
+}
+
+void ResolvePath(const bson::Document& doc, std::string_view path,
+                 std::vector<const bson::Value*>* out) {
+  ResolvePath(doc, SplitPath(path), out);
+}
+
+const bson::Value* ResolveFirst(const bson::Document& doc, std::string_view path) {
+  std::vector<const bson::Value*> values;
+  ResolvePath(doc, path, &values);
+  return values.empty() ? nullptr : values.front();
+}
+
+bson::Document* MakePathParent(bson::Document* doc,
+                               const std::vector<std::string>& path,
+                               std::string* leaf) {
+  bson::Document* cur = doc;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    bson::Value* next = cur->GetMutable(path[i]);
+    if (next == nullptr) {
+      cur->Set(path[i], bson::Value(bson::Document()));
+      next = cur->GetMutable(path[i]);
+    }
+    if (!next->is_document()) return nullptr;
+    cur = &next->as_document();
+  }
+  *leaf = path.back();
+  return cur;
+}
+
+}  // namespace hotman::query

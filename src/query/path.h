@@ -1,0 +1,45 @@
+#ifndef HOTMAN_QUERY_PATH_H_
+#define HOTMAN_QUERY_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bson/document.h"
+
+namespace hotman::query {
+
+/// Splits a dotted path ("a.b.0.c") into components.
+std::vector<std::string> SplitPath(std::string_view path);
+
+/// Resolves a dotted path against `doc` with MongoDB traversal semantics:
+///  - a document component looks up the field by name;
+///  - an array met at a numeric component indexes into it;
+///  - an array met at a non-numeric component fans out across its elements
+///    (each element that is a document continues the traversal).
+/// All reachable leaf values are appended to `*out` (pointers into `doc`,
+/// valid while `doc` is alive). Missing paths produce no output.
+void ResolvePath(const bson::Document& doc, const std::vector<std::string>& path,
+                 std::vector<const bson::Value*>* out);
+
+/// Convenience overload taking the dotted string.
+void ResolvePath(const bson::Document& doc, std::string_view path,
+                 std::vector<const bson::Value*>* out);
+
+/// First value on the path, or nullptr (convenience for single-valued use).
+const bson::Value* ResolveFirst(const bson::Document& doc, std::string_view path);
+
+/// True when every character of `s` is a decimal digit (array index form).
+bool IsArrayIndex(std::string_view s);
+
+/// Navigates to (and creates, document-by-document) the parent of the last
+/// path component for update operators; returns the parent document and
+/// stores the leaf name in `*leaf`. Returns nullptr when an intermediate
+/// component exists with a non-document type (update must fail).
+bson::Document* MakePathParent(bson::Document* doc,
+                               const std::vector<std::string>& path,
+                               std::string* leaf);
+
+}  // namespace hotman::query
+
+#endif  // HOTMAN_QUERY_PATH_H_

@@ -1,0 +1,123 @@
+#include "query/projection.h"
+
+#include "query/path.h"
+
+namespace hotman::query {
+
+namespace {
+
+using bson::Document;
+using bson::Field;
+using bson::Value;
+
+/// Copies into `*out` only the subtree of `value` selected by path suffixes.
+/// `suffixes` holds the remaining components of each matching path; an empty
+/// suffix means "take the whole value".
+bool ProjectInclude(const Value& value,
+                    const std::vector<std::vector<std::string>>& suffixes,
+                    std::size_t depth, Value* out) {
+  // If any path is fully consumed, include the whole value.
+  for (const auto& p : suffixes) {
+    if (depth == p.size()) {
+      *out = value;
+      return true;
+    }
+  }
+  if (!value.is_document()) return false;
+  Document result;
+  for (const Field& f : value.as_document()) {
+    std::vector<std::vector<std::string>> matching;
+    for (const auto& p : suffixes) {
+      if (depth < p.size() && p[depth] == f.name) matching.push_back(p);
+    }
+    if (matching.empty()) continue;
+    Value sub;
+    if (ProjectInclude(f.value, matching, depth + 1, &sub)) {
+      result.Append(f.name, std::move(sub));
+    }
+  }
+  if (result.empty()) return false;
+  *out = Value(std::move(result));
+  return true;
+}
+
+/// Removes from `*doc` every subtree selected by the exclusion paths.
+void ProjectExclude(Document* doc, const std::vector<std::vector<std::string>>& paths,
+                    std::size_t depth) {
+  for (const auto& p : paths) {
+    if (depth >= p.size()) continue;
+    if (depth + 1 == p.size()) {
+      doc->Remove(p[depth]);
+    } else {
+      Value* v = doc->GetMutable(p[depth]);
+      if (v != nullptr && v->is_document()) {
+        ProjectExclude(&v->as_document(), {p}, depth + 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<Projection> Projection::Compile(const bson::Document& spec) {
+  Projection proj;
+  bool mode_set = false;
+  for (const Field& f : spec) {
+    bool include;
+    if (f.value.is_bool()) {
+      include = f.value.as_bool();
+    } else if (f.value.is_number()) {
+      include = f.value.NumberAsInt64() != 0;
+    } else {
+      return Status::InvalidArgument("projection values must be 0/1 or booleans");
+    }
+    if (f.name == "_id") {
+      proj.include_id_ = include;
+      continue;
+    }
+    if (mode_set && include != proj.inclusive_) {
+      return Status::InvalidArgument(
+          "projection cannot mix inclusion and exclusion (except _id)");
+    }
+    proj.inclusive_ = include;
+    mode_set = true;
+    proj.paths_.push_back(SplitPath(f.name));
+  }
+  if (!mode_set) proj.inclusive_ = false;  // only _id mentioned (or empty spec)
+  return proj;
+}
+
+bson::Document Projection::Apply(const bson::Document& doc) const {
+  if (paths_.empty()) {
+    // Only the _id directive (or nothing) was given.
+    bson::Document out = doc;
+    if (!include_id_) out.Remove("_id");
+    return out;
+  }
+  if (inclusive_) {
+    bson::Document out;
+    if (include_id_) {
+      const Value* id = doc.Get("_id");
+      if (id != nullptr) out.Append("_id", *id);
+    }
+    for (const Field& f : doc) {
+      if (f.name == "_id") continue;
+      std::vector<std::vector<std::string>> matching;
+      for (const auto& p : paths_) {
+        if (!p.empty() && p[0] == f.name) matching.push_back(p);
+      }
+      if (matching.empty()) continue;
+      Value sub;
+      if (ProjectInclude(f.value, matching, 1, &sub)) {
+        out.Append(f.name, std::move(sub));
+      }
+    }
+    return out;
+  }
+  bson::Document out = doc;
+  ProjectExclude(&out, paths_, 0);
+  if (!include_id_) out.Remove("_id");
+  return out;
+}
+
+}  // namespace hotman::query

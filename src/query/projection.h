@@ -1,0 +1,36 @@
+#ifndef HOTMAN_QUERY_PROJECTION_H_
+#define HOTMAN_QUERY_PROJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "bson/document.h"
+#include "common/status.h"
+
+namespace hotman::query {
+
+/// A compiled MongoDB-style projection: {"a": 1, "b.c": 1} (inclusive) or
+/// {"a": 0} (exclusive). `_id` is included by default and may be excluded
+/// explicitly in either mode; mixing inclusion and exclusion of other fields
+/// is rejected, as in MongoDB.
+class Projection {
+ public:
+  /// Compiles the projection spec; an empty spec projects everything.
+  static Result<Projection> Compile(const bson::Document& spec);
+
+  /// Applies the projection to `doc`, returning the reduced document.
+  bson::Document Apply(const bson::Document& doc) const;
+
+  bool IsIdentity() const { return paths_.empty() && include_id_; }
+
+ private:
+  Projection() = default;
+
+  bool inclusive_ = true;
+  bool include_id_ = true;
+  std::vector<std::vector<std::string>> paths_;  // split dotted paths
+};
+
+}  // namespace hotman::query
+
+#endif  // HOTMAN_QUERY_PROJECTION_H_

@@ -1,0 +1,35 @@
+#include "query/sort.h"
+
+#include "query/path.h"
+
+namespace hotman::query {
+
+Result<SortSpec> SortSpec::Compile(const bson::Document& spec) {
+  SortSpec out;
+  for (const bson::Field& f : spec) {
+    if (!f.value.is_number()) {
+      return Status::InvalidArgument("sort directions must be numeric");
+    }
+    const std::int64_t dir = f.value.NumberAsInt64();
+    if (dir != 1 && dir != -1) {
+      return Status::InvalidArgument("sort direction must be 1 or -1");
+    }
+    out.keys_.push_back(Key{f.name, dir > 0});
+  }
+  return out;
+}
+
+int SortSpec::Compare(const bson::Document& a, const bson::Document& b) const {
+  static const bson::Value& null_value = *new bson::Value();
+  for (const Key& key : keys_) {
+    const bson::Value* va = ResolveFirst(a, key.path);
+    const bson::Value* vb = ResolveFirst(b, key.path);
+    const bson::Value& ra = va != nullptr ? *va : null_value;
+    const bson::Value& rb = vb != nullptr ? *vb : null_value;
+    int c = ra.Compare(rb);
+    if (c != 0) return key.ascending ? c : -c;
+  }
+  return 0;
+}
+
+}  // namespace hotman::query

@@ -1,0 +1,42 @@
+#ifndef HOTMAN_QUERY_SORT_H_
+#define HOTMAN_QUERY_SORT_H_
+
+#include <string>
+#include <vector>
+
+#include "bson/document.h"
+#include "common/status.h"
+
+namespace hotman::query {
+
+/// A compiled sort specification: {"size": 1, "name": -1}. Missing fields
+/// sort as null (lowest canonical bracket), matching MongoDB.
+class SortSpec {
+ public:
+  /// One sort key: dotted path plus direction.
+  struct Key {
+    std::string path;
+    bool ascending = true;
+  };
+
+  /// Compiles the spec; values must be numeric (positive = ascending).
+  static Result<SortSpec> Compile(const bson::Document& spec);
+
+  /// Three-way comparison of two documents under this spec.
+  int Compare(const bson::Document& a, const bson::Document& b) const;
+
+  /// Strict-weak-ordering functor for std::sort.
+  bool Less(const bson::Document& a, const bson::Document& b) const {
+    return Compare(a, b) < 0;
+  }
+
+  bool empty() const { return keys_.empty(); }
+  const std::vector<Key>& keys() const { return keys_; }
+
+ private:
+  std::vector<Key> keys_;
+};
+
+}  // namespace hotman::query
+
+#endif  // HOTMAN_QUERY_SORT_H_

@@ -1,0 +1,286 @@
+#include "query/update.h"
+
+#include "query/path.h"
+
+namespace hotman::query {
+
+namespace {
+
+using bson::Array;
+using bson::DateTime;
+using bson::Document;
+using bson::Field;
+using bson::Value;
+
+Status ApplySet(Document* doc, const std::string& path_str, const Value& v) {
+  auto path = SplitPath(path_str);
+  std::string leaf;
+  Document* parent = MakePathParent(doc, path, &leaf);
+  if (parent == nullptr) {
+    return Status::InvalidArgument("$set: path traverses a non-document: " + path_str);
+  }
+  parent->Set(leaf, v);
+  return Status::OK();
+}
+
+Status ApplyUnset(Document* doc, const std::string& path_str) {
+  auto path = SplitPath(path_str);
+  Document* cur = doc;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    Value* next = cur->GetMutable(path[i]);
+    if (next == nullptr || !next->is_document()) return Status::OK();  // nothing to do
+    cur = &next->as_document();
+  }
+  cur->Remove(path.back());
+  return Status::OK();
+}
+
+Status ApplyArith(Document* doc, const std::string& path_str, const Value& operand,
+                  bool multiply) {
+  const char* op = multiply ? "$mul" : "$inc";
+  if (!operand.is_number()) {
+    return Status::InvalidArgument(std::string(op) + " operand must be numeric");
+  }
+  auto path = SplitPath(path_str);
+  std::string leaf;
+  Document* parent = MakePathParent(doc, path, &leaf);
+  if (parent == nullptr) {
+    return Status::InvalidArgument(std::string(op) + ": path traverses a non-document");
+  }
+  Value* existing = parent->GetMutable(leaf);
+  if (existing == nullptr) {
+    // Missing field: $inc seeds with the operand, $mul with zero.
+    parent->Set(leaf, multiply ? Value(std::int64_t{0}) : operand);
+    return Status::OK();
+  }
+  if (!existing->is_number()) {
+    return Status::InvalidArgument(std::string(op) + " target is not numeric");
+  }
+  // Preserve integer arithmetic when both sides are integral.
+  const bool ints =
+      existing->type() != bson::Type::kDouble && operand.type() != bson::Type::kDouble;
+  if (ints) {
+    const std::int64_t result =
+        multiply ? existing->NumberAsInt64() * operand.NumberAsInt64()
+                 : existing->NumberAsInt64() + operand.NumberAsInt64();
+    *existing = Value(result);
+  } else {
+    const double result = multiply
+                              ? existing->NumberAsDouble() * operand.NumberAsDouble()
+                              : existing->NumberAsDouble() + operand.NumberAsDouble();
+    *existing = Value(result);
+  }
+  return Status::OK();
+}
+
+Status ApplyMinMax(Document* doc, const std::string& path_str, const Value& operand,
+                   bool is_max) {
+  auto path = SplitPath(path_str);
+  std::string leaf;
+  Document* parent = MakePathParent(doc, path, &leaf);
+  if (parent == nullptr) {
+    return Status::InvalidArgument("$min/$max: path traverses a non-document");
+  }
+  Value* existing = parent->GetMutable(leaf);
+  if (existing == nullptr) {
+    parent->Set(leaf, operand);
+    return Status::OK();
+  }
+  const int c = operand.Compare(*existing);
+  if ((is_max && c > 0) || (!is_max && c < 0)) *existing = operand;
+  return Status::OK();
+}
+
+Status ApplyPush(Document* doc, const std::string& path_str, const Value& operand) {
+  auto path = SplitPath(path_str);
+  std::string leaf;
+  Document* parent = MakePathParent(doc, path, &leaf);
+  if (parent == nullptr) {
+    return Status::InvalidArgument("$push: path traverses a non-document");
+  }
+  Value* existing = parent->GetMutable(leaf);
+  if (existing == nullptr) {
+    parent->Set(leaf, Value(Array{}));
+    existing = parent->GetMutable(leaf);
+  }
+  if (!existing->is_array()) {
+    return Status::InvalidArgument("$push target is not an array");
+  }
+  // $each pushes every element of its operand array.
+  if (operand.is_document() && operand.as_document().Has("$each")) {
+    const Value* each = operand.as_document().Get("$each");
+    if (!each->is_array()) {
+      return Status::InvalidArgument("$push $each operand must be an array");
+    }
+    for (const Value& v : each->as_array()) existing->as_array().push_back(v);
+  } else {
+    existing->as_array().push_back(operand);
+  }
+  return Status::OK();
+}
+
+Status ApplyPop(Document* doc, const std::string& path_str, const Value& operand) {
+  if (!operand.is_number()) {
+    return Status::InvalidArgument("$pop operand must be 1 or -1");
+  }
+  const std::int64_t dir = operand.NumberAsInt64();
+  if (dir != 1 && dir != -1) {
+    return Status::InvalidArgument("$pop operand must be 1 or -1");
+  }
+  auto path = SplitPath(path_str);
+  std::string leaf;
+  Document* parent = MakePathParent(doc, path, &leaf);
+  if (parent == nullptr) {
+    return Status::InvalidArgument("$pop: path traverses a non-document");
+  }
+  Value* existing = parent->GetMutable(leaf);
+  if (existing == nullptr) return Status::OK();
+  if (!existing->is_array()) {
+    return Status::InvalidArgument("$pop target is not an array");
+  }
+  Array& arr = existing->as_array();
+  if (arr.empty()) return Status::OK();
+  if (dir == 1) {
+    arr.pop_back();
+  } else {
+    arr.erase(arr.begin());
+  }
+  return Status::OK();
+}
+
+Status ApplyPull(Document* doc, const std::string& path_str, const Value& operand) {
+  auto path = SplitPath(path_str);
+  std::string leaf;
+  Document* parent = MakePathParent(doc, path, &leaf);
+  if (parent == nullptr) {
+    return Status::InvalidArgument("$pull: path traverses a non-document");
+  }
+  Value* existing = parent->GetMutable(leaf);
+  if (existing == nullptr) return Status::OK();
+  if (!existing->is_array()) {
+    return Status::InvalidArgument("$pull target is not an array");
+  }
+  Array& arr = existing->as_array();
+  Array kept;
+  kept.reserve(arr.size());
+  for (Value& v : arr) {
+    if (v != operand) kept.push_back(std::move(v));
+  }
+  arr = std::move(kept);
+  return Status::OK();
+}
+
+Status ApplyAddToSet(Document* doc, const std::string& path_str, const Value& operand) {
+  auto path = SplitPath(path_str);
+  std::string leaf;
+  Document* parent = MakePathParent(doc, path, &leaf);
+  if (parent == nullptr) {
+    return Status::InvalidArgument("$addToSet: path traverses a non-document");
+  }
+  Value* existing = parent->GetMutable(leaf);
+  if (existing == nullptr) {
+    parent->Set(leaf, Value(Array{}));
+    existing = parent->GetMutable(leaf);
+  }
+  if (!existing->is_array()) {
+    return Status::InvalidArgument("$addToSet target is not an array");
+  }
+  Array& arr = existing->as_array();
+  for (const Value& v : arr) {
+    if (v == operand) return Status::OK();
+  }
+  arr.push_back(operand);
+  return Status::OK();
+}
+
+Status ApplyRename(Document* doc, const std::string& from, const Value& to) {
+  if (!to.is_string()) {
+    return Status::InvalidArgument("$rename operand must be a string");
+  }
+  auto path = SplitPath(from);
+  if (path.size() != 1 || SplitPath(to.as_string()).size() != 1) {
+    return Status::NotSupported("$rename supports top-level fields only");
+  }
+  Value* existing = doc->GetMutable(from);
+  if (existing == nullptr) return Status::OK();
+  Value moved = std::move(*existing);
+  doc->Remove(from);
+  doc->Set(to.as_string(), std::move(moved));
+  return Status::OK();
+}
+
+Status ApplyOperator(const std::string& op, const Document& args, Document* doc) {
+  for (const Field& f : args) {
+    Status s;
+    if (op == "$set") {
+      s = ApplySet(doc, f.name, f.value);
+    } else if (op == "$unset") {
+      s = ApplyUnset(doc, f.name);
+    } else if (op == "$inc") {
+      s = ApplyArith(doc, f.name, f.value, /*multiply=*/false);
+    } else if (op == "$mul") {
+      s = ApplyArith(doc, f.name, f.value, /*multiply=*/true);
+    } else if (op == "$min") {
+      s = ApplyMinMax(doc, f.name, f.value, /*is_max=*/false);
+    } else if (op == "$max") {
+      s = ApplyMinMax(doc, f.name, f.value, /*is_max=*/true);
+    } else if (op == "$push") {
+      s = ApplyPush(doc, f.name, f.value);
+    } else if (op == "$pop") {
+      s = ApplyPop(doc, f.name, f.value);
+    } else if (op == "$pull") {
+      s = ApplyPull(doc, f.name, f.value);
+    } else if (op == "$addToSet") {
+      s = ApplyAddToSet(doc, f.name, f.value);
+    } else if (op == "$rename") {
+      s = ApplyRename(doc, f.name, f.value);
+    } else {
+      return Status::InvalidArgument("unknown update operator: " + op);
+    }
+    HOTMAN_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsOperatorUpdate(const bson::Document& update) {
+  if (update.empty()) return false;
+  for (const Field& f : update) {
+    if (f.name.empty() || f.name[0] != '$') return false;
+  }
+  return true;
+}
+
+Status ApplyUpdate(const bson::Document& update, bson::Document* doc) {
+  if (!IsOperatorUpdate(update)) {
+    for (const Field& f : update) {
+      if (!f.name.empty() && f.name[0] == '$') {
+        return Status::InvalidArgument(
+            "update mixes operator and replacement forms");
+      }
+    }
+    // Replacement form: keep _id, replace everything else.
+    const Value* id = doc->Get("_id");
+    Document replaced;
+    if (id != nullptr) replaced.Append("_id", *id);
+    for (const Field& f : update) {
+      if (f.name == "_id") continue;  // _id is immutable
+      replaced.Append(f.name, f.value);
+    }
+    *doc = std::move(replaced);
+    return Status::OK();
+  }
+  // Operator form: validate-then-mutate by applying to a scratch copy first.
+  Document scratch = *doc;
+  for (const Field& f : update) {
+    if (!f.value.is_document()) {
+      return Status::InvalidArgument("update operator operand must be a document");
+    }
+    HOTMAN_RETURN_IF_ERROR(ApplyOperator(f.name, f.value.as_document(), &scratch));
+  }
+  *doc = std::move(scratch);
+  return Status::OK();
+}
+
+}  // namespace hotman::query

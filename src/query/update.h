@@ -1,0 +1,26 @@
+#ifndef HOTMAN_QUERY_UPDATE_H_
+#define HOTMAN_QUERY_UPDATE_H_
+
+#include "bson/document.h"
+#include "common/status.h"
+
+namespace hotman::query {
+
+/// Applies a MongoDB-style update specification to `*doc` in place.
+///
+/// Two forms are accepted, mirroring MongoDB:
+///  - operator form: every top-level key is an update operator
+///    (`$set $unset $inc $mul $rename $min $max $push $pop $pull $addToSet
+///    $currentDate`), applied field by field;
+///  - replacement form: no top-level key is an operator; the document body
+///    is replaced wholesale, preserving the original `_id`.
+/// On error the document is left unmodified (operators are validated before
+/// any mutation).
+Status ApplyUpdate(const bson::Document& update, bson::Document* doc);
+
+/// True when `update` is in operator form (all keys start with '$').
+bool IsOperatorUpdate(const bson::Document& update);
+
+}  // namespace hotman::query
+
+#endif  // HOTMAN_QUERY_UPDATE_H_

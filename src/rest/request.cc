@@ -1,0 +1,57 @@
+#include "rest/request.h"
+
+namespace hotman::rest {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kGet:
+      return "GET";
+    case Method::kPost:
+      return "POST";
+    case Method::kDelete:
+      return "DELETE";
+  }
+  return "?";
+}
+
+std::string Request::ResourceKey() const {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return path;
+  return path.substr(slash + 1);
+}
+
+std::string Request::Uri() const {
+  std::string uri = path;
+  bool first = true;
+  for (const auto& [name, value] : query) {
+    uri += first ? '?' : '&';
+    first = false;
+    uri += name;
+    uri += '=';
+    uri += value;
+  }
+  return uri;
+}
+
+bool ParseUri(std::string_view uri, std::string* path,
+              std::map<std::string, std::string>* query) {
+  path->clear();
+  query->clear();
+  const std::size_t qmark = uri.find('?');
+  *path = std::string(uri.substr(0, qmark));
+  if (path->empty() || (*path)[0] != '/') return false;
+  if (qmark == std::string_view::npos) return true;
+  std::string_view qs = uri.substr(qmark + 1);
+  while (!qs.empty()) {
+    const std::size_t amp = qs.find('&');
+    std::string_view pair = qs.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0) return false;
+    (*query)[std::string(pair.substr(0, eq))] = std::string(pair.substr(eq + 1));
+    if (amp == std::string_view::npos) break;
+    qs = qs.substr(amp + 1);
+  }
+  return true;
+}
+
+}  // namespace hotman::rest

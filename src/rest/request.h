@@ -1,0 +1,60 @@
+#ifndef HOTMAN_REST_REQUEST_H_
+#define HOTMAN_REST_REQUEST_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace hotman::rest {
+
+/// The three HTTP methods the interface exposes (§4): GET retrieves, POST
+/// creates or updates, DELETE removes.
+enum class Method { kGet, kPost, kDelete };
+
+const char* MethodName(Method method);
+
+/// A parsed RESTful request. URIs look like
+///   /data/<key>?token=...&signature=...
+/// and are stateless: everything the server needs is in the request.
+struct Request {
+  Method method = Method::kGet;
+  std::string path;                         ///< "/data/Resistor5"
+  std::map<std::string, std::string> query; ///< decoded query parameters
+  Bytes body;                               ///< POST payload
+
+  /// Resource key (last path segment), empty for collection-level POST.
+  std::string ResourceKey() const;
+
+  /// The full URI (path + canonically ordered query string).
+  std::string Uri() const;
+};
+
+/// HTTP-ish status codes used by the interface.
+enum class StatusCode {
+  kOk = 200,
+  kCreated = 201,
+  kNoContent = 204,
+  kBadRequest = 400,
+  kUnauthorized = 401,
+  kNotFound = 404,
+  kServiceUnavailable = 503,
+};
+
+struct Response {
+  StatusCode code = StatusCode::kOk;
+  Bytes body;
+  std::string error;
+
+  bool ok() const { return static_cast<int>(code) < 400; }
+};
+
+/// Parses "path?a=1&b=2" into path + query map; returns false on malformed
+/// input (empty path, bad pair syntax).
+bool ParseUri(std::string_view uri, std::string* path,
+              std::map<std::string, std::string>* query);
+
+}  // namespace hotman::rest
+
+#endif  // HOTMAN_REST_REQUEST_H_

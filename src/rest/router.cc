@@ -1,0 +1,16 @@
+#include "rest/router.h"
+
+namespace hotman::rest {
+
+Router::Router(int workers, Handler handler)
+    : workers_(workers < 1 ? 1 : workers),
+      handler_(std::move(handler)),
+      counts_(workers_, 0) {}
+
+Response Router::Dispatch(const Request& request) {
+  const int worker = static_cast<int>(next_++ % workers_);
+  ++counts_[worker];
+  return handler_(worker, request);
+}
+
+}  // namespace hotman::rest

@@ -1,0 +1,42 @@
+#ifndef HOTMAN_REST_ROUTER_H_
+#define HOTMAN_REST_ROUTER_H_
+
+#include <functional>
+#include <vector>
+
+#include "rest/request.h"
+
+namespace hotman::rest {
+
+/// The distribution module of Fig. 1: an Nginx-style front end spreading
+/// requests round-robin across spawn-fcgi-managed logical worker processes
+/// ("the distribution is based on round-robin algorithm").
+///
+/// Workers are handler functions; the worker index is passed through so the
+/// owner can model per-process capacity (a ServiceStation per worker).
+class Router {
+ public:
+  /// Handles one request on worker `worker_index`.
+  using Handler = std::function<Response(int worker_index, const Request&)>;
+
+  /// `workers` logical processes sharing one handler function.
+  Router(int workers, Handler handler);
+
+  /// Dispatches `request` to the next worker round-robin.
+  Response Dispatch(const Request& request);
+
+  int num_workers() const { return workers_; }
+
+  /// Requests dispatched so far, per worker (balance introspection).
+  const std::vector<std::size_t>& dispatch_counts() const { return counts_; }
+
+ private:
+  int workers_;
+  Handler handler_;
+  std::size_t next_ = 0;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace hotman::rest
+
+#endif  // HOTMAN_REST_ROUTER_H_

@@ -1,0 +1,34 @@
+#include "rest/signature.h"
+
+#include "hashring/md5.h"
+
+namespace hotman::rest {
+
+std::string ComputeSignature(std::string_view token, std::string_view uri,
+                             std::string_view secret_key) {
+  std::string input;
+  input.reserve(token.size() + uri.size() + secret_key.size());
+  input.append(token);
+  input.append(uri);
+  input.append(secret_key);
+  return hashring::Md5::HexDigest(input);
+}
+
+std::string BuildSignedUri(std::string_view uri, std::string_view token,
+                           std::string_view secret_key) {
+  const std::string signature = ComputeSignature(token, uri, secret_key);
+  std::string signed_uri(uri);
+  signed_uri += (uri.find('?') == std::string_view::npos) ? '?' : '&';
+  signed_uri += "token=";
+  signed_uri.append(token);
+  signed_uri += "&signature=";
+  signed_uri += signature;
+  return signed_uri;
+}
+
+bool VerifySignature(std::string_view token, std::string_view uri,
+                     std::string_view secret_key, std::string_view signature) {
+  return ComputeSignature(token, uri, secret_key) == signature;
+}
+
+}  // namespace hotman::rest

@@ -1,0 +1,35 @@
+#ifndef HOTMAN_REST_SIGNATURE_H_
+#define HOTMAN_REST_SIGNATURE_H_
+
+#include <string>
+#include <string_view>
+
+namespace hotman::rest {
+
+/// URI digital-signature scheme of Fig. 2.
+///
+/// RESTful interfaces are stateless, so sessions and cookies are out; the
+/// only way left is a URI-based digital signature. "The secret key is a
+/// string to identify unique user and the token is a string to identify a
+/// single request. MD5 hash is applied to generate signature": the client
+/// obtains a TOKEN, then computes
+///     signature = MD5(token + request_uri + secret_key)
+/// and appends token + signature to the request URI. The server recomputes
+/// the digest with the same inputs to authorize the request.
+
+/// Computes the hex MD5 digest signature for (token, uri, secret_key).
+std::string ComputeSignature(std::string_view token, std::string_view uri,
+                             std::string_view secret_key);
+
+/// Builds the authorized request URI:
+/// "<uri><?|&>token=<token>&signature=<sig>".
+std::string BuildSignedUri(std::string_view uri, std::string_view token,
+                           std::string_view secret_key);
+
+/// Server-side check: true when `signature` matches (token, uri, secret).
+bool VerifySignature(std::string_view token, std::string_view uri,
+                     std::string_view secret_key, std::string_view signature);
+
+}  // namespace hotman::rest
+
+#endif  // HOTMAN_REST_SIGNATURE_H_

@@ -1,0 +1,48 @@
+#include "rest/token_db.h"
+
+#include "hashring/md5.h"
+
+namespace hotman::rest {
+
+TokenDb::TokenDb(const Clock* clock, Micros ttl) : clock_(clock), ttl_(ttl) {}
+
+std::string TokenDb::RegisterUser(const std::string& user) {
+  auto it = secrets_.find(user);
+  if (it != secrets_.end()) return it->second;
+  // Deterministic but opaque secret.
+  const std::string secret = hashring::Md5::HexDigest("secret:" + user);
+  secrets_.emplace(user, secret);
+  return secret;
+}
+
+Result<std::string> TokenDb::SecretKeyOf(const std::string& user) const {
+  auto it = secrets_.find(user);
+  if (it == secrets_.end()) return Status::NotFound("unknown user: " + user);
+  return it->second;
+}
+
+Result<std::string> TokenDb::IssueToken(const std::string& user) {
+  if (secrets_.count(user) == 0) {
+    return Status::NotFound("unknown user: " + user);
+  }
+  const std::string token =
+      hashring::Md5::HexDigest("token:" + user + ":" + std::to_string(next_token_++));
+  tokens_.emplace(token, TokenInfo{user, clock_->NowMicros() + ttl_});
+  return token;
+}
+
+Status TokenDb::ConsumeToken(const std::string& user, const std::string& token) {
+  auto it = tokens_.find(token);
+  if (it == tokens_.end()) {
+    return Status::Unauthorized("unknown or already used token");
+  }
+  const TokenInfo info = it->second;
+  tokens_.erase(it);  // single-use: consumed on first validation attempt
+  if (info.user != user) return Status::Unauthorized("token issued to another user");
+  if (clock_->NowMicros() > info.expires_at) {
+    return Status::Unauthorized("token expired");
+  }
+  return Status::OK();
+}
+
+}  // namespace hotman::rest

@@ -1,0 +1,55 @@
+#ifndef HOTMAN_REST_TOKEN_DB_H_
+#define HOTMAN_REST_TOKEN_DB_H_
+
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace hotman::rest {
+
+/// The TOKEN DB of Fig. 2: issues per-request tokens bound to a user's
+/// secret key and validates them exactly once.
+///
+/// "Once users need to request data, the first thing is to get TOKEN from
+/// TOKEN DB" — a token identifies a single request and expires both on use
+/// and after a time-to-live.
+class TokenDb {
+ public:
+  /// `ttl` bounds a token's validity window.
+  TokenDb(const Clock* clock, Micros ttl = 60 * kMicrosPerSecond);
+
+  /// Registers a user and returns their secret key (idempotent: an existing
+  /// user keeps their key). The secret is "obtained from the web interface"
+  /// out-of-band in the paper; here it is returned directly.
+  std::string RegisterUser(const std::string& user);
+
+  /// The user's secret key; NotFound for unknown users.
+  Result<std::string> SecretKeyOf(const std::string& user) const;
+
+  /// Issues a fresh single-use token for `user`.
+  Result<std::string> IssueToken(const std::string& user);
+
+  /// Validates and consumes `token` for `user`: Unauthorized when unknown,
+  /// already used, expired, or issued to someone else.
+  Status ConsumeToken(const std::string& user, const std::string& token);
+
+  std::size_t outstanding_tokens() const { return tokens_.size(); }
+
+ private:
+  struct TokenInfo {
+    std::string user;
+    Micros expires_at;
+  };
+
+  const Clock* clock_;
+  Micros ttl_;
+  std::uint64_t next_token_ = 1;
+  std::map<std::string, std::string> secrets_;  // user -> secret key
+  std::map<std::string, TokenInfo> tokens_;     // token -> info
+};
+
+}  // namespace hotman::rest
+
+#endif  // HOTMAN_REST_TOKEN_DB_H_

@@ -1,0 +1,61 @@
+#include "sim/event_loop.h"
+
+namespace hotman::sim {
+
+EventId EventLoop::Schedule(Micros delay, std::function<void()> fn) {
+  return ScheduleAt(Now() + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+EventId EventLoop::ScheduleAt(Micros when, std::function<void()> fn) {
+  if (when < Now()) when = Now();
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventLoop::Cancel(EventId id) {
+  auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  cancelled_.insert(id);  // lazily removed when popped
+  return true;
+}
+
+void EventLoop::FireNext() {
+  const Event event = queue_.top();
+  queue_.pop();
+  if (auto cancelled_it = cancelled_.find(event.id); cancelled_it != cancelled_.end()) {
+    cancelled_.erase(cancelled_it);
+    return;
+  }
+  auto it = handlers_.find(event.id);
+  if (it == handlers_.end()) return;
+  std::function<void()> fn = std::move(it->second);
+  handlers_.erase(it);
+  if (event.when > clock_.NowMicros()) clock_.SetTime(event.when);
+  fn();
+}
+
+std::size_t EventLoop::RunUntilIdle() {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    const bool was_cancelled = cancelled_.count(queue_.top().id) > 0;
+    FireNext();
+    if (!was_cancelled) ++fired;
+  }
+  return fired;
+}
+
+std::size_t EventLoop::RunUntil(Micros deadline) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    const bool was_cancelled = cancelled_.count(queue_.top().id) > 0;
+    FireNext();
+    if (!was_cancelled) ++fired;
+  }
+  if (clock_.NowMicros() < deadline) clock_.SetTime(deadline);
+  return fired;
+}
+
+}  // namespace hotman::sim

@@ -1,0 +1,88 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace hotman::sim {
+
+namespace {
+
+std::pair<std::string, std::string> NormalizedLink(const std::string& a,
+                                                   const std::string& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+SimNetwork::SimNetwork(EventLoop* loop, NetworkConfig config, std::uint64_t seed)
+    : loop_(loop), config_(config), rng_(seed) {}
+
+void SimNetwork::RegisterEndpoint(const std::string& name, Handler handler) {
+  endpoints_[name] = std::move(handler);
+}
+
+void SimNetwork::UnregisterEndpoint(const std::string& name) {
+  endpoints_.erase(name);
+}
+
+Micros SimNetwork::DeliveryDelay(std::size_t payload_bytes) {
+  const Micros transmission = static_cast<Micros>(
+      static_cast<double>(payload_bytes) / config_.bandwidth_bytes_per_sec *
+      kMicrosPerSecond);
+  Micros jitter = 0;
+  if (config_.jitter > 0) {
+    jitter = static_cast<Micros>(rng_.Uniform(static_cast<std::uint64_t>(config_.jitter)));
+  }
+  return config_.base_latency + transmission + jitter;
+}
+
+bool SimNetwork::Send(Message msg, std::size_t payload_bytes) {
+  ++messages_sent_;
+  bytes_sent_ += payload_bytes;
+  const bool sender_cut = disconnected_.count(msg.from) > 0;
+  const bool receiver_cut =
+      disconnected_.count(msg.to) > 0 || endpoints_.count(msg.to) == 0;
+  const bool link_cut = cut_links_.count(NormalizedLink(msg.from, msg.to)) > 0;
+  const bool dropped = rng_.Chance(config_.drop_probability);
+  // The delay must be drawn even for dropped messages so that the random
+  // stream (and therefore the rest of the run) is independent of fault
+  // placement.
+  const Micros delay = DeliveryDelay(payload_bytes);
+  if (sender_cut || receiver_cut || link_cut || dropped) {
+    ++messages_dropped_;
+    return false;
+  }
+  msg.sent_at = loop_->Now();
+  const std::string to = msg.to;
+  loop_->Schedule(delay, [this, msg = std::move(msg)]() {
+    // Re-check on delivery: the endpoint may have died in flight.
+    auto it = endpoints_.find(msg.to);
+    if (it == endpoints_.end() || disconnected_.count(msg.to) > 0) {
+      ++messages_dropped_;
+      return;
+    }
+    it->second(msg);
+  });
+  return true;
+}
+
+void SimNetwork::PartitionLink(const std::string& a, const std::string& b) {
+  cut_links_.insert(NormalizedLink(a, b));
+}
+
+void SimNetwork::HealLink(const std::string& a, const std::string& b) {
+  cut_links_.erase(NormalizedLink(a, b));
+}
+
+void SimNetwork::Disconnect(const std::string& name) { disconnected_.insert(name); }
+
+void SimNetwork::Reconnect(const std::string& name) { disconnected_.erase(name); }
+
+bool SimNetwork::IsDisconnected(const std::string& name) const {
+  return disconnected_.count(name) > 0;
+}
+
+bool SimNetwork::HasEndpoint(const std::string& name) const {
+  return endpoints_.count(name) > 0;
+}
+
+}  // namespace hotman::sim

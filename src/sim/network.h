@@ -1,0 +1,94 @@
+#ifndef HOTMAN_SIM_NETWORK_H_
+#define HOTMAN_SIM_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "bson/document.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "sim/event_loop.h"
+
+namespace hotman::sim {
+
+/// One message in flight on the simulated LAN. Bodies are BSON documents —
+/// the same wire format the storage layer uses — so everything crossing the
+/// "network" is genuinely serializable.
+struct Message {
+  std::string from;
+  std::string to;
+  std::string type;     ///< dispatch tag, e.g. "put", "gossip_syn"
+  bson::Document body;
+  Micros sent_at = 0;
+};
+
+/// Latency/bandwidth/fault model of one LAN (the paper's gigabit switch).
+struct NetworkConfig {
+  Micros base_latency = 200;          ///< per-hop propagation + switching
+  Micros jitter = 100;                ///< uniform extra [0, jitter)
+  double bandwidth_bytes_per_sec = 125.0e6;  ///< 1 Gbit/s
+  double drop_probability = 0.0;      ///< uniform message loss
+};
+
+/// Deterministic message-passing network over the event loop, with
+/// partitions and per-endpoint disconnection for failure experiments.
+class SimNetwork {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  SimNetwork(EventLoop* loop, NetworkConfig config, std::uint64_t seed);
+
+  /// Registers `name` as a reachable endpoint. Re-registering replaces the
+  /// handler (a restarted node).
+  void RegisterEndpoint(const std::string& name, Handler handler);
+
+  /// Removes the endpoint entirely (node breakdown).
+  void UnregisterEndpoint(const std::string& name);
+
+  /// Sends `msg` (msg.from/to must be set); `payload_bytes` drives the
+  /// transmission-time component. Delivery is asynchronous; the message is
+  /// silently dropped when the destination is missing, a partition
+  /// separates the endpoints, or random loss strikes — exactly like UDP on
+  /// a flaky LAN. Returns whether the message was actually enqueued (used
+  /// by tests; real senders cannot observe this).
+  bool Send(Message msg, std::size_t payload_bytes);
+
+  /// Cuts both directions between `a` and `b`.
+  void PartitionLink(const std::string& a, const std::string& b);
+
+  /// Heals the link.
+  void HealLink(const std::string& a, const std::string& b);
+
+  /// Disconnects `name` from everyone (network exception at that node).
+  void Disconnect(const std::string& name);
+  void Reconnect(const std::string& name);
+  bool IsDisconnected(const std::string& name) const;
+
+  bool HasEndpoint(const std::string& name) const;
+
+  std::size_t messages_sent() const { return messages_sent_; }
+  std::size_t messages_dropped() const { return messages_dropped_; }
+  std::size_t bytes_sent() const { return bytes_sent_; }
+
+  EventLoop* loop() { return loop_; }
+
+ private:
+  Micros DeliveryDelay(std::size_t payload_bytes);
+
+  EventLoop* loop_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::map<std::string, Handler> endpoints_;
+  std::set<std::pair<std::string, std::string>> cut_links_;  // normalized pairs
+  std::set<std::string> disconnected_;
+  std::size_t messages_sent_ = 0;
+  std::size_t messages_dropped_ = 0;
+  std::size_t bytes_sent_ = 0;
+};
+
+}  // namespace hotman::sim
+
+#endif  // HOTMAN_SIM_NETWORK_H_

@@ -1,0 +1,48 @@
+#include "sim/service_station.h"
+
+#include <algorithm>
+
+namespace hotman::sim {
+
+ServiceStation::ServiceStation(EventLoop* loop, ServiceConfig config)
+    : loop_(loop), config_(config), started_at_(loop->Now()) {
+  for (int i = 0; i < config_.workers; ++i) worker_free_.push(started_at_);
+}
+
+Micros ServiceStation::ServiceTime(std::size_t bytes) const {
+  return config_.base_service_micros +
+         static_cast<Micros>(static_cast<double>(bytes) /
+                             config_.process_bytes_per_sec * kMicrosPerSecond);
+}
+
+bool ServiceStation::Submit(std::size_t payload_bytes, Done done) {
+  if (QueueLength() >= config_.max_queue) {
+    ++shed_;
+    return false;
+  }
+  const Micros now = loop_->Now();
+  Micros free_at = worker_free_.top();
+  worker_free_.pop();
+  const Micros start = std::max(now, free_at);
+  const Micros service = ServiceTime(payload_bytes);
+  const Micros completion = start + service;
+  worker_free_.push(completion);
+  busy_accum_ += service;
+  ++in_flight_;
+  loop_->ScheduleAt(completion,
+                    [this, queueing = start - now, service, done = std::move(done)]() {
+                      --in_flight_;
+                      ++completed_;
+                      if (done) done(queueing, service);
+                    });
+  return true;
+}
+
+double ServiceStation::Utilization() const {
+  const Micros elapsed = loop_->Now() - started_at_;
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(busy_accum_) /
+         (static_cast<double>(elapsed) * config_.workers);
+}
+
+}  // namespace hotman::sim

@@ -1,0 +1,72 @@
+#ifndef HOTMAN_SIM_SERVICE_STATION_H_
+#define HOTMAN_SIM_SERVICE_STATION_H_
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/event_loop.h"
+
+namespace hotman::sim {
+
+/// Service-time model of one server process.
+struct ServiceConfig {
+  int workers = 8;                         ///< concurrent request handlers
+  Micros base_service_micros = 300;        ///< fixed per-request CPU cost
+  double process_bytes_per_sec = 120.0e6;  ///< payload-proportional cost
+  std::size_t max_queue = 10000;           ///< beyond this, requests are shed
+};
+
+/// A c-server queueing station: requests occupy one of `workers` slots for
+/// base + payload/rate microseconds; excess requests queue FIFO. This is
+/// what produces the paper's scalability shape (Figs. 13-14): latency grows
+/// once offered load exceeds capacity and throughput plateaus at the
+/// service rate.
+///
+/// The station is analytic: worker occupancy is tracked as a min-heap of
+/// free times, so each Submit costs O(log workers) regardless of how much
+/// virtual time the request spends queued.
+class ServiceStation {
+ public:
+  using Done = std::function<void(Micros queueing_delay, Micros service_time)>;
+
+  ServiceStation(EventLoop* loop, ServiceConfig config);
+
+  /// Submits a request of `payload_bytes`; `done` fires at completion with
+  /// the decomposed delays. Returns false when the queue overflowed (the
+  /// request is shed and `done` never fires).
+  bool Submit(std::size_t payload_bytes, Done done);
+
+  /// Requests admitted but not yet completed.
+  std::size_t InFlight() const { return in_flight_; }
+
+  /// Requests waiting for a worker (in-flight beyond worker count).
+  std::size_t QueueLength() const {
+    return in_flight_ > static_cast<std::size_t>(config_.workers)
+               ? in_flight_ - config_.workers
+               : 0;
+  }
+
+  std::size_t completed() const { return completed_; }
+  std::size_t shed() const { return shed_; }
+
+  /// Mean worker utilization since construction (0..workers).
+  double Utilization() const;
+
+ private:
+  Micros ServiceTime(std::size_t bytes) const;
+
+  EventLoop* loop_;
+  ServiceConfig config_;
+  // Earliest-free virtual time per worker, as a min-heap.
+  std::priority_queue<Micros, std::vector<Micros>, std::greater<Micros>> worker_free_;
+  std::size_t in_flight_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t shed_ = 0;
+  Micros busy_accum_ = 0;
+  Micros started_at_ = 0;
+};
+
+}  // namespace hotman::sim
+
+#endif  // HOTMAN_SIM_SERVICE_STATION_H_

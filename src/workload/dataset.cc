@@ -1,0 +1,61 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hotman::workload {
+
+Dataset::Dataset(const DatasetSpec& spec) : spec_(spec) {
+  Rng rng(spec.seed);
+  items_.reserve(spec.count);
+  const double log_min = std::log(static_cast<double>(spec.min_bytes));
+  const double log_max = std::log(static_cast<double>(std::max(spec.max_bytes,
+                                                                spec.min_bytes + 1)));
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    const double u = rng.NextDouble();
+    const auto size =
+        static_cast<std::size_t>(std::exp(log_min + u * (log_max - log_min)));
+    Item item;
+    item.key = spec.key_prefix + std::to_string(i);
+    item.size_bytes = std::clamp(size, spec.min_bytes, spec.max_bytes);
+    total_bytes_ += item.size_bytes;
+    items_.push_back(std::move(item));
+  }
+  // §6.2: "these files are sorted by their sizes".
+  std::stable_sort(items_.begin(), items_.end(),
+                   [](const Item& a, const Item& b) {
+                     return a.size_bytes < b.size_bytes;
+                   });
+}
+
+Bytes Dataset::Payload(const Item& item) const {
+  // Deterministic pseudo-XML content derived from the key; exact size.
+  static constexpr char kTemplate[] =
+      "<component><name>%</name><scene>virtual-experiment</scene>"
+      "<payload>ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789</payload></component>";
+  Bytes out;
+  out.reserve(item.size_bytes);
+  std::size_t cursor = 0;
+  while (out.size() < item.size_bytes) {
+    const char c = kTemplate[cursor % (sizeof(kTemplate) - 1)];
+    out.push_back(c == '%' ? static_cast<std::uint8_t>('a' + cursor % 26)
+                           : static_cast<std::uint8_t>(c));
+    ++cursor;
+  }
+  return out;
+}
+
+std::size_t Dataset::GaussianPick(Rng* rng, double mu, double sigma,
+                                  double mu_units) const {
+  if (items_.empty()) return 0;
+  const double g = rng->NextGaussian(mu, sigma);
+  const double fraction = std::clamp(g / mu_units, 0.0, 1.0);
+  auto index = static_cast<std::size_t>(fraction * static_cast<double>(items_.size()));
+  return std::min(index, items_.size() - 1);
+}
+
+std::size_t Dataset::UniformPick(Rng* rng) const {
+  return items_.empty() ? 0 : rng->Uniform(items_.size());
+}
+
+}  // namespace hotman::workload

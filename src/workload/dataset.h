@@ -1,0 +1,88 @@
+#ifndef HOTMAN_WORKLOAD_DATASET_H_
+#define HOTMAN_WORKLOAD_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/random.h"
+
+namespace hotman::workload {
+
+/// One stored object of the evaluation dataset.
+struct Item {
+  std::string key;
+  std::size_t size_bytes = 0;
+};
+
+/// Dataset specification. Two presets mirror the paper:
+///  - System evaluation (§6.1): XML files of 3-600 KB (700 k items / 36 GB
+///    full scale, scaled down by `count`), log-uniform sizes.
+///  - Storage-module evaluation (§6.2): files of 18-7633 KB, items fetched
+///    "according to the Gaussian distribution of their sizes with
+///    parameters mu=15, sigma=5" over the size-sorted dataset.
+struct DatasetSpec {
+  std::size_t count = 10000;
+  std::size_t min_bytes = 3 * 1024;
+  std::size_t max_bytes = 600 * 1024;
+  std::string key_prefix = "res";
+  std::uint64_t seed = 1;
+
+  static DatasetSpec SystemEvaluation(std::size_t count = 10000) {
+    DatasetSpec spec;
+    spec.count = count;
+    spec.min_bytes = 3 * 1024;
+    spec.max_bytes = 600 * 1024;
+    spec.key_prefix = "xml";
+    return spec;
+  }
+
+  static DatasetSpec StorageModuleEvaluation(std::size_t count = 10000) {
+    DatasetSpec spec;
+    spec.count = count;
+    spec.min_bytes = 18 * 1024;
+    spec.max_bytes = 7633 * 1024;
+    spec.key_prefix = "file";
+    return spec;
+  }
+};
+
+/// A deterministic synthetic dataset: item sizes are drawn log-uniformly
+/// in [min, max] (file-size distributions are heavy-tailed) and items are
+/// kept sorted by size, matching §6.2's "files are sorted by their sizes".
+class Dataset {
+ public:
+  explicit Dataset(const DatasetSpec& spec);
+
+  const std::vector<Item>& items() const { return items_; }
+  const Item& item(std::size_t i) const { return items_[i]; }
+  std::size_t size() const { return items_.size(); }
+
+  /// Sum of item sizes.
+  std::size_t TotalBytes() const { return total_bytes_; }
+
+  /// Deterministic pseudo-XML payload of exactly `item.size_bytes` bytes.
+  /// Cheap to regenerate, so benches don't hold 36 GB in memory.
+  Bytes Payload(const Item& item) const;
+
+  /// §6.2 selection rule: draws g ~ N(mu, sigma), interprets it as a
+  /// position in `mu_units` equal slices of the size-sorted dataset and
+  /// returns that item's index (clamped to the valid range). With the
+  /// paper's (mu=15, sigma=5) and mu_units=100, picks concentrate in the
+  /// lower-middle of the size distribution.
+  std::size_t GaussianPick(Rng* rng, double mu = 15.0, double sigma = 5.0,
+                           double mu_units = 100.0) const;
+
+  /// Uniform pick.
+  std::size_t UniformPick(Rng* rng) const;
+
+ private:
+  DatasetSpec spec_;
+  std::vector<Item> items_;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace hotman::workload
+
+#endif  // HOTMAN_WORKLOAD_DATASET_H_

@@ -1,0 +1,114 @@
+#include "workload/generator.h"
+
+#include <memory>
+
+namespace hotman::workload {
+
+FrontEnd::FrontEnd(sim::EventLoop* loop, sim::ServiceConfig config)
+    : station_(loop, config) {}
+
+KvTarget FrontEnd::Wrap(KvTarget inner) {
+  KvTarget wrapped;
+  sim::ServiceStation* station = &station_;
+  // Callbacks are held via shared_ptr because Submit may shed the request,
+  // in which case the callback must still be invocable for the Busy reply.
+  wrapped.put = [station, put = inner.put](const std::string& key, Bytes value,
+                                           std::function<void(const Status&)> cb) {
+    auto shared_cb =
+        std::make_shared<std::function<void(const Status&)>>(std::move(cb));
+    const std::size_t bytes = value.size();
+    const bool admitted = station->Submit(
+        bytes, [put, key, value = std::move(value), shared_cb](Micros,
+                                                               Micros) mutable {
+          put(key, std::move(value), [shared_cb](const Status& s) {
+            (*shared_cb)(s);
+          });
+        });
+    if (!admitted) (*shared_cb)(Status::Busy("application tier overloaded"));
+  };
+  wrapped.get = [station, get = inner.get](
+                    const std::string& key,
+                    std::function<void(const Result<Bytes>&)> cb) {
+    auto shared_cb =
+        std::make_shared<std::function<void(const Result<Bytes>&)>>(std::move(cb));
+    // Ingress: parse + route. Egress: the worker also relays the response
+    // body to the client, so payload bytes are charged on the way out.
+    const bool admitted =
+        station->Submit(256, [station, get, key, shared_cb](Micros, Micros) {
+          get(key, [station, shared_cb](const Result<Bytes>& value) {
+            if (!value.ok()) {
+              (*shared_cb)(value);
+              return;
+            }
+            const bool relayed = station->Submit(
+                value->size(),
+                [shared_cb, value](Micros, Micros) { (*shared_cb)(value); });
+            if (!relayed) {
+              (*shared_cb)(Status::Busy("application tier overloaded"));
+            }
+          });
+        });
+    if (!admitted) (*shared_cb)(Status::Busy("application tier overloaded"));
+  };
+  wrapped.del = [station, del = inner.del](const std::string& key,
+                                           std::function<void(const Status&)> cb) {
+    auto shared_cb =
+        std::make_shared<std::function<void(const Status&)>>(std::move(cb));
+    const bool admitted =
+        station->Submit(0, [del, key, shared_cb](Micros, Micros) {
+          del(key, [shared_cb](const Status& s) { (*shared_cb)(s); });
+        });
+    if (!admitted) (*shared_cb)(Status::Busy("application tier overloaded"));
+  };
+  return wrapped;
+}
+
+KvTarget TargetFor(core::MyStore* store) {
+  KvTarget target;
+  target.put = [store](const std::string& key, Bytes value,
+                       std::function<void(const Status&)> cb) {
+    store->PostAsync(key, std::move(value), std::move(cb));
+  };
+  target.get = [store](const std::string& key,
+                       std::function<void(const Result<Bytes>&)> cb) {
+    store->GetAsync(key, std::move(cb));
+  };
+  target.del = [store](const std::string& key, std::function<void(const Status&)> cb) {
+    store->DeleteAsync(key, std::move(cb));
+  };
+  return target;
+}
+
+KvTarget TargetFor(baselines::FsStore* store) {
+  KvTarget target;
+  target.put = [store](const std::string& key, Bytes value,
+                       std::function<void(const Status&)> cb) {
+    store->PutAsync(key, std::move(value), std::move(cb));
+  };
+  target.get = [store](const std::string& key,
+                       std::function<void(const Result<Bytes>&)> cb) {
+    store->GetAsync(key, std::move(cb));
+  };
+  target.del = [store](const std::string& key, std::function<void(const Status&)> cb) {
+    store->DeleteAsync(key, std::move(cb));
+  };
+  return target;
+}
+
+KvTarget TargetFor(baselines::RelStore* store) {
+  KvTarget target;
+  target.put = [store](const std::string& key, Bytes value,
+                       std::function<void(const Status&)> cb) {
+    store->PutAsync(key, std::move(value), std::move(cb));
+  };
+  target.get = [store](const std::string& key,
+                       std::function<void(const Result<Bytes>&)> cb) {
+    store->GetAsync(key, std::move(cb));
+  };
+  target.del = [store](const std::string& key, std::function<void(const Status&)> cb) {
+    store->DeleteAsync(key, std::move(cb));
+  };
+  return target;
+}
+
+}  // namespace hotman::workload

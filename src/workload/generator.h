@@ -1,0 +1,68 @@
+#ifndef HOTMAN_WORKLOAD_GENERATOR_H_
+#define HOTMAN_WORKLOAD_GENERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "baselines/fs_store.h"
+#include "baselines/rel_store.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/mystore.h"
+#include "sim/service_station.h"
+
+namespace hotman::workload {
+
+/// Uniform asynchronous key-value surface the load generator drives; every
+/// system under test (MyStore, ext3-FS baseline, MySQL-style baseline) is
+/// adapted to it so the comparison benches exercise identical call paths.
+struct KvTarget {
+  std::function<void(const std::string& key, Bytes value,
+                     std::function<void(const Status&)> cb)>
+      put;
+  std::function<void(const std::string& key,
+                     std::function<void(const Result<Bytes>&)> cb)>
+      get;
+  std::function<void(const std::string& key, std::function<void(const Status&)> cb)>
+      del;
+};
+
+/// The application-node tier (Fig. 1's Nginx + spawn-fcgi logical
+/// processes) as a queueing station in front of a target. Its bounded
+/// queue is what caps TTFB once offered load exceeds capacity (the
+/// Fig. 13 plateau); shed requests fail with Busy.
+class FrontEnd {
+ public:
+  FrontEnd(sim::EventLoop* loop, sim::ServiceConfig config = DefaultConfig());
+
+  /// Wraps `inner` so every operation first passes through this tier.
+  KvTarget Wrap(KvTarget inner);
+
+  sim::ServiceStation* station() { return &station_; }
+
+  static sim::ServiceConfig DefaultConfig() {
+    // Calibrated so the application tier saturates around 1000 closed-loop
+    // clients with 0-500 ms think time (the Fig. 13 knee): capacity ≈
+    // workers / service_time ≈ 6 / 1.5 ms ≈ 4000 req/s ≈ 1000 clients x 4
+    // req/s each; the bounded queue caps waiting at ~200 ms.
+    sim::ServiceConfig config;
+    config.workers = 6;                    // logical processes
+    config.base_service_micros = 600;      // parse + route + auth (x2: in/out)
+    config.process_bytes_per_sec = 150.0e6;
+    config.max_queue = 800;                // admission bound
+    return config;
+  }
+
+ private:
+  sim::ServiceStation station_;
+};
+
+/// Adapters binding each system to the uniform target surface.
+KvTarget TargetFor(core::MyStore* store);
+KvTarget TargetFor(baselines::FsStore* store);
+KvTarget TargetFor(baselines::RelStore* store);
+
+}  // namespace hotman::workload
+
+#endif  // HOTMAN_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,81 @@
+#include "workload/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hotman::workload {
+
+std::vector<Micros> LatencyRecorder::Sorted() const {
+  std::vector<Micros> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+Micros LatencyRecorder::Min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+Micros LatencyRecorder::Max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double LatencyRecorder::MeanMicros() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (Micros s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+Micros LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  std::vector<Micros> sorted = Sorted();
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(std::llround(rank))];
+}
+
+std::vector<Micros> LatencyRecorder::SortedEvery(std::size_t stride) const {
+  std::vector<Micros> sorted = Sorted();
+  if (stride <= 1) return sorted;
+  std::vector<Micros> thinned;
+  for (std::size_t i = 0; i < sorted.size(); i += stride) {
+    thinned.push_back(sorted[i]);
+  }
+  return thinned;
+}
+
+std::size_t LatencyRecorder::CountWithin(Micros bound) const {
+  std::size_t count = 0;
+  for (Micros s : samples_) {
+    if (s <= bound) ++count;
+  }
+  return count;
+}
+
+double ThroughputMeter::Rps() const {
+  const double seconds = ElapsedSeconds();
+  return seconds <= 0.0 ? 0.0 : static_cast<double>(ops_) / seconds;
+}
+
+double ThroughputMeter::ThroughputMBps() const {
+  const double seconds = ElapsedSeconds();
+  return seconds <= 0.0 ? 0.0
+                        : static_cast<double>(bytes_) / (1024.0 * 1024.0) / seconds;
+}
+
+std::string FormatRow(const std::vector<std::string>& cells, int width) {
+  std::string row;
+  for (const std::string& cell : cells) {
+    std::string padded = cell;
+    if (static_cast<int>(padded.size()) < width) {
+      padded.append(width - padded.size(), ' ');
+    }
+    row += padded;
+    row += ' ';
+  }
+  return row;
+}
+
+}  // namespace hotman::workload

@@ -1,0 +1,160 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+
+namespace hotman::workload {
+
+/// Run state shared between the runner and callbacks still in flight when
+/// the measured window closes; `active` gates all bookkeeping so stragglers
+/// after the report snapshot are ignored safely.
+struct WorkloadRunner::State {
+  bool active = true;
+  Micros end_time = 0;
+  std::size_t clients_running = 0;
+  RunReport report;
+  Rng rng{0};
+};
+
+WorkloadRunner::WorkloadRunner(sim::EventLoop* loop, const Dataset* dataset,
+                               KvTarget target, RunOptions options)
+    : loop_(loop), dataset_(dataset), target_(std::move(target)),
+      options_(options) {}
+
+RunReport WorkloadRunner::RunLoad(int concurrency) {
+  auto state = std::make_shared<State>();
+  state->rng = Rng(options_.seed);
+  state->report.meter.Start(loop_->Now());
+
+  auto next_index = std::make_shared<std::size_t>(0);
+  // Optional arrival pacing (the paper loads at a fixed request rate).
+  auto next_slot = std::make_shared<Micros>(loop_->Now());
+  const Micros spacing =
+      options_.load_rate_per_sec > 0.0
+          ? static_cast<Micros>(kMicrosPerSecond / options_.load_rate_per_sec)
+          : 0;
+  // One "stream" loads items one after another; `concurrency` streams run
+  // in parallel.
+  auto pump_ptr = std::make_shared<std::function<void()>>();
+  *pump_ptr = [this, state, next_index, next_slot, spacing, pump_ptr]() {
+    if (*next_index >= dataset_->size()) return;
+    const Item& item = dataset_->item((*next_index)++);
+    Micros delay = 0;
+    if (spacing > 0) {
+      const Micros slot = std::max(loop_->Now(), *next_slot);
+      *next_slot = slot + spacing;
+      delay = slot - loop_->Now();
+    }
+    loop_->Schedule(delay, [this, state, pump_ptr, item]() {
+      ++state->report.issued;
+      target_.put(item.key, dataset_->Payload(item),
+                  [state, size = item.size_bytes, pump_ptr](const Status& s) {
+                    if (s.ok()) {
+                      state->report.meter.RecordOp(size);
+                    } else {
+                      state->report.meter.RecordFailure();
+                      ++state->report.failed;
+                    }
+                    (*pump_ptr)();
+                  });
+    });
+  };
+  for (int i = 0; i < concurrency; ++i) (*pump_ptr)();
+  // Drive until every stream drained. The cluster keeps periodic timers
+  // alive, so run in bounded slices until the count settles.
+  std::size_t done = state->report.meter.ops() + state->report.meter.failures();
+  while (done < dataset_->size()) {
+    loop_->RunFor(100 * kMicrosPerMilli);
+    const std::size_t now_done =
+        state->report.meter.ops() + state->report.meter.failures();
+    if (now_done == done && loop_->PendingEvents() == 0) break;
+    if (now_done == done && now_done == state->report.issued &&
+        *next_index >= dataset_->size()) {
+      break;  // everything issued and answered
+    }
+    done = now_done;
+  }
+  state->report.meter.Stop(loop_->Now());
+  state->active = false;
+  return std::move(state->report);
+}
+
+RunReport WorkloadRunner::Run() {
+  auto state = std::make_shared<State>();
+  state->rng = Rng(options_.seed);
+  state->end_time = loop_->Now() + options_.duration;
+  state->report.meter.Start(loop_->Now());
+  state->clients_running = options_.clients;
+
+  // Each client is a self-rescheduling closure.
+  auto client_step = std::make_shared<std::function<void(std::uint64_t)>>();
+  *client_step = [this, state, client_step](std::uint64_t client_seed) {
+    if (!state->active || loop_->Now() >= state->end_time) {
+      --state->clients_running;
+      return;
+    }
+    const std::size_t index = options_.gaussian_selection
+                                  ? dataset_->GaussianPick(&state->rng)
+                                  : dataset_->UniformPick(&state->rng);
+    const Item& item = dataset_->item(index);
+    const bool is_read = state->rng.NextDouble() < options_.read_fraction;
+    const Micros started = loop_->Now();
+    ++state->report.issued;
+
+    auto finish = [this, state, client_step, client_seed, started](
+                      std::size_t payload_bytes, bool ok) {
+      if (!state->active) return;
+      const Micros elapsed = loop_->Now() - started;
+      if (ok) {
+        state->report.meter.RecordOp(payload_bytes);
+        state->report.latency.Record(elapsed);
+        const Micros ttfb = elapsed + options_.client_net_latency;
+        state->report.ttfb.Record(ttfb);
+        const auto drain = static_cast<Micros>(
+            static_cast<double>(payload_bytes) /
+            options_.client_bandwidth_bytes_per_sec * kMicrosPerSecond);
+        state->report.ttlb.Record(ttfb + drain);
+      } else {
+        state->report.meter.RecordFailure();
+        ++state->report.failed;
+      }
+      // Think, then go again.
+      const Micros span = options_.think_max - options_.think_min;
+      const Micros think =
+          options_.think_min +
+          (span > 0 ? static_cast<Micros>(
+                          state->rng.Uniform(static_cast<std::uint64_t>(span)))
+                    : 0);
+      loop_->Schedule(think,
+                      [client_step, client_seed]() { (*client_step)(client_seed); });
+    };
+
+    if (is_read) {
+      target_.get(item.key, [finish](const Result<Bytes>& value) {
+        finish(value.ok() ? value->size() : 0, value.ok());
+      });
+    } else {
+      Bytes payload = dataset_->Payload(item);
+      const std::size_t size = payload.size();
+      target_.put(item.key, std::move(payload),
+                  [finish, size](const Status& s) { finish(size, s.ok()); });
+    }
+  };
+
+  for (int i = 0; i < options_.clients; ++i) {
+    // Stagger arrivals across one think window so clients don't phase-lock.
+    const Micros offset = static_cast<Micros>(
+        state->rng.Uniform(static_cast<std::uint64_t>(options_.think_max + 1)));
+    loop_->Schedule(offset, [client_step, i]() {
+      (*client_step)(static_cast<std::uint64_t>(i));
+    });
+  }
+
+  loop_->RunUntil(state->end_time);
+  // Grace period: let in-flight operations finish counting.
+  loop_->RunFor(2 * kMicrosPerSecond);
+  state->report.meter.Stop(state->end_time);
+  state->active = false;
+  return std::move(state->report);
+}
+
+}  // namespace hotman::workload

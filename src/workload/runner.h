@@ -1,0 +1,80 @@
+#ifndef HOTMAN_WORKLOAD_RUNNER_H_
+#define HOTMAN_WORKLOAD_RUNNER_H_
+
+#include <memory>
+
+#include "sim/event_loop.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+namespace hotman::workload {
+
+/// Parameters of one closed-loop experiment run.
+struct RunOptions {
+  int clients = 100;                       ///< concurrent simulated users
+  Micros duration = 30 * kMicrosPerSecond; ///< measured window (virtual time)
+  double read_fraction = 1.0;              ///< GET share; rest are POSTs
+  /// §6.1: users "generate requests within randomly delay between 0 to
+  /// 500 ms".
+  Micros think_min = 0;
+  Micros think_max = 500 * kMicrosPerMilli;
+  /// §6.2 Gaussian size-rank selection instead of uniform.
+  bool gaussian_selection = false;
+  std::uint64_t seed = 7;
+
+  /// RunLoad pacing: when > 0, load requests are issued at this aggregate
+  /// rate (the paper loads at 125 requests/s); 0 = as fast as possible.
+  double load_rate_per_sec = 0.0;
+
+  // Client-side wire model for TTFB/TTLB decomposition (Fig. 12): the
+  // response's first byte arrives one network latency after the server
+  // finishes; the last byte after the payload crosses the client link.
+  Micros client_net_latency = 300;
+  double client_bandwidth_bytes_per_sec = 125.0e6;
+};
+
+/// Results of a run, carrying everything the paper's figures plot.
+struct RunReport {
+  ThroughputMeter meter;     ///< successful-op throughput / RPS
+  LatencyRecorder latency;   ///< request consuming time (Figs. 16-17)
+  LatencyRecorder ttfb;      ///< time to first byte (Figs. 12-13)
+  LatencyRecorder ttlb;      ///< time to last byte (Fig. 12)
+  std::size_t issued = 0;
+  std::size_t failed = 0;
+
+  double SuccessRate() const {
+    return issued == 0 ? 0.0
+                       : static_cast<double>(issued - failed) /
+                             static_cast<double>(issued);
+  }
+};
+
+/// Closed-loop load generator over the simulated event loop: `clients`
+/// users repeatedly pick an item, issue a GET/POST against the target,
+/// wait for completion, think for U(think_min, think_max), repeat.
+class WorkloadRunner {
+ public:
+  WorkloadRunner(sim::EventLoop* loop, const Dataset* dataset, KvTarget target,
+                 RunOptions options);
+
+  /// Bulk-loads the whole dataset through `put` with `concurrency`
+  /// parallel streams; the report's meter gives the load throughput
+  /// (the paper's "throughput of loading this dataset ... nearly 6 MB/s").
+  RunReport RunLoad(int concurrency = 32);
+
+  /// Runs the mixed closed-loop workload for `options.duration`.
+  RunReport Run();
+
+ private:
+  struct State;  // shared with in-flight callbacks
+
+  sim::EventLoop* loop_;
+  const Dataset* dataset_;
+  KvTarget target_;
+  RunOptions options_;
+};
+
+}  // namespace hotman::workload
+
+#endif  // HOTMAN_WORKLOAD_RUNNER_H_

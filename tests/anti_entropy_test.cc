@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace hotman::cluster {
+namespace {
+
+class AntiEntropyTest : public ::testing::Test {
+ protected:
+  void Boot(bool enabled, Micros interval = 5 * kMicrosPerSecond) {
+    ClusterConfig config = ClusterConfig::Uniform(5, /*seeds=*/1);
+    config.anti_entropy = enabled;
+    config.anti_entropy_interval = interval;
+    config.read_repair = false;  // isolate anti-entropy from read repair
+    cluster_ = std::make_unique<Cluster>(std::move(config), 77);
+    ASSERT_TRUE(cluster_->Start().ok());
+  }
+
+  /// Destroys the copy of `key` on one of its replica holders and returns
+  /// that node.
+  StorageNode* BreakOneReplica(const std::string& key) {
+    StorageNode* any = cluster_->nodes().front();
+    auto prefs = any->ring().PreferenceList(key, 3);
+    StorageNode* victim = cluster_->node(prefs[2]);
+    EXPECT_TRUE(victim->store()->Purge(key).ok());
+    return victim;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(AntiEntropyTest, RepairsMissingReplicaWithoutReads) {
+  Boot(/*enabled=*/true);
+  ASSERT_TRUE(cluster_->PutSync("cold-key", ToBytes("v")).ok());
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  StorageNode* victim = BreakOneReplica("cold-key");
+  ASSERT_TRUE(victim->store()->GetByKey("cold-key").status().IsNotFound());
+  // No reads issued at all: the periodic exchange must repair it.
+  cluster_->RunFor(60 * kMicrosPerSecond);
+  EXPECT_TRUE(victim->store()->GetByKey("cold-key").ok())
+      << "anti-entropy never restored the cold replica";
+  EXPECT_GT(cluster_->AggregateStats().ae_rounds, 0u);
+}
+
+TEST_F(AntiEntropyTest, WithoutItColdDivergencePersists) {
+  Boot(/*enabled=*/false);
+  ASSERT_TRUE(cluster_->PutSync("cold-key", ToBytes("v")).ok());
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  StorageNode* victim = BreakOneReplica("cold-key");
+  cluster_->RunFor(60 * kMicrosPerSecond);
+  EXPECT_TRUE(victim->store()->GetByKey("cold-key").status().IsNotFound())
+      << "nothing should have repaired an unread key";
+  EXPECT_EQ(cluster_->AggregateStats().ae_rounds, 0u);
+}
+
+TEST_F(AntiEntropyTest, ConvergesStaleReplica) {
+  Boot(/*enabled=*/true);
+  ASSERT_TRUE(cluster_->PutSync("k", ToBytes("v1")).ok());
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  // One replica misses the second write (simulated by a network exception
+  // during the update).
+  StorageNode* any = cluster_->nodes().front();
+  auto prefs = any->ring().PreferenceList("k", 3);
+  StorageNode* lagging = cluster_->node(prefs[1]);
+  cluster_->injector()->Inject(lagging->server(),
+                               docstore::FaultMode::kNetworkException,
+                               2 * kMicrosPerSecond);
+  ASSERT_TRUE(cluster_->PutSync("k", ToBytes("v2")).ok());
+  cluster_->RunFor(60 * kMicrosPerSecond);
+  auto record = lagging->store()->GetByKey("k");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(ToString(core::RecordValue(*record)), "v2")
+      << "anti-entropy must converge the stale replica";
+}
+
+TEST_F(AntiEntropyTest, DirectRoundRepairsPeer) {
+  Boot(/*enabled=*/false);  // drive the round by hand
+  ASSERT_TRUE(cluster_->PutSync("manual", ToBytes("v")).ok());
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  StorageNode* any = cluster_->nodes().front();
+  auto prefs = any->ring().PreferenceList("manual", 3);
+  StorageNode* holder = cluster_->node(prefs[0]);
+  StorageNode* victim = cluster_->node(prefs[1]);
+  ASSERT_TRUE(victim->store()->Purge("manual").ok());
+  holder->RunAntiEntropyRound(victim->id());
+  cluster_->RunFor(3 * kMicrosPerSecond);
+  EXPECT_TRUE(victim->store()->GetByKey("manual").ok());
+  EXPECT_GT(holder->stats().ae_pushed + holder->stats().ae_requested +
+                victim->stats().ae_requested,
+            0u);
+}
+
+TEST_F(AntiEntropyTest, PullPathFetchesNewerRemote) {
+  Boot(/*enabled=*/false);
+  ASSERT_TRUE(cluster_->PutSync("pull-key", ToBytes("v")).ok());
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  StorageNode* any = cluster_->nodes().front();
+  auto prefs = any->ring().PreferenceList("pull-key", 3);
+  StorageNode* holder = cluster_->node(prefs[0]);
+  StorageNode* empty = cluster_->node(prefs[1]);
+  ASSERT_TRUE(empty->store()->Purge("pull-key").ok());
+  // The *empty* node initiates: its digest misses the key, so the holder
+  // pushes it back (the unmentioned-records branch).
+  empty->RunAntiEntropyRound(holder->id());
+  cluster_->RunFor(3 * kMicrosPerSecond);
+  EXPECT_TRUE(empty->store()->GetByKey("pull-key").ok());
+}
+
+TEST_F(AntiEntropyTest, TombstonesPropagate) {
+  Boot(/*enabled=*/true);
+  ASSERT_TRUE(cluster_->PutSync("doomed", ToBytes("v")).ok());
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  // One replica misses the delete.
+  StorageNode* any = cluster_->nodes().front();
+  auto prefs = any->ring().PreferenceList("doomed", 3);
+  StorageNode* lagging = cluster_->node(prefs[2]);
+  cluster_->injector()->Inject(lagging->server(),
+                               docstore::FaultMode::kNetworkException,
+                               2 * kMicrosPerSecond);
+  ASSERT_TRUE(cluster_->DeleteSync("doomed").ok());
+  cluster_->RunFor(60 * kMicrosPerSecond);
+  auto record = lagging->store()->GetByKey("doomed");
+  ASSERT_TRUE(record.ok());
+  EXPECT_TRUE(core::RecordIsDeleted(*record))
+      << "the tombstone must reach the lagging replica";
+}
+
+}  // namespace
+}  // namespace hotman::cluster

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "baselines/fs_store.h"
+#include "baselines/rel_store.h"
+
+namespace hotman::baselines {
+namespace {
+
+class FsStoreTest : public ::testing::Test {
+ protected:
+  FsStoreTest() : store_(&loop_) {}
+
+  Result<Bytes> GetSync(const std::string& key) {
+    Result<Bytes> out = Status::Timeout("never");
+    store_.GetAsync(key, [&out](const Result<Bytes>& v) { out = v; });
+    loop_.RunUntilIdle();
+    return out;
+  }
+
+  Status PutSync(const std::string& key, Bytes value) {
+    Status out = Status::Timeout("never");
+    store_.PutAsync(key, std::move(value), [&out](const Status& s) { out = s; });
+    loop_.RunUntilIdle();
+    return out;
+  }
+
+  sim::EventLoop loop_;
+  FsStore store_;
+};
+
+TEST_F(FsStoreTest, PutGetDelete) {
+  ASSERT_TRUE(PutSync("k", ToBytes("file-bytes")).ok());
+  auto value = GetSync("k");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(ToString(*value), "file-bytes");
+  Status out = Status::Timeout("never");
+  store_.DeleteAsync("k", [&out](const Status& s) { out = s; });
+  loop_.RunUntilIdle();
+  EXPECT_TRUE(out.ok());
+  EXPECT_TRUE(GetSync("k").status().IsNotFound());
+}
+
+TEST_F(FsStoreTest, OverwriteReplacesFile) {
+  ASSERT_TRUE(PutSync("k", ToBytes("v1")).ok());
+  ASSERT_TRUE(PutSync("k", ToBytes("v2")).ok());
+  EXPECT_EQ(ToString(*GetSync("k")), "v2");
+  EXPECT_EQ(store_.NumFiles(), 1u);  // old file removed
+}
+
+TEST_F(FsStoreTest, ReadTakesSeekPlusTransferTime) {
+  ASSERT_TRUE(PutSync("k", Bytes(80000, 'x')).ok());
+  const Micros start = loop_.Now();
+  auto value = GetSync("k");
+  ASSERT_TRUE(value.ok());
+  // 8 ms seek + 80 KB at 80 MB/s = 1 ms.
+  EXPECT_EQ(loop_.Now() - start, 8000 + 1000);
+}
+
+TEST_F(FsStoreTest, IndexCrashLeavesOrphans) {
+  // The paper's §1 criticism: "It is hard to guarantee the integrity and
+  // consistency between the original data and their index information."
+  ASSERT_TRUE(PutSync("a", ToBytes("1")).ok());
+  ASSERT_TRUE(PutSync("b", ToBytes("2")).ok());
+  ASSERT_TRUE(PutSync("c", ToBytes("3")).ok());
+  store_.CrashIndexTail(2);
+  EXPECT_EQ(store_.NumIndexed(), 1u);
+  EXPECT_EQ(store_.NumFiles(), 3u);
+  EXPECT_EQ(store_.OrphanedFiles(), 2u);
+  EXPECT_TRUE(GetSync("b").status().IsNotFound());  // data exists, unreachable
+  EXPECT_TRUE(GetSync("a").ok());
+}
+
+class RelStoreTest : public ::testing::Test {
+ protected:
+  RelStoreTest() : store_(&loop_) {}
+
+  Result<Bytes> GetSync(const std::string& key) {
+    Result<Bytes> out = Status::Timeout("never");
+    store_.GetAsync(key, [&out](const Result<Bytes>& v) { out = v; });
+    loop_.RunUntilIdle();
+    return out;
+  }
+
+  Status PutSync(const std::string& key, Bytes value) {
+    Status out = Status::Timeout("never");
+    store_.PutAsync(key, std::move(value), [&out](const Status& s) { out = s; });
+    loop_.RunUntilIdle();
+    return out;
+  }
+
+  sim::EventLoop loop_;
+  RelStore store_;
+};
+
+TEST_F(RelStoreTest, PutGetDelete) {
+  ASSERT_TRUE(PutSync("k", ToBytes("blob")).ok());
+  auto value = GetSync("k");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(ToString(*value), "blob");
+  Status out = Status::Timeout("never");
+  store_.DeleteAsync("k", [&out](const Status& s) { out = s; });
+  loop_.RunUntilIdle();
+  EXPECT_TRUE(out.ok());
+  EXPECT_TRUE(GetSync("k").status().IsNotFound());
+}
+
+TEST_F(RelStoreTest, MasterDownBlocksWrites) {
+  store_.SetMasterDown(true);
+  EXPECT_TRUE(PutSync("k", ToBytes("v")).IsUnavailable());
+  store_.SetMasterDown(false);
+  EXPECT_TRUE(PutSync("k", ToBytes("v")).ok());
+}
+
+TEST_F(RelStoreTest, SlavesEventuallyReplicate) {
+  ASSERT_TRUE(PutSync("k", ToBytes("v")).ok());
+  // RunUntilIdle in PutSync already drained the replication timers; every
+  // round-robin read target now has the row.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(GetSync("k").ok()) << "read " << i;
+  }
+}
+
+TEST_F(RelStoreTest, ReplicationLagServesStaleReads) {
+  Status put_status = Status::Timeout("never");
+  store_.PutAsync("k", ToBytes("v"), [&](const Status& s) { put_status = s; });
+  // Drain only the master write, not the replication timers.
+  loop_.RunFor(10 * kMicrosPerMilli);
+  ASSERT_TRUE(put_status.ok());
+  // Reads round-robin master, slave1, slave2: within the lag window the
+  // slaves miss the row.
+  int not_found = 0;
+  for (int i = 0; i < 3; ++i) {
+    Result<Bytes> out = Status::Timeout("never");
+    store_.GetAsync("k", [&out](const Result<Bytes>& v) { out = v; });
+    loop_.RunFor(20 * kMicrosPerMilli);
+    if (out.status().IsNotFound()) ++not_found;
+  }
+  EXPECT_GT(not_found, 0) << "expected stale reads within the lag window";
+}
+
+TEST_F(RelStoreTest, RowCountTracksMaster) {
+  ASSERT_TRUE(PutSync("a", ToBytes("1")).ok());
+  ASSERT_TRUE(PutSync("b", ToBytes("2")).ok());
+  EXPECT_EQ(store_.NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace hotman::baselines

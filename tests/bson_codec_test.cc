@@ -1,0 +1,193 @@
+#include "bson/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hotman::bson {
+namespace {
+
+Document SampleRecord() {
+  Document doc;
+  doc.Append("_id", Value(ObjectId::FromHex("4ee4462739a8727afc917ee6")));
+  doc.Append("self-key", Value("Resistor5"));
+  doc.Append("val", Value(Binary{{'d', 'a', 't', 'a'}, 0}));
+  doc.Append("isData", Value("1"));
+  doc.Append("isDel", Value("0"));
+  return doc;
+}
+
+TEST(CodecTest, EmptyDocumentIsFiveBytes) {
+  // int32 size (5) + trailing NUL.
+  std::string encoded = EncodeToString(Document{});
+  ASSERT_EQ(encoded.size(), 5u);
+  EXPECT_EQ(encoded[0], 5);
+  EXPECT_EQ(encoded[4], '\0');
+  Document decoded;
+  ASSERT_TRUE(Decode(encoded, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(CodecTest, RoundTripRecord) {
+  Document original = SampleRecord();
+  std::string encoded = EncodeToString(original);
+  Document decoded;
+  ASSERT_TRUE(Decode(encoded, &decoded).ok());
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(CodecTest, RoundTripAllTypes) {
+  Document doc;
+  doc.Append("d", Value(3.14159));
+  doc.Append("s", Value("text"));
+  doc.Append("sub", Value(Document{{"inner", Value(std::int32_t{1})}}));
+  doc.Append("arr", Value(Array{Value("a"), Value(std::int32_t{2}),
+                                Value(Document{{"x", Value(true)}})}));
+  doc.Append("bin", Value(Binary{{0, 1, 2, 255}, 5}));
+  doc.Append("oid", Value(ObjectId::FromHex("0102030405060708090a0b0c")));
+  doc.Append("b", Value(true));
+  doc.Append("dt", Value(DateTime{1357000000000}));
+  doc.Append("n", Value());
+  doc.Append("i32", Value(std::int32_t{-42}));
+  doc.Append("i64", Value(std::int64_t{1} << 40));
+  std::string encoded = EncodeToString(doc);
+  Document decoded;
+  ASSERT_TRUE(Decode(encoded, &decoded).ok());
+  EXPECT_EQ(decoded, doc);
+}
+
+TEST(CodecTest, RoundTripSpecialDoubles) {
+  Document doc;
+  doc.Append("zero", Value(0.0));
+  doc.Append("neg", Value(-0.0));
+  doc.Append("tiny", Value(5e-324));
+  doc.Append("huge", Value(1.7976931348623157e308));
+  std::string encoded = EncodeToString(doc);
+  Document decoded;
+  ASSERT_TRUE(Decode(encoded, &decoded).ok());
+  EXPECT_EQ(decoded.Get("tiny")->as_double(), 5e-324);
+  EXPECT_EQ(decoded.Get("huge")->as_double(), 1.7976931348623157e308);
+}
+
+TEST(CodecTest, RoundTripEmptyStringAndBinary) {
+  Document doc;
+  doc.Append("s", Value(""));
+  doc.Append("b", Value(Binary{{}, 0}));
+  Document decoded;
+  ASSERT_TRUE(Decode(EncodeToString(doc), &decoded).ok());
+  EXPECT_EQ(decoded, doc);
+}
+
+TEST(CodecTest, RoundTripBinaryWithEmbeddedNuls) {
+  Document doc;
+  doc.Append("b", Value(Binary{{0, 0, 1, 0}, 0}));
+  Document decoded;
+  ASSERT_TRUE(Decode(EncodeToString(doc), &decoded).ok());
+  EXPECT_EQ(decoded, doc);
+}
+
+TEST(CodecTest, EncodedSizeMatches) {
+  Document doc = SampleRecord();
+  EXPECT_EQ(EncodedSize(doc), EncodeToString(doc).size());
+}
+
+TEST(CodecTest, SizePrefixMatchesActualLength) {
+  std::string encoded = EncodeToString(SampleRecord());
+  const auto declared = static_cast<std::uint32_t>(
+      static_cast<unsigned char>(encoded[0]) |
+      (static_cast<unsigned char>(encoded[1]) << 8) |
+      (static_cast<unsigned char>(encoded[2]) << 16) |
+      (static_cast<unsigned char>(encoded[3]) << 24));
+  EXPECT_EQ(declared, encoded.size());
+}
+
+TEST(CodecTest, RejectsTruncation) {
+  std::string encoded = EncodeToString(SampleRecord());
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    Document decoded;
+    EXPECT_FALSE(Decode(std::string_view(encoded).substr(0, cut), &decoded).ok())
+        << "truncation at " << cut << " accepted";
+  }
+}
+
+TEST(CodecTest, RejectsTrailingGarbage) {
+  std::string encoded = EncodeToString(SampleRecord()) + "x";
+  Document decoded;
+  EXPECT_TRUE(Decode(encoded, &decoded).IsCorruption());
+}
+
+TEST(CodecTest, RejectsBadSizePrefix) {
+  std::string encoded = EncodeToString(SampleRecord());
+  encoded[0] = 4;  // below minimum
+  encoded[1] = encoded[2] = encoded[3] = 0;
+  Document decoded;
+  EXPECT_TRUE(Decode(encoded, &decoded).IsCorruption());
+}
+
+TEST(CodecTest, RejectsUnknownTypeTag) {
+  Document doc;
+  doc.Append("a", Value(std::int32_t{1}));
+  std::string encoded = EncodeToString(doc);
+  encoded[4] = '\x7F';  // corrupt the element tag
+  Document decoded;
+  EXPECT_TRUE(Decode(encoded, &decoded).IsCorruption());
+}
+
+TEST(CodecTest, RejectsDeepNesting) {
+  Document doc;
+  Document* current = &doc;
+  for (int i = 0; i < 100; ++i) {
+    current->Set("n", Value(Document{}));
+    current = &current->GetMutable("n")->as_document();
+  }
+  std::string encoded = EncodeToString(doc);
+  Document decoded;
+  EXPECT_TRUE(Decode(encoded, &decoded).IsCorruption());
+}
+
+TEST(CodecTest, FuzzRandomBytesNeverCrash) {
+  // Hostile-input hardening: random buffers must be rejected cleanly.
+  hotman::Rng rng(99);
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t len = rng.Uniform(64);
+    std::string noise;
+    for (std::size_t i = 0; i < len; ++i) {
+      noise.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    Document decoded;
+    (void)Decode(noise, &decoded);  // must not crash or overread
+  }
+  SUCCEED();
+}
+
+TEST(CodecTest, FuzzBitFlipsNeverCrash) {
+  std::string encoded = EncodeToString(SampleRecord());
+  hotman::Rng rng(7);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = encoded;
+    const std::size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << rng.Uniform(8)));
+    Document decoded;
+    Status s = Decode(mutated, &decoded);
+    if (s.ok()) {
+      // A surviving mutation must still round-trip consistently.
+      EXPECT_EQ(EncodeToString(decoded).size(), mutated.size());
+    }
+  }
+  SUCCEED();
+}
+
+TEST(CodecTest, ArrayEncodesAsIndexKeyedDocument) {
+  Document doc;
+  doc.Append("arr", Value(Array{Value("x"), Value("y")}));
+  std::string encoded = EncodeToString(doc);
+  // The encoded form contains "0" and "1" key names.
+  EXPECT_NE(encoded.find(std::string("0\0", 2)), std::string::npos);
+  EXPECT_NE(encoded.find(std::string("1\0", 2)), std::string::npos);
+  Document decoded;
+  ASSERT_TRUE(Decode(encoded, &decoded).ok());
+  EXPECT_EQ(decoded, doc);
+}
+
+}  // namespace
+}  // namespace hotman::bson

@@ -1,0 +1,71 @@
+#include "bson/json.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hotman::bson {
+namespace {
+
+TEST(JsonTest, PaperRecordShape) {
+  Document doc;
+  doc.Append("_id", Value(ObjectId::FromHex("4ee4462739a8727afc917ee6")));
+  doc.Append("self-key", Value("Resistor5"));
+  doc.Append("val",
+             Value(Binary{ToBytes("this is test data for read"), 0}));
+  doc.Append("isData", Value("1"));
+  doc.Append("isDel", Value("0"));
+  const std::string json = ToJson(doc);
+  EXPECT_NE(json.find("ObjectId(\"4ee4462739a8727afc917ee6\")"),
+            std::string::npos);
+  EXPECT_NE(json.find("BinData(0, \"dGhpcyBpcyB0ZXN0IGRhdGEgZm9yIHJlYWQ=\")"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"self-key\" : \"Resistor5\""), std::string::npos);
+}
+
+TEST(JsonTest, Escaping) {
+  Document doc;
+  doc.Append("s", Value("line\n\"quoted\"\\slash\ttab"));
+  const std::string json = ToJson(doc);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+}
+
+TEST(JsonTest, ControlCharactersAsUnicodeEscapes) {
+  Document doc;
+  doc.Append("s", Value(std::string("\x01", 1)));
+  EXPECT_NE(ToJson(doc).find("\\u0001"), std::string::npos);
+}
+
+TEST(JsonTest, ScalarRendering) {
+  EXPECT_EQ(ToJson(Value()), "null");
+  EXPECT_EQ(ToJson(Value(true)), "true");
+  EXPECT_EQ(ToJson(Value(false)), "false");
+  EXPECT_EQ(ToJson(Value(std::int32_t{-3})), "-3");
+  EXPECT_EQ(ToJson(Value(std::int64_t{1} << 33)), "8589934592");
+  EXPECT_EQ(ToJson(Value(DateTime{77})), "Date(77)");
+}
+
+TEST(JsonTest, DoubleRendering) {
+  EXPECT_EQ(ToJson(Value(2.5)), "2.5");
+  EXPECT_EQ(ToJson(Value(std::nan(""))), "NaN");
+  EXPECT_EQ(ToJson(Value(HUGE_VAL)), "Infinity");
+  EXPECT_EQ(ToJson(Value(-HUGE_VAL)), "-Infinity");
+}
+
+TEST(JsonTest, NestedStructure) {
+  Document doc;
+  doc.Append("a", Value(Array{Value(std::int32_t{1}),
+                              Value(Document{{"b", Value("c")}})}));
+  EXPECT_EQ(ToJson(doc), "{\"a\" : [1, {\"b\" : \"c\"}]}");
+}
+
+TEST(JsonTest, EmptyDocumentAndArray) {
+  EXPECT_EQ(ToJson(Document{}), "{}");
+  EXPECT_EQ(ToJson(Value(Array{})), "[]");
+}
+
+}  // namespace
+}  // namespace hotman::bson

@@ -1,0 +1,220 @@
+#include "bson/value.h"
+
+#include <gtest/gtest.h>
+
+#include "bson/document.h"
+
+namespace hotman::bson {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), Type::kNull);
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(std::int32_t{1}).is_int32());
+  EXPECT_TRUE(Value(std::int64_t{1}).is_int64());
+  EXPECT_TRUE(Value(Binary{{1, 2}, 0}).is_binary());
+  EXPECT_TRUE(Value(ObjectId()).is_object_id());
+  EXPECT_TRUE(Value(DateTime{99}).is_datetime());
+  EXPECT_TRUE(Value(Document{}).is_document());
+  EXPECT_TRUE(Value(Array{Value(1.0)}).is_array());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("xyz").as_string(), "xyz");
+  EXPECT_EQ(Value(std::int32_t{7}).as_int32(), 7);
+  EXPECT_EQ(Value(std::int64_t{1} << 40).as_int64(), std::int64_t{1} << 40);
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_EQ(Value(DateTime{5}).as_datetime().millis, 5);
+}
+
+TEST(ValueTest, NumberWidening) {
+  EXPECT_TRUE(Value(std::int32_t{1}).is_number());
+  EXPECT_TRUE(Value(std::int64_t{1}).is_number());
+  EXPECT_TRUE(Value(1.0).is_number());
+  EXPECT_FALSE(Value("1").is_number());
+  EXPECT_DOUBLE_EQ(Value(std::int32_t{3}).NumberAsDouble(), 3.0);
+  EXPECT_EQ(Value(3.9).NumberAsInt64(), 3);
+}
+
+TEST(ValueTest, DeepCopySemantics) {
+  Document inner;
+  inner.Set("a", Value(std::int32_t{1}));
+  Value original((Document(inner)));
+  Value copy = original;
+  copy.as_document().Set("a", Value(std::int32_t{2}));
+  EXPECT_EQ(original.as_document().Get("a")->as_int32(), 1);
+  EXPECT_EQ(copy.as_document().Get("a")->as_int32(), 2);
+}
+
+TEST(ValueTest, ArrayDeepCopy) {
+  Value original(Array{Value(std::int32_t{1}), Value(std::int32_t{2})});
+  Value copy = original;
+  copy.as_array()[0] = Value(std::int32_t{99});
+  EXPECT_EQ(original.as_array()[0].as_int32(), 1);
+}
+
+TEST(ValueTest, MoveLeavesNull) {
+  Value v("payload");
+  Value moved = std::move(v);
+  EXPECT_TRUE(v.is_null());  // NOLINT(bugprone-use-after-move): documented
+  EXPECT_EQ(moved.as_string(), "payload");
+}
+
+TEST(ValueTest, SelfAssignmentSafe) {
+  Value v("keep");
+  v = *&v;
+  EXPECT_EQ(v.as_string(), "keep");
+}
+
+TEST(ValueCompareTest, NumbersCompareAcrossTypes) {
+  EXPECT_EQ(Value(std::int32_t{5}).Compare(Value(5.0)), 0);
+  EXPECT_EQ(Value(std::int64_t{5}).Compare(Value(std::int32_t{5})), 0);
+  EXPECT_LT(Value(std::int32_t{4}).Compare(Value(4.5)), 0);
+  EXPECT_GT(Value(5.5).Compare(Value(std::int64_t{5})), 0);
+}
+
+TEST(ValueCompareTest, LargeInt64PrecisionPreserved) {
+  // 2^62 and 2^62+1 collapse to the same double; int64 comparison must not.
+  const std::int64_t big = std::int64_t{1} << 62;
+  EXPECT_LT(Value(big).Compare(Value(big + 1)), 0);
+}
+
+TEST(ValueCompareTest, CanonicalBracketOrdering) {
+  // Null < number < string < document < array < binary < objectid < bool
+  // < datetime.
+  std::vector<Value> ladder;
+  ladder.emplace_back();
+  ladder.emplace_back(std::int32_t{1});
+  ladder.emplace_back("s");
+  ladder.emplace_back(Document{});
+  ladder.emplace_back(Array{});
+  ladder.emplace_back(Binary{{1}, 0});
+  ladder.emplace_back(ObjectId());
+  ladder.emplace_back(false);
+  ladder.emplace_back(DateTime{0});
+  for (std::size_t i = 0; i + 1 < ladder.size(); ++i) {
+    EXPECT_LT(ladder[i].Compare(ladder[i + 1]), 0)
+        << "rank " << i << " not below rank " << i + 1;
+  }
+}
+
+TEST(ValueCompareTest, StringOrdering) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("abc").Compare(Value("abc")), 0);
+  EXPECT_GT(Value("b").Compare(Value("ab")), 0);
+}
+
+TEST(ValueCompareTest, ArrayElementwise) {
+  Value a(Array{Value(std::int32_t{1}), Value(std::int32_t{2})});
+  Value b(Array{Value(std::int32_t{1}), Value(std::int32_t{3})});
+  Value shorter(Array{Value(std::int32_t{1})});
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_LT(shorter.Compare(a), 0);
+  EXPECT_EQ(a.Compare(a), 0);
+}
+
+TEST(ValueCompareTest, BinaryOrderedByLengthThenBytes) {
+  Value shorter(Binary{{9}, 0});
+  Value longer(Binary{{0, 0}, 0});
+  EXPECT_LT(shorter.Compare(longer), 0);
+  Value a(Binary{{1, 2}, 0});
+  Value b(Binary{{1, 3}, 0});
+  EXPECT_LT(a.Compare(b), 0);
+}
+
+TEST(ValueCompareTest, BoolOrdering) {
+  EXPECT_LT(Value(false).Compare(Value(true)), 0);
+  EXPECT_EQ(Value(true).Compare(Value(true)), 0);
+}
+
+TEST(ValueCompareTest, EqualityOperators) {
+  EXPECT_TRUE(Value("x") == Value("x"));
+  EXPECT_TRUE(Value("x") != Value("y"));
+  EXPECT_TRUE(Value(std::int32_t{1}) == Value(1.0));
+}
+
+TEST(ObjectIdTest, HexRoundTrip) {
+  bool ok = false;
+  ObjectId id = ObjectId::FromHex("4ee4462739a8727afc917ee6", &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(id.ToHex(), "4ee4462739a8727afc917ee6");
+}
+
+TEST(ObjectIdTest, RejectsBadHex) {
+  bool ok = true;
+  ObjectId id = ObjectId::FromHex("nothex", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(id.is_zero());
+}
+
+TEST(ObjectIdTest, GeneratorMonotoneUnique) {
+  ManualClock clock(5 * kMicrosPerSecond);
+  ObjectIdGenerator gen(0xAB, &clock);
+  ObjectId a = gen.Next();
+  ObjectId b = gen.Next();
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);  // same second, increasing counter
+  EXPECT_EQ(a.timestamp_seconds(), 5u);
+}
+
+TEST(ObjectIdTest, DifferentMachinesDiffer) {
+  ManualClock clock(0);
+  ObjectIdGenerator gen1(1, &clock);
+  ObjectIdGenerator gen2(2, &clock);
+  EXPECT_NE(gen1.Next(), gen2.Next());
+}
+
+TEST(DocumentTest, SetGetRemove) {
+  Document doc;
+  doc.Set("a", Value(std::int32_t{1}));
+  doc.Set("b", Value("two"));
+  EXPECT_EQ(doc.size(), 2u);
+  ASSERT_NE(doc.Get("a"), nullptr);
+  EXPECT_EQ(doc.Get("a")->as_int32(), 1);
+  EXPECT_EQ(doc.Get("missing"), nullptr);
+  EXPECT_TRUE(doc.GetOrNull("missing").is_null());
+  EXPECT_TRUE(doc.Remove("a"));
+  EXPECT_FALSE(doc.Remove("a"));
+  EXPECT_EQ(doc.size(), 1u);
+}
+
+TEST(DocumentTest, SetReplacesInPlace) {
+  Document doc;
+  doc.Set("a", Value(std::int32_t{1}));
+  doc.Set("b", Value(std::int32_t{2}));
+  doc.Set("a", Value(std::int32_t{9}));
+  EXPECT_EQ(doc.field(0).name, "a");  // position preserved
+  EXPECT_EQ(doc.field(0).value.as_int32(), 9);
+}
+
+TEST(DocumentTest, FieldOrderSignificantInComparison) {
+  Document ab;
+  ab.Append("a", Value(std::int32_t{1})).Append("b", Value(std::int32_t{2}));
+  Document ba;
+  ba.Append("b", Value(std::int32_t{2})).Append("a", Value(std::int32_t{1}));
+  EXPECT_NE(ab, ba);
+}
+
+TEST(DocumentTest, InitializerListConstruction) {
+  Document doc{{"name", Value("res")}, {"size", Value(std::int32_t{5})}};
+  EXPECT_EQ(doc.size(), 2u);
+  EXPECT_EQ(doc.Get("name")->as_string(), "res");
+}
+
+TEST(DocumentTest, PrefixComparison) {
+  Document shorter{{"a", Value(std::int32_t{1})}};
+  Document longer{{"a", Value(std::int32_t{1})}, {"b", Value(std::int32_t{2})}};
+  EXPECT_LT(shorter.Compare(longer), 0);
+  EXPECT_GT(longer.Compare(shorter), 0);
+}
+
+}  // namespace
+}  // namespace hotman::bson

@@ -1,0 +1,110 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace hotman {
+namespace {
+
+TEST(HexTest, EncodeDecodeRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xAB, 0xFF, 0x7E};
+  std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "0001abff7e");
+  Bytes back;
+  ASSERT_TRUE(HexDecode(hex, &back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(HexTest, EmptyInput) {
+  EXPECT_EQ(HexEncode(Bytes{}), "");
+  Bytes out{1, 2, 3};
+  ASSERT_TRUE(HexDecode("", &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(HexTest, UppercaseAccepted) {
+  Bytes out;
+  ASSERT_TRUE(HexDecode("ABCDEF", &out));
+  EXPECT_EQ(out, (Bytes{0xAB, 0xCD, 0xEF}));
+}
+
+TEST(HexTest, RejectsOddLength) {
+  Bytes out;
+  EXPECT_FALSE(HexDecode("abc", &out));
+}
+
+TEST(HexTest, RejectsNonHex) {
+  Bytes out;
+  EXPECT_FALSE(HexDecode("zz", &out));
+}
+
+TEST(Base64Test, KnownVectors) {
+  // RFC 4648 test vectors.
+  EXPECT_EQ(Base64Encode(ToBytes("")), "");
+  EXPECT_EQ(Base64Encode(ToBytes("f")), "Zg==");
+  EXPECT_EQ(Base64Encode(ToBytes("fo")), "Zm8=");
+  EXPECT_EQ(Base64Encode(ToBytes("foo")), "Zm9v");
+  EXPECT_EQ(Base64Encode(ToBytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode(ToBytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode(ToBytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64Test, PaperExampleDecodes) {
+  // The paper's record: BinData(0, "dGhpcyBpcyB0ZXN0IGRhdGEgZm9yIHJlYWQ=").
+  Bytes out;
+  ASSERT_TRUE(Base64Decode("dGhpcyBpcyB0ZXN0IGRhdGEgZm9yIHJlYWQ=", &out));
+  EXPECT_EQ(ToString(out), "this is test data for read");
+}
+
+TEST(Base64Test, RoundTripAllByteValues) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  Bytes back;
+  ASSERT_TRUE(Base64Decode(Base64Encode(data), &back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(Base64Test, RejectsBadLength) {
+  Bytes out;
+  EXPECT_FALSE(Base64Decode("abc", &out));
+}
+
+TEST(Base64Test, RejectsDataAfterPadding) {
+  Bytes out;
+  EXPECT_FALSE(Base64Decode("Zg==Zg==", &out));
+}
+
+TEST(Base64Test, RejectsBadCharacters) {
+  Bytes out;
+  EXPECT_FALSE(Base64Decode("Zm9!", &out));
+}
+
+TEST(FixedIntTest, RoundTrip32) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEFu);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(GetFixed32(reinterpret_cast<const std::uint8_t*>(buf.data())),
+            0xDEADBEEFu);
+}
+
+TEST(FixedIntTest, RoundTrip64) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  ASSERT_EQ(buf.size(), 8u);
+  EXPECT_EQ(GetFixed64(reinterpret_cast<const std::uint8_t*>(buf.data())),
+            0x0123456789ABCDEFull);
+}
+
+TEST(FixedIntTest, LittleEndianLayout) {
+  std::string buf;
+  PutFixed32(&buf, 1);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 0);
+}
+
+TEST(BytesTest, StringConversionsRoundTrip) {
+  const std::string s = std::string("bin\0ary", 7);
+  EXPECT_EQ(ToString(ToBytes(s)), s);
+}
+
+}  // namespace
+}  // namespace hotman

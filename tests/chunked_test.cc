@@ -1,0 +1,150 @@
+#include "core/chunked.h"
+
+#include <gtest/gtest.h>
+
+namespace hotman::core {
+namespace {
+
+class ChunkedTest : public ::testing::Test {
+ protected:
+  void Boot(std::size_t segment_bytes = 64 * 1024) {
+    MyStoreConfig config;
+    config.cluster = cluster::ClusterConfig::PaperSetup();
+    store_ = std::make_unique<MyStore>(config);
+    ASSERT_TRUE(store_->Start().ok());
+    ChunkedStore::Options options;
+    options.segment_bytes = segment_bytes;
+    chunked_ = std::make_unique<ChunkedStore>(store_.get(), options);
+  }
+
+  Bytes MakeBlob(std::size_t size) {
+    Bytes blob(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      blob[i] = static_cast<std::uint8_t>((i * 31 + 7) & 0xFF);
+    }
+    return blob;
+  }
+
+  std::unique_ptr<MyStore> store_;
+  std::unique_ptr<ChunkedStore> chunked_;
+};
+
+TEST_F(ChunkedTest, RoundTripMultiSegment) {
+  Boot(64 * 1024);
+  const Bytes blob = MakeBlob(300 * 1024);  // 4.7 segments
+  ASSERT_TRUE(chunked_->Put("video:intro", blob).ok());
+  auto manifest = chunked_->GetManifest("video:intro");
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->total_bytes, blob.size());
+  EXPECT_EQ(manifest->num_segments, 5u);
+  auto back = chunked_->Get("video:intro");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, blob);
+}
+
+TEST_F(ChunkedTest, ExactMultipleOfSegmentSize) {
+  Boot(64 * 1024);
+  const Bytes blob = MakeBlob(128 * 1024);
+  ASSERT_TRUE(chunked_->Put("k", blob).ok());
+  EXPECT_EQ(chunked_->GetManifest("k")->num_segments, 2u);
+  EXPECT_EQ(*chunked_->Get("k"), blob);
+}
+
+TEST_F(ChunkedTest, SmallerThanOneSegment) {
+  Boot(64 * 1024);
+  const Bytes blob = MakeBlob(100);
+  ASSERT_TRUE(chunked_->Put("tiny", blob).ok());
+  EXPECT_EQ(chunked_->GetManifest("tiny")->num_segments, 1u);
+  EXPECT_EQ(*chunked_->Get("tiny"), blob);
+}
+
+TEST_F(ChunkedTest, EmptyObject) {
+  Boot();
+  ASSERT_TRUE(chunked_->Put("empty", Bytes{}).ok());
+  auto back = chunked_->Get("empty");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST_F(ChunkedTest, SegmentsSpreadAcrossTheRing) {
+  Boot(32 * 1024);
+  ASSERT_TRUE(chunked_->Put("movie", MakeBlob(512 * 1024)).ok());  // 16 segments
+  // Distinct segment keys hash to distinct primaries (with 16 segments on
+  // a 5-node ring, more than one node must be primary for some segment).
+  cluster::StorageNode* any = store_->storage()->nodes().front();
+  std::set<std::string> primaries;
+  for (std::size_t i = 0; i < 16; ++i) {
+    primaries.insert(
+        *any->ring().PrimaryFor(ChunkedStore::SegmentKey("movie", i)));
+  }
+  EXPECT_GT(primaries.size(), 1u);
+}
+
+TEST_F(ChunkedTest, GetSegmentStreamsInOrder) {
+  Boot(64 * 1024);
+  const Bytes blob = MakeBlob(200 * 1024);
+  ASSERT_TRUE(chunked_->Put("stream", blob).ok());
+  auto manifest = chunked_->GetManifest("stream");
+  ASSERT_TRUE(manifest.ok());
+  Bytes reassembled;
+  for (std::size_t i = 0; i < manifest->num_segments; ++i) {
+    auto segment = chunked_->GetSegment("stream", i);
+    ASSERT_TRUE(segment.ok()) << i;
+    reassembled.insert(reassembled.end(), segment->begin(), segment->end());
+  }
+  EXPECT_EQ(reassembled, blob);
+  EXPECT_TRUE(
+      chunked_->GetSegment("stream", manifest->num_segments).status()
+          .IsInvalidArgument());
+}
+
+TEST_F(ChunkedTest, DeleteRemovesManifestAndSegments) {
+  Boot(64 * 1024);
+  ASSERT_TRUE(chunked_->Put("gone", MakeBlob(150 * 1024)).ok());
+  ASSERT_TRUE(chunked_->Delete("gone").ok());
+  EXPECT_TRUE(chunked_->Get("gone").status().IsNotFound() ||
+              chunked_->Get("gone").status().IsInvalidArgument());
+  EXPECT_TRUE(store_->Get(ChunkedStore::SegmentKey("gone", 0))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ChunkedTest, OverwriteReplacesContent) {
+  Boot(64 * 1024);
+  ASSERT_TRUE(chunked_->Put("k", MakeBlob(200 * 1024)).ok());
+  const Bytes smaller = MakeBlob(70 * 1024);
+  ASSERT_TRUE(chunked_->Put("k", smaller).ok());
+  auto back = chunked_->Get("k");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, smaller);
+}
+
+TEST_F(ChunkedTest, IsChunkedDistinguishesRawValues) {
+  Boot();
+  ASSERT_TRUE(chunked_->Put("chunked", MakeBlob(1000)).ok());
+  ASSERT_TRUE(store_->Post("raw", ToBytes("just bytes")).ok());
+  EXPECT_TRUE(chunked_->IsChunked("chunked"));
+  EXPECT_FALSE(chunked_->IsChunked("raw"));
+  EXPECT_FALSE(chunked_->IsChunked("missing"));
+}
+
+TEST_F(ChunkedTest, GetOnRawValueFailsCleanly) {
+  Boot();
+  ASSERT_TRUE(store_->Post("raw", ToBytes("not a manifest")).ok());
+  EXPECT_FALSE(chunked_->Get("raw").ok());
+}
+
+TEST_F(ChunkedTest, SurvivesNodeCrash) {
+  Boot(32 * 1024);
+  const Bytes blob = MakeBlob(256 * 1024);
+  ASSERT_TRUE(chunked_->Put("resilient", blob).ok());
+  store_->RunFor(2 * kMicrosPerSecond);
+  ASSERT_TRUE(store_->storage()->CrashNode("db2:19870").ok());
+  store_->cache_pool()->Clear();
+  auto back = chunked_->Get("resilient");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, blob);
+}
+
+}  // namespace
+}  // namespace hotman::core

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace hotman::cluster {
+namespace {
+
+class ClusterFailureTest : public ::testing::Test {
+ protected:
+  void Boot(std::uint64_t seed = 21) {
+    ClusterConfig config = ClusterConfig::Uniform(5, /*seeds=*/2);
+    cluster_ = std::make_unique<Cluster>(std::move(config), seed);
+    ASSERT_TRUE(cluster_->Start().ok());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ClusterFailureTest, ShortFailureHandledByHintedHandoff) {
+  Boot();
+  StorageNode* any = cluster_->nodes().front();
+  auto prefs = any->ring().PreferenceList("hkey", 3);
+  StorageNode* victim = cluster_->node(prefs[1]);
+
+  // Short failure: network exception at one replica holder (Fig. 8's B).
+  cluster_->injector()->Inject(victim->server(),
+                               docstore::FaultMode::kNetworkException,
+                               5 * kMicrosPerSecond);
+  ASSERT_TRUE(cluster_->PutSync("hkey", ToBytes("v")).ok());
+
+  // The quorum already succeeded, but after the per-replica timeout the
+  // coordinator still redirects B's copy to a temporary node C with a hint.
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  std::size_t hints = 0;
+  for (StorageNode* node : cluster_->nodes()) {
+    hints += node->hints()->ForTarget(victim->id()).size();
+  }
+  EXPECT_GT(hints, 0u);
+
+  // B recovers; the hint timer writes the data back.
+  cluster_->RunFor(20 * kMicrosPerSecond);
+  auto record = victim->store()->GetByKey("hkey");
+  EXPECT_TRUE(record.ok()) << "write-back never reached the recovered node";
+  std::size_t left = 0;
+  for (StorageNode* node : cluster_->nodes()) {
+    left += node->hints()->ForTarget(victim->id()).size();
+  }
+  EXPECT_EQ(left, 0u) << "hints must be dropped after acked write-back";
+  EXPECT_GT(cluster_->AggregateStats().hints_delivered, 0u);
+}
+
+TEST_F(ClusterFailureTest, ReadsSurviveSingleNodeCrash) {
+  Boot();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(cluster_->PutSync("k" + std::to_string(i), ToBytes("v")).ok());
+  }
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  ASSERT_TRUE(cluster_->CrashNode("db3:19870").ok());
+  int readable = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (cluster_->GetSync("k" + std::to_string(i)).ok()) ++readable;
+  }
+  EXPECT_EQ(readable, 30) << "reads must be masked by surviving replicas";
+}
+
+TEST_F(ClusterFailureTest, LongFailureDetectedAndRepaired) {
+  Boot();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(cluster_->PutSync("k" + std::to_string(i), ToBytes("v")).ok());
+  }
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  const std::size_t before = cluster_->TotalReplicas();
+  EXPECT_EQ(before, 90u);
+
+  ASSERT_TRUE(cluster_->CrashNode("db4:19870").ok());
+  // Give the seeds time to classify the silence as a long failure and
+  // drive re-replication (Fig. 9).
+  cluster_->RunFor(60 * kMicrosPerSecond);
+
+  // The dead node must be off every survivor's ring.
+  for (StorageNode* node : cluster_->nodes()) {
+    if (node->id() == "db4:19870") continue;
+    EXPECT_FALSE(node->ring().HasNode("db4:19870")) << node->id();
+  }
+  EXPECT_GT(cluster_->AggregateStats().rereplications, 0u);
+
+  // Every key has N=3 live replicas among the survivors again.
+  for (int i = 0; i < 30; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    int holders = 0;
+    for (StorageNode* node : cluster_->nodes()) {
+      if (node->id() == "db4:19870") continue;
+      if (node->store()->GetByKey(key).ok()) ++holders;
+    }
+    EXPECT_GE(holders, 3) << key;
+  }
+}
+
+TEST_F(ClusterFailureTest, WritesContinueDuringLongFailure) {
+  Boot();
+  ASSERT_TRUE(cluster_->CrashNode("db5:19870").ok());
+  cluster_->RunFor(60 * kMicrosPerSecond);  // detection + removal
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(cluster_->PutSync("post-crash-" + std::to_string(i),
+                                  ToBytes("v"))
+                    .ok())
+        << i;
+  }
+}
+
+TEST_F(ClusterFailureTest, ReadRepairSupplementsMissingReplicas) {
+  Boot();
+  ASSERT_TRUE(cluster_->PutSync("repair-me", ToBytes("v")).ok());
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  // Manually destroy one replica.
+  StorageNode* any = cluster_->nodes().front();
+  auto prefs = any->ring().PreferenceList("repair-me", 3);
+  ASSERT_TRUE(cluster_->node(prefs[2])->store()->Purge("repair-me").ok());
+  EXPECT_TRUE(cluster_->node(prefs[2])->store()->GetByKey("repair-me")
+                  .status()
+                  .IsNotFound());
+  // A read notices the missing replica and supplements it (§5.2.2).
+  ASSERT_TRUE(cluster_->GetSync("repair-me").ok());
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  EXPECT_TRUE(cluster_->node(prefs[2])->store()->GetByKey("repair-me").ok());
+  EXPECT_GT(cluster_->AggregateStats().read_repairs, 0u);
+}
+
+TEST_F(ClusterFailureTest, ReadRepairFixesStaleReplica) {
+  Boot();
+  ASSERT_TRUE(cluster_->PutSync("stale-key", ToBytes("v1")).ok());
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  StorageNode* any = cluster_->nodes().front();
+  auto prefs = any->ring().PreferenceList("stale-key", 3);
+  StorageNode* lagging = cluster_->node(prefs[2]);
+  // The lagging replica misses the second write (network exception).
+  cluster_->injector()->Inject(lagging->server(),
+                               docstore::FaultMode::kNetworkException,
+                               1 * kMicrosPerSecond);
+  ASSERT_TRUE(cluster_->PutSync("stale-key", ToBytes("v2")).ok());
+  cluster_->RunFor(5 * kMicrosPerSecond);  // recovery
+  // Reads + repair eventually converge the lagging replica to v2.
+  for (int i = 0; i < 5; ++i) {
+    (void)cluster_->GetSync("stale-key");
+    cluster_->RunFor(1 * kMicrosPerSecond);
+  }
+  auto record = lagging->store()->GetByKey("stale-key");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(ToString(core::RecordValue(*record)), "v2");
+}
+
+TEST_F(ClusterFailureTest, FaultInjectionStillReachesHighSuccessRate) {
+  // The paper's availability claim: with Table 2 fault rates, the vast
+  // majority of operations still succeed.
+  ClusterConfig config = ClusterConfig::Uniform(5, /*seeds=*/2);
+  sim::FailureConfig faults;  // Table 2 defaults
+  cluster_ = std::make_unique<Cluster>(std::move(config), 31, faults);
+  ASSERT_TRUE(cluster_->Start().ok());
+  int put_ok = 0;
+  const int ops = 150;
+  for (int i = 0; i < ops; ++i) {
+    if (cluster_->PutSync("f" + std::to_string(i), ToBytes("v")).ok()) ++put_ok;
+    cluster_->RunFor(50 * kMicrosPerMilli);
+  }
+  EXPECT_GT(put_ok, ops * 95 / 100)
+      << "NWR + handoff should mask nearly all injected faults";
+  EXPECT_GT(cluster_->injector()->stats().total(), 0u)
+      << "the run must actually have injected faults";
+}
+
+TEST_F(ClusterFailureTest, TombstonePreventsResurrectionByRepair) {
+  Boot();
+  ASSERT_TRUE(cluster_->PutSync("zombie", ToBytes("v")).ok());
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  ASSERT_TRUE(cluster_->DeleteSync("zombie").ok());
+  cluster_->RunFor(5 * kMicrosPerSecond);
+  // Repeated reads + repair rounds must never bring the key back.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(cluster_->GetSync("zombie").status().IsNotFound());
+    cluster_->RunFor(1 * kMicrosPerSecond);
+  }
+}
+
+}  // namespace
+}  // namespace hotman::cluster

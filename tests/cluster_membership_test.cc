@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace hotman::cluster {
+namespace {
+
+class MembershipTest : public ::testing::Test {
+ protected:
+  void Boot(int nodes = 4, std::uint64_t seed = 51) {
+    ClusterConfig config = ClusterConfig::Uniform(nodes, /*seeds=*/1);
+    cluster_ = std::make_unique<Cluster>(std::move(config), seed);
+    ASSERT_TRUE(cluster_->Start().ok());
+  }
+
+  void Load(int keys) {
+    for (int i = 0; i < keys; ++i) {
+      ASSERT_TRUE(cluster_->PutSync("key" + std::to_string(i), ToBytes("v")).ok());
+    }
+    cluster_->RunFor(2 * kMicrosPerSecond);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(MembershipTest, AddNodeJoinsEveryRing) {
+  Boot();
+  NodeSpec newcomer;
+  newcomer.address = "db9:19870";
+  newcomer.vnodes = 128;
+  ASSERT_TRUE(cluster_->AddNode(newcomer).ok());
+  cluster_->RunFor(5 * kMicrosPerSecond);
+  for (StorageNode* node : cluster_->nodes()) {
+    EXPECT_TRUE(node->ring().HasNode("db9:19870")) << node->id();
+    EXPECT_EQ(node->ring().NumPhysicalNodes(), 5u) << node->id();
+  }
+}
+
+TEST_F(MembershipTest, AddNodeRejectsDuplicates) {
+  Boot();
+  NodeSpec dup;
+  dup.address = "db1:19870";
+  EXPECT_TRUE(cluster_->AddNode(dup).IsAlreadyExists());
+}
+
+TEST_F(MembershipTest, DataMigratesToNewNode) {
+  Boot();
+  Load(60);
+  NodeSpec newcomer;
+  newcomer.address = "db9:19870";
+  newcomer.vnodes = 128;
+  ASSERT_TRUE(cluster_->AddNode(newcomer).ok());
+  cluster_->RunFor(10 * kMicrosPerSecond);
+  StorageNode* added = cluster_->node("db9:19870");
+  ASSERT_NE(added, nullptr);
+  // The newcomer owns some arcs, so some keys must have landed on it.
+  EXPECT_GT(added->store()->NumRecords(), 0u)
+      << "no data migrated to the new node";
+  // And every key it should hold (per the new ring) is actually there.
+  for (int i = 0; i < 60; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    auto prefs = added->ring().PreferenceList(key, 3);
+    const bool should_hold =
+        std::find(prefs.begin(), prefs.end(), "db9:19870") != prefs.end();
+    if (should_hold) {
+      EXPECT_TRUE(added->store()->GetByKey(key).ok()) << key;
+    }
+  }
+}
+
+TEST_F(MembershipTest, AllKeysReadableAfterAdd) {
+  Boot();
+  Load(40);
+  NodeSpec newcomer;
+  newcomer.address = "db9:19870";
+  newcomer.vnodes = 128;
+  ASSERT_TRUE(cluster_->AddNode(newcomer).ok());
+  cluster_->RunFor(10 * kMicrosPerSecond);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(cluster_->GetSync("key" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST_F(MembershipTest, GracefulRemoveRebalances) {
+  Boot(5);
+  Load(50);
+  ASSERT_TRUE(cluster_->RemoveNode("db3:19870").ok());
+  cluster_->RunFor(10 * kMicrosPerSecond);
+  for (StorageNode* node : cluster_->nodes()) {
+    if (node->id() == "db3:19870") continue;
+    EXPECT_FALSE(node->ring().HasNode("db3:19870")) << node->id();
+  }
+  // Every key still has >= N live replicas among survivors.
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    int holders = 0;
+    for (StorageNode* node : cluster_->nodes()) {
+      if (node->id() == "db3:19870") continue;
+      if (node->store()->GetByKey(key).ok()) ++holders;
+    }
+    EXPECT_GE(holders, 3) << key;
+  }
+}
+
+TEST_F(MembershipTest, RemoveUnknownNodeFails) {
+  Boot();
+  EXPECT_TRUE(cluster_->RemoveNode("nope:1").IsNotFound());
+  EXPECT_TRUE(cluster_->CrashNode("nope:1").IsNotFound());
+}
+
+TEST_F(MembershipTest, ConsistentHashingLimitsMigrationOnAdd) {
+  // "The departure or arrival of a node only affects its neighbour nodes":
+  // adding the 5th equal node should re-home roughly 1/5 of primaries, far
+  // from a full reshuffle.
+  Boot(4);
+  Load(100);
+  std::map<std::string, std::string> before;
+  StorageNode* observer = cluster_->nodes().front();
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    before[key] = *observer->ring().PrimaryFor(key);
+  }
+  NodeSpec newcomer;
+  newcomer.address = "db9:19870";
+  newcomer.vnodes = 128;
+  ASSERT_TRUE(cluster_->AddNode(newcomer).ok());
+  cluster_->RunFor(5 * kMicrosPerSecond);
+  int moved = 0;
+  for (const auto& [key, owner] : before) {
+    if (*observer->ring().PrimaryFor(key) != owner) ++moved;
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 45) << "way more keys moved than consistent hashing allows";
+}
+
+TEST_F(MembershipTest, NewNodeServesAsCoordinator) {
+  Boot();
+  NodeSpec newcomer;
+  newcomer.address = "db9:19870";
+  newcomer.vnodes = 128;
+  ASSERT_TRUE(cluster_->AddNode(newcomer).ok());
+  StorageNode* added = cluster_->node("db9:19870");
+  Status result = Status::Timeout("no callback");
+  added->CoordinatePut("via-newcomer", ToBytes("v"), [&result](const Status& s) {
+    result = s;
+  });
+  cluster_->RunFor(5 * kMicrosPerSecond);
+  EXPECT_TRUE(result.ok()) << result.ToString();
+  auto value = cluster_->GetSync("via-newcomer");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(ToString(*value), "v");
+}
+
+}  // namespace
+}  // namespace hotman::cluster

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace hotman::cluster {
+namespace {
+
+/// Parameterized over (N, W, R) configurations (§5.2.2's tuning space).
+class QuorumTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ protected:
+  std::unique_ptr<Cluster> MakeCluster() {
+    auto [n, w, r] = GetParam();
+    ClusterConfig config = ClusterConfig::Uniform(5);
+    config.replication_factor = n;
+    config.write_quorum = w;
+    config.read_quorum = r;
+    auto cluster = std::make_unique<Cluster>(std::move(config), 11);
+    EXPECT_TRUE(cluster->Start().ok());
+    return cluster;
+  }
+};
+
+TEST_P(QuorumTest, HealthyClusterServesReadsAndWrites) {
+  auto cluster = MakeCluster();
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(cluster->PutSync("k" + std::to_string(i), ToBytes("v")).ok());
+  }
+  cluster->RunFor(2 * kMicrosPerSecond);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_TRUE(cluster->GetSync("k" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST_P(QuorumTest, ReplicaCountIsN) {
+  auto cluster = MakeCluster();
+  auto [n, w, r] = GetParam();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster->PutSync("k" + std::to_string(i), ToBytes("v")).ok());
+  }
+  cluster->RunFor(3 * kMicrosPerSecond);
+  EXPECT_EQ(cluster->TotalReplicas(), 10u * n);
+}
+
+TEST_P(QuorumTest, ReadYourWritesWhenQuorumsOverlap) {
+  // R + W > N guarantees the read quorum intersects the write quorum, so a
+  // read immediately after an acked write sees it (no repair time given).
+  auto [n, w, r] = GetParam();
+  if (r + w <= n) GTEST_SKIP() << "sloppy configuration; overlap not guaranteed";
+  auto cluster = MakeCluster();
+  ASSERT_TRUE(cluster->PutSync("fresh", ToBytes("written")).ok());
+  auto value = cluster->GetSync("fresh");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(ToString(*value), "written");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NwrSweep, QuorumTest,
+    ::testing::Values(std::make_tuple(3, 2, 1),   // the paper's deployment
+                      std::make_tuple(3, 3, 1),   // high consistency (N=W)
+                      std::make_tuple(3, 1, 1),   // high availability (W=1)
+                      std::make_tuple(3, 2, 2),   // R+W > N
+                      std::make_tuple(2, 1, 2),   // read-heavy overlap
+                      std::make_tuple(5, 3, 3)),  // wide replication
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+      return "N" + std::to_string(std::get<0>(info.param)) + "W" +
+             std::to_string(std::get<1>(info.param)) + "R" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(QuorumSemanticsTest, WriteSucceedsAtWReplicasEvenWithOneNodeDown) {
+  // N=3, W=2: one dead replica holder must not fail writes.
+  ClusterConfig config = ClusterConfig::Uniform(5);
+  Cluster cluster(std::move(config), 5);
+  ASSERT_TRUE(cluster.Start().ok());
+  StorageNode* any = cluster.nodes().front();
+  auto prefs = any->ring().PreferenceList("pinned", 3);
+  ASSERT_TRUE(cluster.CrashNode(prefs[1]).ok());
+  EXPECT_TRUE(cluster.PutSync("pinned", ToBytes("v")).ok());
+  auto value = cluster.GetSync("pinned");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(ToString(*value), "v");
+}
+
+TEST(QuorumSemanticsTest, WriteFailsWhenQuorumUnreachable) {
+  // N=3, W=3 and hinted handoff disabled: any dead preference node kills
+  // the write.
+  ClusterConfig config = ClusterConfig::Uniform(3);
+  config.replication_factor = 3;
+  config.write_quorum = 3;
+  config.hinted_handoff = false;
+  config.put_timeout = 300 * kMicrosPerMilli;
+  Cluster cluster(std::move(config), 5);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.CrashNode("db2:19870").ok());
+  Status result = cluster.PutSync("k", ToBytes("v"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.IsQuorumFailed() || result.IsTimeout())
+      << result.ToString();
+}
+
+TEST(QuorumSemanticsTest, SloppyQuorumMasksFailureViaHandoff) {
+  // Same dead node, but hinted handoff on: the write redirects to a temp
+  // node and still reaches W acks.
+  ClusterConfig config = ClusterConfig::Uniform(5);
+  config.replication_factor = 3;
+  config.write_quorum = 3;
+  config.hinted_handoff = true;
+  Cluster cluster(std::move(config), 5);
+  ASSERT_TRUE(cluster.Start().ok());
+  StorageNode* any = cluster.nodes().front();
+  auto prefs = any->ring().PreferenceList("sloppy", 3);
+  ASSERT_TRUE(cluster.CrashNode(prefs[2]).ok());
+  EXPECT_TRUE(cluster.PutSync("sloppy", ToBytes("v")).ok());
+  EXPECT_GT(cluster.AggregateStats().handoff_writes, 0u);
+}
+
+TEST(QuorumSemanticsTest, GetLatencyDecidedBySlowestOfQuorum) {
+  // R=3 waits for all three replicas; R=1 returns at the fastest. The R=3
+  // read must therefore take at least as long in virtual time.
+  auto measure = [](int r) {
+    ClusterConfig config = ClusterConfig::Uniform(5);
+    config.read_quorum = r;
+    Cluster cluster(std::move(config), 13);
+    EXPECT_TRUE(cluster.Start().ok());
+    EXPECT_TRUE(cluster.PutSync("k", ToBytes("v")).ok());
+    cluster.RunFor(2 * kMicrosPerSecond);
+    const Micros start = cluster.loop()->Now();
+    Micros finished = -1;
+    cluster.Get("k", [&](const Result<bson::Document>& record) {
+      EXPECT_TRUE(record.ok());
+      finished = cluster.loop()->Now();
+    });
+    cluster.RunFor(5 * kMicrosPerSecond);
+    EXPECT_GE(finished, 0);
+    return finished - start;
+  };
+  EXPECT_LE(measure(1), measure(3));
+}
+
+}  // namespace
+}  // namespace hotman::cluster

@@ -1,0 +1,151 @@
+// Coverage for the smaller public surfaces: docstore cursors, metric row
+// formatting, the logging gate, and FrontEnd admission shedding.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "docstore/cursor.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+namespace hotman {
+namespace {
+
+using bson::Document;
+using bson::Value;
+
+std::vector<Document> MakeDocs(int n) {
+  std::vector<Document> docs;
+  for (int i = 0; i < n; ++i) {
+    Document doc;
+    doc.Append("_id", Value(std::int32_t{i}));
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+TEST(CursorTest, IteratesInOrder) {
+  docstore::Cursor cursor(MakeDocs(5));
+  EXPECT_EQ(cursor.Size(), 5u);
+  int expected = 0;
+  while (cursor.HasNext()) {
+    EXPECT_EQ(cursor.Next().Get("_id")->as_int32(), expected++);
+  }
+  EXPECT_EQ(expected, 5);
+  EXPECT_EQ(cursor.Remaining(), 0u);
+}
+
+TEST(CursorTest, EmptyCursor) {
+  docstore::Cursor cursor({});
+  EXPECT_FALSE(cursor.HasNext());
+  EXPECT_EQ(cursor.Size(), 0u);
+  EXPECT_EQ(cursor.NumBatches(), 0u);
+  EXPECT_TRUE(cursor.ToVector().empty());
+}
+
+TEST(CursorTest, BatchAccounting) {
+  docstore::Cursor cursor(MakeDocs(250), /*batch_size=*/101);
+  EXPECT_EQ(cursor.NumBatches(), 3u);  // 101 + 101 + 48
+  docstore::Cursor exact(MakeDocs(202), 101);
+  EXPECT_EQ(exact.NumBatches(), 2u);
+  docstore::Cursor zero_batch(MakeDocs(3), 0);  // clamped to 1
+  EXPECT_EQ(zero_batch.NumBatches(), 3u);
+}
+
+TEST(CursorTest, ToVectorDrainsRemainder) {
+  docstore::Cursor cursor(MakeDocs(4));
+  (void)cursor.Next();
+  auto rest = cursor.ToVector();
+  EXPECT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest.front().Get("_id")->as_int32(), 1);
+  EXPECT_FALSE(cursor.HasNext());
+}
+
+TEST(MetricsFormatTest, RowPadding) {
+  const std::string row = workload::FormatRow({"ab", "c"}, 4);
+  EXPECT_EQ(row, "ab   c    ");
+  const std::string overflow = workload::FormatRow({"longcell"}, 4);
+  EXPECT_EQ(overflow, "longcell ");
+}
+
+TEST(LoggingTest, LevelGateSuppresses) {
+  const LogLevel prior = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  HOTMAN_LOG(kError) << "must not appear nor crash";
+  SetLogLevel(LogLevel::kDebug);
+  HOTMAN_LOG(kDebug) << "emitted at debug level";
+  SetLogLevel(prior);
+  SUCCEED();
+}
+
+TEST(FrontEndTest, ShedsBeyondAdmissionBound) {
+  sim::EventLoop loop;
+  sim::ServiceConfig config = workload::FrontEnd::DefaultConfig();
+  config.workers = 1;
+  config.max_queue = 2;
+  workload::FrontEnd front_end(&loop, config);
+
+  workload::KvTarget inner;
+  inner.get = [](const std::string&,
+                 std::function<void(const Result<Bytes>&)> cb) {
+    cb(Bytes(16, 'x'));
+  };
+  inner.put = [](const std::string&, Bytes, std::function<void(const Status&)> cb) {
+    cb(Status::OK());
+  };
+  inner.del = [](const std::string&, std::function<void(const Status&)> cb) {
+    cb(Status::OK());
+  };
+  workload::KvTarget wrapped = front_end.Wrap(inner);
+
+  int ok = 0, busy = 0;
+  for (int i = 0; i < 20; ++i) {
+    wrapped.get("k", [&ok, &busy](const Result<Bytes>& value) {
+      if (value.ok()) {
+        ++ok;
+      } else if (value.status().IsBusy()) {
+        ++busy;
+      }
+    });
+  }
+  loop.RunUntilIdle();
+  EXPECT_GT(busy, 0) << "overload must shed with Busy";
+  EXPECT_GT(ok, 0) << "admitted requests must still complete";
+  EXPECT_EQ(ok + busy, 20);
+}
+
+TEST(FrontEndTest, PutPaysPayloadCost) {
+  sim::EventLoop loop;
+  workload::FrontEnd front_end(&loop);
+  workload::KvTarget inner;
+  inner.put = [](const std::string&, Bytes, std::function<void(const Status&)> cb) {
+    cb(Status::OK());
+  };
+  inner.get = [](const std::string&,
+                 std::function<void(const Result<Bytes>&)> cb) {
+    cb(Status::NotFound(""));
+  };
+  inner.del = [](const std::string&, std::function<void(const Status&)> cb) {
+    cb(Status::OK());
+  };
+  workload::KvTarget wrapped = front_end.Wrap(inner);
+  Micros done_at = -1;
+  wrapped.put("k", Bytes(15'000'000, 'x'), [&loop, &done_at](const Status& s) {
+    EXPECT_TRUE(s.ok());
+    done_at = loop.Now();
+  });
+  loop.RunUntilIdle();
+  // 15 MB at 150 MB/s = 100 ms plus the base cost.
+  EXPECT_GE(done_at, 100 * kMicrosPerMilli);
+}
+
+TEST(DatasetSpecTest, PresetsDiffer) {
+  auto system = workload::DatasetSpec::SystemEvaluation(10);
+  auto module = workload::DatasetSpec::StorageModuleEvaluation(10);
+  EXPECT_LT(system.max_bytes, module.max_bytes);
+  EXPECT_NE(system.key_prefix, module.key_prefix);
+}
+
+}  // namespace
+}  // namespace hotman

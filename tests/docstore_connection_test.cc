@@ -1,0 +1,143 @@
+#include "docstore/connection.h"
+
+#include <gtest/gtest.h>
+
+namespace hotman::docstore {
+namespace {
+
+class ConnectionTest : public ::testing::Test {
+ protected:
+  ConnectionTest() : clock_(0), server_("db1:27017", 1, &clock_) {}
+
+  ManualClock clock_;
+  DocStoreServer server_;
+};
+
+TEST_F(ConnectionTest, ServerVersionMatchesTable1) {
+  auto version = server_.QueryVersion();
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, "1.6.3");
+}
+
+TEST_F(ConnectionTest, PoolPreCreatesMinConnections) {
+  ConnectionConfig config;
+  config.pool_min_size = 5;
+  ConnectionPool pool(&server_, config);
+  EXPECT_EQ(pool.IdleCount(), 5u);
+  EXPECT_EQ(pool.LiveCount(), 5u);
+}
+
+TEST_F(ConnectionTest, ConnectSucceedsOnHealthyServer) {
+  ConnectionPool pool(&server_, ConnectionConfig{});
+  EXPECT_TRUE(pool.Connect().ok());
+}
+
+TEST_F(ConnectionTest, ConnectFailsWhenServerDown) {
+  // "Only when the connection to the database is built really, the Connect
+  // will return true, otherwise false."
+  server_.SetFault(FaultMode::kDown);
+  ConnectionPool pool(&server_, ConnectionConfig{});
+  EXPECT_FALSE(pool.Connect().ok());
+}
+
+TEST_F(ConnectionTest, ConnectFailsOnNetworkException) {
+  server_.SetFault(FaultMode::kNetworkException);
+  ConnectionPool pool(&server_, ConnectionConfig{});
+  EXPECT_TRUE(pool.Connect().IsNetworkError());
+}
+
+TEST_F(ConnectionTest, VersionProbeCatchesBlockedServer) {
+  // A blocked process still accepts TCP connections, but the version query
+  // (the real connection test) fails — exactly why the paper added it.
+  server_.SetFault(FaultMode::kBlocked);
+  ConnectionPool pool(&server_, ConnectionConfig{});
+  EXPECT_TRUE(pool.Acquire().ok());        // TCP-level accept
+  EXPECT_FALSE(pool.Connect().ok());       // end-to-end probe fails
+}
+
+TEST_F(ConnectionTest, AcquireReusesIdleConnections) {
+  ConnectionConfig config;
+  config.pool_min_size = 2;
+  ConnectionPool pool(&server_, config);
+  {
+    auto lease = pool.Acquire();
+    ASSERT_TRUE(lease.ok());
+    EXPECT_EQ(pool.IdleCount(), 1u);
+  }
+  // Lease returned on destruction.
+  EXPECT_EQ(pool.IdleCount(), 2u);
+  EXPECT_EQ(pool.LiveCount(), 2u);
+}
+
+TEST_F(ConnectionTest, PoolGrowsUpToMax) {
+  ConnectionConfig config;
+  config.pool_min_size = 1;
+  config.pool_max_size = 3;
+  ConnectionPool pool(&server_, config);
+  std::vector<ConnectionLease> leases;
+  for (int i = 0; i < 3; ++i) {
+    auto lease = pool.Acquire();
+    ASSERT_TRUE(lease.ok()) << i;
+    leases.push_back(std::move(*lease));
+  }
+  EXPECT_TRUE(pool.Acquire().status().IsBusy());
+}
+
+TEST_F(ConnectionTest, BrokenConnectionsDiscarded) {
+  ConnectionConfig config;
+  config.pool_min_size = 1;
+  ConnectionPool pool(&server_, config);
+  {
+    auto lease = pool.Acquire();
+    ASSERT_TRUE(lease.ok());
+    (*lease)->MarkBroken();
+  }
+  EXPECT_EQ(pool.IdleCount(), 0u);
+  EXPECT_EQ(pool.LiveCount(), 0u);
+  // A new acquire mints a fresh connection.
+  EXPECT_TRUE(pool.Acquire().ok());
+}
+
+TEST_F(ConnectionTest, RetryRecoversFromTransientFault) {
+  // autoconnectretry: the Connect retries and succeeds after recovery.
+  ConnectionConfig config;
+  config.auto_connect_retry = true;
+  config.max_retries = 2;
+  ConnectionPool pool(&server_, config);
+  server_.SetFault(FaultMode::kNone);
+  EXPECT_TRUE(pool.Connect().ok());
+  server_.SetFault(FaultMode::kDown);
+  EXPECT_FALSE(pool.Connect().ok());
+  server_.SetFault(FaultMode::kNone);
+  EXPECT_TRUE(pool.Connect().ok());
+}
+
+TEST_F(ConnectionTest, NoRetryWhenDisabled) {
+  ConnectionConfig config;
+  config.auto_connect_retry = false;
+  ConnectionPool pool(&server_, config);
+  server_.SetFault(FaultMode::kDown);
+  EXPECT_FALSE(pool.Connect().ok());
+}
+
+TEST_F(ConnectionTest, FaultModesMapToStatuses) {
+  server_.SetFault(FaultMode::kNetworkException);
+  EXPECT_TRUE(server_.CheckAvailable().IsNetworkError());
+  server_.SetFault(FaultMode::kDiskError);
+  EXPECT_TRUE(server_.CheckAvailable().IsIOError());
+  server_.SetFault(FaultMode::kBlocked);
+  EXPECT_TRUE(server_.CheckAvailable().IsBusy());
+  server_.SetFault(FaultMode::kDown);
+  EXPECT_TRUE(server_.CheckAvailable().IsUnavailable());
+  server_.SetFault(FaultMode::kNone);
+  EXPECT_TRUE(server_.CheckAvailable().ok());
+}
+
+TEST_F(ConnectionTest, DiskErrorStillConnectable) {
+  server_.SetFault(FaultMode::kDiskError);
+  EXPECT_TRUE(server_.CheckConnectable().ok());
+  EXPECT_FALSE(server_.CheckAvailable().ok());
+}
+
+}  // namespace
+}  // namespace hotman::docstore

@@ -1,0 +1,72 @@
+#include "docstore/database.h"
+
+#include <gtest/gtest.h>
+
+namespace hotman::docstore {
+namespace {
+
+using bson::Document;
+using bson::Value;
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() : clock_(0), db_("veepalms", 7, &clock_) {}
+
+  ManualClock clock_;
+  Database db_;
+};
+
+TEST_F(DatabaseTest, GetCollectionCreatesLazily) {
+  EXPECT_TRUE(db_.CollectionNames().empty());
+  Collection* scenes = db_.GetCollection("scenes");
+  ASSERT_NE(scenes, nullptr);
+  EXPECT_EQ(db_.GetCollection("scenes"), scenes);  // same instance
+  EXPECT_EQ(db_.CollectionNames().size(), 1u);
+}
+
+TEST_F(DatabaseTest, FindCollectionDoesNotCreate) {
+  EXPECT_EQ(db_.FindCollection("ghost"), nullptr);
+  EXPECT_TRUE(db_.CollectionNames().empty());
+  db_.GetCollection("real");
+  EXPECT_NE(db_.FindCollection("real"), nullptr);
+}
+
+TEST_F(DatabaseTest, DropCollection) {
+  db_.GetCollection("doomed");
+  EXPECT_TRUE(db_.DropCollection("doomed").ok());
+  EXPECT_TRUE(db_.DropCollection("doomed").IsNotFound());
+  EXPECT_EQ(db_.FindCollection("doomed"), nullptr);
+}
+
+TEST_F(DatabaseTest, TotalsAggregateAcrossCollections) {
+  ASSERT_TRUE(db_.GetCollection("a")->Insert(Document{{"x", Value("1")}}).ok());
+  ASSERT_TRUE(db_.GetCollection("a")->Insert(Document{{"x", Value("2")}}).ok());
+  ASSERT_TRUE(db_.GetCollection("b")->Insert(Document{{"x", Value("3")}}).ok());
+  EXPECT_EQ(db_.TotalDocuments(), 3u);
+  EXPECT_GT(db_.TotalDataBytes(), 0u);
+}
+
+TEST_F(DatabaseTest, SharedIdGeneratorNeverCollides) {
+  Collection* a = db_.GetCollection("a");
+  Collection* b = db_.GetCollection("b");
+  std::set<std::string> ids;
+  for (int i = 0; i < 50; ++i) {
+    auto id_a = a->Insert(Document{});
+    auto id_b = b->Insert(Document{});
+    ASSERT_TRUE(id_a.ok());
+    ASSERT_TRUE(id_b.ok());
+    ids.insert(id_a->as_object_id().ToHex());
+    ids.insert(id_b->as_object_id().ToHex());
+  }
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST_F(DatabaseTest, DistinctMachineIdsProduceDistinctIds) {
+  Database other("other-node", 8, &clock_);
+  auto id1 = db_.GetCollection("c")->Insert(Document{});
+  auto id2 = other.GetCollection("c")->Insert(Document{});
+  EXPECT_NE(id1->as_object_id(), id2->as_object_id());
+}
+
+}  // namespace
+}  // namespace hotman::docstore

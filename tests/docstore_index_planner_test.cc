@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "docstore/collection.h"
+#include "docstore/index.h"
+#include "docstore/planner.h"
+
+namespace hotman::docstore {
+namespace {
+
+using bson::Array;
+using bson::Document;
+using bson::Value;
+
+Document Doc(std::initializer_list<bson::Field> fields) { return Document(fields); }
+
+TEST(SecondaryIndexTest, LookupByKey) {
+  SecondaryIndex index(IndexSpec{"k", false});
+  ASSERT_TRUE(index.Insert(Value("id1"), Doc({{"k", Value("a")}})).ok());
+  ASSERT_TRUE(index.Insert(Value("id2"), Doc({{"k", Value("a")}})).ok());
+  ASSERT_TRUE(index.Insert(Value("id3"), Doc({{"k", Value("b")}})).ok());
+  EXPECT_EQ(index.Lookup(Value("a")).size(), 2u);
+  EXPECT_EQ(index.Lookup(Value("b")).size(), 1u);
+  EXPECT_TRUE(index.Lookup(Value("zz")).empty());
+}
+
+TEST(SecondaryIndexTest, MissingFieldIndexesAsNull) {
+  SecondaryIndex index(IndexSpec{"k", false});
+  ASSERT_TRUE(index.Insert(Value("id1"), Document{}).ok());
+  EXPECT_EQ(index.Lookup(Value()).size(), 1u);
+}
+
+TEST(SecondaryIndexTest, MultiKeyArrays) {
+  SecondaryIndex index(IndexSpec{"tags", false});
+  ASSERT_TRUE(index.Insert(Value("id1"),
+                           Doc({{"tags", Value(Array{Value("a"), Value("b")})}}))
+                  .ok());
+  EXPECT_EQ(index.Lookup(Value("a")).size(), 1u);
+  EXPECT_EQ(index.Lookup(Value("b")).size(), 1u);
+  EXPECT_EQ(index.NumEntries(), 2u);
+  index.Remove(Value("id1"), Doc({{"tags", Value(Array{Value("a"), Value("b")})}}));
+  EXPECT_EQ(index.NumEntries(), 0u);
+}
+
+TEST(SecondaryIndexTest, RangeLookup) {
+  SecondaryIndex index(IndexSpec{"n", false});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(index.Insert(Value("id" + std::to_string(i)),
+                             Doc({{"n", Value(std::int32_t{i})}}))
+                    .ok());
+  }
+  query::FieldBounds bounds;
+  bounds.lower = Value(std::int32_t{3});
+  bounds.lower_inclusive = true;
+  bounds.upper = Value(std::int32_t{6});
+  bounds.upper_inclusive = false;
+  EXPECT_EQ(index.RangeLookup(bounds).size(), 3u);  // 3,4,5
+
+  query::FieldBounds open_top;
+  open_top.lower = Value(std::int32_t{8});
+  open_top.lower_inclusive = false;
+  EXPECT_EQ(index.RangeLookup(open_top).size(), 1u);  // 9
+}
+
+TEST(SecondaryIndexTest, RangeLookupStaysInTypeBracket) {
+  SecondaryIndex index(IndexSpec{"v", false});
+  ASSERT_TRUE(index.Insert(Value("i1"), Doc({{"v", Value(std::int32_t{5})}})).ok());
+  ASSERT_TRUE(index.Insert(Value("i2"), Doc({{"v", Value("string")}})).ok());
+  query::FieldBounds bounds;
+  bounds.lower = Value(std::int32_t{0});
+  // No upper bound: the scan must not spill into the string bracket.
+  EXPECT_EQ(index.RangeLookup(bounds).size(), 1u);
+}
+
+TEST(SecondaryIndexTest, UniqueRejectsSecondId) {
+  SecondaryIndex index(IndexSpec{"k", true});
+  ASSERT_TRUE(index.Insert(Value("id1"), Doc({{"k", Value("dup")}})).ok());
+  EXPECT_TRUE(
+      index.Insert(Value("id2"), Doc({{"k", Value("dup")}})).IsAlreadyExists());
+  // Re-inserting the same id (e.g. replace) is allowed.
+  EXPECT_TRUE(index.Insert(Value("id1"), Doc({{"k", Value("dup")}})).ok());
+}
+
+std::vector<IndexSpec> Specs(std::initializer_list<const char*> paths) {
+  std::vector<IndexSpec> out;
+  for (const char* p : paths) out.push_back(IndexSpec{p, false});
+  return out;
+}
+
+TEST(PlannerTest, IdEqualityWinsOverEverything) {
+  auto matcher = query::Matcher::Compile(
+      Doc({{"_id", Value("k")}, {"indexed", Value("v")}}));
+  ASSERT_TRUE(matcher.ok());
+  QueryPlan plan = ChoosePlan(*matcher, Specs({"indexed"}));
+  EXPECT_EQ(plan.kind, QueryPlan::Kind::kPrimaryLookup);
+  EXPECT_EQ(plan.ToString(), "PRIMARY");
+}
+
+TEST(PlannerTest, EqualityIndexPreferredOverRange) {
+  auto matcher = query::Matcher::Compile(
+      Doc({{"r", Value(Doc({{"$gt", Value(std::int32_t{0})}}))},
+           {"e", Value("x")}}));
+  ASSERT_TRUE(matcher.ok());
+  QueryPlan plan = ChoosePlan(*matcher, Specs({"r", "e"}));
+  EXPECT_EQ(plan.kind, QueryPlan::Kind::kIndexScan);
+  EXPECT_EQ(plan.index_path, "e");
+}
+
+TEST(PlannerTest, RangeIndexUsed) {
+  auto matcher = query::Matcher::Compile(
+      Doc({{"n", Value(Doc({{"$gte", Value(std::int32_t{1})}}))}}));
+  ASSERT_TRUE(matcher.ok());
+  QueryPlan plan = ChoosePlan(*matcher, Specs({"n"}));
+  EXPECT_EQ(plan.kind, QueryPlan::Kind::kIndexScan);
+  EXPECT_EQ(plan.ToString(), "INDEX(n)");
+}
+
+TEST(PlannerTest, FallsBackToScan) {
+  auto matcher = query::Matcher::Compile(Doc({{"unindexed", Value("v")}}));
+  ASSERT_TRUE(matcher.ok());
+  QueryPlan plan = ChoosePlan(*matcher, Specs({"other"}));
+  EXPECT_EQ(plan.kind, QueryPlan::Kind::kFullScan);
+  EXPECT_EQ(plan.ToString(), "SCAN");
+}
+
+TEST(PlannerTest, ExplainThroughCollection) {
+  ManualClock clock(0);
+  bson::ObjectIdGenerator gen(1, &clock);
+  Collection coll("c", &gen);
+  ASSERT_TRUE(coll.CreateIndex(IndexSpec{"k", false}).ok());
+  auto plan = coll.Explain(Doc({{"k", Value("x")}}));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->kind, QueryPlan::Kind::kIndexScan);
+  auto scan = coll.Explain(Doc({{"other", Value("x")}}));
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->kind, QueryPlan::Kind::kFullScan);
+}
+
+TEST(PlannerTest, IndexScanReturnsSameResultsAsFullScan) {
+  // Correctness property: plans are an optimization, never a semantic change.
+  ManualClock clock(0);
+  bson::ObjectIdGenerator gen(1, &clock);
+  Collection indexed("a", &gen);
+  Collection scanned("b", &gen);
+  ASSERT_TRUE(indexed.CreateIndex(IndexSpec{"n", false}).ok());
+  for (int i = 0; i < 50; ++i) {
+    Document doc = Doc({{"_id", Value(std::int32_t{i})},
+                        {"n", Value(std::int32_t{i % 7})}});
+    ASSERT_TRUE(indexed.Insert(doc).ok());
+    ASSERT_TRUE(scanned.Insert(doc).ok());
+  }
+  Document filter = Doc({{"n", Value(Doc({{"$gte", Value(std::int32_t{2})},
+                                          {"$lte", Value(std::int32_t{4})}}))}});
+  FindOptions by_id;
+  by_id.sort = Doc({{"_id", Value(std::int32_t{1})}});
+  auto via_index = indexed.Find(filter, by_id);
+  auto via_scan = scanned.Find(filter, by_id);
+  ASSERT_TRUE(via_index.ok());
+  ASSERT_TRUE(via_scan.ok());
+  ASSERT_EQ(via_index->size(), via_scan->size());
+  for (std::size_t i = 0; i < via_index->size(); ++i) {
+    EXPECT_EQ((*via_index)[i], (*via_scan)[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hotman::docstore

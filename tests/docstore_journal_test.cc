@@ -1,0 +1,179 @@
+#include "docstore/journal.h"
+
+#include <cstdio>
+#include <unistd.h>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "docstore/database.h"
+
+namespace hotman::docstore {
+namespace {
+
+using bson::Document;
+using bson::Value;
+
+Document Doc(std::initializer_list<bson::Field> fields) { return Document(fields); }
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/hotman_journal_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".log";
+    std::remove(path_.c_str());
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  ManualClock clock_{0};
+};
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE).
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST_F(JournalTest, AppendAndReplay) {
+  {
+    auto journal = Journal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    Database db("node", 1, &clock_);
+    ASSERT_TRUE((*journal)->Replay(&db).ok());
+    db.AttachJournal(journal->get());
+    Collection* coll = db.GetCollection("items");
+    ASSERT_TRUE(coll->Insert(Doc({{"_id", Value("a")}, {"v", Value(std::int32_t{1})}}))
+                    .ok());
+    ASSERT_TRUE(coll->Insert(Doc({{"_id", Value("b")}, {"v", Value(std::int32_t{2})}}))
+                    .ok());
+    ASSERT_TRUE(coll->RemoveById(Value("a")).ok());
+    EXPECT_EQ((*journal)->NumAppended(), 3u);
+  }
+  // Reopen: replay must rebuild exactly the surviving state.
+  auto journal = Journal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Database db("node", 1, &clock_);
+  ASSERT_TRUE((*journal)->Replay(&db).ok());
+  Collection* coll = db.GetCollection("items");
+  EXPECT_EQ(coll->NumDocuments(), 1u);
+  EXPECT_TRUE(coll->FindById(Value("a")).status().IsNotFound());
+  EXPECT_EQ(coll->FindById(Value("b"))->Get("v")->as_int32(), 2);
+}
+
+TEST_F(JournalTest, ReplayIsIdempotent) {
+  {
+    auto journal = Journal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    Database db("node", 1, &clock_);
+    db.AttachJournal(journal->get());
+    ASSERT_TRUE(db.GetCollection("c")
+                    ->Insert(Doc({{"_id", Value("k")}, {"v", Value(std::int32_t{9})}}))
+                    .ok());
+  }
+  auto journal = Journal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Database db("node", 1, &clock_);
+  ASSERT_TRUE((*journal)->Replay(&db).ok());
+  ASSERT_TRUE((*journal)->Replay(&db).ok());  // double replay
+  EXPECT_EQ(db.GetCollection("c")->NumDocuments(), 1u);
+}
+
+TEST_F(JournalTest, MultipleCollections) {
+  {
+    auto journal = Journal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    Database db("node", 1, &clock_);
+    db.AttachJournal(journal->get());
+    ASSERT_TRUE(db.GetCollection("xml")->Insert(Doc({{"_id", Value("x")}})).ok());
+    ASSERT_TRUE(db.GetCollection("video")->Insert(Doc({{"_id", Value("v")}})).ok());
+  }
+  auto journal = Journal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Database db("node", 1, &clock_);
+  ASSERT_TRUE((*journal)->Replay(&db).ok());
+  EXPECT_EQ(db.GetCollection("xml")->NumDocuments(), 1u);
+  EXPECT_EQ(db.GetCollection("video")->NumDocuments(), 1u);
+}
+
+TEST_F(JournalTest, TornTailIsTruncatedSilently) {
+  {
+    auto journal = Journal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    Database db("node", 1, &clock_);
+    db.AttachJournal(journal->get());
+    ASSERT_TRUE(db.GetCollection("c")->Insert(Doc({{"_id", Value("ok")}})).ok());
+    ASSERT_TRUE(db.GetCollection("c")->Insert(Doc({{"_id", Value("torn")}})).ok());
+  }
+  // Chop a few bytes off the end, as a crash mid-append would.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  ASSERT_EQ(0, ftruncate(fileno(f), size - 3));
+  std::fclose(f);
+
+  auto journal = Journal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Database db("node", 1, &clock_);
+  ASSERT_TRUE((*journal)->Replay(&db).ok());
+  Collection* coll = db.GetCollection("c");
+  EXPECT_EQ(coll->NumDocuments(), 1u);
+  EXPECT_TRUE(coll->FindById(Value("ok")).ok());
+}
+
+TEST_F(JournalTest, CorruptedRecordStopsReplayAtCorruption) {
+  {
+    auto journal = Journal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    Database db("node", 1, &clock_);
+    db.AttachJournal(journal->get());
+    ASSERT_TRUE(db.GetCollection("c")->Insert(Doc({{"_id", Value("first")}})).ok());
+    ASSERT_TRUE(db.GetCollection("c")->Insert(Doc({{"_id", Value("second")}})).ok());
+  }
+  // Flip a byte inside the second record's payload.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -6, SEEK_END);
+  int c = std::fgetc(f);
+  std::fseek(f, -6, SEEK_END);
+  std::fputc(c ^ 0xFF, f);
+  std::fclose(f);
+
+  auto journal = Journal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Database db("node", 1, &clock_);
+  ASSERT_TRUE((*journal)->Replay(&db).ok());
+  EXPECT_EQ(db.GetCollection("c")->NumDocuments(), 1u);
+}
+
+TEST_F(JournalTest, AppendAfterReplayContinuesLog) {
+  {
+    auto journal = Journal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    Database db("node", 1, &clock_);
+    db.AttachJournal(journal->get());
+    ASSERT_TRUE(db.GetCollection("c")->Insert(Doc({{"_id", Value("one")}})).ok());
+  }
+  {
+    auto journal = Journal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    Database db("node", 1, &clock_);
+    ASSERT_TRUE((*journal)->Replay(&db).ok());
+    db.AttachJournal(journal->get());
+    ASSERT_TRUE(db.GetCollection("c")->Insert(Doc({{"_id", Value("two")}})).ok());
+  }
+  auto journal = Journal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  Database db("node", 1, &clock_);
+  ASSERT_TRUE((*journal)->Replay(&db).ok());
+  EXPECT_EQ(db.GetCollection("c")->NumDocuments(), 2u);
+}
+
+TEST_F(JournalTest, OpenFailsOnBadPath) {
+  EXPECT_FALSE(Journal::Open("/nonexistent_dir_zz/j.log").ok());
+}
+
+}  // namespace
+}  // namespace hotman::docstore

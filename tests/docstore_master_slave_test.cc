@@ -1,0 +1,104 @@
+#include "docstore/master_slave.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace hotman::docstore {
+namespace {
+
+using bson::Document;
+using bson::Value;
+
+Document Doc(std::initializer_list<bson::Field> fields) { return Document(fields); }
+
+class MasterSlaveTest : public ::testing::Test {
+ protected:
+  MasterSlaveTest() : clock_(0) {
+    for (int i = 0; i < 3; ++i) {
+      servers_.push_back(std::make_unique<DocStoreServer>(
+          "ms" + std::to_string(i), i + 1, &clock_));
+      raw_.push_back(servers_.back().get());
+    }
+    cluster_ = std::make_unique<MasterSlaveCluster>(raw_, "records");
+  }
+
+  ManualClock clock_;
+  std::vector<std::unique_ptr<DocStoreServer>> servers_;
+  std::vector<DocStoreServer*> raw_;
+  std::unique_ptr<MasterSlaveCluster> cluster_;
+};
+
+TEST_F(MasterSlaveTest, WriteReplicatesToAllSlaves) {
+  ASSERT_TRUE(cluster_->Put(Doc({{"_id", Value("k")}, {"v", Value("x")}})).ok());
+  for (DocStoreServer* server : raw_) {
+    EXPECT_EQ(server->db()->GetCollection("records")->NumDocuments(), 1u)
+        << server->address();
+  }
+  EXPECT_EQ(cluster_->missed_replications(), 0u);
+}
+
+TEST_F(MasterSlaveTest, ReadPrefersHealthyMaster) {
+  ASSERT_TRUE(cluster_->Put(Doc({{"_id", Value("k")}, {"v", Value("x")}})).ok());
+  auto doc = cluster_->Get(Value("k"));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("v")->as_string(), "x");
+}
+
+TEST_F(MasterSlaveTest, MasterDownStopsWrites) {
+  // The availability weakness the paper's NWR layer fixes.
+  raw_[0]->SetFault(FaultMode::kDown);
+  EXPECT_TRUE(
+      cluster_->Put(Doc({{"_id", Value("k")}, {"v", Value("x")}})).IsUnavailable());
+}
+
+TEST_F(MasterSlaveTest, ReadsFailOverToSlaves) {
+  ASSERT_TRUE(cluster_->Put(Doc({{"_id", Value("k")}, {"v", Value("x")}})).ok());
+  raw_[0]->SetFault(FaultMode::kDown);
+  auto doc = cluster_->Get(Value("k"));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("v")->as_string(), "x");
+}
+
+TEST_F(MasterSlaveTest, SlaveOutageMissesWrites) {
+  raw_[1]->SetFault(FaultMode::kDown);
+  ASSERT_TRUE(cluster_->Put(Doc({{"_id", Value("k")}, {"v", Value("x")}})).ok());
+  EXPECT_EQ(cluster_->missed_replications(), 1u);
+  // No write-back: after the slave recovers it is permanently stale.
+  raw_[1]->SetFault(FaultMode::kNone);
+  EXPECT_EQ(raw_[1]->db()->GetCollection("records")->NumDocuments(), 0u);
+}
+
+TEST_F(MasterSlaveTest, StaleReadAfterFailover) {
+  // Write v1 with everyone up; slave 1 misses v2; master dies; a failover
+  // read served by slave 1 returns the stale v1.
+  ASSERT_TRUE(cluster_->Put(Doc({{"_id", Value("k")}, {"v", Value("v1")}})).ok());
+  raw_[1]->SetFault(FaultMode::kDown);
+  raw_[2]->SetFault(FaultMode::kDown);
+  ASSERT_TRUE(cluster_->Put(Doc({{"_id", Value("k")}, {"v", Value("v2")}})).ok());
+  raw_[0]->SetFault(FaultMode::kDown);
+  raw_[1]->SetFault(FaultMode::kNone);
+  auto doc = cluster_->Get(Value("k"));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("v")->as_string(), "v1");  // stale!
+}
+
+TEST_F(MasterSlaveTest, MasterAuthoritativeForNotFound) {
+  EXPECT_TRUE(cluster_->Get(Value("ghost")).status().IsNotFound());
+}
+
+TEST_F(MasterSlaveTest, AllDownIsUnavailable) {
+  for (DocStoreServer* server : raw_) server->SetFault(FaultMode::kDown);
+  EXPECT_TRUE(cluster_->Get(Value("k")).status().IsUnavailable());
+}
+
+TEST_F(MasterSlaveTest, RemovePropagatesToSlaves) {
+  ASSERT_TRUE(cluster_->Put(Doc({{"_id", Value("k")}})).ok());
+  ASSERT_TRUE(cluster_->Remove(Value("k")).ok());
+  for (DocStoreServer* server : raw_) {
+    EXPECT_EQ(server->db()->GetCollection("records")->NumDocuments(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hotman::docstore

@@ -1,0 +1,117 @@
+#include "gossip/failure_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace hotman::gossip {
+namespace {
+
+class DetectorTest : public ::testing::Test {
+ protected:
+  DetectorTest() {
+    config_.suspect_after = 3 * kMicrosPerSecond;
+    config_.dead_after = 15 * kMicrosPerSecond;
+    config_.check_interval = 1 * kMicrosPerSecond;
+  }
+
+  sim::EventLoop loop_;
+  NodeStateMap states_;
+  FailureDetector::Config config_;
+  std::vector<std::tuple<std::string, Liveness, Liveness>> transitions_;
+
+  FailureDetector MakeDetector() {
+    return FailureDetector("self", &loop_, &states_, config_);
+  }
+
+  FailureDetector::TransitionFn Recorder() {
+    return [this](const std::string& ep, Liveness from, Liveness to) {
+      transitions_.emplace_back(ep, from, to);
+    };
+  }
+};
+
+TEST_F(DetectorTest, FreshEndpointIsAlive) {
+  states_.GetOrCreate("peer");
+  states_.TouchLiveness("peer", loop_.Now());
+  FailureDetector detector = MakeDetector();
+  detector.Check();
+  EXPECT_EQ(detector.StatusOf("peer"), Liveness::kAlive);
+}
+
+TEST_F(DetectorTest, SilenceEscalatesToSuspectThenDead) {
+  states_.GetOrCreate("peer");
+  states_.TouchLiveness("peer", 0);
+  FailureDetector detector = MakeDetector();
+  detector.Start(Recorder());
+  loop_.RunFor(5 * kMicrosPerSecond);
+  EXPECT_EQ(detector.StatusOf("peer"), Liveness::kSuspect);
+  loop_.RunFor(15 * kMicrosPerSecond);
+  EXPECT_EQ(detector.StatusOf("peer"), Liveness::kDead);
+  ASSERT_EQ(transitions_.size(), 2u);
+  EXPECT_EQ(std::get<2>(transitions_[0]), Liveness::kSuspect);
+  EXPECT_EQ(std::get<2>(transitions_[1]), Liveness::kDead);
+}
+
+TEST_F(DetectorTest, RecoveryTransitionsBackToAlive) {
+  states_.GetOrCreate("peer");
+  states_.TouchLiveness("peer", 0);
+  FailureDetector detector = MakeDetector();
+  detector.Start(Recorder());
+  loop_.RunFor(5 * kMicrosPerSecond);
+  ASSERT_EQ(detector.StatusOf("peer"), Liveness::kSuspect);
+  // Fresh gossip arrives: short failure recovered by itself.
+  states_.TouchLiveness("peer", loop_.Now());
+  loop_.RunFor(2 * kMicrosPerSecond);
+  EXPECT_EQ(detector.StatusOf("peer"), Liveness::kAlive);
+  bool saw_recovery = false;
+  for (const auto& [ep, from, to] : transitions_) {
+    if (from == Liveness::kSuspect && to == Liveness::kAlive) saw_recovery = true;
+  }
+  EXPECT_TRUE(saw_recovery);
+}
+
+TEST_F(DetectorTest, SelfNeverJudged) {
+  states_.GetOrCreate("self");
+  states_.TouchLiveness("self", 0);
+  FailureDetector detector = MakeDetector();
+  detector.Start(Recorder());
+  loop_.RunFor(30 * kMicrosPerSecond);
+  EXPECT_TRUE(transitions_.empty());
+}
+
+TEST_F(DetectorTest, NeverHeardMeansNoVerdict) {
+  states_.GetOrCreate("quiet");  // state exists but no liveness touch
+  FailureDetector detector = MakeDetector();
+  detector.Start(Recorder());
+  loop_.RunFor(30 * kMicrosPerSecond);
+  EXPECT_EQ(detector.StatusOf("quiet"), Liveness::kAlive);
+  EXPECT_TRUE(transitions_.empty());
+}
+
+TEST_F(DetectorTest, EndpointsInGroupsByVerdict) {
+  states_.GetOrCreate("dead_peer");
+  states_.TouchLiveness("dead_peer", 0);
+  states_.GetOrCreate("live_peer");
+  FailureDetector detector = MakeDetector();
+  detector.Start(Recorder());
+  loop_.RunFor(20 * kMicrosPerSecond);
+  states_.TouchLiveness("live_peer", loop_.Now());
+  detector.Check();
+  auto dead = detector.EndpointsIn(Liveness::kDead);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], "dead_peer");
+}
+
+TEST_F(DetectorTest, StopHaltsChecks) {
+  states_.GetOrCreate("peer");
+  states_.TouchLiveness("peer", 0);
+  FailureDetector detector = MakeDetector();
+  detector.Start(Recorder());
+  loop_.RunFor(1500 * kMicrosPerMilli);
+  detector.Stop();
+  loop_.RunFor(60 * kMicrosPerSecond);
+  // Without checks, the verdict froze at whatever it was.
+  EXPECT_NE(detector.StatusOf("peer"), Liveness::kDead);
+}
+
+}  // namespace
+}  // namespace hotman::gossip

@@ -1,0 +1,175 @@
+// End-to-end scenarios crossing every module: REST -> cache -> NWR cluster
+// -> embedded document store, under churn and faults.
+
+#include <gtest/gtest.h>
+
+#include "core/mystore.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+namespace hotman {
+namespace {
+
+TEST(IntegrationTest, FullStackLifecycleUnderPaperTopology) {
+  core::MyStoreConfig config;
+  config.cluster = cluster::ClusterConfig::PaperSetup();
+  core::MyStore store(config);
+  ASSERT_TRUE(store.Start().ok());
+
+  // Write a small VeePalms-like corpus through the REST surface.
+  for (int i = 0; i < 30; ++i) {
+    rest::Request post;
+    post.method = rest::Method::kPost;
+    post.path = "/data/comp" + std::to_string(i);
+    post.body = ToBytes("<component id='" + std::to_string(i) + "'/>");
+    ASSERT_TRUE(store.Handle(post).ok()) << i;
+  }
+  // Everything is readable back through REST.
+  for (int i = 0; i < 30; ++i) {
+    rest::Request get;
+    get.method = rest::Method::kGet;
+    get.path = "/data/comp" + std::to_string(i);
+    rest::Response response = store.Handle(get);
+    ASSERT_EQ(response.code, rest::StatusCode::kOk) << i;
+  }
+  // Replication reached N = 3 for each key.
+  store.RunFor(3 * kMicrosPerSecond);
+  EXPECT_EQ(store.storage()->TotalReplicas(), 90u);
+}
+
+TEST(IntegrationTest, ComplexQueriesOverReplicatedRecords) {
+  // The headline claim: availability like Dynamo PLUS complex queries like
+  // MongoDB. Query a storage node's collection directly with filters.
+  core::MyStore store(core::MyStoreConfig{});
+  ASSERT_TRUE(store.Start().ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.Post("item" + std::to_string(i),
+                           Bytes(100 * (i + 1), 'x'))
+                    .ok());
+  }
+  store.RunFor(2 * kMicrosPerSecond);
+
+  cluster::StorageNode* node = store.storage()->nodes().front();
+  docstore::Collection* collection = node->store()->collection();
+
+  // Regex query over self-key (a "complex query" no plain KV store offers).
+  bson::Document regex_filter;
+  bson::Document regex_op;
+  regex_op.Append("$regex", bson::Value("^item1[0-9]$"));
+  regex_filter.Append(core::kFieldSelfKey, bson::Value(std::move(regex_op)));
+  auto matches = collection->Find(regex_filter);
+  ASSERT_TRUE(matches.ok());
+  for (const bson::Document& doc : *matches) {
+    EXPECT_EQ(core::RecordSelfKey(doc).substr(0, 5), "item1");
+  }
+
+  // Range query over the internal timestamp with sort + projection.
+  docstore::FindOptions options;
+  options.sort = bson::Document{{"self-key", bson::Value(std::int32_t{1})}};
+  bson::Document projection;
+  projection.Append("self-key", bson::Value(std::int32_t{1}));
+  options.projection = projection;
+  bson::Document ts_filter;
+  bson::Document gt;
+  gt.Append("$gt", bson::Value(std::int64_t{0}));
+  ts_filter.Append(core::kFieldTimestamp, bson::Value(std::move(gt)));
+  auto recent = collection->Find(ts_filter, options);
+  ASSERT_TRUE(recent.ok());
+  for (std::size_t i = 1; i < recent->size(); ++i) {
+    EXPECT_LE((*recent)[i - 1].Get("self-key")->as_string(),
+              (*recent)[i].Get("self-key")->as_string());
+  }
+}
+
+TEST(IntegrationTest, WorkloadOverMyStoreWithFaults) {
+  core::MyStoreConfig config;
+  config.cluster = cluster::ClusterConfig::PaperSetup();
+  config.failures = sim::FailureConfig{};  // Table 2 rates
+  core::MyStore store(config);
+  ASSERT_TRUE(store.Start().ok());
+
+  workload::Dataset dataset(workload::DatasetSpec::SystemEvaluation(120));
+  sim::EventLoop* loop = store.storage()->loop();
+  workload::WorkloadRunner loader(loop, &dataset, workload::TargetFor(&store),
+                                  workload::RunOptions{});
+  workload::RunReport load = loader.RunLoad(16);
+  EXPECT_GT(load.meter.ops(), 110u) << "bulk load should mostly succeed";
+
+  workload::RunOptions options;
+  options.clients = 50;
+  options.duration = 20 * kMicrosPerSecond;
+  options.read_fraction = 0.8;
+  workload::WorkloadRunner runner(loop, &dataset, workload::TargetFor(&store),
+                                  options);
+  workload::RunReport report = runner.Run();
+  EXPECT_GT(report.issued, 500u);
+  EXPECT_GT(report.SuccessRate(), 0.95)
+      << "NWR must mask Table 2 faults almost completely";
+}
+
+TEST(IntegrationTest, ChurnWhileServingTraffic) {
+  // Add a node and crash another while clients keep reading and writing.
+  core::MyStoreConfig config;
+  config.cluster = cluster::ClusterConfig::Uniform(5, /*seeds=*/2);
+  core::MyStore store(config);
+  ASSERT_TRUE(store.Start().ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(store.Post("churn" + std::to_string(i), ToBytes("v")).ok());
+  }
+  store.RunFor(2 * kMicrosPerSecond);
+
+  cluster::NodeSpec extra;
+  extra.address = "db9:19870";
+  extra.vnodes = 128;
+  ASSERT_TRUE(store.storage()->AddNode(extra).ok());
+  ASSERT_TRUE(store.storage()->CrashNode("db2:19870").ok());
+  store.RunFor(40 * kMicrosPerSecond);  // detection + repair + migration
+
+  store.cache_pool()->Clear();  // force reads through the cluster
+  int readable = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (store.Get("churn" + std::to_string(i)).ok()) ++readable;
+  }
+  EXPECT_EQ(readable, 40);
+}
+
+TEST(IntegrationTest, SevenByTwentyFourSoak) {
+  // A compressed version of the paper's 7x24h soak: hours of virtual time
+  // with periodic traffic and Table 2 faults; the system must end healthy.
+  core::MyStoreConfig config;
+  config.cluster = cluster::ClusterConfig::PaperSetup();
+  config.failures = sim::FailureConfig{};
+  core::MyStore store(config);
+  ASSERT_TRUE(store.Start().ok());
+
+  workload::Dataset dataset(workload::DatasetSpec::SystemEvaluation(60));
+  sim::EventLoop* loop = store.storage()->loop();
+  workload::WorkloadRunner loader(loop, &dataset, workload::TargetFor(&store),
+                                  workload::RunOptions{});
+  (void)loader.RunLoad(16);
+
+  std::size_t total_ok = 0, total_issued = 0;
+  for (int hour = 0; hour < 6; ++hour) {
+    workload::RunOptions options;
+    options.clients = 20;
+    options.duration = 10 * kMicrosPerSecond;  // a slice of each "hour"
+    options.seed = 100 + hour;
+    workload::WorkloadRunner runner(loop, &dataset, workload::TargetFor(&store),
+                                    options);
+    workload::RunReport report = runner.Run();
+    total_ok += report.meter.ops();
+    total_issued += report.issued;
+    store.RunFor(60 * kMicrosPerSecond);  // quiet time between slices
+  }
+  EXPECT_GT(total_issued, 1000u);
+  EXPECT_GT(static_cast<double>(total_ok) / total_issued, 0.95);
+  // All five nodes still on every ring (short failures recovered; odds of a
+  // breakdown in this window are nonzero, so allow one loss).
+  for (cluster::StorageNode* node : store.storage()->nodes()) {
+    EXPECT_GE(node->ring().NumPhysicalNodes(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace hotman

@@ -1,0 +1,146 @@
+#include "cache/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_pool.h"
+
+namespace hotman::cache {
+namespace {
+
+TEST(LruCacheTest, PutGetBasics) {
+  LruCache cache(1024);
+  EXPECT_TRUE(cache.Put("k", ToBytes("value")));
+  Bytes out;
+  EXPECT_TRUE(cache.Get("k", &out));
+  EXPECT_EQ(ToString(out), "value");
+  EXPECT_FALSE(cache.Get("missing", &out));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, UpdateReplacesValue) {
+  LruCache cache(1024);
+  ASSERT_TRUE(cache.Put("k", ToBytes("v1")));
+  ASSERT_TRUE(cache.Put("k", ToBytes("v2-longer")));
+  Bytes out;
+  ASSERT_TRUE(cache.Get("k", &out));
+  EXPECT_EQ(ToString(out), "v2-longer");
+  EXPECT_EQ(cache.item_count(), 1u);
+  EXPECT_EQ(cache.size_bytes(), std::string("k").size() + 9);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  // Capacity fits exactly two 10-byte entries (key 1 + value 9).
+  LruCache cache(20);
+  ASSERT_TRUE(cache.Put("a", Bytes(9, 'x')));
+  ASSERT_TRUE(cache.Put("b", Bytes(9, 'x')));
+  Bytes out;
+  ASSERT_TRUE(cache.Get("a", &out));  // promote a
+  ASSERT_TRUE(cache.Put("c", Bytes(9, 'x')));  // evicts b
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCacheTest, OversizedValueRejected) {
+  LruCache cache(10);
+  EXPECT_FALSE(cache.Put("k", Bytes(100, 'x')));
+  EXPECT_EQ(cache.item_count(), 0u);
+}
+
+TEST(LruCacheTest, EraseRemoves) {
+  LruCache cache(1024);
+  ASSERT_TRUE(cache.Put("k", ToBytes("v")));
+  EXPECT_TRUE(cache.Erase("k"));
+  EXPECT_FALSE(cache.Erase("k"));
+  EXPECT_FALSE(cache.Contains("k"));
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(LruCacheTest, ClearEmptiesEverything) {
+  LruCache cache(1024);
+  cache.Put("a", ToBytes("1"));
+  cache.Put("b", ToBytes("2"));
+  cache.Clear();
+  EXPECT_EQ(cache.item_count(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(LruCacheTest, ByteAccountingExact) {
+  LruCache cache(1024);
+  cache.Put("key1", Bytes(10, 'x'));
+  cache.Put("key22", Bytes(20, 'x'));
+  EXPECT_EQ(cache.size_bytes(), 4 + 10 + 5 + 20u);
+  cache.Erase("key1");
+  EXPECT_EQ(cache.size_bytes(), 25u);
+}
+
+TEST(LruCacheTest, HitRate) {
+  LruCache cache(1024);
+  cache.Put("k", ToBytes("v"));
+  Bytes out;
+  cache.Get("k", &out);
+  cache.Get("k", &out);
+  cache.Get("nope", &out);
+  EXPECT_NEAR(cache.HitRate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(LruCacheTest, ManyInsertionsStayWithinCapacity) {
+  LruCache cache(1000);
+  for (int i = 0; i < 500; ++i) {
+    cache.Put("key" + std::to_string(i), Bytes(50, 'x'));
+    EXPECT_LE(cache.size_bytes(), 1000u);
+  }
+}
+
+TEST(CachePoolTest, RoutesByKeyHashConsistently) {
+  CachePool pool(4, 1024 * 1024);
+  EXPECT_EQ(pool.num_servers(), 4);
+  // The same key always lands on the same server.
+  LruCache* server = pool.ServerFor("stable-key");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(pool.ServerFor("stable-key"), server);
+  }
+}
+
+TEST(CachePoolTest, KeysSpreadAcrossServers) {
+  CachePool pool(4, 1024 * 1024);
+  std::set<LruCache*> used;
+  for (int i = 0; i < 200; ++i) {
+    used.insert(pool.ServerFor("key" + std::to_string(i)));
+  }
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(CachePoolTest, PoolOperationsWork) {
+  CachePool pool(3, 1024);
+  ASSERT_TRUE(pool.Put("k", ToBytes("v")));
+  Bytes out;
+  ASSERT_TRUE(pool.Get("k", &out));
+  EXPECT_EQ(ToString(out), "v");
+  EXPECT_TRUE(pool.Erase("k"));
+  EXPECT_FALSE(pool.Get("k", &out));
+  EXPECT_EQ(pool.TotalHits(), 1u);
+  EXPECT_EQ(pool.TotalMisses(), 1u);
+  EXPECT_NEAR(pool.HitRate(), 0.5, 1e-9);
+}
+
+TEST(CachePoolTest, ZeroServersClampedToOne) {
+  CachePool pool(0, 1024);
+  EXPECT_EQ(pool.num_servers(), 1);
+  EXPECT_TRUE(pool.Put("k", ToBytes("v")));
+}
+
+TEST(CachePoolTest, ClearAllServers) {
+  CachePool pool(2, 1024);
+  pool.Put("a", ToBytes("1"));
+  pool.Put("b", ToBytes("2"));
+  pool.Clear();
+  Bytes out;
+  EXPECT_FALSE(pool.Get("a", &out));
+  EXPECT_FALSE(pool.Get("b", &out));
+}
+
+}  // namespace
+}  // namespace hotman::cache

@@ -1,0 +1,95 @@
+#include "hashring/migration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hotman::hashring {
+namespace {
+
+Ring MakeRing(int nodes, int vnodes = 64) {
+  Ring ring;
+  for (int i = 0; i < nodes; ++i) {
+    EXPECT_TRUE(ring.AddNode("db" + std::to_string(i), vnodes).ok());
+  }
+  return ring;
+}
+
+TEST(MigrationTest, IdenticalRingsNeedNoMigration) {
+  Ring a = MakeRing(5);
+  Ring b = MakeRing(5);
+  EXPECT_TRUE(PlanMigration(a, b).empty());
+}
+
+TEST(MigrationTest, PlanMatchesPrimaryChanges) {
+  Ring before = MakeRing(5);
+  Ring after = MakeRing(5);
+  ASSERT_TRUE(after.AddNode("db5", 64).ok());
+  const auto plan = PlanMigration(before, after);
+  ASSERT_FALSE(plan.empty());
+  // Every step's endpooints agree with direct primary lookups, and every
+  // key whose primary changed is covered by some step.
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::uint32_t h = Ring::HashKey(key);
+    const NodeId ob = *before.PrimaryFor(key);
+    const NodeId oa = *after.PrimaryFor(key);
+    bool covered = false;
+    for (const MigrationStep& step : plan) {
+      if (step.range.Contains(h)) {
+        covered = true;
+        EXPECT_EQ(step.from, ob) << key;
+        EXPECT_EQ(step.to, oa) << key;
+      }
+    }
+    EXPECT_EQ(covered, ob != oa) << key;
+  }
+}
+
+TEST(MigrationTest, AddNodeMovesOnlyToNewNode) {
+  Ring before = MakeRing(4);
+  Ring after = MakeRing(4);
+  ASSERT_TRUE(after.AddNode("db9", 64).ok());
+  for (const MigrationStep& step : PlanMigration(before, after)) {
+    EXPECT_EQ(step.to, "db9") << "migration to an uninvolved node";
+  }
+}
+
+TEST(MigrationTest, RemoveNodeMovesOnlyFromDeadNode) {
+  Ring before = MakeRing(5);
+  Ring after = MakeRing(5);
+  ASSERT_TRUE(after.RemoveNode("db2").ok());
+  for (const MigrationStep& step : PlanMigration(before, after)) {
+    EXPECT_EQ(step.from, "db2") << "migration from a surviving node";
+  }
+}
+
+TEST(MigrationTest, MigratedFractionNearExpected) {
+  // Adding the (N+1)-th equal node should move ~1/(N+1) of the keyspace.
+  Ring before = MakeRing(5, 128);
+  Ring after = MakeRing(5, 128);
+  ASSERT_TRUE(after.AddNode("db5", 128).ok());
+  const double fraction = MigratedFraction(PlanMigration(before, after));
+  EXPECT_GT(fraction, 0.08);
+  EXPECT_LT(fraction, 0.30);  // ideal 1/6 ≈ 0.167
+}
+
+TEST(MigrationTest, SymmetricPlans) {
+  Ring a = MakeRing(4);
+  Ring b = MakeRing(4);
+  ASSERT_TRUE(b.AddNode("extra", 64).ok());
+  const double there = MigratedFraction(PlanMigration(a, b));
+  const double back = MigratedFraction(PlanMigration(b, a));
+  EXPECT_DOUBLE_EQ(there, back);
+}
+
+TEST(MigrationTest, EmptyRingsYieldEmptyPlan) {
+  Ring empty;
+  Ring full = MakeRing(3);
+  EXPECT_TRUE(PlanMigration(empty, full).empty());
+  EXPECT_TRUE(PlanMigration(full, empty).empty());
+}
+
+}  // namespace
+}  // namespace hotman::hashring

@@ -1,0 +1,285 @@
+// Property-style tests: randomized sweeps asserting invariants that must
+// hold for every seed, not just hand-picked examples.
+
+#include <gtest/gtest.h>
+
+#include "bson/codec.h"
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "hashring/migration.h"
+#include "query/matcher.h"
+#include "query/update.h"
+
+namespace hotman {
+namespace {
+
+using bson::Array;
+using bson::Document;
+using bson::Value;
+
+// --- BSON round-trip under random documents ---------------------------------
+
+Value RandomValue(Rng* rng, int depth);
+
+Document RandomDocument(Rng* rng, int depth) {
+  Document doc;
+  const int fields = static_cast<int>(rng->Uniform(5));
+  for (int i = 0; i < fields; ++i) {
+    doc.Set("f" + std::to_string(rng->Uniform(8)), RandomValue(rng, depth + 1));
+  }
+  return doc;
+}
+
+Value RandomValue(Rng* rng, int depth) {
+  const std::uint64_t pick = rng->Uniform(depth > 3 ? 8 : 10);
+  switch (pick) {
+    case 0:
+      return Value();
+    case 1:
+      return Value(static_cast<double>(rng->UniformRange(-1000, 1000)) / 3.0);
+    case 2:
+      return Value("s" + std::to_string(rng->Uniform(1000)));
+    case 3:
+      return Value(rng->Chance(0.5));
+    case 4:
+      return Value(static_cast<std::int32_t>(rng->UniformRange(-100000, 100000)));
+    case 5:
+      return Value(static_cast<std::int64_t>(rng->Next()));
+    case 6: {
+      Bytes data;
+      const std::size_t len = rng->Uniform(32);
+      for (std::size_t i = 0; i < len; ++i) {
+        data.push_back(static_cast<std::uint8_t>(rng->Uniform(256)));
+      }
+      return Value(bson::Binary{std::move(data), 0});
+    }
+    case 7:
+      return Value(bson::DateTime{static_cast<std::int64_t>(rng->Uniform(1u << 30))});
+    case 8: {
+      Array arr;
+      const std::size_t len = rng->Uniform(4);
+      for (std::size_t i = 0; i < len; ++i) arr.push_back(RandomValue(rng, depth + 1));
+      return Value(std::move(arr));
+    }
+    default:
+      return Value(RandomDocument(rng, depth + 1));
+  }
+}
+
+class BsonRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BsonRoundTripProperty, EncodeDecodeIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Document original = RandomDocument(&rng, 0);
+    Document decoded;
+    ASSERT_TRUE(bson::Decode(bson::EncodeToString(original), &decoded).ok());
+    EXPECT_EQ(decoded, original);
+    // Re-encoding the decoded document is byte-identical (canonical form).
+    EXPECT_EQ(bson::EncodeToString(decoded), bson::EncodeToString(original));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BsonRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Value comparison is a total order ---------------------------------------
+
+class ValueOrderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValueOrderProperty, CompareIsConsistentAndTransitive) {
+  Rng rng(GetParam());
+  std::vector<Value> values;
+  for (int i = 0; i < 30; ++i) values.push_back(RandomValue(&rng, 2));
+  for (const Value& a : values) {
+    EXPECT_EQ(a.Compare(a), 0);
+    for (const Value& b : values) {
+      const int ab = a.Compare(b);
+      const int ba = b.Compare(a);
+      EXPECT_EQ(ab > 0, ba < 0) << "antisymmetry";
+      EXPECT_EQ(ab == 0, ba == 0) << "antisymmetry";
+      for (const Value& c : values) {
+        if (ab <= 0 && b.Compare(c) <= 0) {
+          EXPECT_LE(a.Compare(c), 0) << "transitivity";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueOrderProperty, ::testing::Values(11, 12, 13));
+
+// --- Matcher/equality coherence ----------------------------------------------
+
+class MatcherProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherProperty, ImplicitEqualityMatchesOwnFields) {
+  // For a random doc with a scalar field f, the filter {f: value} built
+  // from the doc itself must match the doc.
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Document doc = RandomDocument(&rng, 2);
+    for (const bson::Field& field : doc) {
+      if (field.value.is_document()) continue;  // operator-doc ambiguity
+      Document filter;
+      filter.Append(field.name, field.value);
+      auto matcher = query::Matcher::Compile(filter);
+      ASSERT_TRUE(matcher.ok());
+      EXPECT_TRUE(matcher->Matches(doc))
+          << "self-filter failed for " << field.name;
+    }
+  }
+}
+
+TEST_P(MatcherProperty, RangePartitionsNumbers) {
+  // For random pivot p: every numeric doc matches exactly one of
+  // {$lt: p}, {$eq: p}, {$gt: p}.
+  Rng rng(GetParam() + 100);
+  for (int i = 0; i < 300; ++i) {
+    const auto pivot = static_cast<std::int32_t>(rng.UniformRange(-50, 50));
+    const auto probe = static_cast<std::int32_t>(rng.UniformRange(-50, 50));
+    Document doc;
+    doc.Append("n", Value(probe));
+    int matched = 0;
+    for (const char* op : {"$lt", "$eq", "$gt"}) {
+      Document inner;
+      inner.Append(op, Value(pivot));
+      Document filter;
+      filter.Append("n", Value(std::move(inner)));
+      auto matcher = query::Matcher::Compile(filter);
+      ASSERT_TRUE(matcher.ok());
+      if (matcher->Matches(doc)) ++matched;
+    }
+    EXPECT_EQ(matched, 1) << "probe " << probe << " pivot " << pivot;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherProperty, ::testing::Values(21, 22, 23));
+
+// --- Update operators preserve document validity ------------------------------
+
+TEST(UpdateProperty, SetThenUnsetIsIdentityOnFreshField) {
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    Document doc = RandomDocument(&rng, 2);
+    if (doc.Has("fresh")) continue;
+    Document original = doc;
+    Document set{{"$set", Value(Document{{"fresh", RandomValue(&rng, 3)}})}};
+    ASSERT_TRUE(query::ApplyUpdate(set, &doc).ok());
+    Document unset{{"$unset", Value(Document{{"fresh", Value("")}})}};
+    ASSERT_TRUE(query::ApplyUpdate(unset, &doc).ok());
+    EXPECT_EQ(doc, original);
+  }
+}
+
+TEST(UpdateProperty, IncIsAssociative) {
+  Rng rng(37);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::int32_t>(rng.UniformRange(-1000, 1000));
+    const auto b = static_cast<std::int32_t>(rng.UniformRange(-1000, 1000));
+    Document one;
+    one.Append("n", Value(std::int32_t{0}));
+    Document two = one;
+    // +a then +b  ==  +(a+b)
+    Document inc_a{{"$inc", Value(Document{{"n", Value(a)}})}};
+    Document inc_b{{"$inc", Value(Document{{"n", Value(b)}})}};
+    Document inc_ab{{"$inc", Value(Document{{"n", Value(a + b)}})}};
+    ASSERT_TRUE(query::ApplyUpdate(inc_a, &one).ok());
+    ASSERT_TRUE(query::ApplyUpdate(inc_b, &one).ok());
+    ASSERT_TRUE(query::ApplyUpdate(inc_ab, &two).ok());
+    EXPECT_EQ(one.Get("n")->NumberAsInt64(), two.Get("n")->NumberAsInt64());
+  }
+}
+
+// --- Ring invariants under random churn ---------------------------------------
+
+class RingChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RingChurnProperty, InvariantsHoldUnderRandomAddRemove) {
+  Rng rng(GetParam());
+  hashring::Ring ring;
+  std::vector<std::string> members;
+  int next_id = 0;
+  for (int step = 0; step < 60; ++step) {
+    const bool add = members.empty() || rng.Chance(0.55);
+    if (add) {
+      const std::string node = "n" + std::to_string(next_id++);
+      ASSERT_TRUE(ring.AddNode(node, 16 + static_cast<int>(rng.Uniform(64))).ok());
+      members.push_back(node);
+    } else {
+      const std::size_t victim = rng.Uniform(members.size());
+      ASSERT_TRUE(ring.RemoveNode(members[victim]).ok());
+      members.erase(members.begin() + victim);
+    }
+    ASSERT_EQ(ring.NumPhysicalNodes(), members.size());
+    if (members.empty()) continue;
+    // Preference lists: distinct physical nodes, headed by the primary.
+    for (int k = 0; k < 10; ++k) {
+      const std::string key = "key" + std::to_string(rng.Uniform(1000));
+      auto prefs = ring.PreferenceList(key, 3);
+      ASSERT_EQ(prefs.size(), std::min<std::size_t>(3, members.size()));
+      std::set<std::string> unique(prefs.begin(), prefs.end());
+      EXPECT_EQ(unique.size(), prefs.size());
+      EXPECT_EQ(prefs.front(), *ring.PrimaryFor(key));
+    }
+  }
+}
+
+TEST_P(RingChurnProperty, MigrationPlansAreMinimal) {
+  // A migration plan between consecutive churn states never moves a key
+  // whose primary did not change (checked by sampling).
+  Rng rng(GetParam() + 7);
+  hashring::Ring before;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(before.AddNode("n" + std::to_string(i), 32).ok());
+  }
+  hashring::Ring after;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(after.AddNode("n" + std::to_string(i), 32).ok());
+  }
+  ASSERT_TRUE(after.RemoveNode("n2").ok());
+  ASSERT_TRUE(after.AddNode("n7", 32).ok());
+  auto plan = hashring::PlanMigration(before, after);
+  for (int k = 0; k < 500; ++k) {
+    const std::string key = "key" + std::to_string(rng.Uniform(100000));
+    const std::uint32_t h = hashring::Ring::HashKey(key);
+    bool in_plan = false;
+    for (const auto& step : plan) {
+      if (step.range.Contains(h)) in_plan = true;
+    }
+    EXPECT_EQ(in_plan, *before.PrimaryFor(key) != *after.PrimaryFor(key)) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingChurnProperty, ::testing::Values(41, 42, 43, 44));
+
+// --- Quorum invariant on the real cluster --------------------------------------
+
+class QuorumInvariantProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuorumInvariantProperty, AckedWritesSurviveAnySingleCrash) {
+  // For any seed: write 15 keys, crash a random node, wait for repair;
+  // every acked write must still be readable (N=3, W=2 tolerates 1 loss).
+  cluster::ClusterConfig config = cluster::ClusterConfig::Uniform(5, 2);
+  cluster::Cluster cluster(std::move(config), GetParam());
+  ASSERT_TRUE(cluster.Start().ok());
+  std::vector<std::string> acked;
+  for (int i = 0; i < 15; ++i) {
+    const std::string key = "inv" + std::to_string(i);
+    if (cluster.PutSync(key, ToBytes("v")).ok()) acked.push_back(key);
+  }
+  Rng rng(GetParam());
+  const std::string victim =
+      "db" + std::to_string(1 + rng.Uniform(5)) + ":19870";
+  ASSERT_TRUE(cluster.CrashNode(victim).ok());
+  cluster.RunFor(40 * kMicrosPerSecond);
+  for (const std::string& key : acked) {
+    EXPECT_TRUE(cluster.GetSync(key).ok()) << key << " lost after crash of " << victim;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuorumInvariantProperty,
+                         ::testing::Values(61, 62, 63, 64, 65));
+
+}  // namespace
+}  // namespace hotman

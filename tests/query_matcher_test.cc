@@ -1,0 +1,287 @@
+#include "query/matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace hotman::query {
+namespace {
+
+using bson::Array;
+using bson::Document;
+using bson::Value;
+
+bool Matches(const Document& filter, const Document& doc) {
+  auto matcher = Matcher::Compile(filter);
+  EXPECT_TRUE(matcher.ok()) << matcher.status().ToString();
+  return matcher->Matches(doc);
+}
+
+Document Doc(std::initializer_list<bson::Field> fields) { return Document(fields); }
+
+TEST(MatcherTest, EmptyFilterMatchesEverything) {
+  EXPECT_TRUE(Matches(Document{}, Document{}));
+  EXPECT_TRUE(Matches(Document{}, Doc({{"a", Value(std::int32_t{1})}})));
+}
+
+TEST(MatcherTest, ImplicitEquality) {
+  Document doc = Doc({{"name", Value("res")}, {"n", Value(std::int32_t{5})}});
+  EXPECT_TRUE(Matches(Doc({{"name", Value("res")}}), doc));
+  EXPECT_FALSE(Matches(Doc({{"name", Value("cap")}}), doc));
+  EXPECT_TRUE(Matches(Doc({{"n", Value(5.0)}}), doc));  // cross-type numeric
+}
+
+TEST(MatcherTest, EqualityWithNullMatchesMissing) {
+  EXPECT_TRUE(Matches(Doc({{"ghost", Value()}}), Document{}));
+  EXPECT_TRUE(Matches(Doc({{"x", Value()}}), Doc({{"x", Value()}})));
+  EXPECT_FALSE(Matches(Doc({{"x", Value()}}), Doc({{"x", Value("set")}})));
+}
+
+TEST(MatcherTest, ArrayFieldMatchesElement) {
+  Document doc = Doc({{"tags", Value(Array{Value("a"), Value("b")})}});
+  EXPECT_TRUE(Matches(Doc({{"tags", Value("a")}}), doc));
+  EXPECT_FALSE(Matches(Doc({{"tags", Value("c")}}), doc));
+  // Whole-array equality also matches.
+  EXPECT_TRUE(Matches(Doc({{"tags", Value(Array{Value("a"), Value("b")})}}), doc));
+}
+
+TEST(MatcherTest, DottedPaths) {
+  Document doc = Doc({{"scene", Value(Doc({{"name", Value("circuit")}}))}});
+  EXPECT_TRUE(Matches(Doc({{"scene.name", Value("circuit")}}), doc));
+  EXPECT_FALSE(Matches(Doc({{"scene.name", Value("optics")}}), doc));
+}
+
+TEST(MatcherTest, DottedPathThroughArray) {
+  Document doc = Doc(
+      {{"parts", Value(Array{Value(Doc({{"id", Value(std::int32_t{1})}})),
+                             Value(Doc({{"id", Value(std::int32_t{2})}}))})}});
+  EXPECT_TRUE(Matches(Doc({{"parts.id", Value(std::int32_t{2})}}), doc));
+  EXPECT_FALSE(Matches(Doc({{"parts.id", Value(std::int32_t{3})}}), doc));
+}
+
+TEST(MatcherTest, NumericIndexIntoArray) {
+  Document doc = Doc({{"a", Value(Array{Value("x"), Value("y")})}});
+  EXPECT_TRUE(Matches(Doc({{"a.1", Value("y")}}), doc));
+  EXPECT_FALSE(Matches(Doc({{"a.2", Value("z")}}), doc));
+}
+
+TEST(MatcherTest, ComparisonOperators) {
+  Document doc = Doc({{"size", Value(std::int32_t{50})}});
+  EXPECT_TRUE(Matches(Doc({{"size", Value(Doc({{"$gt", Value(std::int32_t{40})}}))}}),
+                      doc));
+  EXPECT_FALSE(Matches(Doc({{"size", Value(Doc({{"$gt", Value(std::int32_t{50})}}))}}),
+                       doc));
+  EXPECT_TRUE(Matches(Doc({{"size", Value(Doc({{"$gte", Value(std::int32_t{50})}}))}}),
+                      doc));
+  EXPECT_TRUE(Matches(Doc({{"size", Value(Doc({{"$lt", Value(std::int32_t{51})}}))}}),
+                      doc));
+  EXPECT_TRUE(Matches(Doc({{"size", Value(Doc({{"$lte", Value(std::int32_t{50})}}))}}),
+                      doc));
+  EXPECT_TRUE(Matches(Doc({{"size", Value(Doc({{"$ne", Value(std::int32_t{49})}}))}}),
+                      doc));
+  EXPECT_FALSE(Matches(Doc({{"size", Value(Doc({{"$ne", Value(std::int32_t{50})}}))}}),
+                       doc));
+}
+
+TEST(MatcherTest, RangeConjunction) {
+  Document filter = Doc({{"size", Value(Doc({{"$gte", Value(std::int32_t{10})},
+                                             {"$lt", Value(std::int32_t{20})}}))}});
+  EXPECT_TRUE(Matches(filter, Doc({{"size", Value(std::int32_t{15})}})));
+  EXPECT_FALSE(Matches(filter, Doc({{"size", Value(std::int32_t{20})}})));
+  EXPECT_FALSE(Matches(filter, Doc({{"size", Value(std::int32_t{5})}})));
+}
+
+TEST(MatcherTest, ComparisonDoesNotCrossTypeBrackets) {
+  // {$gt: 5} must not match strings even though strings rank above numbers.
+  Document filter = Doc({{"v", Value(Doc({{"$gt", Value(std::int32_t{5})}}))}});
+  EXPECT_FALSE(Matches(filter, Doc({{"v", Value("zzz")}})));
+}
+
+TEST(MatcherTest, InAndNin) {
+  Document filter =
+      Doc({{"t", Value(Doc({{"$in", Value(Array{Value("a"), Value("b")})}}))}});
+  EXPECT_TRUE(Matches(filter, Doc({{"t", Value("a")}})));
+  EXPECT_FALSE(Matches(filter, Doc({{"t", Value("c")}})));
+  Document nin =
+      Doc({{"t", Value(Doc({{"$nin", Value(Array{Value("a")})}}))}});
+  EXPECT_FALSE(Matches(nin, Doc({{"t", Value("a")}})));
+  EXPECT_TRUE(Matches(nin, Doc({{"t", Value("z")}})));
+}
+
+TEST(MatcherTest, InWithNullMatchesMissingField) {
+  Document filter = Doc({{"t", Value(Doc({{"$in", Value(Array{Value()})}}))}});
+  EXPECT_TRUE(Matches(filter, Document{}));
+}
+
+TEST(MatcherTest, Exists) {
+  Document doc = Doc({{"a", Value(std::int32_t{1})}});
+  EXPECT_TRUE(Matches(Doc({{"a", Value(Doc({{"$exists", Value(true)}}))}}), doc));
+  EXPECT_FALSE(Matches(Doc({{"b", Value(Doc({{"$exists", Value(true)}}))}}), doc));
+  EXPECT_TRUE(Matches(Doc({{"b", Value(Doc({{"$exists", Value(false)}}))}}), doc));
+}
+
+TEST(MatcherTest, TypeOperator) {
+  Document doc = Doc({{"s", Value("x")}, {"n", Value(std::int32_t{1})}});
+  EXPECT_TRUE(Matches(Doc({{"s", Value(Doc({{"$type", Value("string")}}))}}), doc));
+  EXPECT_FALSE(Matches(Doc({{"n", Value(Doc({{"$type", Value("string")}}))}}), doc));
+  EXPECT_TRUE(Matches(Doc({{"n", Value(Doc({{"$type", Value(std::int32_t{0x10})}}))}}),
+                      doc));
+}
+
+TEST(MatcherTest, SizeOperator) {
+  Document doc = Doc({{"tags", Value(Array{Value("a"), Value("b")})}});
+  EXPECT_TRUE(Matches(Doc({{"tags", Value(Doc({{"$size", Value(std::int32_t{2})}}))}}),
+                      doc));
+  EXPECT_FALSE(Matches(Doc({{"tags", Value(Doc({{"$size", Value(std::int32_t{3})}}))}}),
+                       doc));
+}
+
+TEST(MatcherTest, ModOperator) {
+  Document filter = Doc({{"n", Value(Doc({{"$mod", Value(Array{Value(std::int32_t{4}),
+                                                               Value(std::int32_t{1})})}}))}});
+  EXPECT_TRUE(Matches(filter, Doc({{"n", Value(std::int32_t{9})}})));
+  EXPECT_FALSE(Matches(filter, Doc({{"n", Value(std::int32_t{8})}})));
+}
+
+TEST(MatcherTest, RegexOperator) {
+  Document filter = Doc({{"name", Value(Doc({{"$regex", Value("^Res")}}))}});
+  EXPECT_TRUE(Matches(filter, Doc({{"name", Value("Resistor5")}})));
+  EXPECT_FALSE(Matches(filter, Doc({{"name", Value("Capacitor")}})));
+}
+
+TEST(MatcherTest, RegexCaseInsensitiveOption) {
+  Document filter = Doc({{"name", Value(Doc({{"$regex", Value("^res")},
+                                             {"$options", Value("i")}}))}});
+  EXPECT_TRUE(Matches(filter, Doc({{"name", Value("RESISTOR")}})));
+}
+
+TEST(MatcherTest, AllOperator) {
+  Document doc = Doc({{"tags", Value(Array{Value("a"), Value("b"), Value("c")})}});
+  EXPECT_TRUE(Matches(
+      Doc({{"tags", Value(Doc({{"$all", Value(Array{Value("a"), Value("c")})}}))}}),
+      doc));
+  EXPECT_FALSE(Matches(
+      Doc({{"tags", Value(Doc({{"$all", Value(Array{Value("a"), Value("z")})}}))}}),
+      doc));
+}
+
+TEST(MatcherTest, ElemMatchDocuments) {
+  Document doc = Doc(
+      {{"parts", Value(Array{Value(Doc({{"id", Value(std::int32_t{1})},
+                                        {"ok", Value(true)}})),
+                             Value(Doc({{"id", Value(std::int32_t{2})},
+                                        {"ok", Value(false)}}))})}});
+  // One element must satisfy BOTH conditions.
+  Document filter = Doc({{"parts", Value(Doc({{"$elemMatch",
+                                               Value(Doc({{"id", Value(std::int32_t{2})},
+                                                          {"ok", Value(true)}}))}}))}});
+  EXPECT_FALSE(Matches(filter, doc));
+  Document filter2 = Doc({{"parts", Value(Doc({{"$elemMatch",
+                                                Value(Doc({{"id", Value(std::int32_t{1})},
+                                                           {"ok", Value(true)}}))}}))}});
+  EXPECT_TRUE(Matches(filter2, doc));
+}
+
+TEST(MatcherTest, ElemMatchScalars) {
+  Document doc = Doc({{"sizes", Value(Array{Value(std::int32_t{3}),
+                                            Value(std::int32_t{12})})}});
+  Document filter = Doc({{"sizes",
+                          Value(Doc({{"$elemMatch",
+                                      Value(Doc({{"$gt", Value(std::int32_t{10})},
+                                                 {"$lt", Value(std::int32_t{20})}}))}}))}});
+  EXPECT_TRUE(Matches(filter, doc));
+  Document none = Doc({{"sizes", Value(Array{Value(std::int32_t{3})})}});
+  EXPECT_FALSE(Matches(filter, none));
+}
+
+TEST(MatcherTest, NotOperator) {
+  Document filter = Doc({{"n", Value(Doc({{"$not",
+                                           Value(Doc({{"$gt", Value(std::int32_t{5})}}))}}))}});
+  EXPECT_TRUE(Matches(filter, Doc({{"n", Value(std::int32_t{3})}})));
+  EXPECT_FALSE(Matches(filter, Doc({{"n", Value(std::int32_t{7})}})));
+  // $not also matches documents missing the field entirely.
+  EXPECT_TRUE(Matches(filter, Document{}));
+}
+
+TEST(MatcherTest, AndOrNor) {
+  Document doc = Doc({{"a", Value(std::int32_t{1})}, {"b", Value(std::int32_t{2})}});
+  Document and_filter =
+      Doc({{"$and", Value(Array{Value(Doc({{"a", Value(std::int32_t{1})}})),
+                                Value(Doc({{"b", Value(std::int32_t{2})}}))})}});
+  EXPECT_TRUE(Matches(and_filter, doc));
+  Document or_filter =
+      Doc({{"$or", Value(Array{Value(Doc({{"a", Value(std::int32_t{9})}})),
+                               Value(Doc({{"b", Value(std::int32_t{2})}}))})}});
+  EXPECT_TRUE(Matches(or_filter, doc));
+  Document nor_filter =
+      Doc({{"$nor", Value(Array{Value(Doc({{"a", Value(std::int32_t{9})}})),
+                                Value(Doc({{"b", Value(std::int32_t{9})}}))})}});
+  EXPECT_TRUE(Matches(nor_filter, doc));
+  Document nor_hit =
+      Doc({{"$nor", Value(Array{Value(Doc({{"a", Value(std::int32_t{1})}}))})}});
+  EXPECT_FALSE(Matches(nor_hit, doc));
+}
+
+TEST(MatcherTest, TopLevelFieldsAreConjunctive) {
+  Document filter = Doc({{"a", Value(std::int32_t{1})}, {"b", Value(std::int32_t{2})}});
+  EXPECT_TRUE(Matches(filter, Doc({{"a", Value(std::int32_t{1})},
+                                   {"b", Value(std::int32_t{2})}})));
+  EXPECT_FALSE(Matches(filter, Doc({{"a", Value(std::int32_t{1})},
+                                    {"b", Value(std::int32_t{3})}})));
+}
+
+TEST(MatcherTest, CompileErrors) {
+  EXPECT_FALSE(Matcher::Compile(Doc({{"$bogus", Value(Array{})}})).ok());
+  EXPECT_FALSE(
+      Matcher::Compile(Doc({{"a", Value(Doc({{"$frob", Value(std::int32_t{1})}}))}}))
+          .ok());
+  EXPECT_FALSE(
+      Matcher::Compile(Doc({{"a", Value(Doc({{"$in", Value("not-array")}}))}})).ok());
+  EXPECT_FALSE(
+      Matcher::Compile(Doc({{"$and", Value("not-array")}})).ok());
+  EXPECT_FALSE(Matcher::Compile(
+                   Doc({{"a", Value(Doc({{"$mod", Value(Array{Value(std::int32_t{0}),
+                                                              Value(std::int32_t{1})})}}))}}))
+                   .ok());
+  EXPECT_FALSE(
+      Matcher::Compile(Doc({{"a", Value(Doc({{"$regex", Value("[unclosed")}}))}})).ok());
+}
+
+TEST(MatcherBoundsTest, EqualityBounds) {
+  auto matcher = Matcher::Compile(Doc({{"k", Value("x")}}));
+  ASSERT_TRUE(matcher.ok());
+  FieldBounds bounds = matcher->BoundsFor("k");
+  ASSERT_TRUE(bounds.eq.has_value());
+  EXPECT_EQ(*bounds.eq, Value("x"));
+}
+
+TEST(MatcherBoundsTest, RangeBounds) {
+  auto matcher = Matcher::Compile(
+      Doc({{"n", Value(Doc({{"$gte", Value(std::int32_t{5})},
+                            {"$lt", Value(std::int32_t{9})}}))}}));
+  ASSERT_TRUE(matcher.ok());
+  FieldBounds bounds = matcher->BoundsFor("n");
+  ASSERT_TRUE(bounds.lower.has_value());
+  ASSERT_TRUE(bounds.upper.has_value());
+  EXPECT_TRUE(bounds.lower_inclusive);
+  EXPECT_FALSE(bounds.upper_inclusive);
+}
+
+TEST(MatcherBoundsTest, DisjunctionsConstrainNothing) {
+  auto matcher = Matcher::Compile(
+      Doc({{"$or", Value(Array{Value(Doc({{"a", Value(std::int32_t{1})}})),
+                               Value(Doc({{"a", Value(std::int32_t{2})}}))})}}));
+  ASSERT_TRUE(matcher.ok());
+  EXPECT_FALSE(matcher->BoundsFor("a").IsConstrained());
+  EXPECT_TRUE(matcher->ConstrainedPaths().empty());
+}
+
+TEST(MatcherBoundsTest, ConstrainedPathsListed) {
+  auto matcher = Matcher::Compile(
+      Doc({{"a", Value(std::int32_t{1})},
+           {"b", Value(Doc({{"$gt", Value(std::int32_t{0})}}))}}));
+  ASSERT_TRUE(matcher.ok());
+  auto paths = matcher->ConstrainedPaths();
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hotman::query

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "query/projection.h"
+#include "query/sort.h"
+
+namespace hotman::query {
+namespace {
+
+using bson::Array;
+using bson::Document;
+using bson::Value;
+
+Document Doc(std::initializer_list<bson::Field> fields) { return Document(fields); }
+
+Document Sample() {
+  return Doc({{"_id", Value(std::int32_t{1})},
+              {"name", Value("res")},
+              {"meta", Value(Doc({{"size", Value(std::int32_t{5})},
+                                  {"type", Value("xml")}}))},
+              {"tags", Value(Array{Value("a")})}});
+}
+
+TEST(ProjectionTest, EmptySpecIsIdentity) {
+  auto proj = Projection::Compile(Document{});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->Apply(Sample()), Sample());
+}
+
+TEST(ProjectionTest, InclusiveKeepsIdByDefault) {
+  auto proj = Projection::Compile(Doc({{"name", Value(std::int32_t{1})}}));
+  ASSERT_TRUE(proj.ok());
+  Document out = proj->Apply(Sample());
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_NE(out.Get("_id"), nullptr);
+  EXPECT_NE(out.Get("name"), nullptr);
+  EXPECT_EQ(out.Get("meta"), nullptr);
+}
+
+TEST(ProjectionTest, InclusiveCanDropId) {
+  auto proj = Projection::Compile(Doc({{"name", Value(std::int32_t{1})},
+                                       {"_id", Value(std::int32_t{0})}}));
+  ASSERT_TRUE(proj.ok());
+  Document out = proj->Apply(Sample());
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.Get("_id"), nullptr);
+}
+
+TEST(ProjectionTest, DottedInclusion) {
+  auto proj = Projection::Compile(Doc({{"meta.size", Value(std::int32_t{1})}}));
+  ASSERT_TRUE(proj.ok());
+  Document out = proj->Apply(Sample());
+  ASSERT_NE(out.Get("meta"), nullptr);
+  const Document& meta = out.Get("meta")->as_document();
+  EXPECT_NE(meta.Get("size"), nullptr);
+  EXPECT_EQ(meta.Get("type"), nullptr);
+}
+
+TEST(ProjectionTest, ExclusionRemovesFields) {
+  auto proj = Projection::Compile(Doc({{"meta", Value(std::int32_t{0})}}));
+  ASSERT_TRUE(proj.ok());
+  Document out = proj->Apply(Sample());
+  EXPECT_EQ(out.Get("meta"), nullptr);
+  EXPECT_NE(out.Get("name"), nullptr);
+  EXPECT_NE(out.Get("_id"), nullptr);
+}
+
+TEST(ProjectionTest, DottedExclusion) {
+  auto proj = Projection::Compile(Doc({{"meta.type", Value(std::int32_t{0})}}));
+  ASSERT_TRUE(proj.ok());
+  Document out = proj->Apply(Sample());
+  const Document& meta = out.Get("meta")->as_document();
+  EXPECT_NE(meta.Get("size"), nullptr);
+  EXPECT_EQ(meta.Get("type"), nullptr);
+}
+
+TEST(ProjectionTest, MixedModesRejected) {
+  EXPECT_FALSE(Projection::Compile(Doc({{"a", Value(std::int32_t{1})},
+                                        {"b", Value(std::int32_t{0})}}))
+                   .ok());
+}
+
+TEST(ProjectionTest, IdOnlyExclusion) {
+  auto proj = Projection::Compile(Doc({{"_id", Value(std::int32_t{0})}}));
+  ASSERT_TRUE(proj.ok());
+  Document out = proj->Apply(Sample());
+  EXPECT_EQ(out.Get("_id"), nullptr);
+  EXPECT_EQ(out.size(), Sample().size() - 1);
+}
+
+TEST(ProjectionTest, BooleanValuesAccepted) {
+  auto proj = Projection::Compile(Doc({{"name", Value(true)}}));
+  ASSERT_TRUE(proj.ok());
+  EXPECT_NE(proj->Apply(Sample()).Get("name"), nullptr);
+}
+
+TEST(ProjectionTest, NonNumericValueRejected) {
+  EXPECT_FALSE(Projection::Compile(Doc({{"name", Value("yes")}})).ok());
+}
+
+TEST(SortTest, SingleKeyAscending) {
+  auto sort = SortSpec::Compile(Doc({{"n", Value(std::int32_t{1})}}));
+  ASSERT_TRUE(sort.ok());
+  Document small = Doc({{"n", Value(std::int32_t{1})}});
+  Document big = Doc({{"n", Value(std::int32_t{9})}});
+  EXPECT_LT(sort->Compare(small, big), 0);
+  EXPECT_GT(sort->Compare(big, small), 0);
+  EXPECT_EQ(sort->Compare(small, small), 0);
+}
+
+TEST(SortTest, Descending) {
+  auto sort = SortSpec::Compile(Doc({{"n", Value(std::int32_t{-1})}}));
+  ASSERT_TRUE(sort.ok());
+  Document small = Doc({{"n", Value(std::int32_t{1})}});
+  Document big = Doc({{"n", Value(std::int32_t{9})}});
+  EXPECT_GT(sort->Compare(small, big), 0);
+}
+
+TEST(SortTest, CompoundKeys) {
+  auto sort = SortSpec::Compile(Doc({{"a", Value(std::int32_t{1})},
+                                     {"b", Value(std::int32_t{-1})}}));
+  ASSERT_TRUE(sort.ok());
+  Document x = Doc({{"a", Value(std::int32_t{1})}, {"b", Value(std::int32_t{5})}});
+  Document y = Doc({{"a", Value(std::int32_t{1})}, {"b", Value(std::int32_t{9})}});
+  EXPECT_GT(sort->Compare(x, y), 0);  // same a, larger b first (desc)
+}
+
+TEST(SortTest, MissingFieldSortsAsNull) {
+  auto sort = SortSpec::Compile(Doc({{"n", Value(std::int32_t{1})}}));
+  ASSERT_TRUE(sort.ok());
+  Document missing;
+  Document present = Doc({{"n", Value(std::int32_t{0})}});
+  EXPECT_LT(sort->Compare(missing, present), 0);
+}
+
+TEST(SortTest, DottedKey) {
+  auto sort = SortSpec::Compile(Doc({{"m.size", Value(std::int32_t{1})}}));
+  ASSERT_TRUE(sort.ok());
+  Document a = Doc({{"m", Value(Doc({{"size", Value(std::int32_t{1})}}))}});
+  Document b = Doc({{"m", Value(Doc({{"size", Value(std::int32_t{2})}}))}});
+  EXPECT_LT(sort->Compare(a, b), 0);
+}
+
+TEST(SortTest, InvalidDirectionsRejected) {
+  EXPECT_FALSE(SortSpec::Compile(Doc({{"a", Value(std::int32_t{2})}})).ok());
+  EXPECT_FALSE(SortSpec::Compile(Doc({{"a", Value("asc")}})).ok());
+}
+
+TEST(SortTest, EmptySpecComparesEqual) {
+  auto sort = SortSpec::Compile(Document{});
+  ASSERT_TRUE(sort.ok());
+  EXPECT_TRUE(sort->empty());
+  EXPECT_EQ(sort->Compare(Sample(), Document{}), 0);
+}
+
+}  // namespace
+}  // namespace hotman::query

@@ -1,0 +1,209 @@
+#include "query/update.h"
+
+#include <gtest/gtest.h>
+
+namespace hotman::query {
+namespace {
+
+using bson::Array;
+using bson::Document;
+using bson::Value;
+
+Document Doc(std::initializer_list<bson::Field> fields) { return Document(fields); }
+
+TEST(UpdateTest, ReplacementFormKeepsId) {
+  Document doc = Doc({{"_id", Value(std::int32_t{7})}, {"old", Value("x")}});
+  Document update = Doc({{"fresh", Value("y")}});
+  ASSERT_TRUE(ApplyUpdate(update, &doc).ok());
+  EXPECT_EQ(doc.Get("_id")->as_int32(), 7);
+  EXPECT_EQ(doc.Get("fresh")->as_string(), "y");
+  EXPECT_EQ(doc.Get("old"), nullptr);
+}
+
+TEST(UpdateTest, ReplacementCannotChangeId) {
+  Document doc = Doc({{"_id", Value(std::int32_t{7})}});
+  Document update = Doc({{"_id", Value(std::int32_t{9})}, {"a", Value("b")}});
+  ASSERT_TRUE(ApplyUpdate(update, &doc).ok());
+  EXPECT_EQ(doc.Get("_id")->as_int32(), 7);
+}
+
+TEST(UpdateTest, SetTopLevelAndNested) {
+  Document doc = Doc({{"a", Value(std::int32_t{1})}});
+  Document update = Doc({{"$set", Value(Doc({{"a", Value(std::int32_t{2})},
+                                             {"b.c", Value("deep")}}))}});
+  ASSERT_TRUE(ApplyUpdate(update, &doc).ok());
+  EXPECT_EQ(doc.Get("a")->as_int32(), 2);
+  EXPECT_EQ(doc.Get("b")->as_document().Get("c")->as_string(), "deep");
+}
+
+TEST(UpdateTest, SetThroughNonDocumentFails) {
+  Document doc = Doc({{"a", Value(std::int32_t{1})}});
+  Document update = Doc({{"$set", Value(Doc({{"a.b", Value("x")}}))}});
+  EXPECT_TRUE(ApplyUpdate(update, &doc).IsInvalidArgument());
+  // Validate-then-mutate: the document is untouched on failure.
+  EXPECT_EQ(doc.Get("a")->as_int32(), 1);
+}
+
+TEST(UpdateTest, UnsetRemovesField) {
+  Document doc = Doc({{"a", Value(std::int32_t{1})}, {"b", Value(std::int32_t{2})}});
+  Document update = Doc({{"$unset", Value(Doc({{"a", Value("")}}))}});
+  ASSERT_TRUE(ApplyUpdate(update, &doc).ok());
+  EXPECT_EQ(doc.Get("a"), nullptr);
+  EXPECT_NE(doc.Get("b"), nullptr);
+}
+
+TEST(UpdateTest, UnsetMissingIsNoop) {
+  Document doc = Doc({{"a", Value(std::int32_t{1})}});
+  Document update = Doc({{"$unset", Value(Doc({{"zz.deep", Value("")}}))}});
+  EXPECT_TRUE(ApplyUpdate(update, &doc).ok());
+}
+
+TEST(UpdateTest, IncIntegerAndDouble) {
+  Document doc = Doc({{"i", Value(std::int32_t{5})}, {"d", Value(1.5)}});
+  Document update = Doc({{"$inc", Value(Doc({{"i", Value(std::int32_t{3})},
+                                             {"d", Value(0.5)}}))}});
+  ASSERT_TRUE(ApplyUpdate(update, &doc).ok());
+  EXPECT_EQ(doc.Get("i")->as_int64(), 8);  // integer arithmetic widens to i64
+  EXPECT_DOUBLE_EQ(doc.Get("d")->as_double(), 2.0);
+}
+
+TEST(UpdateTest, IncMissingSeedsWithOperand) {
+  Document doc;
+  Document update = Doc({{"$inc", Value(Doc({{"n", Value(std::int32_t{4})}}))}});
+  ASSERT_TRUE(ApplyUpdate(update, &doc).ok());
+  EXPECT_EQ(doc.Get("n")->NumberAsInt64(), 4);
+}
+
+TEST(UpdateTest, IncNonNumericFails) {
+  Document doc = Doc({{"s", Value("text")}});
+  Document update = Doc({{"$inc", Value(Doc({{"s", Value(std::int32_t{1})}}))}});
+  EXPECT_TRUE(ApplyUpdate(update, &doc).IsInvalidArgument());
+}
+
+TEST(UpdateTest, MulOperator) {
+  Document doc = Doc({{"n", Value(std::int32_t{6})}});
+  Document update = Doc({{"$mul", Value(Doc({{"n", Value(std::int32_t{7})}}))}});
+  ASSERT_TRUE(ApplyUpdate(update, &doc).ok());
+  EXPECT_EQ(doc.Get("n")->NumberAsInt64(), 42);
+}
+
+TEST(UpdateTest, MulMissingSeedsZero) {
+  Document doc;
+  Document update = Doc({{"$mul", Value(Doc({{"n", Value(std::int32_t{7})}}))}});
+  ASSERT_TRUE(ApplyUpdate(update, &doc).ok());
+  EXPECT_EQ(doc.Get("n")->NumberAsInt64(), 0);
+}
+
+TEST(UpdateTest, MinMax) {
+  Document doc = Doc({{"n", Value(std::int32_t{10})}});
+  ASSERT_TRUE(ApplyUpdate(Doc({{"$min", Value(Doc({{"n", Value(std::int32_t{5})}}))}}),
+                          &doc)
+                  .ok());
+  EXPECT_EQ(doc.Get("n")->as_int32(), 5);
+  ASSERT_TRUE(ApplyUpdate(Doc({{"$max", Value(Doc({{"n", Value(std::int32_t{8})}}))}}),
+                          &doc)
+                  .ok());
+  EXPECT_EQ(doc.Get("n")->as_int32(), 8);
+  // No-op direction.
+  ASSERT_TRUE(ApplyUpdate(Doc({{"$max", Value(Doc({{"n", Value(std::int32_t{2})}}))}}),
+                          &doc)
+                  .ok());
+  EXPECT_EQ(doc.Get("n")->as_int32(), 8);
+}
+
+TEST(UpdateTest, PushCreatesAndAppends) {
+  Document doc;
+  ASSERT_TRUE(ApplyUpdate(Doc({{"$push", Value(Doc({{"tags", Value("a")}}))}}),
+                          &doc)
+                  .ok());
+  ASSERT_TRUE(ApplyUpdate(Doc({{"$push", Value(Doc({{"tags", Value("b")}}))}}),
+                          &doc)
+                  .ok());
+  const Array& tags = doc.Get("tags")->as_array();
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[1].as_string(), "b");
+}
+
+TEST(UpdateTest, PushEach) {
+  Document doc;
+  Document update = Doc(
+      {{"$push", Value(Doc({{"tags", Value(Doc({{"$each",
+                                                 Value(Array{Value("x"), Value("y")})}}))}}))}});
+  ASSERT_TRUE(ApplyUpdate(update, &doc).ok());
+  EXPECT_EQ(doc.Get("tags")->as_array().size(), 2u);
+}
+
+TEST(UpdateTest, PushToNonArrayFails) {
+  Document doc = Doc({{"tags", Value("scalar")}});
+  EXPECT_TRUE(ApplyUpdate(Doc({{"$push", Value(Doc({{"tags", Value("a")}}))}}),
+                          &doc)
+                  .IsInvalidArgument());
+}
+
+TEST(UpdateTest, PopBothEnds) {
+  Document doc = Doc({{"a", Value(Array{Value(std::int32_t{1}), Value(std::int32_t{2}),
+                                        Value(std::int32_t{3})})}});
+  ASSERT_TRUE(ApplyUpdate(Doc({{"$pop", Value(Doc({{"a", Value(std::int32_t{1})}}))}}),
+                          &doc)
+                  .ok());
+  EXPECT_EQ(doc.Get("a")->as_array().back().as_int32(), 2);
+  ASSERT_TRUE(ApplyUpdate(Doc({{"$pop", Value(Doc({{"a", Value(std::int32_t{-1})}}))}}),
+                          &doc)
+                  .ok());
+  EXPECT_EQ(doc.Get("a")->as_array().front().as_int32(), 2);
+}
+
+TEST(UpdateTest, PullRemovesMatches) {
+  Document doc = Doc({{"a", Value(Array{Value("x"), Value("y"), Value("x")})}});
+  ASSERT_TRUE(ApplyUpdate(Doc({{"$pull", Value(Doc({{"a", Value("x")}}))}}),
+                          &doc)
+                  .ok());
+  const Array& a = doc.Get("a")->as_array();
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].as_string(), "y");
+}
+
+TEST(UpdateTest, AddToSetDeduplicates) {
+  Document doc;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        ApplyUpdate(Doc({{"$addToSet", Value(Doc({{"s", Value("same")}}))}}), &doc)
+            .ok());
+  }
+  EXPECT_EQ(doc.Get("s")->as_array().size(), 1u);
+}
+
+TEST(UpdateTest, Rename) {
+  Document doc = Doc({{"old", Value("v")}});
+  ASSERT_TRUE(ApplyUpdate(Doc({{"$rename", Value(Doc({{"old", Value("new")}}))}}),
+                          &doc)
+                  .ok());
+  EXPECT_EQ(doc.Get("old"), nullptr);
+  EXPECT_EQ(doc.Get("new")->as_string(), "v");
+}
+
+TEST(UpdateTest, MixedFormsRejected) {
+  Document doc;
+  Document update = Doc({{"$set", Value(Doc({{"a", Value("x")}}))},
+                         {"plain", Value("y")}});
+  EXPECT_TRUE(ApplyUpdate(update, &doc).IsInvalidArgument());
+}
+
+TEST(UpdateTest, UnknownOperatorRejected) {
+  Document doc;
+  EXPECT_TRUE(ApplyUpdate(Doc({{"$frobnicate", Value(Doc({{"a", Value("x")}}))}}),
+                          &doc)
+                  .IsInvalidArgument());
+}
+
+TEST(UpdateTest, MultipleOperatorsApplyInOrder) {
+  Document doc = Doc({{"n", Value(std::int32_t{1})}});
+  Document update = Doc({{"$inc", Value(Doc({{"n", Value(std::int32_t{1})}}))},
+                         {"$set", Value(Doc({{"flag", Value(true)}}))}});
+  ASSERT_TRUE(ApplyUpdate(update, &doc).ok());
+  EXPECT_EQ(doc.Get("n")->NumberAsInt64(), 2);
+  EXPECT_TRUE(doc.Get("flag")->as_bool());
+}
+
+}  // namespace
+}  // namespace hotman::query

@@ -1,0 +1,112 @@
+#include "core/record.h"
+
+#include <gtest/gtest.h>
+
+namespace hotman::core {
+namespace {
+
+bson::ObjectId Id(int n) {
+  ManualClock clock(n * kMicrosPerSecond);
+  bson::ObjectIdGenerator gen(n, &clock);
+  return gen.Next();
+}
+
+TEST(RecordTest, MakeRecordHasPaperSchema) {
+  bson::Document record =
+      MakeRecord(Id(1), "Resistor5", ToBytes("payload"), /*is_copy=*/false,
+                 /*deleted=*/false, 12345, "db1:19870");
+  ASSERT_TRUE(ValidateRecord(record).ok());
+  // Field order mirrors the paper's example.
+  EXPECT_EQ(record.field(0).name, "_id");
+  EXPECT_EQ(record.field(1).name, "self-key");
+  EXPECT_EQ(record.field(2).name, "val");
+  EXPECT_EQ(record.field(3).name, "isData");
+  EXPECT_EQ(record.field(4).name, "isDel");
+  EXPECT_EQ(RecordSelfKey(record), "Resistor5");
+  EXPECT_EQ(ToString(RecordValue(record)), "payload");
+  EXPECT_FALSE(RecordIsDeleted(record));
+  EXPECT_FALSE(RecordIsCopy(record));
+  EXPECT_EQ(RecordTimestamp(record), 12345);
+  EXPECT_EQ(RecordOrigin(record), "db1:19870");
+}
+
+TEST(RecordTest, IsDataFlagDistinguishesCopies) {
+  bson::Document original = MakeRecord(Id(1), "k", {}, /*is_copy=*/false,
+                                       /*deleted=*/false, 1, "n");
+  EXPECT_EQ(original.Get(kFieldIsData)->as_string(), "1");
+  bson::Document copy = AsReplicaCopy(original);
+  EXPECT_EQ(copy.Get(kFieldIsData)->as_string(), "0");
+  EXPECT_TRUE(RecordIsCopy(copy));
+  // Everything else untouched.
+  EXPECT_EQ(RecordSelfKey(copy), "k");
+  EXPECT_EQ(RecordTimestamp(copy), 1);
+}
+
+TEST(RecordTest, TombstoneIsDeleted) {
+  bson::Document tombstone = MakeTombstone(Id(1), "k", 99, "n");
+  ASSERT_TRUE(ValidateRecord(tombstone).ok());
+  EXPECT_TRUE(RecordIsDeleted(tombstone));
+  EXPECT_TRUE(RecordValue(tombstone).empty());
+}
+
+TEST(RecordTest, ValidateRejectsBrokenRecords) {
+  bson::Document good = MakeRecord(Id(1), "k", {}, false, false, 1, "n");
+
+  bson::Document no_id = good;
+  no_id.Remove(kFieldId);
+  EXPECT_FALSE(ValidateRecord(no_id).ok());
+
+  bson::Document bad_id = good;
+  bad_id.Set(kFieldId, bson::Value("string-id"));
+  EXPECT_FALSE(ValidateRecord(bad_id).ok());
+
+  bson::Document empty_key = good;
+  empty_key.Set(kFieldSelfKey, bson::Value(""));
+  EXPECT_FALSE(ValidateRecord(empty_key).ok());
+
+  bson::Document bad_val = good;
+  bad_val.Set(kFieldVal, bson::Value("not-binary"));
+  EXPECT_FALSE(ValidateRecord(bad_val).ok());
+
+  bson::Document bad_flag = good;
+  bad_flag.Set(kFieldIsDel, bson::Value("yes"));
+  EXPECT_FALSE(ValidateRecord(bad_flag).ok());
+
+  bson::Document bad_ts = good;
+  bad_ts.Set(kFieldTimestamp, bson::Value("late"));
+  EXPECT_FALSE(ValidateRecord(bad_ts).ok());
+
+  bson::Document no_origin = good;
+  no_origin.Remove(kFieldOrigin);
+  EXPECT_FALSE(ValidateRecord(no_origin).ok());
+}
+
+TEST(RecordTest, LwwByTimestamp) {
+  bson::Document older = MakeRecord(Id(1), "k", {}, false, false, 100, "a");
+  bson::Document newer = MakeRecord(Id(2), "k", {}, false, false, 200, "a");
+  EXPECT_TRUE(SupersedesLww(newer, older));
+  EXPECT_FALSE(SupersedesLww(older, newer));
+}
+
+TEST(RecordTest, LwwTieBrokenByOrigin) {
+  bson::Document from_a = MakeRecord(Id(1), "k", {}, false, false, 100, "a");
+  bson::Document from_b = MakeRecord(Id(2), "k", {}, false, false, 100, "b");
+  EXPECT_TRUE(SupersedesLww(from_b, from_a));
+  EXPECT_FALSE(SupersedesLww(from_a, from_b));
+  // Total order: exactly one direction wins.
+  EXPECT_NE(SupersedesLww(from_a, from_b), SupersedesLww(from_b, from_a));
+}
+
+TEST(RecordTest, LwwSelfIsNotSuperseding) {
+  bson::Document record = MakeRecord(Id(1), "k", {}, false, false, 100, "a");
+  EXPECT_FALSE(SupersedesLww(record, record));
+}
+
+TEST(RecordTest, TombstoneCanSupersedeData) {
+  bson::Document data = MakeRecord(Id(1), "k", ToBytes("v"), false, false, 100, "a");
+  bson::Document tombstone = MakeTombstone(Id(2), "k", 200, "a");
+  EXPECT_TRUE(SupersedesLww(tombstone, data));
+}
+
+}  // namespace
+}  // namespace hotman::core

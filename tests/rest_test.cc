@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "rest/request.h"
+#include "rest/router.h"
+#include "rest/signature.h"
+#include "rest/token_db.h"
+
+namespace hotman::rest {
+namespace {
+
+TEST(RequestTest, ParseUriWithQuery) {
+  std::string path;
+  std::map<std::string, std::string> query;
+  ASSERT_TRUE(ParseUri("/data/Resistor5?a=1&b=two", &path, &query));
+  EXPECT_EQ(path, "/data/Resistor5");
+  EXPECT_EQ(query.at("a"), "1");
+  EXPECT_EQ(query.at("b"), "two");
+}
+
+TEST(RequestTest, ParseUriNoQuery) {
+  std::string path;
+  std::map<std::string, std::string> query;
+  ASSERT_TRUE(ParseUri("/data/key", &path, &query));
+  EXPECT_EQ(path, "/data/key");
+  EXPECT_TRUE(query.empty());
+}
+
+TEST(RequestTest, ParseUriRejectsMalformed) {
+  std::string path;
+  std::map<std::string, std::string> query;
+  EXPECT_FALSE(ParseUri("", &path, &query));
+  EXPECT_FALSE(ParseUri("no-slash", &path, &query));
+  EXPECT_FALSE(ParseUri("/p?=v", &path, &query));
+  EXPECT_FALSE(ParseUri("/p?novalue", &path, &query));
+}
+
+TEST(RequestTest, ResourceKeyIsLastSegment) {
+  Request request;
+  request.path = "/data/Resistor5";
+  EXPECT_EQ(request.ResourceKey(), "Resistor5");
+  request.path = "/data";
+  EXPECT_EQ(request.ResourceKey(), "data");
+}
+
+TEST(RequestTest, UriReassemblesCanonically) {
+  Request request;
+  request.path = "/data/k";
+  request.query["b"] = "2";
+  request.query["a"] = "1";
+  EXPECT_EQ(request.Uri(), "/data/k?a=1&b=2");  // map orders keys
+}
+
+TEST(SignatureTest, DeterministicAndVerifiable) {
+  // Fig. 2: signature = MD5(token + uri + secret key).
+  const std::string sig = ComputeSignature("tok", "/data/k", "secret");
+  EXPECT_EQ(sig.size(), 32u);
+  EXPECT_EQ(sig, ComputeSignature("tok", "/data/k", "secret"));
+  EXPECT_TRUE(VerifySignature("tok", "/data/k", "secret", sig));
+  EXPECT_FALSE(VerifySignature("tok", "/data/other", "secret", sig));
+  EXPECT_FALSE(VerifySignature("tok2", "/data/k", "secret", sig));
+  EXPECT_FALSE(VerifySignature("tok", "/data/k", "wrong", sig));
+}
+
+TEST(SignatureTest, BuildSignedUriAppendsParams) {
+  const std::string uri = BuildSignedUri("/data/k", "tok", "secret");
+  EXPECT_NE(uri.find("/data/k?token=tok&signature="), std::string::npos);
+  const std::string with_query = BuildSignedUri("/data/k?x=1", "tok", "secret");
+  EXPECT_NE(with_query.find("&token="), std::string::npos);
+}
+
+TEST(TokenDbTest, RegisterIsIdempotent) {
+  ManualClock clock(0);
+  TokenDb db(&clock);
+  const std::string secret = db.RegisterUser("alice");
+  EXPECT_EQ(db.RegisterUser("alice"), secret);
+  EXPECT_NE(db.RegisterUser("bob"), secret);
+  EXPECT_EQ(*db.SecretKeyOf("alice"), secret);
+  EXPECT_TRUE(db.SecretKeyOf("nobody").status().IsNotFound());
+}
+
+TEST(TokenDbTest, TokensAreSingleUse) {
+  ManualClock clock(0);
+  TokenDb db(&clock);
+  db.RegisterUser("alice");
+  auto token = db.IssueToken("alice");
+  ASSERT_TRUE(token.ok());
+  EXPECT_TRUE(db.ConsumeToken("alice", *token).ok());
+  EXPECT_TRUE(db.ConsumeToken("alice", *token).IsUnauthorized());
+}
+
+TEST(TokenDbTest, TokenBoundToUser) {
+  ManualClock clock(0);
+  TokenDb db(&clock);
+  db.RegisterUser("alice");
+  db.RegisterUser("eve");
+  auto token = db.IssueToken("alice");
+  ASSERT_TRUE(token.ok());
+  EXPECT_TRUE(db.ConsumeToken("eve", *token).IsUnauthorized());
+  // Consumed on the failed attempt: replay by the right user also fails.
+  EXPECT_TRUE(db.ConsumeToken("alice", *token).IsUnauthorized());
+}
+
+TEST(TokenDbTest, TokensExpire) {
+  ManualClock clock(0);
+  TokenDb db(&clock, /*ttl=*/10 * kMicrosPerSecond);
+  db.RegisterUser("alice");
+  auto token = db.IssueToken("alice");
+  ASSERT_TRUE(token.ok());
+  clock.Advance(11 * kMicrosPerSecond);
+  EXPECT_TRUE(db.ConsumeToken("alice", *token).IsUnauthorized());
+}
+
+TEST(TokenDbTest, IssueRequiresRegisteredUser) {
+  ManualClock clock(0);
+  TokenDb db(&clock);
+  EXPECT_TRUE(db.IssueToken("ghost").status().IsNotFound());
+}
+
+TEST(TokenDbTest, TokensAreUnique) {
+  ManualClock clock(0);
+  TokenDb db(&clock);
+  db.RegisterUser("alice");
+  auto t1 = db.IssueToken("alice");
+  auto t2 = db.IssueToken("alice");
+  EXPECT_NE(*t1, *t2);
+  EXPECT_EQ(db.outstanding_tokens(), 2u);
+}
+
+TEST(RouterTest, RoundRobinDistribution) {
+  std::vector<int> hits(3, 0);
+  Router router(3, [&hits](int worker, const Request&) {
+    ++hits[worker];
+    return Response{};
+  });
+  Request request;
+  request.path = "/data/k";
+  for (int i = 0; i < 9; ++i) router.Dispatch(request);
+  EXPECT_EQ(hits, (std::vector<int>{3, 3, 3}));
+  EXPECT_EQ(router.dispatch_counts(), (std::vector<std::size_t>{3, 3, 3}));
+}
+
+TEST(RouterTest, AtLeastOneWorker) {
+  Router router(0, [](int, const Request&) { return Response{}; });
+  EXPECT_EQ(router.num_workers(), 1);
+}
+
+TEST(RouterTest, ResponsePassthrough) {
+  Router router(1, [](int, const Request& r) {
+    Response response;
+    response.code = StatusCode::kCreated;
+    response.body = r.body;
+    return response;
+  });
+  Request request;
+  request.body = ToBytes("echo");
+  Response response = router.Dispatch(request);
+  EXPECT_EQ(response.code, StatusCode::kCreated);
+  EXPECT_TRUE(response.ok());
+  EXPECT_EQ(ToString(response.body), "echo");
+}
+
+}  // namespace
+}  // namespace hotman::rest

@@ -1,0 +1,134 @@
+#include "sim/event_loop.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hotman::sim {
+namespace {
+
+TEST(EventLoopTest, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(30, [&order]() { order.push_back(3); });
+  loop.Schedule(10, [&order]() { order.push_back(1); });
+  loop.Schedule(20, [&order]() { order.push_back(2); });
+  EXPECT_EQ(loop.RunUntilIdle(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now(), 30);
+}
+
+TEST(EventLoopTest, TiesBreakInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.Schedule(10, [&order, i]() { order.push_back(i); });
+  }
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, ClockAdvancesOnlyWithEvents) {
+  EventLoop loop(100);
+  EXPECT_EQ(loop.Now(), 100);
+  loop.Schedule(50, []() {});
+  loop.RunUntilIdle();
+  EXPECT_EQ(loop.Now(), 150);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(10, [&fired]() { ++fired; });
+  loop.Schedule(100, [&fired]() { ++fired; });
+  EXPECT_EQ(loop.RunUntil(50), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.Now(), 50);  // clock rests at the deadline
+  EXPECT_EQ(loop.RunUntilIdle(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, RunForIsRelative) {
+  EventLoop loop;
+  loop.Schedule(10, []() {});
+  loop.RunFor(5);
+  EXPECT_EQ(loop.Now(), 5);
+  loop.RunFor(10);
+  EXPECT_EQ(loop.Now(), 15);
+}
+
+TEST(EventLoopTest, EventsScheduledDuringRunFire) {
+  EventLoop loop;
+  int count = 0;
+  loop.Schedule(10, [&loop, &count]() {
+    ++count;
+    loop.Schedule(10, [&count]() { ++count; });
+  });
+  loop.RunUntilIdle();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(loop.Now(), 20);
+}
+
+TEST(EventLoopTest, CancelPreventsFiring) {
+  EventLoop loop;
+  bool fired = false;
+  EventId id = loop.Schedule(10, [&fired]() { fired = true; });
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));  // already cancelled
+  loop.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, CancelAfterFireReturnsFalse) {
+  EventLoop loop;
+  EventId id = loop.Schedule(1, []() {});
+  loop.RunUntilIdle();
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoopTest, NegativeDelayClampsToNow) {
+  EventLoop loop(100);
+  Micros seen = -1;
+  loop.Schedule(-50, [&loop, &seen]() { seen = loop.Now(); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EventLoopTest, PendingEventsExcludesCancelled) {
+  EventLoop loop;
+  EventId a = loop.Schedule(10, []() {});
+  loop.Schedule(20, []() {});
+  EXPECT_EQ(loop.PendingEvents(), 2u);
+  loop.Cancel(a);
+  EXPECT_EQ(loop.PendingEvents(), 1u);
+}
+
+TEST(EventLoopTest, ScheduleAtPastClampsToNow) {
+  EventLoop loop(500);
+  Micros seen = -1;
+  loop.ScheduleAt(100, [&loop, &seen]() { seen = loop.Now(); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(seen, 500);
+}
+
+TEST(EventLoopTest, ManySelfSchedulingTimersDeterministic) {
+  auto run = []() {
+    EventLoop loop;
+    std::vector<Micros> trace;
+    for (int t = 0; t < 4; ++t) {
+      auto tick = std::make_shared<std::function<void()>>();
+      auto count = std::make_shared<int>(0);
+      *tick = [&loop, &trace, tick, count, t]() {
+        trace.push_back(loop.Now());
+        if (++*count < 5) loop.Schedule(10 + t, *tick);
+      };
+      loop.Schedule(t, *tick);
+    }
+    loop.RunUntilIdle();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace hotman::sim

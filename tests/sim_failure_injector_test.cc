@@ -1,0 +1,116 @@
+#include "sim/failure_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace hotman::sim {
+namespace {
+
+using docstore::DocStoreServer;
+using docstore::FaultMode;
+
+class InjectorTest : public ::testing::Test {
+ protected:
+  InjectorTest()
+      : net_(&loop_, NetworkConfig{}, 1),
+        server_("db1:19870", 1, loop_.clock()) {
+    net_.RegisterEndpoint(server_.address(), [](const Message&) {});
+  }
+
+  EventLoop loop_;
+  SimNetwork net_;
+  DocStoreServer server_;
+};
+
+TEST_F(InjectorTest, NoFaultsWithNoneConfig) {
+  FailureInjector injector(&loop_, &net_, FailureConfig::None(), 7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(injector.MaybeInject(&server_));
+  }
+  EXPECT_EQ(injector.stats().total(), 0u);
+  EXPECT_TRUE(server_.IsHealthy());
+}
+
+TEST_F(InjectorTest, Table2RatesApproximatelyRespected) {
+  // With instant recovery, injection frequencies track Table 2.
+  FailureConfig config;  // paper defaults: 0.1 / 0.002 / 0.002 / 0.001
+  config.short_failure_min = 1;
+  config.short_failure_max = 2;
+  FailureInjector injector(&loop_, &net_, config, 99);
+  const int ops = 50000;
+  for (int i = 0; i < ops; ++i) {
+    injector.MaybeInject(&server_);
+    injector.Revive(&server_);  // next op sees a healthy server
+    loop_.RunFor(10);
+  }
+  const FailureStats& stats = injector.stats();
+  EXPECT_NEAR(static_cast<double>(stats.network_exceptions) / ops, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(stats.disk_errors) / ops, 0.002, 0.001);
+  EXPECT_NEAR(static_cast<double>(stats.blocked_processes) / ops, 0.002, 0.001);
+  EXPECT_NEAR(static_cast<double>(stats.breakdowns) / ops, 0.001, 0.0008);
+}
+
+TEST_F(InjectorTest, ShortFailureSelfRecovers) {
+  FailureConfig config = FailureConfig::None();
+  FailureInjector injector(&loop_, &net_, config, 1);
+  injector.Inject(&server_, FaultMode::kNetworkException, 100 * kMicrosPerMilli);
+  EXPECT_FALSE(server_.IsHealthy());
+  EXPECT_TRUE(net_.IsDisconnected(server_.address()));
+  loop_.RunFor(200 * kMicrosPerMilli);
+  EXPECT_TRUE(server_.IsHealthy());
+  EXPECT_FALSE(net_.IsDisconnected(server_.address()));
+}
+
+TEST_F(InjectorTest, BreakdownPersists) {
+  FailureInjector injector(&loop_, &net_, FailureConfig::None(), 1);
+  injector.Inject(&server_, FaultMode::kDown, 0);
+  loop_.RunFor(60 * kMicrosPerSecond);
+  EXPECT_EQ(server_.fault(), FaultMode::kDown);
+  EXPECT_TRUE(net_.IsDisconnected(server_.address()));
+  injector.Revive(&server_);
+  EXPECT_TRUE(server_.IsHealthy());
+}
+
+TEST_F(InjectorTest, ExistingFaultNotOverwritten) {
+  FailureConfig config;
+  config.p_network_exception = 1.0;  // would always fire
+  FailureInjector injector(&loop_, &net_, config, 1);
+  injector.Inject(&server_, FaultMode::kDown, 0);
+  EXPECT_FALSE(injector.MaybeInject(&server_));
+  EXPECT_EQ(server_.fault(), FaultMode::kDown);
+}
+
+TEST_F(InjectorTest, ShortRecoveryDoesNotReviveBreakdown) {
+  // A breakdown injected while a short-failure recovery timer is pending
+  // must survive that timer.
+  FailureInjector injector(&loop_, &net_, FailureConfig::None(), 1);
+  injector.Inject(&server_, FaultMode::kDiskError, 100);
+  server_.SetFault(FaultMode::kDown);  // breakdown overtakes
+  loop_.RunFor(1000);
+  EXPECT_EQ(server_.fault(), FaultMode::kDown);
+}
+
+TEST_F(InjectorTest, DiskErrorDoesNotDisconnectNetwork) {
+  FailureInjector injector(&loop_, &net_, FailureConfig::None(), 1);
+  injector.Inject(&server_, FaultMode::kDiskError, 1000);
+  EXPECT_FALSE(net_.IsDisconnected(server_.address()));
+  EXPECT_TRUE(server_.CheckAvailable().IsIOError());
+}
+
+TEST_F(InjectorTest, DeterministicAcrossRuns) {
+  auto run = [this]() {
+    FailureConfig config;
+    FailureInjector injector(&loop_, &net_, config, 12345);
+    std::vector<int> kinds;
+    DocStoreServer server("x", 1, loop_.clock());
+    for (int i = 0; i < 2000; ++i) {
+      injector.MaybeInject(&server);
+      kinds.push_back(static_cast<int>(server.fault()));
+      injector.Revive(&server);
+    }
+    return kinds;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace hotman::sim

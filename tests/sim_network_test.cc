@@ -1,0 +1,136 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace hotman::sim {
+namespace {
+
+Message Make(const std::string& from, const std::string& to) {
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.type = "test";
+  return msg;
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(&loop_, NetworkConfig{}, 1) {
+    net_.RegisterEndpoint("a", [this](const Message& m) { a_inbox_.push_back(m); });
+    net_.RegisterEndpoint("b", [this](const Message& m) { b_inbox_.push_back(m); });
+  }
+
+  EventLoop loop_;
+  SimNetwork net_;
+  std::vector<Message> a_inbox_;
+  std::vector<Message> b_inbox_;
+};
+
+TEST_F(NetworkTest, DeliversAsynchronously) {
+  EXPECT_TRUE(net_.Send(Make("a", "b"), 100));
+  EXPECT_TRUE(b_inbox_.empty());  // not yet delivered
+  loop_.RunUntilIdle();
+  ASSERT_EQ(b_inbox_.size(), 1u);
+  EXPECT_EQ(b_inbox_[0].from, "a");
+  EXPECT_EQ(b_inbox_[0].type, "test");
+}
+
+TEST_F(NetworkTest, LatencyIncludesTransmissionTime) {
+  NetworkConfig config;
+  config.base_latency = 100;
+  config.jitter = 0;
+  config.bandwidth_bytes_per_sec = 1.0e6;  // 1 MB/s
+  SimNetwork slow(&loop_, config, 1);
+  Micros delivered_at = -1;
+  slow.RegisterEndpoint("x", [this, &delivered_at](const Message&) {
+    delivered_at = loop_.Now();
+  });
+  Message msg = Make("y", "x");
+  slow.RegisterEndpoint("y", [](const Message&) {});
+  EXPECT_TRUE(slow.Send(std::move(msg), 1000000));  // 1 MB -> 1 s transmission
+  loop_.RunUntilIdle();
+  EXPECT_EQ(delivered_at, 100 + kMicrosPerSecond);
+}
+
+TEST_F(NetworkTest, UnknownDestinationDropped) {
+  EXPECT_FALSE(net_.Send(Make("a", "ghost"), 10));
+  loop_.RunUntilIdle();
+  EXPECT_EQ(net_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, MissingEndpointStillDrops) {
+  // The destination exists at send time but dies in flight.
+  EXPECT_TRUE(net_.Send(Make("a", "b"), 10));
+  net_.UnregisterEndpoint("b");
+  loop_.RunUntilIdle();
+  EXPECT_TRUE(b_inbox_.empty());
+  EXPECT_EQ(net_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, PartitionCutsBothDirections) {
+  net_.PartitionLink("a", "b");
+  EXPECT_FALSE(net_.Send(Make("a", "b"), 10));
+  EXPECT_FALSE(net_.Send(Make("b", "a"), 10));
+  net_.HealLink("b", "a");  // order-insensitive
+  EXPECT_TRUE(net_.Send(Make("a", "b"), 10));
+  loop_.RunUntilIdle();
+  EXPECT_EQ(b_inbox_.size(), 1u);
+}
+
+TEST_F(NetworkTest, DisconnectIsolatesNode) {
+  net_.Disconnect("b");
+  EXPECT_TRUE(net_.IsDisconnected("b"));
+  EXPECT_FALSE(net_.Send(Make("a", "b"), 10));
+  EXPECT_FALSE(net_.Send(Make("b", "a"), 10));
+  net_.Reconnect("b");
+  EXPECT_TRUE(net_.Send(Make("a", "b"), 10));
+  loop_.RunUntilIdle();
+  EXPECT_EQ(b_inbox_.size(), 1u);
+}
+
+TEST_F(NetworkTest, DisconnectionInFlightDropsDelivery) {
+  EXPECT_TRUE(net_.Send(Make("a", "b"), 10));
+  net_.Disconnect("b");
+  loop_.RunUntilIdle();
+  EXPECT_TRUE(b_inbox_.empty());
+}
+
+TEST_F(NetworkTest, DropProbabilityLosesSomeMessages) {
+  NetworkConfig config;
+  config.drop_probability = 0.5;
+  SimNetwork lossy(&loop_, config, 42);
+  int received = 0;
+  lossy.RegisterEndpoint("r", [&received](const Message&) { ++received; });
+  lossy.RegisterEndpoint("s", [](const Message&) {});
+  const int sent = 1000;
+  for (int i = 0; i < sent; ++i) lossy.Send(Make("s", "r"), 10);
+  loop_.RunUntilIdle();
+  EXPECT_GT(received, sent / 3);
+  EXPECT_LT(received, sent * 2 / 3);
+  EXPECT_EQ(lossy.messages_dropped(), static_cast<std::size_t>(sent) - received);
+}
+
+TEST_F(NetworkTest, StatsAccumulate) {
+  net_.Send(Make("a", "b"), 128);
+  net_.Send(Make("b", "a"), 256);
+  EXPECT_EQ(net_.messages_sent(), 2u);
+  EXPECT_EQ(net_.bytes_sent(), 384u);
+}
+
+TEST_F(NetworkTest, SelfSendWorks) {
+  EXPECT_TRUE(net_.Send(Make("a", "a"), 10));
+  loop_.RunUntilIdle();
+  EXPECT_EQ(a_inbox_.size(), 1u);
+}
+
+TEST_F(NetworkTest, ReRegisterReplacesHandler) {
+  int second = 0;
+  net_.RegisterEndpoint("b", [&second](const Message&) { ++second; });
+  net_.Send(Make("a", "b"), 10);
+  loop_.RunUntilIdle();
+  EXPECT_TRUE(b_inbox_.empty());
+  EXPECT_EQ(second, 1);
+}
+
+}  // namespace
+}  // namespace hotman::sim

@@ -1,0 +1,122 @@
+#include "sim/service_station.h"
+
+#include <gtest/gtest.h>
+
+namespace hotman::sim {
+namespace {
+
+ServiceConfig Config(int workers, Micros base, double rate) {
+  ServiceConfig config;
+  config.workers = workers;
+  config.base_service_micros = base;
+  config.process_bytes_per_sec = rate;
+  return config;
+}
+
+TEST(ServiceStationTest, SingleRequestTakesServiceTime) {
+  EventLoop loop;
+  ServiceStation station(&loop, Config(1, 1000, 1.0e6));
+  Micros queueing = -1, service = -1;
+  ASSERT_TRUE(station.Submit(500, [&](Micros q, Micros s) {
+    queueing = q;
+    service = s;
+  }));
+  loop.RunUntilIdle();
+  EXPECT_EQ(queueing, 0);
+  EXPECT_EQ(service, 1000 + 500);  // base + 500B at 1 MB/s = 500us
+  EXPECT_EQ(loop.Now(), 1500);
+  EXPECT_EQ(station.completed(), 1u);
+}
+
+TEST(ServiceStationTest, SequentialRequestsQueueOnOneWorker) {
+  EventLoop loop;
+  ServiceStation station(&loop, Config(1, 1000, 1.0e9));
+  std::vector<Micros> queueing;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(station.Submit(0, [&queueing](Micros q, Micros) {
+      queueing.push_back(q);
+    }));
+  }
+  loop.RunUntilIdle();
+  ASSERT_EQ(queueing.size(), 3u);
+  EXPECT_EQ(queueing[0], 0);
+  EXPECT_EQ(queueing[1], 1000);
+  EXPECT_EQ(queueing[2], 2000);
+}
+
+TEST(ServiceStationTest, ParallelWorkersAvoidQueueing) {
+  EventLoop loop;
+  ServiceStation station(&loop, Config(4, 1000, 1.0e9));
+  std::vector<Micros> queueing;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(station.Submit(0, [&queueing](Micros q, Micros) {
+      queueing.push_back(q);
+    }));
+  }
+  loop.RunUntilIdle();
+  for (Micros q : queueing) EXPECT_EQ(q, 0);
+  EXPECT_EQ(loop.Now(), 1000);  // all in parallel
+}
+
+TEST(ServiceStationTest, QueueLengthTracksBacklog) {
+  EventLoop loop;
+  ServiceStation station(&loop, Config(2, 1000, 1.0e9));
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(station.Submit(0, [](Micros, Micros) {}));
+  }
+  EXPECT_EQ(station.InFlight(), 6u);
+  EXPECT_EQ(station.QueueLength(), 4u);
+  loop.RunUntilIdle();
+  EXPECT_EQ(station.InFlight(), 0u);
+  EXPECT_EQ(station.QueueLength(), 0u);
+}
+
+TEST(ServiceStationTest, ShedsBeyondMaxQueue) {
+  EventLoop loop;
+  ServiceConfig config = Config(1, 1000, 1.0e9);
+  config.max_queue = 3;
+  ServiceStation station(&loop, config);
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (station.Submit(0, [](Micros, Micros) {})) ++admitted;
+  }
+  EXPECT_EQ(admitted, 4);  // 1 in service + 3 queued
+  EXPECT_EQ(station.shed(), 6u);
+  loop.RunUntilIdle();
+  EXPECT_EQ(station.completed(), 4u);
+}
+
+TEST(ServiceStationTest, UtilizationReflectsLoad) {
+  EventLoop loop;
+  ServiceStation station(&loop, Config(1, 1000, 1.0e9));
+  ASSERT_TRUE(station.Submit(0, [](Micros, Micros) {}));
+  loop.RunUntilIdle();    // busy 1000us over 1000us elapsed
+  EXPECT_NEAR(station.Utilization(), 1.0, 1e-9);
+  loop.RunFor(1000);      // idle for another 1000us
+  EXPECT_NEAR(station.Utilization(), 0.5, 1e-9);
+}
+
+TEST(ServiceStationTest, LatencyGrowsThenThroughputSaturates) {
+  // The Fig. 13/14 mechanism in miniature: beyond capacity, queueing delay
+  // grows with offered load while completions per second stay flat.
+  auto run = [](int requests) {
+    EventLoop loop;
+    ServiceStation station(&loop, Config(2, 1000, 1.0e9));
+    Micros total_queueing = 0;
+    for (int i = 0; i < requests; ++i) {
+      station.Submit(0, [&total_queueing](Micros q, Micros) { total_queueing += q; });
+    }
+    loop.RunUntilIdle();
+    return std::pair<double, double>(
+        static_cast<double>(total_queueing) / requests,
+        static_cast<double>(station.completed()) /
+            (static_cast<double>(loop.Now()) / kMicrosPerSecond));
+  };
+  auto [mean_queue_light, rate_light] = run(4);
+  auto [mean_queue_heavy, rate_heavy] = run(400);
+  EXPECT_GT(mean_queue_heavy, mean_queue_light * 10);
+  EXPECT_NEAR(rate_heavy, rate_light, rate_light * 0.2);  // both ≈ 2000/s
+}
+
+}  // namespace
+}  // namespace hotman::sim

@@ -1,0 +1,101 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hotman {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+}
+
+TEST(StatusTest, FactoryConstructorsSetCode) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError().IsIOError());
+  EXPECT_TRUE(Status::Timeout().IsTimeout());
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
+  EXPECT_TRUE(Status::NetworkError().IsNetworkError());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+  EXPECT_TRUE(Status::NotConnected().IsNotConnected());
+  EXPECT_TRUE(Status::QuorumFailed().IsQuorumFailed());
+  EXPECT_TRUE(Status::Unauthorized().IsUnauthorized());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+}
+
+TEST(StatusTest, ErrorsAreNotOk) {
+  EXPECT_FALSE(Status::NotFound("x").ok());
+  EXPECT_FALSE(Status::IOError("x").IsNotFound());
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status s = Status::NotFound("key missing");
+  EXPECT_EQ(s.ToString(), "NotFound: key missing");
+  EXPECT_EQ(s.message(), "key missing");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::IOError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.value_or("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status Inner(bool fail) {
+  if (fail) return Status::IOError("inner");
+  return Status::OK();
+}
+
+Status Outer(bool fail) {
+  HOTMAN_RETURN_IF_ERROR(Inner(fail));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Outer(false).ok());
+  EXPECT_TRUE(Outer(true).IsIOError());
+}
+
+}  // namespace
+}  // namespace hotman

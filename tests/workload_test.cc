@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "workload/dataset.h"
+#include "workload/metrics.h"
+#include "workload/runner.h"
+
+namespace hotman::workload {
+namespace {
+
+TEST(DatasetTest, SizesWithinSpecAndSorted) {
+  Dataset dataset(DatasetSpec::SystemEvaluation(500));
+  ASSERT_EQ(dataset.size(), 500u);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_GE(dataset.item(i).size_bytes, 3u * 1024);
+    EXPECT_LE(dataset.item(i).size_bytes, 600u * 1024);
+    if (i > 0) {
+      EXPECT_GE(dataset.item(i).size_bytes, dataset.item(i - 1).size_bytes)
+          << "dataset must be size-sorted";
+    }
+  }
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  DatasetSpec spec = DatasetSpec::SystemEvaluation(100);
+  Dataset a(spec), b(spec);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.item(i).size_bytes, b.item(i).size_bytes);
+    EXPECT_EQ(a.item(i).key, b.item(i).key);
+  }
+  spec.seed = 2;
+  Dataset c(spec);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.item(i).size_bytes != c.item(i).size_bytes) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatasetTest, PayloadExactSizeAndDeterministic) {
+  Dataset dataset(DatasetSpec::SystemEvaluation(10));
+  const Item& item = dataset.item(5);
+  Bytes p1 = dataset.Payload(item);
+  Bytes p2 = dataset.Payload(item);
+  EXPECT_EQ(p1.size(), item.size_bytes);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(DatasetTest, StorageModulePresetRange) {
+  Dataset dataset(DatasetSpec::StorageModuleEvaluation(200));
+  EXPECT_GE(dataset.item(0).size_bytes, 18u * 1024);
+  EXPECT_LE(dataset.item(dataset.size() - 1).size_bytes, 7633u * 1024);
+}
+
+TEST(DatasetTest, GaussianPickConcentratesLow) {
+  // mu=15 of 100 rank-slices: picks should cluster in the lower fifth and
+  // essentially never reach the top half.
+  Dataset dataset(DatasetSpec::StorageModuleEvaluation(1000));
+  Rng rng(5);
+  std::size_t below_30pct = 0, above_50pct = 0;
+  const int picks = 5000;
+  for (int i = 0; i < picks; ++i) {
+    const std::size_t index = dataset.GaussianPick(&rng);
+    if (index < 300) ++below_30pct;
+    if (index >= 500) ++above_50pct;
+  }
+  EXPECT_GT(below_30pct, picks * 85 / 100);
+  EXPECT_LT(above_50pct, picks / 100);
+}
+
+TEST(DatasetTest, UniformPickCoversRange) {
+  Dataset dataset(DatasetSpec::SystemEvaluation(50));
+  Rng rng(5);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(dataset.UniformPick(&rng));
+  EXPECT_GT(seen.size(), 45u);
+}
+
+TEST(MetricsTest, LatencyStatistics) {
+  LatencyRecorder recorder;
+  for (int i = 1; i <= 100; ++i) recorder.Record(i * 1000);
+  EXPECT_EQ(recorder.count(), 100u);
+  EXPECT_EQ(recorder.Min(), 1000);
+  EXPECT_EQ(recorder.Max(), 100000);
+  EXPECT_DOUBLE_EQ(recorder.MeanMicros(), 50500.0);
+  EXPECT_EQ(recorder.Percentile(50), 51000);  // nearest-rank of 100 samples
+  EXPECT_EQ(recorder.Percentile(0), 1000);
+  EXPECT_EQ(recorder.Percentile(100), 100000);
+  EXPECT_EQ(recorder.CountWithin(10000), 10u);
+}
+
+TEST(MetricsTest, SortedEveryThins) {
+  LatencyRecorder recorder;
+  for (int i = 100; i >= 1; --i) recorder.Record(i);
+  auto thinned = recorder.SortedEvery(10);
+  ASSERT_EQ(thinned.size(), 10u);
+  EXPECT_EQ(thinned[0], 1);
+  EXPECT_EQ(thinned[9], 91);
+}
+
+TEST(MetricsTest, EmptyRecorderIsSafe) {
+  LatencyRecorder recorder;
+  EXPECT_EQ(recorder.Min(), 0);
+  EXPECT_EQ(recorder.Max(), 0);
+  EXPECT_EQ(recorder.Percentile(50), 0);
+  EXPECT_DOUBLE_EQ(recorder.MeanMicros(), 0.0);
+}
+
+TEST(MetricsTest, ThroughputMeter) {
+  ThroughputMeter meter;
+  meter.Start(0);
+  meter.RecordOp(1024 * 1024);
+  meter.RecordOp(1024 * 1024);
+  meter.RecordFailure();
+  meter.Stop(2 * kMicrosPerSecond);
+  EXPECT_EQ(meter.ops(), 2u);
+  EXPECT_EQ(meter.failures(), 1u);
+  EXPECT_DOUBLE_EQ(meter.Rps(), 1.0);
+  EXPECT_DOUBLE_EQ(meter.ThroughputMBps(), 1.0);
+}
+
+TEST(RunnerTest, MemoryTargetClosedLoop) {
+  // Sanity-check the runner against a trivial in-memory target.
+  sim::EventLoop loop;
+  std::map<std::string, Bytes> memory;
+  KvTarget target;
+  target.put = [&loop, &memory](const std::string& key, Bytes value,
+                                std::function<void(const Status&)> cb) {
+    loop.Schedule(1000, [&memory, key, value = std::move(value),
+                         cb = std::move(cb)]() mutable {
+      memory[key] = std::move(value);
+      cb(Status::OK());
+    });
+  };
+  target.get = [&loop, &memory](const std::string& key,
+                                std::function<void(const Result<Bytes>&)> cb) {
+    loop.Schedule(1000, [&memory, key, cb = std::move(cb)]() {
+      auto it = memory.find(key);
+      if (it == memory.end()) {
+        cb(Status::NotFound("x"));
+      } else {
+        cb(it->second);
+      }
+    });
+  };
+  target.del = [](const std::string&, std::function<void(const Status&)> cb) {
+    cb(Status::OK());
+  };
+
+  Dataset dataset(DatasetSpec::SystemEvaluation(50));
+  RunOptions options;
+  options.clients = 10;
+  options.duration = 5 * kMicrosPerSecond;
+  options.read_fraction = 0.5;
+  WorkloadRunner runner(&loop, &dataset, target, options);
+
+  // Preload, then run the mixed workload.
+  RunReport load = runner.RunLoad(8);
+  EXPECT_EQ(load.meter.ops(), 50u);
+  EXPECT_EQ(load.failed, 0u);
+  EXPECT_GT(load.meter.ThroughputMBps(), 0.0);
+
+  RunReport report = runner.Run();
+  EXPECT_GT(report.issued, 0u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_GT(report.meter.Rps(), 0.0);
+  EXPECT_EQ(report.latency.count(), report.meter.ops());
+  EXPECT_EQ(report.ttfb.count(), report.meter.ops());
+  // TTLB >= TTFB for every sample by construction.
+  EXPECT_GE(report.ttlb.MeanMicros(), report.ttfb.MeanMicros());
+}
+
+TEST(RunnerTest, MoreClientsMoreThroughputUntilSaturation) {
+  auto run_with = [](int clients) {
+    sim::EventLoop loop;
+    sim::ServiceStation station(&loop, sim::ServiceConfig{});
+    KvTarget target;
+    target.get = [&station](const std::string&,
+                            std::function<void(const Result<Bytes>&)> cb) {
+      station.Submit(4096, [cb = std::move(cb)](Micros, Micros) {
+        cb(Bytes(4096, 'x'));
+      });
+    };
+    target.put = [](const std::string&, Bytes,
+                    std::function<void(const Status&)> cb) { cb(Status::OK()); };
+    target.del = [](const std::string&, std::function<void(const Status&)> cb) {
+      cb(Status::OK());
+    };
+    Dataset dataset(DatasetSpec::SystemEvaluation(20));
+    RunOptions options;
+    options.clients = clients;
+    options.duration = 10 * kMicrosPerSecond;
+    WorkloadRunner runner(&loop, &dataset, target, options);
+    return runner.Run().meter.Rps();
+  };
+  const double rps_small = run_with(5);
+  const double rps_big = run_with(50);
+  EXPECT_GT(rps_big, rps_small * 2);
+}
+
+TEST(RunnerTest, DeterministicReports) {
+  auto run = []() {
+    sim::EventLoop loop;
+    KvTarget target;
+    target.get = [&loop](const std::string&,
+                         std::function<void(const Result<Bytes>&)> cb) {
+      loop.Schedule(500, [cb = std::move(cb)]() { cb(Bytes(128, 'x')); });
+    };
+    target.put = [](const std::string&, Bytes,
+                    std::function<void(const Status&)> cb) { cb(Status::OK()); };
+    target.del = [](const std::string&, std::function<void(const Status&)> cb) {
+      cb(Status::OK());
+    };
+    Dataset dataset(DatasetSpec::SystemEvaluation(10));
+    RunOptions options;
+    options.clients = 4;
+    options.duration = 3 * kMicrosPerSecond;
+    WorkloadRunner runner(&loop, &dataset, target, options);
+    RunReport report = runner.Run();
+    return std::make_pair(report.issued, report.latency.MeanMicros());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace hotman::workload
