@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gossip.dir/bench_ablation_gossip.cc.o"
+  "CMakeFiles/bench_ablation_gossip.dir/bench_ablation_gossip.cc.o.d"
+  "bench_ablation_gossip"
+  "bench_ablation_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

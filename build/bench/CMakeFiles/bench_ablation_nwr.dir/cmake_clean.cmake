@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nwr.dir/bench_ablation_nwr.cc.o"
+  "CMakeFiles/bench_ablation_nwr.dir/bench_ablation_nwr.cc.o.d"
+  "bench_ablation_nwr"
+  "bench_ablation_nwr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nwr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

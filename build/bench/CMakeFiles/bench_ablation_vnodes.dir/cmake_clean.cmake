@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vnodes.dir/bench_ablation_vnodes.cc.o"
+  "CMakeFiles/bench_ablation_vnodes.dir/bench_ablation_vnodes.cc.o.d"
+  "bench_ablation_vnodes"
+  "bench_ablation_vnodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vnodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

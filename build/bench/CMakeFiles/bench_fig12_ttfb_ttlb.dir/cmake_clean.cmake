@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ttfb_ttlb.dir/bench_fig12_ttfb_ttlb.cc.o"
+  "CMakeFiles/bench_fig12_ttfb_ttlb.dir/bench_fig12_ttfb_ttlb.cc.o.d"
+  "bench_fig12_ttfb_ttlb"
+  "bench_fig12_ttfb_ttlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ttfb_ttlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_saturation.dir/bench_fig14_saturation.cc.o"
+  "CMakeFiles/bench_fig14_saturation.dir/bench_fig14_saturation.cc.o.d"
+  "bench_fig14_saturation"
+  "bench_fig14_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

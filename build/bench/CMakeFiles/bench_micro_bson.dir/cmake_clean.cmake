@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_bson.dir/bench_micro_bson.cc.o"
+  "CMakeFiles/bench_micro_bson.dir/bench_micro_bson.cc.o.d"
+  "bench_micro_bson"
+  "bench_micro_bson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_bson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

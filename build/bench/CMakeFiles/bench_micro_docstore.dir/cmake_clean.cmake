@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_docstore.dir/bench_micro_docstore.cc.o"
+  "CMakeFiles/bench_micro_docstore.dir/bench_micro_docstore.cc.o.d"
+  "bench_micro_docstore"
+  "bench_micro_docstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_docstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

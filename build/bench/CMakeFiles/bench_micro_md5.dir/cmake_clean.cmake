@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_md5.dir/bench_micro_md5.cc.o"
+  "CMakeFiles/bench_micro_md5.dir/bench_micro_md5.cc.o.d"
+  "bench_micro_md5"
+  "bench_micro_md5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_md5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ring.dir/bench_micro_ring.cc.o"
+  "CMakeFiles/bench_micro_ring.dir/bench_micro_ring.cc.o.d"
+  "bench_micro_ring"
+  "bench_micro_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_queries.dir/document_queries.cpp.o"
+  "CMakeFiles/document_queries.dir/document_queries.cpp.o.d"
+  "document_queries"
+  "document_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

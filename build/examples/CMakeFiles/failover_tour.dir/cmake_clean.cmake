@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_tour.dir/failover_tour.cpp.o"
+  "CMakeFiles/failover_tour.dir/failover_tour.cpp.o.d"
+  "failover_tour"
+  "failover_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

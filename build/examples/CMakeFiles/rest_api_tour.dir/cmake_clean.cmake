@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_api_tour.dir/rest_api_tour.cpp.o"
+  "CMakeFiles/rest_api_tour.dir/rest_api_tour.cpp.o.d"
+  "rest_api_tour"
+  "rest_api_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_api_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veepalms.dir/veepalms.cpp.o"
+  "CMakeFiles/veepalms.dir/veepalms.cpp.o.d"
+  "veepalms"
+  "veepalms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veepalms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

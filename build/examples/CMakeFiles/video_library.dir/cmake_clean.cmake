@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_library.dir/video_library.cpp.o"
+  "CMakeFiles/video_library.dir/video_library.cpp.o.d"
+  "video_library"
+  "video_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fs_store.cc" "src/CMakeFiles/hotman.dir/baselines/fs_store.cc.o" "gcc" "src/CMakeFiles/hotman.dir/baselines/fs_store.cc.o.d"
+  "/root/repo/src/baselines/rel_store.cc" "src/CMakeFiles/hotman.dir/baselines/rel_store.cc.o" "gcc" "src/CMakeFiles/hotman.dir/baselines/rel_store.cc.o.d"
+  "/root/repo/src/bson/codec.cc" "src/CMakeFiles/hotman.dir/bson/codec.cc.o" "gcc" "src/CMakeFiles/hotman.dir/bson/codec.cc.o.d"
+  "/root/repo/src/bson/document.cc" "src/CMakeFiles/hotman.dir/bson/document.cc.o" "gcc" "src/CMakeFiles/hotman.dir/bson/document.cc.o.d"
+  "/root/repo/src/bson/json.cc" "src/CMakeFiles/hotman.dir/bson/json.cc.o" "gcc" "src/CMakeFiles/hotman.dir/bson/json.cc.o.d"
+  "/root/repo/src/bson/object_id.cc" "src/CMakeFiles/hotman.dir/bson/object_id.cc.o" "gcc" "src/CMakeFiles/hotman.dir/bson/object_id.cc.o.d"
+  "/root/repo/src/bson/value.cc" "src/CMakeFiles/hotman.dir/bson/value.cc.o" "gcc" "src/CMakeFiles/hotman.dir/bson/value.cc.o.d"
+  "/root/repo/src/cache/cache_pool.cc" "src/CMakeFiles/hotman.dir/cache/cache_pool.cc.o" "gcc" "src/CMakeFiles/hotman.dir/cache/cache_pool.cc.o.d"
+  "/root/repo/src/cache/lru_cache.cc" "src/CMakeFiles/hotman.dir/cache/lru_cache.cc.o" "gcc" "src/CMakeFiles/hotman.dir/cache/lru_cache.cc.o.d"
+  "/root/repo/src/cluster/anti_entropy.cc" "src/CMakeFiles/hotman.dir/cluster/anti_entropy.cc.o" "gcc" "src/CMakeFiles/hotman.dir/cluster/anti_entropy.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/hotman.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/hotman.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/config.cc" "src/CMakeFiles/hotman.dir/cluster/config.cc.o" "gcc" "src/CMakeFiles/hotman.dir/cluster/config.cc.o.d"
+  "/root/repo/src/cluster/hinted_handoff.cc" "src/CMakeFiles/hotman.dir/cluster/hinted_handoff.cc.o" "gcc" "src/CMakeFiles/hotman.dir/cluster/hinted_handoff.cc.o.d"
+  "/root/repo/src/cluster/messages.cc" "src/CMakeFiles/hotman.dir/cluster/messages.cc.o" "gcc" "src/CMakeFiles/hotman.dir/cluster/messages.cc.o.d"
+  "/root/repo/src/cluster/replica_store.cc" "src/CMakeFiles/hotman.dir/cluster/replica_store.cc.o" "gcc" "src/CMakeFiles/hotman.dir/cluster/replica_store.cc.o.d"
+  "/root/repo/src/cluster/storage_node.cc" "src/CMakeFiles/hotman.dir/cluster/storage_node.cc.o" "gcc" "src/CMakeFiles/hotman.dir/cluster/storage_node.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/hotman.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/hotman.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/hotman.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/hotman.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/hotman.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/hotman.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/hotman.dir/common/random.cc.o" "gcc" "src/CMakeFiles/hotman.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hotman.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hotman.dir/common/status.cc.o.d"
+  "/root/repo/src/core/chunked.cc" "src/CMakeFiles/hotman.dir/core/chunked.cc.o" "gcc" "src/CMakeFiles/hotman.dir/core/chunked.cc.o.d"
+  "/root/repo/src/core/mystore.cc" "src/CMakeFiles/hotman.dir/core/mystore.cc.o" "gcc" "src/CMakeFiles/hotman.dir/core/mystore.cc.o.d"
+  "/root/repo/src/core/record.cc" "src/CMakeFiles/hotman.dir/core/record.cc.o" "gcc" "src/CMakeFiles/hotman.dir/core/record.cc.o.d"
+  "/root/repo/src/docstore/collection.cc" "src/CMakeFiles/hotman.dir/docstore/collection.cc.o" "gcc" "src/CMakeFiles/hotman.dir/docstore/collection.cc.o.d"
+  "/root/repo/src/docstore/connection.cc" "src/CMakeFiles/hotman.dir/docstore/connection.cc.o" "gcc" "src/CMakeFiles/hotman.dir/docstore/connection.cc.o.d"
+  "/root/repo/src/docstore/cursor.cc" "src/CMakeFiles/hotman.dir/docstore/cursor.cc.o" "gcc" "src/CMakeFiles/hotman.dir/docstore/cursor.cc.o.d"
+  "/root/repo/src/docstore/database.cc" "src/CMakeFiles/hotman.dir/docstore/database.cc.o" "gcc" "src/CMakeFiles/hotman.dir/docstore/database.cc.o.d"
+  "/root/repo/src/docstore/index.cc" "src/CMakeFiles/hotman.dir/docstore/index.cc.o" "gcc" "src/CMakeFiles/hotman.dir/docstore/index.cc.o.d"
+  "/root/repo/src/docstore/journal.cc" "src/CMakeFiles/hotman.dir/docstore/journal.cc.o" "gcc" "src/CMakeFiles/hotman.dir/docstore/journal.cc.o.d"
+  "/root/repo/src/docstore/master_slave.cc" "src/CMakeFiles/hotman.dir/docstore/master_slave.cc.o" "gcc" "src/CMakeFiles/hotman.dir/docstore/master_slave.cc.o.d"
+  "/root/repo/src/docstore/planner.cc" "src/CMakeFiles/hotman.dir/docstore/planner.cc.o" "gcc" "src/CMakeFiles/hotman.dir/docstore/planner.cc.o.d"
+  "/root/repo/src/docstore/server.cc" "src/CMakeFiles/hotman.dir/docstore/server.cc.o" "gcc" "src/CMakeFiles/hotman.dir/docstore/server.cc.o.d"
+  "/root/repo/src/gossip/failure_detector.cc" "src/CMakeFiles/hotman.dir/gossip/failure_detector.cc.o" "gcc" "src/CMakeFiles/hotman.dir/gossip/failure_detector.cc.o.d"
+  "/root/repo/src/gossip/gossiper.cc" "src/CMakeFiles/hotman.dir/gossip/gossiper.cc.o" "gcc" "src/CMakeFiles/hotman.dir/gossip/gossiper.cc.o.d"
+  "/root/repo/src/gossip/messages.cc" "src/CMakeFiles/hotman.dir/gossip/messages.cc.o" "gcc" "src/CMakeFiles/hotman.dir/gossip/messages.cc.o.d"
+  "/root/repo/src/gossip/node_state.cc" "src/CMakeFiles/hotman.dir/gossip/node_state.cc.o" "gcc" "src/CMakeFiles/hotman.dir/gossip/node_state.cc.o.d"
+  "/root/repo/src/hashring/ketama.cc" "src/CMakeFiles/hotman.dir/hashring/ketama.cc.o" "gcc" "src/CMakeFiles/hotman.dir/hashring/ketama.cc.o.d"
+  "/root/repo/src/hashring/md5.cc" "src/CMakeFiles/hotman.dir/hashring/md5.cc.o" "gcc" "src/CMakeFiles/hotman.dir/hashring/md5.cc.o.d"
+  "/root/repo/src/hashring/migration.cc" "src/CMakeFiles/hotman.dir/hashring/migration.cc.o" "gcc" "src/CMakeFiles/hotman.dir/hashring/migration.cc.o.d"
+  "/root/repo/src/hashring/ring.cc" "src/CMakeFiles/hotman.dir/hashring/ring.cc.o" "gcc" "src/CMakeFiles/hotman.dir/hashring/ring.cc.o.d"
+  "/root/repo/src/query/matcher.cc" "src/CMakeFiles/hotman.dir/query/matcher.cc.o" "gcc" "src/CMakeFiles/hotman.dir/query/matcher.cc.o.d"
+  "/root/repo/src/query/path.cc" "src/CMakeFiles/hotman.dir/query/path.cc.o" "gcc" "src/CMakeFiles/hotman.dir/query/path.cc.o.d"
+  "/root/repo/src/query/projection.cc" "src/CMakeFiles/hotman.dir/query/projection.cc.o" "gcc" "src/CMakeFiles/hotman.dir/query/projection.cc.o.d"
+  "/root/repo/src/query/sort.cc" "src/CMakeFiles/hotman.dir/query/sort.cc.o" "gcc" "src/CMakeFiles/hotman.dir/query/sort.cc.o.d"
+  "/root/repo/src/query/update.cc" "src/CMakeFiles/hotman.dir/query/update.cc.o" "gcc" "src/CMakeFiles/hotman.dir/query/update.cc.o.d"
+  "/root/repo/src/rest/request.cc" "src/CMakeFiles/hotman.dir/rest/request.cc.o" "gcc" "src/CMakeFiles/hotman.dir/rest/request.cc.o.d"
+  "/root/repo/src/rest/router.cc" "src/CMakeFiles/hotman.dir/rest/router.cc.o" "gcc" "src/CMakeFiles/hotman.dir/rest/router.cc.o.d"
+  "/root/repo/src/rest/signature.cc" "src/CMakeFiles/hotman.dir/rest/signature.cc.o" "gcc" "src/CMakeFiles/hotman.dir/rest/signature.cc.o.d"
+  "/root/repo/src/rest/token_db.cc" "src/CMakeFiles/hotman.dir/rest/token_db.cc.o" "gcc" "src/CMakeFiles/hotman.dir/rest/token_db.cc.o.d"
+  "/root/repo/src/sim/event_loop.cc" "src/CMakeFiles/hotman.dir/sim/event_loop.cc.o" "gcc" "src/CMakeFiles/hotman.dir/sim/event_loop.cc.o.d"
+  "/root/repo/src/sim/failure_injector.cc" "src/CMakeFiles/hotman.dir/sim/failure_injector.cc.o" "gcc" "src/CMakeFiles/hotman.dir/sim/failure_injector.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/hotman.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/hotman.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/service_station.cc" "src/CMakeFiles/hotman.dir/sim/service_station.cc.o" "gcc" "src/CMakeFiles/hotman.dir/sim/service_station.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "src/CMakeFiles/hotman.dir/workload/dataset.cc.o" "gcc" "src/CMakeFiles/hotman.dir/workload/dataset.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/hotman.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/hotman.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/metrics.cc" "src/CMakeFiles/hotman.dir/workload/metrics.cc.o" "gcc" "src/CMakeFiles/hotman.dir/workload/metrics.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/CMakeFiles/hotman.dir/workload/runner.cc.o" "gcc" "src/CMakeFiles/hotman.dir/workload/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

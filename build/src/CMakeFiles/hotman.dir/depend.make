@@ -1,0 +1,2 @@
+# Empty dependencies file for hotman.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anti_entropy_test.dir/anti_entropy_test.cc.o"
+  "CMakeFiles/anti_entropy_test.dir/anti_entropy_test.cc.o.d"
+  "anti_entropy_test"
+  "anti_entropy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anti_entropy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

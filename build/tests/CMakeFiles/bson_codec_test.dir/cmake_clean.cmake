@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bson_codec_test.dir/bson_codec_test.cc.o"
+  "CMakeFiles/bson_codec_test.dir/bson_codec_test.cc.o.d"
+  "bson_codec_test"
+  "bson_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bson_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

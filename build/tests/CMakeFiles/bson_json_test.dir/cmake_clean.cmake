@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bson_json_test.dir/bson_json_test.cc.o"
+  "CMakeFiles/bson_json_test.dir/bson_json_test.cc.o.d"
+  "bson_json_test"
+  "bson_json_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bson_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bson_value_test.dir/bson_value_test.cc.o"
+  "CMakeFiles/bson_value_test.dir/bson_value_test.cc.o.d"
+  "bson_value_test"
+  "bson_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bson_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

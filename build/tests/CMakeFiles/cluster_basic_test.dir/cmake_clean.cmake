@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_basic_test.dir/cluster_basic_test.cc.o"
+  "CMakeFiles/cluster_basic_test.dir/cluster_basic_test.cc.o.d"
+  "cluster_basic_test"
+  "cluster_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

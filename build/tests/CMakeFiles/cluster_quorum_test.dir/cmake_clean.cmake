@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_quorum_test.dir/cluster_quorum_test.cc.o"
+  "CMakeFiles/cluster_quorum_test.dir/cluster_quorum_test.cc.o.d"
+  "cluster_quorum_test"
+  "cluster_quorum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_quorum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

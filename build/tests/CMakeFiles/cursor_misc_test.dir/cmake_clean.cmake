@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cursor_misc_test.dir/cursor_misc_test.cc.o"
+  "CMakeFiles/cursor_misc_test.dir/cursor_misc_test.cc.o.d"
+  "cursor_misc_test"
+  "cursor_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cursor_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

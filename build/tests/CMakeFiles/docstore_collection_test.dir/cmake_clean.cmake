@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docstore_collection_test.dir/docstore_collection_test.cc.o"
+  "CMakeFiles/docstore_collection_test.dir/docstore_collection_test.cc.o.d"
+  "docstore_collection_test"
+  "docstore_collection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docstore_collection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

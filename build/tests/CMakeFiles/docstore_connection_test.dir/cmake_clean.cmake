@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docstore_connection_test.dir/docstore_connection_test.cc.o"
+  "CMakeFiles/docstore_connection_test.dir/docstore_connection_test.cc.o.d"
+  "docstore_connection_test"
+  "docstore_connection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docstore_connection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docstore_database_test.dir/docstore_database_test.cc.o"
+  "CMakeFiles/docstore_database_test.dir/docstore_database_test.cc.o.d"
+  "docstore_database_test"
+  "docstore_database_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docstore_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docstore_index_planner_test.dir/docstore_index_planner_test.cc.o"
+  "CMakeFiles/docstore_index_planner_test.dir/docstore_index_planner_test.cc.o.d"
+  "docstore_index_planner_test"
+  "docstore_index_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docstore_index_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docstore_journal_test.dir/docstore_journal_test.cc.o"
+  "CMakeFiles/docstore_journal_test.dir/docstore_journal_test.cc.o.d"
+  "docstore_journal_test"
+  "docstore_journal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docstore_journal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

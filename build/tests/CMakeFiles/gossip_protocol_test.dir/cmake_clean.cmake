@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_protocol_test.dir/gossip_protocol_test.cc.o"
+  "CMakeFiles/gossip_protocol_test.dir/gossip_protocol_test.cc.o.d"
+  "gossip_protocol_test"
+  "gossip_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_state_test.dir/gossip_state_test.cc.o"
+  "CMakeFiles/gossip_state_test.dir/gossip_state_test.cc.o.d"
+  "gossip_state_test"
+  "gossip_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinted_handoff_test.dir/hinted_handoff_test.cc.o"
+  "CMakeFiles/hinted_handoff_test.dir/hinted_handoff_test.cc.o.d"
+  "hinted_handoff_test"
+  "hinted_handoff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinted_handoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mystore_test.dir/mystore_test.cc.o"
+  "CMakeFiles/mystore_test.dir/mystore_test.cc.o.d"
+  "mystore_test"
+  "mystore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mystore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_matcher_test.dir/query_matcher_test.cc.o"
+  "CMakeFiles/query_matcher_test.dir/query_matcher_test.cc.o.d"
+  "query_matcher_test"
+  "query_matcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_projection_sort_test.dir/query_projection_sort_test.cc.o"
+  "CMakeFiles/query_projection_sort_test.dir/query_projection_sort_test.cc.o.d"
+  "query_projection_sort_test"
+  "query_projection_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_projection_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

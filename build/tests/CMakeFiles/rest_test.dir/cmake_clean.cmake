@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_test.dir/rest_test.cc.o"
+  "CMakeFiles/rest_test.dir/rest_test.cc.o.d"
+  "rest_test"
+  "rest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_service_station_test.dir/sim_service_station_test.cc.o"
+  "CMakeFiles/sim_service_station_test.dir/sim_service_station_test.cc.o.d"
+  "sim_service_station_test"
+  "sim_service_station_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_service_station_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
