@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -38,6 +39,57 @@ inline std::string Fmt(double v, int decimals = 1) {
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
   return buf;
 }
+
+/// Accumulates the run's measurements and writes them as
+/// BENCH_<id>.json in the working directory, so figure trajectories
+/// (including latency percentiles) survive the run as machine-readable
+/// artifacts. Values added via Json() must already be rendered JSON
+/// (e.g. LatencyRecorder::JsonSummary() or Registry::ToJson()).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench_id) : id_(std::move(bench_id)) {}
+
+  void Number(const std::string& name, double value, int decimals = 3) {
+    fields_.emplace_back(name, Fmt(value, decimals));
+  }
+  void Integer(const std::string& name, long long value) {
+    fields_.emplace_back(name, std::to_string(value));
+  }
+  void Text(const std::string& name, const std::string& value) {
+    fields_.emplace_back(name, "\"" + value + "\"");
+  }
+  void Json(const std::string& name, const std::string& rendered) {
+    fields_.emplace_back(name, rendered);
+  }
+
+  std::string Render() const {
+    std::string out = "{\"bench\":\"" + id_ + "\"";
+    for (const auto& [name, value] : fields_) {
+      out += ",\"" + name + "\":" + value;
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<id>.json; prints the path (or the failure) to stdout.
+  bool WriteFile() const {
+    const std::string path = "BENCH_" + id_ + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::printf("(could not write %s)\n", path.c_str());
+      return false;
+    }
+    const std::string body = Render();
+    std::fwrite(body.data(), 1, body.size(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string id_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace hotman::bench
 

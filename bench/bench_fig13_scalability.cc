@@ -36,6 +36,7 @@ int main() {
 
   bench::Row({"processes", "TTFB ms", "success %"});
   std::vector<std::pair<int, double>> series;
+  std::string steps_json = "[";
   for (int clients : {50, 100, 200, 400, 700, 1000, 1500, 2000}) {
     workload::RunOptions options;
     options.clients = clients;
@@ -47,8 +48,18 @@ int main() {
     series.emplace_back(clients, ttfb_ms);
     bench::Row({std::to_string(clients), bench::Fmt(ttfb_ms, 2),
                 bench::Fmt(100.0 * report.SuccessRate())});
+    if (steps_json.size() > 1) steps_json += ',';
+    steps_json += "{\"clients\":" + std::to_string(clients) +
+                  ",\"success_pct\":" + bench::Fmt(100.0 * report.SuccessRate()) +
+                  ",\"ttfb\":" + report.ttfb.JsonSummary() + "}";
     store.RunFor(2 * kMicrosPerSecond);  // drain between steps
   }
+  steps_json += ']';
+
+  bench::JsonWriter json("fig13_scalability");
+  json.Json("steps", steps_json);
+  json.Json("cluster", store.storage()->StatsJson());
+  json.WriteFile();
 
   bench::Section("shape check (rise, then plateau past the knee)");
   const double low = series[0].second;        // 50 procs

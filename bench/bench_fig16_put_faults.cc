@@ -23,6 +23,8 @@ struct Arm {
   std::size_t failed = 0;
   std::size_t faults_injected = 0;
   std::size_t handoffs = 0;
+  std::string latency_json;  ///< LatencyRecorder::JsonSummary of put latency
+  std::string cluster_json;  ///< Cluster::StatsJson at end of run
 };
 
 Arm RunArm(bool with_faults, std::uint64_t seed) {
@@ -74,6 +76,8 @@ Arm RunArm(bool with_faults, std::uint64_t seed) {
   arm.failed = report.failed;
   arm.faults_injected = cluster.injector()->stats().total();
   arm.handoffs = cluster.AggregateStats().handoff_writes;
+  arm.latency_json = report.latency.JsonSummary();
+  arm.cluster_json = cluster.StatsJson();
   return arm;
 }
 
@@ -117,5 +121,16 @@ int main() {
       100.0 * with_fault.ok / (with_fault.ok + with_fault.failed);
   std::printf("fault-arm success rate           : %.1f%% (failure handling "
               "masks nearly all faults)\n", success);
+
+  bench::JsonWriter json("fig16_put_faults");
+  json.Json("no_fault_latency", no_fault.latency_json);
+  json.Json("fault_latency", with_fault.latency_json);
+  json.Number("no_fault_puts_per_sec", no_fault.puts_per_sec, 1);
+  json.Number("fault_puts_per_sec", with_fault.puts_per_sec, 1);
+  json.Integer("fault_faults_injected",
+               static_cast<long long>(with_fault.faults_injected));
+  json.Integer("fault_handoffs", static_cast<long long>(with_fault.handoffs));
+  json.Json("fault_cluster", with_fault.cluster_json);
+  json.WriteFile();
   return 0;
 }

@@ -174,5 +174,11 @@ int main() {
   std::printf("within 200 ms: no-fault %.1f%% >= fault %.1f%% > m/s %.1f%% : %s\n",
               100 * frac_nf, 100 * frac_wf, 100 * frac_ms,
               (frac_nf >= frac_wf && frac_wf > frac_ms) ? "yes" : "NO");
+
+  bench::JsonWriter json("fig17_put_cdf");
+  json.Json("mystore_no_fault", no_fault.JsonSummary());
+  json.Json("mystore_fault", with_fault.JsonSummary());
+  json.Json("mongodb_master_slave_fault", master_slave.JsonSummary());
+  json.WriteFile();
   return 0;
 }

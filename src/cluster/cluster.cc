@@ -1,5 +1,7 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
+
 #include "core/record.h"
 #include "hashring/ketama.h"
 
@@ -92,7 +94,25 @@ void Cluster::Put(const std::string& key, Bytes value, PutCallback cb) {
 }
 
 void Cluster::Get(const std::string& key, GetCallback cb) {
-  AnyCoordinator()->CoordinateGet(key, std::move(cb));
+  // Reads retry like writes: a coordinator that went silent mid-request
+  // (Timeout) or stopped (Unavailable) should not surface to the client
+  // while another front door could still serve the read. NotFound and
+  // other authoritative answers return immediately.
+  auto attempt = std::make_shared<std::function<void(int)>>();
+  *attempt = [this, key, cb = std::move(cb), attempt](int tries) {
+    AnyCoordinator()->CoordinateGet(
+        key, [this, cb, attempt, tries](const Result<bson::Document>& r) {
+          const bool retryable =
+              !r.ok() && (r.status().IsTimeout() || r.status().IsUnavailable());
+          if (!retryable || tries + 1 >= kWriteAttempts) {
+            cb(r);
+            return;
+          }
+          loop_.Schedule(kWriteRetryBackoff,
+                         [attempt, tries]() { (*attempt)(tries + 1); });
+        });
+  };
+  (*attempt)(0);
 }
 
 void Cluster::Delete(const std::string& key, PutCallback cb) {
@@ -269,6 +289,56 @@ NodeStats Cluster::AggregateStats() {
     total.ae_requested += s.ae_requested;
   }
   return total;
+}
+
+std::string Cluster::StatsJson() {
+  metrics::Registry registry;
+  const NodeStats total = AggregateStats();
+  registry.counter("puts_coordinated")->Increment(total.puts_coordinated);
+  registry.counter("puts_succeeded")->Increment(total.puts_succeeded);
+  registry.counter("puts_failed")->Increment(total.puts_failed);
+  registry.counter("gets_coordinated")->Increment(total.gets_coordinated);
+  registry.counter("gets_succeeded")->Increment(total.gets_succeeded);
+  registry.counter("gets_failed")->Increment(total.gets_failed);
+  registry.counter("replica_puts_applied")->Increment(total.replica_puts_applied);
+  registry.counter("replica_gets_served")->Increment(total.replica_gets_served);
+  registry.counter("handoff_writes")->Increment(total.handoff_writes);
+  registry.counter("hints_delivered")->Increment(total.hints_delivered);
+  registry.counter("read_repairs")->Increment(total.read_repairs);
+  registry.counter("rereplications")->Increment(total.rereplications);
+  registry.counter("ae_rounds")->Increment(total.ae_rounds);
+  registry.counter("net_messages_sent")->Increment(network_.messages_sent());
+  registry.counter("net_messages_dropped")->Increment(network_.messages_dropped());
+  registry.counter("net_bytes_sent")->Increment(network_.bytes_sent());
+  registry.gauge("nodes")->Set(static_cast<std::int64_t>(nodes_.size()));
+  registry.gauge("virtual_now_us")->Set(loop_.Now());
+  metrics::Histogram* put_lat = registry.histogram("put_latency_us");
+  metrics::Histogram* get_lat = registry.histogram("get_latency_us");
+  metrics::Histogram* queue_wait = registry.histogram("replica_queue_wait_us");
+  metrics::Histogram* service = registry.histogram("replica_service_us");
+  for (auto& [address, node] : nodes_) {
+    put_lat->MergeFrom(node->put_latency_histogram());
+    get_lat->MergeFrom(node->get_latency_histogram());
+    queue_wait->MergeFrom(node->station()->queue_wait_histogram());
+    service->MergeFrom(node->station()->service_histogram());
+  }
+  registry.histogram("net_delivery_us")->MergeFrom(network_.delivery_histogram());
+  return registry.ToJson();
+}
+
+std::vector<metrics::TraceRecord> Cluster::RecentTraces(std::size_t limit) {
+  std::vector<metrics::TraceRecord> all;
+  for (auto& [address, node] : nodes_) {
+    for (metrics::TraceRecord& trace : node->traces().Snapshot()) {
+      all.push_back(std::move(trace));
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const metrics::TraceRecord& a, const metrics::TraceRecord& b) {
+              return a.finished_at < b.finished_at;
+            });
+  if (all.size() > limit) all.erase(all.begin(), all.end() - limit);
+  return all;
 }
 
 }  // namespace hotman::cluster

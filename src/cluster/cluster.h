@@ -86,6 +86,16 @@ class Cluster {
   /// Aggregated stats over all nodes.
   NodeStats AggregateStats();
 
+  /// Cluster-wide metrics snapshot as JSON: the AggregateStats counters,
+  /// merged put/get latency histograms, replica queue-wait/service
+  /// histograms and network delivery histogram (the /stats "cluster"
+  /// section).
+  std::string StatsJson();
+
+  /// The most recent `limit` trace records across all coordinators,
+  /// ordered by finish time (oldest first).
+  std::vector<metrics::TraceRecord> RecentTraces(std::size_t limit = 32);
+
  private:
   /// Re-integrates a node whose breakdown was repaired (the injector's
   /// rejoin path): every member re-adds it to their ring and migration

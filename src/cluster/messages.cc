@@ -41,6 +41,14 @@ Result<Document> GetDoc(const Document& doc, const char* name) {
 
 std::int64_t AsI64(std::uint64_t v) { return static_cast<std::int64_t>(v); }
 
+/// Optional int64 field: absent (older encoder / fire-and-forget path)
+/// decodes as 0 rather than an error.
+Micros GetMicrosOr0(const Document& doc, const char* name) {
+  const Value* v = doc.Get(name);
+  if (v == nullptr || !v->is_number()) return 0;
+  return v->NumberAsInt64();
+}
+
 }  // namespace
 
 bson::Document EncodePutReplica(const PutReplicaMsg& msg) {
@@ -66,6 +74,8 @@ bson::Document EncodePutAck(const PutAckMsg& msg) {
   doc.Append("req", Value(AsI64(msg.req)));
   doc.Append("ok", Value(msg.ok));
   doc.Append("err", Value(msg.error));
+  doc.Append("q_us", Value(msg.queue_micros));
+  doc.Append("s_us", Value(msg.service_micros));
   return doc;
 }
 
@@ -80,6 +90,8 @@ Result<PutAckMsg> DecodePutAck(const bson::Document& doc) {
   out.req = *req;
   out.ok = *ok;
   out.error = std::move(*err);
+  out.queue_micros = GetMicrosOr0(doc, "q_us");
+  out.service_micros = GetMicrosOr0(doc, "s_us");
   return out;
 }
 
@@ -108,6 +120,8 @@ bson::Document EncodeGetAck(const GetAckMsg& msg) {
   doc.Append("found", Value(msg.found));
   if (msg.found) doc.Append("doc", Value(msg.record));
   doc.Append("err", Value(msg.error));
+  doc.Append("q_us", Value(msg.queue_micros));
+  doc.Append("s_us", Value(msg.service_micros));
   return doc;
 }
 
@@ -125,6 +139,8 @@ Result<GetAckMsg> DecodeGetAck(const bson::Document& doc) {
   out.ok = *ok;
   out.found = *found;
   out.error = std::move(*err);
+  out.queue_micros = GetMicrosOr0(doc, "q_us");
+  out.service_micros = GetMicrosOr0(doc, "s_us");
   if (out.found) {
     auto record = GetDoc(doc, "doc");
     if (!record.ok()) return record.status();

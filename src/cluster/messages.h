@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bson/document.h"
+#include "common/clock.h"
 #include "common/status.h"
 
 namespace hotman::cluster {
@@ -31,11 +32,15 @@ struct PutReplicaMsg {
   bson::Document record;
 };
 
-/// put_ack payload.
+/// put_ack payload. queue/service report the replica-side time breakdown
+/// (its ServiceStation's admission decomposition) so the coordinator can
+/// attribute request latency to queueing vs. service vs. network.
 struct PutAckMsg {
   std::uint64_t req = 0;
   bool ok = false;
   std::string error;
+  Micros queue_micros = 0;
+  Micros service_micros = 0;
 };
 
 /// get_replica payload.
@@ -51,6 +56,8 @@ struct GetAckMsg {
   bool found = false;
   bson::Document record;  ///< valid when found
   std::string error;
+  Micros queue_micros = 0;    ///< replica-side queue wait (see PutAckMsg)
+  Micros service_micros = 0;  ///< replica-side service time
 };
 
 /// hint_store payload: the write plus the identity of the node it is for.

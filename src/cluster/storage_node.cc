@@ -88,6 +88,33 @@ void StorageNode::Stop() {
   detector_->Stop();
   loop_->Cancel(hint_timer_);
   loop_->Cancel(ae_timer_);
+  // Per-request events must not outlive the node: a timeout firing after
+  // Stop would touch freed state, and an undone operation would otherwise
+  // strand its caller forever. Move the maps out first so callbacks that
+  // re-enter this node see empty pending state.
+  auto puts = std::move(pending_puts_);
+  pending_puts_.clear();
+  for (auto& [req, put] : puts) {
+    loop_->Cancel(put.timeout_event);
+    loop_->Cancel(put.cleanup_event);
+    if (!put.done) {
+      put.done = true;
+      ++stats_.puts_failed;
+      RecordPutOutcome(put, req, /*ok=*/false);
+      put.cb(Status::Unavailable("coordinator stopped: " + id_));
+    }
+  }
+  auto gets = std::move(pending_gets_);
+  pending_gets_.clear();
+  for (auto& [req, get] : gets) {
+    loop_->Cancel(get.timeout_event);
+    if (!get.done) {
+      get.done = true;
+      ++stats_.gets_failed;
+      RecordGetOutcome(get, req, /*ok=*/false);
+      get.cb(Status::Unavailable("coordinator stopped: " + id_));
+    }
+  }
   network_->UnregisterEndpoint(id_);
 }
 
@@ -154,9 +181,12 @@ void StorageNode::HandlePutReplica(const sim::Message& msg) {
   const std::string from = msg.from;
   bson::Document record = std::move(decoded->record);
   const bool admitted = station_->Submit(
-      bytes, [this, req, from, record = std::move(record)](Micros, Micros) {
+      bytes, [this, req, from, record = std::move(record)](Micros queued,
+                                                           Micros serviced) {
         PutAckMsg ack;
         ack.req = req;
+        ack.queue_micros = queued;
+        ack.service_micros = serviced;
         Status available = server_->CheckAvailable();
         if (!available.ok()) {
           ack.ok = false;
@@ -189,9 +219,11 @@ void StorageNode::HandleGetReplica(const sim::Message& msg) {
   const std::string from = msg.from;
   const std::string key = decoded->key;
   const bool admitted = station_->Submit(
-      256, [this, req, from, key](Micros, Micros) {
+      256, [this, req, from, key](Micros queued, Micros serviced) {
         GetAckMsg ack;
         ack.req = req;
+        ack.queue_micros = queued;
+        ack.service_micros = serviced;
         Status available = server_->CheckAvailable();
         if (!available.ok()) {
           ack.ok = false;
@@ -285,8 +317,10 @@ void StorageNode::StartPut(bson::Document record, PutCallback cb) {
   const std::uint64_t req = next_req_++;
   PendingPut put;
   put.key = key;
+  put.primary = targets.front();
   put.record = record;
   put.cb = std::move(cb);
+  put.started_at = loop_->Now();
   put.needed = std::min<int>(config_.write_quorum, static_cast<int>(targets.size()));
   for (const std::string& target : targets) {
     put.responded.emplace(target, false);
@@ -322,6 +356,9 @@ void StorageNode::StartPut(bson::Document record, PutCallback cb) {
       pending.responded[target] = true;
       TryHandoff(req, &pending, target);
     }
+    // With handoff disabled every known-dead target counts as answered, so
+    // an unreachable quorum can already be decided here (fast fail).
+    MaybeFinishPut(req, &pending);
   }
 }
 
@@ -336,6 +373,9 @@ void StorageNode::HandlePutAck(const sim::Message& msg) {
     if (responded_it->second) return;  // duplicate
     responded_it->second = true;
   }
+  put.last_queue = ack->queue_micros;
+  put.last_service = ack->service_micros;
+  put.last_replica = msg.from;
   if (ack->ok) {
     ++put.acks;
   } else {
@@ -369,9 +409,9 @@ void StorageNode::MaybeFinishPut(std::uint64_t req, PendingPut* put) {
   if (!put->done && put->acks >= put->needed) {
     put->done = true;
     ++stats_.puts_succeeded;
+    RecordPutOutcome(*put, req, /*ok=*/true);
     put->cb(Status::OK());
   }
-  // Fully settled: everyone answered and the outcome is decided.
   bool all_responded = true;
   for (const auto& [target, answered] : put->responded) {
     if (!answered) {
@@ -379,11 +419,19 @@ void StorageNode::MaybeFinishPut(std::uint64_t req, PendingPut* put) {
       break;
     }
   }
-  if (all_responded && put->done) {
-    loop_->Cancel(put->timeout_event);
-    loop_->Cancel(put->cleanup_event);
-    pending_puts_.erase(req);
+  if (!all_responded) return;
+  // Everyone answered (handoff substitutes included). If the quorum is
+  // still short, no outstanding ack can ever close the gap — fail fast
+  // instead of parking the client until the 4x cleanup timer.
+  if (!put->done) {
+    put->done = true;
+    ++stats_.puts_failed;
+    RecordPutOutcome(*put, req, /*ok=*/false);
+    put->cb(Status::QuorumFailed("write quorum not reached for key " + put->key));
   }
+  loop_->Cancel(put->timeout_event);
+  loop_->Cancel(put->cleanup_event);
+  pending_puts_.erase(req);
 }
 
 void StorageNode::OnPutTimeout(std::uint64_t req) {
@@ -402,7 +450,10 @@ void StorageNode::OnPutTimeout(std::uint64_t req) {
     for (const std::string& target : silent) {
       PutReplicaMsg msg;
       msg.req = req;
-      msg.record = core::AsReplicaCopy(put.record);
+      // The primary stores the original (isData=1), mirroring StartPut; a
+      // copy here would silently demote the record on a retried primary.
+      msg.record =
+          (target == put.primary) ? put.record : core::AsReplicaCopy(put.record);
       SendToNode(target, kMsgPutReplica, EncodePutReplica(msg));
     }
     put.timeout_event = loop_->Schedule(config_.put_timeout / 2,
@@ -417,9 +468,15 @@ void StorageNode::OnPutTimeout(std::uint64_t req) {
     put.responded[target] = true;
     TryHandoff(req, &put, target);
   }
-  if (put.timeout_wave < 4 && !put.done) {
-    put.timeout_event = loop_->Schedule(config_.put_timeout / 2,
-                                        [this, req]() { OnPutTimeout(req); });
+  // Giving up on the silent replicas may have settled the outcome (all
+  // responded, quorum unreachable): decide now rather than waiting for the
+  // cleanup timer. MaybeFinishPut can erase the entry, so re-find it.
+  MaybeFinishPut(req, &put);
+  auto still = pending_puts_.find(req);
+  if (still != pending_puts_.end() && still->second.timeout_wave < 4 &&
+      !still->second.done) {
+    still->second.timeout_event = loop_->Schedule(
+        config_.put_timeout / 2, [this, req]() { OnPutTimeout(req); });
   }
 }
 
@@ -430,6 +487,7 @@ void StorageNode::OnPutCleanup(std::uint64_t req) {
   if (!put.done) {
     put.done = true;
     ++stats_.puts_failed;
+    RecordPutOutcome(put, req, /*ok=*/false);
     put.cb(Status::QuorumFailed("write quorum not reached for key " + put.key));
   }
   loop_->Cancel(put.timeout_event);
@@ -461,6 +519,7 @@ void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
   PendingGet get;
   get.key = key;
   get.cb = std::move(cb);
+  get.started_at = loop_->Now();
   get.needed = std::min<int>(config_.read_quorum, static_cast<int>(targets.size()));
   get.targets = targets;
   get.timeout_event =
@@ -483,6 +542,9 @@ void StorageNode::HandleGetAck(const sim::Message& msg) {
   if (it == pending_gets_.end()) return;
   PendingGet& get = it->second;
   if (get.replies.count(msg.from) > 0) return;  // duplicate
+  get.last_queue = ack->queue_micros;
+  get.last_service = ack->service_micros;
+  get.last_replica = msg.from;
   GetReply reply;
   reply.ok = ack->ok;
   reply.found = ack->found;
@@ -508,6 +570,7 @@ void StorageNode::MaybeFinishGet(std::uint64_t req, PendingGet* get) {
       // Fast path: a found record plus R successful reads.
       get->done = true;
       ++stats_.gets_succeeded;
+      RecordGetOutcome(*get, req, /*ok=*/true);
       get->cb(*winner);
     } else if (all_responded) {
       // "The Get operation gets all replications of the specified key":
@@ -515,12 +578,15 @@ void StorageNode::MaybeFinishGet(std::uint64_t req, PendingGet* get) {
       get->done = true;
       if (winner != nullptr) {
         ++stats_.gets_succeeded;
+        RecordGetOutcome(*get, req, /*ok=*/true);
         get->cb(*winner);
       } else if (successes >= get->needed) {
         ++stats_.gets_failed;
+        RecordGetOutcome(*get, req, /*ok=*/false);
         get->cb(Status::NotFound("no replica has key " + get->key));
       } else {
         ++stats_.gets_failed;
+        RecordGetOutcome(*get, req, /*ok=*/false);
         get->cb(Status::Unavailable("read quorum unreachable for " + get->key));
       }
     }
@@ -580,16 +646,61 @@ void StorageNode::OnGetTimeout(std::uint64_t req) {
     }
     if (winner != nullptr && successes >= 1) {
       ++stats_.gets_succeeded;
+      RecordGetOutcome(get, req, /*ok=*/true);
       get.cb(*winner);
     } else if (successes >= get.needed) {
       ++stats_.gets_failed;
+      RecordGetOutcome(get, req, /*ok=*/false);
       get.cb(Status::NotFound("no replica has key " + get.key));
     } else {
       ++stats_.gets_failed;
+      RecordGetOutcome(get, req, /*ok=*/false);
       get.cb(Status::Timeout("read quorum not reached for key " + get.key));
     }
   }
   FinalizeGet(req, &get);
+}
+
+// --- observability ----------------------------------------------------------
+
+void StorageNode::RecordPutOutcome(const PendingPut& put, std::uint64_t req,
+                                   bool ok) {
+  const Micros total = loop_->Now() - put.started_at;
+  put_latency_hist_.Record(total);
+  metrics::TraceRecord trace;
+  trace.req = req;
+  trace.op = metrics::TraceOp::kPut;
+  trace.key = put.key;
+  trace.coordinator = id_;
+  trace.replica = put.last_replica;
+  trace.started_at = put.started_at;
+  trace.finished_at = loop_->Now();
+  trace.queue_micros = put.last_queue;
+  trace.service_micros = put.last_service;
+  trace.network_micros =
+      std::max<Micros>(0, total - put.last_queue - put.last_service);
+  trace.ok = ok;
+  traces_.Add(std::move(trace));
+}
+
+void StorageNode::RecordGetOutcome(const PendingGet& get, std::uint64_t req,
+                                   bool ok) {
+  const Micros total = loop_->Now() - get.started_at;
+  get_latency_hist_.Record(total);
+  metrics::TraceRecord trace;
+  trace.req = req;
+  trace.op = metrics::TraceOp::kGet;
+  trace.key = get.key;
+  trace.coordinator = id_;
+  trace.replica = get.last_replica;
+  trace.started_at = get.started_at;
+  trace.finished_at = loop_->Now();
+  trace.queue_micros = get.last_queue;
+  trace.service_micros = get.last_service;
+  trace.network_micros =
+      std::max<Micros>(0, total - get.last_queue - get.last_service);
+  trace.ok = ok;
+  traces_.Add(std::move(trace));
 }
 
 // --- hinted handoff write-back ----------------------------------------------

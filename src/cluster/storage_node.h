@@ -12,6 +12,7 @@
 #include "cluster/hinted_handoff.h"
 #include "cluster/messages.h"
 #include "cluster/replica_store.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "core/record.h"
 #include "docstore/server.h"
@@ -129,12 +130,21 @@ class StorageNode {
   sim::ServiceStation* station() { return station_.get(); }
   const NodeStats& stats() const { return stats_; }
 
+  /// Coordinated-operation latency (enqueue -> outcome callback), success
+  /// and failure combined; the cluster layer merges these for /stats.
+  const metrics::Histogram& put_latency_histogram() const { return put_latency_hist_; }
+  const metrics::Histogram& get_latency_histogram() const { return get_latency_hist_; }
+
+  /// Recent per-request trace records coordinated by this node.
+  const metrics::TraceBuffer& traces() const { return traces_; }
+
   /// Nodes this node believes are cluster members (on its ring).
   std::vector<std::string> KnownMembers() const { return ring_.Nodes(); }
 
  private:
   struct PendingPut {
     std::string key;
+    std::string primary;  ///< first preference node (stores the original)
     bson::Document record;
     PutCallback cb;
     bool done = false;
@@ -145,6 +155,12 @@ class StorageNode {
     std::set<std::string> used;             // every node contacted
     sim::EventId timeout_event = 0;
     sim::EventId cleanup_event = 0;
+    Micros started_at = 0;
+    // Breakdown carried by the most recent ack (the decisive one when the
+    // operation completes), for the trace record.
+    Micros last_queue = 0;
+    Micros last_service = 0;
+    std::string last_replica;
   };
 
   struct GetReply {
@@ -161,6 +177,10 @@ class StorageNode {
     std::vector<std::string> targets;
     std::map<std::string, GetReply> replies;
     sim::EventId timeout_event = 0;
+    Micros started_at = 0;
+    Micros last_queue = 0;
+    Micros last_service = 0;
+    std::string last_replica;
   };
 
   // Message plumbing.
@@ -190,6 +210,11 @@ class StorageNode {
   void OnGetTimeout(std::uint64_t req);
   void MaybeFinishGet(std::uint64_t req, PendingGet* get);
   void FinalizeGet(std::uint64_t req, PendingGet* get);
+
+  // Observability: latency histogram sample + trace record for a decided
+  // coordinated operation (call exactly once, when `done` flips).
+  void RecordPutOutcome(const PendingPut& put, std::uint64_t req, bool ok);
+  void RecordGetOutcome(const PendingGet& get, std::uint64_t req, bool ok);
 
   // Anti-entropy plumbing.
   void StartAntiEntropyTimer();
@@ -235,6 +260,9 @@ class StorageNode {
   sim::EventId ae_timer_ = 0;
   Rng ae_rng_{0x5eedae};
   NodeStats stats_;
+  metrics::Histogram put_latency_hist_;
+  metrics::Histogram get_latency_hist_;
+  metrics::TraceBuffer traces_{256};
 };
 
 }  // namespace hotman::cluster

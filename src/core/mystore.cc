@@ -1,5 +1,8 @@
 #include "core/mystore.h"
 
+#include <cstdio>
+
+#include "common/metrics.h"
 #include "rest/signature.h"
 
 namespace hotman::core {
@@ -120,8 +123,36 @@ rest::Response MyStore::HandleSigned(const std::string& user,
   return Handle(unsigned_request);
 }
 
+std::string MyStore::StatsJson() {
+  std::string out = "{\"cluster\":" + cluster_->StatsJson();
+  out += ",\"cache\":{\"servers\":" + std::to_string(cache_->num_servers());
+  out += ",\"hits\":" + std::to_string(cache_->TotalHits());
+  out += ",\"misses\":" + std::to_string(cache_->TotalMisses());
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.4f", cache_->HitRate());
+  out += ",\"hit_rate\":";
+  out += rate;
+  out += "}";
+  out += ",\"router\":" + router_->StatsJson();
+  out += ",\"traces\":[";
+  bool first = true;
+  for (const metrics::TraceRecord& trace : cluster_->RecentTraces()) {
+    if (!first) out += ',';
+    first = false;
+    out += trace.ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
 rest::Response MyStore::HandleOnWorker(int /*worker*/, const rest::Request& request) {
   rest::Response response;
+  // Observability endpoint: a reserved path, not a data resource.
+  if (request.method == rest::Method::kGet && request.path == "/stats") {
+    response.code = rest::StatusCode::kOk;
+    response.body = ToBytes(StatsJson());
+    return response;
+  }
   const std::string key = request.ResourceKey();
   switch (request.method) {
     case rest::Method::kGet: {

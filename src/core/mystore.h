@@ -79,6 +79,11 @@ class MyStore {
   /// before handling.
   rest::Response HandleSigned(const std::string& user, const rest::Request& request);
 
+  /// Whole-system observability snapshot, also served at `GET /stats`:
+  ///   {"cluster":{counters,gauges,histograms},"cache":{...},
+  ///    "router":{...},"traces":[...]}
+  std::string StatsJson();
+
   // --- module access -----------------------------------------------------------
 
   cluster::Cluster* storage() { return cluster_.get(); }

@@ -78,7 +78,19 @@ Status Journal::Append(const ChangeEvent& event) {
     return Status::IOError("journal flush failed");
   }
   ++appended_;
+  appended_bytes_ += record.size();
+  append_size_hist_.Record(static_cast<Micros>(record.size()));
   return Status::OK();
+}
+
+std::size_t Journal::AppendedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_bytes_;
+}
+
+metrics::HistogramSnapshot Journal::AppendSizeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return append_size_hist_.Snapshot();
 }
 
 Status Journal::Replay(Database* db) {

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "docstore/collection.h"
 
@@ -40,6 +41,12 @@ class Journal {
   /// Records successfully appended since Open.
   std::size_t NumAppended() const;
 
+  /// Bytes written (framing included) since Open.
+  std::size_t AppendedBytes() const;
+
+  /// On-disk record size of every successful append (framing included).
+  metrics::HistogramSnapshot AppendSizeSnapshot() const;
+
   const std::string& path() const { return path_; }
 
  private:
@@ -49,6 +56,8 @@ class Journal {
   std::FILE* file_;
   mutable std::mutex mu_;
   std::size_t appended_ = 0;
+  std::size_t appended_bytes_ = 0;
+  metrics::Histogram append_size_hist_;
 };
 
 /// CRC-32 (IEEE 802.3 polynomial) over `len` bytes.

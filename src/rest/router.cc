@@ -13,4 +13,18 @@ Response Router::Dispatch(const Request& request) {
   return handler_(worker, request);
 }
 
+std::string Router::StatsJson() const {
+  std::size_t total = 0;
+  std::string per_worker = "[";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    total += counts_[i];
+    if (i > 0) per_worker += ',';
+    per_worker += std::to_string(counts_[i]);
+  }
+  per_worker += ']';
+  return "{\"workers\":" + std::to_string(workers_) +
+         ",\"dispatched\":" + std::to_string(total) +
+         ",\"per_worker\":" + per_worker + "}";
+}
+
 }  // namespace hotman::rest

@@ -2,6 +2,7 @@
 #define HOTMAN_REST_ROUTER_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "rest/request.h"
@@ -29,6 +30,10 @@ class Router {
 
   /// Requests dispatched so far, per worker (balance introspection).
   const std::vector<std::size_t>& dispatch_counts() const { return counts_; }
+
+  /// Distribution-module stats as JSON:
+  ///   {"workers":N,"dispatched":total,"per_worker":[...]}
+  std::string StatsJson() const;
 
  private:
   int workers_;

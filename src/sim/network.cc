@@ -52,6 +52,7 @@ bool SimNetwork::Send(Message msg, std::size_t payload_bytes) {
     return false;
   }
   msg.sent_at = loop_->Now();
+  delivery_hist_.Record(delay);
   const std::string to = msg.to;
   loop_->Schedule(delay, [this, msg = std::move(msg)]() {
     // Re-check on delivery: the endpoint may have died in flight.

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "bson/document.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "sim/event_loop.h"
@@ -73,6 +74,10 @@ class SimNetwork {
   std::size_t messages_dropped() const { return messages_dropped_; }
   std::size_t bytes_sent() const { return bytes_sent_; }
 
+  /// End-to-end delivery delay (propagation + transmission + jitter) of
+  /// every message actually enqueued for delivery.
+  const metrics::Histogram& delivery_histogram() const { return delivery_hist_; }
+
   EventLoop* loop() { return loop_; }
 
  private:
@@ -87,6 +92,7 @@ class SimNetwork {
   std::size_t messages_sent_ = 0;
   std::size_t messages_dropped_ = 0;
   std::size_t bytes_sent_ = 0;
+  metrics::Histogram delivery_hist_;
 };
 
 }  // namespace hotman::sim

@@ -29,6 +29,8 @@ bool ServiceStation::Submit(std::size_t payload_bytes, Done done) {
   worker_free_.push(completion);
   busy_accum_ += service;
   ++in_flight_;
+  queue_wait_hist_.Record(start - now);
+  service_hist_.Record(service);
   loop_->ScheduleAt(completion,
                     [this, queueing = start - now, service, done = std::move(done)]() {
                       --in_flight_;

@@ -5,6 +5,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/metrics.h"
 #include "sim/event_loop.h"
 
 namespace hotman::sim {
@@ -53,6 +54,11 @@ class ServiceStation {
   /// Mean worker utilization since construction (0..workers).
   double Utilization() const;
 
+  /// Admission-time decomposition of every admitted request: time spent
+  /// waiting for a free worker vs. time being serviced.
+  const metrics::Histogram& queue_wait_histogram() const { return queue_wait_hist_; }
+  const metrics::Histogram& service_histogram() const { return service_hist_; }
+
  private:
   Micros ServiceTime(std::size_t bytes) const;
 
@@ -65,6 +71,8 @@ class ServiceStation {
   std::size_t shed_ = 0;
   Micros busy_accum_ = 0;
   Micros started_at_ = 0;
+  metrics::Histogram queue_wait_hist_;
+  metrics::Histogram service_hist_;
 };
 
 }  // namespace hotman::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace hotman::workload {
 
@@ -52,6 +53,21 @@ std::size_t LatencyRecorder::CountWithin(Micros bound) const {
     if (s <= bound) ++count;
   }
   return count;
+}
+
+std::string LatencyRecorder::JsonSummary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%zu,\"mean_us\":%.1f,\"min_us\":%lld,"
+                "\"p50_us\":%lld,\"p95_us\":%lld,\"p99_us\":%lld,"
+                "\"max_us\":%lld}",
+                samples_.size(), MeanMicros(),
+                static_cast<long long>(Min()),
+                static_cast<long long>(Percentile(50.0)),
+                static_cast<long long>(Percentile(95.0)),
+                static_cast<long long>(Percentile(99.0)),
+                static_cast<long long>(Max()));
+  return buf;
 }
 
 double ThroughputMeter::Rps() const {

@@ -32,6 +32,12 @@ class LatencyRecorder {
   /// Count of samples <= `bound` (the vertical axis of Fig. 17).
   std::size_t CountWithin(Micros bound) const;
 
+  /// Latency summary as JSON, field-compatible with
+  /// metrics::HistogramSnapshot::ToJson():
+  ///   {"count":N,"mean_us":..,"min_us":..,"p50_us":..,"p95_us":..,
+  ///    "p99_us":..,"max_us":..}
+  std::string JsonSummary() const;
+
   const std::vector<Micros>& samples() const { return samples_; }
 
  private:

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cluster/cluster.h"
+#include "core/record.h"
 
 namespace hotman::cluster {
 namespace {
@@ -147,6 +150,90 @@ TEST_F(ClusterFailureTest, ReadRepairFixesStaleReplica) {
   auto record = lagging->store()->GetByKey("stale-key");
   ASSERT_TRUE(record.ok());
   EXPECT_EQ(ToString(core::RecordValue(*record)), "v2");
+}
+
+TEST_F(ClusterFailureTest, ReadsRetryThroughAnotherCoordinator) {
+  // Regression: Cluster::Get had no client-side retry, unlike Put/Delete.
+  // A network-only outage leaves the node looking healthy to the client
+  // picker, so round-robin keeps handing it reads to coordinate; those
+  // time out and must be retried through a connected front door.
+  Boot();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster_->PutSync("r" + std::to_string(i), ToBytes("v")).ok());
+  }
+  cluster_->RunFor(2 * kMicrosPerSecond);
+  cluster_->network()->Disconnect("db2:19870");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(cluster_->GetSync("r" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST_F(ClusterFailureTest, PrimaryRetryKeepsOriginalRecord) {
+  // Regression: the first timeout wave resent core::AsReplicaCopy to every
+  // silent target — including the primary, silently demoting its isData=1
+  // original to a copy.
+  Boot();
+  const std::string key = "primary-retry";
+  auto prefs = cluster_->nodes().front()->ring().PreferenceList(key, 3);
+  StorageNode* coordinator = nullptr;
+  for (StorageNode* node : cluster_->nodes()) {
+    if (std::find(prefs.begin(), prefs.end(), node->id()) == prefs.end()) {
+      coordinator = node;
+      break;
+    }
+  }
+  ASSERT_NE(coordinator, nullptr) << "need a coordinator outside the prefs";
+  // Only the coordinator<->primary link drops, so the quorum still succeeds
+  // via the other two replicas; heal before the wave-1 resend fires.
+  cluster_->network()->PartitionLink(coordinator->id(), prefs[0]);
+  Status result = Status::Timeout("never finished");
+  coordinator->CoordinatePut(key, ToBytes("v"), [&](const Status& s) {
+    result = s;
+  });
+  cluster_->RunFor(cluster_->config().put_timeout / 2);
+  cluster_->network()->HealLink(coordinator->id(), prefs[0]);
+  cluster_->RunFor(3 * cluster_->config().put_timeout);
+  EXPECT_TRUE(result.ok()) << result.ToString();
+  auto record = cluster_->node(prefs[0])->store()->GetByKey(key);
+  ASSERT_TRUE(record.ok()) << "wave-1 resend never reached the primary";
+  EXPECT_FALSE(core::RecordIsCopy(*record))
+      << "primary resend must carry the original record (isData=1)";
+}
+
+TEST_F(ClusterFailureTest, StopFailsPendingOperationsOnce) {
+  // Regression: Stop() leaked every pending request's timeout/cleanup
+  // events and left callers hanging. It must fail undone operations with
+  // Unavailable immediately, and the orphaned timers must never fire a
+  // second callback.
+  Boot();
+  StorageNode* coordinator = cluster_->node("db1:19870");
+  ASSERT_NE(coordinator, nullptr);
+  cluster_->network()->Disconnect(coordinator->id());
+  int put_calls = 0;
+  int get_calls = 0;
+  Status put_result = Status::OK();
+  Status get_result = Status::OK();
+  coordinator->CoordinatePut("stopped-put", ToBytes("v"), [&](const Status& s) {
+    ++put_calls;
+    put_result = s;
+  });
+  coordinator->CoordinateGet("stopped-get",
+                             [&](const Result<bson::Document>& r) {
+                               ++get_calls;
+                               get_result = r.status();
+                             });
+  cluster_->RunFor(50 * kMicrosPerMilli);
+  ASSERT_EQ(put_calls, 0);
+  ASSERT_EQ(get_calls, 0);
+  coordinator->Stop();
+  EXPECT_EQ(put_calls, 1);
+  EXPECT_EQ(get_calls, 1);
+  EXPECT_TRUE(put_result.IsUnavailable()) << put_result.ToString();
+  EXPECT_TRUE(get_result.IsUnavailable()) << get_result.ToString();
+  // Any leaked per-request timer would fire a duplicate callback here.
+  cluster_->RunFor(10 * kMicrosPerSecond);
+  EXPECT_EQ(put_calls, 1);
+  EXPECT_EQ(get_calls, 1);
 }
 
 TEST_F(ClusterFailureTest, FaultInjectionStillReachesHighSuccessRate) {

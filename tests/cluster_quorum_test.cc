@@ -98,6 +98,39 @@ TEST(QuorumSemanticsTest, WriteFailsWhenQuorumUnreachable) {
       << result.ToString();
 }
 
+TEST(QuorumSemanticsTest, UnreachableQuorumFailsFast) {
+  // Regression: an unreachable write quorum used to park the client until
+  // the 4x put_timeout cleanup timer. Once the timeout waves have given up
+  // on every silent replica (all responded, no ack outstanding) the
+  // QuorumFailed verdict must arrive promptly — well under 2x put_timeout.
+  const Micros put_timeout = 300 * kMicrosPerMilli;
+  ClusterConfig config = ClusterConfig::Uniform(3);
+  config.replication_factor = 3;
+  config.write_quorum = 3;
+  config.hinted_handoff = false;
+  config.put_timeout = put_timeout;
+  Cluster cluster(std::move(config), 5);
+  ASSERT_TRUE(cluster.Start().ok());
+  // Silent failure (messages vanish, no nacks): the slowest path, since the
+  // coordinator must time the replica out instead of reacting to an error.
+  cluster.network()->Disconnect("db3:19870");
+  StorageNode* coordinator = cluster.node("db1:19870");
+  ASSERT_NE(coordinator, nullptr);
+
+  const Micros start = cluster.loop()->Now();
+  Micros finished = -1;
+  Status result = Status::OK();
+  coordinator->CoordinatePut("k", ToBytes("v"), [&](const Status& s) {
+    result = s;
+    finished = cluster.loop()->Now();
+  });
+  cluster.RunFor(5 * put_timeout);
+  ASSERT_GE(finished, 0) << "put callback never fired";
+  EXPECT_TRUE(result.IsQuorumFailed()) << result.ToString();
+  EXPECT_LT(finished - start, 2 * put_timeout)
+      << "fast-fail regressed to the cleanup timer";
+}
+
 TEST(QuorumSemanticsTest, SloppyQuorumMasksFailureViaHandoff) {
   // Same dead node, but hinted handoff on: the write redirects to a temp
   // node and still reaches W acks.

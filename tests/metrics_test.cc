@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace hotman::metrics {
+namespace {
+
+TEST(CounterGaugeTest, BasicAccounting) {
+  Counter counter;
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+
+  Gauge gauge;
+  gauge.Set(7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.value(), -3);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram hist;
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.p50, 0);
+  EXPECT_EQ(snap.p99, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // The bucket ladder starts with +1 steps, so single-digit samples land in
+  // width-1 buckets and percentiles are exact.
+  Histogram hist;
+  for (Micros v : {1, 2, 3}) hist.Record(v);
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 6u);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 3);
+  EXPECT_EQ(snap.p50, 2);
+  EXPECT_EQ(snap.p99, 3);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 2.0);
+}
+
+TEST(HistogramTest, SingleSampleClampsAllPercentilesToIt) {
+  Histogram hist;
+  hist.Record(5000);
+  EXPECT_EQ(hist.Percentile(0), 5000);
+  EXPECT_EQ(hist.Percentile(50), 5000);
+  EXPECT_EQ(hist.Percentile(99), 5000);
+  EXPECT_EQ(hist.Snapshot().max, 5000);
+}
+
+TEST(HistogramTest, PercentilesWithinBucketResolution) {
+  // Uniform 1..10000 us: the geometric buckets grow by 20%, so any
+  // percentile is at most one bucket (20%) above the true value and never
+  // below the previous bucket bound.
+  Histogram hist;
+  for (Micros v = 1; v <= 10000; ++v) hist.Record(v);
+  const Micros p50 = hist.Percentile(50);
+  const Micros p95 = hist.Percentile(95);
+  const Micros p99 = hist.Percentile(99);
+  EXPECT_GE(p50, 5000 * 80 / 100);
+  EXPECT_LE(p50, 5000 * 125 / 100);
+  EXPECT_GE(p95, 9500 * 80 / 100);
+  EXPECT_LE(p95, 9500 * 125 / 100);
+  EXPECT_GE(p99, 9900 * 80 / 100);
+  EXPECT_LE(p99, 10000);  // clamped by the exact max
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+}
+
+TEST(HistogramTest, NegativeSamplesClampToZero) {
+  Histogram hist;
+  hist.Record(-123);
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.sum, 0u);
+}
+
+TEST(HistogramTest, FarTailClampsToLastBucket) {
+  Histogram hist;
+  const Micros huge = Micros{1} << 60;
+  hist.Record(huge);
+  EXPECT_EQ(hist.count(), 1u);
+  // The exact max tightens the over-wide last bucket.
+  EXPECT_EQ(hist.Percentile(99), huge);
+}
+
+TEST(HistogramTest, BucketBoundsAreStrictlyIncreasing) {
+  for (std::size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_LT(Histogram::BucketUpperBound(i - 1), Histogram::BucketUpperBound(i))
+        << i;
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1);
+  // The ladder must cover multi-second latencies.
+  EXPECT_GT(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            10 * kMicrosPerSecond);
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndExtrema) {
+  Histogram a;
+  Histogram b;
+  for (Micros v = 1; v <= 100; ++v) a.Record(v);
+  for (Micros v = 901; v <= 1000; ++v) b.Record(v);
+  a.MergeFrom(b);
+  HistogramSnapshot snap = a.Snapshot();
+  EXPECT_EQ(snap.count, 200u);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 1000);
+  // Half the samples are <= 100, so p50 sits near the low cluster's edge
+  // and p95 inside the high cluster (bucket resolution: within 25%).
+  EXPECT_LE(snap.p50, 125);
+  EXPECT_GE(snap.p95, 900 * 80 / 100);
+
+  Histogram empty;
+  const std::uint64_t before = a.count();
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.count(), before);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram hist;
+  hist.Record(10);
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.Snapshot().max, 0);
+}
+
+TEST(HistogramSnapshotTest, JsonHasPercentileFields) {
+  Histogram hist;
+  hist.Record(100);
+  const std::string json = hist.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50_us\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95_us\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_us\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_us\":100"), std::string::npos) << json;
+}
+
+TraceRecord MakeTrace(std::uint64_t req) {
+  TraceRecord trace;
+  trace.req = req;
+  trace.op = TraceOp::kPut;
+  trace.key = "k" + std::to_string(req);
+  trace.started_at = static_cast<Micros>(req) * 10;
+  trace.finished_at = trace.started_at + 5;
+  return trace;
+}
+
+TEST(TraceBufferTest, RingKeepsNewestOldestFirst) {
+  TraceBuffer buffer(4);
+  for (std::uint64_t req = 0; req < 10; ++req) buffer.Add(MakeTrace(req));
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.capacity(), 4u);
+  EXPECT_EQ(buffer.total_added(), 10u);
+  std::vector<TraceRecord> snap = buffer.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].req, 6u);
+  EXPECT_EQ(snap[3].req, 9u);
+}
+
+TEST(TraceBufferTest, JsonRespectsLimit) {
+  TraceBuffer buffer(8);
+  for (std::uint64_t req = 0; req < 8; ++req) buffer.Add(MakeTrace(req));
+  const std::string json = buffer.ToJson(/*limit=*/2);
+  EXPECT_EQ(json.find("\"req\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"req\":6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"req\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"op\":\"put\""), std::string::npos) << json;
+}
+
+TEST(RegistryTest, StablePointersAndJson) {
+  Registry registry;
+  Counter* ops = registry.counter("ops");
+  ops->Increment(3);
+  EXPECT_EQ(registry.counter("ops"), ops) << "lookup must be stable";
+  registry.gauge("depth")->Set(2);
+  registry.histogram("latency_us")->Record(250);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"ops\":3}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"latency_us\":{\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("p99_us"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace hotman::metrics

@@ -27,6 +27,39 @@ TEST_F(MyStoreTest, PostGetDeleteLifecycle) {
   EXPECT_TRUE(store_->Get("k").status().IsNotFound());
 }
 
+TEST_F(MyStoreTest, StatsEndpointReportsPercentiles) {
+  Boot();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store_->Post("s" + std::to_string(i), ToBytes("v")).ok());
+  }
+  store_->cache_pool()->Clear();  // force the reads through the cluster
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store_->Get("s" + std::to_string(i)).ok());
+  }
+
+  rest::Request request;
+  request.method = rest::Method::kGet;
+  request.path = "/stats";
+  rest::Response response = store_->Handle(request);
+  ASSERT_TRUE(response.ok());
+  const std::string body = ToString(response.body);
+  // Cluster histograms with percentile fields.
+  EXPECT_NE(body.find("\"put_latency_us\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"get_latency_us\""), std::string::npos);
+  EXPECT_NE(body.find("\"replica_queue_wait_us\""), std::string::npos);
+  EXPECT_NE(body.find("\"p50_us\""), std::string::npos);
+  EXPECT_NE(body.find("\"p95_us\""), std::string::npos);
+  EXPECT_NE(body.find("\"p99_us\""), std::string::npos);
+  // The other modules' sections plus recent trace records.
+  EXPECT_NE(body.find("\"cache\""), std::string::npos);
+  EXPECT_NE(body.find("\"router\""), std::string::npos);
+  EXPECT_NE(body.find("\"traces\""), std::string::npos);
+  EXPECT_NE(body.find("\"op\":\"put\""), std::string::npos)
+      << "trace ring should hold put records";
+  // The writes above must be visible in the counters.
+  EXPECT_EQ(body.find("\"puts_coordinated\":0,"), std::string::npos);
+}
+
 TEST_F(MyStoreTest, PostNewMintsUniqueKeys) {
   Boot();
   auto k1 = store_->PostNew(ToBytes("a"));
