@@ -1,0 +1,88 @@
+# Sanitizer presets: configure with -DHOTMAN_SANITIZE=<preset>.
+#
+#   cmake -B build-asan -S . -DHOTMAN_SANITIZE="address;undefined"
+#   cmake -B build-tsan -S . -DHOTMAN_SANITIZE=thread
+#
+# Accepted values: address, thread, undefined, or a ;- or ,-separated
+# combination (thread cannot be combined with address). Flags propagate to
+# every target (library, tests, benches, examples) because they are added
+# at directory scope of the top-level CMakeLists before any subdirectory.
+#
+# Each preset also exports:
+#   HOTMAN_SANITIZE_LABEL    - extra ctest label ("asan", "tsan", "ubsan",
+#                              combined presets get every matching label),
+#                              so `ctest -L tsan` names the suite that must
+#                              be report-clean under that preset;
+#   HOTMAN_SANITIZER_TEST_ENV - ENVIRONMENT entries for tests: halt on the
+#                              first report so sanitizer findings fail the
+#                              suite instead of scrolling by. Suppression
+#                              files (sanitizers/*.supp) are wired in only
+#                              when present; each entry there must carry a
+#                              justifying comment.
+
+set(HOTMAN_SANITIZE "" CACHE STRING
+    "Sanitizer preset: address, thread, undefined, or combination")
+set_property(CACHE HOTMAN_SANITIZE PROPERTY STRINGS
+             "" "address" "thread" "undefined" "address;undefined")
+
+set(HOTMAN_SANITIZE_LABEL "")
+set(HOTMAN_SANITIZER_TEST_ENV "")
+
+if(HOTMAN_SANITIZE)
+  # Allow comma separation so shells need no quoting: address,undefined.
+  string(REPLACE "," ";" _hotman_san_list "${HOTMAN_SANITIZE}")
+
+  set(_hotman_san_flags "")
+  foreach(_san IN LISTS _hotman_san_list)
+    if(_san STREQUAL "address")
+      list(APPEND _hotman_san_flags -fsanitize=address)
+      list(APPEND HOTMAN_SANITIZE_LABEL asan)
+    elseif(_san STREQUAL "thread")
+      list(APPEND _hotman_san_flags -fsanitize=thread)
+      list(APPEND HOTMAN_SANITIZE_LABEL tsan)
+    elseif(_san STREQUAL "undefined")
+      # -fno-sanitize-recover turns every UB report into a hard failure.
+      list(APPEND _hotman_san_flags -fsanitize=undefined
+           -fno-sanitize-recover=all)
+      list(APPEND HOTMAN_SANITIZE_LABEL ubsan)
+    else()
+      message(FATAL_ERROR "Unknown HOTMAN_SANITIZE value '${_san}' "
+              "(expected address, thread or undefined)")
+    endif()
+  endforeach()
+
+  if("tsan" IN_LIST HOTMAN_SANITIZE_LABEL AND
+     "asan" IN_LIST HOTMAN_SANITIZE_LABEL)
+    message(FATAL_ERROR "thread and address sanitizers cannot be combined")
+  endif()
+
+  # Frame pointers + debug info keep sanitizer stacks readable even in
+  # optimized configurations.
+  list(APPEND _hotman_san_flags -fno-omit-frame-pointer -g)
+
+  add_compile_options(${_hotman_san_flags})
+  add_link_options(${_hotman_san_flags})
+
+  if("asan" IN_LIST HOTMAN_SANITIZE_LABEL)
+    set(_asan_opts "halt_on_error=1:detect_leaks=1")
+    if(EXISTS ${PROJECT_SOURCE_DIR}/sanitizers/lsan.supp)
+      list(APPEND HOTMAN_SANITIZER_TEST_ENV
+           "LSAN_OPTIONS=suppressions=${PROJECT_SOURCE_DIR}/sanitizers/lsan.supp")
+    endif()
+    list(APPEND HOTMAN_SANITIZER_TEST_ENV "ASAN_OPTIONS=${_asan_opts}")
+  endif()
+  if("tsan" IN_LIST HOTMAN_SANITIZE_LABEL)
+    set(_tsan_opts "halt_on_error=1:second_deadlock_stack=1")
+    if(EXISTS ${PROJECT_SOURCE_DIR}/sanitizers/tsan.supp)
+      string(APPEND _tsan_opts
+             ":suppressions=${PROJECT_SOURCE_DIR}/sanitizers/tsan.supp")
+    endif()
+    list(APPEND HOTMAN_SANITIZER_TEST_ENV "TSAN_OPTIONS=${_tsan_opts}")
+  endif()
+  if("ubsan" IN_LIST HOTMAN_SANITIZE_LABEL)
+    list(APPEND HOTMAN_SANITIZER_TEST_ENV "UBSAN_OPTIONS=print_stacktrace=1")
+  endif()
+
+  message(STATUS "hotman: sanitizers enabled (${HOTMAN_SANITIZE}), "
+          "ctest label(s): ${HOTMAN_SANITIZE_LABEL}")
+endif()

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Local mirror of the CI matrix (.github/workflows/ci.yml): the same four
+# jobs, runnable one at a time or all together.
+#
+#   scripts/check.sh            # default job: warnings-as-errors + tier1
+#   scripts/check.sh asan       # AddressSanitizer + UBSan suite
+#   scripts/check.sh tsan       # ThreadSanitizer suite
+#   scripts/check.sh tidy       # clang-tidy (if installed) + repo lint
+#   scripts/check.sh all        # everything, sequentially
+#
+# Each job configures its own build tree (build-check-<job>/) so sanitizer
+# flags never contaminate the regular build/ directory.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${HOTMAN_BUILD_JOBS:-$(nproc)}"
+
+run_suite() {  # run_suite <name> <label> [cmake args...]
+  local name="$1" label="$2"
+  shift 2
+  local dir="build-check-${name}"
+  echo "==> [${name}] configure (${*:-default flags})"
+  cmake -B "${dir}" -S . -DHOTMAN_WERROR=ON "$@" >/dev/null
+  echo "==> [${name}] build"
+  cmake --build "${dir}" -j "${JOBS}" >/dev/null
+  echo "==> [${name}] ctest -L ${label}"
+  ctest --test-dir "${dir}" -L "${label}" --output-on-failure -j "${JOBS}"
+}
+
+job_default() { run_suite default tier1; }
+job_asan()    { run_suite asan asan -DHOTMAN_SANITIZE=address,undefined; }
+job_tsan()    { run_suite tsan tsan -DHOTMAN_SANITIZE=thread; }
+
+job_tidy() {
+  echo "==> [tidy] repo lint"
+  python3 tools/lint_hotman.py
+  python3 tools/lint_hotman_test.py
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    echo "==> [tidy] clang-tidy"
+    cmake -B build-check-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    run-clang-tidy -quiet -p build-check-tidy "src/.*" || exit 1
+  else
+    echo "==> [tidy] clang-tidy not installed, skipped (CI runs it)"
+  fi
+}
+
+case "${1:-default}" in
+  default) job_default ;;
+  asan)    job_asan ;;
+  tsan)    job_tsan ;;
+  tidy)    job_tidy ;;
+  all)     job_default; job_asan; job_tsan; job_tidy ;;
+  *) echo "usage: scripts/check.sh [default|asan|tsan|tidy|all]" >&2; exit 2 ;;
+esac
+echo "==> OK"

@@ -4,8 +4,8 @@ namespace hotman::bson {
 
 namespace {
 const Value& SharedNull() {
-  static const Value* null_value = new Value();
-  return *null_value;
+  static const Value null_value;
+  return null_value;
 }
 }  // namespace
 

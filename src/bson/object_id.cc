@@ -48,7 +48,8 @@ ObjectId ObjectIdGenerator::Next() {
   bytes[2] = static_cast<std::uint8_t>((seconds >> 8) & 0xFF);
   bytes[3] = static_cast<std::uint8_t>(seconds & 0xFF);
   for (int i = 0; i < 5; ++i) bytes[4 + i] = machine_[i];
-  const std::uint32_t c = counter_++;
+  // Relaxed: uniqueness only needs distinct values, not ordering.
+  const std::uint32_t c = counter_.fetch_add(1, std::memory_order_relaxed);
   bytes[9] = static_cast<std::uint8_t>((c >> 16) & 0xFF);
   bytes[10] = static_cast<std::uint8_t>((c >> 8) & 0xFF);
   bytes[11] = static_cast<std::uint8_t>(c & 0xFF);

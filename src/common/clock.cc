@@ -11,8 +11,8 @@ Micros SystemClock::NowMicros() const {
 }
 
 SystemClock* SystemClock::Default() {
-  static SystemClock* instance = new SystemClock();
-  return instance;
+  static SystemClock instance;
+  return &instance;
 }
 
 }  // namespace hotman

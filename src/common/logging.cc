@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hotman {
 
@@ -26,9 +29,14 @@ const char* LevelName(LogLevel level) {
   return "?????";
 }
 
-std::mutex& SinkMutex() {
-  static std::mutex* m = new std::mutex();
-  return *m;
+// constinit: zero runtime initialization, so the mutex is usable from any
+// static initializer and its (trivial) destruction cannot race exit-time
+// logging. Serializes sink swaps against every emission.
+constinit Mutex g_sink_mutex;
+
+LogSink& SinkStorage() HOTMAN_REQUIRES(g_sink_mutex) {
+  static LogSink sink;
+  return sink;
 }
 
 }  // namespace
@@ -36,6 +44,11 @@ std::mutex& SinkMutex() {
 void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetSink(LogSink sink) {
+  MutexLock lock(&g_sink_mutex);
+  SinkStorage() = std::move(sink);
+}
 
 namespace internal {
 
@@ -49,8 +62,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 }
 
 LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  MutexLock lock(&g_sink_mutex);
+  LogSink& sink = SinkStorage();
+  if (sink) {
+    sink(level_, stream_.str());
+  } else {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
 }
 
 }  // namespace internal

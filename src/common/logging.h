@@ -1,6 +1,7 @@
 #ifndef HOTMAN_COMMON_LOGGING_H_
 #define HOTMAN_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +14,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// to kOff so log formatting never perturbs measurements.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives each formatted log line (no trailing newline). Called with the
+/// sink mutex held, so implementations must not log re-entrantly.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Redirects log output (tests capture lines this way); nullptr restores
+/// the default stderr sink. Safe to call while other threads are logging:
+/// the swap and every emission hold the same sink mutex.
+void SetSink(LogSink sink);
 
 namespace internal {
 

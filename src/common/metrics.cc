@@ -224,29 +224,32 @@ std::string Registry::ToJson() const {
   for (const auto& [name, counter] : counters_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + EscapeJson(name) + "\":" + std::to_string(counter->value());
+    out.append("\"").append(EscapeJson(name)).append("\":");
+    out.append(std::to_string(counter->value()));
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, gauge] : gauges_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + EscapeJson(name) + "\":" + std::to_string(gauge->value());
+    out.append("\"").append(EscapeJson(name)).append("\":");
+    out.append(std::to_string(gauge->value()));
   }
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, histogram] : histograms_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + EscapeJson(name) + "\":" + histogram->Snapshot().ToJson();
+    out.append("\"").append(EscapeJson(name)).append("\":");
+    out.append(histogram->Snapshot().ToJson());
   }
   out += "}}";
   return out;
 }
 
 Registry* Registry::Default() {
-  static Registry* instance = new Registry();
-  return instance;
+  static Registry instance;
+  return &instance;
 }
 
 }  // namespace hotman::metrics

@@ -1,0 +1,46 @@
+#ifndef HOTMAN_COMMON_MUTEX_H_
+#define HOTMAN_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace hotman {
+
+/// std::mutex wrapped as an annotated capability.
+///
+/// libstdc++'s std::mutex carries no thread-safety attributes, so Clang's
+/// -Wthread-safety cannot check code that locks it directly. Every class in
+/// the threaded layers (docstore/, rest/, workload/, common/) declares its
+/// lock as hotman::Mutex and takes it with hotman::MutexLock, which makes
+/// HOTMAN_GUARDED_BY / HOTMAN_REQUIRES contracts compiler-enforced.
+class HOTMAN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HOTMAN_ACQUIRE() { mu_.lock(); }
+  void Unlock() HOTMAN_RELEASE() { mu_.unlock(); }
+  bool TryLock() HOTMAN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for hotman::Mutex (std::lock_guard shape, annotated).
+class HOTMAN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) HOTMAN_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() HOTMAN_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace hotman
+
+#endif  // HOTMAN_COMMON_MUTEX_H_

@@ -24,7 +24,7 @@ Result<bson::Value> Collection::Insert(bson::Document doc) {
     for (const bson::Field& f : doc) with_id.Append(f.name, f.value);
     doc = std::move(with_id);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   HOTMAN_RETURN_IF_ERROR(InsertLocked(std::move(doc), id));
   return id;
 }
@@ -51,7 +51,7 @@ Status Collection::InsertLocked(bson::Document doc, const bson::Value& id) {
 }
 
 Result<bson::Document> Collection::FindById(const bson::Value& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = docs_.find(id);
   if (it == docs_.end()) return Status::NotFound("no document with given _id");
   return it->second;
@@ -100,7 +100,7 @@ Result<std::vector<bson::Document>> Collection::Find(const bson::Document& filte
 
   std::vector<bson::Document> results;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const QueryPlan plan = ChoosePlan(*matcher, IndexSpecsLocked());
     for (const bson::Value& id : CandidatesLocked(plan)) {
       auto it = docs_.find(id);
@@ -148,7 +148,7 @@ Result<UpdateResult> Collection::Update(const bson::Document& filter,
   if (!matcher.ok()) return matcher.status();
 
   UpdateResult result;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const QueryPlan plan = ChoosePlan(*matcher, IndexSpecsLocked());
   std::vector<bson::Value> matched_ids;
   for (const bson::Value& id : CandidatesLocked(plan)) {
@@ -218,7 +218,7 @@ Result<std::size_t> Collection::Remove(const bson::Document& filter, bool multi)
   auto matcher = query::Matcher::Compile(filter);
   if (!matcher.ok()) return matcher.status();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const QueryPlan plan = ChoosePlan(*matcher, IndexSpecsLocked());
   std::vector<bson::Value> doomed;
   for (const bson::Value& id : CandidatesLocked(plan)) {
@@ -245,7 +245,7 @@ Status Collection::RemoveDocLocked(const bson::Value& id) {
 
 Result<std::size_t> Collection::Count(const bson::Document& filter) const {
   if (filter.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return docs_.size();
   }
   auto results = Find(filter);
@@ -257,7 +257,7 @@ Status Collection::CreateIndex(const IndexSpec& spec) {
   if (spec.path.empty() || spec.path == "_id") {
     return Status::InvalidArgument("cannot create index on _id (already primary)");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& index : indexes_) {
     if (index->spec().path == spec.path) {
       return Status::AlreadyExists("index exists on path: " + spec.path);
@@ -272,7 +272,7 @@ Status Collection::CreateIndex(const IndexSpec& spec) {
 }
 
 Status Collection::DropIndex(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
     if ((*it)->spec().path == path) {
       indexes_.erase(it);
@@ -285,7 +285,7 @@ Status Collection::DropIndex(const std::string& path) {
 Result<QueryPlan> Collection::Explain(const bson::Document& filter) const {
   auto matcher = query::Matcher::Compile(filter);
   if (!matcher.ok()) return matcher.status();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ChoosePlan(*matcher, IndexSpecsLocked());
 }
 
@@ -293,7 +293,7 @@ Status Collection::PutDocument(bson::Document doc) {
   const bson::Value* id = doc.Get("_id");
   if (id == nullptr) return Status::InvalidArgument("PutDocument requires _id");
   const bson::Value id_copy = *id;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = docs_.find(id_copy);
   if (it != docs_.end()) {
     for (auto& index : indexes_) index->Remove(id_copy, it->second);
@@ -304,12 +304,12 @@ Status Collection::PutDocument(bson::Document doc) {
 }
 
 Status Collection::RemoveById(const bson::Value& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return RemoveDocLocked(id);
 }
 
 void Collection::SetChangeListener(ChangeListener listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   listener_ = std::move(listener);
 }
 
@@ -332,12 +332,12 @@ void Collection::NotifyRemove(const bson::Value& id) {
 }
 
 std::size_t Collection::NumDocuments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return docs_.size();
 }
 
 std::vector<IndexSpec> Collection::Indexes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return IndexSpecsLocked();
 }
 
@@ -349,7 +349,7 @@ std::vector<IndexSpec> Collection::IndexSpecsLocked() const {
 }
 
 std::size_t Collection::DataSizeBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return data_bytes_;
 }
 

@@ -4,14 +4,15 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bson/document.h"
 #include "bson/object_id.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "docstore/index.h"
 #include "docstore/planner.h"
 
@@ -67,14 +68,16 @@ class Collection {
 
   /// Inserts `doc`, generating `_id` when absent. Fails with AlreadyExists
   /// if the `_id` (or a unique index key) already exists. Returns the `_id`.
-  Result<bson::Value> Insert(bson::Document doc);
+  Result<bson::Value> Insert(bson::Document doc) HOTMAN_EXCLUDES(mu_);
 
   /// Point lookup by `_id`.
-  Result<bson::Document> FindById(const bson::Value& id) const;
+  Result<bson::Document> FindById(const bson::Value& id) const
+      HOTMAN_EXCLUDES(mu_);
 
   /// All documents matching `filter`, honouring projection/sort/skip/limit.
   Result<std::vector<bson::Document>> Find(const bson::Document& filter,
-                                           const FindOptions& options = {}) const;
+                                           const FindOptions& options = {}) const
+      HOTMAN_EXCLUDES(mu_);
 
   /// First match, or nullopt.
   Result<std::optional<bson::Document>> FindOne(const bson::Document& filter) const;
@@ -82,60 +85,65 @@ class Collection {
   /// Applies `update` (operator or replacement form) to matching documents.
   Result<UpdateResult> Update(const bson::Document& filter,
                               const bson::Document& update,
-                              const UpdateOptions& options = {});
+                              const UpdateOptions& options = {}) HOTMAN_EXCLUDES(mu_);
 
   /// Removes matching documents; returns how many were removed.
-  Result<std::size_t> Remove(const bson::Document& filter, bool multi = true);
+  Result<std::size_t> Remove(const bson::Document& filter, bool multi = true)
+      HOTMAN_EXCLUDES(mu_);
 
   /// Number of documents matching `filter` ({} = all).
-  Result<std::size_t> Count(const bson::Document& filter) const;
+  Result<std::size_t> Count(const bson::Document& filter) const
+      HOTMAN_EXCLUDES(mu_);
 
   /// Builds a secondary index over `spec.path` (back-filling existing
   /// documents); fails if an index on the path exists or a unique
   /// constraint is violated by current data.
-  Status CreateIndex(const IndexSpec& spec);
+  Status CreateIndex(const IndexSpec& spec) HOTMAN_EXCLUDES(mu_);
 
   /// Drops the index on `path`; NotFound when absent.
-  Status DropIndex(const std::string& path);
+  Status DropIndex(const std::string& path) HOTMAN_EXCLUDES(mu_);
 
   /// Access path the planner would choose for `filter` (for tests/examples).
-  Result<QueryPlan> Explain(const bson::Document& filter) const;
+  Result<QueryPlan> Explain(const bson::Document& filter) const
+      HOTMAN_EXCLUDES(mu_);
 
   /// Physical upsert by `_id` used by replication, journal replay and the
   /// cluster layer: replaces the document wholesale (indexes maintained).
-  Status PutDocument(bson::Document doc);
+  Status PutDocument(bson::Document doc) HOTMAN_EXCLUDES(mu_);
 
   /// Physical delete by `_id`; OK even when absent (idempotent replay).
-  Status RemoveById(const bson::Value& id);
+  Status RemoveById(const bson::Value& id) HOTMAN_EXCLUDES(mu_);
 
   /// Registers the journal/replication hook (single listener).
-  void SetChangeListener(ChangeListener listener);
+  void SetChangeListener(ChangeListener listener) HOTMAN_EXCLUDES(mu_);
 
-  std::size_t NumDocuments() const;
-  std::vector<IndexSpec> Indexes() const;
+  std::size_t NumDocuments() const HOTMAN_EXCLUDES(mu_);
+  std::vector<IndexSpec> Indexes() const HOTMAN_EXCLUDES(mu_);
 
   /// Approximate total encoded size of all documents (bytes).
-  std::size_t DataSizeBytes() const;
+  std::size_t DataSizeBytes() const HOTMAN_EXCLUDES(mu_);
 
  private:
   /// Ids of candidate documents under `plan` (kFullScan -> all ids).
-  std::vector<bson::Value> CandidatesLocked(const QueryPlan& plan) const;
+  std::vector<bson::Value> CandidatesLocked(const QueryPlan& plan) const
+      HOTMAN_REQUIRES(mu_);
 
   /// Specs of current secondary indexes; caller must hold mu_.
-  std::vector<IndexSpec> IndexSpecsLocked() const;
+  std::vector<IndexSpec> IndexSpecsLocked() const HOTMAN_REQUIRES(mu_);
 
-  Status InsertLocked(bson::Document doc, const bson::Value& id);
-  Status RemoveDocLocked(const bson::Value& id);
-  void NotifyPut(const bson::Document& doc);
-  void NotifyRemove(const bson::Value& id);
+  Status InsertLocked(bson::Document doc, const bson::Value& id)
+      HOTMAN_REQUIRES(mu_);
+  Status RemoveDocLocked(const bson::Value& id) HOTMAN_REQUIRES(mu_);
+  void NotifyPut(const bson::Document& doc) HOTMAN_REQUIRES(mu_);
+  void NotifyRemove(const bson::Value& id) HOTMAN_REQUIRES(mu_);
 
   std::string name_;
   bson::ObjectIdGenerator* id_generator_;
-  mutable std::mutex mu_;
-  std::map<bson::Value, bson::Document, ValueLess> docs_;
-  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
-  ChangeListener listener_;
-  std::size_t data_bytes_ = 0;
+  mutable Mutex mu_;
+  std::map<bson::Value, bson::Document, ValueLess> docs_ HOTMAN_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_ HOTMAN_GUARDED_BY(mu_);
+  ChangeListener listener_ HOTMAN_GUARDED_BY(mu_);
+  std::size_t data_bytes_ HOTMAN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hotman::docstore

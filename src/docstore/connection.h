@@ -3,10 +3,11 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "docstore/server.h"
 
 namespace hotman::docstore {
@@ -85,26 +86,26 @@ class ConnectionPool {
   /// connection and queries the server version. "Only when the connection
   /// to the database is built really, the Connect will return true."
   /// Retries up to max_retries when auto_connect_retry is set.
-  Status Connect();
+  Status Connect() HOTMAN_EXCLUDES(mu_);
 
   /// Leases a connection (creating one up to pool_max_size). Fails with
   /// Busy when the pool is exhausted, or the server's fault status when
   /// unreachable.
-  Result<ConnectionLease> Acquire();
+  Result<ConnectionLease> Acquire() HOTMAN_EXCLUDES(mu_);
 
   /// Returns a connection to the pool (called by ConnectionLease).
-  void Release(std::unique_ptr<Connection> conn);
+  void Release(std::unique_ptr<Connection> conn) HOTMAN_EXCLUDES(mu_);
 
   const ConnectionConfig& config() const { return config_; }
-  std::size_t IdleCount() const;
-  std::size_t LiveCount() const;
+  std::size_t IdleCount() const HOTMAN_EXCLUDES(mu_);
+  std::size_t LiveCount() const HOTMAN_EXCLUDES(mu_);
 
  private:
   DocStoreServer* server_;
   ConnectionConfig config_;
-  mutable std::mutex mu_;
-  std::deque<std::unique_ptr<Connection>> idle_;
-  std::size_t live_ = 0;  // idle + leased
+  mutable Mutex mu_;
+  std::deque<std::unique_ptr<Connection>> idle_ HOTMAN_GUARDED_BY(mu_);
+  std::size_t live_ HOTMAN_GUARDED_BY(mu_) = 0;  // idle + leased
 };
 
 }  // namespace hotman::docstore

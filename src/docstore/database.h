@@ -3,12 +3,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "bson/object_id.h"
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "docstore/collection.h"
 
 namespace hotman::docstore {
@@ -29,36 +30,37 @@ class Database {
   const std::string& name() const { return name_; }
 
   /// Fetches (creating on first use) the collection `name`.
-  Collection* GetCollection(const std::string& name);
+  Collection* GetCollection(const std::string& name) HOTMAN_EXCLUDES(mu_);
 
   /// The collection if it exists, else nullptr.
-  Collection* FindCollection(const std::string& name);
+  Collection* FindCollection(const std::string& name) HOTMAN_EXCLUDES(mu_);
 
   /// Drops `name`; NotFound when absent.
-  Status DropCollection(const std::string& name);
+  Status DropCollection(const std::string& name) HOTMAN_EXCLUDES(mu_);
 
-  std::vector<std::string> CollectionNames() const;
+  std::vector<std::string> CollectionNames() const HOTMAN_EXCLUDES(mu_);
 
   /// Total documents across collections.
-  std::size_t TotalDocuments() const;
+  std::size_t TotalDocuments() const HOTMAN_EXCLUDES(mu_);
 
   /// Total encoded bytes across collections.
-  std::size_t TotalDataBytes() const;
+  std::size_t TotalDataBytes() const HOTMAN_EXCLUDES(mu_);
 
   /// Routes every collection's change events (current and future) into
   /// `journal`. Pass nullptr to detach.
-  void AttachJournal(Journal* journal);
+  void AttachJournal(Journal* journal) HOTMAN_EXCLUDES(mu_);
 
   bson::ObjectIdGenerator* id_generator() { return &id_generator_; }
 
  private:
-  void HookCollectionLocked(Collection* collection);
+  void HookCollectionLocked(Collection* collection) HOTMAN_REQUIRES(mu_);
 
   std::string name_;
   bson::ObjectIdGenerator id_generator_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Collection>> collections_;
-  Journal* journal_ = nullptr;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Collection>> collections_
+      HOTMAN_GUARDED_BY(mu_);
+  Journal* journal_ HOTMAN_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace hotman::docstore

@@ -1,5 +1,6 @@
 #include "docstore/journal.h"
 
+#include <array>
 #include <cstring>
 #include <vector>
 
@@ -15,8 +16,8 @@ constexpr std::uint8_t kKindPut = 1;
 constexpr std::uint8_t kKindRemove = 2;
 
 const std::uint32_t* Crc32Table() {
-  static std::uint32_t* table = [] {
-    auto* t = new std::uint32_t[256];
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
@@ -26,7 +27,7 @@ const std::uint32_t* Crc32Table() {
     }
     return t;
   }();
-  return table;
+  return table.data();
 }
 
 }  // namespace
@@ -70,7 +71,7 @@ Status Journal::Append(const ChangeEvent& event) {
   record.append(payload);
   PutFixed32(&record, Crc32(payload.data(), payload.size()));
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     return Status::IOError("journal write failed");
   }
@@ -84,60 +85,78 @@ Status Journal::Append(const ChangeEvent& event) {
 }
 
 std::size_t Journal::AppendedBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return appended_bytes_;
 }
 
 metrics::HistogramSnapshot Journal::AppendSizeSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return append_size_hist_.Snapshot();
 }
 
 Status Journal::Replay(Database* db) {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::rewind(file_);
-  for (;;) {
-    std::uint8_t len_bytes[4];
-    std::size_t n = std::fread(len_bytes, 1, 4, file_);
-    if (n == 0) break;         // clean EOF
-    if (n < 4) break;          // torn tail: stop
-    const std::uint32_t payload_len = GetFixed32(len_bytes);
-    if (payload_len < 5 || payload_len > (64u << 20)) break;  // implausible
-    std::vector<std::uint8_t> payload(payload_len);
-    if (std::fread(payload.data(), 1, payload_len, file_) != payload_len) break;
-    std::uint8_t crc_bytes[4];
-    if (std::fread(crc_bytes, 1, 4, file_) != 4) break;
-    if (GetFixed32(crc_bytes) != Crc32(payload.data(), payload.size())) break;
+  // Decode under mu_, apply after releasing it. Applying while holding mu_
+  // would order journal-mutex before collection-mutex, the inverse of the
+  // write path (Collection::Insert -> listener -> Append), and deadlock a
+  // concurrent writer — as well as self-deadlock if this journal is already
+  // attached to `db`.
+  std::vector<ChangeEvent> events;
+  {
+    MutexLock lock(&mu_);
+    std::rewind(file_);
+    for (;;) {
+      std::uint8_t len_bytes[4];
+      std::size_t n = std::fread(len_bytes, 1, 4, file_);
+      if (n == 0) break;         // clean EOF
+      if (n < 4) break;          // torn tail: stop
+      const std::uint32_t payload_len = GetFixed32(len_bytes);
+      if (payload_len < 5 || payload_len > (64u << 20)) break;  // implausible
+      std::vector<std::uint8_t> payload(payload_len);
+      if (std::fread(payload.data(), 1, payload_len, file_) != payload_len) {
+        break;
+      }
+      std::uint8_t crc_bytes[4];
+      if (std::fread(crc_bytes, 1, 4, file_) != 4) break;
+      if (GetFixed32(crc_bytes) != Crc32(payload.data(), payload.size())) break;
 
-    const std::uint8_t kind = payload[0];
-    const std::uint32_t name_len = GetFixed32(payload.data() + 1);
-    if (5 + name_len > payload_len) break;
-    std::string collection(reinterpret_cast<const char*>(payload.data() + 5),
-                           name_len);
-    std::string_view doc_bytes(
-        reinterpret_cast<const char*>(payload.data() + 5 + name_len),
-        payload_len - 5 - name_len);
-    bson::Document doc;
-    if (!bson::Decode(doc_bytes, &doc).ok()) break;
+      const std::uint8_t kind = payload[0];
+      if (kind != kKindPut && kind != kKindRemove) break;  // torn tail
+      const std::uint32_t name_len = GetFixed32(payload.data() + 1);
+      if (5 + name_len > payload_len) break;
+      std::string collection(reinterpret_cast<const char*>(payload.data() + 5),
+                             name_len);
+      std::string_view doc_bytes(
+          reinterpret_cast<const char*>(payload.data() + 5 + name_len),
+          payload_len - 5 - name_len);
+      bson::Document doc;
+      if (!bson::Decode(doc_bytes, &doc).ok()) break;
 
-    Collection* coll = db->GetCollection(collection);
-    if (kind == kKindPut) {
-      HOTMAN_RETURN_IF_ERROR(coll->PutDocument(std::move(doc)));
-    } else if (kind == kKindRemove) {
-      const bson::Value* id = doc.Get("_id");
+      ChangeEvent event;
+      event.kind = kind == kKindPut ? ChangeEvent::Kind::kPut
+                                    : ChangeEvent::Kind::kRemove;
+      event.collection = std::move(collection);
+      event.document = std::move(doc);
+      events.push_back(std::move(event));
+    }
+    // Position back at the end for subsequent appends.
+    std::fseek(file_, 0, SEEK_END);
+  }
+
+  for (ChangeEvent& event : events) {
+    Collection* coll = db->GetCollection(event.collection);
+    if (event.kind == ChangeEvent::Kind::kPut) {
+      HOTMAN_RETURN_IF_ERROR(coll->PutDocument(std::move(event.document)));
+    } else {
+      const bson::Value* id = event.document.Get("_id");
       if (id == nullptr) break;
       HOTMAN_RETURN_IF_ERROR(coll->RemoveById(*id));
-    } else {
-      break;  // unknown kind: treat as torn tail
     }
   }
-  // Position back at the end for subsequent appends.
-  std::fseek(file_, 0, SEEK_END);
   return Status::OK();
 }
 
 std::size_t Journal::NumAppended() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return appended_;
 }
 

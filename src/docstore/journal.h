@@ -3,11 +3,12 @@
 
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "docstore/collection.h"
 
 namespace hotman::docstore {
@@ -33,19 +34,22 @@ class Journal {
   static Result<std::unique_ptr<Journal>> Open(const std::string& path);
 
   /// Appends one change record and flushes it.
-  Status Append(const ChangeEvent& event);
+  Status Append(const ChangeEvent& event) HOTMAN_EXCLUDES(mu_);
 
   /// Replays the journal from the start into `db` (call before Append).
-  Status Replay(Database* db);
+  /// Records are decoded under the journal lock but applied to `db` with no
+  /// lock held: the write path locks collection-then-journal, so holding
+  /// mu_ across PutDocument would invert that order.
+  Status Replay(Database* db) HOTMAN_EXCLUDES(mu_);
 
   /// Records successfully appended since Open.
-  std::size_t NumAppended() const;
+  std::size_t NumAppended() const HOTMAN_EXCLUDES(mu_);
 
   /// Bytes written (framing included) since Open.
-  std::size_t AppendedBytes() const;
+  std::size_t AppendedBytes() const HOTMAN_EXCLUDES(mu_);
 
   /// On-disk record size of every successful append (framing included).
-  metrics::HistogramSnapshot AppendSizeSnapshot() const;
+  metrics::HistogramSnapshot AppendSizeSnapshot() const HOTMAN_EXCLUDES(mu_);
 
   const std::string& path() const { return path_; }
 
@@ -53,11 +57,13 @@ class Journal {
   explicit Journal(std::string path, std::FILE* file);
 
   std::string path_;
-  std::FILE* file_;
-  mutable std::mutex mu_;
-  std::size_t appended_ = 0;
-  std::size_t appended_bytes_ = 0;
-  metrics::Histogram append_size_hist_;
+  mutable Mutex mu_;
+  // The FILE stream itself (buffer + position) is what mu_ protects:
+  // Append and Replay both move the file position.
+  std::FILE* file_ HOTMAN_GUARDED_BY(mu_);
+  std::size_t appended_ HOTMAN_GUARDED_BY(mu_) = 0;
+  std::size_t appended_bytes_ HOTMAN_GUARDED_BY(mu_) = 0;
+  metrics::Histogram append_size_hist_ HOTMAN_GUARDED_BY(mu_);
 };
 
 /// CRC-32 (IEEE 802.3 polynomial) over `len` bytes.

@@ -21,7 +21,10 @@ Status MasterSlaveCluster::Put(const bson::Document& doc) {
     Status s = slave->db()->GetCollection(collection_)->PutDocument(doc);
     if (!s.ok()) missed = true;
   }
-  if (missed) ++missed_replications_;
+  if (missed) {
+    MutexLock lock(&mu_);
+    ++missed_replications_;
+  }
   return Status::OK();
 }
 

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "docstore/server.h"
 
 namespace hotman::docstore {
@@ -40,12 +42,16 @@ class MasterSlaveCluster {
 
   /// Writes that reached the master but missed >= 1 slave (staleness
   /// window metric used by tests).
-  std::size_t missed_replications() const { return missed_replications_; }
+  std::size_t missed_replications() const {
+    MutexLock lock(&mu_);
+    return missed_replications_;
+  }
 
  private:
   std::vector<DocStoreServer*> servers_;
   std::string collection_;
-  std::size_t missed_replications_ = 0;
+  mutable Mutex mu_;
+  std::size_t missed_replications_ HOTMAN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hotman::docstore

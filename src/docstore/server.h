@@ -58,6 +58,9 @@ class DocStoreServer {
  private:
   std::string address_;
   std::unique_ptr<Database> db_;
+  // Lock-free by design: fault injection flips this from the test/driver
+  // thread while worker threads read it on every operation; relaxed order
+  // suffices because no other state is published through the flag.
   std::atomic<FaultMode> fault_{FaultMode::kNone};
 };
 

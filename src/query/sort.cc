@@ -20,7 +20,7 @@ Result<SortSpec> SortSpec::Compile(const bson::Document& spec) {
 }
 
 int SortSpec::Compare(const bson::Document& a, const bson::Document& b) const {
-  static const bson::Value& null_value = *new bson::Value();
+  static const bson::Value null_value;
   for (const Key& key : keys_) {
     const bson::Value* va = ResolveFirst(a, key.path);
     const bson::Value* vb = ResolveFirst(b, key.path);

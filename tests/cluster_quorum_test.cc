@@ -61,10 +61,10 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(3, 2, 2),   // R+W > N
                       std::make_tuple(2, 1, 2),   // read-heavy overlap
                       std::make_tuple(5, 3, 3)),  // wide replication
-    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
-      return "N" + std::to_string(std::get<0>(info.param)) + "W" +
-             std::to_string(std::get<1>(info.param)) + "R" +
-             std::to_string(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& nwr) {
+      return "N" + std::to_string(std::get<0>(nwr.param)) + "W" +
+             std::to_string(std::get<1>(nwr.param)) + "R" +
+             std::to_string(std::get<2>(nwr.param));
     });
 
 TEST(QuorumSemanticsTest, WriteSucceedsAtWReplicasEvenWithOneNodeDown) {

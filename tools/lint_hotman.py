@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""hotman repo linter: concurrency and layering invariants generic tools miss.
+
+Run from anywhere:  python3 tools/lint_hotman.py [--root /path/to/repo]
+Registered as the `lint_hotman` ctest, so `ctest -L lint` enforces it.
+
+Checks
+------
+1. Event-loop discipline. `src/sim/`, `src/cluster/` and `src/gossip/` are
+   deterministic single-threaded event-loop code: experiments must replay
+   bit-identically from a seed, so those layers may not create threads,
+   take locks, block, or read wall-clock time. Forbidden there:
+   std::mutex / hotman::Mutex, std::thread, condition variables, futures,
+   sleeps, blocking file/socket syscalls, and std::chrono clock reads
+   (virtual time comes from sim::EventLoop / hotman::Clock).
+
+2. Layering. Each src/ directory may include only the layers below it
+   (see ALLOWED_DEPS). In particular docstore/ must not reach up into
+   cluster/, and nothing below workload/ may include workload/.
+
+3. Memory/thread hygiene (all of src/): no naked `new` outside an
+   immediate unique_ptr/shared_ptr wrap (use std::make_unique), and no
+   std::thread::detach() anywhere (detached threads outlive shutdown and
+   race static destruction).
+
+A line may opt out with `// NOLINT(hotman-<rule>)` plus a justification;
+the suppression is itself reported when the justification is missing.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Directories that must stay deterministic single-threaded (rule 1).
+EVENT_LOOP_DIRS = {"sim", "cluster", "gossip"}
+
+# rule name -> (regex, message). Applied to code with strings/comments
+# stripped, so prose about "threads" does not trip the linter.
+EVENT_LOOP_RULES = [
+    ("no-mutex", re.compile(r"std::(recursive_|timed_|shared_)?mutex\b"
+                            r"|\bMutexLock\b|\bhotman::Mutex\b"),
+     "event-loop code must not take locks (single-threaded by contract)"),
+    ("no-thread", re.compile(r"std::j?thread\b|pthread_create"),
+     "event-loop code must not spawn threads"),
+    ("no-blocking-sync", re.compile(
+        r"std::condition_variable\b|std::(future|promise|latch|barrier)\b"),
+     "event-loop code must not block on synchronization primitives"),
+    ("no-sleep", re.compile(
+        r"\bsleep_for\b|\bsleep_until\b|\b(u|nano)?sleep\s*\("),
+     "event-loop code must not sleep; schedule an event instead"),
+    ("no-blocking-io", re.compile(
+        r"\b(fopen|fread|fwrite|fflush|fsync|fdatasync)\s*\("
+        r"|\bstd::(i|o)?fstream\b"
+        r"|\b(select|poll|epoll_wait|accept|recv|send)\s*\("),
+     "event-loop code must not do blocking I/O; go through the sim layer"),
+    ("no-wall-clock", re.compile(
+        r"std::chrono::(system|steady|high_resolution)_clock\b|\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+     "event-loop code must use sim virtual time, not wall-clock time"),
+]
+
+# Directory -> set of src/ directories it may include (rule 2).
+ALLOWED_DEPS = {
+    "common": set(),
+    "bson": {"common"},
+    "query": {"bson", "common"},
+    "hashring": {"common"},
+    "docstore": {"bson", "common", "query"},
+    "sim": {"bson", "common", "docstore"},
+    "gossip": {"bson", "common", "sim"},
+    "baselines": {"common", "sim"},
+    "cache": {"common", "hashring"},
+    "rest": {"common", "hashring"},
+    "cluster": {"bson", "common", "docstore", "gossip", "hashring", "sim"},
+    "core": {"bson", "cache", "cluster", "common", "docstore", "gossip",
+             "hashring", "query", "rest", "sim"},
+    "workload": {"baselines", "bson", "cache", "cluster", "common", "core",
+                 "docstore", "gossip", "hashring", "query", "rest", "sim"},
+}
+
+# File-granular exceptions to ALLOWED_DEPS: (directory, included header).
+# cluster/ stores core::Record (the paper's record schema); the type lives
+# in core/ because the REST facade shares it, and record.h depends only on
+# bson/, so the edge does not re-introduce a cycle of behaviour.
+INCLUDE_EXCEPTIONS = {("cluster", "core/record.h")}
+
+NAKED_NEW = re.compile(r"\bnew\b(?!\s*\()")  # `new (place)` = placement, skip
+SMART_WRAP = re.compile(r"(make_unique|make_shared|unique_ptr|shared_ptr)")
+DETACH = re.compile(r"\.\s*detach\s*\(\s*\)|->\s*detach\s*\(\s*\)")
+INCLUDE_RE = re.compile(r'#\s*include\s*["<]([^">]+)[">]')
+NOLINT_RE = re.compile(r"//\s*NOLINT\(hotman-([a-z-]+)\)(.*)")
+
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"' + r"|'(?:[^'\\]|\\.)'")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [hotman-{self.rule}] {self.message}"
+
+
+def strip_code_line(line):
+    """Removes string literals and // comments so rules match code only."""
+    line = STRING_RE.sub('""', line)
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def lint_lines(rel_path, lines, violations):
+    """Lints one file given as (posix) path relative to the repo root."""
+    parts = pathlib.PurePosixPath(rel_path).parts
+    in_src = len(parts) >= 2 and parts[0] == "src"
+    layer = parts[1] if in_src else None
+    in_block_comment = False
+
+    for lineno, raw in enumerate(lines, start=1):
+        nolint = NOLINT_RE.search(raw)
+        if nolint:
+            if not nolint.group(2).strip():
+                violations.append(Violation(
+                    rel_path, lineno, "nolint",
+                    "NOLINT(hotman-*) needs a trailing justification"))
+            continue
+
+        # Include detection must see the raw quoted path (string-stripping
+        # below would erase it); only line comments are removed first.
+        include = None
+        if not in_block_comment:
+            include = INCLUDE_RE.search(LINE_COMMENT_RE.sub("", raw))
+
+        line = strip_code_line(raw)
+        # Cheap block-comment tracking (no nesting, like the language).
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+
+        if include and layer in ALLOWED_DEPS:
+            target = include.group(1)
+            target_dir = target.split("/")[0]
+            if ("/" in target and target_dir in ALLOWED_DEPS
+                    and target_dir != layer
+                    and target_dir not in ALLOWED_DEPS[layer]
+                    and (layer, target) not in INCLUDE_EXCEPTIONS):
+                violations.append(Violation(
+                    rel_path, lineno, "layering",
+                    f"{layer}/ must not include {target} "
+                    f"(allowed: {', '.join(sorted(ALLOWED_DEPS[layer])) or 'none'})"))
+
+        if layer in EVENT_LOOP_DIRS:
+            if include and include.group(1) in ("common/mutex.h", "mutex",
+                                                "thread"):
+                violations.append(Violation(
+                    rel_path, lineno, "no-mutex",
+                    "event-loop code must not include locking/threading "
+                    "headers"))
+            for rule, pattern, message in EVENT_LOOP_RULES:
+                if pattern.search(line):
+                    violations.append(Violation(rel_path, lineno, rule, message))
+
+        if in_src and NAKED_NEW.search(line) and not SMART_WRAP.search(line):
+            violations.append(Violation(
+                rel_path, lineno, "naked-new",
+                "use std::make_unique (or wrap `new` in a smart pointer "
+                "on the same line for private constructors)"))
+        if DETACH.search(line):  # everywhere, tests included
+            violations.append(Violation(
+                rel_path, lineno, "no-detach",
+                "detached threads race static destruction; join them"))
+
+
+def lint_tree(root):
+    violations = []
+    for sub in ("src", "tests", "bench", "examples"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            lines = path.read_text(encoding="utf-8").splitlines()
+            lint_lines(rel, lines, violations)
+    return violations
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: this script's repo)")
+    args = parser.parse_args(argv)
+
+    violations = lint_tree(args.root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint_hotman: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint_hotman: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Unit tests for lint_hotman.py: the linter must catch every seeded
+violation in the testdata fixtures and stay silent on compliant code."""
+
+import pathlib
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import lint_hotman  # noqa: E402
+
+TESTDATA = pathlib.Path(__file__).resolve().parent / "testdata"
+
+
+def lint_fixture(fixture, rel_path):
+    """Copies `fixture` into a scratch repo tree at `rel_path`, lints it."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        dest = root / rel_path
+        dest.parent.mkdir(parents=True)
+        shutil.copy(TESTDATA / fixture, dest)
+        return [str(v) for v in lint_hotman.lint_tree(root)]
+
+
+class EventLoopDisciplineTest(unittest.TestCase):
+    def test_sim_file_violations_all_caught(self):
+        out = "\n".join(lint_fixture("bad_event_loop.cc",
+                                     "src/sim/bad_event_loop.cc"))
+        for rule in ("hotman-no-mutex", "hotman-no-thread", "hotman-no-detach",
+                     "hotman-no-sleep", "hotman-no-blocking-io",
+                     "hotman-no-wall-clock", "hotman-naked-new",
+                     "hotman-layering"):
+            self.assertIn(rule, out, f"linter missed {rule}:\n{out}")
+
+    def test_same_code_in_docstore_keeps_thread_rules_quiet(self):
+        # Threaded layers may lock; only the layering/new/detach rules apply.
+        out = "\n".join(lint_fixture("bad_event_loop.cc",
+                                     "src/docstore/bad_event_loop.cc"))
+        self.assertNotIn("hotman-no-mutex", out)
+        self.assertNotIn("hotman-no-sleep", out)
+        self.assertIn("hotman-no-detach", out)
+        self.assertIn("hotman-naked-new", out)
+
+
+class LayeringTest(unittest.TestCase):
+    def test_docstore_including_cluster_flagged(self):
+        out = lint_fixture("bad_layering.h", "src/docstore/bad_layering.h")
+        self.assertEqual(len(out), 1, out)
+        self.assertIn("hotman-layering", out[0])
+        self.assertIn("cluster/cluster.h", out[0])
+
+    def test_cluster_record_exception_allowed(self):
+        out = lint_fixture("bad_layering.h", "src/cluster/bad_layering.h")
+        # cluster/ may include cluster.h (own layer); fixture stays quiet.
+        self.assertEqual(out, [], out)
+
+
+class CleanCodeTest(unittest.TestCase):
+    def test_compliant_docstore_file_passes(self):
+        out = lint_fixture("good_docstore.cc", "src/docstore/good_docstore.cc")
+        self.assertEqual(out, [], out)
+
+    def test_nolint_requires_justification(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            bad = root / "src/sim/escape.cc"
+            bad.parent.mkdir(parents=True)
+            bad.write_text("sleep(1);  // NOLINT(hotman-no-sleep)\n"
+                           "sleep(2);  // NOLINT(hotman-no-sleep) calibration\n")
+            out = [str(v) for v in lint_hotman.lint_tree(root)]
+            self.assertEqual(len(out), 1, out)
+            self.assertIn("hotman-nolint", out[0])
+
+    def test_real_tree_is_clean(self):
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        out = [str(v) for v in lint_hotman.lint_tree(repo_root)]
+        self.assertEqual(out, [], "\n".join(out))
+
+
+if __name__ == "__main__":
+    unittest.main()
