@@ -9,11 +9,11 @@ namespace hotman::cache {
 CachePool::CachePool(int servers, std::size_t capacity_bytes_each) {
   servers_.reserve(servers < 1 ? 1 : servers);
   for (int i = 0; i < std::max(1, servers); ++i) {
-    servers_.push_back(std::make_unique<LruCache>(capacity_bytes_each));
+    servers_.push_back(std::make_unique<ShardedLruCache>(capacity_bytes_each));
   }
 }
 
-LruCache* CachePool::ServerFor(const std::string& key) {
+ShardedLruCache* CachePool::ServerFor(const std::string& key) {
   const std::size_t index = hashring::KetamaHash(key) % servers_.size();
   return servers_[index].get();
 }
@@ -24,6 +24,11 @@ bool CachePool::Put(const std::string& key, Bytes value) {
 
 bool CachePool::Get(const std::string& key, Bytes* value) {
   return ServerFor(key)->Get(key, value);
+}
+
+bool CachePool::GetShared(const std::string& key,
+                          std::shared_ptr<const Bytes>* value) {
+  return ServerFor(key)->GetShared(key, value);
 }
 
 bool CachePool::Erase(const std::string& key) { return ServerFor(key)->Erase(key); }

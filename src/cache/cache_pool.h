@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "cache/lru_cache.h"
+#include "cache/sharded_lru_cache.h"
 
 namespace hotman::cache {
 
@@ -13,6 +13,9 @@ namespace hotman::cache {
 /// consisting of several cache servers, which are responsible for
 /// different partitions of data resources. Their load balances are based
 /// on the hash of resources' keys."
+///
+/// Each server is a ShardedLruCache, so hits on different keys within one
+/// server also run concurrently (thread-safe, unlike the bare LruCache).
 class CachePool {
  public:
   /// `servers` cache servers of `capacity_bytes_each` (the paper deploys
@@ -20,23 +23,24 @@ class CachePool {
   CachePool(int servers, std::size_t capacity_bytes_each);
 
   /// The server responsible for `key` (key-hash partitioning).
-  LruCache* ServerFor(const std::string& key);
+  ShardedLruCache* ServerFor(const std::string& key);
 
   /// Pool-wide operations routed to the owning server.
   bool Put(const std::string& key, Bytes value);
   bool Get(const std::string& key, Bytes* value);
+  bool GetShared(const std::string& key, std::shared_ptr<const Bytes>* value);
   bool Erase(const std::string& key);
   void Clear();
 
   int num_servers() const { return static_cast<int>(servers_.size()); }
-  LruCache* server(int i) { return servers_[i].get(); }
+  ShardedLruCache* server(int i) { return servers_[i].get(); }
 
   std::uint64_t TotalHits() const;
   std::uint64_t TotalMisses() const;
   double HitRate() const;
 
  private:
-  std::vector<std::unique_ptr<LruCache>> servers_;
+  std::vector<std::unique_ptr<ShardedLruCache>> servers_;
 };
 
 }  // namespace hotman::cache

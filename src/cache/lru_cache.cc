@@ -8,6 +8,11 @@ std::size_t EntryBytes(const std::string& key, const Bytes& value) {
   return key.size() + value.size();
 }
 
+std::size_t EntryBytes(const std::string& key,
+                       const std::shared_ptr<const Bytes>& value) {
+  return key.size() + value->size();
+}
+
 }  // namespace
 
 LruCache::LruCache(std::size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
@@ -32,7 +37,7 @@ bool LruCache::Put(const std::string& key, Bytes value) {
     items_.erase(it);
   }
   EvictUntilFits(incoming);
-  lru_.push_front(Entry{key, std::move(value)});
+  lru_.push_front(Entry{key, std::make_shared<const Bytes>(std::move(value))});
   items_.emplace(key, lru_.begin());
   used_bytes_ += incoming;
   return true;
@@ -46,6 +51,19 @@ bool LruCache::Get(const std::string& key, Bytes* value) {
   }
   ++hits_;
   // Promote to most-recently-used.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (value != nullptr) *value = *it->second->value;
+  return true;
+}
+
+bool LruCache::GetShared(const std::string& key,
+                         std::shared_ptr<const Bytes>* value) {
+  auto it = items_.find(key);
+  if (it == items_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);
   if (value != nullptr) *value = it->second->value;
   return true;

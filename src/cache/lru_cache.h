@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -14,6 +15,12 @@ namespace hotman::cache {
 /// bounded by a byte budget (§4: "unstructured data items in cache are
 /// stored in {key: value} format using LRU algorithm for age-out"; the
 /// paper's deployment gives each cache server 1 GB).
+///
+/// Bytes is a bare std::vector with no built-in sharing, so shared
+/// ownership happens at the cache boundary: entries hold their value
+/// behind shared_ptr<const Bytes>, GetShared hands that pointer out
+/// without copying the payload, and Get keeps the historical
+/// copy-into-caller-buffer contract for callers that mutate the result.
 class LruCache {
  public:
   explicit LruCache(std::size_t capacity_bytes);
@@ -22,8 +29,14 @@ class LruCache {
   /// rejected (returns false) rather than evicting everything.
   bool Put(const std::string& key, Bytes value);
 
-  /// Fetches and promotes `key`; false on miss.
+  /// Fetches and promotes `key`; false on miss. Copies the value into
+  /// `*value` — use GetShared on hot paths that only read.
   bool Get(const std::string& key, Bytes* value);
+
+  /// Fetches and promotes `key` without copying the payload: on hit,
+  /// `*value` shares ownership with the cache entry (O(1) in value size).
+  /// The bytes stay valid even if the entry is evicted afterwards.
+  bool GetShared(const std::string& key, std::shared_ptr<const Bytes>* value);
 
   /// True without promoting (introspection only).
   bool Contains(const std::string& key) const;
@@ -49,7 +62,7 @@ class LruCache {
  private:
   struct Entry {
     std::string key;
-    Bytes value;
+    std::shared_ptr<const Bytes> value;
   };
 
   void EvictUntilFits(std::size_t incoming);

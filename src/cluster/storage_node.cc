@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 
 #include "bson/codec.h"
 #include "common/logging.h"
@@ -339,16 +340,31 @@ void StorageNode::StartPut(bson::Document record, PutCallback cb) {
   // hint ("another temporary node C that is detected and found by
   // heartbeat mechanism" — Fig. 8).
   std::vector<std::string> known_dead;
+  known_dead.reserve(targets.size());
+  // Every non-primary target receives the identical replica-copy message,
+  // so it is encoded at most once (lazily: all-dead fan-outs skip it) and
+  // the Document copy per send shares the encoded Binary payload instead
+  // of re-running EncodePutReplica N-1 times.
+  std::optional<bson::Document> replica_body;
   for (const std::string& target : targets) {
     if (detector_->StatusOf(target) == gossip::Liveness::kDead) {
       known_dead.push_back(target);
       continue;
     }
-    PutReplicaMsg msg;
-    msg.req = req;
-    msg.record =
-        (target == targets.front()) ? record : core::AsReplicaCopy(record);
-    SendToNode(target, kMsgPutReplica, EncodePutReplica(msg));
+    if (target == targets.front()) {
+      PutReplicaMsg msg;
+      msg.req = req;
+      msg.record = record;
+      SendToNode(target, kMsgPutReplica, EncodePutReplica(msg));
+      continue;
+    }
+    if (!replica_body.has_value()) {
+      PutReplicaMsg msg;
+      msg.req = req;
+      msg.record = core::AsReplicaCopy(record);
+      replica_body = EncodePutReplica(msg);
+    }
+    SendToNode(target, kMsgPutReplica, *replica_body);
   }
   if (!known_dead.empty()) {
     PendingPut& pending = pending_puts_.find(req)->second;
@@ -447,14 +463,25 @@ void StorageNode::OnPutTimeout(std::uint64_t req) {
     // First wave: "try to write several times to guarantee the success of
     // writing" — resend to the silent replicas (the outage may have been a
     // dropped message or a short failure that already healed)...
+    // Same encode-once sharing as the StartPut fan-out.
+    std::optional<bson::Document> replica_body;
     for (const std::string& target : silent) {
-      PutReplicaMsg msg;
-      msg.req = req;
-      // The primary stores the original (isData=1), mirroring StartPut; a
-      // copy here would silently demote the record on a retried primary.
-      msg.record =
-          (target == put.primary) ? put.record : core::AsReplicaCopy(put.record);
-      SendToNode(target, kMsgPutReplica, EncodePutReplica(msg));
+      if (target == put.primary) {
+        PutReplicaMsg msg;
+        msg.req = req;
+        // The primary stores the original (isData=1), mirroring StartPut; a
+        // copy here would silently demote the record on a retried primary.
+        msg.record = put.record;
+        SendToNode(target, kMsgPutReplica, EncodePutReplica(msg));
+        continue;
+      }
+      if (!replica_body.has_value()) {
+        PutReplicaMsg msg;
+        msg.req = req;
+        msg.record = core::AsReplicaCopy(put.record);
+        replica_body = EncodePutReplica(msg);
+      }
+      SendToNode(target, kMsgPutReplica, *replica_body);
     }
     put.timeout_event = loop_->Schedule(config_.put_timeout / 2,
                                         [this, req]() { OnPutTimeout(req); });
@@ -504,6 +531,7 @@ void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
   // would stall the all-replied miss path); keep the original list when
   // everything looks dead so the timeout still produces a clean error.
   std::vector<std::string> alive;
+  alive.reserve(targets.size());
   for (const std::string& target : targets) {
     if (detector_->StatusOf(target) != gossip::Liveness::kDead) {
       alive.push_back(target);

@@ -2,6 +2,7 @@
 #define HOTMAN_COMMON_MUTEX_H_
 
 #include <mutex>
+#include <shared_mutex>
 
 #include "common/thread_annotations.h"
 
@@ -39,6 +40,67 @@ class HOTMAN_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex* const mu_;
+};
+
+/// std::shared_mutex wrapped as an annotated reader-writer capability.
+///
+/// Read-mostly classes (Collection, Journal stats, ConnectionPool counters)
+/// declare their lock as SharedMutex so const accessors can run concurrently
+/// under LockShared while mutations still serialize under Lock. Writer
+/// progress under sustained reader load is the platform's policy (glibc
+/// pthread_rwlock prefers readers by default), so hot write paths should not
+/// assume FIFO fairness.
+class HOTMAN_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() HOTMAN_ACQUIRE() { mu_.lock(); }
+  void Unlock() HOTMAN_RELEASE() { mu_.unlock(); }
+  bool TryLock() HOTMAN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() HOTMAN_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() HOTMAN_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() HOTMAN_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock for hotman::SharedMutex.
+class HOTMAN_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) HOTMAN_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() HOTMAN_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) lock for hotman::SharedMutex.
+class HOTMAN_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) HOTMAN_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->LockShared();
+  }
+  // Scoped capabilities use the generic release form in their destructor:
+  // the analysis pairs it with whichever mode the constructor acquired.
+  ~ReaderMutexLock() HOTMAN_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
 };
 
 }  // namespace hotman

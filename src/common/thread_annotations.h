@@ -39,6 +39,11 @@
 #define HOTMAN_REQUIRES(...) \
   HOTMAN_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
 
+/// Function that must be called with at least shared (reader) access to the
+/// given mutex(es); exclusive access satisfies it too.
+#define HOTMAN_REQUIRES_SHARED(...) \
+  HOTMAN_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
 /// Function that must be called with the given mutex(es) NOT held
 /// (it acquires them itself; calling under the lock would deadlock).
 #define HOTMAN_EXCLUDES(...) \
@@ -48,13 +53,26 @@
 #define HOTMAN_ACQUIRE(...) \
   HOTMAN_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
 
+/// Function that acquires shared (reader) access and does not release it.
+#define HOTMAN_ACQUIRE_SHARED(...) \
+  HOTMAN_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
 /// Function that releases mutex(es) acquired earlier.
 #define HOTMAN_RELEASE(...) \
   HOTMAN_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
 
+/// Function that releases shared (reader) access acquired earlier.
+#define HOTMAN_RELEASE_SHARED(...) \
+  HOTMAN_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
 /// Function that acquires the mutex only when it returns `value`.
 #define HOTMAN_TRY_ACQUIRE(value, ...) \
   HOTMAN_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(value, __VA_ARGS__))
+
+/// Function that acquires shared access only when it returns `value`.
+#define HOTMAN_TRY_ACQUIRE_SHARED(value, ...)     \
+  HOTMAN_THREAD_ANNOTATION_ATTRIBUTE(             \
+      try_acquire_shared_capability(value, __VA_ARGS__))
 
 /// RAII type that acquires in its constructor and releases in its
 /// destructor (std::lock_guard / std::scoped_lock shape).

@@ -24,7 +24,7 @@ Result<bson::Value> Collection::Insert(bson::Document doc) {
     for (const bson::Field& f : doc) with_id.Append(f.name, f.value);
     doc = std::move(with_id);
   }
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   HOTMAN_RETURN_IF_ERROR(InsertLocked(std::move(doc), id));
   return id;
 }
@@ -51,7 +51,10 @@ Status Collection::InsertLocked(bson::Document doc, const bson::Value& id) {
 }
 
 Result<bson::Document> Collection::FindById(const bson::Value& id) const {
-  MutexLock lock(&mu_);
+  // Shared lock: point reads run concurrently. The returned copy is cheap —
+  // bson::Binary payloads are shared_ptr-backed, so copying a document is
+  // O(fields), not O(payload bytes).
+  ReaderMutexLock lock(&mu_);
   auto it = docs_.find(id);
   if (it == docs_.end()) return Status::NotFound("no document with given _id");
   return it->second;
@@ -62,6 +65,7 @@ std::vector<bson::Value> Collection::CandidatesLocked(const QueryPlan& plan) con
   switch (plan.kind) {
     case QueryPlan::Kind::kPrimaryLookup:
       if (plan.bounds.eq.has_value() && docs_.count(*plan.bounds.eq) > 0) {
+        ids.reserve(1);
         ids.push_back(*plan.bounds.eq);
       }
       return ids;
@@ -99,13 +103,36 @@ Result<std::vector<bson::Document>> Collection::Find(const bson::Document& filte
   }
 
   std::vector<bson::Document> results;
+  // Without a sort, skip/limit apply in candidate order, so the window can
+  // be enforced during the scan: filtered-out and skipped documents are
+  // never copied, and a limit stops the scan early. With a sort every match
+  // must be materialized first and the window applied after ordering.
+  const bool window_in_scan = !sort.has_value();
   {
-    MutexLock lock(&mu_);
+    ReaderMutexLock lock(&mu_);
     const QueryPlan plan = ChoosePlan(*matcher, IndexSpecsLocked());
-    for (const bson::Value& id : CandidatesLocked(plan)) {
+    const std::vector<bson::Value> candidates = CandidatesLocked(plan);
+    std::int64_t to_skip = window_in_scan ? options.skip : 0;
+    std::size_t cap = candidates.size();
+    if (window_in_scan && options.limit >= 0) {
+      cap = std::min(cap, static_cast<std::size_t>(options.limit));
+    }
+    results.reserve(cap);
+    for (const bson::Value& id : candidates) {
       auto it = docs_.find(id);
       if (it == docs_.end()) continue;
-      if (matcher->Matches(it->second)) results.push_back(it->second);
+      if (!matcher->Matches(it->second)) continue;
+      if (window_in_scan) {
+        if (to_skip > 0) {
+          --to_skip;
+          continue;
+        }
+        if (options.limit >= 0 &&
+            results.size() >= static_cast<std::size_t>(options.limit)) {
+          break;
+        }
+      }
+      results.push_back(it->second);
     }
   }
 
@@ -114,16 +141,17 @@ Result<std::vector<bson::Document>> Collection::Find(const bson::Document& filte
                      [&sort](const bson::Document& a, const bson::Document& b) {
                        return sort->Less(a, b);
                      });
-  }
-  if (options.skip > 0) {
-    if (static_cast<std::size_t>(options.skip) >= results.size()) {
-      results.clear();
-    } else {
-      results.erase(results.begin(), results.begin() + options.skip);
+    if (options.skip > 0) {
+      if (static_cast<std::size_t>(options.skip) >= results.size()) {
+        results.clear();
+      } else {
+        results.erase(results.begin(), results.begin() + options.skip);
+      }
     }
-  }
-  if (options.limit >= 0 && results.size() > static_cast<std::size_t>(options.limit)) {
-    results.resize(options.limit);
+    if (options.limit >= 0 &&
+        results.size() > static_cast<std::size_t>(options.limit)) {
+      results.resize(options.limit);
+    }
   }
   if (projection.has_value()) {
     for (bson::Document& doc : results) doc = projection->Apply(doc);
@@ -148,7 +176,7 @@ Result<UpdateResult> Collection::Update(const bson::Document& filter,
   if (!matcher.ok()) return matcher.status();
 
   UpdateResult result;
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   const QueryPlan plan = ChoosePlan(*matcher, IndexSpecsLocked());
   std::vector<bson::Value> matched_ids;
   for (const bson::Value& id : CandidatesLocked(plan)) {
@@ -218,7 +246,7 @@ Result<std::size_t> Collection::Remove(const bson::Document& filter, bool multi)
   auto matcher = query::Matcher::Compile(filter);
   if (!matcher.ok()) return matcher.status();
 
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   const QueryPlan plan = ChoosePlan(*matcher, IndexSpecsLocked());
   std::vector<bson::Value> doomed;
   for (const bson::Value& id : CandidatesLocked(plan)) {
@@ -245,7 +273,7 @@ Status Collection::RemoveDocLocked(const bson::Value& id) {
 
 Result<std::size_t> Collection::Count(const bson::Document& filter) const {
   if (filter.empty()) {
-    MutexLock lock(&mu_);
+    ReaderMutexLock lock(&mu_);
     return docs_.size();
   }
   auto results = Find(filter);
@@ -257,7 +285,7 @@ Status Collection::CreateIndex(const IndexSpec& spec) {
   if (spec.path.empty() || spec.path == "_id") {
     return Status::InvalidArgument("cannot create index on _id (already primary)");
   }
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   for (const auto& index : indexes_) {
     if (index->spec().path == spec.path) {
       return Status::AlreadyExists("index exists on path: " + spec.path);
@@ -272,7 +300,7 @@ Status Collection::CreateIndex(const IndexSpec& spec) {
 }
 
 Status Collection::DropIndex(const std::string& path) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
     if ((*it)->spec().path == path) {
       indexes_.erase(it);
@@ -285,7 +313,7 @@ Status Collection::DropIndex(const std::string& path) {
 Result<QueryPlan> Collection::Explain(const bson::Document& filter) const {
   auto matcher = query::Matcher::Compile(filter);
   if (!matcher.ok()) return matcher.status();
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return ChoosePlan(*matcher, IndexSpecsLocked());
 }
 
@@ -293,7 +321,7 @@ Status Collection::PutDocument(bson::Document doc) {
   const bson::Value* id = doc.Get("_id");
   if (id == nullptr) return Status::InvalidArgument("PutDocument requires _id");
   const bson::Value id_copy = *id;
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   auto it = docs_.find(id_copy);
   if (it != docs_.end()) {
     for (auto& index : indexes_) index->Remove(id_copy, it->second);
@@ -304,12 +332,12 @@ Status Collection::PutDocument(bson::Document doc) {
 }
 
 Status Collection::RemoveById(const bson::Value& id) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   return RemoveDocLocked(id);
 }
 
 void Collection::SetChangeListener(ChangeListener listener) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   listener_ = std::move(listener);
 }
 
@@ -332,12 +360,12 @@ void Collection::NotifyRemove(const bson::Value& id) {
 }
 
 std::size_t Collection::NumDocuments() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return docs_.size();
 }
 
 std::vector<IndexSpec> Collection::Indexes() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return IndexSpecsLocked();
 }
 
@@ -349,7 +377,7 @@ std::vector<IndexSpec> Collection::IndexSpecsLocked() const {
 }
 
 std::size_t Collection::DataSizeBytes() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return data_bytes_;
 }
 

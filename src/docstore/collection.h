@@ -55,6 +55,11 @@ using ChangeListener = std::function<void(const ChangeEvent&)>;
 /// This is the engine the paper deploys per node ("MongoDB database is
 /// responsible for data persistence") providing "complex query functions
 /// like relational databases".
+///
+/// Reads (FindById/Find/Count/Explain and the stats accessors) take mu_ in
+/// shared mode and run concurrently; mutations take it exclusively. The
+/// change listener only fires from mutation paths, so a shared holder can
+/// never re-enter the journal (see DESIGN.md "Read-path concurrency").
 class Collection {
  public:
   /// `id_generator` supplies `_id`s for inserts that lack one; it must
@@ -126,10 +131,10 @@ class Collection {
  private:
   /// Ids of candidate documents under `plan` (kFullScan -> all ids).
   std::vector<bson::Value> CandidatesLocked(const QueryPlan& plan) const
-      HOTMAN_REQUIRES(mu_);
+      HOTMAN_REQUIRES_SHARED(mu_);
 
-  /// Specs of current secondary indexes; caller must hold mu_.
-  std::vector<IndexSpec> IndexSpecsLocked() const HOTMAN_REQUIRES(mu_);
+  /// Specs of current secondary indexes; caller must hold mu_ (any mode).
+  std::vector<IndexSpec> IndexSpecsLocked() const HOTMAN_REQUIRES_SHARED(mu_);
 
   Status InsertLocked(bson::Document doc, const bson::Value& id)
       HOTMAN_REQUIRES(mu_);
@@ -139,7 +144,7 @@ class Collection {
 
   std::string name_;
   bson::ObjectIdGenerator* id_generator_;
-  mutable Mutex mu_;
+  mutable SharedMutex mu_;
   std::map<bson::Value, bson::Document, ValueLess> docs_ HOTMAN_GUARDED_BY(mu_);
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_ HOTMAN_GUARDED_BY(mu_);
   ChangeListener listener_ HOTMAN_GUARDED_BY(mu_);

@@ -26,7 +26,7 @@ ConnectionLease& ConnectionLease::operator=(ConnectionLease&& other) noexcept {
 
 ConnectionPool::ConnectionPool(DocStoreServer* server, ConnectionConfig config)
     : server_(server), config_(std::move(config)) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   for (int i = 0; i < config_.pool_min_size; ++i) {
     idle_.push_back(std::make_unique<Connection>(server_));
     ++live_;
@@ -54,7 +54,7 @@ Status ConnectionPool::Connect() {
 
 Result<ConnectionLease> ConnectionPool::Acquire() {
   HOTMAN_RETURN_IF_ERROR(server_->CheckConnectable());
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   while (!idle_.empty()) {
     std::unique_ptr<Connection> conn = std::move(idle_.front());
     idle_.pop_front();
@@ -72,7 +72,7 @@ Result<ConnectionLease> ConnectionPool::Acquire() {
 }
 
 void ConnectionPool::Release(std::unique_ptr<Connection> conn) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   if (conn->broken()) {
     --live_;
     return;
@@ -81,12 +81,12 @@ void ConnectionPool::Release(std::unique_ptr<Connection> conn) {
 }
 
 std::size_t ConnectionPool::IdleCount() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return idle_.size();
 }
 
 std::size_t ConnectionPool::LiveCount() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return live_;
 }
 

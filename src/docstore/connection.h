@@ -103,7 +103,7 @@ class ConnectionPool {
  private:
   DocStoreServer* server_;
   ConnectionConfig config_;
-  mutable Mutex mu_;
+  mutable SharedMutex mu_;
   std::deque<std::unique_ptr<Connection>> idle_ HOTMAN_GUARDED_BY(mu_);
   std::size_t live_ HOTMAN_GUARDED_BY(mu_) = 0;  // idle + leased
 };

@@ -8,7 +8,7 @@ Database::Database(std::string name, std::uint64_t machine_id, const Clock* cloc
     : name_(std::move(name)), id_generator_(machine_id, clock) {}
 
 Collection* Database::GetCollection(const std::string& name) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   auto it = collections_.find(name);
   if (it == collections_.end()) {
     auto collection = std::make_unique<Collection>(name, &id_generator_);
@@ -19,13 +19,13 @@ Collection* Database::GetCollection(const std::string& name) {
 }
 
 Collection* Database::FindCollection(const std::string& name) {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = collections_.find(name);
   return it == collections_.end() ? nullptr : it->second.get();
 }
 
 Status Database::DropCollection(const std::string& name) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   if (collections_.erase(name) == 0) {
     return Status::NotFound("no collection named " + name);
   }
@@ -33,7 +33,7 @@ Status Database::DropCollection(const std::string& name) {
 }
 
 std::vector<std::string> Database::CollectionNames() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(collections_.size());
   for (const auto& [name, collection] : collections_) names.push_back(name);
@@ -41,7 +41,7 @@ std::vector<std::string> Database::CollectionNames() const {
 }
 
 std::size_t Database::TotalDocuments() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   std::size_t total = 0;
   for (const auto& [name, collection] : collections_) {
     total += collection->NumDocuments();
@@ -50,7 +50,7 @@ std::size_t Database::TotalDocuments() const {
 }
 
 std::size_t Database::TotalDataBytes() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   std::size_t total = 0;
   for (const auto& [name, collection] : collections_) {
     total += collection->DataSizeBytes();
@@ -60,7 +60,7 @@ std::size_t Database::TotalDataBytes() const {
 
 void Database::AttachJournal(Journal* journal) {
   // Call after Journal::Replay: replayed writes must not be re-journaled.
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   journal_ = journal;
   for (auto& [name, collection] : collections_) {
     HookCollectionLocked(collection.get());

@@ -57,7 +57,7 @@ class Database {
 
   std::string name_;
   bson::ObjectIdGenerator id_generator_;
-  mutable Mutex mu_;
+  mutable SharedMutex mu_;
   std::map<std::string, std::unique_ptr<Collection>> collections_
       HOTMAN_GUARDED_BY(mu_);
   Journal* journal_ HOTMAN_GUARDED_BY(mu_) = nullptr;

@@ -71,7 +71,7 @@ Status Journal::Append(const ChangeEvent& event) {
   record.append(payload);
   PutFixed32(&record, Crc32(payload.data(), payload.size()));
 
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     return Status::IOError("journal write failed");
   }
@@ -85,12 +85,12 @@ Status Journal::Append(const ChangeEvent& event) {
 }
 
 std::size_t Journal::AppendedBytes() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return appended_bytes_;
 }
 
 metrics::HistogramSnapshot Journal::AppendSizeSnapshot() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return append_size_hist_.Snapshot();
 }
 
@@ -102,7 +102,7 @@ Status Journal::Replay(Database* db) {
   // attached to `db`.
   std::vector<ChangeEvent> events;
   {
-    MutexLock lock(&mu_);
+    WriterMutexLock lock(&mu_);
     std::rewind(file_);
     for (;;) {
       std::uint8_t len_bytes[4];
@@ -156,7 +156,7 @@ Status Journal::Replay(Database* db) {
 }
 
 std::size_t Journal::NumAppended() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return appended_;
 }
 

@@ -57,7 +57,7 @@ class Journal {
   explicit Journal(std::string path, std::FILE* file);
 
   std::string path_;
-  mutable Mutex mu_;
+  mutable SharedMutex mu_;
   // The FILE stream itself (buffer + position) is what mu_ protects:
   // Append and Replay both move the file position.
   std::FILE* file_ HOTMAN_GUARDED_BY(mu_);

@@ -6,6 +6,7 @@
 //   cmake --build build-tsan -j && ctest --test-dir build-tsan -L concurrency
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -14,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "docstore/collection.h"
 #include "docstore/connection.h"
 #include "docstore/database.h"
@@ -44,6 +46,158 @@ std::string IdString(int writer, int i) {
 }
 
 Value Key(int writer, int i) { return Value(IdString(writer, i % 50)); }
+
+TEST(SharedMutexTest, SharedHoldersAdmitReadersAndExcludeWriters) {
+  // Deterministic semantics via Try* (no call here can block, so the test
+  // cannot hang even on a broken lock): while main holds shared access,
+  // another thread must be able to join in shared mode but not exclusively.
+  SharedMutex mu;
+  mu.LockShared();
+
+  bool peer_shared_ok = false;
+  bool peer_exclusive_ok = true;
+  std::thread peer([&mu, &peer_shared_ok, &peer_exclusive_ok] {
+    if (mu.TryLockShared()) {
+      peer_shared_ok = true;
+      mu.UnlockShared();
+    }
+    peer_exclusive_ok = mu.TryLock();
+    if (peer_exclusive_ok) mu.Unlock();
+  });
+  peer.join();
+  EXPECT_TRUE(peer_shared_ok);
+  EXPECT_FALSE(peer_exclusive_ok);
+
+  mu.UnlockShared();
+  // Fully released: exclusive access is available again.
+  ASSERT_TRUE(mu.TryLock());
+  EXPECT_FALSE(mu.TryLockShared());  // and it excludes readers
+  mu.Unlock();
+}
+
+TEST(SharedMutexTest, ReadersOverlapInsideTheSharedSection) {
+  // All readers rendezvous while holding the shared lock. If the lock were
+  // secretly exclusive, at most one thread would ever be inside and the
+  // bounded wait below would expire with arrived == 1, failing (not
+  // hanging) the test.
+  constexpr int kN = 4;
+  SharedMutex mu;
+  std::atomic<int> arrived{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kN; ++t) {
+    threads.emplace_back([&mu, &arrived, &max_inside] {
+      mu.LockShared();
+      const int inside = arrived.fetch_add(1) + 1;
+      int seen = max_inside.load();
+      while (seen < inside && !max_inside.compare_exchange_weak(seen, inside)) {
+      }
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (arrived.load() < kN &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+      mu.UnlockShared();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(arrived.load(), kN);
+  EXPECT_GE(max_inside.load(), 2);
+}
+
+TEST(CollectionConcurrencyTest, ConcurrentReadersSingleWriter) {
+  // The shared-lock read path under a single mutating writer: readers may
+  // observe either version or NotFound mid-churn, but never a torn
+  // document, and the final state must be the writer's last put.
+  ManualClock clock(0);
+  Database db("node", 1, &clock);
+  Collection* coll = db.GetCollection("rw");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(coll->PutDocument(Doc({{"_id", Value(IdString(0, i))},
+                                       {"v", Value(std::int32_t(0))}}))
+                    .ok());
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<int> read_failures{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back([coll, &go] {
+    while (!go.load()) {
+    }
+    for (int i = 0; i < kOpsPerWriter; ++i) {
+      ASSERT_TRUE(coll->PutDocument(Doc({{"_id", Value(IdString(0, i % 50))},
+                                         {"v", Value(std::int32_t(i))}}))
+                      .ok());
+    }
+  });
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([coll, r, &go, &read_failures] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        auto found = coll->FindById(Value(IdString(0, (i + r) % 50)));
+        if (!found.ok()) {
+          ++read_failures;  // writer only upserts: NotFound is a real bug
+          continue;
+        }
+        const Value* v = found->Get("v");
+        if (v == nullptr) ++read_failures;  // torn/partial document
+      }
+    });
+  }
+  go.store(true);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(read_failures.load(), 0);
+  EXPECT_EQ(coll->NumDocuments(), 50u);
+}
+
+TEST(CollectionConcurrencyTest, WriterCompletesUnderSustainedReaderLoad) {
+  // glibc's rwlock prefers readers, so this asserts progress, not fairness:
+  // with every reader doing a *bounded* amount of work, the writer must
+  // finish all its exclusive acquisitions. Unbounded reader loops could
+  // legally starve the writer on this platform — which is exactly why the
+  // readers here are bounded and the comment in mutex.h warns about it.
+  ManualClock clock(0);
+  Database db("node", 1, &clock);
+  Collection* coll = db.GetCollection("starve");
+  ASSERT_TRUE(coll->PutDocument(Doc({{"_id", Value("hot")},
+                                     {"v", Value(std::int32_t(0))}}))
+                  .ok());
+
+  std::atomic<bool> go{false};
+  std::atomic<int> writes_done{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders + 2; ++r) {
+    threads.emplace_back([coll, &go] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kOpsPerWriter * 4; ++i) {
+        ASSERT_TRUE(coll->FindById(Value("hot")).ok());
+      }
+    });
+  }
+  threads.emplace_back([coll, &go, &writes_done] {
+    while (!go.load()) {
+    }
+    for (int i = 0; i < kOpsPerWriter; ++i) {
+      ASSERT_TRUE(coll->PutDocument(Doc({{"_id", Value("hot")},
+                                         {"v", Value(std::int32_t(i + 1))}}))
+                      .ok());
+      ++writes_done;
+    }
+  });
+  go.store(true);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(writes_done.load(), kOpsPerWriter);
+  auto final_doc = coll->FindById(Value("hot"));
+  ASSERT_TRUE(final_doc.ok());
+  const Value* v = final_doc->Get("v");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, Value(std::int32_t(kOpsPerWriter)));
+}
 
 TEST(CollectionConcurrencyTest, WritersAndReadersStayCoherent) {
   ManualClock clock(0);

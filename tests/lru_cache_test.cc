@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "cache/cache_pool.h"
 
 namespace hotman::cache {
@@ -15,6 +17,24 @@ TEST(LruCacheTest, PutGetBasics) {
   EXPECT_EQ(ToString(out), "value");
   EXPECT_FALSE(cache.Get("missing", &out));
   EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, GetSharedAliasesEntryAndSurvivesEviction) {
+  LruCache cache(1024);
+  ASSERT_TRUE(cache.Put("k", ToBytes("shared-value")));
+  std::shared_ptr<const Bytes> out;
+  ASSERT_TRUE(cache.GetShared("k", &out));
+  EXPECT_EQ(ToString(*out), "shared-value");
+  EXPECT_EQ(cache.hits(), 1u);
+  // A second GetShared hands out the same underlying buffer (no copy).
+  std::shared_ptr<const Bytes> again;
+  ASSERT_TRUE(cache.GetShared("k", &again));
+  EXPECT_EQ(out.get(), again.get());
+  // The handed-out bytes outlive the entry.
+  cache.Erase("k");
+  EXPECT_EQ(ToString(*out), "shared-value");
+  EXPECT_FALSE(cache.GetShared("k", &again));
   EXPECT_EQ(cache.misses(), 1u);
 }
 
@@ -98,7 +118,7 @@ TEST(CachePoolTest, RoutesByKeyHashConsistently) {
   CachePool pool(4, 1024 * 1024);
   EXPECT_EQ(pool.num_servers(), 4);
   // The same key always lands on the same server.
-  LruCache* server = pool.ServerFor("stable-key");
+  ShardedLruCache* server = pool.ServerFor("stable-key");
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(pool.ServerFor("stable-key"), server);
   }
@@ -106,7 +126,7 @@ TEST(CachePoolTest, RoutesByKeyHashConsistently) {
 
 TEST(CachePoolTest, KeysSpreadAcrossServers) {
   CachePool pool(4, 1024 * 1024);
-  std::set<LruCache*> used;
+  std::set<ShardedLruCache*> used;
   for (int i = 0; i < 200; ++i) {
     used.insert(pool.ServerFor("key" + std::to_string(i)));
   }

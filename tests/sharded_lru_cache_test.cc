@@ -1,0 +1,149 @@
+#include "cache/sharded_lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hotman::cache {
+namespace {
+
+std::string Key(int i) { return "key" + std::to_string(i); }
+
+TEST(ShardedLruCacheTest, BasicPutGetRoundTrip) {
+  ShardedLruCache cache(1 << 20);
+  EXPECT_EQ(cache.num_shards(), ShardedLruCache::kDefaultShards);
+  ASSERT_TRUE(cache.Put("k", ToBytes("value")));
+  Bytes out;
+  ASSERT_TRUE(cache.Get("k", &out));
+  EXPECT_EQ(ToString(out), "value");
+  EXPECT_TRUE(cache.Contains("k"));
+  EXPECT_TRUE(cache.Erase("k"));
+  EXPECT_FALSE(cache.Get("k", &out));
+}
+
+TEST(ShardedLruCacheTest, GetSharedAliasesWithoutCopy) {
+  ShardedLruCache cache(1 << 20);
+  ASSERT_TRUE(cache.Put("k", ToBytes("shared")));
+  std::shared_ptr<const Bytes> a;
+  std::shared_ptr<const Bytes> b;
+  ASSERT_TRUE(cache.GetShared("k", &a));
+  ASSERT_TRUE(cache.GetShared("k", &b));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(ToString(*a), "shared");
+}
+
+TEST(ShardedLruCacheTest, KeysSpreadAcrossShards) {
+  ShardedLruCache cache(1 << 20, 8);
+  std::set<std::size_t> used;
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t shard = cache.ShardIndexOf(Key(i));
+    ASSERT_LT(shard, cache.num_shards());
+    used.insert(shard);
+    // Routing is stable: the same key always maps to the same shard.
+    EXPECT_EQ(cache.ShardIndexOf(Key(i)), shard);
+  }
+  EXPECT_EQ(used.size(), 8u);
+}
+
+TEST(ShardedLruCacheTest, StatsMergeAcrossShards) {
+  ShardedLruCache cache(1 << 20, 4);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(cache.Put(Key(i), ToBytes("v" + std::to_string(i))));
+  }
+  EXPECT_EQ(cache.item_count(), 64u);
+  Bytes out;
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(cache.Get(Key(i), &out));
+  for (int i = 1000; i < 1032; ++i) EXPECT_FALSE(cache.Get(Key(i), &out));
+  EXPECT_EQ(cache.hits(), 64u);
+  EXPECT_EQ(cache.misses(), 32u);
+  EXPECT_NEAR(cache.HitRate(), 64.0 / 96.0, 1e-9);
+  cache.Clear();
+  EXPECT_EQ(cache.item_count(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(ShardedLruCacheTest, CapacitySplitsExactlyAcrossShards) {
+  // 1003 bytes over 4 shards: 3 shards get 251, one gets 250 — budgets sum
+  // exactly to capacity and eviction is enforced per shard.
+  ShardedLruCache cache(1003, 4);
+  EXPECT_EQ(cache.capacity_bytes(), 1003u);
+
+  // Values sized near a shard's budget: a second insert into the same
+  // shard must evict the first, never exceed the shard budget, and count
+  // the eviction in the merged stats.
+  const std::size_t big = 200;
+  int first = -1;
+  int second = -1;
+  for (int i = 0; i < 1000 && second < 0; ++i) {
+    if (first < 0) {
+      first = i;
+      continue;
+    }
+    if (cache.ShardIndexOf(Key(i)) == cache.ShardIndexOf(Key(first))) second = i;
+  }
+  ASSERT_GE(second, 0);
+  ASSERT_TRUE(cache.Put(Key(first), Bytes(big, 'a')));
+  ASSERT_TRUE(cache.Put(Key(second), Bytes(big, 'b')));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.Contains(Key(first)));
+  EXPECT_TRUE(cache.Contains(Key(second)));
+
+  // A value that fits the total capacity but not one shard's slice is
+  // rejected, mirroring LruCache's oversized-value rule at shard scope.
+  EXPECT_FALSE(cache.Put("oversized", Bytes(600, 'x')));
+}
+
+TEST(ShardedLruCacheTest, ConcurrentMixedTrafficKeepsCountersExact) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 400;
+  constexpr int kKeys = 64;
+  // Roomy capacity: nothing evicts, so hits+misses must add up exactly.
+  ShardedLruCache cache(1 << 20, 8);
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(cache.Put(Key(i), ToBytes("seed")));
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> expected_hits{0};
+  std::atomic<std::uint64_t> expected_misses{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &go, &expected_hits, &expected_misses, t] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kOps; ++i) {
+        if (i % 2 == 0) {
+          std::shared_ptr<const Bytes> out;
+          if (cache.GetShared(Key((i + t) % kKeys), &out)) {
+            expected_hits.fetch_add(1);
+          } else {
+            expected_misses.fetch_add(1);
+          }
+        } else {
+          Bytes out;
+          if (cache.Get(Key(kKeys + (i % kKeys)), &out)) {  // always absent
+            expected_hits.fetch_add(1);
+          } else {
+            expected_misses.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  go.store(true);
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(cache.hits(), expected_hits.load());
+  EXPECT_EQ(cache.misses(), expected_misses.load());
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(cache.item_count(), static_cast<std::size_t>(kKeys));
+}
+
+}  // namespace
+}  // namespace hotman::cache

@@ -23,6 +23,11 @@ Checks
    std::thread::detach() anywhere (detached threads outlive shutdown and
    race static destruction).
 
+4. Shared-read discipline (docstore headers). A `const` method annotated
+   HOTMAN_EXCLUDES(mu) where `mu` is an exclusive hotman::Mutex member
+   serializes a read path; docstore read methods default to SharedMutex
+   (taken with ReaderMutexLock) so concurrent reads do not contend.
+
 A line may opt out with `// NOLINT(hotman-<rule>)` plus a justification;
 the suppression is itself reported when the justification is missing.
 """
@@ -39,7 +44,8 @@ EVENT_LOOP_DIRS = {"sim", "cluster", "gossip"}
 # stripped, so prose about "threads" does not trip the linter.
 EVENT_LOOP_RULES = [
     ("no-mutex", re.compile(r"std::(recursive_|timed_|shared_)?mutex\b"
-                            r"|\bMutexLock\b|\bhotman::Mutex\b"),
+                            r"|\b(Reader|Writer)?MutexLock\b"
+                            r"|\bhotman::(Shared)?Mutex\b|\bSharedMutex\b"),
      "event-loop code must not take locks (single-threaded by contract)"),
     ("no-thread", re.compile(r"std::j?thread\b|pthread_create"),
      "event-loop code must not spawn threads"),
@@ -83,6 +89,11 @@ ALLOWED_DEPS = {
 # in core/ because the REST facade shares it, and record.h depends only on
 # bson/, so the edge does not re-introduce a cycle of behaviour.
 INCLUDE_EXCEPTIONS = {("cluster", "core/record.h")}
+
+# Rule 4: an exclusive Mutex member (never matches SharedMutex: \b cannot
+# fall inside the identifier) and a const method declared to take it.
+EXCLUSIVE_MUTEX_MEMBER = re.compile(r"\bMutex\s+(\w+)\s*;")
+CONST_EXCLUDES = re.compile(r"\bconst\s+HOTMAN_EXCLUDES\(\s*(\w+)\s*\)")
 
 NAKED_NEW = re.compile(r"\bnew\b(?!\s*\()")  # `new (place)` = placement, skip
 SMART_WRAP = re.compile(r"(make_unique|make_shared|unique_ptr|shared_ptr)")
@@ -163,7 +174,7 @@ def lint_lines(rel_path, lines, violations):
 
         if layer in EVENT_LOOP_DIRS:
             if include and include.group(1) in ("common/mutex.h", "mutex",
-                                                "thread"):
+                                                "shared_mutex", "thread"):
                 violations.append(Violation(
                     rel_path, lineno, "no-mutex",
                     "event-loop code must not include locking/threading "
@@ -183,6 +194,34 @@ def lint_lines(rel_path, lines, violations):
                 "detached threads race static destruction; join them"))
 
 
+def lint_docstore_shared_read(rel_path, lines, violations):
+    """Rule 4 (file-level): a docstore header pairing an exclusive Mutex
+    member with `const ... HOTMAN_EXCLUDES(member)` serializes reads."""
+    parts = pathlib.PurePosixPath(rel_path).parts
+    if parts[:2] != ("src", "docstore") or not rel_path.endswith(".h"):
+        return
+    stripped = "\n".join(strip_code_line(l) for l in lines)
+    # Blank block comments but keep newlines so offsets map to line numbers.
+    text = re.sub(r"/\*.*?\*/",
+                  lambda m: re.sub(r"[^\n]", " ", m.group(0)),
+                  stripped, flags=re.S)
+    members = set(EXCLUSIVE_MUTEX_MEMBER.findall(text))
+    for m in CONST_EXCLUDES.finditer(text):
+        name = m.group(1)
+        if name not in members:
+            continue
+        first = text.count("\n", 0, m.start()) + 1
+        last = text.count("\n", 0, m.end()) + 1
+        spanned = lines[first - 1:last]
+        if any((n := NOLINT_RE.search(raw)) and n.group(1) == "shared-read"
+               for raw in spanned):
+            continue  # justification presence is enforced by lint_lines
+        violations.append(Violation(
+            rel_path, first, "shared-read",
+            f"const read method takes the exclusive Mutex '{name}'; "
+            "docstore read paths should use SharedMutex (ReaderMutexLock)"))
+
+
 def lint_tree(root):
     violations = []
     for sub in ("src", "tests", "bench", "examples"):
@@ -195,6 +234,7 @@ def lint_tree(root):
             rel = path.relative_to(root).as_posix()
             lines = path.read_text(encoding="utf-8").splitlines()
             lint_lines(rel, lines, violations)
+            lint_docstore_shared_read(rel, lines, violations)
     return violations
 
 

@@ -73,6 +73,56 @@ class CleanCodeTest(unittest.TestCase):
             self.assertEqual(len(out), 1, out)
             self.assertIn("hotman-nolint", out[0])
 
+class SharedReadTest(unittest.TestCase):
+    EXCLUSIVE = ("class Store {\n"
+                 " public:\n"
+                 "  std::size_t Count() const HOTMAN_EXCLUDES(mu_);\n"
+                 " private:\n"
+                 "  mutable Mutex mu_;\n"
+                 "};\n")
+    SHARED = EXCLUSIVE.replace("Mutex mu_", "SharedMutex mu_")
+
+    @staticmethod
+    def lint_text(rel_path, text):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            dest = root / rel_path
+            dest.parent.mkdir(parents=True)
+            dest.write_text(text)
+            return [str(v) for v in lint_hotman.lint_tree(root)]
+
+    def test_exclusive_mutex_on_const_read_flagged(self):
+        out = self.lint_text("src/docstore/store.h", self.EXCLUSIVE)
+        self.assertEqual(len(out), 1, out)
+        self.assertIn("hotman-shared-read", out[0])
+        self.assertIn("store.h:3", out[0])
+        self.assertIn("mu_", out[0])
+
+    def test_shared_mutex_member_is_quiet(self):
+        out = self.lint_text("src/docstore/store.h", self.SHARED)
+        self.assertEqual(out, [], out)
+
+    def test_rule_scoped_to_docstore_headers(self):
+        # Same code elsewhere (another layer, or a .cc) is not the rule's
+        # business: only docstore *headers* advertise the read API surface.
+        self.assertEqual(
+            self.lint_text("src/rest/store.h", self.EXCLUSIVE), [])
+        self.assertEqual(
+            self.lint_text("src/docstore/store.cc", self.EXCLUSIVE), [])
+
+    def test_nolint_with_justification_suppresses(self):
+        text = self.EXCLUSIVE.replace(
+            "HOTMAN_EXCLUDES(mu_);",
+            "HOTMAN_EXCLUDES(mu_);  "
+            "// NOLINT(hotman-shared-read) stats path, writes dominate")
+        self.assertEqual(self.lint_text("src/docstore/store.h", text), [])
+
+    def test_mutex_named_in_comment_is_ignored(self):
+        text = self.SHARED + "// legacy design held a Mutex mu_; here\n"
+        self.assertEqual(self.lint_text("src/docstore/store.h", text), [])
+
+
+class RealTreeTest(unittest.TestCase):
     def test_real_tree_is_clean(self):
         repo_root = pathlib.Path(__file__).resolve().parent.parent
         out = [str(v) for v in lint_hotman.lint_tree(repo_root)]
