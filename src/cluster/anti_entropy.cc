@@ -15,7 +15,7 @@
 namespace hotman::cluster {
 
 void StorageNode::StartAntiEntropyTimer() {
-  ae_timer_ = loop_->Schedule(config_.anti_entropy_interval, [this]() {
+  ae_timer_ = transport_->ScheduleTimer(config_.anti_entropy_interval, [this]() {
     if (!running_) return;
     std::vector<std::string> peers;
     for (const std::string& member : ring_.Nodes()) {
@@ -58,7 +58,7 @@ void StorageNode::RunAntiEntropyRound(const std::string& peer) {
   SendToNode(peer, kMsgAeDigest, EncodeAeDigest(digest));
 }
 
-void StorageNode::HandleAeDigest(const sim::Message& msg) {
+void StorageNode::HandleAeDigest(const net::Message& msg) {
   auto digest = DecodeAeDigest(msg.body);
   if (!digest.ok()) return;
   if (!server_->CheckAvailable().ok()) return;
@@ -106,7 +106,7 @@ void StorageNode::HandleAeDigest(const sim::Message& msg) {
   }
 }
 
-void StorageNode::HandleAeRequest(const sim::Message& msg) {
+void StorageNode::HandleAeRequest(const net::Message& msg) {
   auto request = DecodeAeRequest(msg.body);
   if (!request.ok()) return;
   if (!server_->CheckAvailable().ok()) return;

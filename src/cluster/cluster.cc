@@ -18,8 +18,9 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed,
                  sim::FailureConfig failure_config)
     : config_(std::move(config)),
       loop_(),
-      network_(&loop_, config_.network, seed ^ 0x9e3779b97f4a7c15ull),
-      injector_(&loop_, &network_, failure_config, seed ^ 0x5851f42d4c957f2dull),
+      transport_(&loop_, config_.network, seed ^ 0x9e3779b97f4a7c15ull),
+      injector_(&loop_, transport_.sim_network(), failure_config,
+                seed ^ 0x5851f42d4c957f2dull),
       seed_(seed) {}
 
 Cluster::~Cluster() = default;
@@ -32,7 +33,7 @@ Status Cluster::Start() {
   });
   std::uint64_t node_seed = seed_;
   for (const NodeSpec& spec : config_.nodes) {
-    auto node = std::make_unique<StorageNode>(spec, config_, &loop_, &network_,
+    auto node = std::make_unique<StorageNode>(spec, config_, &transport_,
                                               &injector_, ++node_seed);
     node->Start();
     injector_.RegisterServer(node->server());
@@ -75,19 +76,24 @@ constexpr Micros kWriteRetryBackoff = 150 * kMicrosPerMilli;
 
 void Cluster::Put(const std::string& key, Bytes value, PutCallback cb) {
   // Each attempt re-picks a coordinator, so an attempt doomed by its own
-  // coordinator's outage is retried through a healthy front door.
+  // coordinator's outage is retried through a healthy front door. The
+  // stored closure holds itself only weakly — strong references travel
+  // with the in-flight callbacks — so the final completion releases the
+  // closure instead of leaking a shared_ptr cycle.
   auto attempt = std::make_shared<std::function<void(int)>>();
   auto shared_value = std::make_shared<Bytes>(std::move(value));
-  *attempt = [this, key, shared_value, cb = std::move(cb), attempt](int tries) {
+  std::weak_ptr<std::function<void(int)>> weak = attempt;
+  *attempt = [this, key, shared_value, cb = std::move(cb), weak](int tries) {
+    auto self = weak.lock();  // pins the closure across the async op
     AnyCoordinator()->CoordinatePut(
         key, *shared_value,
-        [this, key, cb, attempt, tries](const Status& s) {
+        [this, key, cb, self, tries](const Status& s) {
           if (s.ok() || tries + 1 >= kWriteAttempts) {
             cb(s);
             return;
           }
           loop_.Schedule(kWriteRetryBackoff,
-                         [attempt, tries]() { (*attempt)(tries + 1); });
+                         [self, tries]() { (*self)(tries + 1); });
         });
   };
   (*attempt)(0);
@@ -99,9 +105,11 @@ void Cluster::Get(const std::string& key, GetCallback cb) {
   // while another front door could still serve the read. NotFound and
   // other authoritative answers return immediately.
   auto attempt = std::make_shared<std::function<void(int)>>();
-  *attempt = [this, key, cb = std::move(cb), attempt](int tries) {
+  std::weak_ptr<std::function<void(int)>> weak = attempt;
+  *attempt = [this, key, cb = std::move(cb), weak](int tries) {
+    auto self = weak.lock();
     AnyCoordinator()->CoordinateGet(
-        key, [this, cb, attempt, tries](const Result<bson::Document>& r) {
+        key, [this, cb, self, tries](const Result<bson::Document>& r) {
           const bool retryable =
               !r.ok() && (r.status().IsTimeout() || r.status().IsUnavailable());
           if (!retryable || tries + 1 >= kWriteAttempts) {
@@ -109,7 +117,7 @@ void Cluster::Get(const std::string& key, GetCallback cb) {
             return;
           }
           loop_.Schedule(kWriteRetryBackoff,
-                         [attempt, tries]() { (*attempt)(tries + 1); });
+                         [self, tries]() { (*self)(tries + 1); });
         });
   };
   (*attempt)(0);
@@ -117,15 +125,17 @@ void Cluster::Get(const std::string& key, GetCallback cb) {
 
 void Cluster::Delete(const std::string& key, PutCallback cb) {
   auto attempt = std::make_shared<std::function<void(int)>>();
-  *attempt = [this, key, cb = std::move(cb), attempt](int tries) {
+  std::weak_ptr<std::function<void(int)>> weak = attempt;
+  *attempt = [this, key, cb = std::move(cb), weak](int tries) {
+    auto self = weak.lock();
     AnyCoordinator()->CoordinateDelete(
-        key, [this, cb, attempt, tries](const Status& s) {
+        key, [this, cb, self, tries](const Status& s) {
           if (s.ok() || tries + 1 >= kWriteAttempts) {
             cb(s);
             return;
           }
           loop_.Schedule(kWriteRetryBackoff,
-                         [attempt, tries]() { (*attempt)(tries + 1); });
+                         [self, tries]() { (*self)(tries + 1); });
         });
   };
   (*attempt)(0);
@@ -186,7 +196,7 @@ Status Cluster::AddNode(const NodeSpec& spec) {
   // The new node bootstraps from the *current* static config plus itself.
   ClusterConfig node_config = config_;
   node_config.nodes.push_back(spec);
-  auto node = std::make_unique<StorageNode>(spec, node_config, &loop_, &network_,
+  auto node = std::make_unique<StorageNode>(spec, node_config, &transport_,
                                             &injector_, seed_ ^ (nodes_.size() + 17));
   StorageNode* raw = node.get();
   node_order_.push_back(spec.address);
@@ -307,9 +317,7 @@ std::string Cluster::StatsJson() {
   registry.counter("read_repairs")->Increment(total.read_repairs);
   registry.counter("rereplications")->Increment(total.rereplications);
   registry.counter("ae_rounds")->Increment(total.ae_rounds);
-  registry.counter("net_messages_sent")->Increment(network_.messages_sent());
-  registry.counter("net_messages_dropped")->Increment(network_.messages_dropped());
-  registry.counter("net_bytes_sent")->Increment(network_.bytes_sent());
+  transport_.ExportStats(&registry);
   registry.gauge("nodes")->Set(static_cast<std::int64_t>(nodes_.size()));
   registry.gauge("virtual_now_us")->Set(loop_.Now());
   metrics::Histogram* put_lat = registry.histogram("put_latency_us");
@@ -319,10 +327,11 @@ std::string Cluster::StatsJson() {
   for (auto& [address, node] : nodes_) {
     put_lat->MergeFrom(node->put_latency_histogram());
     get_lat->MergeFrom(node->get_latency_histogram());
-    queue_wait->MergeFrom(node->station()->queue_wait_histogram());
-    service->MergeFrom(node->station()->service_histogram());
+    if (node->station() != nullptr) {
+      queue_wait->MergeFrom(node->station()->queue_wait_histogram());
+      service->MergeFrom(node->station()->service_histogram());
+    }
   }
-  registry.histogram("net_delivery_us")->MergeFrom(network_.delivery_histogram());
   return registry.ToJson();
 }
 

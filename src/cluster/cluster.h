@@ -8,14 +8,15 @@
 
 #include "cluster/config.h"
 #include "cluster/storage_node.h"
+#include "net/sim_transport.h"
 #include "sim/event_loop.h"
 #include "sim/failure_injector.h"
-#include "sim/network.h"
 
 namespace hotman::cluster {
 
-/// The whole MyStore data storage module: an event loop, a simulated LAN,
-/// a failure injector and one StorageNode per configured server.
+/// The whole MyStore data storage module: an event loop, a simulated LAN
+/// (behind the net::Transport seam), a failure injector and one StorageNode
+/// per configured server.
 ///
 /// This is the top-level object experiments and examples instantiate. It
 /// offers both the asynchronous client API (callbacks, for workload
@@ -70,7 +71,9 @@ class Cluster {
   // --- plumbing ---------------------------------------------------------------
 
   sim::EventLoop* loop() { return &loop_; }
-  sim::SimNetwork* network() { return &network_; }
+  /// The simulated transport, exposing the fault-injection surface
+  /// (PartitionLink/Disconnect/...) experiments drive.
+  net::SimTransport* network() { return &transport_; }
   sim::FailureInjector* injector() { return &injector_; }
   const ClusterConfig& config() const { return config_; }
 
@@ -104,7 +107,7 @@ class Cluster {
 
   ClusterConfig config_;
   sim::EventLoop loop_;
-  sim::SimNetwork network_;
+  net::SimTransport transport_;
   sim::FailureInjector injector_;
   std::map<std::string, std::unique_ptr<StorageNode>> nodes_;
   std::vector<std::string> node_order_;

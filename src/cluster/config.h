@@ -7,7 +7,7 @@
 #include "common/status.h"
 #include "gossip/failure_detector.h"
 #include "gossip/gossiper.h"
-#include "sim/network.h"
+#include "sim/network_config.h"
 #include "sim/service_station.h"
 
 namespace hotman::cluster {
@@ -54,6 +54,10 @@ struct ClusterConfig {
   gossip::FailureDetector::Config detector;
   sim::NetworkConfig network;
   sim::ServiceConfig service;
+  /// Model replica-side queueing/service time with a ServiceStation. On by
+  /// default for simulation fidelity; the real daemon disables it (actual
+  /// CPU time is spent instead of modeled).
+  bool simulate_service_time = true;
 
   /// Validates quorum arithmetic and membership (W <= N, R <= N, at least
   /// one node, N >= 1, at least one seed when >1 node).

@@ -1,0 +1,149 @@
+#include "cluster/node_server.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "core/record.h"
+
+namespace hotman::cluster {
+
+NodeServer::NodeServer(StorageNode* node, net::Transport* transport)
+    : node_(node), transport_(transport) {}
+
+void NodeServer::Start() {
+  net::Dispatcher* d = node_->dispatcher();
+  d->On(net::kMsgClientPut,
+        [this](const net::Message& msg) { HandleClientPut(msg); });
+  d->On(net::kMsgClientGet,
+        [this](const net::Message& msg) { HandleClientGet(msg); });
+  d->On(net::kMsgClientDelete,
+        [this](const net::Message& msg) { HandleClientDelete(msg); });
+  d->On(net::kMsgClientStats,
+        [this](const net::Message& msg) { HandleClientStats(msg); });
+}
+
+void NodeServer::Reply(const std::string& to, const char* type,
+                       bson::Document body) {
+  net::Message reply;
+  reply.from = node_->id();
+  reply.to = to;
+  reply.type = type;
+  reply.body = std::move(body);
+  transport_->Send(std::move(reply));
+}
+
+void NodeServer::HandleClientPut(const net::Message& msg) {
+  auto put = net::DecodeClientPut(msg.body);
+  if (!put.ok()) {
+    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_put from " << msg.from
+                      << ": " << put.status().ToString();
+    return;
+  }
+  ++client_puts_;
+  const std::uint64_t req = put->req;
+  const std::string client = msg.from;
+  node_->CoordinatePut(put->key, std::move(put->value),
+                       [this, req, client](const Status& s) {
+                         net::ClientAckMsg ack;
+                         ack.req = req;
+                         ack.ok = s.ok();
+                         if (!s.ok()) ack.error = s.ToString();
+                         Reply(client, net::kMsgClientPutAck,
+                               net::EncodeClientAck(ack));
+                       });
+}
+
+void NodeServer::HandleClientGet(const net::Message& msg) {
+  auto get = net::DecodeClientGet(msg.body);
+  if (!get.ok()) {
+    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_get from " << msg.from
+                      << ": " << get.status().ToString();
+    return;
+  }
+  ++client_gets_;
+  const std::uint64_t req = get->req;
+  const std::string client = msg.from;
+  node_->CoordinateGet(
+      get->key, [this, req, client](const Result<bson::Document>& r) {
+        net::ClientGetAckMsg ack;
+        ack.req = req;
+        if (!r.ok()) {
+          // NotFound is an authoritative quorum answer, not a failure.
+          ack.ok = r.status().IsNotFound();
+          if (!ack.ok) ack.error = r.status().ToString();
+        } else if (core::RecordIsDeleted(*r)) {
+          ack.ok = true;  // tombstone: a successful read of "gone"
+        } else {
+          ack.ok = true;
+          ack.found = true;
+          ack.value = core::RecordValue(*r);
+        }
+        Reply(client, net::kMsgClientGetAck, net::EncodeClientGetAck(ack));
+      });
+}
+
+void NodeServer::HandleClientDelete(const net::Message& msg) {
+  auto del = net::DecodeClientGet(msg.body);
+  if (!del.ok()) {
+    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_delete from " << msg.from
+                      << ": " << del.status().ToString();
+    return;
+  }
+  ++client_deletes_;
+  const std::uint64_t req = del->req;
+  const std::string client = msg.from;
+  node_->CoordinateDelete(del->key, [this, req, client](const Status& s) {
+    net::ClientAckMsg ack;
+    ack.req = req;
+    ack.ok = s.ok();
+    if (!s.ok()) ack.error = s.ToString();
+    Reply(client, net::kMsgClientDeleteAck, net::EncodeClientAck(ack));
+  });
+}
+
+void NodeServer::HandleClientStats(const net::Message& msg) {
+  auto stats = net::DecodeClientGet(msg.body);
+  if (!stats.ok()) {
+    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_stats from " << msg.from
+                      << ": " << stats.status().ToString();
+    return;
+  }
+  net::ClientStatsAckMsg ack;
+  ack.req = stats->req;
+  ack.json = StatsJson();
+  Reply(msg.from, net::kMsgClientStatsAck, net::EncodeClientStatsAck(ack));
+}
+
+std::string NodeServer::StatsJson() const {
+  metrics::Registry registry;
+  const NodeStats& s = node_->stats();
+  registry.counter("puts_coordinated")->Increment(s.puts_coordinated);
+  registry.counter("puts_succeeded")->Increment(s.puts_succeeded);
+  registry.counter("puts_failed")->Increment(s.puts_failed);
+  registry.counter("gets_coordinated")->Increment(s.gets_coordinated);
+  registry.counter("gets_succeeded")->Increment(s.gets_succeeded);
+  registry.counter("gets_failed")->Increment(s.gets_failed);
+  registry.counter("replica_puts_applied")->Increment(s.replica_puts_applied);
+  registry.counter("replica_gets_served")->Increment(s.replica_gets_served);
+  registry.counter("handoff_writes")->Increment(s.handoff_writes);
+  registry.counter("hints_delivered")->Increment(s.hints_delivered);
+  registry.counter("read_repairs")->Increment(s.read_repairs);
+  registry.counter("rereplications")->Increment(s.rereplications);
+  registry.counter("ae_rounds")->Increment(s.ae_rounds);
+  registry.counter("client_puts")->Increment(client_puts_);
+  registry.counter("client_gets")->Increment(client_gets_);
+  registry.counter("client_deletes")->Increment(client_deletes_);
+  registry.histogram("put_latency_us")->MergeFrom(node_->put_latency_histogram());
+  registry.histogram("get_latency_us")->MergeFrom(node_->get_latency_histogram());
+  if (node_->station() != nullptr) {
+    registry.histogram("replica_queue_wait_us")
+        ->MergeFrom(node_->station()->queue_wait_histogram());
+    registry.histogram("replica_service_us")
+        ->MergeFrom(node_->station()->service_histogram());
+  }
+  transport_->ExportStats(&registry);
+  return registry.ToJson();
+}
+
+}  // namespace hotman::cluster

@@ -18,34 +18,36 @@ constexpr std::size_t kHandoffCandidateSlack = 4;
 }  // namespace
 
 StorageNode::StorageNode(const NodeSpec& spec, const ClusterConfig& config,
-                         sim::EventLoop* loop, sim::SimNetwork* network,
+                         net::Transport* transport,
                          sim::FailureInjector* injector, std::uint64_t rng_seed)
     : spec_(spec),
       config_(config),
       id_(spec.address),
-      loop_(loop),
-      network_(network),
+      transport_(transport),
       injector_(injector) {
   server_ = std::make_unique<docstore::DocStoreServer>(
-      id_, hashring::KetamaHash(id_), loop_->clock());
+      id_, hashring::KetamaHash(id_), transport_->clock());
   store_ = std::make_unique<ReplicaStore>(server_->db(), config_.collection);
   Status init = store_->Init();
   if (!init.ok()) {
     HOTMAN_LOG(kError) << id_ << ": replica store init failed: " << init.ToString();
   }
-  station_ = std::make_unique<sim::ServiceStation>(loop_, config_.service);
+  if (config_.simulate_service_time) {
+    station_ = std::make_unique<sim::ServiceStation>(transport_, config_.service);
+  }
 
   std::vector<std::string> seeds;
   for (const NodeSpec& node : config_.nodes) {
     if (node.is_seed) seeds.push_back(node.address);
   }
   gossiper_ = std::make_unique<gossip::Gossiper>(
-      id_, seeds, spec_.is_seed, loop_, config_.gossip, rng_seed,
+      id_, seeds, spec_.is_seed, transport_, config_.gossip, rng_seed,
       [this](const std::string& to, const std::string& type, bson::Document body) {
         SendToNode(to, type, std::move(body));
       });
   detector_ = std::make_unique<gossip::FailureDetector>(
-      id_, loop_, &gossiper_->states(), config_.detector);
+      id_, transport_, &gossiper_->states(), config_.detector);
+  RegisterHandlers();
 }
 
 StorageNode::~StorageNode() { Stop(); }
@@ -53,15 +55,14 @@ StorageNode::~StorageNode() { Stop(); }
 void StorageNode::Start() {
   if (running_) return;
   running_ = true;
-  network_->RegisterEndpoint(id_,
-                             [this](const sim::Message& msg) { HandleMessage(msg); });
+  transport_->RegisterEndpoint(id_, dispatcher_.AsTransportHandler());
   // Static bootstrap: the configured membership seeds the local ring view.
   for (const NodeSpec& node : config_.nodes) {
     Status s = ring_.AddNode(node.address, node.vnodes);
     (void)s;  // AlreadyExists is fine on restart
     if (node.address != id_) gossiper_->AddPeer(node.address);
   }
-  gossiper_->Boot(loop_->Now() / kMicrosPerSecond + 1);
+  gossiper_->Boot(transport_->NowMicros() / kMicrosPerSecond + 1);
   gossiper_->SetLocalState(gossip::kStateVnodes, std::to_string(spec_.vnodes));
   gossiper_->SetLocalState(gossip::kStateLoad, "0");
   gossiper_->SetStateChangeListener(
@@ -87,8 +88,8 @@ void StorageNode::Stop() {
   running_ = false;
   gossiper_->Stop();
   detector_->Stop();
-  loop_->Cancel(hint_timer_);
-  loop_->Cancel(ae_timer_);
+  transport_->CancelTimer(hint_timer_);
+  transport_->CancelTimer(ae_timer_);
   // Per-request events must not outlive the node: a timeout firing after
   // Stop would touch freed state, and an undone operation would otherwise
   // strand its caller forever. Move the maps out first so callbacks that
@@ -96,8 +97,8 @@ void StorageNode::Stop() {
   auto puts = std::move(pending_puts_);
   pending_puts_.clear();
   for (auto& [req, put] : puts) {
-    loop_->Cancel(put.timeout_event);
-    loop_->Cancel(put.cleanup_event);
+    transport_->CancelTimer(put.timeout_event);
+    transport_->CancelTimer(put.cleanup_event);
     if (!put.done) {
       put.done = true;
       ++stats_.puts_failed;
@@ -108,7 +109,7 @@ void StorageNode::Stop() {
   auto gets = std::move(pending_gets_);
   pending_gets_.clear();
   for (auto& [req, get] : gets) {
-    loop_->Cancel(get.timeout_event);
+    transport_->CancelTimer(get.timeout_event);
     if (!get.done) {
       get.done = true;
       ++stats_.gets_failed;
@@ -116,56 +117,64 @@ void StorageNode::Stop() {
       get.cb(Status::Unavailable("coordinator stopped: " + id_));
     }
   }
-  network_->UnregisterEndpoint(id_);
+  transport_->UnregisterEndpoint(id_);
 }
 
 // --- plumbing ---------------------------------------------------------------
 
 void StorageNode::SendToNode(const std::string& to, const std::string& type,
                              bson::Document body) {
-  sim::Message msg;
+  net::Message msg;
   msg.from = id_;
   msg.to = to;
   msg.type = type;
-  const std::size_t bytes = bson::EncodedSize(body);
   msg.body = std::move(body);
-  network_->Send(std::move(msg), bytes);
+  transport_->Send(std::move(msg));
 }
 
-void StorageNode::HandleMessage(const sim::Message& msg) {
-  if (msg.type == gossip::kMsgGossipSyn) {
+void StorageNode::RegisterHandlers() {
+  dispatcher_.On(gossip::kMsgGossipSyn, [this](const net::Message& msg) {
     gossiper_->HandleSyn(msg.from, msg.body);
-  } else if (msg.type == gossip::kMsgGossipAck1) {
+  });
+  dispatcher_.On(gossip::kMsgGossipAck1, [this](const net::Message& msg) {
     gossiper_->HandleAck1(msg.from, msg.body);
-  } else if (msg.type == gossip::kMsgGossipAck2) {
+  });
+  dispatcher_.On(gossip::kMsgGossipAck2, [this](const net::Message& msg) {
     gossiper_->HandleAck2(msg.from, msg.body);
-  } else if (msg.type == kMsgPutReplica) {
-    HandlePutReplica(msg);
-  } else if (msg.type == kMsgGetReplica) {
-    HandleGetReplica(msg);
-  } else if (msg.type == kMsgPutAck) {
-    HandlePutAck(msg);
-  } else if (msg.type == kMsgGetAck) {
-    HandleGetAck(msg);
-  } else if (msg.type == kMsgHintStore) {
-    HandleHintStore(msg);
-  } else if (msg.type == kMsgHandoffDeliver) {
-    HandleHandoffDeliver(msg);
-  } else if (msg.type == kMsgHandoffAck) {
-    HandleHandoffAck(msg);
-  } else if (msg.type == kMsgAeDigest) {
-    HandleAeDigest(msg);
-  } else if (msg.type == kMsgAeRequest) {
-    HandleAeRequest(msg);
-  } else if (msg.type == kMsgNodeRemoved) {
+  });
+  dispatcher_.On(kMsgPutReplica,
+                 [this](const net::Message& msg) { HandlePutReplica(msg); });
+  dispatcher_.On(kMsgGetReplica,
+                 [this](const net::Message& msg) { HandleGetReplica(msg); });
+  dispatcher_.On(kMsgPutAck,
+                 [this](const net::Message& msg) { HandlePutAck(msg); });
+  dispatcher_.On(kMsgGetAck,
+                 [this](const net::Message& msg) { HandleGetAck(msg); });
+  dispatcher_.On(kMsgHintStore,
+                 [this](const net::Message& msg) { HandleHintStore(msg); });
+  dispatcher_.On(kMsgHandoffDeliver,
+                 [this](const net::Message& msg) { HandleHandoffDeliver(msg); });
+  dispatcher_.On(kMsgHandoffAck,
+                 [this](const net::Message& msg) { HandleHandoffAck(msg); });
+  dispatcher_.On(kMsgAeDigest,
+                 [this](const net::Message& msg) { HandleAeDigest(msg); });
+  dispatcher_.On(kMsgAeRequest,
+                 [this](const net::Message& msg) { HandleAeRequest(msg); });
+  dispatcher_.On(kMsgNodeRemoved, [this](const net::Message& msg) {
     auto notice = DecodeMembership(msg.body);
     if (notice.ok()) OnNodeRemoved(notice->node);
-  } else if (msg.type == kMsgNodeAdded) {
+  });
+  dispatcher_.On(kMsgNodeAdded, [this](const net::Message& msg) {
     auto notice = DecodeMembership(msg.body);
     if (notice.ok()) OnNodeAdded(notice->node, std::max(1, notice->vnodes));
-  } else {
-    HOTMAN_LOG(kWarn) << id_ << ": unknown message type " << msg.type;
-  }
+  });
+}
+
+bool StorageNode::SubmitWork(std::size_t payload_bytes,
+                             sim::ServiceStation::Done done) {
+  if (station_ != nullptr) return station_->Submit(payload_bytes, std::move(done));
+  done(0, 0);  // real deployment: the actual work *is* the service time
+  return true;
 }
 
 std::vector<std::string> StorageNode::PreferenceNodes(const std::string& key) const {
@@ -174,14 +183,14 @@ std::vector<std::string> StorageNode::PreferenceNodes(const std::string& key) co
 
 // --- replica side -----------------------------------------------------------
 
-void StorageNode::HandlePutReplica(const sim::Message& msg) {
+void StorageNode::HandlePutReplica(const net::Message& msg) {
   auto decoded = DecodePutReplica(msg.body);
   if (!decoded.ok()) return;
   const std::size_t bytes = bson::EncodedSize(decoded->record);
   const std::uint64_t req = decoded->req;
   const std::string from = msg.from;
   bson::Document record = std::move(decoded->record);
-  const bool admitted = station_->Submit(
+  const bool admitted = SubmitWork(
       bytes, [this, req, from, record = std::move(record)](Micros queued,
                                                            Micros serviced) {
         PutAckMsg ack;
@@ -213,13 +222,13 @@ void StorageNode::HandlePutReplica(const sim::Message& msg) {
   }
 }
 
-void StorageNode::HandleGetReplica(const sim::Message& msg) {
+void StorageNode::HandleGetReplica(const net::Message& msg) {
   auto decoded = DecodeGetReplica(msg.body);
   if (!decoded.ok()) return;
   const std::uint64_t req = decoded->req;
   const std::string from = msg.from;
   const std::string key = decoded->key;
-  const bool admitted = station_->Submit(
+  const bool admitted = SubmitWork(
       256, [this, req, from, key](Micros queued, Micros serviced) {
         GetAckMsg ack;
         ack.req = req;
@@ -252,7 +261,7 @@ void StorageNode::HandleGetReplica(const sim::Message& msg) {
   }
 }
 
-void StorageNode::HandleHintStore(const sim::Message& msg) {
+void StorageNode::HandleHintStore(const net::Message& msg) {
   auto decoded = DecodeHintStore(msg.body);
   if (!decoded.ok()) return;
   PutAckMsg ack;
@@ -264,7 +273,7 @@ void StorageNode::HandleHintStore(const sim::Message& msg) {
   } else {
     // Store the hint (Fig. 8: "creates an index for the replication") and
     // keep a durable local copy so reads during the outage can be repaired.
-    hints_.Add(decoded->target, decoded->record, loop_->Now());
+    hints_.Add(decoded->target, decoded->record, transport_->NowMicros());
     auto applied = store_->Apply(decoded->record);
     ack.ok = applied.ok();
     if (!applied.ok()) ack.error = applied.status().ToString();
@@ -273,7 +282,7 @@ void StorageNode::HandleHintStore(const sim::Message& msg) {
   SendToNode(msg.from, kMsgPutAck, EncodePutAck(ack));
 }
 
-void StorageNode::HandleHandoffDeliver(const sim::Message& msg) {
+void StorageNode::HandleHandoffDeliver(const net::Message& msg) {
   auto decoded = DecodeHandoffDeliver(msg.body);
   if (!decoded.ok()) return;
   HandoffAckMsg ack;
@@ -293,13 +302,13 @@ void StorageNode::HandleHandoffDeliver(const sim::Message& msg) {
 void StorageNode::CoordinatePut(const std::string& key, Bytes value, PutCallback cb) {
   bson::Document record = core::MakeRecord(
       server_->db()->id_generator()->Next(), key, std::move(value),
-      /*is_copy=*/false, /*deleted=*/false, loop_->Now(), id_);
+      /*is_copy=*/false, /*deleted=*/false, transport_->NowMicros(), id_);
   StartPut(std::move(record), std::move(cb));
 }
 
 void StorageNode::CoordinateDelete(const std::string& key, PutCallback cb) {
   bson::Document tombstone = core::MakeTombstone(
-      server_->db()->id_generator()->Next(), key, loop_->Now(), id_);
+      server_->db()->id_generator()->Next(), key, transport_->NowMicros(), id_);
   StartPut(std::move(tombstone), std::move(cb));
 }
 
@@ -321,15 +330,15 @@ void StorageNode::StartPut(bson::Document record, PutCallback cb) {
   put.primary = targets.front();
   put.record = record;
   put.cb = std::move(cb);
-  put.started_at = loop_->Now();
+  put.started_at = transport_->NowMicros();
   put.needed = std::min<int>(config_.write_quorum, static_cast<int>(targets.size()));
   for (const std::string& target : targets) {
     put.responded.emplace(target, false);
     put.used.insert(target);
   }
   put.timeout_event =
-      loop_->Schedule(config_.put_timeout, [this, req]() { OnPutTimeout(req); });
-  put.cleanup_event = loop_->Schedule(4 * config_.put_timeout,
+      transport_->ScheduleTimer(config_.put_timeout, [this, req]() { OnPutTimeout(req); });
+  put.cleanup_event = transport_->ScheduleTimer(4 * config_.put_timeout,
                                       [this, req]() { OnPutCleanup(req); });
   pending_puts_.emplace(req, std::move(put));
 
@@ -378,7 +387,7 @@ void StorageNode::StartPut(bson::Document record, PutCallback cb) {
   }
 }
 
-void StorageNode::HandlePutAck(const sim::Message& msg) {
+void StorageNode::HandlePutAck(const net::Message& msg) {
   auto ack = DecodePutAck(msg.body);
   if (!ack.ok()) return;
   auto it = pending_puts_.find(ack->req);
@@ -445,8 +454,8 @@ void StorageNode::MaybeFinishPut(std::uint64_t req, PendingPut* put) {
     RecordPutOutcome(*put, req, /*ok=*/false);
     put->cb(Status::QuorumFailed("write quorum not reached for key " + put->key));
   }
-  loop_->Cancel(put->timeout_event);
-  loop_->Cancel(put->cleanup_event);
+  transport_->CancelTimer(put->timeout_event);
+  transport_->CancelTimer(put->cleanup_event);
   pending_puts_.erase(req);
 }
 
@@ -483,7 +492,7 @@ void StorageNode::OnPutTimeout(std::uint64_t req) {
       }
       SendToNode(target, kMsgPutReplica, *replica_body);
     }
-    put.timeout_event = loop_->Schedule(config_.put_timeout / 2,
+    put.timeout_event = transport_->ScheduleTimer(config_.put_timeout / 2,
                                         [this, req]() { OnPutTimeout(req); });
     return;
   }
@@ -502,7 +511,7 @@ void StorageNode::OnPutTimeout(std::uint64_t req) {
   auto still = pending_puts_.find(req);
   if (still != pending_puts_.end() && still->second.timeout_wave < 4 &&
       !still->second.done) {
-    still->second.timeout_event = loop_->Schedule(
+    still->second.timeout_event = transport_->ScheduleTimer(
         config_.put_timeout / 2, [this, req]() { OnPutTimeout(req); });
   }
 }
@@ -517,7 +526,7 @@ void StorageNode::OnPutCleanup(std::uint64_t req) {
     RecordPutOutcome(put, req, /*ok=*/false);
     put.cb(Status::QuorumFailed("write quorum not reached for key " + put.key));
   }
-  loop_->Cancel(put.timeout_event);
+  transport_->CancelTimer(put.timeout_event);
   pending_puts_.erase(it);
 }
 
@@ -547,11 +556,11 @@ void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
   PendingGet get;
   get.key = key;
   get.cb = std::move(cb);
-  get.started_at = loop_->Now();
+  get.started_at = transport_->NowMicros();
   get.needed = std::min<int>(config_.read_quorum, static_cast<int>(targets.size()));
   get.targets = targets;
   get.timeout_event =
-      loop_->Schedule(config_.get_timeout, [this, req]() { OnGetTimeout(req); });
+      transport_->ScheduleTimer(config_.get_timeout, [this, req]() { OnGetTimeout(req); });
   pending_gets_.emplace(req, std::move(get));
 
   GetReplicaMsg msg;
@@ -563,7 +572,7 @@ void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
   }
 }
 
-void StorageNode::HandleGetAck(const sim::Message& msg) {
+void StorageNode::HandleGetAck(const net::Message& msg) {
   auto ack = DecodeGetAck(msg.body);
   if (!ack.ok()) return;
   auto it = pending_gets_.find(ack->req);
@@ -651,7 +660,7 @@ void StorageNode::FinalizeGet(std::uint64_t req, PendingGet* get) {
       }
     }
   }
-  loop_->Cancel(get->timeout_event);
+  transport_->CancelTimer(get->timeout_event);
   pending_gets_.erase(req);
 }
 
@@ -693,7 +702,7 @@ void StorageNode::OnGetTimeout(std::uint64_t req) {
 
 void StorageNode::RecordPutOutcome(const PendingPut& put, std::uint64_t req,
                                    bool ok) {
-  const Micros total = loop_->Now() - put.started_at;
+  const Micros total = transport_->NowMicros() - put.started_at;
   put_latency_hist_.Record(total);
   metrics::TraceRecord trace;
   trace.req = req;
@@ -702,7 +711,7 @@ void StorageNode::RecordPutOutcome(const PendingPut& put, std::uint64_t req,
   trace.coordinator = id_;
   trace.replica = put.last_replica;
   trace.started_at = put.started_at;
-  trace.finished_at = loop_->Now();
+  trace.finished_at = transport_->NowMicros();
   trace.queue_micros = put.last_queue;
   trace.service_micros = put.last_service;
   trace.network_micros =
@@ -713,7 +722,7 @@ void StorageNode::RecordPutOutcome(const PendingPut& put, std::uint64_t req,
 
 void StorageNode::RecordGetOutcome(const PendingGet& get, std::uint64_t req,
                                    bool ok) {
-  const Micros total = loop_->Now() - get.started_at;
+  const Micros total = transport_->NowMicros() - get.started_at;
   get_latency_hist_.Record(total);
   metrics::TraceRecord trace;
   trace.req = req;
@@ -722,7 +731,7 @@ void StorageNode::RecordGetOutcome(const PendingGet& get, std::uint64_t req,
   trace.coordinator = id_;
   trace.replica = get.last_replica;
   trace.started_at = get.started_at;
-  trace.finished_at = loop_->Now();
+  trace.finished_at = transport_->NowMicros();
   trace.queue_micros = get.last_queue;
   trace.service_micros = get.last_service;
   trace.network_micros =
@@ -734,7 +743,7 @@ void StorageNode::RecordGetOutcome(const PendingGet& get, std::uint64_t req,
 // --- hinted handoff write-back ----------------------------------------------
 
 void StorageNode::StartHintTimer() {
-  hint_timer_ = loop_->Schedule(config_.hint_retry_interval, [this]() {
+  hint_timer_ = transport_->ScheduleTimer(config_.hint_retry_interval, [this]() {
     if (!running_) return;
     DeliverHints();
     StartHintTimer();
@@ -759,7 +768,7 @@ void StorageNode::DeliverHints() {
   }
 }
 
-void StorageNode::HandleHandoffAck(const sim::Message& msg) {
+void StorageNode::HandleHandoffAck(const net::Message& msg) {
   auto ack = DecodeHandoffAck(msg.body);
   if (!ack.ok()) return;
   if (ack->ok && hints_.Remove(ack->hint_id)) {

@@ -19,9 +19,8 @@
 #include "gossip/failure_detector.h"
 #include "gossip/gossiper.h"
 #include "hashring/ring.h"
-#include "sim/event_loop.h"
+#include "net/transport.h"
 #include "sim/failure_injector.h"
-#include "sim/network.h"
 #include "sim/service_station.h"
 
 namespace hotman::cluster {
@@ -58,22 +57,25 @@ struct NodeStats {
 ///    (put/get replica traffic), the abnormal event handling process
 ///    (nacks, timeouts, hinted handoff, long-failure repair) and the
 ///    synchronization message process (gossip + membership notices);
-///  - the *upper layer* transport is the simulated network (standing in for
-///    the paper's Netty TCP framework).
+///  - the *upper layer* is any net::Transport: the deterministic simulator
+///    in experiments, real TCP in the `hotmand` daemon (the paper's Netty
+///    role).
 ///
 /// Every node can coordinate client requests ("clients can connect to any
 /// node in the system to get/put data").
 class StorageNode {
  public:
+  /// `transport` carries messages and timers; `injector` may be null
+  /// (no fault injection — the real daemon).
   StorageNode(const NodeSpec& spec, const ClusterConfig& config,
-              sim::EventLoop* loop, sim::SimNetwork* network,
-              sim::FailureInjector* injector, std::uint64_t rng_seed);
+              net::Transport* transport, sim::FailureInjector* injector,
+              std::uint64_t rng_seed);
   ~StorageNode();
 
   StorageNode(const StorageNode&) = delete;
   StorageNode& operator=(const StorageNode&) = delete;
 
-  /// Registers with the network, builds the initial ring from the static
+  /// Registers with the transport, builds the initial ring from the static
   /// configuration, boots gossip + the failure detector + the hint
   /// write-back timer.
   void Start();
@@ -127,7 +129,12 @@ class StorageNode {
   gossip::Gossiper* gossiper() { return gossiper_.get(); }
   gossip::FailureDetector* detector() { return detector_.get(); }
   docstore::DocStoreServer* server() { return server_.get(); }
+  /// Null when the config disables service-time modeling.
   sim::ServiceStation* station() { return station_.get(); }
+  /// The node's message dispatcher. NodeServer attaches the client-facing
+  /// handlers (client_put/get/...) here so one endpoint serves both cluster
+  /// and client traffic.
+  net::Dispatcher* dispatcher() { return &dispatcher_; }
   const NodeStats& stats() const { return stats_; }
 
   /// Coordinated-operation latency (enqueue -> outcome callback), success
@@ -153,8 +160,8 @@ class StorageNode {
     int timeout_wave = 0;
     std::map<std::string, bool> responded;  // target -> answered?
     std::set<std::string> used;             // every node contacted
-    sim::EventId timeout_event = 0;
-    sim::EventId cleanup_event = 0;
+    net::TimerId timeout_event = 0;
+    net::TimerId cleanup_event = 0;
     Micros started_at = 0;
     // Breakdown carried by the most recent ack (the decisive one when the
     // operation completes), for the trace record.
@@ -176,28 +183,33 @@ class StorageNode {
     int needed = 0;
     std::vector<std::string> targets;
     std::map<std::string, GetReply> replies;
-    sim::EventId timeout_event = 0;
+    net::TimerId timeout_event = 0;
     Micros started_at = 0;
     Micros last_queue = 0;
     Micros last_service = 0;
     std::string last_replica;
   };
 
-  // Message plumbing.
-  void HandleMessage(const sim::Message& msg);
+  // Message plumbing. Handlers are registered per type on dispatcher_;
+  // the transport invokes them on its event thread.
+  void RegisterHandlers();
   void SendToNode(const std::string& to, const std::string& type,
                   bson::Document body);
+  /// Runs replica-side work through the ServiceStation when service-time
+  /// modeling is on, or inline (zero modeled delay) when off. Returns
+  /// false when the station shed the request.
+  bool SubmitWork(std::size_t payload_bytes, sim::ServiceStation::Done done);
 
   // Replica-side handlers (the normal message handling process).
-  void HandlePutReplica(const sim::Message& msg);
-  void HandleGetReplica(const sim::Message& msg);
-  void HandleHintStore(const sim::Message& msg);
-  void HandleHandoffDeliver(const sim::Message& msg);
+  void HandlePutReplica(const net::Message& msg);
+  void HandleGetReplica(const net::Message& msg);
+  void HandleHintStore(const net::Message& msg);
+  void HandleHandoffDeliver(const net::Message& msg);
 
   // Coordinator-side handlers.
-  void HandlePutAck(const sim::Message& msg);
-  void HandleGetAck(const sim::Message& msg);
-  void HandleHandoffAck(const sim::Message& msg);
+  void HandlePutAck(const net::Message& msg);
+  void HandleGetAck(const net::Message& msg);
+  void HandleHandoffAck(const net::Message& msg);
 
   // Put state machine.
   void StartPut(bson::Document record, PutCallback cb);
@@ -218,8 +230,8 @@ class StorageNode {
 
   // Anti-entropy plumbing.
   void StartAntiEntropyTimer();
-  void HandleAeDigest(const sim::Message& msg);
-  void HandleAeRequest(const sim::Message& msg);
+  void HandleAeDigest(const net::Message& msg);
+  void HandleAeRequest(const net::Message& msg);
   /// Records for which both `self` and `peer` are preference members.
   std::vector<bson::Document> SharedRecords(const std::string& peer);
 
@@ -238,9 +250,9 @@ class StorageNode {
   NodeSpec spec_;
   ClusterConfig config_;
   std::string id_;
-  sim::EventLoop* loop_;
-  sim::SimNetwork* network_;
+  net::Transport* transport_;
   sim::FailureInjector* injector_;
+  net::Dispatcher dispatcher_;
 
   hashring::Ring ring_;
   std::set<std::string> removed_nodes_;
@@ -256,8 +268,8 @@ class StorageNode {
   std::map<std::uint64_t, PendingGet> pending_gets_;
 
   bool running_ = false;
-  sim::EventId hint_timer_ = 0;
-  sim::EventId ae_timer_ = 0;
+  net::TimerId hint_timer_ = 0;
+  net::TimerId ae_timer_ = 0;
   Rng ae_rng_{0x5eedae};
   NodeStats stats_;
   metrics::Histogram put_latency_hist_;

@@ -2,7 +2,7 @@
 
 namespace hotman::gossip {
 
-FailureDetector::FailureDetector(std::string self, sim::EventLoop* loop,
+FailureDetector::FailureDetector(std::string self, net::Executor* loop,
                                  const NodeStateMap* states, Config config)
     : self_(std::move(self)), loop_(loop), states_(states), config_(config) {}
 
@@ -16,11 +16,11 @@ void FailureDetector::Start(TransitionFn on_transition) {
 void FailureDetector::Stop() {
   if (!running_) return;
   running_ = false;
-  loop_->Cancel(timer_);
+  loop_->CancelTimer(timer_);
 }
 
 void FailureDetector::ScheduleNextCheck() {
-  timer_ = loop_->Schedule(config_.check_interval, [this]() {
+  timer_ = loop_->ScheduleTimer(config_.check_interval, [this]() {
     if (!running_) return;
     Check();
     ScheduleNextCheck();
@@ -28,7 +28,7 @@ void FailureDetector::ScheduleNextCheck() {
 }
 
 void FailureDetector::Check() {
-  const Micros now = loop_->Now();
+  const Micros now = loop_->NowMicros();
   for (const std::string& endpoint : states_->Endpoints()) {
     if (endpoint == self_) continue;
     auto last = states_->LastHeard(endpoint);

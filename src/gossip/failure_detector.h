@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "gossip/node_state.h"
-#include "sim/event_loop.h"
+#include "net/executor.h"
 
 namespace hotman::gossip {
 
@@ -36,7 +36,7 @@ class FailureDetector {
   using TransitionFn =
       std::function<void(const std::string& endpoint, Liveness from, Liveness to)>;
 
-  FailureDetector(std::string self, sim::EventLoop* loop, const NodeStateMap* states,
+  FailureDetector(std::string self, net::Executor* loop, const NodeStateMap* states,
                   Config config);
 
   /// Starts periodic sweeps; `on_transition` fires on every state change.
@@ -57,13 +57,13 @@ class FailureDetector {
   void ScheduleNextCheck();
 
   std::string self_;
-  sim::EventLoop* loop_;
+  net::Executor* loop_;
   const NodeStateMap* states_;
   Config config_;
   TransitionFn on_transition_;
   std::map<std::string, Liveness> verdicts_;
   bool running_ = false;
-  sim::EventId timer_ = 0;
+  net::TimerId timer_ = 0;
 };
 
 }  // namespace hotman::gossip

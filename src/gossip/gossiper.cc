@@ -5,7 +5,7 @@
 namespace hotman::gossip {
 
 Gossiper::Gossiper(std::string self, std::vector<std::string> seeds, bool is_seed,
-                   sim::EventLoop* loop, GossipConfig config, std::uint64_t rng_seed,
+                   net::Executor* loop, GossipConfig config, std::uint64_t rng_seed,
                    SendFn send)
     : self_(std::move(self)),
       seeds_(std::move(seeds)),
@@ -25,7 +25,7 @@ void Gossiper::Boot(std::int64_t generation) {
   heartbeat_count_ = 0;
   local->SetEntry(kStateHeartbeat, "0", NextVersion());
   local->SetEntry(kStateStatus, "NORMAL", NextVersion());
-  states_.TouchLiveness(self_, loop_->Now());
+  states_.TouchLiveness(self_, loop_->NowMicros());
 }
 
 void Gossiper::Start() {
@@ -35,7 +35,7 @@ void Gossiper::Start() {
 }
 
 void Gossiper::ScheduleNextRound() {
-  timer_ = loop_->Schedule(config_.interval, [this]() {
+  timer_ = loop_->ScheduleTimer(config_.interval, [this]() {
     if (!running_) return;
     Tick();
     ScheduleNextRound();
@@ -45,7 +45,7 @@ void Gossiper::ScheduleNextRound() {
 void Gossiper::Stop() {
   if (!running_) return;
   running_ = false;
-  loop_->Cancel(timer_);
+  loop_->CancelTimer(timer_);
 }
 
 void Gossiper::SetLocalState(const std::string& key, std::string value) {
@@ -85,7 +85,7 @@ void Gossiper::ApplyUpdates(const std::vector<EndpointStateUpdate>& updates) {
     EndpointState* local = states_.GetOrCreate(update.endpoint);
     const bool changed = local->Merge(incoming);
     if (changed) {
-      states_.TouchLiveness(update.endpoint, loop_->Now());
+      states_.TouchLiveness(update.endpoint, loop_->NowMicros());
       peers_.insert(update.endpoint);
       if (on_state_change_) {
         for (const auto& [key, entry] : update.entries) {
@@ -126,7 +126,7 @@ void Gossiper::Tick() {
   ++heartbeat_count_;
   EndpointState* local = states_.GetOrCreate(self_);
   local->SetEntry(kStateHeartbeat, std::to_string(heartbeat_count_), NextVersion());
-  states_.TouchLiveness(self_, loop_->Now());
+  states_.TouchLiveness(self_, loop_->NowMicros());
 
   SynMessage syn;
   syn.digests = BuildDigests();

@@ -9,7 +9,7 @@
 #include "common/random.h"
 #include "gossip/messages.h"
 #include "gossip/node_state.h"
-#include "sim/event_loop.h"
+#include "net/executor.h"
 
 namespace hotman::gossip {
 
@@ -30,8 +30,8 @@ struct GossipConfig {
 ///   A -> B: GossipDigestSynMessage   (digests: endpoint, generation, maxv)
 ///   B -> A: GossipDigestAck1Message  (states B is newer on + B's requests)
 ///   A -> B: GossipDigestAck2Message  (states satisfying B's requests)
-/// Transport is injected so the same code runs over the simulated network
-/// or in-process in unit tests.
+/// Transport is injected (SendFn + net::Executor timers) so the same code
+/// runs over the simulated network, over real TCP, or in-process in tests.
 class Gossiper {
  public:
   /// Sends (to, message_type, body) into the transport.
@@ -42,7 +42,7 @@ class Gossiper {
       const std::string& endpoint, const std::string& key, const std::string& value)>;
 
   Gossiper(std::string self, std::vector<std::string> seeds, bool is_seed,
-           sim::EventLoop* loop, GossipConfig config, std::uint64_t rng_seed,
+           net::Executor* loop, GossipConfig config, std::uint64_t rng_seed,
            SendFn send);
 
   /// Registers (re-registers) the local endpoint with a fresh boot
@@ -92,7 +92,7 @@ class Gossiper {
   std::string self_;
   std::vector<std::string> seeds_;
   bool is_seed_;
-  sim::EventLoop* loop_;
+  net::Executor* loop_;
   GossipConfig config_;
   Rng rng_;
   SendFn send_;
@@ -103,7 +103,7 @@ class Gossiper {
   std::int64_t version_counter_ = 0;
   std::int64_t heartbeat_count_ = 0;
   bool running_ = false;
-  sim::EventId timer_ = 0;
+  net::TimerId timer_ = 0;
   std::size_t rounds_ = 0;
 };
 

@@ -1,0 +1,75 @@
+#ifndef HOTMAN_NET_CLIENT_PROTO_H_
+#define HOTMAN_NET_CLIENT_PROTO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bson/document.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace hotman::net {
+
+/// Client-facing message types: the request surface a `hotmand` node exposes
+/// to remote clients over the same framed transport the cluster uses
+/// internally. A client addresses frames to the node's endpoint name; the
+/// node replies to the client's (self-chosen, unique) endpoint name.
+inline constexpr const char* kMsgClientPut = "client_put";
+inline constexpr const char* kMsgClientPutAck = "client_put_ack";
+inline constexpr const char* kMsgClientGet = "client_get";
+inline constexpr const char* kMsgClientGetAck = "client_get_ack";
+inline constexpr const char* kMsgClientDelete = "client_delete";
+inline constexpr const char* kMsgClientDeleteAck = "client_delete_ack";
+inline constexpr const char* kMsgClientStats = "client_stats";
+inline constexpr const char* kMsgClientStatsAck = "client_stats_ack";
+
+/// client_put payload.
+struct ClientPutMsg {
+  std::uint64_t req = 0;
+  std::string key;
+  Bytes value;
+};
+
+/// client_put_ack / client_delete_ack payload.
+struct ClientAckMsg {
+  std::uint64_t req = 0;
+  bool ok = false;
+  std::string error;
+};
+
+/// client_get / client_delete / client_stats payload (key empty for stats).
+struct ClientGetMsg {
+  std::uint64_t req = 0;
+  std::string key;
+};
+
+/// client_get_ack payload. `ok` means the quorum read succeeded; `found`
+/// distinguishes a present value from NotFound / tombstone.
+struct ClientGetAckMsg {
+  std::uint64_t req = 0;
+  bool ok = false;
+  bool found = false;
+  Bytes value;
+  std::string error;
+};
+
+/// client_stats_ack payload: the node's metrics snapshot as JSON.
+struct ClientStatsAckMsg {
+  std::uint64_t req = 0;
+  std::string json;
+};
+
+bson::Document EncodeClientPut(const ClientPutMsg& msg);
+Result<ClientPutMsg> DecodeClientPut(const bson::Document& doc);
+bson::Document EncodeClientAck(const ClientAckMsg& msg);
+Result<ClientAckMsg> DecodeClientAck(const bson::Document& doc);
+bson::Document EncodeClientGet(const ClientGetMsg& msg);
+Result<ClientGetMsg> DecodeClientGet(const bson::Document& doc);
+bson::Document EncodeClientGetAck(const ClientGetAckMsg& msg);
+Result<ClientGetAckMsg> DecodeClientGetAck(const bson::Document& doc);
+bson::Document EncodeClientStatsAck(const ClientStatsAckMsg& msg);
+Result<ClientStatsAckMsg> DecodeClientStatsAck(const bson::Document& doc);
+
+}  // namespace hotman::net
+
+#endif  // HOTMAN_NET_CLIENT_PROTO_H_

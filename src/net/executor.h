@@ -1,0 +1,43 @@
+#ifndef HOTMAN_NET_EXECUTOR_H_
+#define HOTMAN_NET_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/clock.h"
+
+namespace hotman::net {
+
+/// Identifier of a scheduled timer (for cancellation). 0 is never issued.
+using TimerId = std::uint64_t;
+
+/// Deferred-execution surface the distributed layers (cluster/, gossip/)
+/// program against: one-shot timers plus a time source. Implemented by the
+/// deterministic sim::EventLoop (virtual time, single-threaded) and by
+/// net::TcpTransport (real time, callbacks on its event-loop thread). Code
+/// written against Executor therefore runs bit-identically in simulation
+/// and as a genuine networked process.
+///
+/// Contract: callbacks fire on the executor's (single) event thread, never
+/// concurrently with each other. ScheduleTimer/CancelTimer may be called
+/// from callbacks.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Schedules `fn` to run `delay` microseconds from now (delay >= 0).
+  virtual TimerId ScheduleTimer(Micros delay, std::function<void()> fn) = 0;
+
+  /// Cancels a pending timer; false when already fired or unknown.
+  virtual bool CancelTimer(TimerId id) = 0;
+
+  /// Current time in this executor's time base.
+  virtual Micros NowMicros() const = 0;
+
+  /// Clock view usable by components that only need time.
+  virtual const Clock* clock() const = 0;
+};
+
+}  // namespace hotman::net
+
+#endif  // HOTMAN_NET_EXECUTOR_H_

@@ -1,0 +1,121 @@
+#include "net/frame.h"
+
+#include <bit>
+#include <cstring>
+
+#include "bson/codec.h"
+
+namespace hotman::net {
+
+namespace {
+
+constexpr char kFrom[] = "f";
+constexpr char kTo[] = "t";
+constexpr char kType[] = "y";
+constexpr char kSentAt[] = "s";
+constexpr char kBody[] = "b";
+
+std::uint32_t ReadU32Le(const char* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap32(v);
+  }
+  return v;
+}
+
+void WriteU32Le(std::uint32_t v, char* p) {
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap32(v);
+  }
+  std::memcpy(p, &v, sizeof(v));
+}
+
+}  // namespace
+
+void EncodeFrame(const Message& msg, std::string* out) {
+  bson::Document envelope;
+  envelope.Append(kFrom, msg.from);
+  envelope.Append(kTo, msg.to);
+  envelope.Append(kType, msg.type);
+  envelope.Append(kSentAt, static_cast<std::int64_t>(msg.sent_at));
+  envelope.Append(kBody, msg.body);
+
+  const std::size_t header_at = out->size();
+  out->append(kFrameHeaderBytes, '\0');
+  bson::Encode(envelope, out);
+  const std::size_t payload_len = out->size() - header_at - kFrameHeaderBytes;
+  WriteU32Le(static_cast<std::uint32_t>(payload_len), out->data() + header_at);
+}
+
+Status DecodeEnvelope(std::string_view payload, Message* msg) {
+  bson::Document envelope;
+  HOTMAN_RETURN_IF_ERROR(bson::Decode(payload, &envelope));
+
+  const bson::Value* from = envelope.Get(kFrom);
+  const bson::Value* to = envelope.Get(kTo);
+  const bson::Value* type = envelope.Get(kType);
+  if (from == nullptr || !from->is_string() || to == nullptr ||
+      !to->is_string() || type == nullptr || !type->is_string()) {
+    return Status::Corruption("frame envelope missing f/t/y string fields");
+  }
+  msg->from = from->as_string();
+  msg->to = to->as_string();
+  msg->type = type->as_string();
+
+  msg->sent_at = 0;
+  if (const bson::Value* sent = envelope.Get(kSentAt); sent != nullptr) {
+    if (!sent->is_number()) {
+      return Status::Corruption("frame envelope s field is not numeric");
+    }
+    msg->sent_at = sent->NumberAsInt64();
+  }
+
+  msg->body = bson::Document();
+  if (const bson::Value* body = envelope.Get(kBody); body != nullptr) {
+    if (!body->is_document()) {
+      return Status::Corruption("frame envelope b field is not a document");
+    }
+    msg->body = body->as_document();
+  }
+  return Status::OK();
+}
+
+void FrameReader::Append(std::string_view data) {
+  if (!error_.ok()) return;  // stream is dead, don't buffer more
+  // Compact once the consumed prefix dominates the buffer, amortizing the
+  // memmove over many frames instead of paying it per frame.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data.data(), data.size());
+}
+
+Status FrameReader::Next(Message* msg, bool* complete) {
+  *complete = false;
+  if (!error_.ok()) return error_;
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return Status::OK();
+  const std::uint32_t payload_len = ReadU32Le(buf_.data() + pos_);
+  if (payload_len > max_frame_bytes_) {
+    error_ = Status::Corruption("frame length exceeds maximum");
+    return error_;
+  }
+  if (buf_.size() - pos_ - kFrameHeaderBytes < payload_len) return Status::OK();
+  const std::string_view payload(buf_.data() + pos_ + kFrameHeaderBytes,
+                                 payload_len);
+  Status st = DecodeEnvelope(payload, msg);
+  if (!st.ok()) {
+    error_ = st;
+    return error_;
+  }
+  pos_ += kFrameHeaderBytes + payload_len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  *complete = true;
+  return Status::OK();
+}
+
+}  // namespace hotman::net

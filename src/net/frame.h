@@ -1,0 +1,69 @@
+#ifndef HOTMAN_NET_FRAME_H_
+#define HOTMAN_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/message.h"
+
+namespace hotman::net {
+
+/// Wire framing for net::Message over a byte stream (see DESIGN.md "net"):
+///
+///   u32-LE payload_len | payload (one BSON document)
+///
+/// The payload is the envelope {"f": from, "t": to, "y": type, "s": sent_at,
+/// "b": body}, encoded with bson::codec — the same hardened codec the
+/// storage layer uses, so a hostile or corrupt peer cannot take the process
+/// past a clean Status::Corruption.
+
+/// Bytes of the length prefix preceding every frame.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Frames whose declared payload exceeds this are rejected as corrupt
+/// (protects the reader from a 4 GiB allocation off four hostile bytes).
+/// Generous versus the ~16 MiB BSON document limit minus record sizes here.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 8u * 1024 * 1024;
+
+/// Appends the framed encoding of `msg` to `*out`.
+void EncodeFrame(const Message& msg, std::string* out);
+
+/// Decodes a frame payload (the bytes after the length prefix) into `*msg`.
+/// Corruption when the bytes are not a valid envelope ("f"/"t"/"y" string
+/// fields required; "s" int and "b" document optional, defaulting to 0 and
+/// empty).
+Status DecodeEnvelope(std::string_view payload, Message* msg);
+
+/// Incremental frame reader: feed it whatever byte chunks the socket
+/// produces (partial headers, partial payloads, many frames at once) and
+/// pull complete messages out. Corruption is sticky — a stream that framed
+/// garbage cannot be resynchronized, so the connection must be dropped.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes received from the stream.
+  void Append(std::string_view data);
+
+  /// Extracts the next complete message. OK with *complete=true on success;
+  /// OK with *complete=false when more bytes are needed; Corruption (sticky)
+  /// on an oversized length prefix or an undecodable envelope.
+  Status Next(Message* msg, bool* complete);
+
+  /// Bytes buffered but not yet consumed (tests; backpressure accounting).
+  std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_, compacted lazily
+  Status error_;         // sticky once set
+};
+
+}  // namespace hotman::net
+
+#endif  // HOTMAN_NET_FRAME_H_

@@ -1,0 +1,30 @@
+#ifndef HOTMAN_NET_MESSAGE_H_
+#define HOTMAN_NET_MESSAGE_H_
+
+#include <string>
+
+#include "bson/document.h"
+#include "common/clock.h"
+
+namespace hotman::net {
+
+/// One message between named endpoints. Bodies are BSON documents — the
+/// same wire format the storage layer uses — so everything crossing a
+/// transport is genuinely serializable. This is the unit both transports
+/// move: the deterministic simulator delivers it in-process, the TCP
+/// transport frames it onto a socket (see net/frame.h).
+struct Message {
+  std::string from;
+  std::string to;
+  std::string type;     ///< dispatch tag, e.g. "put_replica", "gossip_syn"
+  bson::Document body;
+  /// Stamp of the sender's clock at Send() time. Under the simulator this
+  /// is virtual time; over TCP it is the sender's steady clock, comparable
+  /// across processes on one machine (the loopback-cluster case) and used
+  /// for the per-type frame latency histograms.
+  Micros sent_at = 0;
+};
+
+}  // namespace hotman::net
+
+#endif  // HOTMAN_NET_MESSAGE_H_

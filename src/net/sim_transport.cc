@@ -1,0 +1,12 @@
+#include "net/sim_transport.h"
+
+#include "bson/codec.h"
+
+namespace hotman::net {
+
+void SimTransport::Send(Message msg) {
+  const std::size_t payload_bytes = bson::EncodedSize(msg.body);
+  network_.Send(std::move(msg), payload_bytes);
+}
+
+}  // namespace hotman::net

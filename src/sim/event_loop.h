@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "net/executor.h"
 
 namespace hotman::sim {
 
@@ -19,7 +20,12 @@ using EventId = std::uint64_t;
 /// experiment. Events fire in (time, schedule-order) order; the virtual
 /// clock jumps instantaneously between events, so a simulated 7x24-hour run
 /// costs only the work actually scheduled.
-class EventLoop {
+///
+/// Implements net::Executor, so components written against the transport
+/// abstraction (StorageNode, Gossiper, ServiceStation) schedule timers here
+/// in simulation and on TcpTransport's real event loop in `hotmand` without
+/// noticing the difference.
+class EventLoop : public net::Executor {
  public:
   explicit EventLoop(Micros start_time = 0) : clock_(start_time) {}
 
@@ -29,8 +35,15 @@ class EventLoop {
   /// Current virtual time.
   Micros Now() const { return clock_.NowMicros(); }
 
+  /// net::Executor surface: delegates to Schedule/Cancel/Now.
+  net::TimerId ScheduleTimer(Micros delay, std::function<void()> fn) override {
+    return Schedule(delay, std::move(fn));
+  }
+  bool CancelTimer(net::TimerId id) override { return Cancel(id); }
+  Micros NowMicros() const override { return Now(); }
+
   /// Clock view usable by components that only need time.
-  const Clock* clock() const { return &clock_; }
+  const Clock* clock() const override { return &clock_; }
 
   /// Schedules `fn` to run `delay` microseconds from now (delay >= 0).
   EventId Schedule(Micros delay, std::function<void()> fn);

@@ -36,31 +36,44 @@ Micros SimNetwork::DeliveryDelay(std::size_t payload_bytes) {
 }
 
 bool SimNetwork::Send(Message msg, std::size_t payload_bytes) {
-  ++messages_sent_;
+  ++frames_sent_;
   bytes_sent_ += payload_bytes;
-  const bool sender_cut = disconnected_.count(msg.from) > 0;
-  const bool receiver_cut =
-      disconnected_.count(msg.to) > 0 || endpoints_.count(msg.to) == 0;
+  const bool no_endpoint = endpoints_.count(msg.to) == 0;
+  const bool endpoint_cut =
+      disconnected_.count(msg.from) > 0 || disconnected_.count(msg.to) > 0;
   const bool link_cut = cut_links_.count(NormalizedLink(msg.from, msg.to)) > 0;
   const bool dropped = rng_.Chance(config_.drop_probability);
   // The delay must be drawn even for dropped messages so that the random
   // stream (and therefore the rest of the run) is independent of fault
   // placement.
   const Micros delay = DeliveryDelay(payload_bytes);
-  if (sender_cut || receiver_cut || link_cut || dropped) {
-    ++messages_dropped_;
+  if (no_endpoint || endpoint_cut || link_cut || dropped) {
+    // Every fault is attributed to exactly one cause (most specific first)
+    // so experiments can assert what was lost and why.
+    ++frames_dropped_;
+    if (no_endpoint) {
+      ++dropped_no_endpoint_;
+    } else if (endpoint_cut) {
+      ++dropped_disconnected_;
+    } else if (link_cut) {
+      ++dropped_partition_;
+    } else {
+      ++dropped_random_;
+    }
     return false;
   }
   msg.sent_at = loop_->Now();
   delivery_hist_.Record(delay);
-  const std::string to = msg.to;
-  loop_->Schedule(delay, [this, msg = std::move(msg)]() {
+  loop_->Schedule(delay, [this, payload_bytes, msg = std::move(msg)]() {
     // Re-check on delivery: the endpoint may have died in flight.
     auto it = endpoints_.find(msg.to);
     if (it == endpoints_.end() || disconnected_.count(msg.to) > 0) {
-      ++messages_dropped_;
+      ++frames_dropped_;
+      ++dropped_in_flight_;
       return;
     }
+    ++frames_delivered_;
+    bytes_delivered_ += payload_bytes;
     it->second(msg);
   });
   return true;
@@ -84,6 +97,20 @@ bool SimNetwork::IsDisconnected(const std::string& name) const {
 
 bool SimNetwork::HasEndpoint(const std::string& name) const {
   return endpoints_.count(name) > 0;
+}
+
+void SimNetwork::ExportStats(metrics::Registry* registry) const {
+  registry->counter("net.frames_sent")->Increment(frames_sent_);
+  registry->counter("net.frames_delivered")->Increment(frames_delivered_);
+  registry->counter("net.frames_dropped")->Increment(frames_dropped_);
+  registry->counter("net.bytes_sent")->Increment(bytes_sent_);
+  registry->counter("net.bytes_delivered")->Increment(bytes_delivered_);
+  registry->counter("net.dropped_partition")->Increment(dropped_partition_);
+  registry->counter("net.dropped_disconnected")->Increment(dropped_disconnected_);
+  registry->counter("net.dropped_no_endpoint")->Increment(dropped_no_endpoint_);
+  registry->counter("net.dropped_random")->Increment(dropped_random_);
+  registry->counter("net.dropped_in_flight")->Increment(dropped_in_flight_);
+  registry->histogram("net.delivery_delay")->MergeFrom(delivery_hist_);
 }
 
 }  // namespace hotman::sim

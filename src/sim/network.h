@@ -7,32 +7,19 @@
 #include <string>
 #include <utility>
 
-#include "bson/document.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "net/message.h"
 #include "sim/event_loop.h"
+#include "sim/network_config.h"
 
 namespace hotman::sim {
 
-/// One message in flight on the simulated LAN. Bodies are BSON documents —
-/// the same wire format the storage layer uses — so everything crossing the
-/// "network" is genuinely serializable.
-struct Message {
-  std::string from;
-  std::string to;
-  std::string type;     ///< dispatch tag, e.g. "put", "gossip_syn"
-  bson::Document body;
-  Micros sent_at = 0;
-};
-
-/// Latency/bandwidth/fault model of one LAN (the paper's gigabit switch).
-struct NetworkConfig {
-  Micros base_latency = 200;          ///< per-hop propagation + switching
-  Micros jitter = 100;                ///< uniform extra [0, jitter)
-  double bandwidth_bytes_per_sec = 125.0e6;  ///< 1 Gbit/s
-  double drop_probability = 0.0;      ///< uniform message loss
-};
+/// The simulated LAN moves the same message type the real transport frames
+/// onto sockets; everything crossing the "network" is genuinely
+/// serializable. (Alias retained for the many existing sim call sites.)
+using Message = ::hotman::net::Message;
 
 /// Deterministic message-passing network over the event loop, with
 /// partitions and per-endpoint disconnection for failure experiments.
@@ -70,9 +57,24 @@ class SimNetwork {
 
   bool HasEndpoint(const std::string& name) const;
 
-  std::size_t messages_sent() const { return messages_sent_; }
-  std::size_t messages_dropped() const { return messages_dropped_; }
+  std::size_t messages_sent() const { return frames_sent_; }
+  std::size_t messages_dropped() const { return frames_dropped_; }
+  std::size_t messages_delivered() const { return frames_delivered_; }
   std::size_t bytes_sent() const { return bytes_sent_; }
+  std::size_t bytes_delivered() const { return bytes_delivered_; }
+
+  /// Drop causes (sum equals messages_dropped()): faults are counted, never
+  /// silent, so partition experiments can assert exactly what was lost.
+  std::size_t dropped_partition() const { return dropped_partition_; }
+  std::size_t dropped_disconnected() const { return dropped_disconnected_; }
+  std::size_t dropped_no_endpoint() const { return dropped_no_endpoint_; }
+  std::size_t dropped_random() const { return dropped_random_; }
+  std::size_t dropped_in_flight() const { return dropped_in_flight_; }
+
+  /// Writes counters into `registry` under the shared "net.*" vocabulary
+  /// (same names TcpTransport emits; see DESIGN.md "net"), so sim benches
+  /// and real `hotmand` runs feed one dashboard.
+  void ExportStats(metrics::Registry* registry) const;
 
   /// End-to-end delivery delay (propagation + transmission + jitter) of
   /// every message actually enqueued for delivery.
@@ -89,9 +91,16 @@ class SimNetwork {
   std::map<std::string, Handler> endpoints_;
   std::set<std::pair<std::string, std::string>> cut_links_;  // normalized pairs
   std::set<std::string> disconnected_;
-  std::size_t messages_sent_ = 0;
-  std::size_t messages_dropped_ = 0;
+  std::size_t frames_sent_ = 0;
+  std::size_t frames_dropped_ = 0;
+  std::size_t frames_delivered_ = 0;
   std::size_t bytes_sent_ = 0;
+  std::size_t bytes_delivered_ = 0;
+  std::size_t dropped_partition_ = 0;
+  std::size_t dropped_disconnected_ = 0;
+  std::size_t dropped_no_endpoint_ = 0;
+  std::size_t dropped_random_ = 0;
+  std::size_t dropped_in_flight_ = 0;
   metrics::Histogram delivery_hist_;
 };
 

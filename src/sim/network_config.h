@@ -1,0 +1,23 @@
+#ifndef HOTMAN_SIM_NETWORK_CONFIG_H_
+#define HOTMAN_SIM_NETWORK_CONFIG_H_
+
+#include "common/clock.h"
+
+namespace hotman::sim {
+
+/// Latency/bandwidth/fault model of one LAN (the paper's gigabit switch).
+///
+/// Split from sim/network.h so configuration consumers (cluster/config.h)
+/// can describe a simulated network without depending on the simulator
+/// machinery itself — the Transport boundary lint forbids cluster/ and
+/// gossip/ from including sim/network.h.
+struct NetworkConfig {
+  Micros base_latency = 200;          ///< per-hop propagation + switching
+  Micros jitter = 100;                ///< uniform extra [0, jitter)
+  double bandwidth_bytes_per_sec = 125.0e6;  ///< 1 Gbit/s
+  double drop_probability = 0.0;      ///< uniform message loss
+};
+
+}  // namespace hotman::sim
+
+#endif  // HOTMAN_SIM_NETWORK_CONFIG_H_

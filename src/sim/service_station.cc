@@ -4,8 +4,8 @@
 
 namespace hotman::sim {
 
-ServiceStation::ServiceStation(EventLoop* loop, ServiceConfig config)
-    : loop_(loop), config_(config), started_at_(loop->Now()) {
+ServiceStation::ServiceStation(net::Executor* loop, ServiceConfig config)
+    : loop_(loop), config_(config), started_at_(loop->NowMicros()) {
   for (int i = 0; i < config_.workers; ++i) worker_free_.push(started_at_);
 }
 
@@ -20,7 +20,7 @@ bool ServiceStation::Submit(std::size_t payload_bytes, Done done) {
     ++shed_;
     return false;
   }
-  const Micros now = loop_->Now();
+  const Micros now = loop_->NowMicros();
   Micros free_at = worker_free_.top();
   worker_free_.pop();
   const Micros start = std::max(now, free_at);
@@ -31,17 +31,17 @@ bool ServiceStation::Submit(std::size_t payload_bytes, Done done) {
   ++in_flight_;
   queue_wait_hist_.Record(start - now);
   service_hist_.Record(service);
-  loop_->ScheduleAt(completion,
-                    [this, queueing = start - now, service, done = std::move(done)]() {
-                      --in_flight_;
-                      ++completed_;
-                      if (done) done(queueing, service);
-                    });
+  loop_->ScheduleTimer(completion - now,
+                       [this, queueing = start - now, service, done = std::move(done)]() {
+                         --in_flight_;
+                         ++completed_;
+                         if (done) done(queueing, service);
+                       });
   return true;
 }
 
 double ServiceStation::Utilization() const {
-  const Micros elapsed = loop_->Now() - started_at_;
+  const Micros elapsed = loop_->NowMicros() - started_at_;
   if (elapsed <= 0) return 0.0;
   return static_cast<double>(busy_accum_) /
          (static_cast<double>(elapsed) * config_.workers);

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common/metrics.h"
-#include "sim/event_loop.h"
+#include "net/executor.h"
 
 namespace hotman::sim {
 
@@ -31,7 +31,9 @@ class ServiceStation {
  public:
   using Done = std::function<void(Micros queueing_delay, Micros service_time)>;
 
-  ServiceStation(EventLoop* loop, ServiceConfig config);
+  /// `loop` provides the timers and clock; the station runs equally over
+  /// the sim EventLoop (virtual time) and a real transport's loop.
+  ServiceStation(net::Executor* loop, ServiceConfig config);
 
   /// Submits a request of `payload_bytes`; `done` fires at completion with
   /// the decomposed delays. Returns false when the queue overflowed (the
@@ -62,7 +64,7 @@ class ServiceStation {
  private:
   Micros ServiceTime(std::size_t bytes) const;
 
-  EventLoop* loop_;
+  net::Executor* loop_;
   ServiceConfig config_;
   // Earliest-free virtual time per worker, as a min-heap.
   std::priority_queue<Micros, std::vector<Micros>, std::greater<Micros>> worker_free_;

@@ -34,8 +34,13 @@ RunReport WorkloadRunner::RunLoad(int concurrency) {
           : 0;
   // One "stream" loads items one after another; `concurrency` streams run
   // in parallel.
+  // The stored closure holds itself only weakly (strong refs travel with
+  // the in-flight callbacks) so the drained pipeline releases the closure
+  // instead of leaking a shared_ptr cycle.
   auto pump_ptr = std::make_shared<std::function<void()>>();
-  *pump_ptr = [this, state, next_index, next_slot, spacing, pump_ptr]() {
+  std::weak_ptr<std::function<void()>> weak_pump = pump_ptr;
+  *pump_ptr = [this, state, next_index, next_slot, spacing, weak_pump]() {
+    auto pump = weak_pump.lock();  // pins the closure across the async op
     if (*next_index >= dataset_->size()) return;
     const Item& item = dataset_->item((*next_index)++);
     Micros delay = 0;
@@ -44,17 +49,17 @@ RunReport WorkloadRunner::RunLoad(int concurrency) {
       *next_slot = slot + spacing;
       delay = slot - loop_->Now();
     }
-    loop_->Schedule(delay, [this, state, pump_ptr, item]() {
+    loop_->Schedule(delay, [this, state, pump, item]() {
       ++state->report.issued;
       target_.put(item.key, dataset_->Payload(item),
-                  [state, size = item.size_bytes, pump_ptr](const Status& s) {
+                  [state, size = item.size_bytes, pump](const Status& s) {
                     if (s.ok()) {
                       state->report.meter.RecordOp(size);
                     } else {
                       state->report.meter.RecordFailure();
                       ++state->report.failed;
                     }
-                    (*pump_ptr)();
+                    (*pump)();
                   });
     });
   };
@@ -85,9 +90,12 @@ RunReport WorkloadRunner::Run() {
   state->report.meter.Start(loop_->Now());
   state->clients_running = options_.clients;
 
-  // Each client is a self-rescheduling closure.
+  // Each client is a self-rescheduling closure; as above, the stored
+  // closure references itself only weakly to avoid a shared_ptr cycle.
   auto client_step = std::make_shared<std::function<void(std::uint64_t)>>();
-  *client_step = [this, state, client_step](std::uint64_t client_seed) {
+  std::weak_ptr<std::function<void(std::uint64_t)>> weak_step = client_step;
+  *client_step = [this, state, weak_step](std::uint64_t client_seed) {
+    auto step = weak_step.lock();  // pins the closure across the async op
     if (!state->active || loop_->Now() >= state->end_time) {
       --state->clients_running;
       return;
@@ -100,7 +108,7 @@ RunReport WorkloadRunner::Run() {
     const Micros started = loop_->Now();
     ++state->report.issued;
 
-    auto finish = [this, state, client_step, client_seed, started](
+    auto finish = [this, state, step, client_seed, started](
                       std::size_t payload_bytes, bool ok) {
       if (!state->active) return;
       const Micros elapsed = loop_->Now() - started;
@@ -125,7 +133,7 @@ RunReport WorkloadRunner::Run() {
                           state->rng.Uniform(static_cast<std::uint64_t>(span)))
                     : 0);
       loop_->Schedule(think,
-                      [client_step, client_seed]() { (*client_step)(client_seed); });
+                      [step, client_seed]() { (*step)(client_seed); });
     };
 
     if (is_read) {

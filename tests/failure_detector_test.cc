@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/event_loop.h"
+
 namespace hotman::gossip {
 namespace {
 

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/event_loop.h"
+
 #include "bson/codec.h"
 #include "sim/network.h"
 

@@ -115,6 +115,7 @@ TEST(EventLoopTest, ManySelfSchedulingTimersDeterministic) {
   auto run = []() {
     EventLoop loop;
     std::vector<Micros> trace;
+    std::vector<std::shared_ptr<std::function<void()>>> ticks;
     for (int t = 0; t < 4; ++t) {
       auto tick = std::make_shared<std::function<void()>>();
       auto count = std::make_shared<int>(0);
@@ -123,8 +124,10 @@ TEST(EventLoopTest, ManySelfSchedulingTimersDeterministic) {
         if (++*count < 5) loop.Schedule(10 + t, *tick);
       };
       loop.Schedule(t, *tick);
+      ticks.push_back(std::move(tick));
     }
     loop.RunUntilIdle();
+    for (auto& tick : ticks) *tick = nullptr;  // break the self-capture cycle
     return trace;
   };
   EXPECT_EQ(run(), run());

@@ -23,7 +23,13 @@ Checks
    std::thread::detach() anywhere (detached threads outlive shutdown and
    race static destruction).
 
-4. Shared-read discipline (docstore headers). A `const` method annotated
+4. Transport boundary. `src/cluster/` and `src/gossip/` are written
+   against the net::Transport seam and must work unchanged over the
+   simulator and real TCP: they may not include sim/network.h nor name
+   sim::SimNetwork. (Explicitly sim-aware code — sim/, net/sim_transport,
+   the failure injector — is exempt by location.)
+
+5. Shared-read discipline (docstore headers). A `const` method annotated
    HOTMAN_EXCLUDES(mu) where `mu` is an exclusive hotman::Mutex member
    serializes a read path; docstore read methods default to SharedMutex
    (taken with ReaderMutexLock) so concurrent reads do not contend.
@@ -38,7 +44,16 @@ import re
 import sys
 
 # Directories that must stay deterministic single-threaded (rule 1).
+# net/ is deliberately absent: the TCP transport owns real threads, locks
+# and sockets; the discipline it must honor instead is "handlers fire on
+# one loop thread", which the transport-boundary rule keeps at arm's
+# length from the event-loop layers.
 EVENT_LOOP_DIRS = {"sim", "cluster", "gossip"}
+
+# Directories written against net::Transport (rule 4): direct simulator
+# network access would silently re-couple them to virtual time.
+TRANSPORT_CLEAN_DIRS = {"cluster", "gossip"}
+SIM_NETWORK_NAME = re.compile(r"\bsim::SimNetwork\b|\bSimNetwork\b")
 
 # rule name -> (regex, message). Applied to code with strings/comments
 # stripped, so prose about "threads" does not trip the linter.
@@ -72,16 +87,23 @@ ALLOWED_DEPS = {
     "query": {"bson", "common"},
     "hashring": {"common"},
     "docstore": {"bson", "common", "query"},
-    "sim": {"bson", "common", "docstore"},
-    "gossip": {"bson", "common", "sim"},
+    # net/executor.h + net/message.h are leaf interface headers the sim
+    # loop implements, while net/sim_transport.h adapts the sim network:
+    # sim <-> net is a deliberate interface/implementation pair, not a
+    # layering accident.
+    "sim": {"bson", "common", "docstore", "net"},
+    "net": {"bson", "common", "sim"},
+    "gossip": {"bson", "common", "net", "sim"},
     "baselines": {"common", "sim"},
     "cache": {"common", "hashring"},
     "rest": {"common", "hashring"},
-    "cluster": {"bson", "common", "docstore", "gossip", "hashring", "sim"},
+    "cluster": {"bson", "common", "docstore", "gossip", "hashring", "net",
+                "sim"},
     "core": {"bson", "cache", "cluster", "common", "docstore", "gossip",
-             "hashring", "query", "rest", "sim"},
+             "hashring", "net", "query", "rest", "sim"},
     "workload": {"baselines", "bson", "cache", "cluster", "common", "core",
-                 "docstore", "gossip", "hashring", "query", "rest", "sim"},
+                 "docstore", "gossip", "hashring", "net", "query", "rest",
+                 "sim"},
 }
 
 # File-granular exceptions to ALLOWED_DEPS: (directory, included header).
@@ -171,6 +193,18 @@ def lint_lines(rel_path, lines, violations):
                     rel_path, lineno, "layering",
                     f"{layer}/ must not include {target} "
                     f"(allowed: {', '.join(sorted(ALLOWED_DEPS[layer])) or 'none'})"))
+
+        if layer in TRANSPORT_CLEAN_DIRS:
+            if include and include.group(1) == "sim/network.h":
+                violations.append(Violation(
+                    rel_path, lineno, "transport-boundary",
+                    f"{layer}/ must not include sim/network.h; talk to "
+                    "net::Transport (net/transport.h) instead"))
+            if SIM_NETWORK_NAME.search(line):
+                violations.append(Violation(
+                    rel_path, lineno, "transport-boundary",
+                    f"{layer}/ must not name sim::SimNetwork; the transport "
+                    "seam keeps this layer simulator-agnostic"))
 
         if layer in EVENT_LOOP_DIRS:
             if include and include.group(1) in ("common/mutex.h", "mutex",

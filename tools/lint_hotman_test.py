@@ -73,6 +73,44 @@ class CleanCodeTest(unittest.TestCase):
             self.assertEqual(len(out), 1, out)
             self.assertIn("hotman-nolint", out[0])
 
+class TransportBoundaryTest(unittest.TestCase):
+    BAD_INCLUDE = '#include "sim/network.h"\n'
+    BAD_NAME = "void Wire(hotman::sim::SimNetwork* net);\n"
+
+    @staticmethod
+    def lint_text(rel_path, text):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            dest = root / rel_path
+            dest.parent.mkdir(parents=True)
+            dest.write_text(text)
+            return [str(v) for v in lint_hotman.lint_tree(root)]
+
+    def test_cluster_including_sim_network_flagged(self):
+        out = self.lint_text("src/cluster/bad.h", self.BAD_INCLUDE)
+        self.assertEqual(len(out), 1, out)
+        self.assertIn("hotman-transport-boundary", out[0])
+
+    def test_gossip_naming_sim_network_flagged(self):
+        out = self.lint_text("src/gossip/bad.h", self.BAD_NAME)
+        self.assertEqual(len(out), 1, out)
+        self.assertIn("hotman-transport-boundary", out[0])
+
+    def test_sim_aware_layers_exempt(self):
+        # net/ adapts the simulator and sim/ *is* the simulator: both may
+        # name SimNetwork freely.
+        self.assertEqual(
+            self.lint_text("src/net/adapter.h",
+                           self.BAD_INCLUDE + self.BAD_NAME), [])
+        self.assertEqual(
+            self.lint_text("src/sim/wiring.h", self.BAD_NAME), [])
+
+    def test_mention_in_comment_is_ignored(self):
+        out = self.lint_text("src/cluster/doc.h",
+                             "// historical note: sim::SimNetwork did this\n")
+        self.assertEqual(out, [], out)
+
+
 class SharedReadTest(unittest.TestCase):
     EXCLUSIVE = ("class Store {\n"
                  " public:\n"
