@@ -6,6 +6,8 @@
 #   scripts/check.sh asan       # AddressSanitizer + UBSan suite
 #   scripts/check.sh tsan       # ThreadSanitizer suite
 #   scripts/check.sh tidy       # clang-tidy (if installed) + repo lint
+#   scripts/check.sh chaos      # seeded chaos sweep, both profiles
+#   scripts/check.sh coverage   # line coverage (scripts/coverage.sh)
 #   scripts/check.sh all        # everything, sequentially
 #
 # Each job configures its own build tree (build-check-<job>/) so sanitizer
@@ -32,6 +34,21 @@ job_default() { run_suite default tier1; }
 job_asan()    { run_suite asan asan -DHOTMAN_SANITIZE=address,undefined; }
 job_tsan()    { run_suite tsan tsan -DHOTMAN_SANITIZE=thread; }
 
+# Chaos: the ctest suite (50 seeds per profile plus the negative controls)
+# and a determinism-verified runner sweep, mirroring CI's PR smoke. Seeds
+# are virtual-time so the whole job is seconds of wall-clock.
+job_chaos() {
+  run_suite default chaos
+  local seeds="${HOTMAN_CHAOS_SEEDS:-1-50}"
+  for profile in quorum convergence; do
+    echo "==> [chaos] chaos_runner --seeds=${seeds} --profile=${profile} --verify"
+    ./build-check-default/tools/chaos_runner \
+      --seeds="${seeds}" --profile="${profile}" --verify --quiet
+  done
+}
+
+job_coverage() { scripts/coverage.sh; }
+
 job_tidy() {
   echo "==> [tidy] repo lint"
   python3 tools/lint_hotman.py
@@ -46,11 +63,14 @@ job_tidy() {
 }
 
 case "${1:-default}" in
-  default) job_default ;;
-  asan)    job_asan ;;
-  tsan)    job_tsan ;;
-  tidy)    job_tidy ;;
-  all)     job_default; job_asan; job_tsan; job_tidy ;;
-  *) echo "usage: scripts/check.sh [default|asan|tsan|tidy|all]" >&2; exit 2 ;;
+  default)  job_default ;;
+  asan)     job_asan ;;
+  tsan)     job_tsan ;;
+  tidy)     job_tidy ;;
+  chaos)    job_chaos ;;
+  coverage) job_coverage ;;
+  all)      job_default; job_asan; job_tsan; job_tidy; job_chaos ;;
+  *) echo "usage: scripts/check.sh [default|asan|tsan|tidy|chaos|coverage|all]" >&2
+     exit 2 ;;
 esac
 echo "==> OK"

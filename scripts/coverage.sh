@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Line-coverage report for the quorum/gossip layer (src/cluster, src/gossip,
+# src/chaos — the code the chaos sweeps exist to exercise).
+#
+#   scripts/coverage.sh                # tier1 + chaos suites, report to stdout
+#   scripts/coverage.sh -L chaos       # just the chaos suite
+#   HOTMAN_COVERAGE_DIRS="src/docstore" scripts/coverage.sh
+#
+# Builds an instrumented tree in build-coverage/ (separate from build/ so
+# --coverage flags never contaminate normal builds), runs the selected ctest
+# suites, then reports with whichever tool exists:
+#
+#   gcovr     - per-file table + coverage/coverage.xml (Cobertura) for CI
+#   gcov only - per-file line percentages parsed from plain `gcov -n`
+#               (the container image ships gcc/gcov but not gcovr; the
+#               report is coarser but the numbers are the same)
+#
+# Exit code is the ctest result — a red suite fails the script even though
+# the report still prints (partial coverage of failing code is still
+# useful when debugging).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${HOTMAN_BUILD_JOBS:-$(nproc)}"
+DIR=build-coverage
+LABELS=("${@:---label-regex}" )
+if [[ "${1:-}" == "" ]]; then
+  LABELS=(-L "tier1|chaos")
+else
+  LABELS=("$@")
+fi
+COVER_DIRS="${HOTMAN_COVERAGE_DIRS:-src/cluster src/gossip src/chaos}"
+
+echo "==> [coverage] configure (${DIR}/)"
+cmake -B "${DIR}" -S . -DHOTMAN_COVERAGE=ON >/dev/null
+echo "==> [coverage] build"
+cmake --build "${DIR}" -j "${JOBS}" >/dev/null
+
+# Stale counters from previous runs inflate numbers; start clean.
+find "${DIR}" -name '*.gcda' -delete
+
+echo "==> [coverage] ctest ${LABELS[*]}"
+ctest_rc=0
+ctest --test-dir "${DIR}" "${LABELS[@]}" --output-on-failure -j "${JOBS}" ||
+  ctest_rc=$?
+
+mkdir -p coverage
+
+if command -v gcovr >/dev/null 2>&1; then
+  echo "==> [coverage] gcovr report (coverage/coverage.xml)"
+  filters=()
+  for d in ${COVER_DIRS}; do filters+=(--filter "${d}/"); done
+  gcovr --root . "${filters[@]}" \
+        --xml coverage/coverage.xml --xml-pretty \
+        --print-summary
+else
+  echo "==> [coverage] gcovr not installed, falling back to plain gcov"
+  # One .gcda per object file; gcov -n prints "Lines executed:P% of N"
+  # for each source it covers without dropping .gcov files everywhere.
+  summary=coverage/coverage.txt
+  : > "${summary}"
+  total_hit=0
+  total_lines=0
+  for d in ${COVER_DIRS}; do
+    for src in "${d}"/*.cc; do
+      [[ -e "${src}" ]] || continue
+      obj_dir=$(dirname "${DIR}/src/CMakeFiles/hotman.dir/${src#src/}")
+      gcda="${obj_dir}/$(basename "${src}").gcda"
+      if [[ ! -e "${gcda}" ]]; then
+        printf '%7s  %s (never executed)\n' "0.0%" "${src}" >> "${summary}"
+        continue
+      fi
+      # gcov needs the .gcda itself (CMake names objects <file>.cc.o, which
+      # breaks source-based lookup) and prints absolute source paths:
+      #   "File '/abs/path/src/...'\nLines executed:93.75% of 160".
+      # (awk drains its whole input: an early `exit` would SIGPIPE gcov and
+      # trip pipefail.)
+      line=$(gcov -n "${gcda}" 2>/dev/null |
+             awk -v f="/${src}'" '
+               index($0, f) {grab=1; next}
+               grab && /Lines executed/ && !done {print; done=1}')
+      pct=$(sed -n "s/Lines executed:\([0-9.]*\)% of .*/\1/p" <<< "${line}")
+      cnt=$(sed -n "s/.*% of \([0-9]*\)$/\1/p" <<< "${line}")
+      if [[ -n "${pct}" && -n "${cnt}" ]]; then
+        hit=$(awk -v p="${pct}" -v n="${cnt}" 'BEGIN{printf "%d", p*n/100+0.5}')
+        total_hit=$((total_hit + hit))
+        total_lines=$((total_lines + cnt))
+        printf '%7s  %s\n' "${pct}%" "${src}" >> "${summary}"
+      else
+        printf '%7s  %s (no data)\n' "?" "${src}" >> "${summary}"
+      fi
+    done
+  done
+  if [[ "${total_lines}" -gt 0 ]]; then
+    awk -v h="${total_hit}" -v n="${total_lines}" \
+        'BEGIN{printf "%7.1f%%  TOTAL (%d/%d lines)\n", 100*h/n, h, n}' \
+        >> "${summary}"
+  fi
+  cat "${summary}"
+fi
+
+exit "${ctest_rc}"

@@ -1,0 +1,251 @@
+#include "chaos/checker.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hotman::chaos {
+
+using workload::HistoryOp;
+using workload::OpKind;
+using workload::OpStatus;
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kPhantomRead:
+      return "phantom-read";
+    case ViolationKind::kStaleRead:
+      return "stale-read";
+    case ViolationKind::kStaleAbsence:
+      return "stale-absence";
+    case ViolationKind::kReadYourWrites:
+      return "read-your-writes";
+    case ViolationKind::kLostUpdate:
+      return "lost-update";
+    case ViolationKind::kDivergence:
+      return "divergence";
+  }
+  return "?";
+}
+
+std::string Violation::ToString() const {
+  std::string out = ViolationKindName(kind);
+  out += " key=" + key;
+  if (op != 0) out += " op=" + std::to_string(op);
+  if (evidence != 0) out += " evidence=" + std::to_string(evidence);
+  if (!detail.empty()) out += " (" + detail + ")";
+  return out;
+}
+
+std::string CheckReport::Summary() const {
+  std::string out = "checked " + std::to_string(keys_checked) + " keys, " +
+                    std::to_string(reads_checked) + " reads, " +
+                    std::to_string(writes_acked) + " acked writes (" +
+                    std::to_string(indeterminate_writes) +
+                    " indeterminate): ";
+  if (violations.empty()) return out + "consistent";
+  out += std::to_string(violations.size()) + " violation(s)";
+  for (const Violation& v : violations) out += "\n  " + v.ToString();
+  return out;
+}
+
+namespace {
+
+/// Per-key view of the history the rules run against.
+struct KeyOps {
+  std::vector<const HistoryOp*> writes;  // puts + deletes, invocation order
+  std::vector<const HistoryOp*> reads;   // completed gets
+};
+
+bool IsWrite(const HistoryOp& op) {
+  return op.kind == OpKind::kPut || op.kind == OpKind::kDelete;
+}
+
+bool Acked(const HistoryOp* op) {
+  return op->completed && op->status == OpStatus::kOk;
+}
+
+/// Strict real-time precedence: `a` finished before `b` began.
+bool Precedes(const HistoryOp* a, const HistoryOp* b) {
+  return a->completed && a->completed_at < b->invoked_at;
+}
+
+/// A delete that could linearize *after* `put` (it did not provably finish
+/// before the put began) and take effect before `horizon` justifies
+/// absence. Indeterminate deletes count: they may have landed.
+bool AbsenceJustified(const KeyOps& ops, const HistoryOp* put,
+                      Micros horizon) {
+  for (const HistoryOp* w : ops.writes) {
+    if (w->kind != OpKind::kDelete) continue;
+    if (w->invoked_at >= horizon) continue;  // cannot have hit yet
+    if (Precedes(w, put)) continue;          // provably before the put
+    return true;
+  }
+  return false;
+}
+
+/// The acked put with the latest completion that fully precedes `horizon`
+/// (the state a read invoked at `horizon` must minimally see).
+const HistoryOp* LatestSettledPut(const KeyOps& ops, Micros horizon) {
+  const HistoryOp* best = nullptr;
+  for (const HistoryOp* w : ops.writes) {
+    if (w->kind != OpKind::kPut || !Acked(w)) continue;
+    if (w->completed_at >= horizon) continue;
+    if (best == nullptr || w->completed_at > best->completed_at) best = w;
+  }
+  return best;
+}
+
+}  // namespace
+
+CheckReport CheckHistory(const workload::History& history,
+                         const std::map<std::string, FinalKeyState>& final_state,
+                         const CheckOptions& options) {
+  CheckReport report;
+
+  // Index ops per key; map every written value back to its put.
+  std::map<std::string, KeyOps> keys;
+  std::map<std::string, const HistoryOp*> value_writer;  // value is unique
+  for (const HistoryOp& op : history.ops()) {
+    if (IsWrite(op)) {
+      keys[op.key].writes.push_back(&op);
+      if (op.kind == OpKind::kPut && !op.value.empty()) {
+        value_writer.emplace(op.value, &op);
+      }
+      if (Acked(&op)) {
+        ++report.writes_acked;
+      } else {
+        ++report.indeterminate_writes;
+      }
+    } else if (op.completed && op.status != OpStatus::kFailed) {
+      keys[op.key].reads.push_back(&op);
+      ++report.reads_checked;
+    }
+  }
+  report.keys_checked = keys.size();
+
+  auto flag = [&report](ViolationKind kind, const std::string& key,
+                        std::uint64_t op, std::uint64_t evidence,
+                        std::string detail) {
+    report.violations.push_back(
+        Violation{kind, key, op, evidence, std::move(detail)});
+  };
+
+  for (const auto& [key, ops] : keys) {
+    // --- real-time read rules -------------------------------------------
+    for (const HistoryOp* r : ops.reads) {
+      const bool absent = r->status == OpStatus::kNotFound || r->value.empty();
+      if (absent) {
+        if (!options.check_stale_reads) continue;
+        const HistoryOp* settled = LatestSettledPut(ops, r->invoked_at);
+        if (settled != nullptr &&
+            !AbsenceJustified(ops, settled, r->completed_at)) {
+          flag(ViolationKind::kStaleAbsence, key, r->id, settled->id,
+               "nothing read although put v=" + settled->value +
+                   " was acked before the read began");
+        }
+        continue;
+      }
+
+      auto writer = value_writer.find(r->value);
+      if (writer == value_writer.end() || writer->second->key != key) {
+        flag(ViolationKind::kPhantomRead, key, r->id, 0,
+             "value " + r->value + " was never written to this key");
+        continue;
+      }
+      const HistoryOp* w = writer->second;
+      if (!options.check_stale_reads || !Acked(w)) continue;
+      // Stale iff some acked write fits strictly between w and the read.
+      for (const HistoryOp* w2 : ops.writes) {
+        if (w2 == w || !Acked(w2)) continue;
+        if (Precedes(w, w2) && Precedes(w2, r)) {
+          flag(ViolationKind::kStaleRead, key, r->id, w2->id,
+               "read v=" + r->value + " although write op " +
+                   std::to_string(w2->id) + " finished before the read began");
+          break;
+        }
+      }
+    }
+
+    // --- read-your-writes (per sequential client session) ----------------
+    if (options.check_read_your_writes) {
+      // Ops of one client are non-overlapping, so scanning in invocation
+      // order walks each session chronologically.
+      std::map<int, const HistoryOp*> last_acked_write;  // client -> op
+      std::vector<const HistoryOp*> session;
+      session.insert(session.end(), ops.writes.begin(), ops.writes.end());
+      session.insert(session.end(), ops.reads.begin(), ops.reads.end());
+      std::sort(session.begin(), session.end(),
+                [](const HistoryOp* a, const HistoryOp* b) {
+                  return a->id < b->id;
+                });
+      for (const HistoryOp* op : session) {
+        if (IsWrite(*op)) {
+          if (Acked(op)) last_acked_write[op->client] = op;
+          continue;
+        }
+        auto own = last_acked_write.find(op->client);
+        if (own == last_acked_write.end()) continue;
+        const HistoryOp* mine = own->second;
+        const bool absent =
+            op->status == OpStatus::kNotFound || op->value.empty();
+        if (absent) {
+          if (mine->kind == OpKind::kPut &&
+              !AbsenceJustified(ops, mine, op->completed_at)) {
+            flag(ViolationKind::kReadYourWrites, key, op->id, mine->id,
+                 "client " + std::to_string(op->client) +
+                     " lost sight of its own acked put v=" + mine->value);
+          }
+          continue;
+        }
+        auto writer = value_writer.find(op->value);
+        if (writer == value_writer.end()) continue;  // phantom, flagged above
+        const HistoryOp* w = writer->second;
+        if (Acked(w) && Precedes(w, mine)) {
+          flag(ViolationKind::kReadYourWrites, key, op->id, mine->id,
+               "client " + std::to_string(op->client) +
+                   " read v=" + op->value +
+                   ", older than its own acked write op " +
+                   std::to_string(mine->id));
+        }
+      }
+    }
+
+    // --- final-state rules (lost updates) --------------------------------
+    if (!options.check_lost_updates) continue;
+    auto fin = final_state.find(key);
+    const bool final_present = fin != final_state.end() && fin->second.present;
+    if (final_present) {
+      auto writer = value_writer.find(fin->second.value);
+      if (writer == value_writer.end() || writer->second->key != key) {
+        flag(ViolationKind::kLostUpdate, key, 0, 0,
+             "final value " + fin->second.value + " was never written");
+        continue;
+      }
+      const HistoryOp* w = writer->second;
+      for (const HistoryOp* w2 : ops.writes) {
+        if (w2 == w || !Acked(w2)) continue;
+        if (Precedes(w, w2)) {
+          flag(ViolationKind::kLostUpdate, key, w->id, w2->id,
+               "final value v=" + fin->second.value + " predates acked write op " +
+                   std::to_string(w2->id));
+          break;
+        }
+      }
+    } else {
+      // Key ended absent: every settled acked put must be deletable.
+      const HistoryOp* settled =
+          LatestSettledPut(ops, std::numeric_limits<Micros>::max());
+      if (settled != nullptr &&
+          !AbsenceJustified(ops, settled,
+                            std::numeric_limits<Micros>::max())) {
+        flag(ViolationKind::kLostUpdate, key, 0, settled->id,
+             "acked put v=" + settled->value +
+                 " vanished without any delete that could explain it");
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace hotman::chaos

@@ -1,0 +1,92 @@
+#ifndef HOTMAN_CHAOS_CHECKER_H_
+#define HOTMAN_CHAOS_CHECKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/history.h"
+
+namespace hotman::chaos {
+
+/// Consistency violations the offline checker can report.
+enum class ViolationKind {
+  kPhantomRead,     ///< read returned a value no write ever produced
+  kStaleRead,       ///< read returned a value an acked write had superseded
+  kStaleAbsence,    ///< read returned absence despite a preceding acked put
+  kReadYourWrites,  ///< session read older state than its own acked write
+  kLostUpdate,      ///< final state misses an acked write entirely
+  kDivergence,      ///< replicas disagree after the cluster quiesced
+};
+
+const char* ViolationKindName(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  std::string key;
+  std::uint64_t op = 0;        ///< the offending operation, 0 if none
+  std::uint64_t evidence = 0;  ///< the write proving the violation, 0 if none
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// What the checker may assume about the run. The harness derives these
+/// from the cluster profile: real-time read rules need a strict
+/// intersecting quorum (R+W>N, hinted handoff off), and final-state rules
+/// need honest clocks (last-write-wins reorders under skew by design).
+struct CheckOptions {
+  bool check_stale_reads = true;
+  bool check_read_your_writes = true;
+  bool check_lost_updates = true;
+};
+
+/// The last-write-wins winner for one key after the run quiesced, as
+/// observed on the live replicas (the harness extracts this from the
+/// stores; `present` is false when every replica agrees the key is absent
+/// or tombstoned).
+struct FinalKeyState {
+  bool present = false;
+  std::string value;
+};
+
+struct CheckReport {
+  std::vector<Violation> violations;
+  std::size_t reads_checked = 0;
+  std::size_t writes_acked = 0;
+  std::size_t indeterminate_writes = 0;
+  std::size_t keys_checked = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+/// Replays a completed history against the NWR consistency model
+/// (Wing–Gong style per-key real-time ordering, conservative about
+/// indeterminate operations):
+///
+///  - *Phantom read*: a read's value was never written for that key.
+///  - *Stale read*: a read returned acked write `w` although another acked
+///    write finished strictly between `w`'s completion and the read's
+///    invocation. Only acked `w` counts: an indeterminate write may
+///    legitimately take effect at any point after its invocation.
+///  - *Stale absence*: a read saw nothing although an acked put fully
+///    preceded it and no delete in the history could be ordered after that
+///    put.
+///  - *Read-your-writes*: within one sequential client session, a read
+///    observed state strictly older than the session's own acked write.
+///  - *Lost update*: the final converged value belongs to a write that
+///    strictly precedes some acked write (the later write vanished), or
+///    the key is absent although an acked put could not have been deleted.
+///
+/// All rules use strict real-time precedence (a.completed < b.invoked), so
+/// concurrent operations never produce violations — the checker only
+/// reports what *no* correct NWR execution could explain.
+CheckReport CheckHistory(const workload::History& history,
+                         const std::map<std::string, FinalKeyState>& final_state,
+                         const CheckOptions& options);
+
+}  // namespace hotman::chaos
+
+#endif  // HOTMAN_CHAOS_CHECKER_H_

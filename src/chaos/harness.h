@@ -1,0 +1,91 @@
+#ifndef HOTMAN_CHAOS_HARNESS_H_
+#define HOTMAN_CHAOS_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/checker.h"
+#include "chaos/nemesis.h"
+#include "common/clock.h"
+#include "workload/history.h"
+
+namespace hotman::chaos {
+
+/// One deterministic chaos run: cluster profile + workload shape + nemesis
+/// menu + checker assumptions. Everything derives from `seed`; two runs
+/// with equal options produce byte-identical histories (hash-checked).
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+
+  // --- cluster profile ---
+  int nodes = 5;
+  int replication = 3;   ///< N
+  int write_quorum = 2;  ///< W
+  int read_quorum = 1;   ///< R
+  bool hinted_handoff = true;
+  bool read_repair = true;
+  bool anti_entropy = true;
+  /// Negative control: this replica acks writes without applying them
+  /// (see ClusterConfig::chaos_lying_replica). Empty = honest cluster.
+  std::string lying_replica;
+
+  // --- workload shape ---
+  int clients = 4;
+  int ops_per_client = 50;
+  int keys = 8;
+  Micros think_min = 20 * kMicrosPerMilli;
+  Micros think_max = 200 * kMicrosPerMilli;
+  double put_fraction = 0.5;
+  double delete_fraction = 0.1;  ///< rest are gets
+
+  // --- schedule ---
+  Micros warmup = kMicrosPerSecond;            ///< traffic before faults
+  Micros drain_budget = 120 * kMicrosPerSecond;  ///< cap on the whole run
+  Micros quiesce = 20 * kMicrosPerSecond;      ///< heal-to-measure window
+  /// Deterministic pair-wise anti-entropy passes during quiesce (belt and
+  /// suspenders on top of the random-peer timer, so convergence never
+  /// depends on lucky peer draws).
+  int ae_passes = 3;
+
+  NemesisOptions nemesis;
+  CheckOptions check;
+  bool check_convergence = true;
+
+  /// Strict-quorum profile: R+W>N with hinted handoff off, so every read
+  /// quorum intersects every write quorum and the full real-time rule set
+  /// applies. Clock skew and state loss stay off — last-write-wins and
+  /// replica durability are assumptions of those rules, not guarantees the
+  /// strict quorum adds.
+  static ChaosOptions QuorumProfile(std::uint64_t seed);
+
+  /// Sloppy-quorum profile: the paper's (N,W,R)=(3,2,1) with hinted
+  /// handoff, plus the whole nemesis menu (clock skew, blank-disk
+  /// restarts). Staleness is expected and not checked; phantom values and
+  /// post-heal divergence still are.
+  static ChaosOptions ConvergenceProfile(std::uint64_t seed);
+};
+
+struct ChaosResult {
+  workload::History history;
+  std::string history_hash;  ///< MD5 of the canonical history
+  CheckReport report;        ///< checker verdicts + divergence findings
+  std::map<std::string, FinalKeyState> final_state;
+  std::vector<std::string> nemesis_log;
+  std::size_t faults_injected = 0;
+  bool drained = false;  ///< every client op completed within budget
+
+  bool ok() const { return report.ok(); }
+};
+
+/// Runs one seeded chaos experiment end to end: boots the cluster on the
+/// simulated transport, drives sequential client sessions that record
+/// every operation into the history, lets the nemesis inject faults, heals
+/// everything, quiesces anti-entropy and hint delivery, extracts the final
+/// replica state, and replays the history through the offline checker.
+ChaosResult RunChaos(const ChaosOptions& options);
+
+}  // namespace hotman::chaos
+
+#endif  // HOTMAN_CHAOS_HARNESS_H_

@@ -1,0 +1,231 @@
+#include "chaos/nemesis.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/sim_transport.h"
+#include "sim/network_config.h"
+
+namespace hotman::chaos {
+
+namespace {
+
+Micros DrawDuration(Rng* rng, Micros lo, Micros hi) {
+  if (hi <= lo) return lo;
+  return rng->UniformRange(lo, hi);
+}
+
+}  // namespace
+
+Nemesis::Nemesis(cluster::Cluster* cluster, NemesisOptions options,
+                 std::uint64_t seed)
+    : cluster_(cluster), options_(options), rng_(seed ^ 0xbadfa117c0ffeeull) {
+  for (const cluster::NodeSpec& spec : cluster_->config().nodes) {
+    node_names_.push_back(spec.address);
+  }
+}
+
+void Nemesis::Start() {
+  if (running_) return;
+  running_ = true;
+  ScheduleNext();
+}
+
+void Nemesis::Stop() { running_ = false; }
+
+void Nemesis::HealAll() {
+  running_ = false;
+  // Heal in injection order; crashes restart last so the rejoin happens on
+  // a connected network.
+  std::stable_sort(active_.begin(), active_.end(),
+                   [](const ActiveFault& a, const ActiveFault& b) {
+                     return (a.kind != FaultKind::kCrash) &&
+                            (b.kind == FaultKind::kCrash);
+                   });
+  for (const ActiveFault& fault : active_) Heal(fault);
+  active_.clear();
+  cluster_->network()->ClearAllChaos();
+}
+
+void Nemesis::ScheduleNext() {
+  const Micros quiet =
+      DrawDuration(&rng_, options_.quiet_min, options_.quiet_max);
+  cluster_->loop()->Schedule(quiet, [this]() {
+    if (!running_) return;
+    InjectOne();
+    ScheduleNext();
+  });
+}
+
+std::string Nemesis::PickNode() {
+  return node_names_[rng_.Uniform(node_names_.size())];
+}
+
+void Nemesis::Note(const std::string& what) {
+  log_.push_back("t=" + std::to_string(cluster_->loop()->Now()) + " " + what);
+}
+
+void Nemesis::InjectOne() {
+  if (static_cast<int>(active_.size()) >= options_.max_concurrent_faults) {
+    return;  // keep the draw cadence; this slot stays quiet
+  }
+
+  // Build the enabled menu, then draw from it. The menu is rebuilt each
+  // time so disabled families never consume random draws differently
+  // between profiles with the same seed *within* one profile.
+  std::vector<FaultKind> menu;
+  if (options_.partitions && node_names_.size() >= 2) {
+    menu.push_back(FaultKind::kPartition);
+  }
+  if (options_.link_faults && node_names_.size() >= 2) {
+    menu.push_back(FaultKind::kLinkDrop);
+  }
+  if (options_.link_noise) menu.push_back(FaultKind::kLinkNoise);
+  if (options_.crashes && crashed_ < options_.max_crashed_nodes) {
+    menu.push_back(FaultKind::kCrash);
+  }
+  if (options_.clock_skew) menu.push_back(FaultKind::kClockSkew);
+  if (options_.slow_nodes) menu.push_back(FaultKind::kSlowNode);
+  if (menu.empty()) return;
+
+  ActiveFault fault;
+  fault.kind = menu[rng_.Uniform(menu.size())];
+  net::SimTransport* net = cluster_->network();
+
+  switch (fault.kind) {
+    case FaultKind::kPartition: {
+      // Random bisection: shuffle, split at 1..n-1, cut every cross link.
+      std::vector<std::string> order = node_names_;
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng_.Uniform(i)]);
+      }
+      const std::size_t split = 1 + rng_.Uniform(order.size() - 1);
+      std::string left, right;
+      for (std::size_t i = 0; i < split; ++i) {
+        if (i > 0) left += ",";
+        left += order[i];
+        for (std::size_t j = split; j < order.size(); ++j) {
+          net->PartitionLink(order[i], order[j]);
+          fault.links.emplace_back(order[i], order[j]);
+        }
+      }
+      for (std::size_t j = split; j < order.size(); ++j) {
+        if (j > split) right += ",";
+        right += order[j];
+      }
+      Note("partition " + left + " | " + right);
+      break;
+    }
+    case FaultKind::kLinkDrop: {
+      const std::string from = PickNode();
+      std::string to = PickNode();
+      while (to == from) to = PickNode();
+      sim::LinkChaos chaos;
+      chaos.drop_probability =
+          0.2 + rng_.NextDouble() * (options_.max_drop_probability - 0.2);
+      net->SetLinkChaos(from, to, chaos);
+      fault.links.emplace_back(from, to);
+      Note("linkdrop " + from + "->" + to + " p=" +
+           std::to_string(chaos.drop_probability));
+      break;
+    }
+    case FaultKind::kLinkNoise: {
+      fault.node = PickNode();
+      sim::LinkChaos chaos;
+      chaos.duplicate_probability = 0.1 + rng_.NextDouble() * 0.4;
+      chaos.extra_delay_min = 0;
+      chaos.extra_delay_max = 20 * kMicrosPerMilli;
+      net->SetEndpointChaos(fault.node, chaos);
+      Note("linknoise " + fault.node + " dup=" +
+           std::to_string(chaos.duplicate_probability));
+      break;
+    }
+    case FaultKind::kCrash: {
+      // Pick a node not already crashed.
+      std::string victim = PickNode();
+      bool clear = false;
+      for (int tries = 0; tries < 8 && !clear; ++tries) {
+        clear = true;
+        for (const ActiveFault& a : active_) {
+          if (a.kind == FaultKind::kCrash && a.node == victim) clear = false;
+        }
+        if (!clear) victim = PickNode();
+      }
+      if (!clear) return;
+      fault.node = victim;
+      fault.lose_state = options_.state_loss && rng_.Chance(0.5);
+      Status crashed = cluster_->CrashNode(victim);
+      (void)crashed;
+      ++crashed_;
+      Note(std::string("crash ") + victim +
+           (fault.lose_state ? " (state loss on restart)" : ""));
+      break;
+    }
+    case FaultKind::kClockSkew: {
+      fault.node = PickNode();
+      const Micros skew =
+          rng_.UniformRange(-options_.max_clock_skew, options_.max_clock_skew);
+      cluster_->node(fault.node)->SetClockSkew(skew);
+      Note("clockskew " + fault.node + " " + std::to_string(skew) + "us");
+      break;
+    }
+    case FaultKind::kSlowNode: {
+      fault.node = PickNode();
+      sim::LinkChaos chaos;
+      chaos.extra_delay_min = 5 * kMicrosPerMilli;
+      chaos.extra_delay_max = 60 * kMicrosPerMilli;
+      net->SetEndpointChaos(fault.node, chaos);
+      Note("slownode " + fault.node);
+      break;
+    }
+  }
+
+  ++faults_injected_;
+  const Micros ttl = DrawDuration(&rng_, options_.fault_min, options_.fault_max);
+  active_.push_back(fault);
+  const ActiveFault scheduled = fault;
+  cluster_->loop()->Schedule(ttl, [this, scheduled]() {
+    // Still active? (HealAll may have cleared it already.)
+    for (auto it = active_.begin(); it != active_.end(); ++it) {
+      if (it->kind == scheduled.kind && it->node == scheduled.node &&
+          it->links == scheduled.links) {
+        Heal(*it);
+        active_.erase(it);
+        return;
+      }
+    }
+  });
+}
+
+void Nemesis::Heal(const ActiveFault& fault) {
+  net::SimTransport* net = cluster_->network();
+  switch (fault.kind) {
+    case FaultKind::kPartition:
+      for (const auto& [a, b] : fault.links) net->HealLink(a, b);
+      Note("heal partition");
+      break;
+    case FaultKind::kLinkDrop:
+      for (const auto& [a, b] : fault.links) net->ClearLinkChaos(a, b);
+      Note("heal linkdrop");
+      break;
+    case FaultKind::kLinkNoise:
+    case FaultKind::kSlowNode:
+      net->ClearEndpointChaos(fault.node);
+      Note("heal endpoint chaos " + fault.node);
+      break;
+    case FaultKind::kCrash: {
+      Status restarted = cluster_->RestartNode(fault.node, fault.lose_state);
+      (void)restarted;
+      --crashed_;
+      Note("restart " + fault.node +
+           (fault.lose_state ? " (blank disk)" : ""));
+      break;
+    }
+    case FaultKind::kClockSkew:
+      cluster_->node(fault.node)->SetClockSkew(0);
+      Note("heal clockskew " + fault.node);
+      break;
+  }
+}
+
+}  // namespace hotman::chaos

@@ -1,0 +1,104 @@
+#ifndef HOTMAN_CHAOS_NEMESIS_H_
+#define HOTMAN_CHAOS_NEMESIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace hotman::chaos {
+
+/// Which fault families the nemesis may draw from. The quorum-property
+/// profile disables the ones the checked invariants cannot survive (clock
+/// skew breaks last-write-wins ordering; state loss without anti-entropy
+/// breaks durability) — see harness.h for the two standard profiles.
+struct NemesisOptions {
+  bool partitions = true;   ///< two-sided network splits
+  bool link_faults = true;  ///< asymmetric per-link drop probability
+  bool link_noise = true;   ///< duplication + extra delay on an endpoint
+  bool crashes = true;      ///< node crash, later restart
+  bool state_loss = true;   ///< a restart may come back with a blank disk
+  bool clock_skew = true;   ///< coordinator stamps drift by a fixed offset
+  bool slow_nodes = true;   ///< heavy extra delay on every frame of a node
+
+  /// Quiet gap between consecutive injections, and how long each fault
+  /// lives before the nemesis heals it (uniform draws in [min, max]).
+  Micros quiet_min = 300 * kMicrosPerMilli;
+  Micros quiet_max = 2 * kMicrosPerSecond;
+  Micros fault_min = 500 * kMicrosPerMilli;
+  Micros fault_max = 4 * kMicrosPerSecond;
+
+  int max_concurrent_faults = 2;  ///< injections outstanding at once
+  int max_crashed_nodes = 1;      ///< never silence a write quorum outright
+
+  Micros max_clock_skew = 2 * kMicrosPerSecond;
+  double max_drop_probability = 0.8;
+};
+
+/// Seed-driven fault scheduler: composes the simulator's failure primitives
+/// (partitions, per-link chaos rules, crash/revive, clock skew) into a
+/// timed schedule on the cluster's event loop. Fully deterministic: the
+/// same (cluster seed, nemesis seed, options) triple replays the same
+/// faults at the same virtual times.
+///
+/// Lifecycle: Start() schedules the first injection; Stop() stops new
+/// injections; HealAll() reverses everything still active (call it before
+/// measuring convergence). All three are safe from driver code; heals also
+/// run from loop events, so none of them may pump the loop re-entrantly.
+class Nemesis {
+ public:
+  Nemesis(cluster::Cluster* cluster, NemesisOptions options,
+          std::uint64_t seed);
+
+  void Start();
+  void Stop();
+  void HealAll();
+
+  /// Human-readable fault schedule ("t=1200000 partition db1,db3 | db2...")
+  /// in injection order — deterministic, so it doubles as a debug trace for
+  /// a failing seed.
+  const std::vector<std::string>& log() const { return log_; }
+  std::size_t faults_injected() const { return faults_injected_; }
+
+ private:
+  enum class FaultKind {
+    kPartition,
+    kLinkDrop,
+    kLinkNoise,
+    kCrash,
+    kClockSkew,
+    kSlowNode,
+  };
+
+  struct ActiveFault {
+    FaultKind kind;
+    /// Enough state to reverse the fault: partition edges, chaos endpoints,
+    /// the crashed/skewed node.
+    std::vector<std::pair<std::string, std::string>> links;
+    std::string node;
+    bool lose_state = false;
+  };
+
+  void ScheduleNext();
+  void InjectOne();
+  void Heal(const ActiveFault& fault);
+  std::string PickNode();
+  void Note(const std::string& what);
+
+  cluster::Cluster* cluster_;
+  NemesisOptions options_;
+  Rng rng_;
+  std::vector<std::string> node_names_;
+  std::vector<ActiveFault> active_;
+  std::vector<std::string> log_;
+  std::size_t faults_injected_ = 0;
+  int crashed_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace hotman::chaos
+
+#endif  // HOTMAN_CHAOS_NEMESIS_H_

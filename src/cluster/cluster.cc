@@ -221,6 +221,30 @@ Status Cluster::CrashNode(const std::string& address) {
   return Status::OK();
 }
 
+Status Cluster::RestartNode(const std::string& address, bool lose_state) {
+  auto it = nodes_.find(address);
+  if (it == nodes_.end()) return Status::NotFound("no node: " + address);
+  StorageNode* node = it->second.get();
+  if (lose_state) {
+    // The replacement machine boots with an empty disk: every replica it
+    // held and every hint it owed other nodes are gone.
+    auto records = node->store()->AllRecords();
+    if (records.ok()) {
+      for (const bson::Document& record : *records) {
+        Status purged = node->store()->Purge(core::RecordSelfKey(record));
+        (void)purged;
+      }
+    }
+    node->hints()->Clear();
+  }
+  injector_.Revive(node->server());
+  RejoinNode(address);
+  // No RunFor here: the chaos nemesis restarts nodes from inside loop
+  // events, where re-entrant pumping is illegal. Callers keep driving the
+  // loop; gossip and migration settle as virtual time advances.
+  return Status::OK();
+}
+
 Status Cluster::RemoveNode(const std::string& address) {
   auto it = nodes_.find(address);
   if (it == nodes_.end()) return Status::NotFound("no node: " + address);

@@ -65,6 +65,14 @@ class Cluster {
   /// seeds detect it and trigger repair.
   Status CrashNode(const std::string& address);
 
+  /// Brings a crashed node back. With `lose_state` the node returns as a
+  /// blank replacement — its replica store and hint ledger are wiped first
+  /// (the disk died with the process); otherwise it resumes with whatever
+  /// it held at crash time. Either way it is re-integrated into every
+  /// member's ring so migration and anti-entropy bring it up to date.
+  /// The chaos nemesis drives repeated crash/restart cycles through this.
+  Status RestartNode(const std::string& address, bool lose_state);
+
   /// Graceful removal: announces departure via a seed, then stops the node.
   Status RemoveNode(const std::string& address);
 

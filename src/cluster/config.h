@@ -42,6 +42,14 @@ struct ClusterConfig {
   bool read_repair = true;          ///< replica supplementation on Get
   Micros hint_retry_interval = 2 * kMicrosPerSecond;
 
+  // --- chaos negative controls (test-only; see src/chaos/) ---
+  /// Address of a replica that acknowledges put_replica traffic *without
+  /// applying it* — a deliberately broken node that makes write quorums
+  /// lie. Used by the negative-control chaos tests to prove the offline
+  /// consistency checker detects lost updates and stale reads; must stay
+  /// empty everywhere else.
+  std::string chaos_lying_replica;
+
   // --- anti-entropy (future-work extension: background consistency) ---
   /// When enabled, every node periodically exchanges record digests with a
   /// random ring peer and pushes/pulls whatever last-write-wins says the

@@ -1,5 +1,7 @@
 #include "cluster/hinted_handoff.h"
 
+#include "core/record.h"
+
 namespace hotman::cluster {
 
 std::uint64_t HintStore::Add(const std::string& target, bson::Document record,
@@ -37,6 +39,18 @@ bool HintStore::Remove(std::uint64_t id) {
   if (hints_.erase(id) == 0) return false;
   ++total_delivered_;
   return true;
+}
+
+const Hint* HintStore::Find(std::uint64_t id) const {
+  auto it = hints_.find(id);
+  return it == hints_.end() ? nullptr : &it->second;
+}
+
+bool HintStore::HasHintForKey(const std::string& self_key) const {
+  for (const auto& [id, hint] : hints_) {
+    if (core::RecordSelfKey(hint.record) == self_key) return true;
+  }
+  return false;
 }
 
 }  // namespace hotman::cluster

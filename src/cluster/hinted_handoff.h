@@ -42,6 +42,17 @@ class HintStore {
   /// Drops a hint after its write-back was acknowledged.
   bool Remove(std::uint64_t id);
 
+  /// The hint with `id`, or nullptr (the write-back ack path inspects the
+  /// record before dropping it).
+  const Hint* Find(std::uint64_t id) const;
+
+  /// Whether any pending hint carries a record for `self_key` (the holder
+  /// must keep its local stand-in copy alive while one does).
+  bool HasHintForKey(const std::string& self_key) const;
+
+  /// Drops every hint — a node restart that lost its durable state.
+  void Clear() { hints_.clear(); }
+
   std::size_t PendingCount() const { return hints_.size(); }
   std::size_t total_added() const { return total_added_; }
   std::size_t total_delivered() const { return total_delivered_; }

@@ -201,6 +201,11 @@ void StorageNode::HandlePutReplica(const net::Message& msg) {
         if (!available.ok()) {
           ack.ok = false;
           ack.error = available.ToString();
+        } else if (config_.chaos_lying_replica == id_) {
+          // Negative-control harness: acknowledge without applying, so the
+          // coordinator's quorum count overstates durability. The offline
+          // checker must catch the resulting lost updates / stale reads.
+          ack.ok = true;
         } else {
           auto applied = store_->Apply(record);
           if (applied.ok()) {
@@ -302,13 +307,15 @@ void StorageNode::HandleHandoffDeliver(const net::Message& msg) {
 void StorageNode::CoordinatePut(const std::string& key, Bytes value, PutCallback cb) {
   bson::Document record = core::MakeRecord(
       server_->db()->id_generator()->Next(), key, std::move(value),
-      /*is_copy=*/false, /*deleted=*/false, transport_->NowMicros(), id_);
+      /*is_copy=*/false, /*deleted=*/false, transport_->NowMicros() + clock_skew_,
+      id_);
   StartPut(std::move(record), std::move(cb));
 }
 
 void StorageNode::CoordinateDelete(const std::string& key, PutCallback cb) {
   bson::Document tombstone = core::MakeTombstone(
-      server_->db()->id_generator()->Next(), key, transport_->NowMicros(), id_);
+      server_->db()->id_generator()->Next(), key,
+      transport_->NowMicros() + clock_skew_, id_);
   StartPut(std::move(tombstone), std::move(cb));
 }
 
@@ -537,8 +544,12 @@ void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
   if (injector_ != nullptr) injector_->MaybeInjectAnywhere();
   std::vector<std::string> targets = PreferenceNodes(key);
   // Skip replicas the detector knows are dead (they cannot answer and
-  // would stall the all-replied miss path); keep the original list when
-  // everything looks dead so the timeout still produces a clean error.
+  // would stall the all-replied miss path) — but never below the read
+  // quorum: the detector can be wrong during asymmetric partitions, and
+  // shrinking the contact list under R would let the read complete without
+  // the R confirmations the R+W>N intersection is built on. When fewer
+  // than R targets look alive, contact the full preference list and let
+  // the timeout decide.
   std::vector<std::string> alive;
   alive.reserve(targets.size());
   for (const std::string& target : targets) {
@@ -546,7 +557,9 @@ void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
       alive.push_back(target);
     }
   }
-  if (!alive.empty()) targets = std::move(alive);
+  if (static_cast<int>(alive.size()) >= config_.read_quorum) {
+    targets = std::move(alive);
+  }
   if (targets.empty()) {
     ++stats_.gets_failed;
     cb(Status::Unavailable("ring is empty"));
@@ -557,7 +570,10 @@ void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
   get.key = key;
   get.cb = std::move(cb);
   get.started_at = transport_->NowMicros();
-  get.needed = std::min<int>(config_.read_quorum, static_cast<int>(targets.size()));
+  // Never degrade below R, even when the ring currently offers fewer
+  // preference nodes: a read that cannot gather R confirmations must fail
+  // rather than silently weaken the quorum.
+  get.needed = config_.read_quorum;
   get.targets = targets;
   get.timeout_event =
       transport_->ScheduleTimer(config_.get_timeout, [this, req]() { OnGetTimeout(req); });
@@ -612,15 +628,20 @@ void StorageNode::MaybeFinishGet(std::uint64_t req, PendingGet* get) {
     } else if (all_responded) {
       // "The Get operation gets all replications of the specified key":
       // a miss is only authoritative once every replica has answered.
+      // Either way the answer needs R successful reads — a value (or a
+      // miss) confirmed by fewer replicas than the read quorum must not
+      // be served as authoritative.
       get->done = true;
-      if (winner != nullptr) {
-        ++stats_.gets_succeeded;
-        RecordGetOutcome(*get, req, /*ok=*/true);
-        get->cb(*winner);
-      } else if (successes >= get->needed) {
-        ++stats_.gets_failed;
-        RecordGetOutcome(*get, req, /*ok=*/false);
-        get->cb(Status::NotFound("no replica has key " + get->key));
+      if (successes >= get->needed) {
+        if (winner != nullptr) {
+          ++stats_.gets_succeeded;
+          RecordGetOutcome(*get, req, /*ok=*/true);
+          get->cb(*winner);
+        } else {
+          ++stats_.gets_failed;
+          RecordGetOutcome(*get, req, /*ok=*/false);
+          get->cb(Status::NotFound("no replica has key " + get->key));
+        }
       } else {
         ++stats_.gets_failed;
         RecordGetOutcome(*get, req, /*ok=*/false);
@@ -670,7 +691,11 @@ void StorageNode::OnGetTimeout(std::uint64_t req) {
   PendingGet& get = it->second;
   if (!get.done) {
     get.done = true;
-    // Best effort with whatever arrived before the deadline.
+    // Best effort with whatever arrived before the deadline — but never
+    // with fewer than R successful reads: serving a value one straggling
+    // replica returned would bypass the quorum intersection exactly when
+    // it matters most (partitions and slow links). A read that cannot
+    // reach R confirmations fails and lets the client retry elsewhere.
     int successes = 0;
     const bson::Document* winner = nullptr;
     for (const auto& [from, reply] : get.replies) {
@@ -681,7 +706,7 @@ void StorageNode::OnGetTimeout(std::uint64_t req) {
         winner = &reply.record;
       }
     }
-    if (winner != nullptr && successes >= 1) {
+    if (winner != nullptr && successes >= get.needed) {
       ++stats_.gets_succeeded;
       RecordGetOutcome(get, req, /*ok=*/true);
       get.cb(*winner);
@@ -771,8 +796,23 @@ void StorageNode::DeliverHints() {
 void StorageNode::HandleHandoffAck(const net::Message& msg) {
   auto ack = DecodeHandoffAck(msg.body);
   if (!ack.ok()) return;
-  if (ack->ok && hints_.Remove(ack->hint_id)) {
-    ++stats_.hints_delivered;
+  if (!ack->ok) return;
+  const Hint* hint = hints_.Find(ack->hint_id);
+  if (hint == nullptr) return;  // already acked by an earlier retry
+  const std::string key = core::RecordSelfKey(hint->record);
+  hints_.Remove(ack->hint_id);
+  ++stats_.hints_delivered;
+  // The write-back is done: drop the temporary local copy unless this node
+  // is a preference member for the key (then the copy is a real replica)
+  // or other hints still reference it. Without this purge the substitute
+  // keeps an unowned replica forever — anti-entropy only reconciles
+  // preference members, so that orphan goes stale on the next write and
+  // the replica set never converges back to byte-identical.
+  if (hints_.HasHintForKey(key)) return;
+  std::vector<std::string> prefs = PreferenceNodes(key);
+  if (std::find(prefs.begin(), prefs.end(), id_) == prefs.end()) {
+    Status purged = store_->Purge(key);
+    (void)purged;
   }
 }
 

@@ -148,6 +148,14 @@ class StorageNode {
   /// Nodes this node believes are cluster members (on its ring).
   std::vector<std::string> KnownMembers() const { return ring_.Nodes(); }
 
+  /// Chaos hook: offsets the timestamps this coordinator stamps into new
+  /// records by `skew` (positive = clock runs fast). Models a node whose
+  /// wall clock drifted — under last-write-wins that can reorder writes,
+  /// which is exactly what the chaos convergence runs exercise. Zero
+  /// restores an honest clock.
+  void SetClockSkew(Micros skew) { clock_skew_ = skew; }
+  Micros clock_skew() const { return clock_skew_; }
+
  private:
   struct PendingPut {
     std::string key;
@@ -268,6 +276,7 @@ class StorageNode {
   std::map<std::uint64_t, PendingGet> pending_gets_;
 
   bool running_ = false;
+  Micros clock_skew_ = 0;
   net::TimerId hint_timer_ = 0;
   net::TimerId ae_timer_ = 0;
   Rng ae_rng_{0x5eedae};

@@ -61,6 +61,23 @@ class SimTransport : public Transport {
     return network_.HasEndpoint(name);
   }
 
+  // Chaos passthroughs (probabilistic drop/duplicate/reorder rules the
+  // nemesis scheduler in src/chaos/ composes into timed fault schedules).
+  void SetLinkChaos(const std::string& from, const std::string& to,
+                    sim::LinkChaos chaos) {
+    network_.SetLinkChaos(from, to, chaos);
+  }
+  void ClearLinkChaos(const std::string& from, const std::string& to) {
+    network_.ClearLinkChaos(from, to);
+  }
+  void SetEndpointChaos(const std::string& name, sim::LinkChaos chaos) {
+    network_.SetEndpointChaos(name, chaos);
+  }
+  void ClearEndpointChaos(const std::string& name) {
+    network_.ClearEndpointChaos(name);
+  }
+  void ClearAllChaos() { network_.ClearAllChaos(); }
+
   std::size_t messages_sent() const { return network_.messages_sent(); }
   std::size_t messages_dropped() const { return network_.messages_dropped(); }
   std::size_t bytes_sent() const { return network_.bytes_sent(); }

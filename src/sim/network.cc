@@ -14,7 +14,59 @@ std::pair<std::string, std::string> NormalizedLink(const std::string& a,
 }  // namespace
 
 SimNetwork::SimNetwork(EventLoop* loop, NetworkConfig config, std::uint64_t seed)
-    : loop_(loop), config_(config), rng_(seed) {}
+    : loop_(loop), config_(config), rng_(seed), chaos_rng_(seed ^ 0xc4a05a11dead1ull) {}
+
+void SimNetwork::SetLinkChaos(const std::string& from, const std::string& to,
+                              LinkChaos chaos) {
+  link_chaos_[{from, to}] = chaos;
+}
+
+void SimNetwork::ClearLinkChaos(const std::string& from, const std::string& to) {
+  link_chaos_.erase({from, to});
+}
+
+void SimNetwork::SetEndpointChaos(const std::string& name, LinkChaos chaos) {
+  endpoint_chaos_[name] = chaos;
+}
+
+void SimNetwork::ClearEndpointChaos(const std::string& name) {
+  endpoint_chaos_.erase(name);
+}
+
+void SimNetwork::ClearAllChaos() {
+  link_chaos_.clear();
+  endpoint_chaos_.clear();
+}
+
+bool SimNetwork::ApplyChaos(const Message& msg, Micros* delay, bool* duplicate) {
+  if (link_chaos_.empty() && endpoint_chaos_.empty()) return true;
+  const LinkChaos* rules[3] = {nullptr, nullptr, nullptr};
+  auto link_it = link_chaos_.find({msg.from, msg.to});
+  if (link_it != link_chaos_.end()) rules[0] = &link_it->second;
+  auto from_it = endpoint_chaos_.find(msg.from);
+  if (from_it != endpoint_chaos_.end()) rules[1] = &from_it->second;
+  if (msg.to != msg.from) {
+    auto to_it = endpoint_chaos_.find(msg.to);
+    if (to_it != endpoint_chaos_.end()) rules[2] = &to_it->second;
+  }
+  for (const LinkChaos* rule : rules) {
+    if (rule == nullptr || !rule->Active()) continue;
+    if (rule->drop_probability > 0.0 &&
+        chaos_rng_.Chance(rule->drop_probability)) {
+      return false;
+    }
+    if (rule->extra_delay_max > 0) {
+      const Micros lo = rule->extra_delay_min;
+      const Micros hi = std::max(rule->extra_delay_max, lo);
+      *delay += static_cast<Micros>(chaos_rng_.UniformRange(lo, hi));
+    }
+    if (rule->duplicate_probability > 0.0 &&
+        chaos_rng_.Chance(rule->duplicate_probability)) {
+      *duplicate = true;
+    }
+  }
+  return true;
+}
 
 void SimNetwork::RegisterEndpoint(const std::string& name, Handler handler) {
   endpoints_[name] = std::move(handler);
@@ -62,8 +114,31 @@ bool SimNetwork::Send(Message msg, std::size_t payload_bytes) {
     }
     return false;
   }
+  Micros chaos_delay = delay;
+  bool duplicate = false;
+  if (!ApplyChaos(msg, &chaos_delay, &duplicate)) {
+    ++frames_dropped_;
+    ++dropped_chaos_;
+    return false;
+  }
   msg.sent_at = loop_->Now();
-  delivery_hist_.Record(delay);
+  delivery_hist_.Record(chaos_delay);
+  if (duplicate) {
+    // The copy rolls its own extra delay so the pair lands out of order
+    // more often than not — duplication doubles as a reordering stressor.
+    Micros dup_delay = delay;
+    bool dup_again = false;
+    if (ApplyChaos(msg, &dup_delay, &dup_again)) {
+      ++chaos_duplicates_;
+      ScheduleDelivery(msg, payload_bytes, dup_delay);
+    }
+  }
+  ScheduleDelivery(std::move(msg), payload_bytes, chaos_delay);
+  return true;
+}
+
+void SimNetwork::ScheduleDelivery(Message msg, std::size_t payload_bytes,
+                                  Micros delay) {
   loop_->Schedule(delay, [this, payload_bytes, msg = std::move(msg)]() {
     // Re-check on delivery: the endpoint may have died in flight.
     auto it = endpoints_.find(msg.to);
@@ -76,7 +151,6 @@ bool SimNetwork::Send(Message msg, std::size_t payload_bytes) {
     bytes_delivered_ += payload_bytes;
     it->second(msg);
   });
-  return true;
 }
 
 void SimNetwork::PartitionLink(const std::string& a, const std::string& b) {
@@ -110,6 +184,8 @@ void SimNetwork::ExportStats(metrics::Registry* registry) const {
   registry->counter("net.dropped_no_endpoint")->Increment(dropped_no_endpoint_);
   registry->counter("net.dropped_random")->Increment(dropped_random_);
   registry->counter("net.dropped_in_flight")->Increment(dropped_in_flight_);
+  registry->counter("net.dropped_chaos")->Increment(dropped_chaos_);
+  registry->counter("net.chaos_duplicates")->Increment(chaos_duplicates_);
   registry->histogram("net.delivery_delay")->MergeFrom(delivery_hist_);
 }
 

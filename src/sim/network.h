@@ -29,6 +29,23 @@ class SimNetwork {
 
   SimNetwork(EventLoop* loop, NetworkConfig config, std::uint64_t seed);
 
+  // --- chaos surface (drop/duplicate/reorder; see src/chaos/) ---------------
+
+  /// Installs a probabilistic fault rule on the *directed* link from->to
+  /// (asymmetric by construction: the reverse direction is untouched).
+  /// Replaces any previous rule on that direction.
+  void SetLinkChaos(const std::string& from, const std::string& to,
+                    LinkChaos chaos);
+  void ClearLinkChaos(const std::string& from, const std::string& to);
+
+  /// Installs a rule applying to every message `name` sends *or* receives
+  /// (a slow or flaky node rather than a flaky link).
+  void SetEndpointChaos(const std::string& name, LinkChaos chaos);
+  void ClearEndpointChaos(const std::string& name);
+
+  /// Removes every chaos rule (the nemesis "heal everything" step).
+  void ClearAllChaos();
+
   /// Registers `name` as a reachable endpoint. Re-registering replaces the
   /// handler (a restarted node).
   void RegisterEndpoint(const std::string& name, Handler handler);
@@ -70,6 +87,11 @@ class SimNetwork {
   std::size_t dropped_no_endpoint() const { return dropped_no_endpoint_; }
   std::size_t dropped_random() const { return dropped_random_; }
   std::size_t dropped_in_flight() const { return dropped_in_flight_; }
+  std::size_t dropped_chaos() const { return dropped_chaos_; }
+
+  /// Extra deliveries manufactured by duplication rules (each also counts
+  /// in messages_delivered(), which may therefore exceed messages_sent()).
+  std::size_t chaos_duplicates() const { return chaos_duplicates_; }
 
   /// Writes counters into `registry` under the shared "net.*" vocabulary
   /// (same names TcpTransport emits; see DESIGN.md "net"), so sim benches
@@ -84,13 +106,24 @@ class SimNetwork {
 
  private:
   Micros DeliveryDelay(std::size_t payload_bytes);
+  /// Applies every chaos rule matching msg.from -> msg.to. Returns false
+  /// when a drop rule fired; otherwise adds extra delay to `*delay` and
+  /// sets `*duplicate` when a duplication rule fired.
+  bool ApplyChaos(const Message& msg, Micros* delay, bool* duplicate);
+  void ScheduleDelivery(Message msg, std::size_t payload_bytes, Micros delay);
 
   EventLoop* loop_;
   NetworkConfig config_;
   Rng rng_;
+  /// Chaos rolls draw from a separate stream so installing/removing rules
+  /// never perturbs the base network's jitter/drop sequence: a run with the
+  /// nemesis disabled is bit-identical to one that never linked it.
+  Rng chaos_rng_;
   std::map<std::string, Handler> endpoints_;
   std::set<std::pair<std::string, std::string>> cut_links_;  // normalized pairs
   std::set<std::string> disconnected_;
+  std::map<std::pair<std::string, std::string>, LinkChaos> link_chaos_;
+  std::map<std::string, LinkChaos> endpoint_chaos_;
   std::size_t frames_sent_ = 0;
   std::size_t frames_dropped_ = 0;
   std::size_t frames_delivered_ = 0;
@@ -101,6 +134,8 @@ class SimNetwork {
   std::size_t dropped_no_endpoint_ = 0;
   std::size_t dropped_random_ = 0;
   std::size_t dropped_in_flight_ = 0;
+  std::size_t dropped_chaos_ = 0;
+  std::size_t chaos_duplicates_ = 0;
   metrics::Histogram delivery_hist_;
 };
 

@@ -18,6 +18,25 @@ struct NetworkConfig {
   double drop_probability = 0.0;      ///< uniform message loss
 };
 
+/// One chaos rule on a directed link or an endpoint (the nemesis surface
+/// the chaos harness drives; see src/chaos/). Unlike PartitionLink — a
+/// hard bidirectional cut — these are probabilistic, directional, and
+/// compose: a message crossing several matching rules rolls each one.
+struct LinkChaos {
+  double drop_probability = 0.0;       ///< lose the message (asymmetric drop)
+  double duplicate_probability = 0.0;  ///< deliver a second copy
+  /// Extra delivery delay, uniform in [extra_delay_min, extra_delay_max].
+  /// Because every message is scheduled independently, a randomized extra
+  /// delay *is* reordering: a later message can overtake an earlier one.
+  Micros extra_delay_min = 0;
+  Micros extra_delay_max = 0;
+
+  bool Active() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           extra_delay_max > 0;
+  }
+};
+
 }  // namespace hotman::sim
 
 #endif  // HOTMAN_SIM_NETWORK_CONFIG_H_

@@ -1,0 +1,90 @@
+#include "workload/history.h"
+
+#include "hashring/md5.h"
+
+namespace hotman::workload {
+
+std::uint64_t History::Invoke(int client, OpKind kind, const std::string& key,
+                              const std::string& value, Micros now) {
+  const std::uint64_t id = next_id_++;
+  HistoryOp op;
+  op.id = id;
+  op.client = client;
+  op.kind = kind;
+  op.key = key;
+  op.value = value;
+  op.invoked_at = now;
+  index_.emplace(id, ops_.size());
+  ops_.push_back(std::move(op));
+  return id;
+}
+
+void History::Complete(std::uint64_t id, OpStatus status,
+                       const std::string& value,
+                       const std::string& coordinator, Micros now) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  HistoryOp& op = ops_[it->second];
+  if (op.completed) return;  // first completion wins
+  op.completed = true;
+  op.status = status;
+  op.completed_at = now;
+  op.coordinator = coordinator;
+  if (op.kind == OpKind::kGet) op.value = value;
+}
+
+std::string History::Canonical() const {
+  std::string out;
+  out.reserve(ops_.size() * 64);
+  for (const HistoryOp& op : ops_) {
+    out += std::to_string(op.id);
+    out += " c";
+    out += std::to_string(op.client);
+    out += ' ';
+    out += KindName(op.kind);
+    out += ' ';
+    out += op.key;
+    out += " v=";
+    out += op.value;
+    out += ' ';
+    out += op.completed ? StatusName(op.status) : "pending";
+    out += " i=";
+    out += std::to_string(op.invoked_at);
+    out += " d=";
+    out += std::to_string(op.completed_at);
+    out += " @";
+    out += op.coordinator;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string History::HexHash() const {
+  return hashring::Md5::HexDigest(Canonical());
+}
+
+const char* History::KindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kPut:
+      return "put";
+    case OpKind::kGet:
+      return "get";
+    case OpKind::kDelete:
+      return "del";
+  }
+  return "?";
+}
+
+const char* History::StatusName(OpStatus status) {
+  switch (status) {
+    case OpStatus::kOk:
+      return "ok";
+    case OpStatus::kNotFound:
+      return "absent";
+    case OpStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+}  // namespace hotman::workload

@@ -1,0 +1,82 @@
+#ifndef HOTMAN_WORKLOAD_HISTORY_H_
+#define HOTMAN_WORKLOAD_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace hotman::workload {
+
+/// What a recorded client operation did.
+enum class OpKind { kPut, kGet, kDelete };
+
+/// How a recorded client operation ended.
+///
+/// For reads, kOk carries a value and kNotFound is an authoritative
+/// absence. For writes, kOk means the coordinator acknowledged the quorum;
+/// kFailed means the client saw an error or timeout — the write is
+/// *indeterminate* (it may still have landed on some replicas), and the
+/// consistency checker must treat it as "possibly visible, never required".
+enum class OpStatus { kOk, kNotFound, kFailed };
+
+/// One client operation, recorded at invocation and completion — the unit
+/// of the chaos harness's history log (a Jepsen-style complete history).
+struct HistoryOp {
+  std::uint64_t id = 0;   ///< unique, in invocation order
+  int client = 0;         ///< sequential session the op belongs to
+  OpKind kind = OpKind::kPut;
+  std::string key;
+  /// Put: the (unique) value written. Get: the value returned, empty on
+  /// absence. Delete: empty.
+  std::string value;
+  OpStatus status = OpStatus::kFailed;
+  Micros invoked_at = 0;
+  Micros completed_at = 0;  ///< 0 while in flight (never completed)
+  bool completed = false;
+  std::string coordinator;  ///< node that answered, when known
+};
+
+/// Append-only history of client operations against the cluster.
+///
+/// The chaos harness records every operation's invocation and completion
+/// here; the offline checker (chaos/checker.h) replays the result against
+/// the NWR consistency model. `Canonical()` is a stable text rendering and
+/// `HexHash()` its MD5 — two runs with the same seed must produce the same
+/// hash (the harness's determinism contract).
+class History {
+ public:
+  /// Records the start of an operation; returns its id. `value` is the
+  /// written value for puts (empty otherwise).
+  std::uint64_t Invoke(int client, OpKind kind, const std::string& key,
+                       const std::string& value, Micros now);
+
+  /// Records completion. For gets, `value` is the returned value (empty on
+  /// absence or failure). `coordinator` may be empty when unknown.
+  void Complete(std::uint64_t id, OpStatus status, const std::string& value,
+                const std::string& coordinator, Micros now);
+
+  const std::vector<HistoryOp>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+
+  /// One line per operation in invocation order — the canonical rendering
+  /// hashed for determinism checks and written to history files.
+  std::string Canonical() const;
+
+  /// MD5 hex digest of Canonical().
+  std::string HexHash() const;
+
+  static const char* KindName(OpKind kind);
+  static const char* StatusName(OpStatus status);
+
+ private:
+  std::vector<HistoryOp> ops_;
+  std::map<std::uint64_t, std::size_t> index_;  // id -> position in ops_
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace hotman::workload
+
+#endif  // HOTMAN_WORKLOAD_HISTORY_H_

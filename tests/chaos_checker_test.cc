@@ -1,0 +1,212 @@
+// Unit tests for the offline consistency checker (chaos/checker.h) against
+// hand-built synthetic histories. Each rule gets a positive case (the
+// violation is flagged) and a guard case (a legal-but-similar history is
+// NOT flagged) — the guards are what keep the chaos sweeps from crying
+// wolf on concurrent or indeterminate operations.
+
+#include "chaos/checker.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "workload/history.h"
+
+namespace hotman::chaos {
+namespace {
+
+using workload::History;
+using workload::OpKind;
+using workload::OpStatus;
+
+// Appends a complete operation in one call: invoked at `t0`, done at `t1`.
+// For gets, `result` is the value read (empty = absence).
+std::uint64_t Op(History* h, int client, OpKind kind, const std::string& key,
+                 const std::string& value, Micros t0, Micros t1,
+                 OpStatus status, const std::string& result = "") {
+  const std::uint64_t id = h->Invoke(client, kind, key, value, t0);
+  h->Complete(id, status, kind == OpKind::kGet ? result : "", "db1", t1);
+  return id;
+}
+
+std::uint64_t Put(History* h, int client, const std::string& key,
+                  const std::string& value, Micros t0, Micros t1,
+                  OpStatus status = OpStatus::kOk) {
+  return Op(h, client, OpKind::kPut, key, value, t0, t1, status);
+}
+
+std::uint64_t Get(History* h, int client, const std::string& key, Micros t0,
+                  Micros t1, const std::string& result) {
+  return Op(h, client, OpKind::kGet, key, "", t0, t1,
+            result.empty() ? OpStatus::kNotFound : OpStatus::kOk, result);
+}
+
+std::uint64_t Del(History* h, int client, const std::string& key, Micros t0,
+                  Micros t1, OpStatus status = OpStatus::kOk) {
+  return Op(h, client, OpKind::kDelete, key, "", t0, t1, status);
+}
+
+std::map<std::string, FinalKeyState> FinalIs(const std::string& key,
+                                             const std::string& value) {
+  std::map<std::string, FinalKeyState> state;
+  state[key] = FinalKeyState{!value.empty(), value};
+  return state;
+}
+
+bool Has(const CheckReport& report, ViolationKind kind) {
+  for (const Violation& v : report.violations) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(ChaosChecker, CleanHistoryIsConsistent) {
+  History h;
+  Put(&h, 1, "k", "a", 0, 10);
+  Get(&h, 2, "k", 20, 30, "a");
+  Put(&h, 1, "k", "b", 40, 50);
+  Get(&h, 2, "k", 60, 70, "b");
+  const CheckReport report = CheckHistory(h, FinalIs("k", "b"), CheckOptions{});
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.reads_checked, 2u);
+  EXPECT_EQ(report.writes_acked, 2u);
+}
+
+TEST(ChaosChecker, PhantomReadFlagged) {
+  History h;
+  Put(&h, 1, "k", "a", 0, 10);
+  Get(&h, 2, "k", 20, 30, "never-written");
+  const CheckReport report = CheckHistory(h, FinalIs("k", "a"), CheckOptions{});
+  EXPECT_TRUE(Has(report, ViolationKind::kPhantomRead)) << report.Summary();
+}
+
+TEST(ChaosChecker, ValueWrittenToAnotherKeyIsPhantom) {
+  History h;
+  Put(&h, 1, "k1", "a", 0, 10);
+  Put(&h, 1, "k2", "b", 20, 30);
+  Get(&h, 2, "k2", 40, 50, "a");  // "a" exists — but on k1
+  const CheckReport report = CheckHistory(h, FinalIs("k2", "b"), CheckOptions{});
+  EXPECT_TRUE(Has(report, ViolationKind::kPhantomRead)) << report.Summary();
+}
+
+TEST(ChaosChecker, StaleReadFlagged) {
+  History h;
+  Put(&h, 1, "k", "a", 0, 10);
+  Put(&h, 1, "k", "b", 20, 30);   // acked strictly before the read
+  Get(&h, 2, "k", 40, 50, "a");   // yet the read sees the old value
+  const CheckReport report = CheckHistory(h, FinalIs("k", "b"), CheckOptions{});
+  EXPECT_TRUE(Has(report, ViolationKind::kStaleRead)) << report.Summary();
+}
+
+TEST(ChaosChecker, ConcurrentWriteIsNotStale) {
+  History h;
+  Put(&h, 1, "k", "a", 0, 10);
+  Put(&h, 1, "k", "b", 20, 60);  // still in flight when the read begins
+  Get(&h, 2, "k", 40, 50, "a");
+  const CheckReport report = CheckHistory(h, FinalIs("k", "b"), CheckOptions{});
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(ChaosChecker, IndeterminateWriteIsNeverEvidence) {
+  History h;
+  Put(&h, 1, "k", "a", 0, 10);
+  Put(&h, 1, "k", "b", 20, 30, OpStatus::kFailed);  // timed out at the client
+  Get(&h, 2, "k", 40, 50, "a");  // fine: "b" may never have landed
+  Get(&h, 2, "k", 60, 70, "b");  // also fine: "b" may have landed late
+  const CheckReport report = CheckHistory(h, FinalIs("k", "b"), CheckOptions{});
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.indeterminate_writes, 1u);
+}
+
+TEST(ChaosChecker, StaleAbsenceFlagged) {
+  History h;
+  Put(&h, 1, "k", "a", 0, 10);
+  Get(&h, 2, "k", 20, 30, "");  // nothing, though the put settled at t=10
+  const CheckReport report = CheckHistory(h, FinalIs("k", "a"), CheckOptions{});
+  EXPECT_TRUE(Has(report, ViolationKind::kStaleAbsence)) << report.Summary();
+}
+
+TEST(ChaosChecker, IndeterminateDeleteJustifiesAbsence) {
+  History h;
+  Put(&h, 1, "k", "a", 0, 10);
+  Del(&h, 3, "k", 5, 40, OpStatus::kFailed);  // may have landed anyway
+  Get(&h, 2, "k", 20, 30, "");
+  const CheckReport report = CheckHistory(h, FinalIs("k", ""), CheckOptions{});
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(ChaosChecker, ReadYourWritesFlagged) {
+  History h;
+  Put(&h, 2, "k", "old", 0, 10);
+  Put(&h, 1, "k", "mine", 20, 30);
+  Get(&h, 1, "k", 40, 50, "old");  // client 1 forgot its own acked put
+  CheckOptions options;
+  options.check_stale_reads = false;  // isolate the session rule
+  const CheckReport report = CheckHistory(h, FinalIs("k", "mine"), options);
+  EXPECT_TRUE(Has(report, ViolationKind::kReadYourWrites)) << report.Summary();
+}
+
+TEST(ChaosChecker, OtherSessionsMayReadStaleUnderSloppyProfile) {
+  History h;
+  Put(&h, 2, "k", "old", 0, 10);
+  Put(&h, 1, "k", "mine", 20, 30);
+  Get(&h, 3, "k", 40, 50, "old");  // a *different* client: not an RYW issue
+  CheckOptions options;
+  options.check_stale_reads = false;
+  const CheckReport report = CheckHistory(h, FinalIs("k", "mine"), options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(ChaosChecker, LostUpdateFlagged) {
+  History h;
+  const std::uint64_t first = Put(&h, 1, "k", "a", 0, 10);
+  const std::uint64_t second = Put(&h, 1, "k", "b", 20, 30);
+  // The cluster converged on the OLD value although the newer write acked.
+  const CheckReport report = CheckHistory(h, FinalIs("k", "a"), CheckOptions{});
+  ASSERT_TRUE(Has(report, ViolationKind::kLostUpdate)) << report.Summary();
+  EXPECT_EQ(report.violations[0].op, first);
+  EXPECT_EQ(report.violations[0].evidence, second);
+}
+
+TEST(ChaosChecker, VanishedAckedPutFlagged) {
+  History h;
+  Put(&h, 1, "k", "a", 0, 10);
+  const CheckReport report = CheckHistory(h, FinalIs("k", ""), CheckOptions{});
+  EXPECT_TRUE(Has(report, ViolationKind::kLostUpdate)) << report.Summary();
+}
+
+TEST(ChaosChecker, AckedDeleteExplainsFinalAbsence) {
+  History h;
+  Put(&h, 1, "k", "a", 0, 10);
+  Del(&h, 1, "k", 20, 30);
+  const CheckReport report = CheckHistory(h, FinalIs("k", ""), CheckOptions{});
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(ChaosChecker, OptionsGateTheRealTimeRules) {
+  History h;
+  Put(&h, 1, "k", "a", 0, 10);
+  Put(&h, 1, "k", "b", 20, 30);
+  Get(&h, 2, "k", 40, 50, "a");  // stale — but the sloppy profile allows it
+  CheckOptions options;
+  options.check_stale_reads = false;
+  options.check_read_your_writes = false;
+  const CheckReport report = CheckHistory(h, FinalIs("k", "b"), options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(ChaosChecker, HistoryHashIsStable) {
+  History a;
+  Put(&a, 1, "k", "v1", 0, 10);
+  Get(&a, 2, "k", 20, 30, "v1");
+  History b;
+  Put(&b, 1, "k", "v1", 0, 10);
+  Get(&b, 2, "k", 20, 30, "v1");
+  EXPECT_EQ(a.HexHash(), b.HexHash());
+  Put(&b, 1, "k", "v2", 40, 50);
+  EXPECT_NE(a.HexHash(), b.HexHash());
+}
+
+}  // namespace
+}  // namespace hotman::chaos

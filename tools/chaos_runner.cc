@@ -1,0 +1,146 @@
+// chaos_runner: seeded chaos experiments against the simulated cluster.
+//
+// One seed, full determinism:
+//   chaos_runner --seed=42                 # one quorum-profile run
+//   chaos_runner --seed=42 --profile=convergence
+//   chaos_runner --seed=42 --verify        # run twice, compare history hashes
+//   chaos_runner --seeds=1-50              # sweep; prints failing seeds
+//   chaos_runner --seeds=1-200 --profile=convergence --quiet
+//
+// Exit code 0 when every run is checker-clean (and, with --verify,
+// deterministic); 1 otherwise. The failing seeds line is machine-parsable
+// ("FAILING_SEEDS: 3 17") so CI sweeps can archive it.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chaos/harness.h"
+
+namespace {
+
+using hotman::chaos::ChaosOptions;
+using hotman::chaos::ChaosResult;
+using hotman::chaos::RunChaos;
+using hotman::chaos::Violation;
+
+struct Args {
+  std::uint64_t seed_lo = 1;
+  std::uint64_t seed_hi = 1;
+  std::string profile = "quorum";
+  bool verify = false;
+  bool quiet = false;
+  bool show_history = false;
+  bool show_nemesis = false;
+  std::string lying_replica;  // negative-control passthrough
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: chaos_runner [--seed=N | --seeds=LO-HI]\n"
+               "                    [--profile=quorum|convergence]\n"
+               "                    [--verify] [--quiet] [--history]\n"
+               "                    [--nemesis-log] [--lying-replica=ADDR]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      return arg.compare(0, n, flag) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--seed=")) {
+      args->seed_lo = args->seed_hi = std::strtoull(v, nullptr, 10);
+    } else if (const char* range = value("--seeds=")) {
+      char* dash = nullptr;
+      args->seed_lo = std::strtoull(range, &dash, 10);
+      args->seed_hi = (dash != nullptr && *dash == '-')
+                          ? std::strtoull(dash + 1, nullptr, 10)
+                          : args->seed_lo;
+    } else if (const char* name = value("--profile=")) {
+      args->profile = name;
+    } else if (const char* addr = value("--lying-replica=")) {
+      args->lying_replica = addr;
+    } else if (arg == "--verify") {
+      args->verify = true;
+    } else if (arg == "--quiet") {
+      args->quiet = true;
+    } else if (arg == "--history") {
+      args->show_history = true;
+    } else if (arg == "--nemesis-log") {
+      args->show_nemesis = true;
+    } else {
+      Usage();
+      return false;
+    }
+  }
+  if (args->seed_hi < args->seed_lo ||
+      (args->profile != "quorum" && args->profile != "convergence")) {
+    Usage();
+    return false;
+  }
+  return true;
+}
+
+ChaosOptions OptionsFor(const Args& args, std::uint64_t seed) {
+  ChaosOptions options = args.profile == "quorum"
+                             ? ChaosOptions::QuorumProfile(seed)
+                             : ChaosOptions::ConvergenceProfile(seed);
+  options.lying_replica = args.lying_replica;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  std::vector<std::uint64_t> failing;
+  bool nondeterministic = false;
+
+  for (std::uint64_t seed = args.seed_lo; seed <= args.seed_hi; ++seed) {
+    ChaosResult result = RunChaos(OptionsFor(args, seed));
+
+    std::string verdict = result.ok() ? "ok" : "VIOLATIONS";
+    if (args.verify) {
+      ChaosResult again = RunChaos(OptionsFor(args, seed));
+      if (again.history_hash != result.history_hash) {
+        nondeterministic = true;
+        verdict = "NONDETERMINISTIC";
+      }
+    }
+    if (!result.ok()) failing.push_back(seed);
+
+    if (!args.quiet || !result.ok()) {
+      std::printf("seed=%llu profile=%s hash=%s ops=%zu faults=%zu %s\n",
+                  static_cast<unsigned long long>(seed), args.profile.c_str(),
+                  result.history_hash.c_str(), result.history.size(),
+                  result.faults_injected, verdict.c_str());
+      if (!result.ok()) {
+        std::printf("%s\n", result.report.Summary().c_str());
+      }
+    }
+    if (args.show_nemesis) {
+      for (const std::string& line : result.nemesis_log) {
+        std::printf("  %s\n", line.c_str());
+      }
+    }
+    if (args.show_history) {
+      std::fputs(result.history.Canonical().c_str(), stdout);
+    }
+  }
+
+  if (args.seed_hi > args.seed_lo || !failing.empty()) {
+    std::string seeds;
+    for (std::uint64_t seed : failing) {
+      seeds += " " + std::to_string(seed);
+    }
+    std::printf("FAILING_SEEDS:%s\n", seeds.c_str());
+  }
+  return (failing.empty() && !nondeterministic) ? 0 : 1;
+}

@@ -6,8 +6,8 @@ Registered as the `lint_hotman` ctest, so `ctest -L lint` enforces it.
 
 Checks
 ------
-1. Event-loop discipline. `src/sim/`, `src/cluster/` and `src/gossip/` are
-   deterministic single-threaded event-loop code: experiments must replay
+1. Event-loop discipline. `src/sim/`, `src/cluster/`, `src/gossip/` and
+   `src/chaos/` are deterministic single-threaded event-loop code: experiments must replay
    bit-identically from a seed, so those layers may not create threads,
    take locks, block, or read wall-clock time. Forbidden there:
    std::mutex / hotman::Mutex, std::thread, condition variables, futures,
@@ -48,7 +48,7 @@ import sys
 # and sockets; the discipline it must honor instead is "handlers fire on
 # one loop thread", which the transport-boundary rule keeps at arm's
 # length from the event-loop layers.
-EVENT_LOOP_DIRS = {"sim", "cluster", "gossip"}
+EVENT_LOOP_DIRS = {"sim", "cluster", "gossip", "chaos"}
 
 # Directories written against net::Transport (rule 4): direct simulator
 # network access would silently re-couple them to virtual time.
@@ -104,6 +104,12 @@ ALLOWED_DEPS = {
     "workload": {"baselines", "bson", "cache", "cluster", "common", "core",
                  "docstore", "gossip", "hashring", "net", "query", "rest",
                  "sim"},
+    # The chaos harness drives a whole simulated cluster and replays its
+    # history offline; it sits above everything except the CLI tools. It is
+    # deliberately part of EVENT_LOOP_DIRS: runs must replay bit-identically
+    # from a seed, so file I/O and wall-clock time live in tools/, not here.
+    "chaos": {"bson", "cluster", "common", "core", "docstore", "gossip",
+              "hashring", "net", "sim", "workload"},
 }
 
 # File-granular exceptions to ALLOWED_DEPS: (directory, included header).
