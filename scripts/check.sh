@@ -45,6 +45,9 @@ job_chaos() {
     ./build-check-default/tools/chaos_runner \
       --seeds="${seeds}" --profile="${profile}" --verify --quiet
   done
+  echo "==> [chaos] chaos_runner --seeds=${seeds} --profile=quorum --fast-reads --verify"
+  ./build-check-default/tools/chaos_runner \
+    --seeds="${seeds}" --profile=quorum --fast-reads --verify --quiet
 }
 
 job_coverage() { scripts/coverage.sh; }

@@ -146,6 +146,7 @@ ChaosResult RunChaos(const ChaosOptions& options) {
   config.read_quorum = options.read_quorum;
   config.hinted_handoff = options.hinted_handoff;
   config.read_repair = options.read_repair;
+  config.fast_reads = options.fast_reads;
   config.anti_entropy = options.anti_entropy;
   config.anti_entropy_interval = 2 * kMicrosPerSecond;
   config.chaos_lying_replica = options.lying_replica;

@@ -27,6 +27,10 @@ struct ChaosOptions {
   bool hinted_handoff = true;
   bool read_repair = true;
   bool anti_entropy = true;
+  /// Dirty-set fast read path (primary-anchored single-replica reads of
+  /// clean keys). Only engages when hinted_handoff is off; the checker's
+  /// full real-time rule set is exactly what proves it safe.
+  bool fast_reads = false;
   /// Negative control: this replica acks writes without applying them
   /// (see ClusterConfig::chaos_lying_replica). Empty = honest cluster.
   std::string lying_replica;

@@ -317,6 +317,11 @@ NodeStats Cluster::AggregateStats() {
     total.handoff_writes += s.handoff_writes;
     total.hints_delivered += s.hints_delivered;
     total.read_repairs += s.read_repairs;
+    total.read_repairs_skipped_dead += s.read_repairs_skipped_dead;
+    total.fast_read_hits += s.fast_read_hits;
+    total.fast_read_fallbacks += s.fast_read_fallbacks;
+    total.fast_read_demotions += s.fast_read_demotions;
+    total.get_acks_corrupt += s.get_acks_corrupt;
     total.rereplications += s.rereplications;
     total.ae_rounds += s.ae_rounds;
     total.ae_pushed += s.ae_pushed;
@@ -339,6 +344,12 @@ std::string Cluster::StatsJson() {
   registry.counter("handoff_writes")->Increment(total.handoff_writes);
   registry.counter("hints_delivered")->Increment(total.hints_delivered);
   registry.counter("read_repairs")->Increment(total.read_repairs);
+  registry.counter("read_repairs_skipped_dead")
+      ->Increment(total.read_repairs_skipped_dead);
+  registry.counter("fast_read_hits")->Increment(total.fast_read_hits);
+  registry.counter("fast_read_fallbacks")->Increment(total.fast_read_fallbacks);
+  registry.counter("fast_read_demotions")->Increment(total.fast_read_demotions);
+  registry.counter("get_acks_corrupt")->Increment(total.get_acks_corrupt);
   registry.counter("rereplications")->Increment(total.rereplications);
   registry.counter("ae_rounds")->Increment(total.ae_rounds);
   transport_.ExportStats(&registry);
@@ -346,11 +357,16 @@ std::string Cluster::StatsJson() {
   registry.gauge("virtual_now_us")->Set(loop_.Now());
   metrics::Histogram* put_lat = registry.histogram("put_latency_us");
   metrics::Histogram* get_lat = registry.histogram("get_latency_us");
+  metrics::Histogram* fast_get_lat = registry.histogram("fast_get_latency_us");
+  metrics::Histogram* quorum_get_lat =
+      registry.histogram("quorum_get_latency_us");
   metrics::Histogram* queue_wait = registry.histogram("replica_queue_wait_us");
   metrics::Histogram* service = registry.histogram("replica_service_us");
   for (auto& [address, node] : nodes_) {
     put_lat->MergeFrom(node->put_latency_histogram());
     get_lat->MergeFrom(node->get_latency_histogram());
+    fast_get_lat->MergeFrom(node->fast_get_latency_histogram());
+    quorum_get_lat->MergeFrom(node->quorum_get_latency_histogram());
     if (node->station() != nullptr) {
       queue_wait->MergeFrom(node->station()->queue_wait_histogram());
       service->MergeFrom(node->station()->service_histogram());

@@ -42,6 +42,22 @@ struct ClusterConfig {
   bool read_repair = true;          ///< replica supplementation on Get
   Micros hint_retry_interval = 2 * kMicrosPerSecond;
 
+  // --- fast consistent reads (Harmonia-style dirty-set read path) ---
+  /// Serve reads of *clean* keys (no write in flight or recently unsettled
+  /// at this coordinator) with a single replica read at the key's primary
+  /// holder instead of the full R-quorum fan-out. To keep the quorum
+  /// intersection, writes are then primary-anchored: in strict mode
+  /// (hinted_handoff off) a write only succeeds once the primary acked, so
+  /// every completed write set contains the primary and the one-replica
+  /// read set {primary} intersects it. Dirty keys, a suspected/missing
+  /// primary, and single-replica misses/errors/timeouts all fall back to
+  /// the R-quorum path.
+  bool fast_reads = false;
+  /// How long a key stays dirty after a write that did not settle on all N
+  /// holders (some holder may still be catching up via read repair or
+  /// anti-entropy; quorum reads keep repair pressure on it meanwhile).
+  Micros fast_read_quiescence = 3 * kMicrosPerSecond;
+
   // --- chaos negative controls (test-only; see src/chaos/) ---
   /// Address of a replica that acknowledges put_replica traffic *without
   /// applying it* — a deliberately broken node that makes write quorums

@@ -129,6 +129,12 @@ std::string NodeServer::StatsJson() const {
   registry.counter("handoff_writes")->Increment(s.handoff_writes);
   registry.counter("hints_delivered")->Increment(s.hints_delivered);
   registry.counter("read_repairs")->Increment(s.read_repairs);
+  registry.counter("read_repairs_skipped_dead")
+      ->Increment(s.read_repairs_skipped_dead);
+  registry.counter("fast_read_hits")->Increment(s.fast_read_hits);
+  registry.counter("fast_read_fallbacks")->Increment(s.fast_read_fallbacks);
+  registry.counter("fast_read_demotions")->Increment(s.fast_read_demotions);
+  registry.counter("get_acks_corrupt")->Increment(s.get_acks_corrupt);
   registry.counter("rereplications")->Increment(s.rereplications);
   registry.counter("ae_rounds")->Increment(s.ae_rounds);
   registry.counter("client_puts")->Increment(client_puts_);
@@ -136,6 +142,10 @@ std::string NodeServer::StatsJson() const {
   registry.counter("client_deletes")->Increment(client_deletes_);
   registry.histogram("put_latency_us")->MergeFrom(node_->put_latency_histogram());
   registry.histogram("get_latency_us")->MergeFrom(node_->get_latency_histogram());
+  registry.histogram("fast_get_latency_us")
+      ->MergeFrom(node_->fast_get_latency_histogram());
+  registry.histogram("quorum_get_latency_us")
+      ->MergeFrom(node_->quorum_get_latency_histogram());
   if (node_->station() != nullptr) {
     registry.histogram("replica_queue_wait_us")
         ->MergeFrom(node_->station()->queue_wait_histogram());

@@ -117,6 +117,7 @@ void StorageNode::Stop() {
       get.cb(Status::Unavailable("coordinator stopped: " + id_));
     }
   }
+  dirty_keys_.clear();
   transport_->UnregisterEndpoint(id_);
 }
 
@@ -339,6 +340,7 @@ void StorageNode::StartPut(bson::Document record, PutCallback cb) {
   put.cb = std::move(cb);
   put.started_at = transport_->NowMicros();
   put.needed = std::min<int>(config_.write_quorum, static_cast<int>(targets.size()));
+  put.pref_targets = targets;
   for (const std::string& target : targets) {
     put.responded.emplace(target, false);
     put.used.insert(target);
@@ -348,6 +350,7 @@ void StorageNode::StartPut(bson::Document record, PutCallback cb) {
   put.cleanup_event = transport_->ScheduleTimer(4 * config_.put_timeout,
                                       [this, req]() { OnPutCleanup(req); });
   pending_puts_.emplace(req, std::move(put));
+  MarkKeyDirty(key);
 
   // The primary stores the original record (isData=1) and the other N-1
   // preference nodes store copies; all replications run concurrently.
@@ -405,10 +408,18 @@ void StorageNode::HandlePutAck(const net::Message& msg) {
     if (responded_it->second) return;  // duplicate
     responded_it->second = true;
   }
-  put.last_queue = ack->queue_micros;
-  put.last_service = ack->service_micros;
-  put.last_replica = msg.from;
   if (ack->ok) {
+    // Latency attribution only from successful replies: a nack's
+    // queue/service numbers describe a replica that did *not* serve the
+    // write, and tracing them would blame the wrong node.
+    put.last_queue = ack->queue_micros;
+    put.last_service = ack->service_micros;
+    put.last_replica = msg.from;
+    if (msg.from == put.primary) put.primary_ok = true;
+    if (std::find(put.pref_targets.begin(), put.pref_targets.end(), msg.from) !=
+        put.pref_targets.end()) {
+      put.ok_acks.insert(msg.from);
+    }
     ++put.acks;
   } else {
     // Abnormal event: "the system must find other storage node, and try to
@@ -438,7 +449,11 @@ void StorageNode::TryHandoff(std::uint64_t req, PendingPut* put,
 }
 
 void StorageNode::MaybeFinishPut(std::uint64_t req, PendingPut* put) {
-  if (!put->done && put->acks >= put->needed) {
+  // With fast reads in strict mode the write is primary-anchored: W acks
+  // alone are not enough, the primary must be among them. That keeps the
+  // single-replica read set {primary} inside every completed write set.
+  if (!put->done && put->acks >= put->needed &&
+      (!RequirePrimaryAck() || put->primary_ok)) {
     put->done = true;
     ++stats_.puts_succeeded;
     RecordPutOutcome(*put, req, /*ok=*/true);
@@ -463,6 +478,8 @@ void StorageNode::MaybeFinishPut(std::uint64_t req, PendingPut* put) {
   }
   transport_->CancelTimer(put->timeout_event);
   transport_->CancelTimer(put->cleanup_event);
+  RetireDirtyKey(put->key,
+                 /*settled_all_n=*/put->ok_acks.size() == put->pref_targets.size());
   pending_puts_.erase(req);
 }
 
@@ -534,6 +551,8 @@ void StorageNode::OnPutCleanup(std::uint64_t req) {
     put.cb(Status::QuorumFailed("write quorum not reached for key " + put.key));
   }
   transport_->CancelTimer(put.timeout_event);
+  RetireDirtyKey(put.key,
+                 /*settled_all_n=*/put.ok_acks.size() == put.pref_targets.size());
   pending_puts_.erase(it);
 }
 
@@ -542,23 +561,53 @@ void StorageNode::OnPutCleanup(std::uint64_t req) {
 void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
   ++stats_.gets_coordinated;
   if (injector_ != nullptr) injector_->MaybeInjectAnywhere();
-  std::vector<std::string> targets = PreferenceNodes(key);
-  // Skip replicas the detector knows are dead (they cannot answer and
-  // would stall the all-replied miss path) — but never below the read
-  // quorum: the detector can be wrong during asymmetric partitions, and
-  // shrinking the contact list under R would let the read complete without
-  // the R confirmations the R+W>N intersection is built on. When fewer
-  // than R targets look alive, contact the full preference list and let
-  // the timeout decide.
-  std::vector<std::string> alive;
-  alive.reserve(targets.size());
-  for (const std::string& target : targets) {
-    if (detector_->StatusOf(target) != gossip::Liveness::kDead) {
-      alive.push_back(target);
+  const Micros started_at = transport_->NowMicros();
+  if (config_.fast_reads) {
+    // Harmonia-style fast path: a key with no write in flight (and nothing
+    // recently unsettled) can be answered by the primary holder alone —
+    // primary-anchored writes guarantee the primary saw every completed
+    // write, so the one-replica read still intersects every write quorum.
+    // Anchoring only holds in strict mode (hinted handoff off): with
+    // substitutes taking writes for absent holders, a completed write may
+    // bypass the primary entirely, so the fast path must stand down.
+    if (RequirePrimaryAck() && KeyIsClean(key)) {
+      const std::vector<std::string> targets = PreferenceNodes(key);
+      if (!targets.empty() &&
+          detector_->StatusOf(targets.front()) == gossip::Liveness::kAlive) {
+        StartGet(key, std::move(cb), started_at, /*fast_path=*/true);
+        return;
+      }
     }
+    ++stats_.fast_read_fallbacks;
   }
-  if (static_cast<int>(alive.size()) >= config_.read_quorum) {
-    targets = std::move(alive);
+  StartGet(key, std::move(cb), started_at, /*fast_path=*/false);
+}
+
+void StorageNode::StartGet(const std::string& key, GetCallback cb,
+                           Micros started_at, bool fast_path) {
+  std::vector<std::string> targets = PreferenceNodes(key);
+  if (fast_path) {
+    // Single-replica read at the primary; any miss, error or timeout
+    // demotes to the quorum path instead of concluding.
+    if (!targets.empty()) targets.resize(1);
+  } else {
+    // Skip replicas the detector knows are dead (they cannot answer and
+    // would stall the all-replied miss path) — but never below the read
+    // quorum: the detector can be wrong during asymmetric partitions, and
+    // shrinking the contact list under R would let the read complete
+    // without the R confirmations the R+W>N intersection is built on.
+    // When fewer than R targets look alive, contact the full preference
+    // list and let the timeout decide.
+    std::vector<std::string> alive;
+    alive.reserve(targets.size());
+    for (const std::string& target : targets) {
+      if (detector_->StatusOf(target) != gossip::Liveness::kDead) {
+        alive.push_back(target);
+      }
+    }
+    if (static_cast<int>(alive.size()) >= config_.read_quorum) {
+      targets = std::move(alive);
+    }
   }
   if (targets.empty()) {
     ++stats_.gets_failed;
@@ -569,14 +618,20 @@ void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
   PendingGet get;
   get.key = key;
   get.cb = std::move(cb);
-  get.started_at = transport_->NowMicros();
+  get.started_at = started_at;
+  get.fast_path = fast_path;
   // Never degrade below R, even when the ring currently offers fewer
   // preference nodes: a read that cannot gather R confirmations must fail
-  // rather than silently weaken the quorum.
-  get.needed = config_.read_quorum;
+  // rather than silently weaken the quorum. (The fast path's R of 1 is
+  // safe because its write quorums are primary-anchored.)
+  get.needed = fast_path ? 1 : config_.read_quorum;
   get.targets = targets;
+  // Fast attempts keep half the budget so a demoted read can still finish
+  // a full quorum round inside the caller's patience window.
+  const Micros timeout =
+      fast_path ? config_.get_timeout / 2 : config_.get_timeout;
   get.timeout_event =
-      transport_->ScheduleTimer(config_.get_timeout, [this, req]() { OnGetTimeout(req); });
+      transport_->ScheduleTimer(timeout, [this, req]() { OnGetTimeout(req); });
   pending_gets_.emplace(req, std::move(get));
 
   GetReplicaMsg msg;
@@ -588,21 +643,77 @@ void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
   }
 }
 
+void StorageNode::DemoteGet(std::uint64_t req, PendingGet* get) {
+  ++stats_.fast_read_demotions;
+  transport_->CancelTimer(get->timeout_event);
+  const std::string key = get->key;
+  GetCallback cb = std::move(get->cb);
+  const Micros started_at = get->started_at;
+  pending_gets_.erase(req);
+  StartGet(key, std::move(cb), started_at, /*fast_path=*/false);
+}
+
 void StorageNode::HandleGetAck(const net::Message& msg) {
   auto ack = DecodeGetAck(msg.body);
-  if (!ack.ok()) return;
+  if (!ack.ok()) {
+    // An undecodable ack carries no request id, but it still came from a
+    // node some read is waiting on. Treat it as a failed reply for every
+    // pending read that is missing an answer from the sender, so the
+    // all-responded miss path can conclude early instead of stalling until
+    // get_timeout. A spurious match (two reads waiting on the same node)
+    // only costs a fallback, never a wrong answer: failed replies can't
+    // satisfy R.
+    ++stats_.get_acks_corrupt;
+    std::vector<std::uint64_t> affected;
+    for (const auto& [req, get] : pending_gets_) {
+      if (get.replies.count(msg.from) > 0) continue;
+      if (std::find(get.targets.begin(), get.targets.end(), msg.from) !=
+          get.targets.end()) {
+        affected.push_back(req);
+      }
+    }
+    for (std::uint64_t req : affected) {
+      auto it = pending_gets_.find(req);
+      if (it == pending_gets_.end()) continue;  // concluded by a prior turn
+      PendingGet& get = it->second;
+      if (get.fast_path && !get.done) {
+        DemoteGet(req, &get);
+        continue;
+      }
+      GetReply failed;
+      failed.ok = false;
+      get.replies.emplace(msg.from, std::move(failed));
+      MaybeFinishGet(req, &get);
+    }
+    return;
+  }
   auto it = pending_gets_.find(ack->req);
   if (it == pending_gets_.end()) return;
   PendingGet& get = it->second;
   if (get.replies.count(msg.from) > 0) return;  // duplicate
-  get.last_queue = ack->queue_micros;
-  get.last_service = ack->service_micros;
-  get.last_replica = msg.from;
+  if (ack->ok) {
+    // Attribution must come from a reply that can actually explain the
+    // outcome's latency: recording queue/service numbers from failed
+    // replies too would let the trace blame a replica that only ever
+    // returned an error.
+    get.last_queue = ack->queue_micros;
+    get.last_service = ack->service_micros;
+    get.last_replica = msg.from;
+  }
   GetReply reply;
   reply.ok = ack->ok;
   reply.found = ack->found;
   reply.record = std::move(ack->record);
+  const bool fast_retry = get.fast_path && (!reply.ok || !reply.found);
   get.replies.emplace(msg.from, std::move(reply));
+  if (fast_retry && !get.done) {
+    // The single-replica attempt could not answer. A one-replica miss is
+    // never authoritative (the primary may still be catching up from a
+    // crash) and an error says nothing either way — re-run as a quorum
+    // read before concluding anything.
+    DemoteGet(ack->req, &get);
+    return;
+  }
   MaybeFinishGet(ack->req, &get);
 }
 
@@ -620,9 +731,10 @@ void StorageNode::MaybeFinishGet(std::uint64_t req, PendingGet* get) {
   const bool all_responded = get->replies.size() == get->targets.size();
   if (!get->done) {
     if (winner != nullptr && successes >= get->needed) {
-      // Fast path: a found record plus R successful reads.
+      // A found record plus R successful reads (R = 1 on the fast path).
       get->done = true;
       ++stats_.gets_succeeded;
+      if (get->fast_path) ++stats_.fast_read_hits;
       RecordGetOutcome(*get, req, /*ok=*/true);
       get->cb(*winner);
     } else if (all_responded) {
@@ -656,7 +768,10 @@ void StorageNode::FinalizeGet(std::uint64_t req, PendingGet* get) {
   // Read repair (§5.2.2): "the Get operation gets all replications of the
   // specified key, and checks the number of replication. If replications
   // are less than N ... some more replications are supplemented."
-  if (config_.read_repair) {
+  // The fast path contacted a single replica, so there is no second reply
+  // to compare against — repair stays a quorum-path concern (dirty keys and
+  // demoted reads keep taking that path, so divergent keys still heal).
+  if (config_.read_repair && !get->fast_path) {
     const bson::Document* winner = nullptr;
     for (const auto& [from, reply] : get->replies) {
       if (!reply.ok || !reply.found) continue;
@@ -671,13 +786,24 @@ void StorageNode::FinalizeGet(std::uint64_t req, PendingGet* get) {
             reply_it == get->replies.end() || !reply_it->second.ok ||
             !reply_it->second.found ||
             core::SupersedesLww(*winner, reply_it->second.record);
-        if (needs_repair) {
-          PutReplicaMsg repair;
-          repair.req = 0;  // fire-and-forget
-          repair.record = core::AsReplicaCopy(*winner);
-          SendToNode(target, kMsgPutReplica, EncodePutReplica(repair));
-          ++stats_.read_repairs;
+        if (!needs_repair) continue;
+        if (detector_->StatusOf(target) == gossip::Liveness::kDead) {
+          // A dead node cannot take the repair; the message would sit in
+          // the transport's bounded outbound queue until dropped. Park it
+          // as a hint instead (when handoff is on) so the write-back timer
+          // delivers it once the node returns.
+          ++stats_.read_repairs_skipped_dead;
+          if (config_.hinted_handoff) {
+            hints_.Add(target, core::AsReplicaCopy(*winner),
+                       transport_->NowMicros());
+          }
+          continue;
         }
+        PutReplicaMsg repair;
+        repair.req = 0;  // fire-and-forget
+        repair.record = core::AsReplicaCopy(*winner);
+        SendToNode(target, kMsgPutReplica, EncodePutReplica(repair));
+        ++stats_.read_repairs;
       }
     }
   }
@@ -689,6 +815,12 @@ void StorageNode::OnGetTimeout(std::uint64_t req) {
   auto it = pending_gets_.find(req);
   if (it == pending_gets_.end()) return;
   PendingGet& get = it->second;
+  if (get.fast_path && !get.done) {
+    // The single-replica attempt ran out of its half of the budget; spend
+    // the remainder on a full quorum round.
+    DemoteGet(req, &get);
+    return;
+  }
   if (!get.done) {
     get.done = true;
     // Best effort with whatever arrived before the deadline — but never
@@ -723,6 +855,60 @@ void StorageNode::OnGetTimeout(std::uint64_t req) {
   FinalizeGet(req, &get);
 }
 
+// --- dirty-set bookkeeping (fast consistent reads) --------------------------
+
+void StorageNode::MarkKeyDirty(const std::string& key) {
+  if (!config_.fast_reads) return;
+  DirtyEntry& entry = dirty_keys_[key];
+  ++entry.inflight;
+  entry.last_write = transport_->NowMicros();
+  // Amortized sweep: retire entries whose quiescence window lapsed so the
+  // map tracks the recently-written working set, not every key ever
+  // written through this coordinator.
+  if (dirty_sweep_countdown_ == 0) {
+    dirty_sweep_countdown_ = 256;
+    const Micros now = transport_->NowMicros();
+    for (auto it = dirty_keys_.begin(); it != dirty_keys_.end();) {
+      const DirtyEntry& aged = it->second;
+      if (aged.inflight == 0 &&
+          now - aged.last_write >= config_.fast_read_quiescence) {
+        it = dirty_keys_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  --dirty_sweep_countdown_;
+}
+
+void StorageNode::RetireDirtyKey(const std::string& key, bool settled_all_n) {
+  auto it = dirty_keys_.find(key);
+  if (it == dirty_keys_.end()) return;
+  DirtyEntry& entry = it->second;
+  entry.inflight = std::max(0, entry.inflight - 1);
+  entry.last_write = transport_->NowMicros();
+  // Last decided write wins the verdict: a write that settled on all N
+  // holders left every replica with its (newer by LWW) value, so whatever
+  // an earlier write missed no longer matters for freshness.
+  entry.unsettled = !settled_all_n;
+  if (entry.inflight == 0 && !entry.unsettled) dirty_keys_.erase(it);
+}
+
+bool StorageNode::KeyIsClean(const std::string& key) {
+  auto it = dirty_keys_.find(key);
+  if (it == dirty_keys_.end()) return true;
+  const DirtyEntry& entry = it->second;
+  if (entry.inflight > 0) return false;
+  if (transport_->NowMicros() - entry.last_write <
+      config_.fast_read_quiescence) {
+    return false;
+  }
+  // Aged out: the quiescence window lapsed with nothing in flight, giving
+  // read repair and anti-entropy time to settle whatever the write missed.
+  dirty_keys_.erase(it);
+  return true;
+}
+
 // --- observability ----------------------------------------------------------
 
 void StorageNode::RecordPutOutcome(const PendingPut& put, std::uint64_t req,
@@ -749,6 +935,11 @@ void StorageNode::RecordGetOutcome(const PendingGet& get, std::uint64_t req,
                                    bool ok) {
   const Micros total = transport_->NowMicros() - get.started_at;
   get_latency_hist_.Record(total);
+  // Demoted reads record on the quorum histogram under their *original*
+  // start time: the fast detour they took is part of the latency the
+  // caller observed, not a separate measurement.
+  (get.fast_path ? fast_get_latency_hist_ : quorum_get_latency_hist_)
+      .Record(total);
   metrics::TraceRecord trace;
   trace.req = req;
   trace.op = metrics::TraceOp::kGet;

@@ -44,6 +44,11 @@ struct NodeStats {
   std::size_t handoff_writes = 0;       ///< writes redirected to a temp node
   std::size_t hints_delivered = 0;      ///< write-backs acknowledged
   std::size_t read_repairs = 0;         ///< replicas supplemented after Get
+  std::size_t read_repairs_skipped_dead = 0;  ///< repairs withheld from dead nodes
+  std::size_t fast_read_hits = 0;       ///< reads served by a single replica
+  std::size_t fast_read_fallbacks = 0;  ///< fast path refused at issue time
+  std::size_t fast_read_demotions = 0;  ///< fast attempt failed, re-ran as quorum
+  std::size_t get_acks_corrupt = 0;     ///< undecodable get acks from known targets
   std::size_t rereplications = 0;       ///< records re-pushed on ring change
   std::size_t ae_rounds = 0;            ///< anti-entropy exchanges initiated
   std::size_t ae_pushed = 0;            ///< records pushed by anti-entropy
@@ -141,6 +146,20 @@ class StorageNode {
   /// and failure combined; the cluster layer merges these for /stats.
   const metrics::Histogram& put_latency_histogram() const { return put_latency_hist_; }
   const metrics::Histogram& get_latency_histogram() const { return get_latency_hist_; }
+  /// Per-path read latency: reads decided by the single-replica fast path
+  /// vs. reads that went through (or demoted to) the R-quorum fan-out.
+  const metrics::Histogram& fast_get_latency_histogram() const {
+    return fast_get_latency_hist_;
+  }
+  const metrics::Histogram& quorum_get_latency_histogram() const {
+    return quorum_get_latency_hist_;
+  }
+
+  /// Dirty-set introspection (tests + /stats): true when a read of `key`
+  /// issued now would be eligible for the single-replica fast path as far
+  /// as the dirty set is concerned. Lazily retires aged-out entries.
+  bool KeyIsClean(const std::string& key);
+  std::size_t DirtyKeyCount() const { return dirty_keys_.size(); }
 
   /// Recent per-request trace records coordinated by this node.
   const metrics::TraceBuffer& traces() const { return traces_; }
@@ -166,8 +185,11 @@ class StorageNode {
     int needed = 0;
     int acks = 0;
     int timeout_wave = 0;
+    bool primary_ok = false;  ///< the primary holder acked the write
     std::map<std::string, bool> responded;  // target -> answered?
     std::set<std::string> used;             // every node contacted
+    std::vector<std::string> pref_targets;  // original preference holders
+    std::set<std::string> ok_acks;          // preference holders that acked ok
     net::TimerId timeout_event = 0;
     net::TimerId cleanup_event = 0;
     Micros started_at = 0;
@@ -188,6 +210,7 @@ class StorageNode {
     std::string key;
     GetCallback cb;
     bool done = false;
+    bool fast_path = false;  ///< single-replica attempt; failures demote
     int needed = 0;
     std::vector<std::string> targets;
     std::map<std::string, GetReply> replies;
@@ -196,6 +219,16 @@ class StorageNode {
     Micros last_queue = 0;
     Micros last_service = 0;
     std::string last_replica;
+  };
+
+  /// Per-key write-activity entry backing the fast-read decision. A key is
+  /// *clean* (single-replica readable) when it has no entry, and an entry
+  /// is retired when its last write settled on every preference holder or
+  /// the quiescence window elapsed with no further write.
+  struct DirtyEntry {
+    int inflight = 0;       ///< coordinated writes not yet fully decided
+    Micros last_write = 0;  ///< most recent write activity on this key
+    bool unsettled = false; ///< a decided write missed >= 1 preference holder
   };
 
   // Message plumbing. Handlers are registered per type on dispatcher_;
@@ -226,10 +259,25 @@ class StorageNode {
   void OnPutCleanup(std::uint64_t req);
   void MaybeFinishPut(std::uint64_t req, PendingPut* put);
 
-  // Get state machine.
+  // Get state machine. CoordinateGet picks the path; StartGet issues the
+  // actual fan-out (single primary read or R-quorum spread); DemoteGet
+  // re-runs a failed fast attempt through the quorum path.
+  void StartGet(const std::string& key, GetCallback cb, Micros started_at,
+                bool fast_path);
+  void DemoteGet(std::uint64_t req, PendingGet* get);
   void OnGetTimeout(std::uint64_t req);
   void MaybeFinishGet(std::uint64_t req, PendingGet* get);
   void FinalizeGet(std::uint64_t req, PendingGet* get);
+
+  // Dirty-set bookkeeping for the fast read path.
+  void MarkKeyDirty(const std::string& key);
+  /// Called exactly once per decided put, when its pending entry retires.
+  void RetireDirtyKey(const std::string& key, bool settled_all_n);
+  /// Whether writes must be primary-anchored for fast reads to stay
+  /// consistent (strict mode; sloppy handoff already trades staleness).
+  bool RequirePrimaryAck() const {
+    return config_.fast_reads && !config_.hinted_handoff;
+  }
 
   // Observability: latency histogram sample + trace record for a decided
   // coordinated operation (call exactly once, when `done` flips).
@@ -274,6 +322,8 @@ class StorageNode {
   std::uint64_t next_req_ = 1;
   std::map<std::uint64_t, PendingPut> pending_puts_;
   std::map<std::uint64_t, PendingGet> pending_gets_;
+  std::map<std::string, DirtyEntry> dirty_keys_;
+  std::uint64_t dirty_sweep_countdown_ = 0;  ///< periodic expired-entry sweep
 
   bool running_ = false;
   Micros clock_skew_ = 0;
@@ -283,6 +333,8 @@ class StorageNode {
   NodeStats stats_;
   metrics::Histogram put_latency_hist_;
   metrics::Histogram get_latency_hist_;
+  metrics::Histogram fast_get_latency_hist_;
+  metrics::Histogram quorum_get_latency_hist_;
   metrics::TraceBuffer traces_{256};
 };
 

@@ -33,6 +33,25 @@ TEST(ChaosQuorum, Sweep50SeedsCheckerClean) {
       << "reproduce with: chaos_runner --seed=N --profile=quorum";
 }
 
+// The fast_reads=off sweep above is the control for this one: same seeds,
+// same profile, dirty-set single-replica reads switched on. Any phantom or
+// stale read the fast path could introduce trips the same checker rules.
+TEST(ChaosQuorum, Sweep50SeedsCheckerCleanWithFastReads) {
+  std::vector<std::uint64_t> failing;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    ChaosOptions options = ChaosOptions::QuorumProfile(seed);
+    options.fast_reads = true;
+    const ChaosResult result = RunChaos(options);
+    EXPECT_TRUE(result.drained) << "seed " << seed << " did not drain";
+    if (!result.ok()) {
+      failing.push_back(seed);
+      ADD_FAILURE() << "seed " << seed << ": " << result.report.Summary();
+    }
+  }
+  EXPECT_TRUE(failing.empty())
+      << "reproduce with: chaos_runner --seed=N --fast-reads";
+}
+
 TEST(ChaosQuorum, SameSeedSameHistory) {
   const ChaosResult first = RunChaos(ChaosOptions::QuorumProfile(7));
   const ChaosResult second = RunChaos(ChaosOptions::QuorumProfile(7));

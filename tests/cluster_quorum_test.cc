@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cluster/cluster.h"
 
 namespace hotman::cluster {
@@ -168,6 +170,149 @@ TEST(QuorumSemanticsTest, GetLatencyDecidedBySlowestOfQuorum) {
     return finished - start;
   };
   EXPECT_LE(measure(1), measure(3));
+}
+
+TEST(ReadPathRegressionTest, TracesNeverAttributeToFailedReplicas) {
+  // Regression (ISSUE 6): HandleGetAck used to record last_queue /
+  // last_service / last_replica from *failed* acks too, so a trace could
+  // blame a replica that only ever returned an error.
+  ClusterConfig config = ClusterConfig::Uniform(5);
+  config.replication_factor = 3;
+  config.read_quorum = 2;
+  Cluster cluster(std::move(config), 11);
+  ASSERT_TRUE(cluster.Start().ok());
+  StorageNode* coordinator = cluster.node("db1:19870");
+  ASSERT_NE(coordinator, nullptr);
+  const auto prefs = coordinator->ring().PreferenceList("attr", 3);
+  ASSERT_TRUE(cluster.PutSync("attr", ToBytes("v")).ok());
+  cluster.RunFor(2 * kMicrosPerSecond);
+
+  // One holder develops a disk fault: it still answers every request, but
+  // always with an error ack. Reads keep succeeding via the other two.
+  const std::string faulty = prefs[2];
+  cluster.node(faulty)->server()->SetFault(docstore::FaultMode::kDiskError);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(cluster.GetSync("attr").ok()) << i;
+  }
+  for (const auto& trace : cluster.RecentTraces(64)) {
+    if (trace.op != metrics::TraceOp::kGet) continue;
+    EXPECT_NE(trace.replica, faulty)
+        << "latency attributed to a replica that returned an error";
+  }
+}
+
+TEST(ReadPathRegressionTest, ReadRepairSkipsDeadNodesAndLeavesHints) {
+  // Regression (ISSUE 6): FinalizeGet used to fire repair PutReplicaMsgs
+  // at detector-dead targets, parking them in bounded outbound queues.
+  // Dead targets must be skipped (counted) and routed via hinted handoff.
+  ClusterConfig config = ClusterConfig::Uniform(5);
+  config.replication_factor = 3;
+  config.read_quorum = 2;
+  config.hinted_handoff = true;
+  Cluster cluster(std::move(config), 11);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // A key held by the only seed (db1): with the seed among the crashed
+  // holders, nobody announces removals, so the dead nodes stay in the
+  // ring and in preference lists — exactly the state that used to leak
+  // repairs into dead nodes' queues.
+  StorageNode* any = cluster.nodes().back();
+  std::string key;
+  std::vector<std::string> prefs;
+  for (int i = 0;; ++i) {
+    key = "dk" + std::to_string(i);
+    prefs = any->ring().PreferenceList(key, 3);
+    if (std::find(prefs.begin(), prefs.end(), "db1:19870") != prefs.end()) {
+      break;
+    }
+  }
+  StorageNode* coordinator = nullptr;
+  for (StorageNode* node : cluster.nodes()) {
+    if (std::find(prefs.begin(), prefs.end(), node->id()) == prefs.end()) {
+      coordinator = node;
+    }
+  }
+  ASSERT_NE(coordinator, nullptr);
+
+  ASSERT_TRUE(cluster.PutSync(key, ToBytes("v")).ok());
+  cluster.RunFor(2 * kMicrosPerSecond);
+  ASSERT_TRUE(cluster.CrashNode(prefs[1]).ok());
+  ASSERT_TRUE(cluster.CrashNode(prefs[2]).ok());
+  cluster.RunFor(20 * kMicrosPerSecond);  // > dead_after
+
+  const auto before = cluster.AggregateStats();
+  bool concluded = false;
+  coordinator->CoordinateGet(
+      key, [&concluded](const Result<bson::Document>&) { concluded = true; });
+  cluster.RunFor(3 * kMicrosPerSecond);
+  ASSERT_TRUE(concluded);
+  const auto after = cluster.AggregateStats();
+  EXPECT_GE(after.read_repairs_skipped_dead - before.read_repairs_skipped_dead,
+            2u);
+  EXPECT_EQ(after.read_repairs, before.read_repairs);
+
+  // The withheld repairs became hints: once the holders return, the
+  // write-back timer delivers them.
+  ASSERT_TRUE(cluster.RestartNode(prefs[1], /*lose_state=*/false).ok());
+  ASSERT_TRUE(cluster.RestartNode(prefs[2], /*lose_state=*/false).ok());
+  cluster.RunFor(15 * kMicrosPerSecond);
+  EXPECT_GT(cluster.AggregateStats().hints_delivered, before.hints_delivered);
+}
+
+TEST(ReadPathRegressionTest, CorruptGetAckConcludesReadEarly) {
+  // Regression (ISSUE 6): a get ack that fails to decode was silently
+  // dropped, stalling the read until get_timeout even when the reply's
+  // absence was the only thing blocking the all-responded miss path.
+  const Micros get_timeout = 800 * kMicrosPerMilli;
+  ClusterConfig config = ClusterConfig::Uniform(5);
+  config.replication_factor = 3;
+  config.read_quorum = 2;
+  config.get_timeout = get_timeout;
+  Cluster cluster(std::move(config), 11);
+  ASSERT_TRUE(cluster.Start().ok());
+  StorageNode* coordinator = cluster.node("db1:19870");
+  ASSERT_NE(coordinator, nullptr);
+  // A never-written key the coordinator does not hold, so all three
+  // replica replies travel the network.
+  std::string key;
+  std::vector<std::string> prefs;
+  for (int i = 0;; ++i) {
+    key = "missing" + std::to_string(i);
+    prefs = coordinator->ring().PreferenceList(key, 3);
+    if (std::find(prefs.begin(), prefs.end(), coordinator->id()) ==
+        prefs.end()) {
+      break;
+    }
+  }
+
+  // One holder goes silent; the key exists nowhere, so the miss verdict
+  // needs *all* replicas to answer and the read stalls on the silent one.
+  cluster.network()->Disconnect(prefs[2]);
+  const Micros start = cluster.loop()->Now();
+  Micros finished = -1;
+  Status verdict = Status::OK();
+  coordinator->CoordinateGet(key, [&](const Result<bson::Document>& value) {
+    verdict = value.status();
+    finished = cluster.loop()->Now();
+  });
+  cluster.RunFor(100 * kMicrosPerMilli);  // both live replicas answered
+  ASSERT_LT(finished, 0) << "read concluded before the corrupt ack";
+
+  // The silent holder's ack finally "arrives" — as garbage. The decode
+  // failure must count as its failed reply and conclude the read now.
+  net::Message corrupt;
+  corrupt.from = prefs[2];
+  corrupt.to = coordinator->id();
+  corrupt.type = kMsgGetAck;
+  corrupt.body = bson::Document();
+  ASSERT_TRUE(coordinator->dispatcher()->Dispatch(corrupt));
+  cluster.RunFor(10 * kMicrosPerMilli);
+
+  ASSERT_GE(finished, 0) << "corrupt ack still stalls the read";
+  EXPECT_TRUE(verdict.IsNotFound()) << verdict.ToString();
+  EXPECT_LT(finished - start, get_timeout / 2)
+      << "read waited for the timeout instead of concluding early";
+  EXPECT_EQ(cluster.AggregateStats().get_acks_corrupt, 1u);
 }
 
 }  // namespace

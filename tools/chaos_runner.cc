@@ -35,6 +35,7 @@ struct Args {
   bool quiet = false;
   bool show_history = false;
   bool show_nemesis = false;
+  bool fast_reads = false;
   std::string lying_replica;  // negative-control passthrough
 };
 
@@ -42,6 +43,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: chaos_runner [--seed=N | --seeds=LO-HI]\n"
                "                    [--profile=quorum|convergence]\n"
+               "                    [--fast-reads]\n"
                "                    [--verify] [--quiet] [--history]\n"
                "                    [--nemesis-log] [--lying-replica=ADDR]\n");
 }
@@ -65,6 +67,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->profile = name;
     } else if (const char* addr = value("--lying-replica=")) {
       args->lying_replica = addr;
+    } else if (arg == "--fast-reads") {
+      args->fast_reads = true;
     } else if (arg == "--verify") {
       args->verify = true;
     } else if (arg == "--quiet") {
@@ -91,6 +95,7 @@ ChaosOptions OptionsFor(const Args& args, std::uint64_t seed) {
                              ? ChaosOptions::QuorumProfile(seed)
                              : ChaosOptions::ConvergenceProfile(seed);
   options.lying_replica = args.lying_replica;
+  options.fast_reads = args.fast_reads;
   return options;
 }
 
