@@ -4,8 +4,9 @@
 #
 #   scripts/check.sh            # default job: warnings-as-errors + tier1
 #   scripts/check.sh asan       # AddressSanitizer + UBSan suite
+#   scripts/check.sh ubsan      # UndefinedBehaviorSanitizer alone
 #   scripts/check.sh tsan       # ThreadSanitizer suite
-#   scripts/check.sh tidy       # clang-tidy (if installed) + repo lint
+#   scripts/check.sh tidy       # repo lint + analyzer + clang-tidy
 #   scripts/check.sh chaos      # seeded chaos sweep, both profiles
 #   scripts/check.sh coverage   # line coverage (scripts/coverage.sh)
 #   scripts/check.sh all        # everything, sequentially
@@ -32,6 +33,9 @@ run_suite() {  # run_suite <name> <label> [cmake args...]
 
 job_default() { run_suite default tier1; }
 job_asan()    { run_suite asan asan -DHOTMAN_SANITIZE=address,undefined; }
+# UBSan alone: catches what the asan pairing can mask (ASan's allocator
+# hides some invalid-pointer arithmetic) and matches the CI ubsan job.
+job_ubsan()   { run_suite ubsan ubsan -DHOTMAN_SANITIZE=undefined; }
 job_tsan()    { run_suite tsan tsan -DHOTMAN_SANITIZE=thread; }
 
 # Chaos: the ctest suite (50 seeds per profile plus the negative controls)
@@ -56,24 +60,23 @@ job_tidy() {
   echo "==> [tidy] repo lint"
   python3 tools/lint_hotman.py
   python3 tools/lint_hotman_test.py
-  if command -v run-clang-tidy >/dev/null 2>&1; then
-    echo "==> [tidy] clang-tidy"
-    cmake -B build-check-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-    run-clang-tidy -quiet -p build-check-tidy "src/.*" || exit 1
-  else
-    echo "==> [tidy] clang-tidy not installed, skipped (CI runs it)"
-  fi
+  echo "==> [tidy] whole-program analysis (tools/analyze)"
+  python3 tools/analyze/hotman_analyze.py --json ANALYZE_findings.json
+  python3 tools/analyze/hotman_analyze_test.py
+  echo "==> [tidy] clang-tidy (baseline-aware; skips if not installed)"
+  scripts/run_clang_tidy.sh build-check-tidy
 }
 
 case "${1:-default}" in
   default)  job_default ;;
   asan)     job_asan ;;
+  ubsan)    job_ubsan ;;
   tsan)     job_tsan ;;
   tidy)     job_tidy ;;
   chaos)    job_chaos ;;
   coverage) job_coverage ;;
-  all)      job_default; job_asan; job_tsan; job_tidy; job_chaos ;;
-  *) echo "usage: scripts/check.sh [default|asan|tsan|tidy|chaos|coverage|all]" >&2
+  all)      job_default; job_asan; job_ubsan; job_tsan; job_tidy; job_chaos ;;
+  *) echo "usage: scripts/check.sh [default|asan|ubsan|tsan|tidy|chaos|coverage|all]" >&2
      exit 2 ;;
 esac
 echo "==> OK"

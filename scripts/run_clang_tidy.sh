@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Baseline-aware clang-tidy runner: tidies src/ with the repo .clang-tidy
+# config and fails only on warnings NOT in tools/clang_tidy_baseline.txt,
+# so pre-existing debt never blocks an unrelated change but new findings
+# always do.
+#
+#   scripts/run_clang_tidy.sh [build-dir]     # default: build-check-tidy
+#
+# Baseline lines are "file.cc|check-name|message" with line/column numbers
+# stripped, so entries survive unrelated edits. To accept a finding, run
+# with HOTMAN_TIDY_UPDATE_BASELINE=1 and commit the refreshed baseline
+# (add a justification comment above the new lines — '#' lines are
+# ignored). Degrades to a skip when clang-tidy is not installed (CI always
+# has it; the container may not).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-check-tidy}"
+BASELINE="tools/clang_tidy_baseline.txt"
+
+if ! command -v run-clang-tidy >/dev/null 2>&1 || \
+   ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not installed, skipped (CI runs it)"
+  exit 0
+fi
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+
+raw="$(mktemp)"
+current="$(mktemp)"
+trap 'rm -f "${raw}" "${current}"' EXIT
+
+# run-clang-tidy exits non-zero on any warning-as-error; the baseline diff
+# below is the real gate, so tolerate the exit code and parse the output.
+run-clang-tidy -quiet -p "${BUILD_DIR}" "src/.*" >"${raw}" 2>/dev/null || true
+
+# Normalize "path:line:col: warning: message [check]" to
+# "file|check|message" (repo-relative path, no line/col).
+sed -nE 's|^.*[/ ](src/[^:]+):[0-9]+:[0-9]+: (warning\|error): (.*) \[([A-Za-z0-9.,-]+)\]$|\1\|\4\|\3|p' \
+  "${raw}" | sort -u >"${current}"
+
+if [[ "${HOTMAN_TIDY_UPDATE_BASELINE:-0}" == "1" ]]; then
+  {
+    echo "# clang-tidy baseline: known findings (file|check|message), see"
+    echo "# scripts/run_clang_tidy.sh. Shrink it; never grow it silently."
+    cat "${current}"
+  } >"${BASELINE}"
+  echo "run_clang_tidy: baseline updated ($(wc -l <"${current}") finding(s))"
+  exit 0
+fi
+
+new="$(comm -23 "${current}" <(grep -v '^#' "${BASELINE}" 2>/dev/null | sort -u) || true)"
+fixed="$(comm -13 "${current}" <(grep -v '^#' "${BASELINE}" 2>/dev/null | sort -u) || true)"
+
+if [[ -n "${fixed}" ]]; then
+  echo "run_clang_tidy: stale baseline entries (fixed? remove them):"
+  echo "${fixed}" | sed 's/^/  /'
+fi
+if [[ -n "${new}" ]]; then
+  echo "run_clang_tidy: NEW clang-tidy findings (fix, or justify in ${BASELINE}):"
+  echo "${new}" | sed 's/^/  /'
+  exit 1
+fi
+echo "run_clang_tidy: OK ($(wc -l <"${current}") baselined finding(s))"

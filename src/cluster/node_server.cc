@@ -36,7 +36,7 @@ void NodeServer::Reply(const std::string& to, const char* type,
 void NodeServer::HandleClientPut(const net::Message& msg) {
   auto put = net::DecodeClientPut(msg.body);
   if (!put.ok()) {
-    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_put from " << msg.from
+    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_put from " << msg.from  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
                       << ": " << put.status().ToString();
     return;
   }
@@ -57,7 +57,7 @@ void NodeServer::HandleClientPut(const net::Message& msg) {
 void NodeServer::HandleClientGet(const net::Message& msg) {
   auto get = net::DecodeClientGet(msg.body);
   if (!get.ok()) {
-    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_get from " << msg.from
+    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_get from " << msg.from  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
                       << ": " << get.status().ToString();
     return;
   }
@@ -86,7 +86,7 @@ void NodeServer::HandleClientGet(const net::Message& msg) {
 void NodeServer::HandleClientDelete(const net::Message& msg) {
   auto del = net::DecodeClientGet(msg.body);
   if (!del.ok()) {
-    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_delete from " << msg.from
+    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_delete from " << msg.from  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
                       << ": " << del.status().ToString();
     return;
   }
@@ -105,7 +105,7 @@ void NodeServer::HandleClientDelete(const net::Message& msg) {
 void NodeServer::HandleClientStats(const net::Message& msg) {
   auto stats = net::DecodeClientGet(msg.body);
   if (!stats.ok()) {
-    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_stats from " << msg.from
+    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_stats from " << msg.from  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
                       << ": " << stats.status().ToString();
     return;
   }

@@ -62,8 +62,16 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 }
 
 LogMessage::~LogMessage() {
-  MutexLock lock(&g_sink_mutex);
-  LogSink& sink = SinkStorage();
+  // Copy the sink under the mutex, emit outside it: holding a lock across
+  // user code or a write(2) is exactly the blocking-under-lock shape the
+  // hotman-transitive-blocking analysis flags, and a sink that logs
+  // re-entrantly must not self-deadlock. The copy keeps a sink alive even
+  // if SetSink swaps it out mid-line.
+  LogSink sink;
+  {
+    MutexLock lock(&g_sink_mutex);
+    sink = SinkStorage();
+  }
   if (sink) {
     sink(level_, stream_.str());
   } else {

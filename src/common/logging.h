@@ -15,13 +15,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Receives each formatted log line (no trailing newline). Called with the
-/// sink mutex held, so implementations must not log re-entrantly.
+/// Receives each formatted log line (no trailing newline). Called OUTSIDE
+/// the sink mutex (each emission works on its own copy of the sink), so a
+/// sink may log re-entrantly; concurrent emissions may interleave calls,
+/// so sinks must be internally thread-safe.
 using LogSink = std::function<void(LogLevel, const std::string&)>;
 
 /// Redirects log output (tests capture lines this way); nullptr restores
 /// the default stderr sink. Safe to call while other threads are logging:
-/// the swap and every emission hold the same sink mutex.
+/// the swap holds the sink mutex, and in-flight lines finish against their
+/// own copy of the previous sink.
 void SetSink(LogSink sink);
 
 namespace internal {

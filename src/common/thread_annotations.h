@@ -79,6 +79,17 @@
 #define HOTMAN_SCOPED_CAPABILITY \
   HOTMAN_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
 
+/// Declares a global lock order: this mutex must be acquired before the
+/// listed ones. tools/analyze/hotman_analyze.py folds these edges into its
+/// lock-order graph and reports any cycle (potential deadlock).
+#define HOTMAN_ACQUIRED_BEFORE(...) \
+  HOTMAN_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+/// Declares a global lock order: this mutex must be acquired after the
+/// listed ones (the mirror of HOTMAN_ACQUIRED_BEFORE).
+#define HOTMAN_ACQUIRED_AFTER(...) \
+  HOTMAN_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
 /// Function whose lock usage is deliberately invisible to the analysis
 /// (use sparingly; every use needs a comment saying why).
 #define HOTMAN_NO_THREAD_SAFETY_ANALYSIS \

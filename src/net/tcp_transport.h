@@ -174,7 +174,9 @@ class TcpTransport : public Transport {
   std::map<std::pair<Micros, TimerId>, std::function<void()>> timers_;
   std::unordered_map<TimerId, Micros> timer_deadline_;
 
-  mutable Mutex ops_mu_;
+  // Lock order: ops_mu_ before stats_mu_ (a posted op may record stats while
+  // draining, but stats export never re-enters the op queue).
+  mutable Mutex ops_mu_ HOTMAN_ACQUIRED_BEFORE(stats_mu_);
   std::vector<std::function<void()>> pending_ops_ HOTMAN_GUARDED_BY(ops_mu_);
 
   // Counters/histograms live behind their own lock because ExportStats may
@@ -195,7 +197,7 @@ class TcpTransport : public Transport {
     std::int64_t connections_open = 0;
     std::map<std::string, metrics::Histogram> latency_by_type;
   };
-  mutable Mutex stats_mu_;
+  mutable Mutex stats_mu_ HOTMAN_ACQUIRED_AFTER(ops_mu_);
   Stats stats_ HOTMAN_GUARDED_BY(stats_mu_);
 };
 

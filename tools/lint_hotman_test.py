@@ -63,15 +63,10 @@ class CleanCodeTest(unittest.TestCase):
         self.assertEqual(out, [], out)
 
     def test_nolint_requires_justification(self):
-        with tempfile.TemporaryDirectory() as tmp:
-            root = pathlib.Path(tmp)
-            bad = root / "src/sim/escape.cc"
-            bad.parent.mkdir(parents=True)
-            bad.write_text("sleep(1);  // NOLINT(hotman-no-sleep)\n"
-                           "sleep(2);  // NOLINT(hotman-no-sleep) calibration\n")
-            out = [str(v) for v in lint_hotman.lint_tree(root)]
-            self.assertEqual(len(out), 1, out)
-            self.assertIn("hotman-nolint", out[0])
+        out = lint_fixture("nolint_no_justification.cc", "src/sim/escape.cc")
+        self.assertEqual(len(out), 1, out)
+        self.assertIn("hotman-nolint", out[0])
+        self.assertIn("escape.cc:3", out[0])  # the bare one, not line 4
 
 class TransportBoundaryTest(unittest.TestCase):
     BAD_INCLUDE = '#include "sim/network.h"\n'

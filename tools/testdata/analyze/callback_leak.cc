@@ -1,0 +1,25 @@
+// Fixture: the PR 4 LeakSanitizer bug class, reconstructed. The retry
+// closure is stored in a shared_ptr<std::function> that it captures by
+// value, so the callback owns itself and is never freed; the session
+// variant pins the whole object by capturing shared_from_this() into one
+// of its own member callbacks. Placed at src/cluster/retry.cc.
+#include <functional>
+#include <memory>
+
+namespace hotman::cluster {
+
+void Coordinator::StartRetryLoop(int tries) {
+  auto attempt = std::make_shared<std::function<void(int)>>();
+  *attempt = [this, attempt](int tries_left) {
+    if (tries_left == 0) return;
+    (*attempt)(tries_left - 1);
+  };
+  (*attempt)(tries);
+}
+
+void Session::Arm() {
+  auto self = shared_from_this();
+  on_data_ = [self](int n) { self->Consume(n); };
+}
+
+}  // namespace hotman::cluster

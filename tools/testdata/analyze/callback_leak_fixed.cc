@@ -1,0 +1,28 @@
+// Fixture: the weak_ptr fix for both callback_leak.cc shapes — the
+// closure captures a weak reference and lock()s it per invocation, so
+// nothing owns itself. Must produce zero findings. Placed at
+// src/cluster/retry_fixed.cc by the test harness.
+#include <functional>
+#include <memory>
+
+namespace hotman::cluster {
+
+void Coordinator::StartRetryLoop(int tries) {
+  auto attempt = std::make_shared<std::function<void(int)>>();
+  std::weak_ptr<std::function<void(int)>> weak_attempt = attempt;
+  *attempt = [this, weak_attempt](int tries_left) {
+    auto self = weak_attempt.lock();
+    if (!self || tries_left == 0) return;
+    (*self)(tries_left - 1);
+  };
+  (*attempt)(tries);
+}
+
+void Session::Arm() {
+  std::weak_ptr<Session> weak = weak_from_this();
+  on_data_ = [weak](int n) {
+    if (auto strong = weak.lock()) strong->Consume(n);
+  };
+}
+
+}  // namespace hotman::cluster

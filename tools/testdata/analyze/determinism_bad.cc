@@ -1,0 +1,41 @@
+// Fixture: hash-table order and heap addresses leaking into replayed
+// output. The test places this at src/workload/replay_stats.cc (a
+// seeded-replay layer: every hazard flagged) and at
+// src/docstore/replay_stats.cc (threaded layer: all quiet).
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hotman::workload {
+
+class ReplayStats {
+ public:
+  void Emit() {
+    for (const auto& kv : counts_) {  // hash order reaches the report
+      Record(kv.first);
+    }
+  }
+
+  void EmitStable() {
+    std::vector<std::string> keys;
+    for (const auto& kv : counts_) {  // NOLINT(hotman-unordered-iteration) fixture: keys sorted before emission
+      keys.push_back(kv.first);
+    }
+  }
+
+ private:
+  std::unordered_map<std::string, int> counts_;
+  std::map<const Op*, int> first_seen_;  // keyed by heap address
+};
+
+inline std::size_t HashOp(const Op* op) {
+  return std::hash<const Op*>()(op);
+}
+
+inline std::uint64_t OpId(const Op* op) {
+  return reinterpret_cast<std::uintptr_t>(op);
+}
+
+}  // namespace hotman::workload

@@ -1,0 +1,17 @@
+// Fixture: declared lock order matches the observed nesting — no cycle,
+// no findings. Placed at src/docstore/clean_cache.h by the test harness.
+namespace hotman::docstore {
+
+class CleanCache {
+ public:
+  void Refresh() {
+    MutexLock stats(&stats_mu_);
+    MutexLock lock(&map_mu_);  // observed: stats_mu_ before map_mu_, as declared
+  }
+
+ private:
+  mutable Mutex map_mu_ HOTMAN_ACQUIRED_AFTER(stats_mu_);
+  mutable Mutex stats_mu_ HOTMAN_ACQUIRED_BEFORE(map_mu_);
+};
+
+}  // namespace hotman::docstore

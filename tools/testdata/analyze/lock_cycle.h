@@ -1,0 +1,17 @@
+// Fixture: the declared lock order contradicts the observed nesting, so
+// the lock graph has a cycle. Placed at src/docstore/cache.h by the test.
+namespace hotman::docstore {
+
+class Cache {
+ public:
+  void Refresh() {
+    MutexLock lock(&map_mu_);
+    MutexLock stats(&stats_mu_);  // observed: map_mu_ before stats_mu_
+  }
+
+ private:
+  mutable Mutex map_mu_ HOTMAN_ACQUIRED_AFTER(stats_mu_);
+  mutable Mutex stats_mu_ HOTMAN_ACQUIRED_BEFORE(map_mu_);
+};
+
+}  // namespace hotman::docstore

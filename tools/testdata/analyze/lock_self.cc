@@ -1,0 +1,10 @@
+// Fixture: re-acquiring a held non-recursive mutex is an immediate
+// self-deadlock. Placed at src/docstore/ledger.cc by the test harness.
+namespace hotman::docstore {
+
+void Ledger::Compact() {
+  MutexLock outer(&mu_);
+  MutexLock inner(&mu_);  // re-acquired while held
+}
+
+}  // namespace hotman::docstore

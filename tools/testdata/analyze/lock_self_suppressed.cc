@@ -1,0 +1,10 @@
+// Fixture: same self-deadlock shape as lock_self.cc but carrying a
+// justified NOLINT. Placed at src/docstore/gauge.cc by the test harness.
+namespace hotman::docstore {
+
+void Gauge::Sample() {
+  MutexLock outer(&gauge_mu_);
+  MutexLock inner(&gauge_mu_);  // NOLINT(hotman-lock-order-cycle) fixture: recursive mutex test double
+}
+
+}  // namespace hotman::docstore

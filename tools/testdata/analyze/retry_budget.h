@@ -1,0 +1,32 @@
+// Fixture: blocking helpers one layer below the event loop. The sim-side
+// fixture (sim_loop.cc) calls these; hotman_analyze must flag the chains
+// that reach a primitive and stay quiet on the pure and seam-exempt paths.
+// Placed at src/common/retry_budget.h by the test harness.
+#ifndef HOTMAN_TESTDATA_RETRY_BUDGET_H_
+#define HOTMAN_TESTDATA_RETRY_BUDGET_H_
+
+#include <cstdio>
+
+namespace hotman {
+
+inline int CountRetries() {
+  MutexLock lock(&g_retry_mu);  // no-mutex primitive, one hop from sim
+  return 0;
+}
+
+inline void WriteLine(const char* msg) {
+  std::fprintf(stderr, "%s\n", msg);  // no-blocking-io primitive
+}
+
+// One hop deeper: sim -> LogRetry -> WriteLine must still be flagged.
+inline void LogRetry(const char* msg) { WriteLine(msg); }
+
+inline int PureMath(int x) { return x * 2 + 1; }  // no primitives at all
+
+// Bears a seam name (Transport/Executor/Clock surface): the closure never
+// chases seam calls, so the usleep below must NOT leak into sim findings.
+inline void ScheduleTimer(int delay_us) { usleep(delay_us); }
+
+}  // namespace hotman
+
+#endif  // HOTMAN_TESTDATA_RETRY_BUDGET_H_

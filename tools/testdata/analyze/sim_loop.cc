@@ -1,0 +1,24 @@
+// Fixture: event-loop code calling one layer down. Placed at
+// src/sim/loop.cc by the test harness; pairs with retry_budget.h.
+#include "common/retry_budget.h"
+
+namespace hotman::sim {
+
+void Tick() {
+  CountRetries();    // reaches MutexLock one hop down: flagged
+  LogRetry("tick");  // reaches fprintf two hops down: flagged
+}
+
+void Quiet(int x) {
+  PureMath(x);  // pure helper: quiet
+}
+
+void SeamOnly() {
+  ScheduleTimer(10);  // seam call: resolves to the simulator in replay
+}
+
+void Suppressed() {
+  CountRetries();  // NOLINT(hotman-transitive-blocking) fixture: justified suppression
+}
+
+}  // namespace hotman::sim

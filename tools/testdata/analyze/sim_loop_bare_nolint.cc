@@ -1,0 +1,11 @@
+// Fixture: a NOLINT with no justification must itself be reported.
+// Placed at src/sim/bare.cc by the test harness; pairs with retry_budget.h.
+#include "common/retry_budget.h"
+
+namespace hotman::sim {
+
+void Bare() {
+  CountRetries();  // NOLINT(hotman-transitive-blocking)
+}
+
+}  // namespace hotman::sim

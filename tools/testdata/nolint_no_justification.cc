@@ -1,0 +1,4 @@
+// Fixture: NOLINT suppressions must carry a trailing justification; the
+// bare one below is itself a violation, the justified one is accepted.
+sleep(1);  // NOLINT(hotman-no-sleep)
+sleep(2);  // NOLINT(hotman-no-sleep) timing calibration, bounded at 2s
