@@ -52,6 +52,9 @@ job_chaos() {
   echo "==> [chaos] chaos_runner --seeds=${seeds} --profile=quorum --fast-reads --verify"
   ./build-check-default/tools/chaos_runner \
     --seeds="${seeds}" --profile=quorum --fast-reads --verify --quiet
+  echo "==> [chaos] chaos_runner --seeds=${seeds} --profile=convergence --shards=2 --verify"
+  ./build-check-default/tools/chaos_runner \
+    --seeds="${seeds}" --profile=convergence --shards=2 --verify --quiet
 }
 
 job_coverage() { scripts/coverage.sh; }

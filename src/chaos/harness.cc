@@ -147,6 +147,7 @@ ChaosResult RunChaos(const ChaosOptions& options) {
   config.hinted_handoff = options.hinted_handoff;
   config.read_repair = options.read_repair;
   config.fast_reads = options.fast_reads;
+  config.shards = options.shards;
   config.anti_entropy = options.anti_entropy;
   config.anti_entropy_interval = 2 * kMicrosPerSecond;
   config.chaos_lying_replica = options.lying_replica;
@@ -209,11 +210,13 @@ ChaosResult RunChaos(const ChaosOptions& options) {
   std::map<std::string, std::vector<std::pair<std::string, bson::Document>>>
       holders;
   for (cluster::StorageNode* node : nodes) {
-    auto records = node->store()->AllRecords();
-    if (!records.ok()) continue;
-    for (bson::Document& record : *records) {
-      holders[core::RecordSelfKey(record)].emplace_back(node->id(),
-                                                        std::move(record));
+    for (int shard = 0; shard < node->num_shards(); ++shard) {
+      auto records = node->StoreOfShard(shard)->AllRecords();  // NOLINT(hotman-shard-affinity) post-run snapshot; the simulated loop is idle
+      if (!records.ok()) continue;
+      for (bson::Document& record : *records) {
+        holders[core::RecordSelfKey(record)].emplace_back(node->id(),
+                                                          std::move(record));
+      }
     }
   }
 

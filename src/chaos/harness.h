@@ -31,6 +31,12 @@ struct ChaosOptions {
   /// clean keys). Only engages when hinted_handoff is off; the checker's
   /// full real-time rule set is exactly what proves it safe.
   bool fast_reads = false;
+  /// Shards per node (ClusterConfig::shards). The deterministic runtime
+  /// multiplexes every shard onto the node's simulated transport, so a
+  /// multi-shard sweep replays bit-identically per seed — this exists to
+  /// prove the shard-per-core partitioning preserves every consistency
+  /// property, not to model speedup.
+  int shards = 1;
   /// Negative control: this replica acks writes without applying them
   /// (see ClusterConfig::chaos_lying_replica). Empty = honest cluster.
   std::string lying_replica;

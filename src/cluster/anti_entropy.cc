@@ -9,6 +9,12 @@
 // ahead on. Last-write-wins at the replica store keeps the exchange
 // idempotent and convergent (a flat digest here; Merkle trees would be the
 // production-scale summary).
+//
+// The whole protocol is shard-0 (system shard) work: it reads the master
+// ring and failure detector directly, and it scans the per-shard store
+// partitions without a mailbox hop — safe because the docstore serializes
+// collection access internally and anti-entropy only needs point-in-time
+// snapshots, never the owning shard's coordinator state.
 
 #include "cluster/storage_node.h"
 
@@ -33,12 +39,11 @@ void StorageNode::StartAntiEntropyTimer() {
 
 std::vector<bson::Document> StorageNode::SharedRecords(const std::string& peer) {
   std::vector<bson::Document> shared;
-  auto records = store_->AllRecords();
-  if (!records.ok()) return shared;
-  for (bson::Document& record : *records) {
+  for (bson::Document& record : AllShardRecords()) {
     const std::string key = core::RecordSelfKey(record);
     bool self_in = false, peer_in = false;
-    for (const std::string& member : PreferenceNodes(key)) {
+    for (const std::string& member :
+         ring_.PreferenceList(key, config_.replication_factor)) {
       self_in = self_in || member == id_;
       peer_in = peer_in || member == peer;
     }
@@ -48,7 +53,7 @@ std::vector<bson::Document> StorageNode::SharedRecords(const std::string& peer) 
 }
 
 void StorageNode::RunAntiEntropyRound(const std::string& peer) {
-  ++stats_.ae_rounds;
+  ++shards_[0]->stats.ae_rounds;
   AeDigestMsg digest;
   for (const bson::Document& record : SharedRecords(peer)) {
     digest.entries.push_back(AeDigestEntry{core::RecordSelfKey(record),
@@ -67,7 +72,7 @@ void StorageNode::HandleAeDigest(const net::Message& msg) {
   std::set<std::string> mentioned;
   for (const AeDigestEntry& entry : digest->entries) {
     mentioned.insert(entry.key);
-    auto local = store_->GetByKey(entry.key);
+    auto local = StoreForKey(entry.key)->GetByKey(entry.key);  // NOLINT(hotman-shard-affinity) docstore-locked snapshot read from the system shard
     if (!local.ok()) {
       // We are missing the record entirely: pull it.
       request.keys.push_back(entry.key);
@@ -88,7 +93,7 @@ void StorageNode::HandleAeDigest(const net::Message& msg) {
       push.req = 0;
       push.record = core::AsReplicaCopy(*local);
       SendToNode(msg.from, kMsgPutReplica, EncodePutReplica(push));
-      ++stats_.ae_pushed;
+      ++shards_[0]->stats.ae_pushed;
     }
   }
   // Records we hold that the digest never mentioned (the sender lost or
@@ -99,7 +104,7 @@ void StorageNode::HandleAeDigest(const net::Message& msg) {
     push.req = 0;
     push.record = core::AsReplicaCopy(record);
     SendToNode(msg.from, kMsgPutReplica, EncodePutReplica(push));
-    ++stats_.ae_pushed;
+    ++shards_[0]->stats.ae_pushed;
   }
   if (!request.keys.empty()) {
     SendToNode(msg.from, kMsgAeRequest, EncodeAeRequest(request));
@@ -111,13 +116,13 @@ void StorageNode::HandleAeRequest(const net::Message& msg) {
   if (!request.ok()) return;
   if (!server_->CheckAvailable().ok()) return;
   for (const std::string& key : request->keys) {
-    auto record = store_->GetByKey(key);
+    auto record = StoreForKey(key)->GetByKey(key);  // NOLINT(hotman-shard-affinity) docstore-locked snapshot read from the system shard
     if (!record.ok()) continue;
     PutReplicaMsg push;
     push.req = 0;
     push.record = core::AsReplicaCopy(*record);
     SendToNode(msg.from, kMsgPutReplica, EncodePutReplica(push));
-    ++stats_.ae_requested;
+    ++shards_[0]->stats.ae_requested;
   }
 }
 

@@ -227,15 +227,19 @@ Status Cluster::RestartNode(const std::string& address, bool lose_state) {
   StorageNode* node = it->second.get();
   if (lose_state) {
     // The replacement machine boots with an empty disk: every replica it
-    // held and every hint it owed other nodes are gone.
-    auto records = node->store()->AllRecords();
-    if (records.ok()) {
-      for (const bson::Document& record : *records) {
-        Status purged = node->store()->Purge(core::RecordSelfKey(record));
-        (void)purged;
+    // held and every hint it owed other nodes are gone — across every
+    // shard partition.
+    for (int shard = 0; shard < node->num_shards(); ++shard) {
+      ReplicaStore* store = node->StoreOfShard(shard);  // NOLINT(hotman-shard-affinity) docstore-locked wipe of a stopped node's partitions
+      auto records = store->AllRecords();
+      if (records.ok()) {
+        for (const bson::Document& record : *records) {
+          Status purged = store->Purge(core::RecordSelfKey(record));
+          (void)purged;
+        }
       }
+      node->HintsOfShard(shard)->Clear();  // NOLINT(hotman-shard-affinity) same stopped-node wipe as the store above
     }
-    node->hints()->Clear();
   }
   injector_.Revive(node->server());
   RejoinNode(address);
@@ -298,7 +302,11 @@ std::vector<StorageNode*> Cluster::nodes() {
 
 std::size_t Cluster::TotalReplicas() {
   std::size_t total = 0;
-  for (auto& [address, node] : nodes_) total += node->store()->NumRecords();
+  for (auto& [address, node] : nodes_) {
+    for (int shard = 0; shard < node->num_shards(); ++shard) {
+      total += node->StoreOfShard(shard)->NumRecords();  // NOLINT(hotman-shard-affinity) docstore-locked count; test/verification observer
+    }
+  }
   return total;
 }
 
@@ -378,7 +386,7 @@ std::string Cluster::StatsJson() {
 std::vector<metrics::TraceRecord> Cluster::RecentTraces(std::size_t limit) {
   std::vector<metrics::TraceRecord> all;
   for (auto& [address, node] : nodes_) {
-    for (metrics::TraceRecord& trace : node->traces().Snapshot()) {
+    for (metrics::TraceRecord& trace : node->TraceSnapshot()) {
       all.push_back(std::move(trace));
     }
   }

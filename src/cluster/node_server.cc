@@ -117,7 +117,9 @@ void NodeServer::HandleClientStats(const net::Message& msg) {
 
 std::string NodeServer::StatsJson() const {
   metrics::Registry registry;
-  const NodeStats& s = node_->stats();
+  // Merged across shards: stats() gathers each shard's counters in that
+  // shard's own execution context, so this is one coherent node-wide view.
+  const NodeStats s = node_->stats();
   registry.counter("puts_coordinated")->Increment(s.puts_coordinated);
   registry.counter("puts_succeeded")->Increment(s.puts_succeeded);
   registry.counter("puts_failed")->Increment(s.puts_failed);
@@ -153,6 +155,7 @@ std::string NodeServer::StatsJson() const {
         ->MergeFrom(node_->station()->service_histogram());
   }
   transport_->ExportStats(&registry);
+  node_->sharded()->ExportStats(&registry);  // sharded.* (shards, hops, drops)
   return registry.ToJson();
 }
 

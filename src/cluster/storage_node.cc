@@ -15,25 +15,91 @@ namespace {
 /// Extra ring successors examined when picking hinted-handoff substitutes.
 constexpr std::size_t kHandoffCandidateSlack = 4;
 
+/// Collection name of shard `index`'s replica-store partition. Shard 0
+/// keeps the configured name so a single-shard node is byte-identical to
+/// the pre-sharding layout (and existing tools keep finding "records").
+std::string ShardCollection(const std::string& base, int index) {
+  if (index == 0) return base;
+  return base + "_s" + std::to_string(index);
+}
+
 }  // namespace
+
+void NodeStats::MergeFrom(const NodeStats& other) {
+  puts_coordinated += other.puts_coordinated;
+  puts_succeeded += other.puts_succeeded;
+  puts_failed += other.puts_failed;
+  gets_coordinated += other.gets_coordinated;
+  gets_succeeded += other.gets_succeeded;
+  gets_failed += other.gets_failed;
+  replica_puts_applied += other.replica_puts_applied;
+  replica_gets_served += other.replica_gets_served;
+  handoff_writes += other.handoff_writes;
+  hints_delivered += other.hints_delivered;
+  read_repairs += other.read_repairs;
+  read_repairs_skipped_dead += other.read_repairs_skipped_dead;
+  fast_read_hits += other.fast_read_hits;
+  fast_read_fallbacks += other.fast_read_fallbacks;
+  fast_read_demotions += other.fast_read_demotions;
+  get_acks_corrupt += other.get_acks_corrupt;
+  rereplications += other.rereplications;
+  ae_rounds += other.ae_rounds;
+  ae_pushed += other.ae_pushed;
+  ae_requested += other.ae_requested;
+}
 
 StorageNode::StorageNode(const NodeSpec& spec, const ClusterConfig& config,
                          net::Transport* transport,
-                         sim::FailureInjector* injector, std::uint64_t rng_seed)
+                         sim::FailureInjector* injector, std::uint64_t rng_seed,
+                         net::ShardedExecutor* sharded)
     : spec_(spec),
       config_(config),
       id_(spec.address),
       transport_(transport),
       injector_(injector) {
+  if (sharded != nullptr) {
+    sharded_ = sharded;
+  } else {
+    // Deterministic runtime: every shard multiplexes onto the node's
+    // transport, cross-shard hops are zero-delay events in schedule order.
+    net::ShardedExecutorConfig shard_config;
+    shard_config.shards = config_.shards;
+    shard_config.threaded = false;
+    owned_sharded_ =
+        std::make_unique<net::ShardedExecutor>(transport_, shard_config);
+    sharded_ = owned_sharded_.get();
+  }
   server_ = std::make_unique<docstore::DocStoreServer>(
       id_, hashring::KetamaHash(id_), transport_->clock());
-  store_ = std::make_unique<ReplicaStore>(server_->db(), config_.collection);
-  Status init = store_->Init();
-  if (!init.ok()) {
-    HOTMAN_LOG(kError) << id_ << ": replica store init failed: " << init.ToString();  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
-  }
-  if (config_.simulate_service_time) {
+  if (config_.simulate_service_time && !sharded_->threaded()) {
+    // The ServiceStation is a node-level queueing model of the simulator;
+    // a threaded (real) runtime measures genuine service time instead.
     station_ = std::make_unique<sim::ServiceStation>(transport_, config_.service);
+  }
+
+  const int num_shards = sharded_->num_shards();
+  shards_.reserve(num_shards);
+  for (int index = 0; index < num_shards; ++index) {
+    auto ss = std::make_unique<ShardState>();
+    ss->index = index;
+    ss->executor = sharded_->executor(index);
+    ss->store = std::make_unique<ReplicaStore>(
+        server_->db(), ShardCollection(config_.collection, index));
+    Status init = ss->store->Init();
+    if (!init.ok()) {
+      HOTMAN_LOG(kError) << id_ << ": replica store init failed (shard " << index << "): " << init.ToString();  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
+    }
+    if (num_shards == 1) {
+      // Single shard: hint ids count 1, 2, 3, ... exactly as before
+      // sharding (id & kShardMask == 0 still routes home).
+      ss->hints = std::make_unique<HintStore>();
+    } else {
+      // Hint ids carry their shard in the low bits: shard k issues
+      // (64 + k), (128 + k), ... so a handoff ack routes home lock-free.
+      ss->hints = std::make_unique<HintStore>(
+          (1u << kShardBits) | static_cast<unsigned>(index), 1u << kShardBits);
+    }
+    shards_.push_back(std::move(ss));
   }
 
   std::vector<std::string> seeds;
@@ -62,6 +128,7 @@ void StorageNode::Start() {
     (void)s;  // AlreadyExists is fine on restart
     if (node.address != id_) gossiper_->AddPeer(node.address);
   }
+  SyncShardRings();
   gossiper_->Boot(transport_->NowMicros() / kMicrosPerSecond + 1);
   gossiper_->SetLocalState(gossip::kStateVnodes, std::to_string(spec_.vnodes));
   gossiper_->SetLocalState(gossip::kStateLoad, "0");
@@ -79,7 +146,10 @@ void StorageNode::Start() {
                           gossip::Liveness to) {
     OnDetectorTransition(endpoint, from, to);
   });
-  StartHintTimer();
+  for (const auto& shard : shards_) {
+    ShardState* ss = shard.get();
+    RunOnShard(ss->index, [this, ss] { StartHintTimer(*ss); });
+  }
   if (config_.anti_entropy) StartAntiEntropyTimer();
 }
 
@@ -88,36 +158,43 @@ void StorageNode::Stop() {
   running_ = false;
   gossiper_->Stop();
   detector_->Stop();
-  transport_->CancelTimer(hint_timer_);
   transport_->CancelTimer(ae_timer_);
   // Per-request events must not outlive the node: a timeout firing after
   // Stop would touch freed state, and an undone operation would otherwise
-  // strand its caller forever. Move the maps out first so callbacks that
+  // strand its caller forever. Each shard fails its own pending work in its
+  // own context (PostSync: synchronous, so Stop() returning means no shard
+  // touches this node again). Move the maps out first so callbacks that
   // re-enter this node see empty pending state.
-  auto puts = std::move(pending_puts_);
-  pending_puts_.clear();
-  for (auto& [req, put] : puts) {
-    transport_->CancelTimer(put.timeout_event);
-    transport_->CancelTimer(put.cleanup_event);
-    if (!put.done) {
-      put.done = true;
-      ++stats_.puts_failed;
-      RecordPutOutcome(put, req, /*ok=*/false);
-      put.cb(Status::Unavailable("coordinator stopped: " + id_));
-    }
+  for (const auto& shard : shards_) {
+    ShardState* ss = shard.get();
+    sharded_->PostSync(ss->index, [this, ss] {
+      ss->executor->CancelTimer(ss->hint_timer);
+      auto puts = std::move(ss->pending_puts);
+      ss->pending_puts.clear();
+      for (auto& [req, put] : puts) {
+        ss->executor->CancelTimer(put.timeout_event);
+        ss->executor->CancelTimer(put.cleanup_event);
+        if (!put.done) {
+          put.done = true;
+          ++ss->stats.puts_failed;
+          RecordPutOutcome(*ss, put, req, /*ok=*/false);
+          put.cb(Status::Unavailable("coordinator stopped: " + id_));
+        }
+      }
+      auto gets = std::move(ss->pending_gets);
+      ss->pending_gets.clear();
+      for (auto& [req, get] : gets) {
+        ss->executor->CancelTimer(get.timeout_event);
+        if (!get.done) {
+          get.done = true;
+          ++ss->stats.gets_failed;
+          RecordGetOutcome(*ss, get, req, /*ok=*/false);
+          get.cb(Status::Unavailable("coordinator stopped: " + id_));
+        }
+      }
+      ss->dirty_keys.clear();
+    });
   }
-  auto gets = std::move(pending_gets_);
-  pending_gets_.clear();
-  for (auto& [req, get] : gets) {
-    transport_->CancelTimer(get.timeout_event);
-    if (!get.done) {
-      get.done = true;
-      ++stats_.gets_failed;
-      RecordGetOutcome(get, req, /*ok=*/false);
-      get.cb(Status::Unavailable("coordinator stopped: " + id_));
-    }
-  }
-  dirty_keys_.clear();
   transport_->UnregisterEndpoint(id_);
 }
 
@@ -133,7 +210,17 @@ void StorageNode::SendToNode(const std::string& to, const std::string& type,
   transport_->Send(std::move(msg));
 }
 
+void StorageNode::RunOnShard(int shard, std::function<void()> fn) {
+  sharded_->Post(shard, std::move(fn));
+}
+
 void StorageNode::RegisterHandlers() {
+  // System traffic (gossip, membership, anti-entropy) is pinned to shard 0
+  // — the dispatcher already runs there (the transport's event thread), so
+  // these handlers call straight through. Keyed traffic decodes on shard 0
+  // and hops to the owning shard: put/get replicas and hint stores by the
+  // record's key, acks by the home shard carried in the request id's low
+  // kShardBits.
   dispatcher_.On(gossip::kMsgGossipSyn, [this](const net::Message& msg) {
     gossiper_->HandleSyn(msg.from, msg.body);
   });
@@ -143,20 +230,80 @@ void StorageNode::RegisterHandlers() {
   dispatcher_.On(gossip::kMsgGossipAck2, [this](const net::Message& msg) {
     gossiper_->HandleAck2(msg.from, msg.body);
   });
-  dispatcher_.On(kMsgPutReplica,
-                 [this](const net::Message& msg) { HandlePutReplica(msg); });
-  dispatcher_.On(kMsgGetReplica,
-                 [this](const net::Message& msg) { HandleGetReplica(msg); });
-  dispatcher_.On(kMsgPutAck,
-                 [this](const net::Message& msg) { HandlePutAck(msg); });
-  dispatcher_.On(kMsgGetAck,
-                 [this](const net::Message& msg) { HandleGetAck(msg); });
-  dispatcher_.On(kMsgHintStore,
-                 [this](const net::Message& msg) { HandleHintStore(msg); });
-  dispatcher_.On(kMsgHandoffDeliver,
-                 [this](const net::Message& msg) { HandleHandoffDeliver(msg); });
-  dispatcher_.On(kMsgHandoffAck,
-                 [this](const net::Message& msg) { HandleHandoffAck(msg); });
+  dispatcher_.On(kMsgPutReplica, [this](const net::Message& msg) {
+    auto decoded = DecodePutReplica(msg.body);
+    if (!decoded.ok()) return;
+    const int shard = ShardOfKey(core::RecordSelfKey(decoded->record));
+    RunOnShard(shard, [this, shard, from = msg.from,
+                       d = std::move(*decoded)]() mutable {
+      HandlePutReplica(*shards_[shard], from, std::move(d));
+    });
+  });
+  dispatcher_.On(kMsgGetReplica, [this](const net::Message& msg) {
+    auto decoded = DecodeGetReplica(msg.body);
+    if (!decoded.ok()) return;
+    const int shard = ShardOfKey(decoded->key);
+    RunOnShard(shard, [this, shard, from = msg.from,
+                       d = std::move(*decoded)]() mutable {
+      HandleGetReplica(*shards_[shard], from, std::move(d));
+    });
+  });
+  dispatcher_.On(kMsgPutAck, [this](const net::Message& msg) {
+    auto ack = DecodePutAck(msg.body);
+    if (!ack.ok()) return;
+    const int shard = ShardOfReq(ack->req);
+    RunOnShard(shard, [this, shard, from = msg.from,
+                       a = std::move(*ack)]() mutable {
+      HandlePutAck(*shards_[shard], from, std::move(a));
+    });
+  });
+  dispatcher_.On(kMsgGetAck, [this](const net::Message& msg) {
+    auto ack = DecodeGetAck(msg.body);
+    if (!ack.ok()) {
+      // No request id to route by: every shard checks its own pending
+      // reads against the sender (see HandleCorruptGetAck). Counted once
+      // per message, on the system shard (this handler runs there).
+      ++shards_[0]->stats.get_acks_corrupt;
+      for (const auto& shard : shards_) {
+        ShardState* ss = shard.get();
+        RunOnShard(ss->index, [this, ss, from = msg.from] {
+          HandleCorruptGetAck(*ss, from);
+        });
+      }
+      return;
+    }
+    const int shard = ShardOfReq(ack->req);
+    RunOnShard(shard, [this, shard, from = msg.from,
+                       a = std::move(*ack)]() mutable {
+      HandleGetAck(*shards_[shard], from, std::move(a));
+    });
+  });
+  dispatcher_.On(kMsgHintStore, [this](const net::Message& msg) {
+    auto decoded = DecodeHintStore(msg.body);
+    if (!decoded.ok()) return;
+    const int shard = ShardOfKey(core::RecordSelfKey(decoded->record));
+    RunOnShard(shard, [this, shard, from = msg.from,
+                       d = std::move(*decoded)]() mutable {
+      HandleHintStore(*shards_[shard], from, std::move(d));
+    });
+  });
+  dispatcher_.On(kMsgHandoffDeliver, [this](const net::Message& msg) {
+    auto decoded = DecodeHandoffDeliver(msg.body);
+    if (!decoded.ok()) return;
+    const int shard = ShardOfKey(core::RecordSelfKey(decoded->second));
+    RunOnShard(shard, [this, shard, from = msg.from, hint_id = decoded->first,
+                       record = std::move(decoded->second)]() mutable {
+      HandleHandoffDeliver(*shards_[shard], from, hint_id, std::move(record));
+    });
+  });
+  dispatcher_.On(kMsgHandoffAck, [this](const net::Message& msg) {
+    auto ack = DecodeHandoffAck(msg.body);
+    if (!ack.ok()) return;
+    const int shard = ShardOfReq(ack->hint_id);
+    RunOnShard(shard, [this, shard, a = std::move(*ack)]() mutable {
+      HandleHandoffAck(*shards_[shard], std::move(a));
+    });
+  });
   dispatcher_.On(kMsgAeDigest,
                  [this](const net::Message& msg) { HandleAeDigest(msg); });
   dispatcher_.On(kMsgAeRequest,
@@ -178,46 +325,82 @@ bool StorageNode::SubmitWork(std::size_t payload_bytes,
   return true;
 }
 
-std::vector<std::string> StorageNode::PreferenceNodes(const std::string& key) const {
-  return ring_.PreferenceList(key, config_.replication_factor);
+// --- shard-local membership views -------------------------------------------
+
+const hashring::Ring& StorageNode::RingOf(const ShardState& ss) const {
+  if (ss.index == 0 || !sharded_->threaded()) return ring_;
+  return ss.ring;
+}
+
+gossip::Liveness StorageNode::LivenessOf(const ShardState& ss,
+                                         const std::string& node) const {
+  if (ss.index == 0 || !sharded_->threaded()) return detector_->StatusOf(node);
+  auto it = ss.liveness.find(node);
+  // Absent means never heard a transition — kAlive, like the detector.
+  return it == ss.liveness.end() ? gossip::Liveness::kAlive : it->second;
+}
+
+void StorageNode::SyncShardRings() {
+  if (!sharded_->threaded()) return;  // every shard reads the master directly
+  for (const auto& shard : shards_) {
+    ShardState* ss = shard.get();
+    if (ss->index == 0) continue;
+    RunOnShard(ss->index, [ss, ring = ring_] { ss->ring = ring; });
+  }
+}
+
+void StorageNode::SyncShardLiveness(const std::string& endpoint,
+                                    gossip::Liveness to) {
+  if (!sharded_->threaded()) return;
+  for (const auto& shard : shards_) {
+    ShardState* ss = shard.get();
+    if (ss->index == 0) continue;
+    RunOnShard(ss->index, [ss, endpoint, to] { ss->liveness[endpoint] = to; });
+  }
+}
+
+std::vector<std::string> StorageNode::PreferenceNodes(
+    const ShardState& ss, const std::string& key) const {
+  return RingOf(ss).PreferenceList(key, config_.replication_factor);
 }
 
 // --- replica side -----------------------------------------------------------
 
-void StorageNode::HandlePutReplica(const net::Message& msg) {
-  auto decoded = DecodePutReplica(msg.body);
-  if (!decoded.ok()) return;
-  const std::size_t bytes = bson::EncodedSize(decoded->record);
-  const std::uint64_t req = decoded->req;
-  const std::string from = msg.from;
-  bson::Document record = std::move(decoded->record);
+void StorageNode::HandlePutReplica(ShardState& ss, const std::string& from,
+                                   PutReplicaMsg msg) {
+  const std::size_t bytes = bson::EncodedSize(msg.record);
+  const std::uint64_t req = msg.req;
+  bson::Document record = std::move(msg.record);
   const bool admitted = SubmitWork(
-      bytes, [this, req, from, record = std::move(record)](Micros queued,
-                                                           Micros serviced) {
-        PutAckMsg ack;
-        ack.req = req;
-        ack.queue_micros = queued;
-        ack.service_micros = serviced;
-        Status available = server_->CheckAvailable();
-        if (!available.ok()) {
-          ack.ok = false;
-          ack.error = available.ToString();
-        } else if (config_.chaos_lying_replica == id_) {
-          // Negative-control harness: acknowledge without applying, so the
-          // coordinator's quorum count overstates durability. The offline
-          // checker must catch the resulting lost updates / stale reads.
-          ack.ok = true;
-        } else {
-          auto applied = store_->Apply(record);
-          if (applied.ok()) {
-            ack.ok = true;
-            ++stats_.replica_puts_applied;
-          } else {
+      bytes, [this, &ss, req, from, record = std::move(record)](
+                 Micros queued, Micros serviced) mutable {
+        RunOnShard(ss.index, [this, &ss, req, from, record = std::move(record),
+                              queued, serviced] {
+          PutAckMsg ack;
+          ack.req = req;
+          ack.queue_micros = queued;
+          ack.service_micros = serviced;
+          Status available = server_->CheckAvailable();
+          if (!available.ok()) {
             ack.ok = false;
-            ack.error = applied.status().ToString();
+            ack.error = available.ToString();
+          } else if (config_.chaos_lying_replica == id_) {
+            // Negative-control harness: acknowledge without applying, so the
+            // coordinator's quorum count overstates durability. The offline
+            // checker must catch the resulting lost updates / stale reads.
+            ack.ok = true;
+          } else {
+            auto applied = ss.store->Apply(record);
+            if (applied.ok()) {
+              ack.ok = true;
+              ++ss.stats.replica_puts_applied;
+            } else {
+              ack.ok = false;
+              ack.error = applied.status().ToString();
+            }
           }
-        }
-        if (req != 0) SendToNode(from, kMsgPutAck, EncodePutAck(ack));
+          if (req != 0) SendToNode(from, kMsgPutAck, EncodePutAck(ack));
+        });
       });
   if (!admitted && req != 0) {
     PutAckMsg ack;
@@ -228,35 +411,35 @@ void StorageNode::HandlePutReplica(const net::Message& msg) {
   }
 }
 
-void StorageNode::HandleGetReplica(const net::Message& msg) {
-  auto decoded = DecodeGetReplica(msg.body);
-  if (!decoded.ok()) return;
-  const std::uint64_t req = decoded->req;
-  const std::string from = msg.from;
-  const std::string key = decoded->key;
+void StorageNode::HandleGetReplica(ShardState& ss, const std::string& from,
+                                   GetReplicaMsg msg) {
+  const std::uint64_t req = msg.req;
+  const std::string key = msg.key;
   const bool admitted = SubmitWork(
-      256, [this, req, from, key](Micros queued, Micros serviced) {
-        GetAckMsg ack;
-        ack.req = req;
-        ack.queue_micros = queued;
-        ack.service_micros = serviced;
-        Status available = server_->CheckAvailable();
-        if (!available.ok()) {
-          ack.ok = false;
-          ack.error = available.ToString();
-        } else {
-          auto record = store_->GetByKey(key);
-          ack.ok = true;
-          if (record.ok()) {
-            ack.found = true;
-            ack.record = std::move(*record);
-          } else if (!record.status().IsNotFound()) {
+      256, [this, &ss, req, from, key](Micros queued, Micros serviced) {
+        RunOnShard(ss.index, [this, &ss, req, from, key, queued, serviced] {
+          GetAckMsg ack;
+          ack.req = req;
+          ack.queue_micros = queued;
+          ack.service_micros = serviced;
+          Status available = server_->CheckAvailable();
+          if (!available.ok()) {
             ack.ok = false;
-            ack.error = record.status().ToString();
+            ack.error = available.ToString();
+          } else {
+            auto record = ss.store->GetByKey(key);
+            ack.ok = true;
+            if (record.ok()) {
+              ack.found = true;
+              ack.record = std::move(*record);
+            } else if (!record.status().IsNotFound()) {
+              ack.ok = false;
+              ack.error = record.status().ToString();
+            }
+            if (ack.ok) ++ss.stats.replica_gets_served;
           }
-          if (ack.ok) ++stats_.replica_gets_served;
-        }
-        SendToNode(from, kMsgGetAck, EncodeGetAck(ack));
+          SendToNode(from, kMsgGetAck, EncodeGetAck(ack));
+        });
       });
   if (!admitted) {
     GetAckMsg ack;
@@ -267,11 +450,10 @@ void StorageNode::HandleGetReplica(const net::Message& msg) {
   }
 }
 
-void StorageNode::HandleHintStore(const net::Message& msg) {
-  auto decoded = DecodeHintStore(msg.body);
-  if (!decoded.ok()) return;
+void StorageNode::HandleHintStore(ShardState& ss, const std::string& from,
+                                  HintStoreMsg msg) {
   PutAckMsg ack;
-  ack.req = decoded->req;
+  ack.req = msg.req;
   Status available = server_->CheckAvailable();
   if (!available.ok()) {
     ack.ok = false;
@@ -279,60 +461,70 @@ void StorageNode::HandleHintStore(const net::Message& msg) {
   } else {
     // Store the hint (Fig. 8: "creates an index for the replication") and
     // keep a durable local copy so reads during the outage can be repaired.
-    hints_.Add(decoded->target, decoded->record, transport_->NowMicros());
-    auto applied = store_->Apply(decoded->record);
+    ss.hints->Add(msg.target, msg.record, transport_->NowMicros());
+    auto applied = ss.store->Apply(msg.record);
     ack.ok = applied.ok();
     if (!applied.ok()) ack.error = applied.status().ToString();
-    ++stats_.handoff_writes;
+    ++ss.stats.handoff_writes;
   }
-  SendToNode(msg.from, kMsgPutAck, EncodePutAck(ack));
+  SendToNode(from, kMsgPutAck, EncodePutAck(ack));
 }
 
-void StorageNode::HandleHandoffDeliver(const net::Message& msg) {
-  auto decoded = DecodeHandoffDeliver(msg.body);
-  if (!decoded.ok()) return;
+void StorageNode::HandleHandoffDeliver(ShardState& ss, const std::string& from,
+                                       std::uint64_t hint_id,
+                                       bson::Document record) {
   HandoffAckMsg ack;
-  ack.hint_id = decoded->first;
+  ack.hint_id = hint_id;
   Status available = server_->CheckAvailable();
   if (available.ok()) {
-    auto applied = store_->Apply(decoded->second);
+    auto applied = ss.store->Apply(record);
     ack.ok = applied.ok();
   } else {
     ack.ok = false;
   }
-  SendToNode(msg.from, kMsgHandoffAck, EncodeHandoffAck(ack));
+  SendToNode(from, kMsgHandoffAck, EncodeHandoffAck(ack));
 }
 
 // --- coordinator: Put -------------------------------------------------------
 
-void StorageNode::CoordinatePut(const std::string& key, Bytes value, PutCallback cb) {
-  bson::Document record = core::MakeRecord(
-      server_->db()->id_generator()->Next(), key, std::move(value),
-      /*is_copy=*/false, /*deleted=*/false, transport_->NowMicros() + clock_skew_,
-      id_);
-  StartPut(std::move(record), std::move(cb));
+void StorageNode::CoordinatePut(const std::string& key, Bytes value,
+                                PutCallback cb) {
+  const int shard = ShardOfKey(key);
+  RunOnShard(shard, [this, shard, key, value = std::move(value),
+                     cb = std::move(cb)]() mutable {
+    bson::Document record = core::MakeRecord(
+        server_->db()->id_generator()->Next(), key, std::move(value),
+        /*is_copy=*/false, /*deleted=*/false,
+        transport_->NowMicros() + clock_skew_, id_);
+    StartPut(*shards_[shard], std::move(record), std::move(cb));
+  });
 }
 
 void StorageNode::CoordinateDelete(const std::string& key, PutCallback cb) {
-  bson::Document tombstone = core::MakeTombstone(
-      server_->db()->id_generator()->Next(), key,
-      transport_->NowMicros() + clock_skew_, id_);
-  StartPut(std::move(tombstone), std::move(cb));
+  const int shard = ShardOfKey(key);
+  RunOnShard(shard, [this, shard, key, cb = std::move(cb)]() mutable {
+    bson::Document tombstone = core::MakeTombstone(
+        server_->db()->id_generator()->Next(), key,
+        transport_->NowMicros() + clock_skew_, id_);
+    StartPut(*shards_[shard], std::move(tombstone), std::move(cb));
+  });
 }
 
-void StorageNode::StartPut(bson::Document record, PutCallback cb) {
-  ++stats_.puts_coordinated;
+void StorageNode::StartPut(ShardState& ss, bson::Document record,
+                           PutCallback cb) {
+  ++ss.stats.puts_coordinated;
   // Table 2's probabilities are per operation on the test system: each
   // client operation may trip one failure at a random node.
   if (injector_ != nullptr) injector_->MaybeInjectAnywhere();
   const std::string key = core::RecordSelfKey(record);
-  std::vector<std::string> targets = PreferenceNodes(key);
+  std::vector<std::string> targets = PreferenceNodes(ss, key);
   if (targets.empty()) {
-    ++stats_.puts_failed;
+    ++ss.stats.puts_failed;
     cb(Status::Unavailable("ring is empty"));
     return;
   }
-  const std::uint64_t req = next_req_++;
+  const std::uint64_t req = (ss.next_seq++ << kShardBits) |
+                            static_cast<std::uint64_t>(ss.index);
   PendingPut put;
   put.key = key;
   put.primary = targets.front();
@@ -345,12 +537,12 @@ void StorageNode::StartPut(bson::Document record, PutCallback cb) {
     put.responded.emplace(target, false);
     put.used.insert(target);
   }
-  put.timeout_event =
-      transport_->ScheduleTimer(config_.put_timeout, [this, req]() { OnPutTimeout(req); });
-  put.cleanup_event = transport_->ScheduleTimer(4 * config_.put_timeout,
-                                      [this, req]() { OnPutCleanup(req); });
-  pending_puts_.emplace(req, std::move(put));
-  MarkKeyDirty(key);
+  put.timeout_event = ss.executor->ScheduleTimer(
+      config_.put_timeout, [this, &ss, req]() { OnPutTimeout(ss, req); });
+  put.cleanup_event = ss.executor->ScheduleTimer(
+      4 * config_.put_timeout, [this, &ss, req]() { OnPutCleanup(ss, req); });
+  ss.pending_puts.emplace(req, std::move(put));
+  MarkKeyDirty(ss, key);
 
   // The primary stores the original record (isData=1) and the other N-1
   // preference nodes store copies; all replications run concurrently.
@@ -366,7 +558,7 @@ void StorageNode::StartPut(bson::Document record, PutCallback cb) {
   // of re-running EncodePutReplica N-1 times.
   std::optional<bson::Document> replica_body;
   for (const std::string& target : targets) {
-    if (detector_->StatusOf(target) == gossip::Liveness::kDead) {
+    if (LivenessOf(ss, target) == gossip::Liveness::kDead) {
       known_dead.push_back(target);
       continue;
     }
@@ -386,55 +578,54 @@ void StorageNode::StartPut(bson::Document record, PutCallback cb) {
     SendToNode(target, kMsgPutReplica, *replica_body);
   }
   if (!known_dead.empty()) {
-    PendingPut& pending = pending_puts_.find(req)->second;
+    PendingPut& pending = ss.pending_puts.find(req)->second;
     for (const std::string& target : known_dead) {
       pending.responded[target] = true;
-      TryHandoff(req, &pending, target);
+      TryHandoff(ss, req, &pending, target);
     }
     // With handoff disabled every known-dead target counts as answered, so
     // an unreachable quorum can already be decided here (fast fail).
-    MaybeFinishPut(req, &pending);
+    MaybeFinishPut(ss, req, &pending);
   }
 }
 
-void StorageNode::HandlePutAck(const net::Message& msg) {
-  auto ack = DecodePutAck(msg.body);
-  if (!ack.ok()) return;
-  auto it = pending_puts_.find(ack->req);
-  if (it == pending_puts_.end()) return;  // late or fire-and-forget ack
+void StorageNode::HandlePutAck(ShardState& ss, const std::string& from,
+                               PutAckMsg ack) {
+  auto it = ss.pending_puts.find(ack.req);
+  if (it == ss.pending_puts.end()) return;  // late or fire-and-forget ack
   PendingPut& put = it->second;
-  auto responded_it = put.responded.find(msg.from);
+  auto responded_it = put.responded.find(from);
   if (responded_it != put.responded.end()) {
     if (responded_it->second) return;  // duplicate
     responded_it->second = true;
   }
-  if (ack->ok) {
+  if (ack.ok) {
     // Latency attribution only from successful replies: a nack's
     // queue/service numbers describe a replica that did *not* serve the
     // write, and tracing them would blame the wrong node.
-    put.last_queue = ack->queue_micros;
-    put.last_service = ack->service_micros;
-    put.last_replica = msg.from;
-    if (msg.from == put.primary) put.primary_ok = true;
-    if (std::find(put.pref_targets.begin(), put.pref_targets.end(), msg.from) !=
+    put.last_queue = ack.queue_micros;
+    put.last_service = ack.service_micros;
+    put.last_replica = from;
+    if (from == put.primary) put.primary_ok = true;
+    if (std::find(put.pref_targets.begin(), put.pref_targets.end(), from) !=
         put.pref_targets.end()) {
-      put.ok_acks.insert(msg.from);
+      put.ok_acks.insert(from);
     }
     ++put.acks;
   } else {
     // Abnormal event: "the system must find other storage node, and try to
     // write several times to guarantee the success of writing."
-    TryHandoff(ack->req, &put, msg.from);
+    TryHandoff(ss, ack.req, &put, from);
   }
-  MaybeFinishPut(ack->req, &put);
+  MaybeFinishPut(ss, ack.req, &put);
 }
 
-void StorageNode::TryHandoff(std::uint64_t req, PendingPut* put,
+void StorageNode::TryHandoff(ShardState& ss, std::uint64_t req, PendingPut* put,
                              const std::string& failed) {
   if (!config_.hinted_handoff) return;
   const std::size_t want =
       config_.replication_factor + kHandoffCandidateSlack + put->used.size();
-  std::vector<std::string> candidates = ring_.PreferenceList(put->key, want);
+  std::vector<std::string> candidates = RingOf(ss).PreferenceList(put->key, want);
   for (const std::string& candidate : candidates) {
     if (put->used.count(candidate) > 0) continue;
     put->used.insert(candidate);
@@ -448,15 +639,16 @@ void StorageNode::TryHandoff(std::uint64_t req, PendingPut* put,
   }
 }
 
-void StorageNode::MaybeFinishPut(std::uint64_t req, PendingPut* put) {
+void StorageNode::MaybeFinishPut(ShardState& ss, std::uint64_t req,
+                                 PendingPut* put) {
   // With fast reads in strict mode the write is primary-anchored: W acks
   // alone are not enough, the primary must be among them. That keeps the
   // single-replica read set {primary} inside every completed write set.
   if (!put->done && put->acks >= put->needed &&
       (!RequirePrimaryAck() || put->primary_ok)) {
     put->done = true;
-    ++stats_.puts_succeeded;
-    RecordPutOutcome(*put, req, /*ok=*/true);
+    ++ss.stats.puts_succeeded;
+    RecordPutOutcome(ss, *put, req, /*ok=*/true);
     put->cb(Status::OK());
   }
   bool all_responded = true;
@@ -472,20 +664,20 @@ void StorageNode::MaybeFinishPut(std::uint64_t req, PendingPut* put) {
   // instead of parking the client until the 4x cleanup timer.
   if (!put->done) {
     put->done = true;
-    ++stats_.puts_failed;
-    RecordPutOutcome(*put, req, /*ok=*/false);
+    ++ss.stats.puts_failed;
+    RecordPutOutcome(ss, *put, req, /*ok=*/false);
     put->cb(Status::QuorumFailed("write quorum not reached for key " + put->key));
   }
-  transport_->CancelTimer(put->timeout_event);
-  transport_->CancelTimer(put->cleanup_event);
-  RetireDirtyKey(put->key,
+  ss.executor->CancelTimer(put->timeout_event);
+  ss.executor->CancelTimer(put->cleanup_event);
+  RetireDirtyKey(ss, put->key,
                  /*settled_all_n=*/put->ok_acks.size() == put->pref_targets.size());
-  pending_puts_.erase(req);
+  ss.pending_puts.erase(req);
 }
 
-void StorageNode::OnPutTimeout(std::uint64_t req) {
-  auto it = pending_puts_.find(req);
-  if (it == pending_puts_.end()) return;
+void StorageNode::OnPutTimeout(ShardState& ss, std::uint64_t req) {
+  auto it = ss.pending_puts.find(req);
+  if (it == ss.pending_puts.end()) return;
   PendingPut& put = it->second;
   std::vector<std::string> silent;
   for (const auto& [target, answered] : put.responded) {
@@ -516,8 +708,8 @@ void StorageNode::OnPutTimeout(std::uint64_t req) {
       }
       SendToNode(target, kMsgPutReplica, *replica_body);
     }
-    put.timeout_event = transport_->ScheduleTimer(config_.put_timeout / 2,
-                                        [this, req]() { OnPutTimeout(req); });
+    put.timeout_event = ss.executor->ScheduleTimer(
+        config_.put_timeout / 2, [this, &ss, req]() { OnPutTimeout(ss, req); });
     return;
   }
   // ...then give up on still-silent replicas and redirect each write to a
@@ -526,66 +718,70 @@ void StorageNode::OnPutTimeout(std::uint64_t req) {
   // covers substitutes that were themselves unreachable.
   for (const std::string& target : silent) {
     put.responded[target] = true;
-    TryHandoff(req, &put, target);
+    TryHandoff(ss, req, &put, target);
   }
   // Giving up on the silent replicas may have settled the outcome (all
   // responded, quorum unreachable): decide now rather than waiting for the
   // cleanup timer. MaybeFinishPut can erase the entry, so re-find it.
-  MaybeFinishPut(req, &put);
-  auto still = pending_puts_.find(req);
-  if (still != pending_puts_.end() && still->second.timeout_wave < 4 &&
+  MaybeFinishPut(ss, req, &put);
+  auto still = ss.pending_puts.find(req);
+  if (still != ss.pending_puts.end() && still->second.timeout_wave < 4 &&
       !still->second.done) {
-    still->second.timeout_event = transport_->ScheduleTimer(
-        config_.put_timeout / 2, [this, req]() { OnPutTimeout(req); });
+    still->second.timeout_event = ss.executor->ScheduleTimer(
+        config_.put_timeout / 2, [this, &ss, req]() { OnPutTimeout(ss, req); });
   }
 }
 
-void StorageNode::OnPutCleanup(std::uint64_t req) {
-  auto it = pending_puts_.find(req);
-  if (it == pending_puts_.end()) return;
+void StorageNode::OnPutCleanup(ShardState& ss, std::uint64_t req) {
+  auto it = ss.pending_puts.find(req);
+  if (it == ss.pending_puts.end()) return;
   PendingPut& put = it->second;
   if (!put.done) {
     put.done = true;
-    ++stats_.puts_failed;
-    RecordPutOutcome(put, req, /*ok=*/false);
+    ++ss.stats.puts_failed;
+    RecordPutOutcome(ss, put, req, /*ok=*/false);
     put.cb(Status::QuorumFailed("write quorum not reached for key " + put.key));
   }
-  transport_->CancelTimer(put.timeout_event);
-  RetireDirtyKey(put.key,
+  ss.executor->CancelTimer(put.timeout_event);
+  RetireDirtyKey(ss, put.key,
                  /*settled_all_n=*/put.ok_acks.size() == put.pref_targets.size());
-  pending_puts_.erase(it);
+  ss.pending_puts.erase(it);
 }
 
 // --- coordinator: Get -------------------------------------------------------
 
 void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
-  ++stats_.gets_coordinated;
-  if (injector_ != nullptr) injector_->MaybeInjectAnywhere();
-  const Micros started_at = transport_->NowMicros();
-  if (config_.fast_reads) {
-    // Harmonia-style fast path: a key with no write in flight (and nothing
-    // recently unsettled) can be answered by the primary holder alone —
-    // primary-anchored writes guarantee the primary saw every completed
-    // write, so the one-replica read still intersects every write quorum.
-    // Anchoring only holds in strict mode (hinted handoff off): with
-    // substitutes taking writes for absent holders, a completed write may
-    // bypass the primary entirely, so the fast path must stand down.
-    if (RequirePrimaryAck() && KeyIsClean(key)) {
-      const std::vector<std::string> targets = PreferenceNodes(key);
-      if (!targets.empty() &&
-          detector_->StatusOf(targets.front()) == gossip::Liveness::kAlive) {
-        StartGet(key, std::move(cb), started_at, /*fast_path=*/true);
-        return;
+  const int shard = ShardOfKey(key);
+  RunOnShard(shard, [this, shard, key, cb = std::move(cb)]() mutable {
+    ShardState& ss = *shards_[shard];
+    ++ss.stats.gets_coordinated;
+    if (injector_ != nullptr) injector_->MaybeInjectAnywhere();
+    const Micros started_at = transport_->NowMicros();
+    if (config_.fast_reads) {
+      // Harmonia-style fast path: a key with no write in flight (and nothing
+      // recently unsettled) can be answered by the primary holder alone —
+      // primary-anchored writes guarantee the primary saw every completed
+      // write, so the one-replica read still intersects every write quorum.
+      // Anchoring only holds in strict mode (hinted handoff off): with
+      // substitutes taking writes for absent holders, a completed write may
+      // bypass the primary entirely, so the fast path must stand down.
+      if (RequirePrimaryAck() && KeyIsCleanOnShard(ss, key)) {
+        const std::vector<std::string> targets = PreferenceNodes(ss, key);
+        if (!targets.empty() &&
+            LivenessOf(ss, targets.front()) == gossip::Liveness::kAlive) {
+          StartGet(ss, key, std::move(cb), started_at, /*fast_path=*/true);
+          return;
+        }
       }
+      ++ss.stats.fast_read_fallbacks;
     }
-    ++stats_.fast_read_fallbacks;
-  }
-  StartGet(key, std::move(cb), started_at, /*fast_path=*/false);
+    StartGet(ss, key, std::move(cb), started_at, /*fast_path=*/false);
+  });
 }
 
-void StorageNode::StartGet(const std::string& key, GetCallback cb,
-                           Micros started_at, bool fast_path) {
-  std::vector<std::string> targets = PreferenceNodes(key);
+void StorageNode::StartGet(ShardState& ss, const std::string& key,
+                           GetCallback cb, Micros started_at, bool fast_path) {
+  std::vector<std::string> targets = PreferenceNodes(ss, key);
   if (fast_path) {
     // Single-replica read at the primary; any miss, error or timeout
     // demotes to the quorum path instead of concluding.
@@ -601,7 +797,7 @@ void StorageNode::StartGet(const std::string& key, GetCallback cb,
     std::vector<std::string> alive;
     alive.reserve(targets.size());
     for (const std::string& target : targets) {
-      if (detector_->StatusOf(target) != gossip::Liveness::kDead) {
+      if (LivenessOf(ss, target) != gossip::Liveness::kDead) {
         alive.push_back(target);
       }
     }
@@ -610,11 +806,12 @@ void StorageNode::StartGet(const std::string& key, GetCallback cb,
     }
   }
   if (targets.empty()) {
-    ++stats_.gets_failed;
+    ++ss.stats.gets_failed;
     cb(Status::Unavailable("ring is empty"));
     return;
   }
-  const std::uint64_t req = next_req_++;
+  const std::uint64_t req = (ss.next_seq++ << kShardBits) |
+                            static_cast<std::uint64_t>(ss.index);
   PendingGet get;
   get.key = key;
   get.cb = std::move(cb);
@@ -630,9 +827,9 @@ void StorageNode::StartGet(const std::string& key, GetCallback cb,
   // a full quorum round inside the caller's patience window.
   const Micros timeout =
       fast_path ? config_.get_timeout / 2 : config_.get_timeout;
-  get.timeout_event =
-      transport_->ScheduleTimer(timeout, [this, req]() { OnGetTimeout(req); });
-  pending_gets_.emplace(req, std::move(get));
+  get.timeout_event = ss.executor->ScheduleTimer(
+      timeout, [this, &ss, req]() { OnGetTimeout(ss, req); });
+  ss.pending_gets.emplace(req, std::move(get));
 
   GetReplicaMsg msg;
   msg.req = req;
@@ -643,81 +840,82 @@ void StorageNode::StartGet(const std::string& key, GetCallback cb,
   }
 }
 
-void StorageNode::DemoteGet(std::uint64_t req, PendingGet* get) {
-  ++stats_.fast_read_demotions;
-  transport_->CancelTimer(get->timeout_event);
+void StorageNode::DemoteGet(ShardState& ss, std::uint64_t req,
+                            PendingGet* get) {
+  ++ss.stats.fast_read_demotions;
+  ss.executor->CancelTimer(get->timeout_event);
   const std::string key = get->key;
   GetCallback cb = std::move(get->cb);
   const Micros started_at = get->started_at;
-  pending_gets_.erase(req);
-  StartGet(key, std::move(cb), started_at, /*fast_path=*/false);
+  ss.pending_gets.erase(req);
+  StartGet(ss, key, std::move(cb), started_at, /*fast_path=*/false);
 }
 
-void StorageNode::HandleGetAck(const net::Message& msg) {
-  auto ack = DecodeGetAck(msg.body);
-  if (!ack.ok()) {
-    // An undecodable ack carries no request id, but it still came from a
-    // node some read is waiting on. Treat it as a failed reply for every
-    // pending read that is missing an answer from the sender, so the
-    // all-responded miss path can conclude early instead of stalling until
-    // get_timeout. A spurious match (two reads waiting on the same node)
-    // only costs a fallback, never a wrong answer: failed replies can't
-    // satisfy R.
-    ++stats_.get_acks_corrupt;
-    std::vector<std::uint64_t> affected;
-    for (const auto& [req, get] : pending_gets_) {
-      if (get.replies.count(msg.from) > 0) continue;
-      if (std::find(get.targets.begin(), get.targets.end(), msg.from) !=
-          get.targets.end()) {
-        affected.push_back(req);
-      }
+void StorageNode::HandleCorruptGetAck(ShardState& ss, const std::string& from) {
+  // An undecodable ack carries no request id, but it still came from a
+  // node some read is waiting on. Treat it as a failed reply for every
+  // pending read that is missing an answer from the sender, so the
+  // all-responded miss path can conclude early instead of stalling until
+  // get_timeout. A spurious match (two reads waiting on the same node)
+  // only costs a fallback, never a wrong answer: failed replies can't
+  // satisfy R.
+  std::vector<std::uint64_t> affected;
+  for (const auto& [req, get] : ss.pending_gets) {
+    if (get.replies.count(from) > 0) continue;
+    if (std::find(get.targets.begin(), get.targets.end(), from) !=
+        get.targets.end()) {
+      affected.push_back(req);
     }
-    for (std::uint64_t req : affected) {
-      auto it = pending_gets_.find(req);
-      if (it == pending_gets_.end()) continue;  // concluded by a prior turn
-      PendingGet& get = it->second;
-      if (get.fast_path && !get.done) {
-        DemoteGet(req, &get);
-        continue;
-      }
-      GetReply failed;
-      failed.ok = false;
-      get.replies.emplace(msg.from, std::move(failed));
-      MaybeFinishGet(req, &get);
-    }
-    return;
   }
-  auto it = pending_gets_.find(ack->req);
-  if (it == pending_gets_.end()) return;
+  for (std::uint64_t req : affected) {
+    auto it = ss.pending_gets.find(req);
+    if (it == ss.pending_gets.end()) continue;  // concluded by a prior turn
+    PendingGet& get = it->second;
+    if (get.fast_path && !get.done) {
+      DemoteGet(ss, req, &get);
+      continue;
+    }
+    GetReply failed;
+    failed.ok = false;
+    get.replies.emplace(from, std::move(failed));
+    MaybeFinishGet(ss, req, &get);
+  }
+}
+
+void StorageNode::HandleGetAck(ShardState& ss, const std::string& from,
+                               GetAckMsg ack) {
+  auto it = ss.pending_gets.find(ack.req);
+  if (it == ss.pending_gets.end()) return;
   PendingGet& get = it->second;
-  if (get.replies.count(msg.from) > 0) return;  // duplicate
-  if (ack->ok) {
+  if (get.replies.count(from) > 0) return;  // duplicate
+  if (ack.ok) {
     // Attribution must come from a reply that can actually explain the
     // outcome's latency: recording queue/service numbers from failed
     // replies too would let the trace blame a replica that only ever
     // returned an error.
-    get.last_queue = ack->queue_micros;
-    get.last_service = ack->service_micros;
-    get.last_replica = msg.from;
+    get.last_queue = ack.queue_micros;
+    get.last_service = ack.service_micros;
+    get.last_replica = from;
   }
   GetReply reply;
-  reply.ok = ack->ok;
-  reply.found = ack->found;
-  reply.record = std::move(ack->record);
+  reply.ok = ack.ok;
+  reply.found = ack.found;
+  reply.record = std::move(ack.record);
   const bool fast_retry = get.fast_path && (!reply.ok || !reply.found);
-  get.replies.emplace(msg.from, std::move(reply));
+  get.replies.emplace(from, std::move(reply));
   if (fast_retry && !get.done) {
     // The single-replica attempt could not answer. A one-replica miss is
     // never authoritative (the primary may still be catching up from a
     // crash) and an error says nothing either way — re-run as a quorum
     // read before concluding anything.
-    DemoteGet(ack->req, &get);
+    DemoteGet(ss, ack.req, &get);
     return;
   }
-  MaybeFinishGet(ack->req, &get);
+  MaybeFinishGet(ss, ack.req, &get);
 }
 
-void StorageNode::MaybeFinishGet(std::uint64_t req, PendingGet* get) {
+void StorageNode::MaybeFinishGet(ShardState& ss, std::uint64_t req,
+                                 PendingGet* get) {
   int successes = 0;
   const bson::Document* winner = nullptr;
   for (const auto& [from, reply] : get->replies) {
@@ -733,9 +931,9 @@ void StorageNode::MaybeFinishGet(std::uint64_t req, PendingGet* get) {
     if (winner != nullptr && successes >= get->needed) {
       // A found record plus R successful reads (R = 1 on the fast path).
       get->done = true;
-      ++stats_.gets_succeeded;
-      if (get->fast_path) ++stats_.fast_read_hits;
-      RecordGetOutcome(*get, req, /*ok=*/true);
+      ++ss.stats.gets_succeeded;
+      if (get->fast_path) ++ss.stats.fast_read_hits;
+      RecordGetOutcome(ss, *get, req, /*ok=*/true);
       get->cb(*winner);
     } else if (all_responded) {
       // "The Get operation gets all replications of the specified key":
@@ -746,25 +944,26 @@ void StorageNode::MaybeFinishGet(std::uint64_t req, PendingGet* get) {
       get->done = true;
       if (successes >= get->needed) {
         if (winner != nullptr) {
-          ++stats_.gets_succeeded;
-          RecordGetOutcome(*get, req, /*ok=*/true);
+          ++ss.stats.gets_succeeded;
+          RecordGetOutcome(ss, *get, req, /*ok=*/true);
           get->cb(*winner);
         } else {
-          ++stats_.gets_failed;
-          RecordGetOutcome(*get, req, /*ok=*/false);
+          ++ss.stats.gets_failed;
+          RecordGetOutcome(ss, *get, req, /*ok=*/false);
           get->cb(Status::NotFound("no replica has key " + get->key));
         }
       } else {
-        ++stats_.gets_failed;
-        RecordGetOutcome(*get, req, /*ok=*/false);
+        ++ss.stats.gets_failed;
+        RecordGetOutcome(ss, *get, req, /*ok=*/false);
         get->cb(Status::Unavailable("read quorum unreachable for " + get->key));
       }
     }
   }
-  if (all_responded) FinalizeGet(req, get);
+  if (all_responded) FinalizeGet(ss, req, get);
 }
 
-void StorageNode::FinalizeGet(std::uint64_t req, PendingGet* get) {
+void StorageNode::FinalizeGet(ShardState& ss, std::uint64_t req,
+                              PendingGet* get) {
   // Read repair (§5.2.2): "the Get operation gets all replications of the
   // specified key, and checks the number of replication. If replications
   // are less than N ... some more replications are supplemented."
@@ -787,15 +986,15 @@ void StorageNode::FinalizeGet(std::uint64_t req, PendingGet* get) {
             !reply_it->second.found ||
             core::SupersedesLww(*winner, reply_it->second.record);
         if (!needs_repair) continue;
-        if (detector_->StatusOf(target) == gossip::Liveness::kDead) {
+        if (LivenessOf(ss, target) == gossip::Liveness::kDead) {
           // A dead node cannot take the repair; the message would sit in
           // the transport's bounded outbound queue until dropped. Park it
           // as a hint instead (when handoff is on) so the write-back timer
           // delivers it once the node returns.
-          ++stats_.read_repairs_skipped_dead;
+          ++ss.stats.read_repairs_skipped_dead;
           if (config_.hinted_handoff) {
-            hints_.Add(target, core::AsReplicaCopy(*winner),
-                       transport_->NowMicros());
+            ss.hints->Add(target, core::AsReplicaCopy(*winner),
+                          transport_->NowMicros());
           }
           continue;
         }
@@ -803,22 +1002,22 @@ void StorageNode::FinalizeGet(std::uint64_t req, PendingGet* get) {
         repair.req = 0;  // fire-and-forget
         repair.record = core::AsReplicaCopy(*winner);
         SendToNode(target, kMsgPutReplica, EncodePutReplica(repair));
-        ++stats_.read_repairs;
+        ++ss.stats.read_repairs;
       }
     }
   }
-  transport_->CancelTimer(get->timeout_event);
-  pending_gets_.erase(req);
+  ss.executor->CancelTimer(get->timeout_event);
+  ss.pending_gets.erase(req);
 }
 
-void StorageNode::OnGetTimeout(std::uint64_t req) {
-  auto it = pending_gets_.find(req);
-  if (it == pending_gets_.end()) return;
+void StorageNode::OnGetTimeout(ShardState& ss, std::uint64_t req) {
+  auto it = ss.pending_gets.find(req);
+  if (it == ss.pending_gets.end()) return;
   PendingGet& get = it->second;
   if (get.fast_path && !get.done) {
     // The single-replica attempt ran out of its half of the budget; spend
     // the remainder on a full quorum round.
-    DemoteGet(req, &get);
+    DemoteGet(ss, req, &get);
     return;
   }
   if (!get.done) {
@@ -839,51 +1038,52 @@ void StorageNode::OnGetTimeout(std::uint64_t req) {
       }
     }
     if (winner != nullptr && successes >= get.needed) {
-      ++stats_.gets_succeeded;
-      RecordGetOutcome(get, req, /*ok=*/true);
+      ++ss.stats.gets_succeeded;
+      RecordGetOutcome(ss, get, req, /*ok=*/true);
       get.cb(*winner);
     } else if (successes >= get.needed) {
-      ++stats_.gets_failed;
-      RecordGetOutcome(get, req, /*ok=*/false);
+      ++ss.stats.gets_failed;
+      RecordGetOutcome(ss, get, req, /*ok=*/false);
       get.cb(Status::NotFound("no replica has key " + get.key));
     } else {
-      ++stats_.gets_failed;
-      RecordGetOutcome(get, req, /*ok=*/false);
+      ++ss.stats.gets_failed;
+      RecordGetOutcome(ss, get, req, /*ok=*/false);
       get.cb(Status::Timeout("read quorum not reached for key " + get.key));
     }
   }
-  FinalizeGet(req, &get);
+  FinalizeGet(ss, req, &get);
 }
 
 // --- dirty-set bookkeeping (fast consistent reads) --------------------------
 
-void StorageNode::MarkKeyDirty(const std::string& key) {
+void StorageNode::MarkKeyDirty(ShardState& ss, const std::string& key) {
   if (!config_.fast_reads) return;
-  DirtyEntry& entry = dirty_keys_[key];
+  DirtyEntry& entry = ss.dirty_keys[key];
   ++entry.inflight;
   entry.last_write = transport_->NowMicros();
   // Amortized sweep: retire entries whose quiescence window lapsed so the
   // map tracks the recently-written working set, not every key ever
   // written through this coordinator.
-  if (dirty_sweep_countdown_ == 0) {
-    dirty_sweep_countdown_ = 256;
+  if (ss.dirty_sweep_countdown == 0) {
+    ss.dirty_sweep_countdown = 256;
     const Micros now = transport_->NowMicros();
-    for (auto it = dirty_keys_.begin(); it != dirty_keys_.end();) {
+    for (auto it = ss.dirty_keys.begin(); it != ss.dirty_keys.end();) {
       const DirtyEntry& aged = it->second;
       if (aged.inflight == 0 &&
           now - aged.last_write >= config_.fast_read_quiescence) {
-        it = dirty_keys_.erase(it);
+        it = ss.dirty_keys.erase(it);
       } else {
         ++it;
       }
     }
   }
-  --dirty_sweep_countdown_;
+  --ss.dirty_sweep_countdown;
 }
 
-void StorageNode::RetireDirtyKey(const std::string& key, bool settled_all_n) {
-  auto it = dirty_keys_.find(key);
-  if (it == dirty_keys_.end()) return;
+void StorageNode::RetireDirtyKey(ShardState& ss, const std::string& key,
+                                 bool settled_all_n) {
+  auto it = ss.dirty_keys.find(key);
+  if (it == ss.dirty_keys.end()) return;
   DirtyEntry& entry = it->second;
   entry.inflight = std::max(0, entry.inflight - 1);
   entry.last_write = transport_->NowMicros();
@@ -891,12 +1091,12 @@ void StorageNode::RetireDirtyKey(const std::string& key, bool settled_all_n) {
   // holders left every replica with its (newer by LWW) value, so whatever
   // an earlier write missed no longer matters for freshness.
   entry.unsettled = !settled_all_n;
-  if (entry.inflight == 0 && !entry.unsettled) dirty_keys_.erase(it);
+  if (entry.inflight == 0 && !entry.unsettled) ss.dirty_keys.erase(it);
 }
 
-bool StorageNode::KeyIsClean(const std::string& key) {
-  auto it = dirty_keys_.find(key);
-  if (it == dirty_keys_.end()) return true;
+bool StorageNode::KeyIsCleanOnShard(ShardState& ss, const std::string& key) {
+  auto it = ss.dirty_keys.find(key);
+  if (it == ss.dirty_keys.end()) return true;
   const DirtyEntry& entry = it->second;
   if (entry.inflight > 0) return false;
   if (transport_->NowMicros() - entry.last_write <
@@ -905,16 +1105,35 @@ bool StorageNode::KeyIsClean(const std::string& key) {
   }
   // Aged out: the quiescence window lapsed with nothing in flight, giving
   // read repair and anti-entropy time to settle whatever the write missed.
-  dirty_keys_.erase(it);
+  ss.dirty_keys.erase(it);
   return true;
+}
+
+bool StorageNode::KeyIsClean(const std::string& key) {
+  const int shard = ShardOfKey(key);
+  bool clean = false;
+  sharded_->PostSync(shard, [this, shard, &key, &clean] {
+    clean = KeyIsCleanOnShard(*shards_[shard], key);
+  });
+  return clean;
+}
+
+std::size_t StorageNode::DirtyKeyCount() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const ShardState* ss = shard.get();
+    sharded_->PostSync(ss->index,
+                       [ss, &total] { total += ss->dirty_keys.size(); });
+  }
+  return total;
 }
 
 // --- observability ----------------------------------------------------------
 
-void StorageNode::RecordPutOutcome(const PendingPut& put, std::uint64_t req,
-                                   bool ok) {
+void StorageNode::RecordPutOutcome(ShardState& ss, const PendingPut& put,
+                                   std::uint64_t req, bool ok) {
   const Micros total = transport_->NowMicros() - put.started_at;
-  put_latency_hist_.Record(total);
+  ss.put_latency_hist.Record(total);
   metrics::TraceRecord trace;
   trace.req = req;
   trace.op = metrics::TraceOp::kPut;
@@ -928,17 +1147,17 @@ void StorageNode::RecordPutOutcome(const PendingPut& put, std::uint64_t req,
   trace.network_micros =
       std::max<Micros>(0, total - put.last_queue - put.last_service);
   trace.ok = ok;
-  traces_.Add(std::move(trace));
+  ss.traces.Add(std::move(trace));
 }
 
-void StorageNode::RecordGetOutcome(const PendingGet& get, std::uint64_t req,
-                                   bool ok) {
+void StorageNode::RecordGetOutcome(ShardState& ss, const PendingGet& get,
+                                   std::uint64_t req, bool ok) {
   const Micros total = transport_->NowMicros() - get.started_at;
-  get_latency_hist_.Record(total);
+  ss.get_latency_hist.Record(total);
   // Demoted reads record on the quorum histogram under their *original*
   // start time: the fast detour they took is part of the latency the
   // caller observed, not a separate measurement.
-  (get.fast_path ? fast_get_latency_hist_ : quorum_get_latency_hist_)
+  (get.fast_path ? ss.fast_get_latency_hist : ss.quorum_get_latency_hist)
       .Record(total);
   metrics::TraceRecord trace;
   trace.req = req;
@@ -953,56 +1172,122 @@ void StorageNode::RecordGetOutcome(const PendingGet& get, std::uint64_t req,
   trace.network_micros =
       std::max<Micros>(0, total - get.last_queue - get.last_service);
   trace.ok = ok;
-  traces_.Add(std::move(trace));
+  ss.traces.Add(std::move(trace));
+}
+
+NodeStats StorageNode::stats() const {
+  NodeStats merged;
+  for (const auto& shard : shards_) {
+    const ShardState* ss = shard.get();
+    sharded_->PostSync(ss->index,
+                       [ss, &merged] { merged.MergeFrom(ss->stats); });
+  }
+  return merged;
+}
+
+metrics::Histogram StorageNode::put_latency_histogram() const {
+  metrics::Histogram merged;
+  for (const auto& shard : shards_) {
+    const ShardState* ss = shard.get();
+    sharded_->PostSync(ss->index,
+                       [ss, &merged] { merged.MergeFrom(ss->put_latency_hist); });
+  }
+  return merged;
+}
+
+metrics::Histogram StorageNode::get_latency_histogram() const {
+  metrics::Histogram merged;
+  for (const auto& shard : shards_) {
+    const ShardState* ss = shard.get();
+    sharded_->PostSync(ss->index,
+                       [ss, &merged] { merged.MergeFrom(ss->get_latency_hist); });
+  }
+  return merged;
+}
+
+metrics::Histogram StorageNode::fast_get_latency_histogram() const {
+  metrics::Histogram merged;
+  for (const auto& shard : shards_) {
+    const ShardState* ss = shard.get();
+    sharded_->PostSync(ss->index, [ss, &merged] {
+      merged.MergeFrom(ss->fast_get_latency_hist);
+    });
+  }
+  return merged;
+}
+
+metrics::Histogram StorageNode::quorum_get_latency_histogram() const {
+  metrics::Histogram merged;
+  for (const auto& shard : shards_) {
+    const ShardState* ss = shard.get();
+    sharded_->PostSync(ss->index, [ss, &merged] {
+      merged.MergeFrom(ss->quorum_get_latency_hist);
+    });
+  }
+  return merged;
+}
+
+std::vector<metrics::TraceRecord> StorageNode::TraceSnapshot() const {
+  std::vector<metrics::TraceRecord> merged;
+  for (const auto& shard : shards_) {
+    const ShardState* ss = shard.get();
+    sharded_->PostSync(ss->index, [ss, &merged] {
+      std::vector<metrics::TraceRecord> snap = ss->traces.Snapshot();
+      merged.insert(merged.end(), std::make_move_iterator(snap.begin()),
+                    std::make_move_iterator(snap.end()));
+    });
+  }
+  return merged;
 }
 
 // --- hinted handoff write-back ----------------------------------------------
 
-void StorageNode::StartHintTimer() {
-  hint_timer_ = transport_->ScheduleTimer(config_.hint_retry_interval, [this]() {
-    if (!running_) return;
-    DeliverHints();
-    StartHintTimer();
-  });
+void StorageNode::StartHintTimer(ShardState& ss) {
+  ss.hint_timer = ss.executor->ScheduleTimer(
+      config_.hint_retry_interval, [this, &ss]() {
+        if (!running_) return;
+        DeliverHints(ss);
+        StartHintTimer(ss);
+      });
 }
 
-void StorageNode::DeliverHints() {
-  for (const std::string& target : hints_.Targets()) {
+void StorageNode::DeliverHints(ShardState& ss) {
+  for (const std::string& target : ss.hints->Targets()) {
     // "It detects the node B periodically by heartbeat service. When it
     // finds that the B node is on-line again, ... write the data back."
-    if (detector_->StatusOf(target) != gossip::Liveness::kAlive) continue;
-    if (!ring_.HasNode(target)) {
+    if (LivenessOf(ss, target) != gossip::Liveness::kAlive) continue;
+    if (!RingOf(ss).HasNode(target)) {
       // The target was permanently removed; drop its hints (the data was
       // re-replicated by long-failure repair).
-      for (const Hint& hint : hints_.ForTarget(target)) hints_.Remove(hint.id);
+      for (const Hint& hint : ss.hints->ForTarget(target)) {
+        ss.hints->Remove(hint.id);
+      }
       continue;
     }
-    for (const Hint& hint : hints_.ForTarget(target)) {
+    for (const Hint& hint : ss.hints->ForTarget(target)) {
       SendToNode(target, kMsgHandoffDeliver,
                  EncodeHandoffDeliver(hint.id, hint.record));
     }
   }
 }
 
-void StorageNode::HandleHandoffAck(const net::Message& msg) {
-  auto ack = DecodeHandoffAck(msg.body);
-  if (!ack.ok()) return;
-  if (!ack->ok) return;
-  const Hint* hint = hints_.Find(ack->hint_id);
+void StorageNode::HandleHandoffAck(ShardState& ss, HandoffAckMsg ack) {
+  if (!ack.ok) return;
+  const Hint* hint = ss.hints->Find(ack.hint_id);
   if (hint == nullptr) return;  // already acked by an earlier retry
   const std::string key = core::RecordSelfKey(hint->record);
-  hints_.Remove(ack->hint_id);
-  ++stats_.hints_delivered;
+  ss.hints->Remove(ack.hint_id);
+  ++ss.stats.hints_delivered;
   // The write-back is done: drop the temporary local copy unless this node
   // is a preference member for the key (then the copy is a real replica)
   // or other hints still reference it. Without this purge the substitute
   // keeps an unowned replica forever — anti-entropy only reconciles
   // preference members, so that orphan goes stale on the next write and
   // the replica set never converges back to byte-identical.
-  if (hints_.HasHintForKey(key)) return;
-  std::vector<std::string> prefs = PreferenceNodes(key);
+  if (ss.hints->HasHintForKey(key)) return;
+  std::vector<std::string> prefs = PreferenceNodes(ss, key);
   if (std::find(prefs.begin(), prefs.end(), id_) == prefs.end()) {
-    Status purged = store_->Purge(key);
+    Status purged = ss.store->Purge(key);
     (void)purged;
   }
 }
@@ -1012,6 +1297,7 @@ void StorageNode::HandleHandoffAck(const net::Message& msg) {
 void StorageNode::OnDetectorTransition(const std::string& endpoint,
                                        gossip::Liveness /*from*/,
                                        gossip::Liveness to) {
+  SyncShardLiveness(endpoint, to);
   if (to == gossip::Liveness::kDead && spec_.is_seed) {
     // "The seed nodes are responsible for detecting 'long failure' nodes."
     HOTMAN_LOG(kInfo) << id_ << ": seed detected long failure of " << endpoint;  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
@@ -1035,6 +1321,7 @@ void StorageNode::OnNodeRemoved(const std::string& node) {
   Status s = ring_.RemoveNode(node);
   (void)s;
   removed_nodes_.insert(node);
+  SyncShardRings();
   // Fig. 9: "node removing will cause the number of the replications of
   // data decreasing. So some new replicas should be created and distributed
   // to other nodes."
@@ -1047,18 +1334,34 @@ void StorageNode::OnNodeAdded(const std::string& node, int vnodes) {
   Status s = ring_.AddNode(node, vnodes);
   if (!s.ok()) return;
   gossiper_->AddPeer(node);
+  SyncShardRings();
   // "The mapping and migrating operation are executed by the next physical
   // node on the ring": every holder pushes the keys that now belong to the
   // newcomer and drops the ones it no longer owns.
   ReplicateLocalData(/*purge_unowned=*/true);
 }
 
+std::vector<bson::Document> StorageNode::AllShardRecords() {
+  // Shard-0 / rebalance path: reads every shard's store partition directly.
+  // Safe without a mailbox hop because the docstore serializes access
+  // internally (SharedMutex per collection) and rebalancing only needs a
+  // point-in-time snapshot, not the owning shard's view.
+  std::vector<bson::Document> all;
+  for (const auto& shard : shards_) {
+    auto records = StoreOfShard(shard->index)->AllRecords();  // NOLINT(hotman-shard-affinity) docstore-locked snapshot read from the rebalance path
+    if (!records.ok()) continue;
+    all.insert(all.end(), std::make_move_iterator(records->begin()),
+               std::make_move_iterator(records->end()));
+  }
+  return all;
+}
+
 void StorageNode::ReplicateLocalData(bool purge_unowned) {
-  auto records = store_->AllRecords();
-  if (!records.ok()) return;
-  for (const bson::Document& record : *records) {
+  ShardState& system = *shards_[0];
+  for (const bson::Document& record : AllShardRecords()) {
     const std::string key = core::RecordSelfKey(record);
-    std::vector<std::string> prefs = PreferenceNodes(key);
+    std::vector<std::string> prefs = ring_.PreferenceList(
+        key, config_.replication_factor);
     bool self_owns = false;
     for (const std::string& target : prefs) {
       if (target == id_) {
@@ -1069,10 +1372,10 @@ void StorageNode::ReplicateLocalData(bool purge_unowned) {
       msg.req = 0;  // fire-and-forget; LWW makes it idempotent
       msg.record = core::AsReplicaCopy(record);
       SendToNode(target, kMsgPutReplica, EncodePutReplica(msg));
-      ++stats_.rereplications;
+      ++system.stats.rereplications;
     }
     if (purge_unowned && !self_owns) {
-      Status s = store_->Purge(key);
+      Status s = StoreForKey(key)->Purge(key);  // NOLINT(hotman-shard-affinity) docstore-locked purge from the rebalance path
       (void)s;
     }
   }

@@ -14,11 +14,14 @@
 #include "cluster/replica_store.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "core/record.h"
 #include "docstore/server.h"
 #include "gossip/failure_detector.h"
 #include "gossip/gossiper.h"
+#include "hashring/ketama.h"
 #include "hashring/ring.h"
+#include "net/sharded_executor.h"
 #include "net/transport.h"
 #include "sim/failure_injector.h"
 #include "sim/service_station.h"
@@ -53,6 +56,9 @@ struct NodeStats {
   std::size_t ae_rounds = 0;            ///< anti-entropy exchanges initiated
   std::size_t ae_pushed = 0;            ///< records pushed by anti-entropy
   std::size_t ae_requested = 0;         ///< records pulled by anti-entropy
+
+  /// Field-wise sum (merging per-shard counters for /stats).
+  void MergeFrom(const NodeStats& other);
 };
 
 /// One storage node of the MyStore data storage module (§5.1):
@@ -68,13 +74,37 @@ struct NodeStats {
 ///
 /// Every node can coordinate client requests ("clients can connect to any
 /// node in the system to get/put data").
+///
+/// ### Shard-per-core runtime
+///
+/// The node is internally partitioned into `config.shards` shards, each
+/// owning a contiguous arc of the consistent-hash point space
+/// (net::ShardedExecutor::ShardForPoint). All *keyed* coordinator and
+/// replica state — the pending put/get tables, the dirty set, the hint
+/// ledger, the replica store partition, per-op timers, stats, histograms
+/// and traces — is shard-local and only ever touched in that shard's
+/// execution context (net::ShardContext). Requests hop between shards via
+/// RunOnShard (SPSC mailboxes when threaded, deterministic zero-delay
+/// events in simulation); request ids carry their home shard in the low
+/// kShardBits so acks route back without any shared lookup. Shard 0 is the
+/// system shard: gossip, the failure detector, membership and anti-entropy
+/// stay there, and it broadcasts ring/liveness snapshots to the other
+/// shards on every change.
 class StorageNode {
  public:
+  /// Bits of a request id reserved for the originating shard (so acks
+  /// route home without shared state). Caps shards at 64 per node.
+  static constexpr int kShardBits = 6;
+  static constexpr std::uint64_t kShardMask = (1u << kShardBits) - 1;
+
   /// `transport` carries messages and timers; `injector` may be null
-  /// (no fault injection — the real daemon).
+  /// (no fault injection — the real daemon). `sharded` may be null: the
+  /// node then builds its own non-threaded (deterministic) shard runtime
+  /// over `transport` with `config.shards` shards. The real daemon passes
+  /// a started threaded ShardedExecutor instead.
   StorageNode(const NodeSpec& spec, const ClusterConfig& config,
               net::Transport* transport, sim::FailureInjector* injector,
-              std::uint64_t rng_seed);
+              std::uint64_t rng_seed, net::ShardedExecutor* sharded = nullptr);
   ~StorageNode();
 
   StorageNode(const StorageNode&) = delete;
@@ -91,7 +121,8 @@ class StorageNode {
   // --- client (coordinator) API -------------------------------------------
 
   /// Coordinates a write of (key, value): builds the record, replicates to
-  /// the N preference nodes, succeeds at W acks (§5.2.2).
+  /// the N preference nodes, succeeds at W acks (§5.2.2). Runs on the
+  /// key's shard; `cb` fires in that shard's context.
   void CoordinatePut(const std::string& key, Bytes value, PutCallback cb);
 
   /// Logical delete: a tombstone write (isDel=1) through the same quorum.
@@ -129,8 +160,32 @@ class StorageNode {
   const std::string& id() const { return id_; }
   bool is_seed() const { return spec_.is_seed; }
   const hashring::Ring& ring() const { return ring_; }
-  ReplicaStore* store() { return store_.get(); }
-  HintStore* hints() { return &hints_; }
+  /// Shard partitioning of this node's key space.
+  int num_shards() const { return sharded_->num_shards(); }
+  /// Shard owning `key`: its ketama ring position, mapped onto the shard
+  /// arcs (net/ stays hash-agnostic, so the hash happens here).
+  int ShardOfKey(const std::string& key) const {
+    return net::ShardedExecutor::ShardForPoint(hashring::KetamaHash(key),
+                                               sharded_->num_shards());
+  }
+  /// Shard 0's replica store (the only one at shards = 1; multi-shard
+  /// callers scan every shard via StoreOfShard).
+  ReplicaStore* store() { return shards_[0]->store.get(); }
+  /// The replica store partition of shard `shard`. Affine: the partition
+  /// belongs to that shard's context; off-shard callers need a mailbox
+  /// hop or a docstore-locked snapshot justification.
+  ReplicaStore* StoreOfShard(int shard) HOTMAN_SHARD_AFFINE {
+    return shards_[shard]->store.get();
+  }
+  /// The replica store partition owning `key` (affine, as above).
+  ReplicaStore* StoreForKey(const std::string& key) HOTMAN_SHARD_AFFINE {
+    return shards_[ShardOfKey(key)]->store.get();
+  }
+  /// Shard 0's hint ledger (the only one at shards = 1).
+  HintStore* hints() { return shards_[0]->hints.get(); }
+  HintStore* HintsOfShard(int shard) HOTMAN_SHARD_AFFINE {
+    return shards_[shard]->hints.get();
+  }
   gossip::Gossiper* gossiper() { return gossiper_.get(); }
   gossip::FailureDetector* detector() { return detector_.get(); }
   docstore::DocStoreServer* server() { return server_.get(); }
@@ -140,29 +195,30 @@ class StorageNode {
   /// handlers (client_put/get/...) here so one endpoint serves both cluster
   /// and client traffic.
   net::Dispatcher* dispatcher() { return &dispatcher_; }
-  const NodeStats& stats() const { return stats_; }
+  /// Merged per-shard operation counters (safe from any thread: shard
+  /// counters are gathered in each shard's own context).
+  NodeStats stats() const;
 
   /// Coordinated-operation latency (enqueue -> outcome callback), success
-  /// and failure combined; the cluster layer merges these for /stats.
-  const metrics::Histogram& put_latency_histogram() const { return put_latency_hist_; }
-  const metrics::Histogram& get_latency_histogram() const { return get_latency_hist_; }
+  /// and failure combined, merged across shards; the cluster layer merges
+  /// these for /stats.
+  metrics::Histogram put_latency_histogram() const;
+  metrics::Histogram get_latency_histogram() const;
   /// Per-path read latency: reads decided by the single-replica fast path
   /// vs. reads that went through (or demoted to) the R-quorum fan-out.
-  const metrics::Histogram& fast_get_latency_histogram() const {
-    return fast_get_latency_hist_;
-  }
-  const metrics::Histogram& quorum_get_latency_histogram() const {
-    return quorum_get_latency_hist_;
-  }
+  metrics::Histogram fast_get_latency_histogram() const;
+  metrics::Histogram quorum_get_latency_histogram() const;
 
   /// Dirty-set introspection (tests + /stats): true when a read of `key`
   /// issued now would be eligible for the single-replica fast path as far
   /// as the dirty set is concerned. Lazily retires aged-out entries.
+  /// Synchronizes with the key's shard.
   bool KeyIsClean(const std::string& key);
-  std::size_t DirtyKeyCount() const { return dirty_keys_.size(); }
+  std::size_t DirtyKeyCount() const;
 
-  /// Recent per-request trace records coordinated by this node.
-  const metrics::TraceBuffer& traces() const { return traces_; }
+  /// Recent per-request trace records coordinated by this node, merged
+  /// across shards.
+  std::vector<metrics::TraceRecord> TraceSnapshot() const;
 
   /// Nodes this node believes are cluster members (on its ring).
   std::vector<std::string> KnownMembers() const { return ring_.Nodes(); }
@@ -174,6 +230,9 @@ class StorageNode {
   /// restores an honest clock.
   void SetClockSkew(Micros skew) { clock_skew_ = skew; }
   Micros clock_skew() const { return clock_skew_; }
+
+  /// The shard runtime in use (owned or injected).
+  net::ShardedExecutor* sharded() { return sharded_; }
 
  private:
   struct PendingPut {
@@ -231,48 +290,116 @@ class StorageNode {
     bool unsettled = false; ///< a decided write missed >= 1 preference holder
   };
 
+  /// One shard's slice of the node: everything keyed work touches. Only
+  /// ever accessed in the shard's execution context (its reactor thread in
+  /// the real daemon; its ShardContext scope in simulation) — no locks.
+  struct ShardState {
+    int index = 0;
+    /// The executor this shard's timers run on (the shard's reactor when
+    /// threaded; the node's base transport otherwise).
+    net::Executor* executor = nullptr;
+    std::unique_ptr<ReplicaStore> store;
+    std::unique_ptr<HintStore> hints;
+    /// Shard-local membership view. Threaded shards > 0 work from ring /
+    /// liveness snapshots broadcast by shard 0 on every change; shard 0
+    /// (and every shard of the single-threaded runtime) reads the masters
+    /// directly. An endpoint absent from `liveness` is kAlive, matching
+    /// the failure detector's default for never-heard-of peers.
+    hashring::Ring ring;
+    std::map<std::string, gossip::Liveness> liveness;
+    std::uint64_t next_seq = 1;  ///< request ids: (next_seq << kShardBits) | index
+    std::map<std::uint64_t, PendingPut> pending_puts;
+    std::map<std::uint64_t, PendingGet> pending_gets;
+    std::map<std::string, DirtyEntry> dirty_keys;
+    std::uint64_t dirty_sweep_countdown = 0;  ///< periodic expired-entry sweep
+    net::TimerId hint_timer = 0;
+    NodeStats stats;
+    metrics::Histogram put_latency_hist;
+    metrics::Histogram get_latency_hist;
+    metrics::Histogram fast_get_latency_hist;
+    metrics::Histogram quorum_get_latency_hist;
+    metrics::TraceBuffer traces{256};
+  };
+
   // Message plumbing. Handlers are registered per type on dispatcher_;
-  // the transport invokes them on its event thread.
+  // the transport invokes them on its event thread (= shard 0), and keyed
+  // handlers immediately hop to the owning shard.
   void RegisterHandlers();
   void SendToNode(const std::string& to, const std::string& type,
                   bson::Document body);
+  /// Runs `fn` in shard `shard`'s context (inline when already there).
+  void RunOnShard(int shard, std::function<void()> fn);
+  /// Shard that owns request id `req` (its low kShardBits).
+  int ShardOfReq(std::uint64_t req) const {
+    return static_cast<int>(req & kShardMask) % sharded_->num_shards();
+  }
   /// Runs replica-side work through the ServiceStation when service-time
   /// modeling is on, or inline (zero modeled delay) when off. Returns
   /// false when the station shed the request.
   bool SubmitWork(std::size_t payload_bytes, sim::ServiceStation::Done done);
 
-  // Replica-side handlers (the normal message handling process).
-  void HandlePutReplica(const net::Message& msg);
-  void HandleGetReplica(const net::Message& msg);
-  void HandleHintStore(const net::Message& msg);
-  void HandleHandoffDeliver(const net::Message& msg);
+  /// Shard-local membership accessors (the snapshot story above).
+  const hashring::Ring& RingOf(const ShardState& ss) const;
+  gossip::Liveness LivenessOf(const ShardState& ss,
+                              const std::string& node) const;
+  /// Broadcasts the master ring / a liveness transition to threaded
+  /// shards > 0. Shard-0 context only.
+  void SyncShardRings();
+  void SyncShardLiveness(const std::string& endpoint, gossip::Liveness to);
 
-  // Coordinator-side handlers.
-  void HandlePutAck(const net::Message& msg);
-  void HandleGetAck(const net::Message& msg);
-  void HandleHandoffAck(const net::Message& msg);
+  // Replica-side handlers (the normal message handling process). Run on
+  // the key's shard.
+  void HandlePutReplica(ShardState& ss, const std::string& from,
+                        PutReplicaMsg msg) HOTMAN_SHARD_AFFINE;
+  void HandleGetReplica(ShardState& ss, const std::string& from,
+                        GetReplicaMsg msg) HOTMAN_SHARD_AFFINE;
+  void HandleHintStore(ShardState& ss, const std::string& from,
+                       HintStoreMsg msg) HOTMAN_SHARD_AFFINE;
+  void HandleHandoffDeliver(ShardState& ss, const std::string& from,
+                            std::uint64_t hint_id,
+                            bson::Document record) HOTMAN_SHARD_AFFINE;
 
-  // Put state machine.
-  void StartPut(bson::Document record, PutCallback cb);
-  void TryHandoff(std::uint64_t req, PendingPut* put, const std::string& failed);
-  void OnPutTimeout(std::uint64_t req);
-  void OnPutCleanup(std::uint64_t req);
-  void MaybeFinishPut(std::uint64_t req, PendingPut* put);
+  // Coordinator-side handlers. Run on the request id's home shard.
+  void HandlePutAck(ShardState& ss, const std::string& from,
+                    PutAckMsg ack) HOTMAN_SHARD_AFFINE;
+  void HandleGetAck(ShardState& ss, const std::string& from,
+                    GetAckMsg ack) HOTMAN_SHARD_AFFINE;
+  /// An undecodable get ack carries no request id, so every shard checks
+  /// its own pending reads against the sender.
+  void HandleCorruptGetAck(ShardState& ss,
+                           const std::string& from) HOTMAN_SHARD_AFFINE;
+  void HandleHandoffAck(ShardState& ss, HandoffAckMsg ack) HOTMAN_SHARD_AFFINE;
+
+  // Put state machine (all on the key's shard).
+  void StartPut(ShardState& ss, bson::Document record,
+                PutCallback cb) HOTMAN_SHARD_AFFINE;
+  void TryHandoff(ShardState& ss, std::uint64_t req, PendingPut* put,
+                  const std::string& failed) HOTMAN_SHARD_AFFINE;
+  void OnPutTimeout(ShardState& ss, std::uint64_t req) HOTMAN_SHARD_AFFINE;
+  void OnPutCleanup(ShardState& ss, std::uint64_t req) HOTMAN_SHARD_AFFINE;
+  void MaybeFinishPut(ShardState& ss, std::uint64_t req,
+                      PendingPut* put) HOTMAN_SHARD_AFFINE;
 
   // Get state machine. CoordinateGet picks the path; StartGet issues the
   // actual fan-out (single primary read or R-quorum spread); DemoteGet
   // re-runs a failed fast attempt through the quorum path.
-  void StartGet(const std::string& key, GetCallback cb, Micros started_at,
-                bool fast_path);
-  void DemoteGet(std::uint64_t req, PendingGet* get);
-  void OnGetTimeout(std::uint64_t req);
-  void MaybeFinishGet(std::uint64_t req, PendingGet* get);
-  void FinalizeGet(std::uint64_t req, PendingGet* get);
+  void StartGet(ShardState& ss, const std::string& key, GetCallback cb,
+                Micros started_at, bool fast_path) HOTMAN_SHARD_AFFINE;
+  void DemoteGet(ShardState& ss, std::uint64_t req,
+                 PendingGet* get) HOTMAN_SHARD_AFFINE;
+  void OnGetTimeout(ShardState& ss, std::uint64_t req) HOTMAN_SHARD_AFFINE;
+  void MaybeFinishGet(ShardState& ss, std::uint64_t req,
+                      PendingGet* get) HOTMAN_SHARD_AFFINE;
+  void FinalizeGet(ShardState& ss, std::uint64_t req,
+                   PendingGet* get) HOTMAN_SHARD_AFFINE;
 
-  // Dirty-set bookkeeping for the fast read path.
-  void MarkKeyDirty(const std::string& key);
+  // Dirty-set bookkeeping for the fast read path (on the key's shard).
+  void MarkKeyDirty(ShardState& ss, const std::string& key) HOTMAN_SHARD_AFFINE;
   /// Called exactly once per decided put, when its pending entry retires.
-  void RetireDirtyKey(const std::string& key, bool settled_all_n);
+  void RetireDirtyKey(ShardState& ss, const std::string& key,
+                      bool settled_all_n) HOTMAN_SHARD_AFFINE;
+  bool KeyIsCleanOnShard(ShardState& ss,
+                         const std::string& key) HOTMAN_SHARD_AFFINE;
   /// Whether writes must be primary-anchored for fast reads to stay
   /// consistent (strict mode; sloppy handoff already trades staleness).
   bool RequirePrimaryAck() const {
@@ -281,27 +408,34 @@ class StorageNode {
 
   // Observability: latency histogram sample + trace record for a decided
   // coordinated operation (call exactly once, when `done` flips).
-  void RecordPutOutcome(const PendingPut& put, std::uint64_t req, bool ok);
-  void RecordGetOutcome(const PendingGet& get, std::uint64_t req, bool ok);
+  void RecordPutOutcome(ShardState& ss, const PendingPut& put,
+                        std::uint64_t req, bool ok) HOTMAN_SHARD_AFFINE;
+  void RecordGetOutcome(ShardState& ss, const PendingGet& get,
+                        std::uint64_t req, bool ok) HOTMAN_SHARD_AFFINE;
 
-  // Anti-entropy plumbing.
+  // Anti-entropy plumbing (shard 0; scans every shard's store partition).
   void StartAntiEntropyTimer();
   void HandleAeDigest(const net::Message& msg);
   void HandleAeRequest(const net::Message& msg);
-  /// Records for which both `self` and `peer` are preference members.
+  /// Records for which both `self` and `peer` are preference members,
+  /// across all shard partitions.
   std::vector<bson::Document> SharedRecords(const std::string& peer);
+  /// Every record on this node (all shard partitions).
+  std::vector<bson::Document> AllShardRecords();
 
   // Failure handling.
-  void StartHintTimer();
-  void DeliverHints();
+  void StartHintTimer(ShardState& ss) HOTMAN_SHARD_AFFINE;
+  void DeliverHints(ShardState& ss) HOTMAN_SHARD_AFFINE;
   void OnDetectorTransition(const std::string& endpoint, gossip::Liveness from,
                             gossip::Liveness to);
 
-  // Rebalancing (long failure / node arrival).
+  // Rebalancing (long failure / node arrival). Shard 0.
   void ReplicateLocalData(bool purge_unowned);
 
-  /// The N distinct physical preference nodes for `key`.
-  std::vector<std::string> PreferenceNodes(const std::string& key) const;
+  /// The N distinct physical preference nodes for `key`, from `ss`'s
+  /// membership view.
+  std::vector<std::string> PreferenceNodes(const ShardState& ss,
+                                           const std::string& key) const;
 
   NodeSpec spec_;
   ClusterConfig config_;
@@ -310,32 +444,24 @@ class StorageNode {
   sim::FailureInjector* injector_;
   net::Dispatcher dispatcher_;
 
+  /// The shard runtime: injected (real daemon) or owned (simulation, where
+  /// a non-threaded runtime over the node's transport is built here).
+  std::unique_ptr<net::ShardedExecutor> owned_sharded_;
+  net::ShardedExecutor* sharded_ = nullptr;
+
   hashring::Ring ring_;
   std::set<std::string> removed_nodes_;
   std::unique_ptr<docstore::DocStoreServer> server_;
-  std::unique_ptr<ReplicaStore> store_;
   std::unique_ptr<sim::ServiceStation> station_;
   std::unique_ptr<gossip::Gossiper> gossiper_;
   std::unique_ptr<gossip::FailureDetector> detector_;
-  HintStore hints_;
 
-  std::uint64_t next_req_ = 1;
-  std::map<std::uint64_t, PendingPut> pending_puts_;
-  std::map<std::uint64_t, PendingGet> pending_gets_;
-  std::map<std::string, DirtyEntry> dirty_keys_;
-  std::uint64_t dirty_sweep_countdown_ = 0;  ///< periodic expired-entry sweep
+  std::vector<std::unique_ptr<ShardState>> shards_;
 
   bool running_ = false;
   Micros clock_skew_ = 0;
-  net::TimerId hint_timer_ = 0;
   net::TimerId ae_timer_ = 0;
   Rng ae_rng_{0x5eedae};
-  NodeStats stats_;
-  metrics::Histogram put_latency_hist_;
-  metrics::Histogram get_latency_hist_;
-  metrics::Histogram fast_get_latency_hist_;
-  metrics::Histogram quorum_get_latency_hist_;
-  metrics::TraceBuffer traces_{256};
 };
 
 }  // namespace hotman::cluster

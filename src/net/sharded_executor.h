@@ -1,0 +1,143 @@
+#ifndef HOTMAN_NET_SHARDED_EXECUTOR_H_
+#define HOTMAN_NET_SHARDED_EXECUTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "net/executor.h"
+#include "net/shard_context.h"
+#include "net/spsc_queue.h"
+
+namespace hotman::sim {
+class ShardScheduler;
+}  // namespace hotman::sim
+
+namespace hotman::net {
+
+class TcpTransport;
+class ShardReactor;
+
+/// Shard-per-core runtime configuration.
+struct ShardedExecutorConfig {
+  int shards = 1;
+  /// Threaded mode runs one reactor thread per shard (each with its own
+  /// epoll fd, eventfd and timer queue — the real daemon and benches).
+  /// Non-threaded mode multiplexes every shard onto the base executor with
+  /// deterministic zero-delay hops (the simulator and chaos sweeps).
+  bool threaded = false;
+  /// Per-lane SPSC mailbox capacity (rounded up to a power of two).
+  std::size_t mailbox_capacity = 1024;
+  /// Extra registered-producer lanes beyond the shard threads themselves
+  /// (benchmark client threads and the like).
+  int external_producer_lanes = 8;
+};
+
+/// N reactors behind one node: a deterministic key→shard mapping derived
+/// from ring position, one executor per shard, and cross-shard message
+/// passing over lock-free SPSC mailboxes drained on each reactor tick.
+///
+/// Shard 0 is the node's "system shard": when a TcpTransport is attached
+/// its event loop *is* shard 0 (gossip, membership and the wire protocol
+/// stay loop-resident and unchanged), and reactors 1..N-1 carry the
+/// keyed coordinator/replica work. Without an attached transport every
+/// shard gets its own reactor (standalone benches and tests). In
+/// non-threaded mode all shards share the base executor and hops become
+/// deterministic zero-delay events (sim::ShardScheduler).
+class ShardedExecutor {
+ public:
+  /// Non-threaded (deterministic) runtime over any executor, or a
+  /// standalone threaded reactor pool when `config.threaded` is set.
+  ShardedExecutor(Executor* base, ShardedExecutorConfig config);
+
+  /// Threaded runtime whose shard 0 is `transport`'s event loop; reactors
+  /// are created for shards 1..N-1 and the transport's per-tick drain hook
+  /// empties shard 0's mailboxes.
+  ShardedExecutor(TcpTransport* transport, ShardedExecutorConfig config);
+
+  ~ShardedExecutor();
+
+  ShardedExecutor(const ShardedExecutor&) = delete;
+  ShardedExecutor& operator=(const ShardedExecutor&) = delete;
+
+  /// Starts the reactor threads (threaded mode; the attached transport, if
+  /// any, must already be started). No-op in non-threaded mode. (Named
+  /// Launch/Shutdown rather than Start/Stop so whole-program analysis can
+  /// tell the real-runtime lifecycle apart from event-loop Start/Stop
+  /// methods — deterministic layers never call these.)
+  Status Launch();
+
+  /// Stops and joins the reactors; closures still sitting in mailboxes are
+  /// dropped and counted. The attached transport is left running (its
+  /// owner stops it).
+  void Shutdown();
+
+  int num_shards() const { return config_.shards; }
+  bool threaded() const { return config_.threaded; }
+
+  /// Ring-position → shard: the hash point space [0, 2^32) is split into
+  /// `shards` contiguous arcs, so a key's shard is derived from the same
+  /// coordinate that places it on the consistent-hash ring. (The hash
+  /// itself lives a layer up — cluster/ maps key → ketama point → shard —
+  /// keeping net/ free of hashring/ dependencies.)
+  static int ShardForPoint(std::uint32_t point, int shards);
+
+  /// The executor shard `shard`'s callbacks and timers must run on. In
+  /// non-threaded mode every shard maps to the base executor.
+  Executor* executor(int shard);
+
+  /// Runs `fn` in shard `shard`'s context. Same-shard calls run inline;
+  /// cross-shard calls travel through the caller's SPSC lane (threaded) or
+  /// become a deterministic zero-delay event (non-threaded). Lock-free on
+  /// the hot path: a registered producer only falls back to the mutexed
+  /// overflow lane when its ring is full.
+  void Post(int shard, std::function<void()> fn);
+
+  /// Runs `fn` on `shard` and waits for it (setup, stats merges, teardown
+  /// — never the hot path). Runs inline when already home.
+  void PostSync(int shard, std::function<void()> fn);
+
+  /// Claims an SPSC producer lane for the calling thread (benchmark
+  /// clients). Returns the lane index, or -1 when the lanes are exhausted
+  /// (such a thread still posts correctly, via the overflow lane).
+  int RegisterExternalProducer();
+
+  std::uint64_t cross_posts() const;
+  std::uint64_t mailbox_overflows() const;
+  std::uint64_t posts_dropped_stopped() const;
+
+  /// sharded.* counters for /stats.
+  void ExportStats(metrics::Registry* registry) const;
+
+ private:
+  friend class ShardReactor;
+  struct Mailboxes;
+
+  /// Returns false only when a racing Stop() dropped the closure.
+  bool PostThreaded(int shard, std::function<void()> fn);
+  /// Drains shard 0's mailboxes on the attached transport's loop tick.
+  void DrainShardZero();
+
+  ShardedExecutorConfig config_;
+  Executor* base_ = nullptr;          ///< non-threaded base (or transport)
+  TcpTransport* transport_ = nullptr; ///< threaded mode's shard 0, if any
+  bool started_ = false;
+
+  std::unique_ptr<sim::ShardScheduler> sim_scheduler_;  ///< non-threaded
+  std::vector<std::unique_ptr<ShardReactor>> reactors_; ///< threaded
+  std::unique_ptr<Mailboxes> shard0_mail_;  ///< threaded + transport mode
+
+  std::atomic<int> next_external_lane_{0};
+  std::atomic<std::uint64_t> cross_posts_{0};
+  std::atomic<std::uint64_t> mailbox_overflows_{0};
+  std::atomic<std::uint64_t> posts_dropped_stopped_{0};
+};
+
+}  // namespace hotman::net
+
+#endif  // HOTMAN_NET_SHARDED_EXECUTOR_H_

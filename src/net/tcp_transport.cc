@@ -96,11 +96,21 @@ Status TcpTransport::Start() {
   ScheduleOnLoop(hk, kHousekeepingPeriod, [this] { Housekeeping(); });
 
   running_.store(true);
+  {
+    MutexLock lock(&ops_mu_);
+    loop_state_ = LoopState::kRunning;
+  }
   loop_thread_ = std::thread([this] { LoopMain(); });
   return Status::OK();
 }
 
 void TcpTransport::Stop() {
+  {
+    // From here on Post() drops (and counts) instead of enqueueing: the
+    // loop below is about to stop draining, so an enqueue could never run.
+    MutexLock lock(&ops_mu_);
+    if (loop_state_ == LoopState::kRunning) loop_state_ = LoopState::kStopping;
+  }
   if (loop_thread_.joinable()) {
     running_.store(false);
     const std::uint64_t one = 1;
@@ -123,7 +133,13 @@ void TcpTransport::Stop() {
   timer_deadline_.clear();
   {
     MutexLock lock(&ops_mu_);
-    pending_ops_.clear();
+    if (!pending_ops_.empty()) {
+      // Ops the loop never got to drain: dropped, but accounted for.
+      MutexLock stats_lock(&stats_mu_);
+      stats_.posts_dropped_stopped += pending_ops_.size();
+      pending_ops_.clear();
+    }
+    loop_state_ = LoopState::kIdle;
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
@@ -141,18 +157,44 @@ void TcpTransport::AddOrUpdatePeer(const std::string& name, TcpPeer peer) {
 }
 
 void TcpTransport::Post(std::function<void()> fn) {
-  if (!running_.load() || OnLoopThread()) {
-    // Either the loop does not exist (setup/teardown, single-threaded by
-    // contract) or we are already on it.
+  if (OnLoopThread()) {
     fn();
     return;
   }
   {
     MutexLock lock(&ops_mu_);
-    pending_ops_.push_back(std::move(fn));
+    switch (loop_state_) {
+      case LoopState::kRunning:
+        pending_ops_.push_back(std::move(fn));
+        fn = nullptr;
+        break;
+      case LoopState::kStopping: {
+        // Racing Stop(): the loop will never drain again, and running the
+        // closure here would race the dying loop thread. Drop + count.
+        MutexLock stats_lock(&stats_mu_);
+        ++stats_.posts_dropped_stopped;
+        return;
+      }
+      case LoopState::kIdle:
+        break;  // run inline below, outside the lock
+    }
   }
+  if (fn != nullptr) {
+    // The loop does not exist (setup/teardown, single-threaded by contract).
+    fn();
+    return;
+  }
+  Wake();
+}
+
+void TcpTransport::Wake() {
   const std::uint64_t one = 1;
   (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+void TcpTransport::SetTickHook(std::function<void()> hook) {
+  MutexLock lock(&hook_mu_);
+  tick_hook_ = std::move(hook);
 }
 
 void TcpTransport::RegisterEndpoint(const std::string& name, Handler handler) {
@@ -227,6 +269,12 @@ void TcpTransport::LoopMain() {
       }
     }
     ProcessOps();
+    {
+      // Holding hook_mu_ across the call is what makes SetTickHook(nullptr)
+      // a quiescence barrier for the previous hook.
+      MutexLock lock(&hook_mu_);
+      if (tick_hook_) tick_hook_();
+    }
     RunDueTimers();
   }
 }
@@ -641,6 +689,8 @@ void TcpTransport::ExportStats(metrics::Registry* registry) const {
       ->Increment(stats_.connections_failed);
   registry->counter("net.connections_closed")
       ->Increment(stats_.connections_closed);
+  registry->counter("net.posts_dropped_stopped")
+      ->Increment(stats_.posts_dropped_stopped);
   registry->gauge("net.connections_open")->Set(stats_.connections_open);
   for (const auto& [type, hist] : stats_.latency_by_type) {
     registry->histogram("net.frame_latency." + type)->MergeFrom(hist);

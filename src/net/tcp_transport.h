@@ -90,9 +90,23 @@ class TcpTransport : public Transport {
   void AddOrUpdatePeer(const std::string& name, TcpPeer peer);
 
   /// Runs `fn` on the loop thread (setup of loop-owned components, e.g. the
-  /// daemon constructing its StorageNode). Runs inline when the loop is not
-  /// running or when already on the loop thread.
+  /// daemon constructing its StorageNode). Runs inline when already on the
+  /// loop thread, or when the loop has never started / has fully stopped
+  /// (single-threaded setup/teardown contract). A post that races Stop() is
+  /// dropped and counted (net.posts_dropped_stopped) — never silently lost
+  /// and never run concurrently with the dying loop.
   void Post(std::function<void()> fn);
+
+  /// Interrupts the loop's epoll wait (so a mailbox filled from another
+  /// thread is drained promptly). Safe from any thread while started.
+  void Wake();
+
+  /// Installs (or clears, with nullptr) a hook the loop runs once per
+  /// iteration after draining its op queue. Synchronous: on return the
+  /// previous hook is no longer running and never will again — safe to tear
+  /// down whatever it drained. Used by ShardedExecutor to empty shard 0's
+  /// mailboxes on the transport loop.
+  void SetTickHook(std::function<void()> hook);
 
   // Transport surface.
   void RegisterEndpoint(const std::string& name, Handler handler) override;
@@ -178,6 +192,17 @@ class TcpTransport : public Transport {
   // draining, but stats export never re-enters the op queue).
   mutable Mutex ops_mu_ HOTMAN_ACQUIRED_BEFORE(stats_mu_);
   std::vector<std::function<void()>> pending_ops_ HOTMAN_GUARDED_BY(ops_mu_);
+  /// Lifecycle from the op queue's point of view. kRunning: enqueue + wake.
+  /// kStopping: the loop will never drain again — drop and count.
+  /// kIdle (never started / fully stopped): run inline, the historical
+  /// single-threaded setup/teardown contract.
+  enum class LoopState { kIdle, kRunning, kStopping };
+  LoopState loop_state_ HOTMAN_GUARDED_BY(ops_mu_) = LoopState::kIdle;
+
+  /// Per-tick hook (shard 0 mailbox drain). Runs under hook_mu_ so
+  /// SetTickHook(nullptr) returning guarantees the hook is quiesced.
+  mutable Mutex hook_mu_;
+  std::function<void()> tick_hook_ HOTMAN_GUARDED_BY(hook_mu_);
 
   // Counters/histograms live behind their own lock because ExportStats may
   // run off-loop (the daemon's stats endpoint) while the loop records.
@@ -194,6 +219,7 @@ class TcpTransport : public Transport {
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_failed = 0;
     std::uint64_t connections_closed = 0;
+    std::uint64_t posts_dropped_stopped = 0;
     std::int64_t connections_open = 0;
     std::map<std::string, metrics::Histogram> latency_by_type;
   };

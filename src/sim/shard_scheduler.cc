@@ -1,0 +1,29 @@
+#include "sim/shard_scheduler.h"
+
+#include <utility>
+
+#include "net/shard_context.h"
+
+namespace hotman::sim {
+
+ShardScheduler::ShardScheduler(net::Executor* base, int shards)
+    : base_(base), shards_(shards < 1 ? 1 : shards) {}
+
+void ShardScheduler::Post(int shard, std::function<void()> fn) {
+  // A single-shard node never hops: every delivery context is the one
+  // shard, so the schedule (and therefore every seeded history) is
+  // identical to the pre-sharding runtime.
+  if (shards_ == 1 || net::ShardContext::Current() == shard) {
+    ++inline_runs_;
+    net::ShardContext::Scope scope(shard);
+    fn();
+    return;
+  }
+  ++cross_posts_;
+  base_->ScheduleTimer(0, [shard, fn = std::move(fn)]() {
+    net::ShardContext::Scope scope(shard);
+    fn();
+  });
+}
+
+}  // namespace hotman::sim

@@ -1,0 +1,45 @@
+#ifndef HOTMAN_SIM_SHARD_SCHEDULER_H_
+#define HOTMAN_SIM_SHARD_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "net/executor.h"
+
+namespace hotman::sim {
+
+/// Deterministic multi-shard scheduling for the simulated runtime.
+///
+/// In simulation every shard of a node shares the one sim event loop, so a
+/// cross-shard mailbox hop is modeled as a zero-delay event on the base
+/// executor: the loop fires zero-delay events in (virtual time, schedule
+/// order), which makes the interleaving of shard hops a pure function of
+/// the seed — chaos sweeps replay bit-identically. A post that targets the
+/// shard the caller is already executing (per net::ShardContext) runs
+/// inline, exactly like a same-shard call in the threaded runtime; with a
+/// single shard every post is same-shard and the schedule is byte-for-byte
+/// the unsharded one.
+class ShardScheduler {
+ public:
+  ShardScheduler(net::Executor* base, int shards);
+
+  int shards() const { return shards_; }
+
+  /// Runs `fn` in shard `shard`'s context: inline when the caller is
+  /// already on that shard, otherwise as a zero-delay event in global
+  /// schedule order.
+  void Post(int shard, std::function<void()> fn);
+
+  std::uint64_t cross_posts() const { return cross_posts_; }
+  std::uint64_t inline_runs() const { return inline_runs_; }
+
+ private:
+  net::Executor* base_;
+  int shards_;
+  std::uint64_t cross_posts_ = 0;
+  std::uint64_t inline_runs_ = 0;
+};
+
+}  // namespace hotman::sim
+
+#endif  // HOTMAN_SIM_SHARD_SCHEDULER_H_

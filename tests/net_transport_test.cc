@@ -306,5 +306,54 @@ TEST(TcpTransportTest, StopIsIdempotentAndSendsAfterStopAreSafe) {
   EXPECT_GE(CounterValue(transport, "net.frames_dropped"), 1u);
 }
 
+// Conservation law for Post() racing Stop(): every closure either runs or
+// is counted in net.posts_dropped_stopped — none vanish, and none run
+// concurrently with the dying loop. Regression test for the documented
+// contract (the old code silently discarded the pending queue).
+TEST(TcpTransportTest, PostRacingStopIsRunOrCountedNeverLost) {
+  constexpr int kThreads = 4;
+  constexpr int kPostsPerThread = 2000;
+
+  TcpTransportConfig config;
+  config.listen_port = -1;
+  TcpTransport transport(config);
+  ASSERT_TRUE(transport.Start().ok());
+
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> posters;
+  posters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    posters.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kPostsPerThread; ++i) {
+        transport.Post([&executed] { ++executed; });
+      }
+    });
+  }
+
+  go.store(true);
+  // Stop lands mid-hammer: some posts enqueue and drain, some inline after
+  // the loop dies (kIdle), some hit the kStopping window and are dropped.
+  std::this_thread::sleep_for(1ms);
+  transport.Stop();
+  for (auto& thread : posters) thread.join();
+
+  const std::uint64_t dropped =
+      CounterValue(transport, "net.posts_dropped_stopped");
+  EXPECT_EQ(executed.load() + dropped,
+            static_cast<std::uint64_t>(kThreads) * kPostsPerThread)
+      << "executed=" << executed.load() << " dropped=" << dropped;
+
+  // After Stop() has fully returned the loop is kIdle again: posts run
+  // inline (single-threaded teardown contract), never dropped.
+  const std::uint64_t dropped_before = dropped;
+  bool ran_inline = false;
+  transport.Post([&ran_inline] { ran_inline = true; });
+  EXPECT_TRUE(ran_inline);
+  EXPECT_EQ(CounterValue(transport, "net.posts_dropped_stopped"),
+            dropped_before);
+}
+
 }  // namespace
 }  // namespace hotman::net

@@ -36,6 +36,7 @@ struct Args {
   bool show_history = false;
   bool show_nemesis = false;
   bool fast_reads = false;
+  int shards = 1;             // shards per node (deterministic multi-shard)
   std::string lying_replica;  // negative-control passthrough
 };
 
@@ -43,7 +44,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: chaos_runner [--seed=N | --seeds=LO-HI]\n"
                "                    [--profile=quorum|convergence]\n"
-               "                    [--fast-reads]\n"
+               "                    [--fast-reads] [--shards=N]\n"
                "                    [--verify] [--quiet] [--history]\n"
                "                    [--nemesis-log] [--lying-replica=ADDR]\n");
 }
@@ -67,6 +68,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->profile = name;
     } else if (const char* addr = value("--lying-replica=")) {
       args->lying_replica = addr;
+    } else if (const char* shards = value("--shards=")) {
+      args->shards = std::atoi(shards);
     } else if (arg == "--fast-reads") {
       args->fast_reads = true;
     } else if (arg == "--verify") {
@@ -82,7 +85,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (args->seed_hi < args->seed_lo ||
+  if (args->seed_hi < args->seed_lo || args->shards < 1 || args->shards > 64 ||
       (args->profile != "quorum" && args->profile != "convergence")) {
     Usage();
     return false;
@@ -96,6 +99,7 @@ ChaosOptions OptionsFor(const Args& args, std::uint64_t seed) {
                              : ChaosOptions::ConvergenceProfile(seed);
   options.lying_replica = args.lying_replica;
   options.fast_reads = args.fast_reads;
+  options.shards = args.shards;
   return options;
 }
 

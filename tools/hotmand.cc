@@ -57,8 +57,10 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --node NAME --listen HOST:PORT --peer NAME=HOST:PORT...\n"
       "          [--seeds NAME,NAME,...] [--n N] [--w W] [--r R]\n"
-      "          [--gossip-ms MS] [--op-timeout-ms MS] [--seed-rng U64]\n"
-      "Every --peer (self included) is a static cluster member.\n",
+      "          [--shards S] [--gossip-ms MS] [--op-timeout-ms MS]\n"
+      "          [--seed-rng U64]\n"
+      "Every --peer (self included) is a static cluster member.\n"
+      "--shards S runs S reactors per node (shard-per-core; default 1).\n",
       argv0);
 }
 
@@ -121,6 +123,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) { Usage(argv[0]); return 2; }
       config.read_quorum = std::atoi(v);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) { Usage(argv[0]); return 2; }
+      config.shards = std::atoi(v);
     } else if (arg == "--gossip-ms") {
       const char* v = next();
       if (v == nullptr) { Usage(argv[0]); return 2; }
@@ -185,18 +191,33 @@ int main(int argc, char** argv) {
   }
 
   net::TcpTransport transport(tconfig);
-  // Constructed before Start(): the transport runs ops inline until the
-  // loop thread exists, and no frame can arrive before RegisterEndpoint.
-  auto node = std::make_unique<cluster::StorageNode>(
-      self_spec, config, &transport, /*injector=*/nullptr, rng_seed);
-  cluster::NodeServer server(node.get(), &transport);
-  server.Start();
+  // Shard-per-core runtime: the transport's event loop is shard 0 (gossip,
+  // membership, the wire protocol); reactors 1..S-1 carry the keyed
+  // coordinator/replica work, routed by ring position.
+  net::ShardedExecutorConfig sconfig;
+  sconfig.shards = config.shards;
+  net::ShardedExecutor sharded(&transport, sconfig);
 
   if (Status s = transport.Start(); !s.ok()) {
     std::fprintf(stderr, "hotmand: transport start failed: %s\n",
                  s.ToString().c_str());
     return 1;
   }
+  // Launch order matters: the reactors must exist before the node captures
+  // its per-shard executors, and the transport loop must be running so
+  // Launch() can tag it as shard 0.
+  if (Status s = sharded.Launch(); !s.ok()) {
+    std::fprintf(stderr, "hotmand: shard reactors failed to start: %s\n",
+                 s.ToString().c_str());
+    transport.Stop();
+    return 1;
+  }
+  // Safe to construct with the loop live: no frame can reach the node
+  // before RegisterEndpoint inside node->Start() below.
+  auto node = std::make_unique<cluster::StorageNode>(
+      self_spec, config, &transport, /*injector=*/nullptr, rng_seed, &sharded);
+  cluster::NodeServer server(node.get(), &transport);
+  server.Start();
   {
     std::promise<void> started;
     transport.Post([&node, &started] {
@@ -207,10 +228,11 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
-  std::fprintf(stderr, "hotmand: %s serving on %s:%u (N=%d W=%d R=%d)\n",
+  std::fprintf(stderr,
+               "hotmand: %s serving on %s:%u (N=%d W=%d R=%d shards=%d)\n",
                self.c_str(), listen.host.c_str(), transport.listen_port(),
                config.replication_factor, config.write_quorum,
-               config.read_quorum);
+               config.read_quorum, config.shards);
 
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -225,6 +247,7 @@ int main(int argc, char** argv) {
     });
     stopped.get_future().wait();
   }
+  sharded.Shutdown();
   transport.Stop();
   return 0;
 }

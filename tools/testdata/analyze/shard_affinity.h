@@ -1,0 +1,26 @@
+// Fixture: a sharded component's header. The Apply/Count/Flush family is
+// shard-affine (runs only in the owning shard's execution context);
+// Route/Tick/Drain are the shard-0 entry points that must hop first.
+// Placed at src/cluster/shard_router.h by the test harness.
+#include <functional>
+#include <string>
+
+#include "common/thread_annotations.h"
+
+namespace hotman::cluster {
+
+class ShardRouter {
+ public:
+  void Route(const std::string& key);
+  void Tick();
+  void Drain();
+
+ private:
+  struct ShardState;
+  void ApplyDelta(ShardState& ss, int delta) HOTMAN_SHARD_AFFINE;
+  int CountApplied(ShardState& ss) const HOTMAN_SHARD_AFFINE;
+  void FlushShard(ShardState& ss) HOTMAN_SHARD_AFFINE;
+  std::function<void()> on_tick_;
+};
+
+}  // namespace hotman::cluster

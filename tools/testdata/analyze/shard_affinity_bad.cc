@@ -1,0 +1,23 @@
+// Fixture: affine calls made without the mailbox hop. Placed at
+// src/cluster/shard_router.cc; pairs with shard_affinity.h. Two bugs: a
+// direct call from the routing layer, and a stored callback that hops
+// shards when it later fires — no Post/RunOnShard around either.
+#include "cluster/shard_router.h"
+
+namespace hotman::cluster {
+
+void ShardRouter::Route(const std::string& key) {
+  ApplyDelta(StateOf(key), 1);  // flagged: non-affine -> affine, no hop
+}
+
+void ShardRouter::Tick() {
+  // The callback fires on whichever shard owns the timer that invokes it,
+  // not on the shard owning the state it touches: flagged.
+  on_tick_ = [this] { FlushShard(StateOf("tick")); };
+}
+
+void ShardRouter::Drain() {
+  Post(0, [this] { FlushShard(StateOf("drain")); });  // routed: quiet
+}
+
+}  // namespace hotman::cluster

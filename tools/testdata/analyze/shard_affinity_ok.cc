@@ -1,0 +1,22 @@
+// Fixture: the fixed shapes — every cross-shard entry hops through a
+// routing closure, and affine code calls sibling affine helpers directly.
+// Placed at src/cluster/router_ok.cc; pairs with shard_affinity.h.
+#include "cluster/shard_router.h"
+
+namespace hotman::cluster {
+
+void ShardRouter::Route(const std::string& key) {
+  RunOnShard(OwnerOf(key), [this, key] {
+    ApplyDelta(StateOf(key), 1);  // inside the hop: quiet
+  });
+}
+
+void ShardRouter::Tick() {
+  ScheduleTimer(10, [this] { FlushShard(StateOf("tick")); });  // quiet
+}
+
+void ShardRouter::ApplyDelta(ShardState& ss, int delta) {
+  if (delta > 0) FlushShard(ss);  // affine-to-affine: quiet
+}
+
+}  // namespace hotman::cluster
