@@ -53,18 +53,34 @@ struct ShardedExecutor::Mailboxes {
   /// mutex (off the hot path by construction). Returns false when the
   /// mailbox no longer accepts (consumer stopping): the post is dropped
   /// and the caller counts it.
+  ///
+  /// Conservation law: every closure handed to Push either (a) lands and
+  /// is later drained (run, or counted by CloseAndCount), or (b) makes
+  /// Push return false so the caller counts the drop — exactly one of the
+  /// two. The in_flight_ gate is what closes the lock-free race: a
+  /// producer that passed the accepting_ check has announced itself, so
+  /// CloseAndCount cannot take its final drain until that push has landed.
+  /// Both sides use seq_cst so either the producer sees accepting_ ==
+  /// false or CloseAndCount sees in_flight_ > 0 (never neither).
   bool Push(int lane, std::function<void()> fn,
             std::atomic<std::uint64_t>* overflows) {
-    if (!accepting_.load(std::memory_order_acquire)) return false;
-    if (lane >= 0 && lane < static_cast<int>(lanes_.size())) {
-      if (lanes_[lane]->TryPush(std::move(fn))) return true;
-      overflows->fetch_add(1, std::memory_order_relaxed);
-      // fall through to the overflow lane with the (moved-from-safe) copy
-      // path below; TryPush only moves on success, so fn is still intact.
+    in_flight_.fetch_add(1, std::memory_order_seq_cst);
+    if (!accepting_.load(std::memory_order_seq_cst)) {
+      in_flight_.fetch_sub(1, std::memory_order_seq_cst);
+      return false;
     }
-    MutexLock lock(&overflow_mu_);
-    if (!accepting_.load(std::memory_order_acquire)) return false;
-    overflow_.push_back(std::move(fn));
+    bool pushed = false;
+    if (lane >= 0 && lane < static_cast<int>(lanes_.size())) {
+      // TryPush only moves from fn on success; a full ring leaves it
+      // intact for the overflow path below.
+      pushed = lanes_[lane]->TryPush(std::move(fn));
+      if (!pushed) overflows->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!pushed) {
+      MutexLock lock(&overflow_mu_);
+      overflow_.push_back(std::move(fn));
+    }
+    in_flight_.fetch_sub(1, std::memory_order_seq_cst);
     return true;
   }
 
@@ -83,10 +99,18 @@ struct ShardedExecutor::Mailboxes {
     return n;
   }
 
-  /// Stops accepting and returns how many queued closures were thrown
-  /// away (shutdown accounting).
+  /// Stops accepting, waits out producers that already passed the
+  /// accepting_ gate, and returns how many queued closures were thrown
+  /// away (shutdown accounting). Idempotent; later Pushes return false.
   std::size_t CloseAndCount() {
-    accepting_.store(false, std::memory_order_release);
+    accepting_.store(false, std::memory_order_seq_cst);
+    // Producers that loaded accepting_ == true have already bumped
+    // in_flight_; once it hits zero their items are published (Push's
+    // final fetch_sub sequences after the ring/overflow store), so the
+    // drain below sees every closure that will ever land.
+    while (in_flight_.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
     std::vector<std::function<void()>> dropped;
     DrainInto(&dropped);
     return dropped.size();
@@ -94,6 +118,7 @@ struct ShardedExecutor::Mailboxes {
 
   std::vector<std::unique_ptr<SpscQueue<std::function<void()>>>> lanes_;
   std::atomic<bool> accepting_{true};
+  std::atomic<int> in_flight_{0};
   Mutex overflow_mu_;
   std::vector<std::function<void()>> overflow_ HOTMAN_GUARDED_BY(overflow_mu_);
 };
@@ -117,10 +142,21 @@ class ShardReactor : public Executor {
         overflows_(overflows),
         dropped_(dropped) {}
 
-  ~ShardReactor() override { Halt(); }
+  ~ShardReactor() override {
+    Halt();
+    // fds close here, not in Halt(): a producer that raced Halt() may
+    // still call Wake() on wake_fd_, and writing to a recycled fd number
+    // would corrupt whatever reopened it. By destruction time the owner
+    // has quiesced all producers (same contract as deleting any executor).
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    wake_fd_ = epoll_fd_ = -1;
+  }
 
   Status Launch() {
-    if (running_.load()) return Status::AlreadyExists("reactor already started");
+    if (state_.load() != LoopState::kIdle) {
+      return Status::AlreadyExists("reactor already started");
+    }
     epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
     if (epoll_fd_ < 0) return Status::IOError("epoll_create1 failed");
     wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
@@ -133,24 +169,25 @@ class ShardReactor : public Executor {
     ev.events = EPOLLIN;
     ev.data.fd = wake_fd_;
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
-    running_.store(true);
+    state_.store(LoopState::kRunning);
     thread_ = std::thread([this] { LoopMain(); });
     return Status::OK();
   }
 
   void Halt() {
+    // From here on cross-thread Post/ScheduleTimer drop (and count)
+    // instead of running inline: the loop thread may still be executing
+    // its final drained batch, so an inline run would put two threads on
+    // this shard's state at once.
+    LoopState expected = LoopState::kRunning;
+    state_.compare_exchange_strong(expected, LoopState::kStopping);
     if (thread_.joinable()) {
-      running_.store(false);
       Wake();
       thread_.join();
     }
-    running_.store(false);
     dropped_->fetch_add(mail_.CloseAndCount(), std::memory_order_relaxed);
     timers_.clear();
     timer_deadline_.clear();
-    if (wake_fd_ >= 0) ::close(wake_fd_);
-    if (epoll_fd_ >= 0) ::close(epoll_fd_);
-    wake_fd_ = epoll_fd_ = -1;
   }
 
   int index() const { return index_; }
@@ -167,11 +204,26 @@ class ShardReactor : public Executor {
 
   /// Posts through the caller's lane; drops (counted) when stopping.
   bool Post(std::function<void()> fn) {
-    if (!running_.load() || OnReactorThread()) {
-      // Setup/teardown single-threaded contract, or already home.
-      ShardContext::Scope scope(index_);
+    if (OnReactorThread()) {
       fn();
       return true;
+    }
+    switch (state_.load(std::memory_order_acquire)) {
+      case LoopState::kIdle: {
+        // The loop does not exist yet (setup, single-threaded by
+        // contract): run inline in this shard's context.
+        ShardContext::Scope scope(index_);
+        fn();
+        return true;
+      }
+      case LoopState::kStopping:
+        // Racing or past Halt(): the loop thread may still be running its
+        // final batch, so inline execution here would break the one-
+        // thread-per-shard invariant. Drop + count, like TcpTransport.
+        dropped_->fetch_add(1, std::memory_order_relaxed);
+        return false;
+      case LoopState::kRunning:
+        break;
     }
     if (!mail_.Push(tls_producer_lane, std::move(fn), overflows_)) {
       dropped_->fetch_add(1, std::memory_order_relaxed);
@@ -184,9 +236,19 @@ class ShardReactor : public Executor {
   // Executor surface (same contract as TcpTransport's).
   TimerId ScheduleTimer(Micros delay, std::function<void()> fn) override {
     const TimerId id = next_timer_.fetch_add(1);
-    if (!running_.load() || OnReactorThread()) {
+    if (OnReactorThread()) {
       ScheduleLocal(id, delay, std::move(fn));
       return id;
+    }
+    switch (state_.load(std::memory_order_acquire)) {
+      case LoopState::kIdle:
+        ScheduleLocal(id, delay, std::move(fn));
+        return id;
+      case LoopState::kStopping:
+        dropped_->fetch_add(1, std::memory_order_relaxed);
+        return id;
+      case LoopState::kRunning:
+        break;
     }
     if (mail_.Push(tls_producer_lane,
                    [this, id, delay, fn = std::move(fn)]() mutable {
@@ -201,7 +263,15 @@ class ShardReactor : public Executor {
   }
 
   bool CancelTimer(TimerId id) override {
-    if (!running_.load() || OnReactorThread()) return CancelLocal(id);
+    if (OnReactorThread()) return CancelLocal(id);
+    switch (state_.load(std::memory_order_acquire)) {
+      case LoopState::kIdle:
+        return CancelLocal(id);
+      case LoopState::kStopping:
+        return false;  // loop gone; the timer will never fire anyway
+      case LoopState::kRunning:
+        break;
+    }
     // Cross-thread cancellation is best-effort, as on TcpTransport.
     Post([this, id] { CancelLocal(id); });
     return true;
@@ -239,7 +309,7 @@ class ShardReactor : public Executor {
     tls_producer_lane = index_;
     epoll_event events[8];
     std::vector<std::function<void()>> batch;
-    while (running_.load()) {
+    while (state_.load(std::memory_order_acquire) == LoopState::kRunning) {
       const int n =
           ::epoll_wait(epoll_fd_, events, 8, NextTimerDelayMillis());
       if (n < 0 && errno != EINTR) break;
@@ -270,9 +340,16 @@ class ShardReactor : public Executor {
     }
   }
 
+  /// kIdle: no loop thread yet — setup is single-threaded, run inline.
+  /// kRunning: the loop drains; cross-thread calls go through mailboxes.
+  /// kStopping: Halt() began (terminal) — the loop will never drain
+  /// again and may still be finishing its last batch, so cross-thread
+  /// calls drop and count instead of running inline on a foreign thread.
+  enum class LoopState { kIdle, kRunning, kStopping };
+
   const int index_;
   const Clock* clock_;
-  std::atomic<bool> running_{false};
+  std::atomic<LoopState> state_{LoopState::kIdle};
   std::atomic<std::uint64_t> next_timer_{1};
   std::thread thread_;
   int epoll_fd_ = -1;
@@ -305,7 +382,9 @@ ShardedExecutor::ShardedExecutor(TcpTransport* transport,
 ShardedExecutor::~ShardedExecutor() { Shutdown(); }
 
 Status ShardedExecutor::Launch() {
-  if (started_) return Status::AlreadyExists("sharded executor already started");
+  if (state_.load() != State::kIdle) {
+    return Status::AlreadyExists("sharded executor already started");
+  }
   if (config_.threaded) {
     const int lanes = config_.shards + config_.external_producer_lanes;
     const int first = transport_ != nullptr ? 1 : 0;
@@ -327,21 +406,30 @@ Status ShardedExecutor::Launch() {
       });
     }
   }
-  started_ = true;
+  state_.store(State::kRunning);
   return Status::OK();
 }
 
 void ShardedExecutor::Shutdown() {
-  if (!started_) return;
-  started_ = false;
+  // kRunning -> kStopped exactly once; producers that read kRunning just
+  // before the flip land in mailboxes whose CloseAndCount below drains or
+  // counts them, and later producers see kStopped and drop + count.
+  State expected = State::kRunning;
+  if (!state_.compare_exchange_strong(expected, State::kStopped)) return;
   if (transport_ != nullptr && shard0_mail_ != nullptr) {
+    // SetTickHook(nullptr) returning quiesces the drain hook; the mailbox
+    // object itself must outlive Shutdown() (producers racing the state
+    // flip may still be inside Push), so it is never reset — CloseAndCount
+    // makes it reject everything from here on, and the unique_ptr dies
+    // with the executor.
     transport_->SetTickHook(nullptr);
     posts_dropped_stopped_.fetch_add(shard0_mail_->CloseAndCount(),
                                      std::memory_order_relaxed);
   }
+  // Reactors are halted but, like shard0_mail_, stay allocated until
+  // destruction: a racing PostThreaded that saw kRunning may still hold a
+  // reactor pointer, and a halted reactor safely drops + counts.
   for (auto& reactor : reactors_) reactor->Halt();
-  reactors_.clear();
-  shard0_mail_.reset();
 }
 
 int ShardedExecutor::ShardForPoint(std::uint32_t point, int shards) {
@@ -360,10 +448,11 @@ Executor* ShardedExecutor::executor(int shard) {
   const std::size_t slot =
       static_cast<std::size_t>(transport_ != nullptr ? shard - 1 : shard);
   if (slot >= reactors_.size()) {
-    // Threaded reactors exist only between Launch() and Shutdown(); handing
-    // out a dangling executor here would be a delayed crash at the caller.
+    // Threaded reactors are created by Launch() (and survive, halted,
+    // until destruction); handing out a null executor here would be a
+    // delayed crash at the caller.
     HOTMAN_LOG(kError) << "ShardedExecutor::executor(" << shard
-                       << ") before Launch()/after Shutdown()";
+                       << ") before Launch()";
     std::abort();
   }
   return reactors_[slot].get();
@@ -382,12 +471,21 @@ bool ShardedExecutor::PostThreaded(int shard, std::function<void()> fn) {
     fn();
     return true;
   }
-  if (!started_) {
-    // Setup/teardown contract (single-threaded by construction): run
-    // inline in the target shard's context, like TcpTransport::Post.
-    ShardContext::Scope scope(shard);
-    fn();
-    return true;
+  switch (state_.load(std::memory_order_acquire)) {
+    case State::kIdle: {
+      // Setup contract (single-threaded by construction): run inline in
+      // the target shard's context, like TcpTransport::Post at kIdle.
+      ShardContext::Scope scope(shard);
+      fn();
+      return true;
+    }
+    case State::kStopped:
+      // Racing or past Shutdown(): reactors may still be finishing their
+      // final batches, so inline execution would break shard affinity.
+      posts_dropped_stopped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    case State::kRunning:
+      break;
   }
   cross_posts_.fetch_add(1, std::memory_order_relaxed);
   if (transport_ != nullptr && shard == 0) {
@@ -412,7 +510,8 @@ void ShardedExecutor::DrainShardZero() {
 }
 
 void ShardedExecutor::PostSync(int shard, std::function<void()> fn) {
-  if (!config_.threaded || !started_ || tls_current_shard == shard) {
+  if (!config_.threaded || state_.load(std::memory_order_acquire) == State::kIdle ||
+      tls_current_shard == shard) {
     ShardContext::Scope scope(shard);
     fn();
     return;

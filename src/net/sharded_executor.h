@@ -73,8 +73,12 @@ class ShardedExecutor {
   Status Launch();
 
   /// Stops and joins the reactors; closures still sitting in mailboxes are
-  /// dropped and counted. The attached transport is left running (its
-  /// owner stops it).
+  /// dropped and counted, and so is any Post that races or follows the
+  /// shutdown (run-or-count, never silently lost and never run inline on a
+  /// foreign thread). Terminal: the executor cannot be relaunched, and the
+  /// halted reactors and mailboxes stay allocated until destruction so
+  /// racing producers never touch freed state. The attached transport is
+  /// left running (its owner stops it).
   void Shutdown();
 
   int num_shards() const { return config_.shards; }
@@ -123,10 +127,16 @@ class ShardedExecutor {
   /// Drains shard 0's mailboxes on the attached transport's loop tick.
   void DrainShardZero();
 
+  /// kIdle: before Launch() — single-threaded setup, posts run inline.
+  /// kRunning: reactors live; cross-shard posts travel through mailboxes.
+  /// kStopped: Shutdown() began (terminal) — cross-shard posts drop and
+  /// count. Read/written concurrently by producer threads, so atomic.
+  enum class State { kIdle, kRunning, kStopped };
+
   ShardedExecutorConfig config_;
   Executor* base_ = nullptr;          ///< non-threaded base (or transport)
   TcpTransport* transport_ = nullptr; ///< threaded mode's shard 0, if any
-  bool started_ = false;
+  std::atomic<State> state_{State::kIdle};
 
   std::unique_ptr<sim::ShardScheduler> sim_scheduler_;  ///< non-threaded
   std::vector<std::unique_ptr<ShardReactor>> reactors_; ///< threaded

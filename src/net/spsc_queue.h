@@ -36,8 +36,10 @@ class SpscQueue {
 
   std::size_t capacity() const { return slots_.size(); }
 
-  /// Producer side. Returns false when the ring is full.
-  bool TryPush(T item) {
+  /// Producer side. Returns false when the ring is full — and then leaves
+  /// `item` untouched (it is only moved from on success), so the caller can
+  /// route the very same item to its overflow path.
+  bool TryPush(T&& item) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     const std::size_t head = head_.load(std::memory_order_acquire);
     if (tail - head >= slots_.size()) return false;

@@ -20,6 +20,7 @@
 
 #include "cluster/cluster.h"
 #include "net/shard_context.h"
+#include "net/spsc_queue.h"
 #include "net/tcp_transport.h"
 #include "sim/event_loop.h"
 
@@ -36,6 +37,31 @@ bool WaitUntil(const std::function<bool()>& pred, int timeout_ms = 5000) {
     std::this_thread::sleep_for(2ms);
   }
   return pred();
+}
+
+// --- SPSC ring --------------------------------------------------------------
+
+TEST(SpscQueueTest, FailedPushLeavesTheItemIntactForTheOverflowPath) {
+  SpscQueue<std::function<void()>> ring(/*min_capacity=*/2);
+  ASSERT_EQ(ring.capacity(), 2u);
+  int ran = 0;
+  for (std::size_t i = 0; i < ring.capacity(); ++i) {
+    std::function<void()> fn = [&ran] { ++ran; };
+    ASSERT_TRUE(ring.TryPush(std::move(fn)));
+  }
+  // The ring is full: the push must fail *without* consuming the closure —
+  // the caller's overflow path re-routes this exact object, and an
+  // empty std::function there would throw bad_function_call when drained.
+  std::function<void()> overflowed = [&ran] { ran += 100; };
+  ASSERT_FALSE(ring.TryPush(std::move(overflowed)));
+  ASSERT_TRUE(static_cast<bool>(overflowed)) << "failed TryPush moved from its argument";
+  overflowed();
+  EXPECT_EQ(ran, 100);
+
+  std::vector<std::function<void()>> drained;
+  EXPECT_EQ(ring.Drain(&drained), ring.capacity());
+  for (auto& fn : drained) fn();
+  EXPECT_EQ(ran, 102);
 }
 
 // --- shard mapping ----------------------------------------------------------
@@ -272,6 +298,112 @@ TEST(ShardedExecutorTest, ShutdownRunsOrCountsEveryPost) {
   stopper.join();
 
   EXPECT_EQ(executed.load() + sharded.posts_dropped_stopped(), kQueued);
+}
+
+TEST(ShardedExecutorTest, OverflowedClosuresStillRunAfterAFullLane) {
+  // A registered producer whose SPSC ring fills must fall back to the
+  // overflow lane with the *same* closure: none of the posts may be lost
+  // or degrade into empty std::functions (regression: a failed TryPush
+  // used to move from its argument, so the overflow lane drained
+  // bad_function_call bombs).
+  ShardedExecutorConfig config;
+  config.shards = 1;
+  config.threaded = true;
+  config.mailbox_capacity = 4;  // tiny ring: most posts overflow
+  sim::EventLoop unused_base;
+  ShardedExecutor sharded(&unused_base, config);
+  ASSERT_TRUE(sharded.Launch().ok());
+
+  // Wedge the reactor so pushed closures pile up instead of draining.
+  std::promise<void> wedged;
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  sharded.Post(0, [&wedged, release_future] {
+    wedged.set_value();
+    release_future.wait();
+  });
+  ASSERT_EQ(wedged.get_future().wait_for(5s), std::future_status::ready);
+
+  constexpr int kPosts = 32;
+  std::atomic<int> executed{0};
+  std::thread producer([&] {
+    ASSERT_GE(sharded.RegisterExternalProducer(), 0);
+    for (int i = 0; i < kPosts; ++i) {
+      sharded.Post(0, [&executed] { ++executed; });
+    }
+  });
+  producer.join();
+  EXPECT_GE(sharded.mailbox_overflows(), 1u) << "ring never filled";
+
+  release.set_value();
+  EXPECT_TRUE(WaitUntil([&] { return executed.load() == kPosts; }))
+      << "only " << executed.load() << "/" << kPosts
+      << " posts ran; overflowed closures were lost";
+  sharded.Shutdown();
+}
+
+TEST(ShardedExecutorTest, PostAfterShutdownDropsAndCountsNeverRunsInline) {
+  // After Shutdown() a cross-shard post must not run inline on the
+  // caller's thread (that would put a foreign thread on shard state that
+  // a dying reactor may still touch) — it is dropped and counted.
+  ShardedExecutorConfig config;
+  config.shards = 2;
+  config.threaded = true;
+  sim::EventLoop unused_base;
+  ShardedExecutor sharded(&unused_base, config);
+  ASSERT_TRUE(sharded.Launch().ok());
+  sharded.Shutdown();
+
+  const std::uint64_t dropped_before = sharded.posts_dropped_stopped();
+  std::atomic<bool> ran{false};
+  sharded.Post(1, [&ran] { ran.store(true); });
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(sharded.posts_dropped_stopped(), dropped_before + 1);
+
+  // The executor handles stay valid after Shutdown (halted, not freed):
+  // timers scheduled into them drop + count, and cancels report false.
+  std::atomic<bool> fired{false};
+  const TimerId id =
+      sharded.executor(1)->ScheduleTimer(0, [&fired] { fired.store(true); });
+  EXPECT_EQ(sharded.posts_dropped_stopped(), dropped_before + 2);
+  EXPECT_FALSE(sharded.executor(1)->CancelTimer(id));
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(ShardedExecutorTest, ConcurrentProducersObeyRunOrCountThroughShutdown) {
+  // Conservation law under contention: producers hammer both shards while
+  // the main thread shuts the executor down mid-stream. Every single post
+  // must either execute or land in posts_dropped_stopped — the lock-free
+  // close path may not leak closures into a ring nobody will ever drain.
+  ShardedExecutorConfig config;
+  config.shards = 2;
+  config.threaded = true;
+  config.mailbox_capacity = 16;  // small rings force the overflow path too
+  config.external_producer_lanes = 4;
+  sim::EventLoop unused_base;
+  ShardedExecutor sharded(&unused_base, config);
+  ASSERT_TRUE(sharded.Launch().ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPostsPerThread = 2000;
+  std::atomic<std::uint64_t> executed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&sharded, &executed, t] {
+      sharded.RegisterExternalProducer();
+      for (int i = 0; i < kPostsPerThread; ++i) {
+        sharded.Post((t + i) % 2, [&executed] { ++executed; });
+      }
+    });
+  }
+  std::this_thread::sleep_for(5ms);
+  sharded.Shutdown();
+  for (auto& producer : producers) producer.join();
+
+  EXPECT_EQ(executed.load() + sharded.posts_dropped_stopped(),
+            static_cast<std::uint64_t>(kThreads) * kPostsPerThread);
 }
 
 // --- deterministic (sim) runtime --------------------------------------------
