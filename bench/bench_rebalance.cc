@@ -1,0 +1,158 @@
+// bench_rebalance: foreground latency under a live join, across throttle
+// settings.
+//
+// A five-node paper-setup cluster serves a mixed workload; eight seconds
+// in, a sixth node joins and the rebalancer streams its arcs over. The
+// throttle's whole purpose is to keep foreground p99 bounded while that
+// stream runs, so the arms are: no join (baseline), join with the default
+// throttle, join with a tight throttle, and join unthrottled. The shape to
+// expect: every join arm moves the same records, throttled arms hug the
+// baseline p99, and the tight throttle is the one that stalls sends.
+
+#include "bench_common.h"
+#include "cluster/cluster.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+#include "workload/runner.h"
+
+using namespace hotman;  // NOLINT
+
+namespace {
+
+struct Arm {
+  std::string name;
+  double ops_per_sec = 0;
+  double mean_ms = 0;
+  double p99_ms = 0;
+  std::size_t failed = 0;
+  std::uint64_t records_streamed = 0;
+  std::uint64_t throttle_stalls = 0;
+  std::uint64_t transfers_completed = 0;
+  std::string latency_json;
+};
+
+Arm RunArm(const std::string& name, bool join, int records_per_sec,
+           std::uint64_t seed) {
+  cluster::ClusterConfig config = cluster::ClusterConfig::PaperSetup();
+  config.rebalance.records_per_sec = records_per_sec;
+  cluster::Cluster cluster(config, seed, sim::FailureConfig::None());
+  if (!cluster.Start().ok()) return {};
+
+  workload::Dataset dataset(workload::DatasetSpec::SystemEvaluation(2000));
+  workload::KvTarget target;
+  target.put = [&cluster](const std::string& key, Bytes value,
+                          std::function<void(const Status&)> cb) {
+    cluster.Put(key, std::move(value), std::move(cb));
+  };
+  target.get = [&cluster](const std::string& key,
+                          std::function<void(const Result<Bytes>&)> cb) {
+    cluster.Get(key, [cb = std::move(cb)](const Result<bson::Document>& r) {
+      if (!r.ok()) {
+        cb(r.status());
+      } else {
+        cb(core::RecordValue(*r));
+      }
+    });
+  };
+  target.del = [&cluster](const std::string& key,
+                          std::function<void(const Status&)> cb) {
+    cluster.Delete(key, std::move(cb));
+  };
+
+  if (join) {
+    // The first eight seconds of traffic seed the stores, so the join
+    // migrates real data while the same workload keeps running — the
+    // whole-run p99 includes the contended window.
+    cluster.loop()->Schedule(8 * kMicrosPerSecond, [&cluster] {
+      cluster::NodeSpec spec;
+      spec.address = "db6:19870";
+      Status added = cluster.AddNodeAsync(spec);
+      (void)added;
+    });
+  }
+
+  workload::RunOptions options;
+  options.clients = 80;
+  options.duration = 30 * kMicrosPerSecond;
+  options.read_fraction = 0.2;
+  options.seed = seed;
+  workload::WorkloadRunner runner(cluster.loop(), &dataset, target, options);
+  workload::RunReport report = runner.Run();
+
+  Arm arm;
+  arm.name = name;
+  arm.ops_per_sec = report.meter.Rps();
+  arm.mean_ms = report.latency.MeanMicros() / 1000.0;
+  arm.p99_ms = report.latency.Percentile(99) / 1000.0;
+  arm.failed = report.failed;
+  const rebalance::RebalanceStats stats = cluster.AggregateRebalanceStats();
+  arm.records_streamed = stats.records_streamed;
+  arm.throttle_stalls = stats.throttle_stalls;
+  arm.transfers_completed = stats.transfers_completed;
+  arm.latency_json = report.latency.JsonSummary();
+  return arm;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("rebalance", "foreground p99 under a live join, by throttle");
+  std::printf("5 nodes + 1 joining at t=8s, 80 clients, 80%% puts, 30s\n\n");
+
+  const std::uint64_t seed = 29;
+  std::vector<Arm> arms;
+  arms.push_back(RunArm("baseline", /*join=*/false, 2000, seed));
+  arms.push_back(RunArm("rps=500", /*join=*/true, 500, seed));
+  arms.push_back(RunArm("rps=2000", /*join=*/true, 2000, seed));
+  arms.push_back(RunArm("unthrottled", /*join=*/true, 0, seed));
+
+  bench::Row({"arm", "ops/s", "mean ms", "p99 ms", "failed", "streamed",
+              "stalls"});
+  for (const Arm& arm : arms) {
+    bench::Row({arm.name, bench::Fmt(arm.ops_per_sec, 0),
+                bench::Fmt(arm.mean_ms, 2), bench::Fmt(arm.p99_ms, 2),
+                std::to_string(arm.failed),
+                std::to_string(arm.records_streamed),
+                std::to_string(arm.throttle_stalls)});
+  }
+
+  const Arm& baseline = arms[0];
+  const Arm& tight = arms[1];
+  const Arm& dflt = arms[2];
+  const Arm& open = arms[3];
+
+  bench::Section("shape check (throttle bounds the foreground p99 cost)");
+  std::printf("join arms streamed records       : %s\n",
+              (tight.records_streamed > 0 && dflt.records_streamed > 0 &&
+               open.records_streamed > 0)
+                  ? "yes"
+                  : "NO");
+  std::printf("tight throttle stalls most       : %s (%llu vs %llu)\n",
+              tight.throttle_stalls >= open.throttle_stalls ? "yes" : "NO",
+              static_cast<unsigned long long>(tight.throttle_stalls),
+              static_cast<unsigned long long>(open.throttle_stalls));
+  const double bound = baseline.p99_ms * 1.5;
+  std::printf("throttled p99 within 1.5x base   : %s (%.2f, %.2f vs %.2f ms)\n",
+              (tight.p99_ms <= bound && dflt.p99_ms <= bound) ? "yes" : "NO",
+              tight.p99_ms, dflt.p99_ms, baseline.p99_ms);
+  std::printf("unthrottled pays >= default p99  : %s (%.2f vs %.2f ms)\n",
+              open.p99_ms >= dflt.p99_ms ? "yes" : "NO", open.p99_ms,
+              dflt.p99_ms);
+
+  bench::JsonWriter json("rebalance");
+  for (const Arm& arm : arms) {
+    std::string prefix = arm.name == "baseline"    ? "baseline"
+                         : arm.name == "rps=500"   ? "rps500"
+                         : arm.name == "rps=2000"  ? "rps2000"
+                                                   : "unthrottled";
+    json.Number(prefix + "_ops_per_sec", arm.ops_per_sec, 1);
+    json.Number(prefix + "_p99_ms", arm.p99_ms, 3);
+    json.Integer(prefix + "_records_streamed",
+                 static_cast<long long>(arm.records_streamed));
+    json.Integer(prefix + "_throttle_stalls",
+                 static_cast<long long>(arm.throttle_stalls));
+    json.Json(prefix + "_latency", arm.latency_json);
+  }
+  json.WriteFile();
+  return 0;
+}

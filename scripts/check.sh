@@ -7,7 +7,7 @@
 #   scripts/check.sh ubsan      # UndefinedBehaviorSanitizer alone
 #   scripts/check.sh tsan       # ThreadSanitizer suite
 #   scripts/check.sh tidy       # repo lint + analyzer + clang-tidy
-#   scripts/check.sh chaos      # seeded chaos sweep, both profiles
+#   scripts/check.sh chaos      # seeded chaos sweep, all profiles
 #   scripts/check.sh coverage   # line coverage (scripts/coverage.sh)
 #   scripts/check.sh all        # everything, sequentially
 #
@@ -44,7 +44,7 @@ job_tsan()    { run_suite tsan tsan -DHOTMAN_SANITIZE=thread; }
 job_chaos() {
   run_suite default chaos
   local seeds="${HOTMAN_CHAOS_SEEDS:-1-50}"
-  for profile in quorum convergence; do
+  for profile in quorum convergence membership; do
     echo "==> [chaos] chaos_runner --seeds=${seeds} --profile=${profile} --verify"
     ./build-check-default/tools/chaos_runner \
       --seeds="${seeds}" --profile="${profile}" --verify --quiet

@@ -23,6 +23,8 @@ const char* ViolationKindName(ViolationKind kind) {
       return "lost-update";
     case ViolationKind::kDivergence:
       return "divergence";
+    case ViolationKind::kOrphanReplica:
+      return "orphan-replica";
   }
   return "?";
 }

@@ -18,6 +18,7 @@ enum class ViolationKind {
   kReadYourWrites,  ///< session read older state than its own acked write
   kLostUpdate,      ///< final state misses an acked write entirely
   kDivergence,      ///< replicas disagree after the cluster quiesced
+  kOrphanReplica,   ///< a non-owner still holds a key after quiesce
 };
 
 const char* ViolationKindName(ViolationKind kind);

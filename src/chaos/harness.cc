@@ -25,6 +25,23 @@ ChaosOptions ChaosOptions::QuorumProfile(std::uint64_t seed) {
   return options;
 }
 
+ChaosOptions ChaosOptions::MembershipProfile(std::uint64_t seed) {
+  ChaosOptions options;
+  options.seed = seed;
+  options.read_quorum = 2;         // R+W > N, like the quorum profile
+  options.hinted_handoff = false;  // foreign-key hints would fail ownership
+  options.nemesis.clock_skew = false;
+  options.nemesis.state_loss = false;
+  options.nemesis.membership = true;
+  // A ring mid-migration makes real-time read staleness legitimate (the
+  // newcomer answers for arcs it is still receiving); the checked core is
+  // phantoms, lost updates, convergence and ownership.
+  options.check.check_stale_reads = false;
+  options.check.check_read_your_writes = false;
+  options.check_ownership = true;
+  return options;
+}
+
 ChaosOptions ChaosOptions::ConvergenceProfile(std::uint64_t seed) {
   ChaosOptions options;
   options.seed = seed;
@@ -151,6 +168,7 @@ ChaosResult RunChaos(const ChaosOptions& options) {
   config.anti_entropy = options.anti_entropy;
   config.anti_entropy_interval = 2 * kMicrosPerSecond;
   config.chaos_lying_replica = options.lying_replica;
+  config.chaos_skip_ownership_purge = options.chaos_skip_ownership_purge;
 
   cluster::Cluster cluster(config, options.seed);
   Status started = cluster.Start();
@@ -195,7 +213,34 @@ ChaosResult RunChaos(const ChaosOptions& options) {
   nemesis.Stop();
   nemesis.HealAll();
   cluster.RunFor(3 * kMicrosPerSecond);
-  std::vector<cluster::StorageNode*> nodes = cluster.nodes();
+
+  // A decommission drawn late in the run may still be streaming its data
+  // out; on the healed network it finishes quickly, so wait for the ring
+  // to stop moving before measuring.
+  const Micros leave_deadline =
+      cluster.loop()->Now() + 60 * kMicrosPerSecond;
+  auto any_leaving = [&cluster]() {
+    for (cluster::StorageNode* node : cluster.nodes()) {
+      if (node->decommissioning() && node->running()) return true;
+    }
+    return false;
+  };
+  while (any_leaving() && cluster.loop()->Now() < leave_deadline) {
+    cluster.RunFor(500 * kMicrosPerMilli);
+  }
+  // Decommissioned nodes have left the system: their (stopped) stores are
+  // no longer part of the replicated state, so every post-run pass walks
+  // only the running membership.
+  std::vector<cluster::StorageNode*> nodes;
+  for (cluster::StorageNode* node : cluster.nodes()) {
+    if (node->running()) nodes.push_back(node);
+  }
+  if (nodes.empty()) {
+    result.report.violations.push_back(Violation{
+        ViolationKind::kDivergence, "", 0, 0,
+        "no node left running after the run"});
+    return result;
+  }
   for (int pass = 0; pass < options.ae_passes; ++pass) {
     for (cluster::StorageNode* node : nodes) {
       for (cluster::StorageNode* peer : nodes) {
@@ -267,6 +312,46 @@ ChaosResult RunChaos(const ChaosOptions& options) {
               ViolationKind::kDivergence, key, 0, 0,
               "preference member " + member +
                   " is missing the record after quiesce"});
+        }
+      }
+    }
+  }
+
+  if (options.check_ownership) {
+    // Every running node must agree on who the members are...
+    const std::vector<std::string> reference_members =
+        nodes.front()->ring().Nodes();
+    for (cluster::StorageNode* node : nodes) {
+      if (node->ring().Nodes() != reference_members) {
+        std::string detail = "ring membership disagrees: " +
+                             nodes.front()->id() + " vs " + node->id();
+        result.report.violations.push_back(
+            Violation{ViolationKind::kDivergence, "", 0, 0, detail});
+      }
+    }
+    // ...and nobody may still hold a key it no longer owns: join and
+    // decommission moved arcs, and the ownership sweep purges the stale
+    // source copies once the stream is acked.
+    for (const auto& [key, copies] : holders) {
+      const std::vector<std::string> prefs =
+          nodes.front()->ring().PreferenceList(
+              key, static_cast<std::size_t>(options.replication));
+      for (const auto& [node_id, record] : copies) {
+        bool owner = false;
+        for (const std::string& member : prefs) {
+          if (member == node_id) owner = true;
+        }
+        if (!owner) {
+          result.report.violations.push_back(Violation{
+              ViolationKind::kOrphanReplica, key, 0, 0,
+              node_id + " still holds the key; owners are " +
+                  [&prefs] {
+                    std::string joined;
+                    for (const std::string& p : prefs) {
+                      joined += (joined.empty() ? "" : ",") + p;
+                    }
+                    return joined;
+                  }()});
         }
       }
     }

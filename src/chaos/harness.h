@@ -40,6 +40,10 @@ struct ChaosOptions {
   /// Negative control: this replica acks writes without applying them
   /// (see ClusterConfig::chaos_lying_replica). Empty = honest cluster.
   std::string lying_replica;
+  /// Negative control: old owners keep their copies of migrated-away arcs
+  /// (see ClusterConfig::chaos_skip_ownership_purge), so a membership run
+  /// with a join must trip the orphan-replica check.
+  bool chaos_skip_ownership_purge = false;
 
   // --- workload shape ---
   int clients = 4;
@@ -62,6 +66,12 @@ struct ChaosOptions {
   NemesisOptions nemesis;
   CheckOptions check;
   bool check_convergence = true;
+  /// After quiesce, assert elastic-membership safety: every running node's
+  /// ring agrees on the member set, and nobody holds a key outside its
+  /// preference list (the ownership sweep must have purged migrated-away
+  /// arcs). Only sound with hinted handoff off — substitutes legitimately
+  /// hold foreign keys until their hints deliver.
+  bool check_ownership = false;
 
   /// Strict-quorum profile: R+W>N with hinted handoff off, so every read
   /// quorum intersects every write quorum and the full real-time rule set
@@ -75,6 +85,15 @@ struct ChaosOptions {
   /// restarts). Staleness is expected and not checked; phantom values and
   /// post-heal divergence still are.
   static ChaosOptions ConvergenceProfile(std::uint64_t seed);
+
+  /// Elastic-membership profile: strict quorum base (R+W>N, handoff off,
+  /// honest clocks, durable disks) with the nemesis additionally joining
+  /// fresh nodes and decommissioning members mid-run. Reads may observe a
+  /// newcomer that has not finished streaming its arcs, so the real-time
+  /// read rules are off; what must hold is the data-safety core: no
+  /// phantoms, no lost updates, full convergence, and clean ownership
+  /// (every key on exactly its preference members once the dust settles).
+  static ChaosOptions MembershipProfile(std::uint64_t seed);
 };
 
 struct ChaosResult {

@@ -22,6 +22,7 @@ Nemesis::Nemesis(cluster::Cluster* cluster, NemesisOptions options,
     : cluster_(cluster), options_(options), rng_(seed ^ 0xbadfa117c0ffeeull) {
   for (const cluster::NodeSpec& spec : cluster_->config().nodes) {
     node_names_.push_back(spec.address);
+    if (spec.is_seed) seed_names_.push_back(spec.address);
   }
 }
 
@@ -61,6 +62,37 @@ std::string Nemesis::PickNode() {
   return node_names_[rng_.Uniform(node_names_.size())];
 }
 
+std::vector<std::string> Nemesis::DecommissionCandidates() const {
+  // Keep every seed (survivors need them to detect failures), anything
+  // currently crashed (decommission needs a running node), and enough
+  // members that N replicas and one spare remain after the departure.
+  const int replication = cluster_->config().replication_factor;
+  int live = 0;
+  for (const std::string& name : node_names_) {
+    cluster::StorageNode* node = cluster_->node(name);
+    if (node != nullptr && node->running()) ++live;
+  }
+  if (live - 1 < replication + 1) return {};
+  std::vector<std::string> candidates;
+  for (const std::string& name : node_names_) {
+    bool excluded = false;
+    for (const std::string& seed : seed_names_) {
+      if (seed == name) excluded = true;
+    }
+    for (const ActiveFault& fault : active_) {
+      if (fault.kind == FaultKind::kCrash && fault.node == name) {
+        excluded = true;
+      }
+    }
+    cluster::StorageNode* node = cluster_->node(name);
+    if (node == nullptr || !node->running() || node->decommissioning()) {
+      excluded = true;
+    }
+    if (!excluded) candidates.push_back(name);
+  }
+  return candidates;
+}
+
 void Nemesis::Note(const std::string& what) {
   log_.push_back("t=" + std::to_string(cluster_->loop()->Now()) + " " + what);
 }
@@ -86,6 +118,13 @@ void Nemesis::InjectOne() {
   }
   if (options_.clock_skew) menu.push_back(FaultKind::kClockSkew);
   if (options_.slow_nodes) menu.push_back(FaultKind::kSlowNode);
+  if (options_.membership &&
+      membership_faults_ < options_.max_membership_faults) {
+    menu.push_back(FaultKind::kJoin);
+    if (!DecommissionCandidates().empty()) {
+      menu.push_back(FaultKind::kDecommission);
+    }
+  }
   if (menu.empty()) return;
 
   ActiveFault fault;
@@ -178,6 +217,45 @@ void Nemesis::InjectOne() {
       Note("slownode " + fault.node);
       break;
     }
+    case FaultKind::kJoin: {
+      // A brand-new, capacity-weighted node enters mid-chaos; the ring
+      // announcement races whatever partitions are up, and gossip has to
+      // deliver it to the members the broadcast missed.
+      cluster::NodeSpec spec;
+      spec.address = "db" + std::to_string(101 + joins_) + ":19870";
+      spec.capacity = 0.5 + rng_.NextDouble() * 0.5;
+      Status added = cluster_->AddNodeAsync(spec);
+      if (!added.ok()) return;
+      ++joins_;
+      ++membership_faults_;
+      ++faults_injected_;
+      node_names_.push_back(spec.address);
+      Note("join " + spec.address +
+           " capacity=" + std::to_string(spec.capacity));
+      return;  // permanent: nothing to heal, no TTL
+    }
+    case FaultKind::kDecommission: {
+      const std::vector<std::string> candidates = DecommissionCandidates();
+      if (candidates.empty()) return;
+      const std::string victim = candidates[rng_.Uniform(candidates.size())];
+      // Stop targeting the leaver immediately: crashing or re-partitioning
+      // a node mid-departure is covered by faults drawn *before* this one.
+      node_names_.erase(
+          std::remove(node_names_.begin(), node_names_.end(), victim),
+          node_names_.end());
+      ++membership_faults_;
+      ++faults_injected_;
+      Note("decommission " + victim);
+      Status started = cluster_->DecommissionNodeAsync(
+          victim, [this, victim](const Status& s) {
+            Note("decommission " + victim +
+                 (s.ok() ? " complete" : " failed: " + s.ToString()));
+          });
+      if (!started.ok()) {
+        Note("decommission " + victim + " rejected: " + started.ToString());
+      }
+      return;  // permanent: nothing to heal, no TTL
+    }
   }
 
   ++faults_injected_;
@@ -225,6 +303,9 @@ void Nemesis::Heal(const ActiveFault& fault) {
       cluster_->node(fault.node)->SetClockSkew(0);
       Note("heal clockskew " + fault.node);
       break;
+    case FaultKind::kJoin:
+    case FaultKind::kDecommission:
+      break;  // permanent by design; never queued for healing
   }
 }
 

@@ -23,6 +23,11 @@ struct NemesisOptions {
   bool state_loss = true;   ///< a restart may come back with a blank disk
   bool clock_skew = true;   ///< coordinator stamps drift by a fixed offset
   bool slow_nodes = true;   ///< heavy extra delay on every frame of a node
+  /// Elastic membership churn: brand-new nodes join (capacity-weighted)
+  /// and non-seed members gracefully decommission while the other fault
+  /// families are active. Unlike every other fault these are permanent —
+  /// a joined node stays, a decommissioned node never comes back.
+  bool membership = false;
 
   /// Quiet gap between consecutive injections, and how long each fault
   /// lives before the nemesis heals it (uniform draws in [min, max]).
@@ -33,6 +38,7 @@ struct NemesisOptions {
 
   int max_concurrent_faults = 2;  ///< injections outstanding at once
   int max_crashed_nodes = 1;      ///< never silence a write quorum outright
+  int max_membership_faults = 3;  ///< joins + decommissions per run
 
   Micros max_clock_skew = 2 * kMicrosPerSecond;
   double max_drop_probability = 0.8;
@@ -71,6 +77,8 @@ class Nemesis {
     kCrash,
     kClockSkew,
     kSlowNode,
+    kJoin,          ///< permanent: a fresh node enters the ring
+    kDecommission,  ///< permanent: a member streams out and leaves
   };
 
   struct ActiveFault {
@@ -87,15 +95,21 @@ class Nemesis {
   void Heal(const ActiveFault& fault);
   std::string PickNode();
   void Note(const std::string& what);
+  /// Members that may decommission right now: running non-seeds with no
+  /// active crash, and enough survivors left to place N replicas.
+  std::vector<std::string> DecommissionCandidates() const;
 
   cluster::Cluster* cluster_;
   NemesisOptions options_;
   Rng rng_;
   std::vector<std::string> node_names_;
+  std::vector<std::string> seed_names_;
   std::vector<ActiveFault> active_;
   std::vector<std::string> log_;
   std::size_t faults_injected_ = 0;
   int crashed_ = 0;
+  int joins_ = 0;
+  int membership_faults_ = 0;
   bool running_ = false;
 };
 

@@ -58,8 +58,13 @@ class Cluster {
   // --- membership ------------------------------------------------------------
 
   /// Boots a brand-new node and lets the membership protocol integrate it;
-  /// keys migrate to it automatically.
+  /// keys migrate to it automatically (streamed by the rebalancer), and the
+  /// loop is pumped briefly so gossip settles.
   Status AddNode(const NodeSpec& spec);
+
+  /// AddNode without pumping the loop — for callers already inside a loop
+  /// event (the chaos nemesis), where re-entrant pumping is illegal.
+  Status AddNodeAsync(const NodeSpec& spec);
 
   /// Hard-crashes `address` (long failure): the node goes silent until the
   /// seeds detect it and trigger repair.
@@ -73,8 +78,24 @@ class Cluster {
   /// The chaos nemesis drives repeated crash/restart cycles through this.
   Status RestartNode(const std::string& address, bool lose_state);
 
-  /// Graceful removal: announces departure via a seed, then stops the node.
+  /// Graceful removal: decommissions the node — it streams every arc it
+  /// holds to the members that inherit it *before* announcing departure and
+  /// stopping, so no key drops below N replicas at any point. Pumps the
+  /// loop until the decommission completes (or a generous virtual-time
+  /// budget runs out). Falls back to the abrupt path when the rebalancer is
+  /// disabled or the node is not running.
   Status RemoveNode(const std::string& address);
+
+  /// The pre-rebalancer removal: stop the node first, then announce its
+  /// departure — explicitly *crash* semantics (survivors re-replicate from
+  /// their own copies; any write only the departed node held is lost).
+  Status RemoveNodeAbrupt(const std::string& address);
+
+  /// Starts a graceful decommission without pumping the loop — for callers
+  /// already inside a loop event (the chaos nemesis). `done` (optional)
+  /// fires when the node has left the ring.
+  Status DecommissionNodeAsync(const std::string& address,
+                               std::function<void(const Status&)> done = nullptr);
 
   // --- plumbing ---------------------------------------------------------------
 
@@ -96,6 +117,10 @@ class Cluster {
 
   /// Aggregated stats over all nodes.
   NodeStats AggregateStats();
+
+  /// Aggregated rebalancer counters over all nodes (the /stats
+  /// "rebalance.*" section).
+  rebalance::RebalanceStats AggregateRebalanceStats();
 
   /// Cluster-wide metrics snapshot as JSON: the AggregateStats counters,
   /// merged put/get latency histograms, replica queue-wait/service

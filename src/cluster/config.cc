@@ -1,6 +1,14 @@
 #include "cluster/config.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace hotman::cluster {
+
+int EffectiveVnodes(const NodeSpec& spec) {
+  const double scaled = static_cast<double>(spec.vnodes) * spec.capacity;
+  return std::max(1, static_cast<int>(std::lround(scaled)));
+}
 
 Status ClusterConfig::Validate() const {
   if (nodes.empty()) return Status::InvalidArgument("cluster needs >= 1 node");
@@ -20,6 +28,9 @@ Status ClusterConfig::Validate() const {
   for (const NodeSpec& node : nodes) {
     if (node.address.empty()) return Status::InvalidArgument("empty node address");
     if (node.vnodes < 1) return Status::InvalidArgument("vnodes must be >= 1");
+    if (!(node.capacity > 0.0)) {
+      return Status::InvalidArgument("node capacity must be > 0");
+    }
     has_seed = has_seed || node.is_seed;
   }
   if (!has_seed && nodes.size() > 1) {

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "gossip/failure_detector.h"
 #include "gossip/gossiper.h"
+#include "rebalance/rebalancer.h"
 #include "sim/network_config.h"
 #include "sim/service_station.h"
 
@@ -17,7 +18,15 @@ struct NodeSpec {
   std::string address;  ///< e.g. "db1:19870"
   int vnodes = 128;     ///< virtual nodes ∝ node capability (§5.2.1)
   bool is_seed = false;
+  /// Capacity weight (DynoStore-style heterogeneous placement): the node
+  /// takes `vnodes * capacity` ring points, so a half-size box owns half
+  /// the keyspace share. 1.0 keeps the homogeneous default.
+  double capacity = 1.0;
 };
+
+/// Ring points `spec` contributes: its vnode base scaled by its capacity
+/// weight (at least 1 so every node owns something).
+int EffectiveVnodes(const NodeSpec& spec);
 
 /// Whole-cluster configuration. Defaults mirror the paper's evaluation
 /// setup: (N, W, R) = (3, 2, 1) on five DB nodes (§6.2), Netty-port-style
@@ -72,6 +81,10 @@ struct ClusterConfig {
   /// consistency checker detects lost updates and stale reads; must stay
   /// empty everywhere else.
   std::string chaos_lying_replica;
+  /// Disables the ownership sweep's purge of migrated-away records (the
+  /// push-before-purge half still runs). Negative control proving the
+  /// chaos orphan-replica check has teeth; must stay false everywhere else.
+  bool chaos_skip_ownership_purge = false;
 
   // --- anti-entropy (future-work extension: background consistency) ---
   /// When enabled, every node periodically exchanges record digests with a
@@ -79,6 +92,11 @@ struct ClusterConfig {
   /// other side is missing — repairing divergence without waiting for reads.
   bool anti_entropy = false;
   Micros anti_entropy_interval = 10 * kMicrosPerSecond;
+
+  // --- elastic membership (src/rebalance/) ---
+  /// Live data movement on join/decommission/reweight: throttle, resume
+  /// and autonomic-trigger policy shared by every node.
+  rebalance::RebalanceConfig rebalance;
 
   // --- substrates ---
   gossip::GossipConfig gossip;

@@ -21,6 +21,12 @@ void NodeServer::Start() {
         [this](const net::Message& msg) { HandleClientDelete(msg); });
   d->On(net::kMsgClientStats,
         [this](const net::Message& msg) { HandleClientStats(msg); });
+  d->On(net::kMsgClientJoin,
+        [this](const net::Message& msg) { HandleClientJoin(msg); });
+  d->On(net::kMsgClientDecommission,
+        [this](const net::Message& msg) { HandleClientDecommission(msg); });
+  d->On(net::kMsgClientRebalanceStatus,
+        [this](const net::Message& msg) { HandleClientRebalanceStatus(msg); });
 }
 
 void NodeServer::Reply(const std::string& to, const char* type,
@@ -115,6 +121,78 @@ void NodeServer::HandleClientStats(const net::Message& msg) {
   Reply(msg.from, net::kMsgClientStatsAck, net::EncodeClientStatsAck(ack));
 }
 
+void NodeServer::HandleClientJoin(const net::Message& msg) {
+  auto join = net::DecodeClientJoin(msg.body);
+  if (!join.ok()) {
+    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_join from " << msg.from  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
+                      << ": " << join.status().ToString();
+    return;
+  }
+  net::ClientAckMsg ack;
+  ack.req = join->req;
+  if (join->node.empty() || join->capacity <= 0.0) {
+    ack.error = "join needs a node endpoint and capacity > 0";
+  } else {
+    // The joining hotmand must already be up and listening on `node`;
+    // announcing it here pulls it into every member's ring and the
+    // rebalancer streams it its share of the data.
+    NodeSpec spec;
+    spec.address = join->node;
+    if (join->vnodes > 0) spec.vnodes = static_cast<int>(join->vnodes);
+    spec.capacity = join->capacity;
+    node_->AnnounceAddition(spec.address, EffectiveVnodes(spec));
+    ack.ok = true;
+  }
+  Reply(msg.from, net::kMsgClientJoinAck, net::EncodeClientAck(ack));
+}
+
+void NodeServer::HandleClientDecommission(const net::Message& msg) {
+  auto dec = net::DecodeClientGet(msg.body);
+  if (!dec.ok()) {
+    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_decommission from "  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
+                      << msg.from << ": " << dec.status().ToString();
+    return;
+  }
+  const std::uint64_t req = dec->req;
+  const std::string client = msg.from;
+  // The ack races the shutdown: once the decommission completes this node
+  // has left the ring and stopped, so a completion-time reply could never
+  // be delivered. Reply "started" as soon as the guards pass and let the
+  // operator watch progress through rebalance-status on the survivors;
+  // only a synchronous rejection (already decommissioning, last node, ...)
+  // reports an error.
+  auto replied = std::make_shared<bool>(false);
+  node_->StartDecommission([this, req, client, replied](const Status& s) {
+    if (*replied || s.ok()) return;
+    *replied = true;
+    net::ClientAckMsg ack;
+    ack.req = req;
+    ack.error = s.ToString();
+    Reply(client, net::kMsgClientDecommissionAck, net::EncodeClientAck(ack));
+  });
+  if (!*replied) {
+    *replied = true;
+    net::ClientAckMsg ack;
+    ack.req = req;
+    ack.ok = true;
+    Reply(client, net::kMsgClientDecommissionAck, net::EncodeClientAck(ack));
+  }
+}
+
+void NodeServer::HandleClientRebalanceStatus(const net::Message& msg) {
+  auto status = net::DecodeClientGet(msg.body);
+  if (!status.ok()) {
+    HOTMAN_LOG(kWarn) << node_->id() << ": bad client_rebalance_status from "  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
+                      << msg.from << ": " << status.status().ToString();
+    return;
+  }
+  net::ClientStatsAckMsg ack;
+  ack.req = status->req;
+  ack.json = node_->rebalancer()->StatusJson();
+  Reply(msg.from, net::kMsgClientRebalanceStatusAck,
+        net::EncodeClientStatsAck(ack));
+}
+
 std::string NodeServer::StatsJson() const {
   metrics::Registry registry;
   // Merged across shards: stats() gathers each shard's counters in that
@@ -138,7 +216,30 @@ std::string NodeServer::StatsJson() const {
   registry.counter("fast_read_demotions")->Increment(s.fast_read_demotions);
   registry.counter("get_acks_corrupt")->Increment(s.get_acks_corrupt);
   registry.counter("rereplications")->Increment(s.rereplications);
+  registry.counter("rebalance_purges")->Increment(s.rebalance_purges);
   registry.counter("ae_rounds")->Increment(s.ae_rounds);
+  const rebalance::RebalanceStats rb = node_->rebalance_stats();
+  registry.counter("rebalance.transfers_started")
+      ->Increment(rb.transfers_started);
+  registry.counter("rebalance.transfers_completed")
+      ->Increment(rb.transfers_completed);
+  registry.counter("rebalance.transfers_aborted")
+      ->Increment(rb.transfers_aborted);
+  registry.counter("rebalance.arcs_planned")->Increment(rb.arcs_planned);
+  registry.counter("rebalance.arcs_completed")->Increment(rb.arcs_completed);
+  registry.counter("rebalance.records_streamed")
+      ->Increment(rb.records_streamed);
+  registry.counter("rebalance.bytes_streamed")->Increment(rb.bytes_streamed);
+  registry.counter("rebalance.records_received")
+      ->Increment(rb.records_received);
+  registry.counter("rebalance.records_skipped")
+      ->Increment(rb.records_skipped);
+  registry.counter("rebalance.throttle_stalls")
+      ->Increment(rb.throttle_stalls);
+  registry.counter("rebalance.resumes")->Increment(rb.resumes);
+  registry.counter("rebalance.retries")->Increment(rb.retries);
+  registry.counter("rebalance.autonomic_reweights")
+      ->Increment(rb.autonomic_reweights);
   registry.counter("client_puts")->Increment(client_puts_);
   registry.counter("client_gets")->Increment(client_gets_);
   registry.counter("client_deletes")->Increment(client_deletes_);

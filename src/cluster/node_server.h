@@ -39,6 +39,9 @@ class NodeServer {
   void HandleClientGet(const net::Message& msg);
   void HandleClientDelete(const net::Message& msg);
   void HandleClientStats(const net::Message& msg);
+  void HandleClientJoin(const net::Message& msg);
+  void HandleClientDecommission(const net::Message& msg);
+  void HandleClientRebalanceStatus(const net::Message& msg);
 
   /// The node's single-node metrics snapshot (the /stats JSON): operation
   /// counters, latency histograms and the transport's net.* counters.

@@ -43,6 +43,7 @@ void NodeStats::MergeFrom(const NodeStats& other) {
   fast_read_demotions += other.fast_read_demotions;
   get_acks_corrupt += other.get_acks_corrupt;
   rereplications += other.rereplications;
+  rebalance_purges += other.rebalance_purges;
   ae_rounds += other.ae_rounds;
   ae_pushed += other.ae_pushed;
   ae_requested += other.ae_requested;
@@ -113,6 +114,7 @@ StorageNode::StorageNode(const NodeSpec& spec, const ClusterConfig& config,
       });
   detector_ = std::make_unique<gossip::FailureDetector>(
       id_, transport_, &gossiper_->states(), config_.detector);
+  SetupRebalancer();
   RegisterHandlers();
 }
 
@@ -123,22 +125,32 @@ void StorageNode::Start() {
   running_ = true;
   transport_->RegisterEndpoint(id_, dispatcher_.AsTransportHandler());  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
   // Static bootstrap: the configured membership seeds the local ring view.
+  // Ring weight is the capacity-scaled vnode count, so a half-size box owns
+  // a proportionally smaller keyspace share.
   for (const NodeSpec& node : config_.nodes) {
-    Status s = ring_.AddNode(node.address, node.vnodes);
+    Status s = ring_.AddNode(node.address, EffectiveVnodes(node));
     (void)s;  // AlreadyExists is fine on restart
     if (node.address != id_) gossiper_->AddPeer(node.address);
   }
   SyncShardRings();
   gossiper_->Boot(transport_->NowMicros() / kMicrosPerSecond + 1);
-  gossiper_->SetLocalState(gossip::kStateVnodes, std::to_string(spec_.vnodes));
+  gossiper_->SetLocalState(gossip::kStateVnodes,
+                           std::to_string(EffectiveVnodes(spec_)));
   gossiper_->SetLocalState(gossip::kStateLoad, "0");
   gossiper_->SetStateChangeListener(
       [this](const std::string& endpoint, const std::string& key,
              const std::string& value) {
-        if (key == gossip::kStateVnodes && removed_nodes_.count(endpoint) == 0 &&
-            !ring_.HasNode(endpoint)) {
+        if (key != gossip::kStateVnodes || removed_nodes_.count(endpoint) != 0) {
+          return;
+        }
+        const int vnodes = std::max(1, std::atoi(value.c_str()));
+        if (!ring_.HasNode(endpoint)) {
           // Learned of a new member through gossip.
-          OnNodeAdded(endpoint, std::max(1, std::atoi(value.c_str())));
+          OnNodeAdded(endpoint, vnodes);
+        } else if (endpoint != id_ && ring_.VnodeCount(endpoint) != vnodes) {
+          // A member changed its ring weight (autonomic shed or operator
+          // reweight): rebuild its points and stream the released arcs.
+          ApplyReweight(endpoint, vnodes);
         }
       });
   gossiper_->Start();
@@ -151,6 +163,8 @@ void StorageNode::Start() {
     RunOnShard(ss->index, [this, ss] { StartHintTimer(*ss); });
   }
   if (config_.anti_entropy) StartAntiEntropyTimer();
+  rebalancer_->Start();
+  if (config_.rebalance.autonomic) StartAutonomicTimer();
 }
 
 void StorageNode::Stop() {
@@ -158,7 +172,13 @@ void StorageNode::Stop() {
   running_ = false;
   gossiper_->Stop();
   detector_->Stop();
+  rebalancer_->Stop();
   transport_->CancelTimer(ae_timer_);
+  transport_->CancelTimer(autonomic_timer_);
+  autonomic_timer_ = 0;
+  transport_->CancelTimer(sweep_timer_);
+  sweep_timer_ = 0;
+  sweep_push_pending_ = false;
   // Per-request events must not outlive the node: a timeout firing after
   // Stop would touch freed state, and an undone operation would otherwise
   // strand its caller forever. Each shard fails its own pending work in its
@@ -308,6 +328,21 @@ void StorageNode::RegisterHandlers() {
                  [this](const net::Message& msg) { HandleAeDigest(msg); });
   dispatcher_.On(kMsgAeRequest,
                  [this](const net::Message& msg) { HandleAeRequest(msg); });
+  // Elastic membership (src/rebalance/): system-shard traffic like
+  // anti-entropy; the rebalancer hops keyed applies to the owning shard
+  // itself (through the env.apply hook).
+  dispatcher_.On(rebalance::kMsgRangeDigest, [this](const net::Message& msg) {
+    rebalancer_->HandleRangeDigest(msg.from, msg.body);  // NOLINT(hotman-shard-affinity) the dispatcher delivers on shard 0, the rebalancer's home shard
+  });
+  dispatcher_.On(rebalance::kMsgRangeAck, [this](const net::Message& msg) {
+    rebalancer_->HandleRangeAck(msg.from, msg.body);  // NOLINT(hotman-shard-affinity) the dispatcher delivers on shard 0, the rebalancer's home shard
+  });
+  dispatcher_.On(rebalance::kMsgRangePush, [this](const net::Message& msg) {
+    rebalancer_->HandleRangePush(msg.from, msg.body);  // NOLINT(hotman-shard-affinity) the dispatcher delivers on shard 0, the rebalancer's home shard
+  });
+  dispatcher_.On(rebalance::kMsgTransferDone, [this](const net::Message& msg) {
+    rebalancer_->HandleTransferDone(msg.from, msg.body);  // NOLINT(hotman-shard-affinity) the dispatcher delivers on shard 0, the rebalancer's home shard
+  });
   dispatcher_.On(kMsgNodeRemoved, [this](const net::Message& msg) {
     auto notice = DecodeMembership(msg.body);
     if (notice.ok()) OnNodeRemoved(notice->node);
@@ -1318,27 +1353,59 @@ void StorageNode::AnnounceRemoval(const std::string& node) {
 
 void StorageNode::OnNodeRemoved(const std::string& node) {
   if (!ring_.HasNode(node)) return;  // already applied
+  if (node == id_) {
+    // Our own graceful departure coming back around: the decommission path
+    // already streamed everything out, so just drop ourselves from the
+    // local view — no repair against our own removal.
+    Status s = ring_.RemoveNode(node);
+    (void)s;
+    SyncShardRings();
+    return;
+  }
+  const hashring::Ring before = ring_;
   Status s = ring_.RemoveNode(node);
   (void)s;
   removed_nodes_.insert(node);
   SyncShardRings();
   // Fig. 9: "node removing will cause the number of the replications of
   // data decreasing. So some new replicas should be created and distributed
-  // to other nodes."
-  ReplicateLocalData(/*purge_unowned=*/false);
+  // to other nodes." With the rebalancer on, only the designated source per
+  // arc streams (throttled, resumable) instead of every holder re-pushing.
+  if (config_.rebalance.enabled) {
+    StartPlannedTransfers(before);
+  } else {
+    ReplicateLocalData(/*purge_unowned=*/false);
+  }
 }
 
 void StorageNode::OnNodeAdded(const std::string& node, int vnodes) {
   if (node == id_ || ring_.HasNode(node)) return;
   removed_nodes_.erase(node);
+  const hashring::Ring before = ring_;
   Status s = ring_.AddNode(node, vnodes);
   if (!s.ok()) return;
   gossiper_->AddPeer(node);
   SyncShardRings();
   // "The mapping and migrating operation are executed by the next physical
-  // node on the ring": every holder pushes the keys that now belong to the
-  // newcomer and drops the ones it no longer owns.
-  ReplicateLocalData(/*purge_unowned=*/true);
+  // node on the ring": stream the arcs the newcomer now owns to it and drop
+  // what this node no longer holds a preference slot for.
+  if (config_.rebalance.enabled) {
+    StartPlannedTransfers(before);
+  } else {
+    ReplicateLocalData(/*purge_unowned=*/true);
+  }
+}
+
+void StorageNode::AnnounceAddition(const std::string& node, int vnodes) {
+  MembershipMsg notice;
+  notice.node = node;
+  notice.vnodes = vnodes;
+  const bson::Document body = EncodeMembership(notice);
+  for (const std::string& member : ring_.Nodes()) {
+    if (member == id_ || member == node) continue;
+    SendToNode(member, kMsgNodeAdded, body);
+  }
+  OnNodeAdded(node, vnodes);
 }
 
 std::vector<bson::Document> StorageNode::AllShardRecords() {
@@ -1374,11 +1441,227 @@ void StorageNode::ReplicateLocalData(bool purge_unowned) {
       SendToNode(target, kMsgPutReplica, EncodePutReplica(msg));
       ++system.stats.rereplications;
     }
-    if (purge_unowned && !self_owns) {
+    if (purge_unowned && !self_owns && !config_.chaos_skip_ownership_purge) {
       Status s = StoreForKey(key)->Purge(key);  // NOLINT(hotman-shard-affinity) docstore-locked purge from the rebalance path
       (void)s;
     }
   }
+}
+
+// --- elastic membership (src/rebalance/) -------------------------------------
+
+void StorageNode::SetupRebalancer() {
+  rebalance::RebalancerEnv env;
+  env.self = id_;
+  env.send_msg = [this](const hashring::NodeId& to, const std::string& type,
+                    bson::Document body) {
+    SendToNode(to, type, std::move(body));
+  };
+  env.snapshot = [this] { return AllShardRecords(); };
+  env.lookup = [this](const std::string& key) {
+    return StoreForKey(key)->GetByKey(key);  // NOLINT(hotman-shard-affinity) docstore-locked point read from the rebalance path
+  };
+  // Target-side apply: route the pushed record through the service station
+  // and the key's shard exactly like foreground replica traffic (that
+  // contention is what the throttle bounds), then hop home to shard 0 so
+  // the rebalancer's watermark bookkeeping stays system-shard-affine.
+  env.apply = [this](const bson::Document& record,
+                     std::function<void(bool ok)> done) {
+    const std::size_t bytes = bson::EncodedSize(record);
+    const int shard = ShardOfKey(core::RecordSelfKey(record));
+    auto settle = [this, done = std::move(done)](bool ok) {
+      RunOnShard(0, [done, ok] { done(ok); });
+    };
+    const bool admitted = SubmitWork(
+        bytes, [this, shard, record, settle](Micros, Micros) {
+          RunOnShard(shard, [this, shard, record, settle] {
+            if (!running_ || !server_->CheckAvailable().ok()) {
+              settle(false);
+              return;
+            }
+            auto applied = shards_[shard]->store->Apply(record);
+            if (applied.ok()) ++shards_[shard]->stats.replica_puts_applied;
+            settle(applied.ok());
+          });
+        });
+    if (!admitted) settle(false);
+  };
+  env.available = [this] { return running_ && server_->CheckAvailable().ok(); };
+  env.peer_known = [this](const hashring::NodeId& peer) {
+    return ring_.HasNode(peer);
+  };
+  env.executor = transport_;
+  rebalancer_ =
+      std::make_unique<rebalance::Rebalancer>(config_.rebalance, std::move(env));
+}
+
+void StorageNode::StartPlannedTransfers(const hashring::Ring& before) {
+  std::vector<hashring::ReplicaMigrationStep> steps =
+      hashring::PlanReplicaMigration(
+          before, ring_, static_cast<std::size_t>(config_.replication_factor));
+  bool self_sources = false;
+  for (const hashring::ReplicaMigrationStep& step : steps) {
+    if (step.source == id_) {
+      self_sources = true;
+      break;
+    }
+  }
+  if (self_sources) {
+    // Sweep again once our own streams land: keys deferred by SourcingKey
+    // (arcs this node both loses and sources, e.g. N=1 or a self-reweight)
+    // become purgeable exactly then.
+    rebalancer_->StartTransfers(steps, [this] {  // NOLINT(hotman-shard-affinity) membership handlers run on shard 0, the rebalancer's home shard
+      if (running_) RunOwnershipSweep(/*push_before_purge=*/false);
+    });
+  }
+  // Ownership can shift away even when this node streams nothing (another
+  // holder sources the displaced arc); sweep after the transfers have had a
+  // chance to land. Purge-only is safe: on any membership change at N >= 2
+  // the other N-1 before-holders keep their preference slots.
+  ScheduleOwnershipSweep(/*push_before_purge=*/false,
+                         2 * config_.rebalance.retry_interval);
+}
+
+void StorageNode::StartDecommission(std::function<void(const Status&)> done) {
+  if (!running_) {
+    done(Status::Unavailable("node not running: " + id_));
+    return;
+  }
+  if (decommissioning_) {
+    done(Status::InvalidArgument("decommission already in progress: " + id_));
+    return;
+  }
+  if (ring_.NumPhysicalNodes() < 2) {
+    done(Status::InvalidArgument(
+        "cannot decommission the last ring member: " + id_));
+    return;
+  }
+  decommissioning_ = true;
+  // Peers that gossip with us meanwhile see LEAVING; the authoritative exit
+  // is the node_removed broadcast below.
+  gossiper_->SetLocalState(gossip::kStateStatus, "LEAVING");
+  HOTMAN_LOG(kInfo) << id_ << ": decommission started, streaming data out";  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
+  std::vector<hashring::ReplicaMigrationStep> steps = hashring::PlanDecommission(
+      ring_, id_, static_cast<std::size_t>(config_.replication_factor));
+  auto finish = [this, done = std::move(done)] {
+    if (!running_) {
+      // Crashed (or was stopped) mid-decommission: departure becomes abrupt
+      // crash semantics; survivors repair via long-failure handling.
+      decommissioning_ = false;
+      done(Status::Unavailable("node stopped mid-decommission: " + id_));
+      return;
+    }
+    HOTMAN_LOG(kInfo) << id_ << ": decommission streams complete, leaving ring";  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
+    decommissioned_ = true;
+    AnnounceRemoval(id_);
+    Stop();
+    done(Status::OK());
+  };
+  // PlanDecommission sources every lost arc here (survivors re-plan the
+  // same diff on the announce; the overlap is idempotent under LWW).
+  rebalancer_->StartTransfers(steps, std::move(finish));  // NOLINT(hotman-shard-affinity) decommission starts on shard 0, the rebalancer's home shard
+}
+
+void StorageNode::RunOwnershipSweep(bool push_before_purge) {
+  if (!running_) return;
+  ShardState& system = *shards_[0];
+  for (const bson::Document& record : AllShardRecords()) {
+    const std::string key = core::RecordSelfKey(record);
+    std::vector<std::string> prefs =
+        ring_.PreferenceList(key, config_.replication_factor);
+    if (std::find(prefs.begin(), prefs.end(), id_) != prefs.end()) continue;
+    if (rebalancer_->SourcingKey(key)) continue;  // purge at stream completion  // NOLINT(hotman-shard-affinity) the ownership sweep runs on shard 0, the rebalancer's home shard
+    if (push_before_purge) {
+      // Rejoin path: this node may be the sole holder of a pre-crash write,
+      // so hand the record to its preference holders before dropping it.
+      for (const std::string& target : prefs) {
+        PutReplicaMsg msg;
+        msg.req = 0;  // fire-and-forget; LWW makes it idempotent
+        msg.record = core::AsReplicaCopy(record);
+        SendToNode(target, kMsgPutReplica, EncodePutReplica(msg));
+        ++system.stats.rereplications;
+      }
+    }
+    if (config_.chaos_skip_ownership_purge) continue;
+    Status s = StoreForKey(key)->Purge(key);  // NOLINT(hotman-shard-affinity) docstore-locked purge from the rebalance path
+    (void)s;
+    ++system.stats.rebalance_purges;
+  }
+}
+
+void StorageNode::ScheduleOwnershipSweep(bool push_before_purge, Micros delay) {
+  sweep_push_pending_ = sweep_push_pending_ || push_before_purge;
+  if (sweep_timer_ != 0) return;  // coalesced; the pending sweep reads the flag
+  sweep_timer_ = transport_->ScheduleTimer(delay, [this] {
+    sweep_timer_ = 0;
+    const bool push = sweep_push_pending_;
+    sweep_push_pending_ = false;
+    if (running_) RunOwnershipSweep(push);
+  });
+}
+
+void StorageNode::ApplyReweight(const std::string& node, int vnodes) {
+  if (vnodes < 1 || !ring_.HasNode(node)) return;
+  if (ring_.VnodeCount(node) == vnodes) return;
+  const hashring::Ring before = ring_;
+  Status removed = ring_.RemoveNode(node);
+  (void)removed;
+  Status added = ring_.AddNode(node, vnodes);
+  (void)added;
+  SyncShardRings();
+  if (config_.rebalance.enabled) {
+    StartPlannedTransfers(before);
+  } else {
+    ReplicateLocalData(/*purge_unowned=*/true);
+  }
+}
+
+void StorageNode::StartAutonomicTimer() {
+  autonomic_timer_ = transport_->ScheduleTimer(
+      config_.rebalance.autonomic_interval, [this] {
+        if (!running_) return;
+        RunAutonomicCheck();
+        StartAutonomicTimer();
+      });
+}
+
+void StorageNode::RunAutonomicCheck() {
+  // H2O-style autonomic trigger: publish our load (record count) through
+  // gossip, and when it exceeds `imbalance_threshold` times the cluster
+  // mean, shed a quarter of our ring weight — the reweight streams the
+  // released arcs out and peers learn the new weight via kStateVnodes.
+  std::size_t local = 0;
+  for (const auto& shard : shards_) {
+    local += StoreOfShard(shard->index)->NumRecords();  // NOLINT(hotman-shard-affinity) docstore-locked count from the rebalance path
+  }
+  gossiper_->SetLocalState(gossip::kStateLoad, std::to_string(local));
+  if (decommissioning_) return;
+
+  double total = static_cast<double>(local);
+  int members = 1;
+  for (const auto& [endpoint, state] : gossiper_->states().states()) {
+    if (endpoint == id_ || !ring_.HasNode(endpoint)) continue;
+    const gossip::VersionedEntry* entry = state.GetEntry(gossip::kStateLoad);
+    if (entry == nullptr) continue;
+    total += std::atof(entry->value.c_str());
+    ++members;
+  }
+  if (members < 2) return;
+  const double mean = total / members;
+  if (mean <= 0.0 ||
+      static_cast<double>(local) <= config_.rebalance.imbalance_threshold * mean) {
+    return;
+  }
+  const int current = ring_.VnodeCount(id_);
+  const int target = std::max(config_.rebalance.autonomic_min_vnodes,
+                              current - std::max(1, current / 4));
+  if (target >= current) return;
+  HOTMAN_LOG(kInfo) << id_ << ": autonomic reweight " << current << " -> "  // NOLINT(hotman-transitive-blocking) leaf log sink: bounded lock-copy + stderr write, log text is not replay state
+                    << target << " vnodes (load " << local << " vs mean "
+                    << mean << ")";
+  rebalancer_->CountAutonomicReweight();
+  gossiper_->SetLocalState(gossip::kStateVnodes, std::to_string(target));
+  ApplyReweight(id_, target);
 }
 
 }  // namespace hotman::cluster

@@ -23,6 +23,7 @@
 #include "hashring/ring.h"
 #include "net/sharded_executor.h"
 #include "net/transport.h"
+#include "rebalance/rebalancer.h"
 #include "sim/failure_injector.h"
 #include "sim/service_station.h"
 
@@ -53,6 +54,7 @@ struct NodeStats {
   std::size_t fast_read_demotions = 0;  ///< fast attempt failed, re-ran as quorum
   std::size_t get_acks_corrupt = 0;     ///< undecodable get acks from known targets
   std::size_t rereplications = 0;       ///< records re-pushed on ring change
+  std::size_t rebalance_purges = 0;     ///< unowned records dropped by the sweep
   std::size_t ae_rounds = 0;            ///< anti-entropy exchanges initiated
   std::size_t ae_pushed = 0;            ///< records pushed by anti-entropy
   std::size_t ae_requested = 0;         ///< records pulled by anti-entropy
@@ -146,6 +148,49 @@ class StorageNode {
   /// Seed-side: broadcasts a node_removed notice to every known endpoint
   /// and applies it locally.
   void AnnounceRemoval(const std::string& node);
+
+  /// Admin-side (hotman_ctl join): broadcasts a node_added notice to every
+  /// ring member and applies it locally, so an operator can introduce a
+  /// node through any coordinator instead of waiting for gossip.
+  void AnnounceAddition(const std::string& node, int vnodes);
+
+  // --- elastic membership (src/rebalance/) --------------------------------
+
+  /// Graceful leave: marks this node LEAVING in gossip, streams every arc
+  /// it holds to the nodes that inherit it (throttled, resumable), then
+  /// announces its own removal and stops. `done` fires once the node has
+  /// left the ring (Status::OK) or the decommission could not start.
+  /// Abrupt departure — just Stop()/crash — remains available as explicit
+  /// crash semantics: survivors then re-replicate from their own copies.
+  void StartDecommission(std::function<void(const Status&)> done);
+
+  /// Drops every local record this node no longer owns under the current
+  /// ring (keys inside arcs still being streamed out are deferred to the
+  /// transfer's completion). With `push_before_purge` each dropped record
+  /// is first re-pushed to its preference holders — the rejoin path uses
+  /// that to hand back writes it alone may hold.
+  void RunOwnershipSweep(bool push_before_purge);
+
+  /// Schedules RunOwnershipSweep after `delay` (coalesced: at most one
+  /// pending sweep; a push-before-purge request wins over a purge-only one).
+  void ScheduleOwnershipSweep(bool push_before_purge, Micros delay);
+
+  bool running() const { return running_; }
+  /// True from StartDecommission until the node leaves the ring.
+  bool decommissioning() const { return decommissioning_; }
+  /// True once a graceful decommission completed and the node stopped.
+  bool decommissioned() const { return decommissioned_; }
+
+  /// The cluster configuration this node was booted with (defaults for
+  /// operator-driven joins: vnode count, rebalance throttle, ...).
+  const ClusterConfig& config() const { return config_; }
+
+  rebalance::Rebalancer* rebalancer() { return rebalancer_.get(); }
+  /// Counters of the node's rebalancer (merged into /stats as rebalance.*).
+  rebalance::RebalanceStats rebalance_stats() const {
+    return rebalancer_ != nullptr ? rebalancer_->stats()
+                                  : rebalance::RebalanceStats{};
+  }
 
   // --- anti-entropy (background consistency, future-work extension) ------
 
@@ -432,6 +477,19 @@ class StorageNode {
   // Rebalancing (long failure / node arrival). Shard 0.
   void ReplicateLocalData(bool purge_unowned);
 
+  // Elastic-membership plumbing (shard 0).
+  /// Builds the Rebalancer and registers its wire handlers.
+  void SetupRebalancer();
+  /// Streams the replica-aware diff `before` -> current ring: this node
+  /// executes the plan steps it is the designated source for, then sweeps
+  /// the arcs it streamed out.
+  void StartPlannedTransfers(const hashring::Ring& before);
+  /// Applies a vnode-weight change for `node` (autonomic trigger or a
+  /// gossiped reweight) and streams the released arcs.
+  void ApplyReweight(const std::string& node, int vnodes);
+  void StartAutonomicTimer();
+  void RunAutonomicCheck();
+
   /// The N distinct physical preference nodes for `key`, from `ss`'s
   /// membership view.
   std::vector<std::string> PreferenceNodes(const ShardState& ss,
@@ -462,6 +520,13 @@ class StorageNode {
   Micros clock_skew_ = 0;
   net::TimerId ae_timer_ = 0;
   Rng ae_rng_{0x5eedae};
+
+  std::unique_ptr<rebalance::Rebalancer> rebalancer_;
+  bool decommissioning_ = false;
+  bool decommissioned_ = false;
+  net::TimerId autonomic_timer_ = 0;
+  net::TimerId sweep_timer_ = 0;
+  bool sweep_push_pending_ = false;
 };
 
 }  // namespace hotman::cluster

@@ -28,6 +28,39 @@ std::vector<MigrationStep> PlanMigration(const Ring& before, const Ring& after);
 /// versus ~N/(N+1) for mod-N placement (the paper's Eq. (2) baseline).
 double MigratedFraction(const std::vector<MigrationStep>& steps);
 
+/// One arc of keys that must be copied from `source` (a replica holder
+/// under the `before` ring) to `target` (a preference member gained under
+/// the `after` ring). Unlike MigrationStep this is replica-aware: an arc
+/// is emitted whenever the N-member preference set changes, not only when
+/// the primary moves.
+struct ReplicaMigrationStep {
+  Range range;
+  NodeId source;  ///< designated streamer (holds the arc under `before`)
+  NodeId target;  ///< new preference member under `after`
+};
+
+/// Exact replica-aware transfer plan between two ring configurations.
+/// Walks the elementary arcs (union of both rings' cut points) and, for
+/// every node that enters an arc's N-member preference list, emits one
+/// step whose source is the first `before`-preference member that survives
+/// into `after` (deterministic, so every node computing the plan agrees on
+/// exactly one streamer per arc and no arc is streamed twice). Adjacent
+/// arcs with an identical (source, target) pair are merged.
+std::vector<ReplicaMigrationStep> PlanReplicaMigration(const Ring& before,
+                                                       const Ring& after,
+                                                       std::size_t replication);
+
+/// Transfer plan for a graceful decommission, computed *by the departing
+/// node before it leaves*: for every arc where `leaving` is a preference
+/// member, emits steps sourced at `leaving` toward each node that enters
+/// the arc's preference list once `leaving` is gone. This deliberately
+/// overlaps with the survivors' own PlanReplicaMigration (LWW application
+/// is idempotent): the departing node must not depend on any survivor
+/// holding its data — with replication 1 it is the only holder.
+std::vector<ReplicaMigrationStep> PlanDecommission(const Ring& ring,
+                                                   const NodeId& leaving,
+                                                   std::size_t replication);
+
 }  // namespace hotman::hashring
 
 #endif  // HOTMAN_HASHRING_MIGRATION_H_

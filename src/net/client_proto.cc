@@ -39,6 +39,14 @@ Result<Bytes> GetBin(const Document& doc, const char* name) {
   return v->as_binary().data();
 }
 
+Result<double> GetF64(const Document& doc, const char* name) {
+  const Value* v = doc.Get(name);
+  if (v == nullptr || !v->is_number()) {
+    return Status::Corruption(std::string("missing numeric field: ") + name);
+  }
+  return v->NumberAsDouble();
+}
+
 std::int64_t AsI64(std::uint64_t v) { return static_cast<std::int64_t>(v); }
 
 }  // namespace
@@ -150,6 +158,32 @@ Result<ClientStatsAckMsg> DecodeClientStatsAck(const bson::Document& doc) {
   ClientStatsAckMsg out;
   out.req = *req;
   out.json = std::move(*json);
+  return out;
+}
+
+bson::Document EncodeClientJoin(const ClientJoinMsg& msg) {
+  Document doc;
+  doc.Append("req", Value(AsI64(msg.req)));
+  doc.Append("node", Value(msg.node));
+  doc.Append("vnodes", Value(msg.vnodes));
+  doc.Append("capacity", Value(msg.capacity));
+  return doc;
+}
+
+Result<ClientJoinMsg> DecodeClientJoin(const bson::Document& doc) {
+  auto req = GetU64(doc, "req");
+  if (!req.ok()) return req.status();
+  auto node = GetStr(doc, "node");
+  if (!node.ok()) return node.status();
+  auto vnodes = GetU64(doc, "vnodes");
+  if (!vnodes.ok()) return vnodes.status();
+  auto capacity = GetF64(doc, "capacity");
+  if (!capacity.ok()) return capacity.status();
+  ClientJoinMsg out;
+  out.req = *req;
+  out.node = std::move(*node);
+  out.vnodes = static_cast<std::int64_t>(*vnodes);
+  out.capacity = *capacity;
   return out;
 }
 

@@ -22,6 +22,15 @@ inline constexpr const char* kMsgClientDelete = "client_delete";
 inline constexpr const char* kMsgClientDeleteAck = "client_delete_ack";
 inline constexpr const char* kMsgClientStats = "client_stats";
 inline constexpr const char* kMsgClientStatsAck = "client_stats_ack";
+inline constexpr const char* kMsgClientJoin = "client_join";
+inline constexpr const char* kMsgClientJoinAck = "client_join_ack";
+inline constexpr const char* kMsgClientDecommission = "client_decommission";
+inline constexpr const char* kMsgClientDecommissionAck =
+    "client_decommission_ack";
+inline constexpr const char* kMsgClientRebalanceStatus =
+    "client_rebalance_status";
+inline constexpr const char* kMsgClientRebalanceStatusAck =
+    "client_rebalance_status_ack";
 
 /// client_put payload.
 struct ClientPutMsg {
@@ -53,11 +62,26 @@ struct ClientGetAckMsg {
   std::string error;
 };
 
-/// client_stats_ack payload: the node's metrics snapshot as JSON.
+/// client_stats_ack / client_rebalance_status_ack payload: a JSON snapshot
+/// (the node's metrics, or the rebalancer's transfer/cursor state).
 struct ClientStatsAckMsg {
   std::uint64_t req = 0;
   std::string json;
 };
+
+/// client_join payload: ask the receiving node to announce `node` to the
+/// ring so migration streams it its share of the data. `vnodes` <= 0 means
+/// "use the cluster default"; `capacity` scales it (capacity-weighted
+/// placement, H2O-style heterogeneous nodes).
+struct ClientJoinMsg {
+  std::uint64_t req = 0;
+  std::string node;
+  std::int64_t vnodes = 0;
+  double capacity = 1.0;
+};
+
+bson::Document EncodeClientJoin(const ClientJoinMsg& msg);
+Result<ClientJoinMsg> DecodeClientJoin(const bson::Document& doc);
 
 bson::Document EncodeClientPut(const ClientPutMsg& msg);
 Result<ClientPutMsg> DecodeClientPut(const bson::Document& doc);

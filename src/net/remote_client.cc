@@ -210,6 +210,46 @@ Status RemoteClient::Delete(const std::string& server, const std::string& key) {
   return Status::OK();
 }
 
+Status RemoteClient::Join(const std::string& server, const std::string& node,
+                          std::int64_t vnodes, double capacity) {
+  ClientJoinMsg join;
+  join.req = next_req_++;
+  join.node = node;
+  join.vnodes = vnodes;
+  join.capacity = capacity;
+  auto reply = Call(server, kMsgClientJoin, kMsgClientJoinAck, join.req,
+                    EncodeClientJoin(join));
+  if (!reply.ok()) return reply.status();
+  auto ack = DecodeClientAck(reply->body);
+  if (!ack.ok()) return ack.status();
+  if (!ack->ok) return Status::InvalidArgument(ack->error);
+  return Status::OK();
+}
+
+Status RemoteClient::Decommission(const std::string& server) {
+  ClientGetMsg dec;
+  dec.req = next_req_++;
+  auto reply = Call(server, kMsgClientDecommission, kMsgClientDecommissionAck,
+                    dec.req, EncodeClientGet(dec));
+  if (!reply.ok()) return reply.status();
+  auto ack = DecodeClientAck(reply->body);
+  if (!ack.ok()) return ack.status();
+  if (!ack->ok) return Status::InvalidArgument(ack->error);
+  return Status::OK();
+}
+
+Result<std::string> RemoteClient::RebalanceStatus(const std::string& server) {
+  ClientGetMsg status;
+  status.req = next_req_++;
+  auto reply = Call(server, kMsgClientRebalanceStatus,
+                    kMsgClientRebalanceStatusAck, status.req,
+                    EncodeClientGet(status));
+  if (!reply.ok()) return reply.status();
+  auto ack = DecodeClientStatsAck(reply->body);
+  if (!ack.ok()) return ack.status();
+  return std::move(ack->json);
+}
+
 Result<std::string> RemoteClient::Stats(const std::string& server) {
   ClientGetMsg stats;
   stats.req = next_req_++;

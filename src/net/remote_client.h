@@ -56,6 +56,19 @@ class RemoteClient {
   /// The node's metrics snapshot as JSON.
   Result<std::string> Stats(const std::string& server);
 
+  /// Announces `node` (an already-running hotmand) to the ring through the
+  /// connected member; data streams to it in the background. `vnodes` <= 0
+  /// uses the cluster default; `capacity` scales it for heterogeneous
+  /// hardware.
+  Status Join(const std::string& server, const std::string& node,
+              std::int64_t vnodes = 0, double capacity = 1.0);
+  /// Gracefully decommissions the connected node: it streams its data out,
+  /// leaves the ring and shuts down. OK means "started", not "finished" —
+  /// watch rebalance-status on the survivors for progress.
+  Status Decommission(const std::string& server);
+  /// The node's rebalancer state (active transfers, cursors) as JSON.
+  Result<std::string> RebalanceStatus(const std::string& server);
+
  private:
   Status SendFrame(const Message& msg);
   /// Reads frames until one with `ack_type` and request id `req` arrives or

@@ -1,0 +1,154 @@
+#include "rebalance/messages.h"
+
+namespace hotman::rebalance {
+
+namespace {
+
+using bson::Document;
+using bson::Value;
+
+Result<std::string> GetStr(const Document& doc, const char* name) {
+  const Value* v = doc.Get(name);
+  if (v == nullptr || !v->is_string()) {
+    return Status::Corruption(std::string("missing string field: ") + name);
+  }
+  return v->as_string();
+}
+
+Result<std::int64_t> GetI64(const Document& doc, const char* name) {
+  const Value* v = doc.Get(name);
+  if (v == nullptr || !v->is_number()) {
+    return Status::Corruption(std::string("missing number field: ") + name);
+  }
+  return v->NumberAsInt64();
+}
+
+void AppendWatermark(Document* doc, const Watermark& wm) {
+  doc->Append("wm_p", Value(static_cast<std::int64_t>(wm.point)));
+  doc->Append("wm_k", Value(wm.key));
+}
+
+Result<Watermark> GetWatermark(const Document& doc) {
+  auto point = GetI64(doc, "wm_p");
+  if (!point.ok()) return point.status();
+  auto key = GetStr(doc, "wm_k");
+  if (!key.ok()) return key.status();
+  Watermark wm;
+  wm.point = static_cast<std::uint32_t>(*point);
+  wm.key = std::move(*key);
+  return wm;
+}
+
+}  // namespace
+
+bson::Document EncodeRangeDigest(const RangeDigestMsg& msg) {
+  Document doc;
+  doc.Append("id", Value(msg.transfer_id));
+  bson::Array arcs;
+  arcs.reserve(msg.arcs.size());
+  for (const hashring::Range& arc : msg.arcs) {
+    Document item;
+    item.Append("s", Value(static_cast<std::int64_t>(arc.start)));
+    item.Append("e", Value(static_cast<std::int64_t>(arc.end)));
+    arcs.emplace_back(std::move(item));
+  }
+  doc.Append("arcs", Value(std::move(arcs)));
+  doc.Append("total", Value(static_cast<std::int64_t>(msg.total_records)));
+  return doc;
+}
+
+Result<RangeDigestMsg> DecodeRangeDigest(const bson::Document& doc) {
+  auto id = GetStr(doc, "id");
+  if (!id.ok()) return id.status();
+  const Value* arcs = doc.Get("arcs");
+  if (arcs == nullptr || !arcs->is_array()) {
+    return Status::Corruption("range_digest missing arcs");
+  }
+  RangeDigestMsg out;
+  out.transfer_id = std::move(*id);
+  for (const Value& av : arcs->as_array()) {
+    if (!av.is_document()) return Status::Corruption("malformed arc");
+    const Document& item = av.as_document();
+    auto start = GetI64(item, "s");
+    if (!start.ok()) return start.status();
+    auto end = GetI64(item, "e");
+    if (!end.ok()) return end.status();
+    out.arcs.push_back(hashring::Range{static_cast<std::uint32_t>(*start),
+                                       static_cast<std::uint32_t>(*end)});
+  }
+  auto total = GetI64(doc, "total");
+  if (total.ok()) out.total_records = static_cast<std::uint64_t>(*total);
+  return out;
+}
+
+bson::Document EncodeRangeAck(const RangeAckMsg& msg) {
+  Document doc;
+  doc.Append("id", Value(msg.transfer_id));
+  doc.Append("ok", Value(msg.ok));
+  AppendWatermark(&doc, msg.watermark);
+  return doc;
+}
+
+Result<RangeAckMsg> DecodeRangeAck(const bson::Document& doc) {
+  auto id = GetStr(doc, "id");
+  if (!id.ok()) return id.status();
+  const Value* ok = doc.Get("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return Status::Corruption("range_ack missing ok");
+  }
+  auto wm = GetWatermark(doc);
+  if (!wm.ok()) return wm.status();
+  RangeAckMsg out;
+  out.transfer_id = std::move(*id);
+  out.ok = ok->as_bool();
+  out.watermark = std::move(*wm);
+  return out;
+}
+
+bson::Document EncodeRangePush(const RangePushMsg& msg) {
+  Document doc;
+  doc.Append("id", Value(msg.transfer_id));
+  bson::Array records;
+  records.reserve(msg.records.size());
+  for (const bson::Document& record : msg.records) {
+    records.emplace_back(Value(record));
+  }
+  doc.Append("recs", Value(std::move(records)));
+  AppendWatermark(&doc, msg.watermark);
+  return doc;
+}
+
+Result<RangePushMsg> DecodeRangePush(const bson::Document& doc) {
+  auto id = GetStr(doc, "id");
+  if (!id.ok()) return id.status();
+  const Value* records = doc.Get("recs");
+  if (records == nullptr || !records->is_array()) {
+    return Status::Corruption("range_push missing recs");
+  }
+  auto wm = GetWatermark(doc);
+  if (!wm.ok()) return wm.status();
+  RangePushMsg out;
+  out.transfer_id = std::move(*id);
+  for (const Value& rv : records->as_array()) {
+    if (!rv.is_document()) return Status::Corruption("malformed push record");
+    out.records.push_back(rv.as_document());
+  }
+  out.watermark = std::move(*wm);
+  return out;
+}
+
+bson::Document EncodeTransferDone(const TransferDoneMsg& msg) {
+  Document doc;
+  doc.Append("id", Value(msg.transfer_id));
+  return doc;
+}
+
+Result<TransferDoneMsg> DecodeTransferDone(const bson::Document& doc) {
+  auto id = GetStr(doc, "id");
+  if (!id.ok()) return id.status();
+  TransferDoneMsg out;
+  out.transfer_id = std::move(*id);
+  return out;
+}
+
+}  // namespace hotman::rebalance

@@ -1,0 +1,99 @@
+#ifndef HOTMAN_REBALANCE_MESSAGES_H_
+#define HOTMAN_REBALANCE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bson/document.h"
+#include "common/status.h"
+#include "hashring/ring.h"
+
+namespace hotman::rebalance {
+
+/// Wire vocabulary of the rebalance subsystem. One *transfer* moves the
+/// records of a set of ring arcs from a source node to a target node:
+///
+///   source                                target
+///     | --- range_digest {id, arcs} --------> |   (open / resume probe)
+///     | <-- range_ack {id, watermark} ------- |   (target's high-water)
+///     | --- range_push {id, records, wm} ---> |   (throttled batch)
+///     | <-- range_ack {id, watermark} ------- |   (advances the cursor)
+///     |            ... repeat ...             |
+///     | --- transfer_done {id} -------------> |   (target drops cursor)
+///
+/// Records stream in a canonical order — ascending (ring point, key) — so a
+/// single watermark cursor makes the transfer resumable: a source that lost
+/// its in-memory progress (crash, restart) re-sends range_digest and the
+/// target answers with the last position it durably applied; the source
+/// fast-forwards instead of re-streaming from zero. Batches are applied
+/// with last-write-wins semantics, so overlap around the watermark is
+/// idempotent and a key is never duplicated.
+inline constexpr const char* kMsgRangeDigest = "range_digest";
+inline constexpr const char* kMsgRangeAck = "range_ack";
+inline constexpr const char* kMsgRangePush = "range_push";
+inline constexpr const char* kMsgTransferDone = "transfer_done";
+
+/// Position in the canonical stream order of a transfer: the (ring point,
+/// key) of the last record applied. The zero value ({0, ""}) means
+/// "nothing applied yet" — it sorts before every real record because keys
+/// are never empty.
+struct Watermark {
+  std::uint32_t point = 0;
+  std::string key;
+
+  bool IsZero() const { return point == 0 && key.empty(); }
+
+  friend bool operator<(const Watermark& a, const Watermark& b) {
+    if (a.point != b.point) return a.point < b.point;
+    return a.key < b.key;
+  }
+  friend bool operator==(const Watermark& a, const Watermark& b) {
+    return a.point == b.point && a.key == b.key;
+  }
+  friend bool operator<=(const Watermark& a, const Watermark& b) {
+    return a < b || a == b;
+  }
+};
+
+/// range_digest payload: opens (or resumes) a transfer of `arcs`.
+struct RangeDigestMsg {
+  std::string transfer_id;  ///< content-derived (md5 of source|target|arcs)
+  std::vector<hashring::Range> arcs;
+  std::uint64_t total_records = 0;  ///< source-side estimate (observability)
+};
+
+/// range_ack payload: the target's cursor after a digest or push.
+struct RangeAckMsg {
+  std::string transfer_id;
+  bool ok = true;
+  Watermark watermark;
+};
+
+/// range_push payload: one throttled batch, plus the stream position of its
+/// last record (positional — it advances even past records the source
+/// skipped, so resume never stalls on a purged key).
+struct RangePushMsg {
+  std::string transfer_id;
+  std::vector<bson::Document> records;
+  Watermark watermark;
+};
+
+/// transfer_done payload: the source streamed every record; the target
+/// forgets the cursor.
+struct TransferDoneMsg {
+  std::string transfer_id;
+};
+
+bson::Document EncodeRangeDigest(const RangeDigestMsg& msg);
+Result<RangeDigestMsg> DecodeRangeDigest(const bson::Document& doc);
+bson::Document EncodeRangeAck(const RangeAckMsg& msg);
+Result<RangeAckMsg> DecodeRangeAck(const bson::Document& doc);
+bson::Document EncodeRangePush(const RangePushMsg& msg);
+Result<RangePushMsg> DecodeRangePush(const bson::Document& doc);
+bson::Document EncodeTransferDone(const TransferDoneMsg& msg);
+Result<TransferDoneMsg> DecodeTransferDone(const bson::Document& doc);
+
+}  // namespace hotman::rebalance
+
+#endif  // HOTMAN_REBALANCE_MESSAGES_H_

@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "hashring/migration.h"
+
+namespace hotman::cluster {
+namespace {
+
+using hashring::NodeId;
+using hashring::PlanDecommission;
+using hashring::PlanReplicaMigration;
+using hashring::ReplicaMigrationStep;
+using hashring::Ring;
+
+Ring MakeRing(int nodes, int vnodes = 64) {
+  Ring ring;
+  for (int i = 0; i < nodes; ++i) {
+    EXPECT_TRUE(ring.AddNode("db" + std::to_string(i), vnodes).ok());
+  }
+  return ring;
+}
+
+std::vector<NodeId> Prefs(const Ring& ring, const std::string& key, int n) {
+  return ring.PreferenceList(key, static_cast<std::size_t>(n));
+}
+
+bool Holds(const std::vector<NodeId>& prefs, const NodeId& node) {
+  return std::find(prefs.begin(), prefs.end(), node) != prefs.end();
+}
+
+// --- plan-level properties ---------------------------------------------------
+
+// The replica-aware plan must cover exactly the (key, new member) pairs the
+// ring diff creates: every key gains each of its new preference members
+// through some step sourced at a node that held the key before (coverage),
+// and no step ships a key to a node that is not a new member for it
+// (no over-copy).
+TEST(ReplicaMigrationPlanTest, CoversExactlyTheNewPreferenceMembers) {
+  constexpr int kReplication = 3;
+  Ring before = MakeRing(5);
+  Ring after = MakeRing(5);
+  ASSERT_TRUE(after.AddNode("db9", 64).ok());
+  const auto plan = PlanReplicaMigration(before, after, kReplication);
+  ASSERT_FALSE(plan.empty());
+
+  for (int i = 0; i < 3000; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::uint32_t h = Ring::HashKey(key);
+    const auto before_prefs = Prefs(before, key, kReplication);
+    const auto after_prefs = Prefs(after, key, kReplication);
+
+    std::set<NodeId> covered_targets;
+    for (const ReplicaMigrationStep& step : plan) {
+      if (!step.range.Contains(h)) continue;
+      // No over-copy: the step's target must be a genuinely new member...
+      EXPECT_TRUE(Holds(after_prefs, step.target)) << key;
+      EXPECT_FALSE(Holds(before_prefs, step.target)) << key;
+      // ...and the source must have held the key under the old ring.
+      EXPECT_TRUE(Holds(before_prefs, step.source)) << key;
+      covered_targets.insert(step.target);
+    }
+    // Coverage: every new member is reached by some step (no gaps).
+    for (const NodeId& member : after_prefs) {
+      if (Holds(before_prefs, member)) continue;
+      EXPECT_TRUE(covered_targets.count(member) == 1)
+          << key << " missing stream to new member " << member;
+    }
+  }
+}
+
+// Symmetric check for a removal diff: survivors that enter a key's
+// preference list are covered, nothing else is shipped.
+TEST(ReplicaMigrationPlanTest, RemovalDiffCoversInheritedArcs) {
+  constexpr int kReplication = 3;
+  Ring before = MakeRing(5);
+  Ring after = MakeRing(5);
+  ASSERT_TRUE(after.RemoveNode("db2").ok());
+  const auto plan = PlanReplicaMigration(before, after, kReplication);
+  ASSERT_FALSE(plan.empty());
+
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::uint32_t h = Ring::HashKey(key);
+    const auto before_prefs = Prefs(before, key, kReplication);
+    const auto after_prefs = Prefs(after, key, kReplication);
+    std::set<NodeId> covered;
+    for (const ReplicaMigrationStep& step : plan) {
+      if (!step.range.Contains(h)) continue;
+      EXPECT_TRUE(Holds(after_prefs, step.target)) << key;
+      EXPECT_FALSE(Holds(before_prefs, step.target)) << key;
+      EXPECT_TRUE(Holds(before_prefs, step.source)) << key;
+      EXPECT_NE(step.source, "db2") << key << " sourced at the removed node";
+      covered.insert(step.target);
+    }
+    for (const NodeId& member : after_prefs) {
+      if (!Holds(before_prefs, member)) {
+        EXPECT_EQ(covered.count(member), 1u) << key;
+      }
+    }
+  }
+}
+
+TEST(ReplicaMigrationPlanTest, IdenticalRingsPlanNothing) {
+  Ring a = MakeRing(5);
+  Ring b = MakeRing(5);
+  EXPECT_TRUE(PlanReplicaMigration(a, b, 3).empty());
+}
+
+// Decommission sources every lost arc at the leaving node itself: it cannot
+// count on survivors for data it alone may hold (N=1), so its plan must
+// cover every key it participates in.
+TEST(ReplicaMigrationPlanTest, DecommissionSourcesEverythingAtLeaver) {
+  constexpr int kReplication = 3;
+  Ring ring = MakeRing(5);
+  Ring after = ring;
+  ASSERT_TRUE(after.RemoveNode("db1").ok());
+  const auto plan = PlanDecommission(ring, "db1", kReplication);
+  ASSERT_FALSE(plan.empty());
+  for (const ReplicaMigrationStep& step : plan) {
+    EXPECT_EQ(step.source, "db1");
+    EXPECT_NE(step.target, "db1");
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::uint32_t h = Ring::HashKey(key);
+    if (!Holds(Prefs(ring, key, kReplication), "db1")) continue;
+    const auto after_prefs = Prefs(after, key, kReplication);
+    std::set<NodeId> covered;
+    for (const ReplicaMigrationStep& step : plan) {
+      if (step.range.Contains(h)) covered.insert(step.target);
+    }
+    for (const NodeId& member : after_prefs) {
+      if (Holds(Prefs(ring, key, kReplication), member)) continue;
+      EXPECT_EQ(covered.count(member), 1u)
+          << key << " decommission misses new member " << member;
+    }
+  }
+}
+
+TEST(ReplicaMigrationPlanTest, DecommissionOfLastNodesIsEmpty) {
+  Ring lone;
+  ASSERT_TRUE(lone.AddNode("only", 64).ok());
+  EXPECT_TRUE(PlanDecommission(lone, "only", 3).empty());
+  EXPECT_TRUE(PlanDecommission(lone, "absent", 3).empty());
+}
+
+// --- capacity weighting ------------------------------------------------------
+
+TEST(CapacityWeightTest, EffectiveVnodesScalesByCapacity) {
+  NodeSpec spec;
+  spec.vnodes = 128;
+  EXPECT_EQ(EffectiveVnodes(spec), 128);
+  spec.capacity = 0.5;
+  EXPECT_EQ(EffectiveVnodes(spec), 64);
+  spec.capacity = 0.25;
+  EXPECT_EQ(EffectiveVnodes(spec), 32);
+  spec.capacity = 2.0;
+  EXPECT_EQ(EffectiveVnodes(spec), 256);
+  spec.capacity = 0.001;
+  EXPECT_EQ(EffectiveVnodes(spec), 1) << "weight floor: every node owns something";
+}
+
+TEST(CapacityWeightTest, HalfCapacityNodeTakesHalfTheRingPoints) {
+  ClusterConfig config = ClusterConfig::Uniform(4, /*seeds=*/1);
+  config.nodes[2].capacity = 0.5;
+  Cluster cluster(std::move(config), 77);
+  ASSERT_TRUE(cluster.Start().ok());
+  for (StorageNode* node : cluster.nodes()) {
+    EXPECT_EQ(node->ring().VnodeCount("db3:19870"), 64) << node->id();
+    EXPECT_EQ(node->ring().VnodeCount("db1:19870"), 128) << node->id();
+  }
+}
+
+// --- live streaming ----------------------------------------------------------
+
+class RebalanceClusterTest : public ::testing::Test {
+ protected:
+  void Boot(ClusterConfig config, std::uint64_t seed = 91) {
+    cluster_ = std::make_unique<Cluster>(std::move(config), seed);
+    ASSERT_TRUE(cluster_->Start().ok());
+  }
+
+  void Load(int keys) {
+    for (int i = 0; i < keys; ++i) {
+      ASSERT_TRUE(
+          cluster_->PutSync("key" + std::to_string(i), ToBytes("v")).ok());
+    }
+    cluster_->RunFor(2 * kMicrosPerSecond);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+// The join path must stream exactly the keys inside the plan's arcs: after
+// the transfers and the ownership sweeps settle, the newcomer holds a key
+// if and only if it is one of the key's preference members.
+TEST_F(RebalanceClusterTest, JoinStreamsExactlyTheOwnedKeys) {
+  Boot(ClusterConfig::Uniform(4, /*seeds=*/1));
+  Load(80);
+  NodeSpec newcomer;
+  newcomer.address = "db9:19870";
+  newcomer.vnodes = 128;
+  ASSERT_TRUE(cluster_->AddNode(newcomer).ok());
+  cluster_->RunFor(10 * kMicrosPerSecond);
+
+  StorageNode* added = cluster_->node("db9:19870");
+  ASSERT_NE(added, nullptr);
+  for (int i = 0; i < 80; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const bool should_hold =
+        Holds(added->ring().PreferenceList(key, 3), "db9:19870");
+    EXPECT_EQ(added->store()->GetByKey(key).ok(), should_hold)
+        << key << (should_hold ? " missing (gap)" : " present (over-copy)");
+  }
+  const rebalance::RebalanceStats stats = cluster_->AggregateRebalanceStats();
+  EXPECT_GT(stats.transfers_completed, 0u);
+  EXPECT_GT(stats.records_streamed, 0u);
+  // Streaming replaced the blunt path: nobody fanned out full copies.
+  EXPECT_EQ(cluster_->AggregateStats().rereplications, 0u);
+}
+
+// Crash the source mid-transfer (process survives, loses nothing): the
+// retry ticker re-probes after revival and the stream finishes.
+TEST_F(RebalanceClusterTest, SourceCrashMidTransferRecovers) {
+  ClusterConfig config = ClusterConfig::Uniform(4, /*seeds=*/1);
+  // Small batches at a low rate so every transfer needs several paced
+  // batches and is still in flight when we crash the source.
+  config.rebalance.records_per_sec = 20;
+  config.rebalance.batch_records = 4;
+  Boot(std::move(config));
+  Load(120);
+  NodeSpec newcomer;
+  newcomer.address = "db9:19870";
+  newcomer.vnodes = 128;
+  ASSERT_TRUE(cluster_->AddNodeAsync(newcomer).ok());
+  cluster_->RunFor(500 * kMicrosPerMilli);
+
+  StorageNode* source = nullptr;
+  for (StorageNode* node : cluster_->nodes()) {
+    if (node->id() == "db9:19870") continue;
+    if (node->rebalancer()->active_transfers() > 0) {
+      source = node;
+      break;
+    }
+  }
+  ASSERT_NE(source, nullptr) << "no transfer still in flight";
+  ASSERT_TRUE(cluster_->CrashNode(source->id()).ok());
+  cluster_->RunFor(3 * kMicrosPerSecond);
+  ASSERT_TRUE(cluster_->RestartNode(source->id(), /*lose_state=*/false).ok());
+  cluster_->RunFor(30 * kMicrosPerSecond);
+
+  EXPECT_EQ(source->rebalancer()->active_transfers(), 0u)
+      << "transfer never finished after the crash";
+  StorageNode* added = cluster_->node("db9:19870");
+  for (int i = 0; i < 120; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    if (Holds(added->ring().PreferenceList(key, 3), "db9:19870")) {
+      EXPECT_TRUE(added->store()->GetByKey(key).ok()) << key;
+    }
+  }
+}
+
+// Kill the source's *progress* mid-transfer (as a process restart would):
+// the regenerated transfer has the same content-derived id, so the target's
+// watermark fast-forwards it past everything already applied instead of
+// restarting from zero.
+TEST_F(RebalanceClusterTest, RestartedSourceResumesFromWatermark) {
+  ClusterConfig config = ClusterConfig::Uniform(4, /*seeds=*/1);
+  // Slow enough that after the first batch lands every transfer is still
+  // mid-stream: some progress to resume from, plenty left to skip.
+  config.rebalance.records_per_sec = 5;
+  config.rebalance.batch_records = 2;
+  Boot(std::move(config));
+  Load(120);
+  NodeSpec newcomer;
+  newcomer.address = "db9:19870";
+  newcomer.vnodes = 128;
+  ASSERT_TRUE(cluster_->AddNodeAsync(newcomer).ok());
+  cluster_->RunFor(kMicrosPerSecond);
+
+  StorageNode* source = nullptr;
+  for (StorageNode* node : cluster_->nodes()) {
+    if (node->id() == "db9:19870") continue;
+    if (node->rebalancer()->active_transfers() > 0 &&
+        node->rebalance_stats().records_streamed > 0) {
+      source = node;
+      break;
+    }
+  }
+  ASSERT_NE(source, nullptr) << "no partially-streamed transfer to kill";
+
+  // Forget all source progress, then re-plan the same diff, as a freshly
+  // restarted process would.
+  source->rebalancer()->ForgetSourceState();
+  Ring before = source->ring();
+  ASSERT_TRUE(before.RemoveNode("db9:19870").ok());
+  const auto steps = PlanReplicaMigration(before, source->ring(), 3);
+  source->rebalancer()->StartTransfers(steps);
+  cluster_->RunFor(30 * kMicrosPerSecond);
+
+  EXPECT_GE(source->rebalance_stats().resumes, 1u)
+      << "restart did not fast-forward from the target's watermark";
+  StorageNode* added = cluster_->node("db9:19870");
+  for (int i = 0; i < 120; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    if (Holds(added->ring().PreferenceList(key, 3), "db9:19870")) {
+      EXPECT_TRUE(added->store()->GetByKey(key).ok()) << key;
+    }
+  }
+}
+
+// The throttle must actually defer sends under a tight budget.
+TEST_F(RebalanceClusterTest, ThrottleDefersSends) {
+  ClusterConfig config = ClusterConfig::Uniform(4, /*seeds=*/1);
+  config.rebalance.records_per_sec = 25;
+  config.rebalance.batch_records = 8;
+  Boot(std::move(config));
+  Load(100);
+  NodeSpec newcomer;
+  newcomer.address = "db9:19870";
+  newcomer.vnodes = 128;
+  ASSERT_TRUE(cluster_->AddNode(newcomer).ok());
+  cluster_->RunFor(30 * kMicrosPerSecond);
+  const rebalance::RebalanceStats stats = cluster_->AggregateRebalanceStats();
+  EXPECT_GT(stats.throttle_stalls, 0u);
+  EXPECT_GT(stats.transfers_completed, 0u);
+}
+
+// --- graceful decommission ---------------------------------------------------
+
+// Regression for the old RemoveNode ordering (Stop() before the departure
+// announcement): at N=1 the leaving node is the *only* holder of its keys,
+// so stopping first silently destroys them. The graceful path must stream
+// everything out before leaving the ring.
+TEST_F(RebalanceClusterTest, DecommissionAtNOneLosesNothing) {
+  ClusterConfig config = ClusterConfig::Uniform(4, /*seeds=*/1);
+  config.replication_factor = 1;
+  config.write_quorum = 1;
+  config.read_quorum = 1;
+  Boot(std::move(config));
+  Load(60);
+  ASSERT_TRUE(cluster_->RemoveNode("db3:19870").ok());
+  cluster_->RunFor(5 * kMicrosPerSecond);
+
+  StorageNode* left = cluster_->node("db3:19870");
+  EXPECT_FALSE(left->running());
+  EXPECT_TRUE(left->decommissioned());
+  for (StorageNode* node : cluster_->nodes()) {
+    if (node->id() == "db3:19870") continue;
+    EXPECT_FALSE(node->ring().HasNode("db3:19870")) << node->id();
+  }
+  // Every key survives even though each had exactly one replica.
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_TRUE(cluster_->GetSync("key" + std::to_string(i)).ok())
+        << "key" << i << " lost by decommission";
+  }
+}
+
+// The same exit at N=3 keeps full replication among survivors without any
+// anti-entropy (streaming alone must re-create the lost copies).
+TEST_F(RebalanceClusterTest, DecommissionKeepsReplicationFactor) {
+  Boot(ClusterConfig::Uniform(5, /*seeds=*/1));
+  Load(50);
+  ASSERT_TRUE(cluster_->RemoveNode("db3:19870").ok());
+  cluster_->RunFor(10 * kMicrosPerSecond);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    int holders = 0;
+    for (StorageNode* node : cluster_->nodes()) {
+      if (node->id() == "db3:19870") continue;
+      if (node->store()->GetByKey(key).ok()) ++holders;
+    }
+    EXPECT_GE(holders, 3) << key;
+  }
+}
+
+// The abrupt path keeps its explicit crash semantics: the node goes silent
+// first, survivors repair from their own copies.
+TEST_F(RebalanceClusterTest, AbruptRemovalStillRepairsFromSurvivors) {
+  Boot(ClusterConfig::Uniform(5, /*seeds=*/1));
+  Load(50);
+  ASSERT_TRUE(cluster_->RemoveNodeAbrupt("db3:19870").ok());
+  cluster_->RunFor(10 * kMicrosPerSecond);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    int holders = 0;
+    for (StorageNode* node : cluster_->nodes()) {
+      if (node->id() == "db3:19870") continue;
+      if (node->store()->GetByKey(key).ok()) ++holders;
+    }
+    EXPECT_GE(holders, 3) << key;
+  }
+}
+
+TEST_F(RebalanceClusterTest, DecommissionRejectsLastNodeAndDoubles) {
+  Boot(ClusterConfig::Uniform(2, /*seeds=*/1));
+  ASSERT_TRUE(cluster_->RemoveNode("db2:19870").ok());
+  // Only db1 remains: it must refuse to decommission itself.
+  Status last = cluster_->RemoveNode("db1:19870");
+  EXPECT_FALSE(last.ok());
+  EXPECT_TRUE(cluster_->node("db1:19870")->running());
+}
+
+// --- rejoin weight preservation ---------------------------------------------
+
+// A node that rejoins after a long failure must come back with its real
+// ring weight (capacity-scaled), not a silent default.
+TEST_F(RebalanceClusterTest, RejoinPreservesCapacityScaledWeight) {
+  ClusterConfig config = ClusterConfig::Uniform(5, /*seeds=*/1);
+  config.nodes[3].capacity = 0.25;  // db4 -> 32 effective vnodes
+  Boot(std::move(config));
+  Load(30);
+  ASSERT_TRUE(cluster_->CrashNode("db4:19870").ok());
+  cluster_->RunFor(60 * kMicrosPerSecond);  // detection + removal
+  for (StorageNode* node : cluster_->nodes()) {
+    if (node->id() == "db4:19870") continue;
+    ASSERT_FALSE(node->ring().HasNode("db4:19870")) << node->id();
+  }
+  ASSERT_TRUE(cluster_->RestartNode("db4:19870", /*lose_state=*/false).ok());
+  cluster_->RunFor(10 * kMicrosPerSecond);
+  for (StorageNode* node : cluster_->nodes()) {
+    EXPECT_EQ(node->ring().VnodeCount("db4:19870"), 32)
+        << node->id() << " rejoined db4 with the wrong ring weight";
+  }
+}
+
+}  // namespace
+}  // namespace hotman::cluster

@@ -68,7 +68,7 @@ import cpp_model  # noqa: E402
 
 # Layers that must replay deterministically from a seed (mirrors
 # tools/lint_hotman.py EVENT_LOOP_DIRS — keep in sync).
-EVENT_LOOP_DIRS = {"sim", "cluster", "gossip", "chaos"}
+EVENT_LOOP_DIRS = {"sim", "cluster", "gossip", "chaos", "rebalance"}
 
 # workload/ drives the seeded experiments and renders History output, so
 # its iteration order is replay state too even though it may use threads.

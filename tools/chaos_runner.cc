@@ -43,7 +43,7 @@ struct Args {
 void Usage() {
   std::fprintf(stderr,
                "usage: chaos_runner [--seed=N | --seeds=LO-HI]\n"
-               "                    [--profile=quorum|convergence]\n"
+               "                    [--profile=quorum|convergence|membership]\n"
                "                    [--fast-reads] [--shards=N]\n"
                "                    [--verify] [--quiet] [--history]\n"
                "                    [--nemesis-log] [--lying-replica=ADDR]\n");
@@ -86,7 +86,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     }
   }
   if (args->seed_hi < args->seed_lo || args->shards < 1 || args->shards > 64 ||
-      (args->profile != "quorum" && args->profile != "convergence")) {
+      (args->profile != "quorum" && args->profile != "convergence" &&
+       args->profile != "membership")) {
     Usage();
     return false;
   }
@@ -96,6 +97,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 ChaosOptions OptionsFor(const Args& args, std::uint64_t seed) {
   ChaosOptions options = args.profile == "quorum"
                              ? ChaosOptions::QuorumProfile(seed)
+                         : args.profile == "membership"
+                             ? ChaosOptions::MembershipProfile(seed)
                              : ChaosOptions::ConvergenceProfile(seed);
   options.lying_replica = args.lying_replica;
   options.fast_reads = args.fast_reads;

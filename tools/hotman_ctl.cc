@@ -5,6 +5,10 @@
 //   hotman_ctl --connect 127.0.0.1:19870 --server db1:19870 del KEY
 //   hotman_ctl --connect 127.0.0.1:19870 --server db1:19870 stats
 //   hotman_ctl --connect 127.0.0.1:19870 --server db1:19870 bench 1000
+//   hotman_ctl --connect 127.0.0.1:19870 --server db1:19870 \
+//       join db6:19870 [VNODES] [CAPACITY]
+//   hotman_ctl --connect 127.0.0.1:19870 --server db1:19870 decommission
+//   hotman_ctl --connect 127.0.0.1:19870 --server db1:19870 rebalance-status
 //
 // `--server` is the node's cluster endpoint name (any node coordinates);
 // `--connect` is that node's TCP listen address.
@@ -26,7 +30,9 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --connect HOST:PORT --server NAME [--timeout-ms MS]\n"
-               "          put KEY VALUE | get KEY | del KEY | stats | bench N\n",
+               "          put KEY VALUE | get KEY | del KEY | stats | bench N\n"
+               "          | join NODE [VNODES] [CAPACITY] | decommission\n"
+               "          | rebalance-status\n",
                argv0);
 }
 
@@ -85,6 +91,27 @@ int main(int argc, char** argv) {
   }
   if (op == "stats" && cmd.size() == 1) {
     Result<std::string> r = client.Stats(server);
+    if (!r.ok()) {
+      std::printf("%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", r->c_str());
+    return 0;
+  }
+  if (op == "join" && cmd.size() >= 2 && cmd.size() <= 4) {
+    const std::int64_t vnodes = cmd.size() >= 3 ? std::atoll(cmd[2].c_str()) : 0;
+    const double capacity = cmd.size() >= 4 ? std::atof(cmd[3].c_str()) : 1.0;
+    Status s = client.Join(server, cmd[1], vnodes, capacity);
+    std::printf("%s\n", s.ToString().c_str());
+    return s.ok() ? 0 : 1;
+  }
+  if (op == "decommission" && cmd.size() == 1) {
+    Status s = client.Decommission(server);
+    std::printf("%s\n", s.ok() ? "decommission started" : s.ToString().c_str());
+    return s.ok() ? 0 : 1;
+  }
+  if (op == "rebalance-status" && cmd.size() == 1) {
+    Result<std::string> r = client.RebalanceStatus(server);
     if (!r.ok()) {
       std::printf("%s\n", r.status().ToString().c_str());
       return 1;
