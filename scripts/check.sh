@@ -44,7 +44,7 @@ job_tsan()    { run_suite tsan tsan -DHOTMAN_SANITIZE=thread; }
 job_chaos() {
   run_suite default chaos
   local seeds="${HOTMAN_CHAOS_SEEDS:-1-50}"
-  for profile in quorum convergence membership; do
+  for profile in quorum convergence membership skew; do
     echo "==> [chaos] chaos_runner --seeds=${seeds} --profile=${profile} --verify"
     ./build-check-default/tools/chaos_runner \
       --seeds="${seeds}" --profile="${profile}" --verify --quiet

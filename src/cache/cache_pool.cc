@@ -33,6 +33,22 @@ bool CachePool::GetShared(const std::string& key,
 
 bool CachePool::Erase(const std::string& key) { return ServerFor(key)->Erase(key); }
 
+bool CachePool::Pin(const std::string& key) { return ServerFor(key)->Pin(key); }
+
+bool CachePool::Unpin(const std::string& key) {
+  return ServerFor(key)->Unpin(key);
+}
+
+bool CachePool::IsPinned(const std::string& key) {
+  return ServerFor(key)->IsPinned(key);
+}
+
+std::size_t CachePool::TotalPinned() const {
+  std::size_t total = 0;
+  for (const auto& server : servers_) total += server->pinned_count();
+  return total;
+}
+
 void CachePool::Clear() {
   for (auto& server : servers_) server->Clear();
 }

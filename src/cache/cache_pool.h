@@ -30,6 +30,13 @@ class CachePool {
   bool Get(const std::string& key, Bytes* value);
   bool GetShared(const std::string& key, std::shared_ptr<const Bytes>* value);
   bool Erase(const std::string& key);
+
+  /// Heat-pinning passthrough: hot entries resist LRU eviction on their
+  /// owning server (see LruCache::Pin).
+  bool Pin(const std::string& key);
+  bool Unpin(const std::string& key);
+  bool IsPinned(const std::string& key);
+
   void Clear();
 
   int num_servers() const { return static_cast<int>(servers_.size()); }
@@ -38,6 +45,7 @@ class CachePool {
   std::uint64_t TotalHits() const;
   std::uint64_t TotalMisses() const;
   double HitRate() const;
+  std::size_t TotalPinned() const;
 
  private:
   std::vector<std::unique_ptr<ShardedLruCache>> servers_;

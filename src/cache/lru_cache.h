@@ -44,15 +44,36 @@ class LruCache {
   /// Removes `key` (DELETE invalidation path); false when absent.
   bool Erase(const std::string& key);
 
+  /// Marks `key` as heat-pinned: pinned entries are skipped by normal LRU
+  /// eviction (hot-spot taming — a burst of cold inserts must not wash
+  /// out the keys serving most of the traffic). False when the key is
+  /// absent or pinning it would push pinned bytes past half the capacity
+  /// (the cache must stay useful for the cold tail). Idempotent.
+  bool Pin(const std::string& key);
+
+  /// Clears the pin; false when the key is absent or wasn't pinned.
+  /// Unpinned entries age out normally from their current LRU position.
+  bool Unpin(const std::string& key);
+
+  /// True when `key` is present and pinned (introspection only).
+  bool IsPinned(const std::string& key) const;
+
   void Clear();
 
   std::size_t size_bytes() const { return used_bytes_; }
   std::size_t capacity_bytes() const { return capacity_bytes_; }
   std::size_t item_count() const { return items_.size(); }
+  std::size_t pinned_count() const { return pinned_count_; }
+  std::size_t pinned_bytes() const { return pinned_bytes_; }
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
+  /// Times eviction had to sacrifice a pinned entry because the unpinned
+  /// population alone couldn't make room (pins resist, never deadlock).
+  std::uint64_t forced_pinned_evictions() const {
+    return forced_pinned_evictions_;
+  }
 
   double HitRate() const {
     const std::uint64_t total = hits_ + misses_;
@@ -63,6 +84,7 @@ class LruCache {
   struct Entry {
     std::string key;
     std::shared_ptr<const Bytes> value;
+    bool pinned = false;
   };
 
   void EvictUntilFits(std::size_t incoming);
@@ -72,9 +94,12 @@ class LruCache {
   // Most-recently-used at the front.
   std::list<Entry> lru_;
   std::unordered_map<std::string, std::list<Entry>::iterator> items_;
+  std::size_t pinned_count_ = 0;
+  std::size_t pinned_bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t forced_pinned_evictions_ = 0;
 };
 
 }  // namespace hotman::cache

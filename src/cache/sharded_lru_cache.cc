@@ -33,17 +33,27 @@ ShardedLruCache::ShardedLruCache(std::size_t capacity_bytes,
   }
 }
 
+std::size_t ShardedLruCache::ShardOf(const std::string& key) const {
+  return ShardHash(key) % shards_.size();
+}
+
 ShardedLruCache::Shard& ShardedLruCache::ShardFor(const std::string& key) {
-  return *shards_[ShardHash(key) % shards_.size()];
+  return *shards_[ShardOf(key)];
 }
 
 const ShardedLruCache::Shard& ShardedLruCache::ShardFor(
     const std::string& key) const {
-  return *shards_[ShardHash(key) % shards_.size()];
+  return *shards_[ShardOf(key)];
 }
 
 std::size_t ShardedLruCache::ShardIndexOf(const std::string& key) const {
-  return ShardHash(key) % shards_.size();
+  return ShardOf(key);
+}
+
+std::size_t ShardedLruCache::shard_item_count(std::size_t shard) const {
+  const Shard& s = *shards_[shard];
+  MutexLock lock(&s.mu);
+  return s.cache.item_count();
 }
 
 bool ShardedLruCache::Put(const std::string& key, Bytes value) {
@@ -77,6 +87,24 @@ bool ShardedLruCache::Erase(const std::string& key) {
   return shard.cache.Erase(key);
 }
 
+bool ShardedLruCache::Pin(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(&shard.mu);
+  return shard.cache.Pin(key);
+}
+
+bool ShardedLruCache::Unpin(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(&shard.mu);
+  return shard.cache.Unpin(key);
+}
+
+bool ShardedLruCache::IsPinned(const std::string& key) const {
+  const Shard& shard = ShardFor(key);
+  MutexLock lock(&shard.mu);
+  return shard.cache.IsPinned(key);
+}
+
 void ShardedLruCache::Clear() {
   for (auto& shard : shards_) {
     MutexLock lock(&shard->mu);
@@ -98,6 +126,33 @@ std::size_t ShardedLruCache::item_count() const {
   for (const auto& shard : shards_) {
     MutexLock lock(&shard->mu);
     total += shard->cache.item_count();
+  }
+  return total;
+}
+
+std::size_t ShardedLruCache::pinned_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    total += shard->cache.pinned_count();
+  }
+  return total;
+}
+
+std::size_t ShardedLruCache::pinned_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    total += shard->cache.pinned_bytes();
+  }
+  return total;
+}
+
+std::uint64_t ShardedLruCache::forced_pinned_evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    total += shard->cache.forced_pinned_evictions();
   }
   return total;
 }

@@ -52,6 +52,12 @@ class ShardedLruCache {
   /// Removes `key` (DELETE invalidation path); false when absent.
   bool Erase(const std::string& key);
 
+  /// Heat-pinning passthrough (see LruCache::Pin/Unpin): pinned entries
+  /// resist LRU eviction in their shard.
+  bool Pin(const std::string& key);
+  bool Unpin(const std::string& key);
+  bool IsPinned(const std::string& key) const;
+
   void Clear();
 
   std::size_t num_shards() const { return shards_.size(); }
@@ -59,14 +65,21 @@ class ShardedLruCache {
   /// Which shard `key` routes to (for tests and introspection).
   std::size_t ShardIndexOf(const std::string& key) const;
 
+  /// Item count of one shard (introspection: lets tests assert the data
+  /// path and ShardIndexOf agree on placement).
+  std::size_t shard_item_count(std::size_t shard) const;
+
   /// Aggregate stats merged across shards. Each value is internally
   /// consistent per shard but the merge is not an atomic snapshot.
   std::size_t size_bytes() const;
   std::size_t capacity_bytes() const { return capacity_bytes_; }
   std::size_t item_count() const;
+  std::size_t pinned_count() const;
+  std::size_t pinned_bytes() const;
   std::uint64_t hits() const;
   std::uint64_t misses() const;
   std::uint64_t evictions() const;
+  std::uint64_t forced_pinned_evictions() const;
   double HitRate() const;
 
  private:
@@ -75,6 +88,12 @@ class ShardedLruCache {
     mutable Mutex mu;
     LruCache cache HOTMAN_GUARDED_BY(mu);
   };
+
+  /// The single place the shard hash is computed. Every routing call
+  /// (mutating, const, and ShardIndexOf) funnels through here — the Get
+  /// and Put paths used to hash independently, which invited a latent
+  /// mis-shard if one callsite ever drifted.
+  std::size_t ShardOf(const std::string& key) const;
 
   Shard& ShardFor(const std::string& key);
   const Shard& ShardFor(const std::string& key) const;

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "bson/codec.h"
 #include "cluster/cluster.h"
 #include "common/random.h"
 #include "core/record.h"
+#include "workload/skew.h"
 
 namespace hotman::chaos {
 
@@ -42,6 +44,20 @@ ChaosOptions ChaosOptions::MembershipProfile(std::uint64_t seed) {
   return options;
 }
 
+ChaosOptions ChaosOptions::SkewProfile(std::uint64_t seed) {
+  ChaosOptions options = QuorumProfile(seed);
+  options.zipf_theta = 0.99;  // YCSB-default skew: rank 0 takes ~35% of ops
+  options.fast_reads = true;
+  options.hot_reads = true;
+  // Chaos traffic runs at a few ops/sec of virtual time; the production
+  // thresholds (hundreds of qps) would never flag anything. These flag the
+  // Zipf head within the warmup without flagging the uniform tail.
+  options.heat.hot_qps = 1.0;
+  options.heat.min_hits = 6.0;
+  options.heat.half_life = 4 * kMicrosPerSecond;
+  return options;
+}
+
 ChaosOptions ChaosOptions::ConvergenceProfile(std::uint64_t seed) {
   ChaosOptions options;
   options.seed = seed;
@@ -66,7 +82,12 @@ class ClientSession {
         cluster_(cluster),
         history_(history),
         options_(options),
-        rng_(rng) {}
+        rng_(rng) {
+    if (options_.zipf_theta > 0.0) {
+      zipf_.emplace(static_cast<std::size_t>(options_.keys),
+                    options_.zipf_theta);
+    }
+  }
 
   void Start() { ScheduleNext(); }
   bool Done() const { return issued_ >= options_.ops_per_client && !in_flight_; }
@@ -80,7 +101,11 @@ class ClientSession {
   }
 
   void IssueOne() {
-    const std::string key = "k" + std::to_string(rng_.Uniform(options_.keys));
+    // Both draws consume exactly one Rng value, so flipping the skew on
+    // never perturbs the think-time/mix stream of a given seed.
+    const std::uint64_t rank =
+        zipf_ ? zipf_->Next(&rng_) : rng_.Uniform(options_.keys);
+    const std::string key = "k" + std::to_string(rank);
     const double mix = rng_.NextDouble();
     ++issued_;
     in_flight_ = true;
@@ -140,6 +165,7 @@ class ClientSession {
   History* history_;
   const ChaosOptions& options_;
   Rng rng_;
+  std::optional<workload::ZipfGenerator> zipf_;  ///< engaged when theta > 0
   int issued_ = 0;
   bool in_flight_ = false;
 };
@@ -164,6 +190,8 @@ ChaosResult RunChaos(const ChaosOptions& options) {
   config.hinted_handoff = options.hinted_handoff;
   config.read_repair = options.read_repair;
   config.fast_reads = options.fast_reads;
+  config.hot_reads = options.hot_reads;
+  config.heat = options.heat;
   config.shards = options.shards;
   config.anti_entropy = options.anti_entropy;
   config.anti_entropy_interval = 2 * kMicrosPerSecond;
@@ -367,6 +395,10 @@ ChaosResult RunChaos(const ChaosOptions& options) {
   result.history_hash = result.history.HexHash();
   result.nemesis_log = nemesis.log();
   result.faults_injected = nemesis.faults_injected();
+  const cluster::NodeStats totals = cluster.AggregateStats();
+  result.hot_gets_fanned = totals.hot_gets_fanned;
+  result.hot_read_hits = totals.hot_read_hits;
+  result.hot_read_demotions = totals.hot_read_demotions;
   return result;
 }
 

@@ -8,6 +8,7 @@
 
 #include "chaos/checker.h"
 #include "chaos/nemesis.h"
+#include "cluster/heat_tracker.h"
 #include "common/clock.h"
 #include "workload/history.h"
 
@@ -37,6 +38,15 @@ struct ChaosOptions {
   /// prove the shard-per-core partitioning preserves every consistency
   /// property, not to model speedup.
   int shards = 1;
+  /// Hot-key read fan-out (ClusterConfig::hot_reads): reads of hot clean
+  /// keys rotate across replicas, digest-verified against the primary.
+  /// Implies nothing about the checker — the same real-time rules that
+  /// prove fast reads safe must stay green with the rotation on.
+  bool hot_reads = false;
+  /// Heat-sketch thresholds for the hot path. The defaults flag nothing at
+  /// chaos traffic rates (a few ops/sec); SkewProfile lowers them so the
+  /// Zipf head actually trips the fan-out under the nemesis.
+  cluster::HeatConfig heat;
   /// Negative control: this replica acks writes without applying them
   /// (see ClusterConfig::chaos_lying_replica). Empty = honest cluster.
   std::string lying_replica;
@@ -49,6 +59,10 @@ struct ChaosOptions {
   int clients = 4;
   int ops_per_client = 50;
   int keys = 8;
+  /// Key-popularity skew: 0 keeps the historical uniform draw; theta > 0
+  /// draws key ranks from Zipf(theta) over `keys` (rank 0 hottest), so the
+  /// head keys see most of the contention the nemesis races against.
+  double zipf_theta = 0.0;
   Micros think_min = 20 * kMicrosPerMilli;
   Micros think_max = 200 * kMicrosPerMilli;
   double put_fraction = 0.5;
@@ -94,6 +108,13 @@ struct ChaosOptions {
   /// phantoms, no lost updates, full convergence, and clean ownership
   /// (every key on exactly its preference members once the dust settles).
   static ChaosOptions MembershipProfile(std::uint64_t seed);
+
+  /// Skewed-workload profile: the strict-quorum base with Zipf(0.99) key
+  /// popularity, fast reads on and the hot-key rotation armed at
+  /// test-scale heat thresholds. The head key stays dirty-prone (half the
+  /// ops are writes) while its reads fan across replicas mid-partition —
+  /// exactly the window where a digest bug would surface as a stale read.
+  static ChaosOptions SkewProfile(std::uint64_t seed);
 };
 
 struct ChaosResult {
@@ -104,6 +125,13 @@ struct ChaosResult {
   std::vector<std::string> nemesis_log;
   std::size_t faults_injected = 0;
   bool drained = false;  ///< every client op completed within budget
+
+  /// Hot-read counters aggregated over the cluster after quiesce, so skew
+  /// sweeps can assert the rotation actually engaged (a hot path that
+  /// silently never fires would make its checker pass vacuous).
+  std::uint64_t hot_gets_fanned = 0;
+  std::uint64_t hot_read_hits = 0;
+  std::uint64_t hot_read_demotions = 0;
 
   bool ok() const { return report.ok(); }
 };

@@ -428,6 +428,11 @@ std::string Cluster::StatsJson() {
   registry.counter("fast_read_hits")->Increment(total.fast_read_hits);
   registry.counter("fast_read_fallbacks")->Increment(total.fast_read_fallbacks);
   registry.counter("fast_read_demotions")->Increment(total.fast_read_demotions);
+  registry.counter("hot_gets_fanned")->Increment(total.hot_gets_fanned);
+  registry.counter("hot_read_hits")->Increment(total.hot_read_hits);
+  registry.counter("hot_read_demotions")->Increment(total.hot_read_demotions);
+  registry.counter("replica_digests_served")
+      ->Increment(total.replica_digests_served);
   registry.counter("get_acks_corrupt")->Increment(total.get_acks_corrupt);
   registry.counter("rereplications")->Increment(total.rereplications);
   registry.counter("rebalance_purges")->Increment(total.rebalance_purges);
@@ -451,6 +456,21 @@ std::string Cluster::StatsJson() {
   transport_.ExportStats(&registry);
   registry.gauge("nodes")->Set(static_cast<std::int64_t>(nodes_.size()));
   registry.gauge("virtual_now_us")->Set(loop_.Now());
+  // heat.*: per-key heat merged across every node's shards. Gauges are
+  // int64, so the fractional skew coefficient exports in milli-units.
+  HeatSnapshot heat;
+  for (auto& [address, node] : nodes_) {
+    heat.MergeFrom(node->heat_snapshot(), node->config().heat.capacity);
+  }
+  registry.counter("heat.tracked_ops")
+      ->Increment(static_cast<std::int64_t>(heat.ops));
+  registry.gauge("heat.tracked_keys")
+      ->Set(static_cast<std::int64_t>(heat.top.size()));
+  registry.gauge("heat.top1_qps")
+      ->Set(static_cast<std::int64_t>(heat.top.empty() ? 0.0 : heat.top.front().qps));
+  registry.gauge("heat.total_qps")->Set(static_cast<std::int64_t>(heat.total_qps));
+  registry.gauge("heat.skew_coeff_milli")
+      ->Set(static_cast<std::int64_t>(heat.skew_coefficient * 1000.0));
   metrics::Histogram* put_lat = registry.histogram("put_latency_us");
   metrics::Histogram* get_lat = registry.histogram("get_latency_us");
   metrics::Histogram* fast_get_lat = registry.histogram("fast_get_latency_us");

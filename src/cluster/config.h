@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/heat_tracker.h"
 #include "common/status.h"
 #include "gossip/failure_detector.h"
 #include "gossip/gossiper.h"
@@ -73,6 +74,27 @@ struct ClusterConfig {
   /// holders (some holder may still be catching up via read repair or
   /// anti-entropy; quorum reads keep repair pressure on it meanwhile).
   Micros fast_read_quiescence = 3 * kMicrosPerSecond;
+
+  // --- hot-spot taming under skew (AutoShard-style heat tracking) ---
+  /// Track per-key operation heat in a shard-local space-saving sketch
+  /// (cluster/heat_tracker.h), merged across shards into /stats `heat.*`.
+  /// Cheap (bounded counters, no allocation on the steady path), so on by
+  /// default.
+  bool heat_tracking = true;
+  /// Sketch shape and hot thresholds (capacity, decay half-life, qps bar).
+  HeatConfig heat;
+  /// Act on heat in the read path: reads of *hot, clean* keys rotate their
+  /// payload read across the key's non-primary replicas (round-robin)
+  /// instead of anchoring the primary, verified by a version digest probe
+  /// to the primary — the coordinator serves the replica's value only when
+  /// its (_ts, _origin) exactly matches the primary's current version, and
+  /// demotes to the R-quorum path otherwise. The served version is
+  /// therefore always the primary's version, so the PR 6 intersection
+  /// argument is untouched; the payload service load spreads across N
+  /// nodes while the primary only answers tiny metadata probes. Requires
+  /// fast_reads (the hot path is a refinement of the clean-key fast path)
+  /// and heat_tracking.
+  bool hot_reads = false;
 
   // --- chaos negative controls (test-only; see src/chaos/) ---
   /// Address of a replica that acknowledges put_replica traffic *without

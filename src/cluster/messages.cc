@@ -49,6 +49,19 @@ Micros GetMicrosOr0(const Document& doc, const char* name) {
   return v->NumberAsInt64();
 }
 
+/// Optional bool field (newer wire extensions): absent decodes as false.
+bool GetBoolOrFalse(const Document& doc, const char* name) {
+  const Value* v = doc.Get(name);
+  return v != nullptr && v->is_bool() && v->as_bool();
+}
+
+/// Optional string field: absent decodes as empty.
+std::string GetStrOrEmpty(const Document& doc, const char* name) {
+  const Value* v = doc.Get(name);
+  if (v == nullptr || !v->is_string()) return std::string();
+  return v->as_string();
+}
+
 }  // namespace
 
 bson::Document EncodePutReplica(const PutReplicaMsg& msg) {
@@ -99,6 +112,8 @@ bson::Document EncodeGetReplica(const GetReplicaMsg& msg) {
   Document doc;
   doc.Append("req", Value(AsI64(msg.req)));
   doc.Append("key", Value(msg.key));
+  // Only encoded when set, so pre-digest decoders never see the field.
+  if (msg.digest_only) doc.Append("dig", Value(true));
   return doc;
 }
 
@@ -110,6 +125,7 @@ Result<GetReplicaMsg> DecodeGetReplica(const bson::Document& doc) {
   GetReplicaMsg out;
   out.req = *req;
   out.key = std::move(*key);
+  out.digest_only = GetBoolOrFalse(doc, "dig");
   return out;
 }
 
@@ -118,10 +134,15 @@ bson::Document EncodeGetAck(const GetAckMsg& msg) {
   doc.Append("req", Value(AsI64(msg.req)));
   doc.Append("ok", Value(msg.ok));
   doc.Append("found", Value(msg.found));
-  if (msg.found) doc.Append("doc", Value(msg.record));
+  if (msg.found && !msg.digest) doc.Append("doc", Value(msg.record));
   doc.Append("err", Value(msg.error));
   doc.Append("q_us", Value(msg.queue_micros));
   doc.Append("s_us", Value(msg.service_micros));
+  if (msg.digest) {
+    doc.Append("dig", Value(true));
+    doc.Append("dts", Value(msg.digest_ts));
+    doc.Append("dor", Value(msg.digest_origin));
+  }
   return doc;
 }
 
@@ -141,7 +162,11 @@ Result<GetAckMsg> DecodeGetAck(const bson::Document& doc) {
   out.error = std::move(*err);
   out.queue_micros = GetMicrosOr0(doc, "q_us");
   out.service_micros = GetMicrosOr0(doc, "s_us");
-  if (out.found) {
+  out.digest = GetBoolOrFalse(doc, "dig");
+  if (out.digest) {
+    out.digest_ts = GetMicrosOr0(doc, "dts");
+    out.digest_origin = GetStrOrEmpty(doc, "dor");
+  } else if (out.found) {
     auto record = GetDoc(doc, "doc");
     if (!record.ok()) return record.status();
     out.record = std::move(*record);

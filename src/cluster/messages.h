@@ -43,10 +43,14 @@ struct PutAckMsg {
   Micros service_micros = 0;
 };
 
-/// get_replica payload.
+/// get_replica payload. With `digest_only` the replica answers with just
+/// the stored version's (_ts, _origin) instead of the record — the cheap
+/// probe the hot-read fan-out sends to the primary to verify the value it
+/// fetched from a rotated replica.
 struct GetReplicaMsg {
   std::uint64_t req = 0;
   std::string key;
+  bool digest_only = false;
 };
 
 /// get_ack payload.
@@ -54,10 +58,15 @@ struct GetAckMsg {
   std::uint64_t req = 0;
   bool ok = false;      ///< the replica served the read (even if not found)
   bool found = false;
-  bson::Document record;  ///< valid when found
+  bson::Document record;  ///< valid when found and not a digest reply
   std::string error;
   Micros queue_micros = 0;    ///< replica-side queue wait (see PutAckMsg)
   Micros service_micros = 0;  ///< replica-side service time
+  // Digest replies (answering a digest_only probe) carry the version
+  // instead of the payload.
+  bool digest = false;
+  std::int64_t digest_ts = 0;
+  std::string digest_origin;
 };
 
 /// hint_store payload: the write plus the identity of the node it is for.

@@ -214,6 +214,11 @@ std::string NodeServer::StatsJson() const {
   registry.counter("fast_read_hits")->Increment(s.fast_read_hits);
   registry.counter("fast_read_fallbacks")->Increment(s.fast_read_fallbacks);
   registry.counter("fast_read_demotions")->Increment(s.fast_read_demotions);
+  registry.counter("hot_gets_fanned")->Increment(s.hot_gets_fanned);
+  registry.counter("hot_read_hits")->Increment(s.hot_read_hits);
+  registry.counter("hot_read_demotions")->Increment(s.hot_read_demotions);
+  registry.counter("replica_digests_served")
+      ->Increment(s.replica_digests_served);
   registry.counter("get_acks_corrupt")->Increment(s.get_acks_corrupt);
   registry.counter("rereplications")->Increment(s.rereplications);
   registry.counter("rebalance_purges")->Increment(s.rebalance_purges);
@@ -255,6 +260,18 @@ std::string NodeServer::StatsJson() const {
     registry.histogram("replica_service_us")
         ->MergeFrom(node_->station()->service_histogram());
   }
+  // heat.*: this node's per-key heat, merged across its shards (the skew
+  // coefficient exports in milli-units: gauges are int64).
+  const HeatSnapshot heat = node_->heat_snapshot();
+  registry.counter("heat.tracked_ops")
+      ->Increment(static_cast<std::int64_t>(heat.ops));
+  registry.gauge("heat.tracked_keys")
+      ->Set(static_cast<std::int64_t>(heat.top.size()));
+  registry.gauge("heat.top1_qps")
+      ->Set(static_cast<std::int64_t>(heat.top.empty() ? 0.0 : heat.top.front().qps));
+  registry.gauge("heat.total_qps")->Set(static_cast<std::int64_t>(heat.total_qps));
+  registry.gauge("heat.skew_coeff_milli")
+      ->Set(static_cast<std::int64_t>(heat.skew_coefficient * 1000.0));
   transport_->ExportStats(&registry);
   node_->sharded()->ExportStats(&registry);  // sharded.* (shards, hops, drops)
   return registry.ToJson();

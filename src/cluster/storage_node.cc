@@ -41,6 +41,10 @@ void NodeStats::MergeFrom(const NodeStats& other) {
   fast_read_hits += other.fast_read_hits;
   fast_read_fallbacks += other.fast_read_fallbacks;
   fast_read_demotions += other.fast_read_demotions;
+  hot_gets_fanned += other.hot_gets_fanned;
+  hot_read_hits += other.hot_read_hits;
+  hot_read_demotions += other.hot_read_demotions;
+  replica_digests_served += other.replica_digests_served;
   get_acks_corrupt += other.get_acks_corrupt;
   rereplications += other.rereplications;
   rebalance_purges += other.rebalance_purges;
@@ -84,6 +88,7 @@ StorageNode::StorageNode(const NodeSpec& spec, const ClusterConfig& config,
     auto ss = std::make_unique<ShardState>();
     ss->index = index;
     ss->executor = sharded_->executor(index);
+    ss->heat = HeatTracker(config_.heat);
     ss->store = std::make_unique<ReplicaStore>(
         server_->db(), ShardCollection(config_.collection, index));
     Status init = ss->store->Init();
@@ -448,6 +453,36 @@ void StorageNode::HandlePutReplica(ShardState& ss, const std::string& from,
 
 void StorageNode::HandleGetReplica(ShardState& ss, const std::string& from,
                                    GetReplicaMsg msg) {
+  if (msg.digest_only) {
+    // Version probes bypass the ServiceStation: they serve a bounded
+    // (_ts, _origin) pair off the store's index, not a record payload —
+    // that asymmetry is the point of the hot fan-out (the primary answers
+    // cheap metadata probes while payload service rotates across the
+    // other holders). A production engine would back this with an
+    // in-memory version index; the docstore lookup plays that role here.
+    GetAckMsg ack;
+    ack.req = msg.req;
+    ack.digest = true;
+    Status available = server_->CheckAvailable();
+    if (!available.ok()) {
+      ack.ok = false;
+      ack.error = available.ToString();
+    } else {
+      auto record = ss.store->GetByKey(msg.key);
+      ack.ok = true;
+      if (record.ok()) {
+        ack.found = true;
+        ack.digest_ts = core::RecordTimestamp(*record);
+        ack.digest_origin = core::RecordOrigin(*record);
+      } else if (!record.status().IsNotFound()) {
+        ack.ok = false;
+        ack.error = record.status().ToString();
+      }
+      if (ack.ok) ++ss.stats.replica_digests_served;
+    }
+    SendToNode(from, kMsgGetAck, EncodeGetAck(ack));
+    return;
+  }
   const std::uint64_t req = msg.req;
   const std::string key = msg.key;
   const bool admitted = SubmitWork(
@@ -552,6 +587,7 @@ void StorageNode::StartPut(ShardState& ss, bson::Document record,
   // client operation may trip one failure at a random node.
   if (injector_ != nullptr) injector_->MaybeInjectAnywhere();
   const std::string key = core::RecordSelfKey(record);
+  if (config_.heat_tracking) ss.heat.Record(key, transport_->NowMicros());
   std::vector<std::string> targets = PreferenceNodes(ss, key);
   if (targets.empty()) {
     ++ss.stats.puts_failed;
@@ -792,6 +828,7 @@ void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
     ++ss.stats.gets_coordinated;
     if (injector_ != nullptr) injector_->MaybeInjectAnywhere();
     const Micros started_at = transport_->NowMicros();
+    if (config_.heat_tracking) ss.heat.Record(key, started_at);
     if (config_.fast_reads) {
       // Harmonia-style fast path: a key with no write in flight (and nothing
       // recently unsettled) can be answered by the primary holder alone —
@@ -804,6 +841,23 @@ void StorageNode::CoordinateGet(const std::string& key, GetCallback cb) {
         const std::vector<std::string> targets = PreferenceNodes(ss, key);
         if (!targets.empty() &&
             LivenessOf(ss, targets.front()) == gossip::Liveness::kAlive) {
+          // Hot refinement: a clean key the heat sketch flags hot rotates
+          // its payload read across the preference holders instead of
+          // always charging the primary. Ticket 0 (and any turn landing on
+          // the primary or a suspect replica) is a plain primary fast
+          // read, so the rotation degrades gracefully to the fast path.
+          if (config_.hot_reads && config_.heat_tracking &&
+              targets.size() >= 2 && ss.heat.IsHot(key, started_at)) {
+            const std::uint64_t ticket = ss.heat.NextRotation(key);
+            const std::size_t pick = ticket % targets.size();
+            if (pick != 0 &&
+                LivenessOf(ss, targets[pick]) == gossip::Liveness::kAlive) {
+              ++ss.stats.hot_gets_fanned;
+              StartHotGet(ss, key, std::move(cb), started_at, targets[pick],
+                          targets.front());
+              return;
+            }
+          }
           StartGet(ss, key, std::move(cb), started_at, /*fast_path=*/true);
           return;
         }
@@ -875,9 +929,83 @@ void StorageNode::StartGet(ShardState& ss, const std::string& key,
   }
 }
 
+void StorageNode::StartHotGet(ShardState& ss, const std::string& key,
+                              GetCallback cb, Micros started_at,
+                              const std::string& replica,
+                              const std::string& primary) {
+  // Safety: the fanned read still serves *the primary's version*. The
+  // payload comes from `replica`, but it is only handed to the caller when
+  // its (_ts, _origin) exactly equals what the primary reports via the
+  // digest probe — so the answer is indistinguishable from a primary fast
+  // read and the PR 6 primary-anchored intersection argument carries over
+  // unchanged. Any mismatch, miss, error or timeout demotes to the
+  // R-quorum path via the fast-path machinery (fast_path is set for
+  // exactly that reason).
+  const std::uint64_t req = (ss.next_seq++ << kShardBits) |
+                            static_cast<std::uint64_t>(ss.index);
+  PendingGet get;
+  get.key = key;
+  get.cb = std::move(cb);
+  get.started_at = started_at;
+  get.fast_path = true;
+  get.hot_path = true;
+  get.hot_replica = replica;
+  get.needed = 1;
+  get.targets = {replica, primary};
+  get.timeout_event = ss.executor->ScheduleTimer(
+      config_.get_timeout / 2, [this, &ss, req]() { OnGetTimeout(ss, req); });
+  ss.pending_gets.emplace(req, std::move(get));
+
+  GetReplicaMsg payload;
+  payload.req = req;
+  payload.key = key;
+  SendToNode(replica, kMsgGetReplica, EncodeGetReplica(payload));
+  GetReplicaMsg probe;
+  probe.req = req;
+  probe.key = key;
+  probe.digest_only = true;
+  SendToNode(primary, kMsgGetReplica, EncodeGetReplica(probe));
+}
+
+void StorageNode::MaybeFinishHotGet(ShardState& ss, std::uint64_t req,
+                                    PendingGet* get) {
+  const GetReply* payload = nullptr;  // from the rotated replica
+  const GetReply* digest = nullptr;   // from the primary
+  auto payload_it = get->replies.find(get->hot_replica);
+  if (payload_it != get->replies.end()) payload = &payload_it->second;
+  auto digest_it = get->replies.find(get->targets.back());
+  if (digest_it != get->replies.end()) digest = &digest_it->second;
+  // Either half failing or missing its key demotes: a fanned read never
+  // concludes a miss on its own and never serves an unverified value.
+  if ((payload != nullptr && (!payload->ok || !payload->found)) ||
+      (digest != nullptr && (!digest->ok || !digest->found))) {
+    DemoteGet(ss, req, get);
+    return;
+  }
+  if (payload == nullptr || digest == nullptr) return;  // wait for the other half
+  const bool version_matches =
+      core::RecordTimestamp(payload->record) == digest->digest_ts &&
+      core::RecordOrigin(payload->record) == digest->digest_origin;
+  if (!version_matches) {
+    // The replica lags (or leads) the primary — e.g. a read repair or
+    // anti-entropy push still in flight. Serving its copy could return a
+    // version the primary-anchored write quorum never confirmed; demote.
+    DemoteGet(ss, req, get);
+    return;
+  }
+  get->done = true;
+  ++ss.stats.gets_succeeded;
+  ++ss.stats.fast_read_hits;
+  ++ss.stats.hot_read_hits;
+  RecordGetOutcome(ss, *get, req, /*ok=*/true);
+  get->cb(payload->record);
+  FinalizeGet(ss, req, get);
+}
+
 void StorageNode::DemoteGet(ShardState& ss, std::uint64_t req,
                             PendingGet* get) {
   ++ss.stats.fast_read_demotions;
+  if (get->hot_path) ++ss.stats.hot_read_demotions;
   ss.executor->CancelTimer(get->timeout_event);
   const std::string key = get->key;
   GetCallback cb = std::move(get->cb);
@@ -923,11 +1051,11 @@ void StorageNode::HandleGetAck(ShardState& ss, const std::string& from,
   if (it == ss.pending_gets.end()) return;
   PendingGet& get = it->second;
   if (get.replies.count(from) > 0) return;  // duplicate
-  if (ack.ok) {
+  if (ack.ok && !ack.digest) {
     // Attribution must come from a reply that can actually explain the
     // outcome's latency: recording queue/service numbers from failed
     // replies too would let the trace blame a replica that only ever
-    // returned an error.
+    // returned an error. Digest probes carry no payload service either.
     get.last_queue = ack.queue_micros;
     get.last_service = ack.service_micros;
     get.last_replica = from;
@@ -936,6 +1064,16 @@ void StorageNode::HandleGetAck(ShardState& ss, const std::string& from,
   reply.ok = ack.ok;
   reply.found = ack.found;
   reply.record = std::move(ack.record);
+  reply.digest = ack.digest;
+  reply.digest_ts = ack.digest_ts;
+  reply.digest_origin = std::move(ack.digest_origin);
+  if (get.hot_path) {
+    // The hot fan-out has its own conclusion logic (payload + digest must
+    // agree); the single-replica retry rule below does not apply.
+    get.replies.emplace(from, std::move(reply));
+    if (!get.done) MaybeFinishHotGet(ss, ack.req, &get);
+    return;
+  }
   const bool fast_retry = get.fast_path && (!reply.ok || !reply.found);
   get.replies.emplace(from, std::move(reply));
   if (fast_retry && !get.done) {
@@ -1216,6 +1354,19 @@ NodeStats StorageNode::stats() const {
     const ShardState* ss = shard.get();
     sharded_->PostSync(ss->index,
                        [ss, &merged] { merged.MergeFrom(ss->stats); });
+  }
+  return merged;
+}
+
+HeatSnapshot StorageNode::heat_snapshot() const {
+  HeatSnapshot merged;
+  const Micros now = transport_->NowMicros();
+  const std::size_t capacity = config_.heat.capacity;
+  for (const auto& shard : shards_) {
+    const ShardState* ss = shard.get();
+    sharded_->PostSync(ss->index, [ss, &merged, now, capacity] {
+      merged.MergeFrom(ss->heat.Snapshot(now), capacity);
+    });
   }
   return merged;
 }

@@ -52,6 +52,10 @@ struct NodeStats {
   std::size_t fast_read_hits = 0;       ///< reads served by a single replica
   std::size_t fast_read_fallbacks = 0;  ///< fast path refused at issue time
   std::size_t fast_read_demotions = 0;  ///< fast attempt failed, re-ran as quorum
+  std::size_t hot_gets_fanned = 0;      ///< hot-key reads sent to a rotated replica
+  std::size_t hot_read_hits = 0;        ///< fanned reads served digest-verified
+  std::size_t hot_read_demotions = 0;   ///< fanned reads demoted to the quorum path
+  std::size_t replica_digests_served = 0;  ///< digest_only probes answered
   std::size_t get_acks_corrupt = 0;     ///< undecodable get acks from known targets
   std::size_t rereplications = 0;       ///< records re-pushed on ring change
   std::size_t rebalance_purges = 0;     ///< unowned records dropped by the sweep
@@ -244,6 +248,11 @@ class StorageNode {
   /// counters are gathered in each shard's own context).
   NodeStats stats() const;
 
+  /// Merged per-shard heat snapshot (top-k keys, qps, skew coefficient) at
+  /// the transport's current time. Same cross-shard gather discipline as
+  /// stats().
+  HeatSnapshot heat_snapshot() const;
+
   /// Coordinated-operation latency (enqueue -> outcome callback), success
   /// and failure combined, merged across shards; the cluster layer merges
   /// these for /stats.
@@ -308,6 +317,10 @@ class StorageNode {
     bool ok = false;
     bool found = false;
     bson::Document record;
+    // Digest probe replies carry the version only.
+    bool digest = false;
+    std::int64_t digest_ts = 0;
+    std::string digest_origin;
   };
 
   struct PendingGet {
@@ -315,6 +328,8 @@ class StorageNode {
     GetCallback cb;
     bool done = false;
     bool fast_path = false;  ///< single-replica attempt; failures demote
+    bool hot_path = false;   ///< hot fan-out: replica payload + primary digest
+    std::string hot_replica; ///< the rotated replica serving the payload
     int needed = 0;
     std::vector<std::string> targets;
     std::map<std::string, GetReply> replies;
@@ -357,6 +372,9 @@ class StorageNode {
     std::map<std::uint64_t, PendingGet> pending_gets;
     std::map<std::string, DirtyEntry> dirty_keys;
     std::uint64_t dirty_sweep_countdown = 0;  ///< periodic expired-entry sweep
+    /// Per-key operation heat of this shard's arc (space-saving sketch with
+    /// exponential decay); feeds the hot-read rotation and /stats heat.*.
+    HeatTracker heat;
     net::TimerId hint_timer = 0;
     NodeStats stats;
     metrics::Histogram put_latency_hist;
@@ -430,6 +448,15 @@ class StorageNode {
   // re-runs a failed fast attempt through the quorum path.
   void StartGet(ShardState& ss, const std::string& key, GetCallback cb,
                 Micros started_at, bool fast_path) HOTMAN_SHARD_AFFINE;
+  /// Hot-key fan-out: payload read at `replica` (a rotated non-primary
+  /// holder) plus a digest_only version probe at the primary. The value is
+  /// served only when the replica's version equals the primary's digest;
+  /// any other outcome demotes to the quorum path.
+  void StartHotGet(ShardState& ss, const std::string& key, GetCallback cb,
+                   Micros started_at, const std::string& replica,
+                   const std::string& primary) HOTMAN_SHARD_AFFINE;
+  void MaybeFinishHotGet(ShardState& ss, std::uint64_t req,
+                         PendingGet* get) HOTMAN_SHARD_AFFINE;
   void DemoteGet(ShardState& ss, std::uint64_t req,
                  PendingGet* get) HOTMAN_SHARD_AFFINE;
   void OnGetTimeout(ShardState& ss, std::uint64_t req) HOTMAN_SHARD_AFFINE;

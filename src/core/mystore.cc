@@ -7,7 +7,17 @@
 
 namespace hotman::core {
 
-MyStore::MyStore(MyStoreConfig config) : config_(std::move(config)) {
+namespace {
+
+/// Client operations between pin-set refreshes. Small enough that a flash
+/// crowd gets pinned within a beat of ramping; large enough that the
+/// refresh scan stays off the per-op path.
+constexpr std::uint64_t kHeatRefreshOps = 128;
+
+}  // namespace
+
+MyStore::MyStore(MyStoreConfig config)
+    : config_(std::move(config)), front_heat_(config_.cache_heat) {
   cluster_ = std::make_unique<cluster::Cluster>(config_.cluster, config_.seed,
                                                 config_.failures);
   cache_ = std::make_unique<cache::CachePool>(config_.cache_servers,
@@ -25,7 +35,40 @@ MyStore::~MyStore() = default;
 
 Status MyStore::Start() { return cluster_->Start(); }
 
+void MyStore::NoteHeat(const std::string& key) {
+  front_heat_.Record(key, cluster_->loop()->Now());
+  if (++heat_ops_since_refresh_ >= kHeatRefreshOps) {
+    heat_ops_since_refresh_ = 0;
+    RefreshHotPins();
+  }
+}
+
+void MyStore::RefreshHotPins() {
+  const Micros now = cluster_->loop()->Now();
+  // Unpin first: a pinned key that cooled down — or decayed out of the
+  // sketch entirely — loses its pin here, so decay bounds every pin's
+  // lifetime and a flash crowd cannot leak pinned bytes forever.
+  for (auto it = pinned_keys_.begin(); it != pinned_keys_.end();) {
+    if (!front_heat_.IsHot(*it, now)) {
+      cache_->Unpin(*it);
+      it = pinned_keys_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const cluster::HeatEntry& entry : front_heat_.Snapshot(now).top) {
+    if (!front_heat_.IsHot(entry.key, now)) continue;
+    if (cache_->Pin(entry.key)) pinned_keys_.insert(entry.key);
+  }
+}
+
+void MyStore::MaybePinHot(const std::string& key) {
+  if (!front_heat_.IsHot(key, cluster_->loop()->Now())) return;
+  if (cache_->Pin(key)) pinned_keys_.insert(key);
+}
+
 void MyStore::GetAsync(const std::string& key, GetCb cb) {
+  NoteHeat(key);
   Bytes cached;
   if (cache_->Get(key, &cached)) {
     cb(std::move(cached));
@@ -43,33 +86,48 @@ void MyStore::GetAsync(const std::string& key, GetCb cb) {
     }
     Bytes value = RecordValue(*record);
     cache_->Put(key, value);  // read-through insert
+    MaybePinHot(key);         // admission bias: hot keys stick immediately
     cb(std::move(value));
   });
 }
 
 void MyStore::PostAsync(const std::string& key, Bytes value, MutateCb cb) {
+  NoteHeat(key);
   cluster_->Put(key, value, [this, key, value, cb = std::move(cb)](const Status& s) {
-    if (s.ok()) cache_->Put(key, value);  // write-through on success
+    if (s.ok()) {
+      cache_->Put(key, value);  // write-through on success
+      MaybePinHot(key);
+    }
     cb(s);
   });
 }
 
 void MyStore::DeleteAsync(const std::string& key, MutateCb cb) {
+  NoteHeat(key);
   cache_->Erase(key);
+  pinned_keys_.erase(key);
   cluster_->Delete(key, std::move(cb));
 }
 
 Result<Bytes> MyStore::Get(const std::string& key) {
+  NoteHeat(key);
   Bytes cached;
   if (cache_->Get(key, &cached)) return cached;
   auto value = cluster_->GetSync(key);
-  if (value.ok()) cache_->Put(key, *value);
+  if (value.ok()) {
+    cache_->Put(key, *value);
+    MaybePinHot(key);
+  }
   return value;
 }
 
 Status MyStore::Post(const std::string& key, Bytes value) {
+  NoteHeat(key);
   Status s = cluster_->PutSync(key, value);
-  if (s.ok()) cache_->Put(key, std::move(value));
+  if (s.ok()) {
+    cache_->Put(key, std::move(value));
+    MaybePinHot(key);
+  }
   return s;
 }
 
@@ -80,7 +138,9 @@ Result<std::string> MyStore::PostNew(Bytes value) {
 }
 
 Status MyStore::Delete(const std::string& key) {
+  NoteHeat(key);
   cache_->Erase(key);
+  pinned_keys_.erase(key);
   return cluster_->DeleteSync(key);
 }
 
@@ -128,6 +188,7 @@ std::string MyStore::StatsJson() {
   out += ",\"cache\":{\"servers\":" + std::to_string(cache_->num_servers());
   out += ",\"hits\":" + std::to_string(cache_->TotalHits());
   out += ",\"misses\":" + std::to_string(cache_->TotalMisses());
+  out += ",\"pinned\":" + std::to_string(cache_->TotalPinned());
   char rate[32];
   std::snprintf(rate, sizeof(rate), "%.4f", cache_->HitRate());
   out += ",\"hit_rate\":";

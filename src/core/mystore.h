@@ -3,10 +3,13 @@
 
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "cache/cache_pool.h"
 #include "cluster/cluster.h"
+#include "cluster/heat_tracker.h"
 #include "core/record.h"
 #include "rest/request.h"
 #include "rest/router.h"
@@ -23,6 +26,11 @@ struct MyStoreConfig {
   std::size_t cache_bytes_per_server = std::size_t{1} << 30;  ///< 1 GB each
   int rest_workers = 8;     ///< spawn-fcgi logical processes
   bool require_auth = false;  ///< enable URI-signature checks on Handle()
+
+  /// Front-side heat tracking over client keys: hot keys get pinned in the
+  /// cache pool (and unpinned again once their heat decays), so a flash
+  /// crowd cannot have its one working-set entry evicted by cold churn.
+  cluster::HeatConfig cache_heat;
 
   std::uint64_t seed = 42;
 };
@@ -88,6 +96,11 @@ class MyStore {
 
   cluster::Cluster* storage() { return cluster_.get(); }
   cache::CachePool* cache_pool() { return cache_.get(); }
+  /// Keys currently pinned in the cache pool by the heat tracker (sorted).
+  std::vector<std::string> HotPinnedKeys() const {
+    return {pinned_keys_.begin(), pinned_keys_.end()};
+  }
+  const cluster::HeatTracker& front_heat() const { return front_heat_; }
   rest::TokenDb* token_db() { return tokens_.get(); }
   rest::Router* router() { return router_.get(); }
   const MyStoreConfig& config() const { return config_; }
@@ -99,12 +112,26 @@ class MyStore {
  private:
   rest::Response HandleOnWorker(int worker, const rest::Request& request);
 
+  /// Counts one client operation on `key` against the front-side heat
+  /// sketch; every kHeatRefreshOps operations the pin set is refreshed.
+  void NoteHeat(const std::string& key);
+  /// Re-derives the pin set from the sketch: keys that cooled (or decayed
+  /// out entirely) are unpinned, currently-hot cached keys are pinned.
+  void RefreshHotPins();
+  /// Admission bias: pins `key` immediately when the sketch already flags
+  /// it hot (called right after a cache insert).
+  void MaybePinHot(const std::string& key);
+
   MyStoreConfig config_;
   std::unique_ptr<cluster::Cluster> cluster_;
   std::unique_ptr<cache::CachePool> cache_;
   std::unique_ptr<rest::TokenDb> tokens_;
   std::unique_ptr<rest::Router> router_;
   std::unique_ptr<bson::ObjectIdGenerator> key_generator_;
+
+  cluster::HeatTracker front_heat_;
+  std::set<std::string> pinned_keys_;
+  std::uint64_t heat_ops_since_refresh_ = 0;
 };
 
 }  // namespace hotman::core

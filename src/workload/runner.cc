@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "workload/skew.h"
+
 namespace hotman::workload {
 
 /// Run state shared between the runner and callbacks still in flight when
@@ -90,19 +92,27 @@ RunReport WorkloadRunner::Run() {
   state->report.meter.Start(loop_->Now());
   state->clients_running = options_.clients;
 
+  // Optional skewed selection (Zipf over dataset ranks, item 0 hottest).
+  std::shared_ptr<ZipfGenerator> zipf;
+  if (options_.zipf_theta > 0.0) {
+    zipf = std::make_shared<ZipfGenerator>(dataset_->size(),
+                                           options_.zipf_theta);
+  }
+
   // Each client is a self-rescheduling closure; as above, the stored
   // closure references itself only weakly to avoid a shared_ptr cycle.
   auto client_step = std::make_shared<std::function<void(std::uint64_t)>>();
   std::weak_ptr<std::function<void(std::uint64_t)>> weak_step = client_step;
-  *client_step = [this, state, weak_step](std::uint64_t client_seed) {
+  *client_step = [this, state, weak_step, zipf](std::uint64_t client_seed) {
     auto step = weak_step.lock();  // pins the closure across the async op
     if (!state->active || loop_->Now() >= state->end_time) {
       --state->clients_running;
       return;
     }
-    const std::size_t index = options_.gaussian_selection
-                                  ? dataset_->GaussianPick(&state->rng)
-                                  : dataset_->UniformPick(&state->rng);
+    const std::size_t index =
+        zipf ? zipf->Next(&state->rng)
+             : (options_.gaussian_selection ? dataset_->GaussianPick(&state->rng)
+                                            : dataset_->UniformPick(&state->rng));
     const Item& item = dataset_->item(index);
     const bool is_read = state->rng.NextDouble() < options_.read_fraction;
     const Micros started = loop_->Now();

@@ -21,6 +21,9 @@ struct RunOptions {
   Micros think_max = 500 * kMicrosPerMilli;
   /// §6.2 Gaussian size-rank selection instead of uniform.
   bool gaussian_selection = false;
+  /// When > 0, items are selected Zipfian(zipf_theta) over dataset ranks
+  /// (item 0 hottest); takes precedence over gaussian_selection.
+  double zipf_theta = 0.0;
   std::uint64_t seed = 7;
 
   /// RunLoad pacing: when > 0, load requests are issued at this aggregate

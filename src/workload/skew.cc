@@ -1,0 +1,60 @@
+#include "workload/skew.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hotman::workload {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double theta) : theta_(theta) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_[r] = sum;
+  }
+  zetan_ = sum;
+  for (std::size_t r = 0; r < n; ++r) cdf_[r] /= zetan_;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfGenerator::Next(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::Mass(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return 1.0 / std::pow(static_cast<double>(rank + 1), theta_) / zetan_;
+}
+
+FlashCrowdGenerator::FlashCrowdGenerator(const FlashCrowdSpec& spec)
+    : spec_(spec) {
+  if (spec_.n == 0) spec_.n = 1;
+  if (spec_.crowd_rank >= spec_.n) spec_.crowd_rank = 0;
+}
+
+double FlashCrowdGenerator::CrowdFraction(Micros now) const {
+  if (now < spec_.start) return 0.0;
+  const Micros since = now - spec_.start;
+  if (since < spec_.ramp) {
+    return spec_.peak_fraction * static_cast<double>(since) /
+           static_cast<double>(spec_.ramp);
+  }
+  const Micros after_ramp = since - spec_.ramp;
+  if (after_ramp < spec_.hold) return spec_.peak_fraction;
+  if (spec_.decay_half_life <= 0) return 0.0;
+  const double half_lives = static_cast<double>(after_ramp - spec_.hold) /
+                            static_cast<double>(spec_.decay_half_life);
+  return spec_.peak_fraction * std::exp2(-half_lives);
+}
+
+std::size_t FlashCrowdGenerator::Next(Rng* rng, Micros now) const {
+  const bool crowd = rng->NextDouble() < CrowdFraction(now);
+  const std::size_t uniform =
+      static_cast<std::size_t>(rng->Uniform(spec_.n));
+  return crowd ? spec_.crowd_rank : uniform;
+}
+
+}  // namespace hotman::workload

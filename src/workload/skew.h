@@ -1,0 +1,83 @@
+#ifndef HOTMAN_WORKLOAD_SKEW_H_
+#define HOTMAN_WORKLOAD_SKEW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace hotman::workload {
+
+/// Zipfian(theta) rank picker: rank r in [0, n) is drawn with probability
+/// proportional to 1 / (r + 1)^theta, so rank 0 is the hottest key.
+///
+/// Millions of users means Zipf, not uniform — a popularity-ranked draw is
+/// the standard model for web-object traffic, and theta in [0.8, 1.2]
+/// brackets the measured range (theta ~ 0.99 is the YCSB default). The
+/// inverse-CDF table makes the draw exact for *any* theta > 0 (the YCSB
+/// closed-form rejection trick only covers theta < 1, and the bench sweeps
+/// theta = 1.2), costs O(n) doubles once and O(log n) per draw, and is
+/// bit-deterministic given the caller's Rng.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double theta);
+
+  /// Draws a rank in [0, n); rank 0 is most popular. Consumes exactly one
+  /// Rng value per call so interleaved streams stay reproducible.
+  std::size_t Next(Rng* rng) const;
+
+  /// Analytic probability mass of `rank` (1/(rank+1)^theta normalized by
+  /// the generalized harmonic number) — what the statistical tests assert
+  /// empirical frequencies against.
+  double Mass(std::size_t rank) const;
+
+  std::size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  double zetan_;             ///< generalized harmonic number H_{n,theta}
+  std::vector<double> cdf_;  ///< cdf_[r] = P(rank <= r), cdf_.back() == 1
+};
+
+/// Flash-crowd schedule: a single key's share of traffic steps from zero,
+/// ramps linearly to `peak_fraction`, holds, then decays exponentially —
+/// the step/spike/decay shape of a link-of-the-day event.
+struct FlashCrowdSpec {
+  std::size_t n = 1024;       ///< keyspace size (ranks 0..n-1)
+  std::size_t crowd_rank = 0; ///< the rank that spikes
+  Micros start = 10 * kMicrosPerSecond;          ///< spike onset
+  Micros ramp = 2 * kMicrosPerSecond;            ///< linear ramp to peak
+  Micros hold = 5 * kMicrosPerSecond;            ///< time spent at peak
+  Micros decay_half_life = 2 * kMicrosPerSecond; ///< post-hold decay rate
+  double peak_fraction = 0.9; ///< crowd key's traffic share at peak
+};
+
+/// Time-varying key picker implementing the FlashCrowdSpec schedule: at
+/// time `now` the crowd rank is drawn with probability CrowdFraction(now)
+/// and the remaining mass is uniform over the keyspace (crowd rank
+/// included, so the background load is unchanged by the spike).
+class FlashCrowdGenerator {
+ public:
+  explicit FlashCrowdGenerator(const FlashCrowdSpec& spec);
+
+  /// The crowd key's extra traffic share at `now` (0 before start, linear
+  /// up the ramp, `peak_fraction` during hold, halving every
+  /// `decay_half_life` afterwards).
+  double CrowdFraction(Micros now) const;
+
+  /// Draws a rank in [0, n) under the schedule. Consumes exactly two Rng
+  /// values per call (fraction trial + uniform fallback) regardless of the
+  /// branch taken, keeping interleaved streams reproducible.
+  std::size_t Next(Rng* rng, Micros now) const;
+
+  const FlashCrowdSpec& spec() const { return spec_; }
+
+ private:
+  FlashCrowdSpec spec_;
+};
+
+}  // namespace hotman::workload
+
+#endif  // HOTMAN_WORKLOAD_SKEW_H_

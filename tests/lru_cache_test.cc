@@ -114,6 +114,85 @@ TEST(LruCacheTest, ManyInsertionsStayWithinCapacity) {
   }
 }
 
+TEST(LruCacheTest, PinnedEntriesResistEviction) {
+  // "hot" would be the LRU victim, but the pin protects it: a burst of
+  // cold inserts evicts around it.
+  LruCache cache(100);
+  ASSERT_TRUE(cache.Put("hot", Bytes(27, 'h')));  // 30 bytes with key
+  ASSERT_TRUE(cache.Pin("hot"));
+  EXPECT_TRUE(cache.IsPinned("hot"));
+  EXPECT_EQ(cache.pinned_count(), 1u);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cache.Put("c" + std::to_string(i), Bytes(28, 'c')));
+  }
+  EXPECT_TRUE(cache.Contains("hot"));
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_EQ(cache.forced_pinned_evictions(), 0u);
+}
+
+TEST(LruCacheTest, UnpinnedEntryAgesOutNormally) {
+  LruCache cache(100);
+  ASSERT_TRUE(cache.Put("hot", Bytes(27, 'h')));
+  ASSERT_TRUE(cache.Pin("hot"));
+  ASSERT_TRUE(cache.Unpin("hot"));
+  EXPECT_EQ(cache.pinned_count(), 0u);
+  EXPECT_EQ(cache.pinned_bytes(), 0u);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cache.Put("c" + std::to_string(i), Bytes(28, 'c')));
+  }
+  EXPECT_FALSE(cache.Contains("hot"));
+}
+
+TEST(LruCacheTest, PinBudgetCappedAtHalfCapacity) {
+  LruCache cache(100);
+  ASSERT_TRUE(cache.Put("a", Bytes(39, 'a')));  // 40 bytes
+  ASSERT_TRUE(cache.Put("b", Bytes(39, 'b')));  // 40 bytes
+  EXPECT_TRUE(cache.Pin("a"));
+  // Pinning "b" too would put 80 pinned bytes in a 100-byte cache.
+  EXPECT_FALSE(cache.Pin("b"));
+  EXPECT_FALSE(cache.IsPinned("b"));
+  EXPECT_FALSE(cache.Pin("missing"));
+}
+
+TEST(LruCacheTest, PinnedEvictionIsForcedRatherThanFailingPut) {
+  // When pins alone fill the cache, Put must still succeed: pinned
+  // entries are sacrificed (and counted) instead of deadlocking.
+  LruCache cache(100);
+  ASSERT_TRUE(cache.Put("a", Bytes(44, 'a')));  // 45 bytes
+  ASSERT_TRUE(cache.Pin("a"));
+  ASSERT_TRUE(cache.Put("big", Bytes(90, 'x')));  // needs nearly everything
+  EXPECT_TRUE(cache.Contains("big"));
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_EQ(cache.forced_pinned_evictions(), 1u);
+  EXPECT_EQ(cache.pinned_count(), 0u);
+  EXPECT_EQ(cache.pinned_bytes(), 0u);
+}
+
+TEST(LruCacheTest, RefreshKeepsPinAndByteAccounting) {
+  LruCache cache(200);
+  ASSERT_TRUE(cache.Put("hot", Bytes(20, 'v')));
+  ASSERT_TRUE(cache.Pin("hot"));
+  // Updating the value keeps the pin and repoints the pinned-byte count
+  // at the new size.
+  ASSERT_TRUE(cache.Put("hot", Bytes(50, 'w')));
+  EXPECT_TRUE(cache.IsPinned("hot"));
+  EXPECT_EQ(cache.pinned_bytes(), 53u);  // 3-byte key + 50-byte value
+  ASSERT_TRUE(cache.Erase("hot"));
+  EXPECT_EQ(cache.pinned_bytes(), 0u);
+  EXPECT_EQ(cache.pinned_count(), 0u);
+}
+
+TEST(CachePoolTest, PinRoutesToOwningServer) {
+  CachePool pool(3, 1024);
+  ASSERT_TRUE(pool.Put("k", ToBytes("v")));
+  EXPECT_TRUE(pool.Pin("k"));
+  EXPECT_TRUE(pool.IsPinned("k"));
+  EXPECT_EQ(pool.TotalPinned(), 1u);
+  EXPECT_TRUE(pool.Unpin("k"));
+  EXPECT_EQ(pool.TotalPinned(), 0u);
+  EXPECT_FALSE(pool.Pin("missing"));
+}
+
 TEST(CachePoolTest, RoutesByKeyHashConsistently) {
   CachePool pool(4, 1024 * 1024);
   EXPECT_EQ(pool.num_servers(), 4);

@@ -145,5 +145,44 @@ TEST(ShardedLruCacheTest, ConcurrentMixedTrafficKeepsCountersExact) {
   EXPECT_EQ(cache.item_count(), static_cast<std::size_t>(kKeys));
 }
 
+TEST(ShardedLruCacheTest, DataPathAndShardIndexOfAgree) {
+  // Regression for the hoisted ShardOf helper: the mutating path (Put),
+  // the const path (Contains/ShardIndexOf) and introspection must all
+  // route a key to the same shard. Asserted by watching which shard's
+  // item count moves when a key is inserted.
+  ShardedLruCache cache(1 << 20, 8);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "agree" + std::to_string(i);
+    const std::size_t predicted = cache.ShardIndexOf(key);
+    std::vector<std::size_t> before(cache.num_shards());
+    for (std::size_t s = 0; s < cache.num_shards(); ++s) {
+      before[s] = cache.shard_item_count(s);
+    }
+    ASSERT_TRUE(cache.Put(key, ToBytes("v")));
+    for (std::size_t s = 0; s < cache.num_shards(); ++s) {
+      const std::size_t expected = before[s] + (s == predicted ? 1 : 0);
+      ASSERT_EQ(cache.shard_item_count(s), expected)
+          << key << " landed off its predicted shard " << predicted;
+    }
+    // Get-after-Put must hit: both sides hash through the same helper.
+    Bytes out;
+    ASSERT_TRUE(cache.Get(key, &out)) << key;
+    ASSERT_EQ(cache.ShardIndexOf(key), predicted) << "unstable routing";
+  }
+}
+
+TEST(ShardedLruCacheTest, PinningWorksThroughShards) {
+  ShardedLruCache cache(1 << 10, 4);
+  ASSERT_TRUE(cache.Put("hot", ToBytes("value")));
+  EXPECT_TRUE(cache.Pin("hot"));
+  EXPECT_TRUE(cache.IsPinned("hot"));
+  EXPECT_EQ(cache.pinned_count(), 1u);
+  EXPECT_GT(cache.pinned_bytes(), 0u);
+  EXPECT_TRUE(cache.Unpin("hot"));
+  EXPECT_EQ(cache.pinned_count(), 0u);
+  EXPECT_EQ(cache.forced_pinned_evictions(), 0u);
+  EXPECT_FALSE(cache.Pin("absent"));
+}
+
 }  // namespace
 }  // namespace hotman::cache

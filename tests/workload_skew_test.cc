@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/skew.h"
+
+namespace hotman::workload {
+namespace {
+
+TEST(ZipfGeneratorTest, SameSeedSameSequence) {
+  const ZipfGenerator zipf(1000, 0.99);
+  Rng a(42), b(42);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(zipf.Next(&a), zipf.Next(&b)) << "draw " << i;
+  }
+  // A different seed must diverge somewhere.
+  Rng c(42), d(43);
+  bool any_diff = false;
+  for (int i = 0; i < 2000; ++i) {
+    if (zipf.Next(&c) != zipf.Next(&d)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ZipfGeneratorTest, MassIsNormalizedAndMonotone) {
+  const ZipfGenerator zipf(500, 0.99);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < zipf.n(); ++r) {
+    sum += zipf.Mass(r);
+    if (r > 0) {
+      EXPECT_LT(zipf.Mass(r), zipf.Mass(r - 1));
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfGeneratorTest, Top1FrequencyMatchesAnalyticMass) {
+  // Satellite requirement: empirical frequency of the top-1 key within
+  // +/-10% of the analytic Zipf mass at theta = 0.99.
+  const ZipfGenerator zipf(1000, 0.99);
+  Rng rng(7);
+  const int draws = 200000;
+  int top1 = 0;
+  for (int i = 0; i < draws; ++i) {
+    if (zipf.Next(&rng) == 0) ++top1;
+  }
+  const double empirical = static_cast<double>(top1) / draws;
+  const double analytic = zipf.Mass(0);
+  EXPECT_GT(analytic, 0.1);  // sanity: rank 0 carries real mass
+  EXPECT_NEAR(empirical, analytic, 0.1 * analytic);
+}
+
+TEST(ZipfGeneratorTest, HigherThetaConcentratesMore) {
+  const std::size_t n = 1000;
+  const ZipfGenerator mild(n, 0.8), fierce(n, 1.2);
+  EXPECT_GT(fierce.Mass(0), mild.Mass(0));
+  Rng rng(11);
+  int mild_top = 0, fierce_top = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (mild.Next(&rng) < 10) ++mild_top;
+    if (fierce.Next(&rng) < 10) ++fierce_top;
+  }
+  EXPECT_GT(fierce_top, mild_top);
+}
+
+TEST(ZipfGeneratorTest, RanksStayInBounds) {
+  for (double theta : {0.8, 0.99, 1.2}) {
+    const ZipfGenerator zipf(17, theta);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+      EXPECT_LT(zipf.Next(&rng), 17u);
+    }
+  }
+}
+
+TEST(FlashCrowdTest, ScheduleRampsHoldsAndDecays) {
+  FlashCrowdSpec spec;
+  spec.start = 10 * kMicrosPerSecond;
+  spec.ramp = 2 * kMicrosPerSecond;
+  spec.hold = 5 * kMicrosPerSecond;
+  spec.decay_half_life = 2 * kMicrosPerSecond;
+  spec.peak_fraction = 0.9;
+  const FlashCrowdGenerator gen(spec);
+
+  EXPECT_DOUBLE_EQ(gen.CrowdFraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(gen.CrowdFraction(spec.start - 1), 0.0);
+  // Half-way up the ramp.
+  EXPECT_NEAR(gen.CrowdFraction(spec.start + spec.ramp / 2), 0.45, 1e-6);
+  // Anywhere in the hold window sits at the peak.
+  EXPECT_DOUBLE_EQ(gen.CrowdFraction(spec.start + spec.ramp), 0.9);
+  EXPECT_DOUBLE_EQ(gen.CrowdFraction(spec.start + spec.ramp + spec.hold - 1),
+                   0.9);
+  // One half-life past the hold: half the peak; far out: ~0.
+  const Micros decay_origin = spec.start + spec.ramp + spec.hold;
+  EXPECT_NEAR(gen.CrowdFraction(decay_origin + spec.decay_half_life), 0.45,
+              1e-6);
+  EXPECT_LT(gen.CrowdFraction(decay_origin + 20 * spec.decay_half_life),
+            1e-4);
+}
+
+TEST(FlashCrowdTest, EmpiricalFrequencyTracksSchedule) {
+  FlashCrowdSpec spec;
+  spec.n = 100;
+  spec.crowd_rank = 17;
+  spec.start = kMicrosPerSecond;
+  spec.ramp = kMicrosPerSecond;
+  spec.hold = kMicrosPerSecond;
+  spec.decay_half_life = kMicrosPerSecond;
+  spec.peak_fraction = 0.8;
+  const FlashCrowdGenerator gen(spec);
+  Rng rng(9);
+
+  auto crowd_share = [&](Micros at) {
+    int hits = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i) {
+      if (gen.Next(&rng, at) == spec.crowd_rank) ++hits;
+    }
+    return static_cast<double>(hits) / draws;
+  };
+
+  // Before the spike the crowd key is just one uniform key among n.
+  EXPECT_NEAR(crowd_share(0), 1.0 / spec.n, 0.01);
+  // At peak: peak_fraction plus its uniform share of the remainder.
+  const double at_peak = 0.8 + 0.2 / spec.n;
+  EXPECT_NEAR(crowd_share(spec.start + spec.ramp), at_peak, 0.02);
+  // Two half-lives into the decay the extra share has quartered.
+  const Micros late = spec.start + spec.ramp + spec.hold +
+                      2 * spec.decay_half_life;
+  EXPECT_NEAR(crowd_share(late), 0.2 + 0.8 / spec.n, 0.02);
+}
+
+TEST(FlashCrowdTest, SameSeedSameSequence) {
+  FlashCrowdSpec spec;
+  spec.n = 64;
+  const FlashCrowdGenerator gen(spec);
+  Rng a(21), b(21);
+  for (Micros t = 0; t < 30 * kMicrosPerSecond; t += 100 * kMicrosPerMilli) {
+    ASSERT_EQ(gen.Next(&a, t), gen.Next(&b, t)) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace hotman::workload

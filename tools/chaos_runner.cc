@@ -36,6 +36,8 @@ struct Args {
   bool show_history = false;
   bool show_nemesis = false;
   bool fast_reads = false;
+  bool hot_reads = false;     // arm the hot-key read rotation
+  double zipf_theta = -1.0;   // <0 keeps the profile's own skew setting
   int shards = 1;             // shards per node (deterministic multi-shard)
   std::string lying_replica;  // negative-control passthrough
 };
@@ -43,8 +45,10 @@ struct Args {
 void Usage() {
   std::fprintf(stderr,
                "usage: chaos_runner [--seed=N | --seeds=LO-HI]\n"
-               "                    [--profile=quorum|convergence|membership]\n"
-               "                    [--fast-reads] [--shards=N]\n"
+               "                    [--profile=quorum|convergence|membership"
+               "|skew]\n"
+               "                    [--fast-reads] [--hot-reads]\n"
+               "                    [--zipf-theta=T] [--shards=N]\n"
                "                    [--verify] [--quiet] [--history]\n"
                "                    [--nemesis-log] [--lying-replica=ADDR]\n");
 }
@@ -70,8 +74,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->lying_replica = addr;
     } else if (const char* shards = value("--shards=")) {
       args->shards = std::atoi(shards);
+    } else if (const char* theta = value("--zipf-theta=")) {
+      args->zipf_theta = std::atof(theta);
     } else if (arg == "--fast-reads") {
       args->fast_reads = true;
+    } else if (arg == "--hot-reads") {
+      args->hot_reads = true;
     } else if (arg == "--verify") {
       args->verify = true;
     } else if (arg == "--quiet") {
@@ -87,7 +95,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->seed_hi < args->seed_lo || args->shards < 1 || args->shards > 64 ||
       (args->profile != "quorum" && args->profile != "convergence" &&
-       args->profile != "membership")) {
+       args->profile != "membership" && args->profile != "skew")) {
     Usage();
     return false;
   }
@@ -99,9 +107,22 @@ ChaosOptions OptionsFor(const Args& args, std::uint64_t seed) {
                              ? ChaosOptions::QuorumProfile(seed)
                          : args.profile == "membership"
                              ? ChaosOptions::MembershipProfile(seed)
+                         : args.profile == "skew"
+                             ? ChaosOptions::SkewProfile(seed)
                              : ChaosOptions::ConvergenceProfile(seed);
   options.lying_replica = args.lying_replica;
-  options.fast_reads = args.fast_reads;
+  // Flags extend profiles, never shrink them: skew keeps its baked-in fast
+  // and hot reads regardless of the flags.
+  options.fast_reads = options.fast_reads || args.fast_reads;
+  options.hot_reads = options.hot_reads || args.hot_reads;
+  if (args.hot_reads && args.profile != "skew") {
+    // Same test-scale heat thresholds SkewProfile uses; the production
+    // defaults never fire at chaos traffic rates.
+    options.heat.hot_qps = 1.0;
+    options.heat.min_hits = 6.0;
+    options.heat.half_life = 4 * hotman::kMicrosPerSecond;
+  }
+  if (args.zipf_theta >= 0.0) options.zipf_theta = args.zipf_theta;
   options.shards = args.shards;
   return options;
 }
@@ -129,10 +150,14 @@ int main(int argc, char** argv) {
     if (!result.ok()) failing.push_back(seed);
 
     if (!args.quiet || !result.ok()) {
-      std::printf("seed=%llu profile=%s hash=%s ops=%zu faults=%zu %s\n",
-                  static_cast<unsigned long long>(seed), args.profile.c_str(),
-                  result.history_hash.c_str(), result.history.size(),
-                  result.faults_injected, verdict.c_str());
+      std::printf(
+          "seed=%llu profile=%s hash=%s ops=%zu faults=%zu hot=%llu/%llu %s\n",
+          static_cast<unsigned long long>(seed), args.profile.c_str(),
+          result.history_hash.c_str(), result.history.size(),
+          result.faults_injected,
+          static_cast<unsigned long long>(result.hot_gets_fanned),
+          static_cast<unsigned long long>(result.hot_read_demotions),
+          verdict.c_str());
       if (!result.ok()) {
         std::printf("%s\n", result.report.Summary().c_str());
       }
